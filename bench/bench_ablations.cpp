@@ -1,0 +1,204 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   1. min-sum normalization factor sweep (why 0.75),
+//   2. quantization width sweep (why 6-8 bits),
+//   3. hazard-aware column ordering (scoreboard stall sensitivity),
+//   4. early termination (average vs worst-case throughput),
+//   5. multi-rate flexibility: throughput across all six 802.16e families.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "channel/ber_runner.hpp"
+#include "core/decoder_factory.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "hls/scheduler.hpp"
+#include "power/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+double fer_at(const QCLdpcCode& code, float ebn0, DecoderOptions opt,
+              FixedFormat fmt) {
+  BerConfig cfg;
+  cfg.ebn0_db = {ebn0};
+  cfg.max_frames = 300;
+  cfg.min_frames = 50;
+  cfg.target_frame_errors = 25;
+  cfg.num_workers = 2;
+  BerRunner runner(
+      code,
+      [&] { return std::make_unique<LayeredMinSumFixedDecoder>(code, opt, fmt); },
+      cfg);
+  return runner.run()[0].fer();
+}
+
+void scale_sweep() {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  TextTable t("Ablation 1 — min-sum normalization factor (fixed 8-bit, 10 it, "
+              "FER @ 2.0 dB)");
+  t.set_header({"scale", "FER"});
+  for (float scale : {0.5F, 0.625F, 0.75F, 0.875F, 1.0F}) {
+    DecoderOptions opt;
+    opt.scale = scale;
+    t.add_row({TextTable::num(scale, 3),
+               TextTable::sci(fer_at(code, 2.0F, opt, FixedFormat{8, 2}), 1)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::puts("Expected: a broad optimum around 0.75 (the paper's constant);\n"
+            "1.0 (no normalization) is clearly worse.\n");
+}
+
+void quant_sweep() {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  TextTable t("Ablation 2 — quantization width (layered min-sum, 10 it, FER @ "
+              "2.0 dB)");
+  t.set_header({"format", "FER", "P+R bits for (2304,1/2)"});
+  struct Fmt { int total, frac; };
+  for (Fmt f : {Fmt{4, 0}, Fmt{5, 1}, Fmt{6, 1}, Fmt{7, 2}, Fmt{8, 2}}) {
+    DecoderOptions opt;
+    const FixedFormat fmt{f.total, f.frac};
+    const long long bits = (24LL + 76LL) * 96 * f.total;
+    t.add_row({fmt.name(), TextTable::sci(fer_at(code, 2.0F, opt, fmt), 1),
+               TextTable::integer(bits)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::puts("Expected: 4-bit loses visibly; 6-8 bits are within a hair of\n"
+            "float — why the paper (and [3]) quantize at 6-8 bits.\n");
+}
+
+void ordering_ablation() {
+  const auto code = make_wimax_2304_half_rate();
+  TextTable t("Ablation 3 — pipelined stalls vs column order and frequency "
+              "((2304,1/2), 10 it)");
+  t.set_header({"clock (MHz)", "order", "cycles/iter", "stalls/iter",
+                "info tput (Mbps)"});
+  for (double mhz : {200.0, 400.0}) {
+    for (bool reorder : {false, true}) {
+      const auto run = bench::run_design_point(
+          code, ArchKind::kTwoLayerPipelined, mhz, 96, FixedFormat{8, 2}, reorder);
+      const double it = static_cast<double>(run.activity.iterations);
+      t.add_row({TextTable::num(mhz, 0), reorder ? "hazard-aware" : "block-serial",
+                 TextTable::num(static_cast<double>(run.activity.cycles) / it, 1),
+                 TextTable::num(
+                     static_cast<double>(run.activity.core1_stall_cycles) / it, 1),
+                 TextTable::num(info_throughput_mbps(code.k(),
+                                                     run.activity.cycles, mhz),
+                                0)});
+    }
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::puts("Expected: ordering the columns so recently-written blocks are\n"
+            "read last removes most scoreboard stalls — the matrix-ROM-order\n"
+            "optimization a hand designer would apply.\n");
+}
+
+void early_termination_ablation() {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{400.0, 96});
+  TextTable t("Ablation 4 — early termination ((2304,1/2) pipelined, 400 MHz, "
+              "max 10 it, 20 frames @ 2.0 dB)");
+  t.set_header({"early termination", "avg iters", "avg cycles", "avg latency (us)",
+                "avg info tput (Mbps)"});
+  for (bool et : {false, true}) {
+    DecoderOptions opt;
+    opt.max_iterations = 10;
+    opt.early_termination = et;
+    ArchSimDecoder sim(code, est, opt, fmt, ArchSimConfig{true});
+    double cycles = 0, iters = 0;
+    const int frames = 20;
+    for (int f = 0; f < frames; ++f) {
+      const auto frame =
+          bench::quantized_frame(code, fmt, 2.0F, 100 + static_cast<std::uint64_t>(f));
+      const auto r = sim.decode_quantized(frame);
+      cycles += static_cast<double>(r.activity.cycles);
+      iters += static_cast<double>(r.activity.iterations);
+    }
+    cycles /= frames;
+    iters /= frames;
+    t.add_row({et ? "on" : "off", TextTable::num(iters, 1),
+               TextTable::num(cycles, 0), TextTable::num(cycles / 400.0, 2),
+               TextTable::num(static_cast<double>(code.k()) * 400.0 / cycles, 0)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::puts("Expected: at waterfall SNR most frames converge in a few\n"
+            "iterations, so early termination multiplies average throughput\n"
+            "(the paper's \"return early if all parity checks are satisfied\").\n");
+}
+
+void multirate_table() {
+  TextTable t("Ablation 5 — multi-rate flexibility (all 802.16e families, "
+              "z = 96, pipelined @ 400 MHz, 10 it)");
+  t.set_header({"family", "n", "k", "layers", "cycles/iter", "latency (us)",
+                "info tput (Mbps)"});
+  for (WimaxRate rate : all_wimax_rates()) {
+    const auto code = make_wimax_code(rate, 96);
+    const auto run = bench::run_design_point(code, ArchKind::kTwoLayerPipelined,
+                                             400.0, 96, FixedFormat{8, 2}, true);
+    const double it = static_cast<double>(run.activity.iterations);
+    t.add_row({wimax_rate_name(rate),
+               TextTable::integer(static_cast<long long>(code.n())),
+               TextTable::integer(static_cast<long long>(code.k())),
+               TextTable::integer(static_cast<long long>(code.num_layers())),
+               TextTable::num(static_cast<double>(run.activity.cycles) / it, 1),
+               TextTable::num(latency_us(run.activity.cycles, 400.0), 2),
+               TextTable::num(info_throughput_mbps(code.k(),
+                                                   run.activity.cycles, 400.0),
+                              0)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::puts("Expected: higher-rate families have fewer layers and fewer\n"
+            "block columns per iteration, so they decode faster — the same\n"
+            "hardware covers the whole standard (the flexibility claim).\n");
+}
+
+void checknode_hardware_ablation() {
+  // Why Algorithm 1 uses min-sum: the exact sum-product check node needs
+  // phi/phi^{-1} lookup tables per lane, which dwarf the compare-select
+  // datapath in both area and delay.
+  TextTable t("Ablation 6 — check-node datapath cost: min-sum vs sum-product "
+              "(one lane, 8-bit, 65 nm)");
+  t.set_header({"datapath", "comb area (um2)", "critical path (ns)",
+                "max clock (MHz)", "area ratio"});
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const OpGraph ms1 = pico.build_core1_graph();
+  const OpGraph ms2 = pico.build_core2_graph();
+  const OpGraph bp1 = pico.build_bp_core1_graph();
+  const OpGraph bp2 = pico.build_bp_core2_graph();
+  const double ms_area = ms1.total_area_um2() + ms2.total_area_um2();
+  const double bp_area = bp1.total_area_um2() + bp2.total_area_um2();
+  const double ms_path = std::max(ms1.critical_path_ns(), ms2.critical_path_ns());
+  const double bp_path = std::max(bp1.critical_path_ns(), bp2.critical_path_ns());
+  t.add_row({"min-sum (core1+core2)", TextTable::num(ms_area, 0),
+             TextTable::num(ms_path, 2),
+             TextTable::num(std::min(max_schedulable_mhz(ms1),
+                                     max_schedulable_mhz(ms2)),
+                            0),
+             "1.00"});
+  t.add_row({"sum-product (phi LUTs)", TextTable::num(bp_area, 0),
+             TextTable::num(bp_path, 2),
+             TextTable::num(std::min(max_schedulable_mhz(bp1),
+                                     max_schedulable_mhz(bp2)),
+                            0),
+             TextTable::num(bp_area / ms_area, 2)});
+  std::fputs(t.str().c_str(), stdout);
+  std::puts("Expected: the LUT-based exact check node costs several times\n"
+            "the min-sum datapath per lane — at z = 96 lanes that difference\n"
+            "is the whole area budget, which is why every decoder in Table II\n"
+            "uses a min-sum variant.\n");
+}
+
+}  // namespace
+
+int main() {
+  scale_sweep();
+  quant_sweep();
+  ordering_ablation();
+  early_termination_ablation();
+  multirate_table();
+  checknode_hardware_ablation();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Architectural baseline comparison — the quantified version of the paper's
+// §IV-A motivation: the traditional sub-circulant partial-parallel flooding
+// decoder vs the paper's per-layer and two-layer pipelined layered
+// architectures, at matched error-rate targets.
+//
+// Three effects compound in the layered architectures' favour:
+//   1. schedule: layered converges in roughly half the iterations;
+//   2. memory:   P(+R) storage instead of per-edge Q + R + channel;
+//   3. cycles:   2 circulant accesses per edge per iteration instead of 4.
+#include <cstdio>
+
+#include "arch/flooding_arch.hpp"
+#include "bench/bench_common.hpp"
+#include "channel/ber_runner.hpp"
+#include "core/decoder_factory.hpp"
+#include "power/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+// Iterations each schedule needs for FER <= target at the probe SNR.
+std::size_t iterations_for_target(const QCLdpcCode& code, const char* decoder,
+                                  float ebn0, double target_fer) {
+  for (std::size_t iters : {4u, 6u, 8u, 10u, 14u, 20u, 30u}) {
+    DecoderOptions opt;
+    opt.max_iterations = iters;
+    BerConfig cfg;
+    cfg.ebn0_db = {ebn0};
+    cfg.max_frames = 250;
+    cfg.min_frames = 120;
+    cfg.target_frame_errors = 40;
+    cfg.num_workers = 2;
+    BerRunner runner(
+        code, [&] { return make_decoder(decoder, code, opt); }, cfg);
+    if (runner.run()[0].fer() <= target_fer) return iters;
+  }
+  return 30;
+}
+
+}  // namespace
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const double mhz = 400.0;
+
+  // 1. Schedule quality: iterations to reach FER 2% at 2.2 dB (z = 48 proxy
+  //    keeps the Monte-Carlo cheap; the schedule effect is code-size
+  //    independent).
+  const auto probe_code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  const auto it_flood =
+      iterations_for_target(probe_code, "flooding-minsum-norm", 2.2F, 0.02);
+  const auto it_layer =
+      iterations_for_target(probe_code, "layered-minsum-fixed", 2.2F, 0.02);
+
+  // 2/3. Cycles and memory at the (2304, 1/2) design point, using each
+  //      schedule's own iteration requirement.
+  DecoderOptions fl_opt;
+  fl_opt.max_iterations = it_flood;
+  fl_opt.early_termination = false;
+  FloodingArchSim flooding(code, fl_opt, fmt, /*pipeline_overhead=*/3);
+  const auto frame = bench::quantized_frame(code, fmt, 2.0F, 42);
+  const auto fl = flooding.decode_quantized(frame);
+
+  const auto per = bench::run_design_point(code, ArchKind::kPerLayer, mhz, 96,
+                                           fmt, false, it_layer);
+  const auto pipe = bench::run_design_point(code, ArchKind::kTwoLayerPipelined,
+                                            mhz, 96, fmt, true, it_layer);
+  const long long layered_mem = bench::flexible_decoder_sram_bits();
+
+  TextTable t("Baseline comparison — traditional flooding vs this paper's "
+              "architectures ((2304, 1/2), 400 MHz, equal-FER iteration "
+              "budgets: flooding " +
+              std::to_string(it_flood) + " it, layered " +
+              std::to_string(it_layer) + " it)");
+  t.set_header({"architecture", "cycles/iter", "iters", "cycles/frame",
+                "latency (us)", "info tput (Mbps)", "msg memory (bits)"});
+  t.add_row({"partial-parallel flooding",
+             TextTable::integer(fl.cycles_per_iteration),
+             TextTable::integer(static_cast<long long>(it_flood)),
+             TextTable::integer(fl.cycles_per_iteration *
+                                static_cast<long long>(it_flood)),
+             TextTable::num(latency_us(fl.cycles_per_iteration *
+                                           static_cast<long long>(it_flood),
+                                       mhz),
+                            2),
+             TextTable::num(info_throughput_mbps(
+                                code.k(),
+                                fl.cycles_per_iteration *
+                                    static_cast<long long>(it_flood),
+                                mhz),
+                            0),
+             TextTable::integer(fl.total_memory_bits())});
+  auto layered_row = [&](const char* name, const ArchDecodeResult& r) {
+    const long long cyc = r.activity.cycles;
+    t.add_row({name,
+               TextTable::num(static_cast<double>(cyc) /
+                                  static_cast<double>(r.activity.iterations),
+                              1),
+               TextTable::integer(static_cast<long long>(it_layer)),
+               TextTable::integer(cyc), TextTable::num(latency_us(cyc, mhz), 2),
+               TextTable::num(info_throughput_mbps(code.k(), cyc, mhz), 0),
+               TextTable::integer(layered_mem)});
+  };
+  layered_row("per-layer (this paper)", per);
+  layered_row("two-layer pipelined (this paper)", pipe);
+  std::fputs(t.str().c_str(), stdout);
+
+  std::puts(
+      "\nExpected shape: flooding needs ~2x the iterations AND ~2x the\n"
+      "circulant accesses per iteration AND ~60% more message memory, so\n"
+      "the pipelined layered decoder ends up several times faster at lower\n"
+      "storage — the architectural argument of the paper's §IV.");
+  return 0;
+}

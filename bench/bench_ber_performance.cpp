@@ -1,0 +1,71 @@
+// Decoding-performance validation: BER/FER of the paper's fixed-point
+// layered scaled-min-sum (Algorithm 1) against floating-point references.
+//
+// The paper does not plot BER curves (its claims are architectural), but
+// the reproduction must demonstrate that the implemented decoder actually
+// corrects errors the way a WiMAX decoder should: layered min-sum at 10
+// iterations within a fraction of a dB of flooding BP at 20, and 8-bit /
+// 6-bit quantization costing little.
+#include <cstdio>
+
+#include "channel/ber_runner.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+int main() {
+  // z = 48 (n = 1152) keeps the Monte-Carlo affordable on one core while
+  // exercising the same base matrix as the 2304 case study.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+
+  struct Entry {
+    const char* decoder;
+    std::size_t iterations;
+  };
+  const Entry entries[] = {
+      {"flooding-bp", 20},
+      {"flooding-minsum-norm", 20},
+      {"layered-minsum-float", 10},
+      {"layered-minsum-fixed", 10},
+      {"layered-minsum-q6", 10},
+  };
+
+  const std::vector<float> ebn0 = {1.0F, 1.5F, 2.0F, 2.5F};
+
+  TextTable table(
+      "Decoding performance — WiMAX (1152, 1/2), BPSK/AWGN, FER over Eb/N0 "
+      "(frames capped for bench runtime)");
+  std::vector<std::string> header = {"decoder", "iters"};
+  for (float e : ebn0) header.push_back("FER@" + TextTable::num(e, 1) + "dB");
+  header.push_back("avg iters @2.0dB");
+  table.set_header(header);
+
+  for (const Entry& entry : entries) {
+    DecoderOptions opt;
+    opt.max_iterations = entry.iterations;
+    BerConfig cfg;
+    cfg.ebn0_db = ebn0;
+    cfg.max_frames = 400;
+    cfg.min_frames = 60;
+    cfg.target_frame_errors = 25;
+    cfg.num_workers = 2;
+    BerRunner runner(
+        code, [&] { return make_decoder(entry.decoder, code, opt); }, cfg);
+    const auto points = runner.run();
+    std::vector<std::string> row = {entry.decoder,
+                                    TextTable::integer(static_cast<long long>(
+                                        entry.iterations))};
+    for (const auto& p : points) row.push_back(TextTable::sci(p.fer(), 1));
+    row.push_back(TextTable::num(points[2].avg_iterations(), 1));
+    table.add_row(row);
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: FER falls steeply with Eb/N0 (waterfall); layered\n"
+      "min-sum at 10 iterations tracks flooding decoders at 20 (the paper's\n"
+      "premise for layered scheduling); the 8-bit fixed-point decoder tracks\n"
+      "the float decoder closely and 6-bit costs a little more.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench regenerates one table or figure from the paper (see
+// DESIGN.md's experiment index) and prints our measured values next to the
+// paper's published ones so the shape comparison is immediate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch_sim.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc::bench {
+
+/// A quantized noisy frame of the (2304, 1/2) case-study code at a fixed
+/// waterfall-region SNR, deterministic in `seed`.
+inline std::vector<std::int32_t> quantized_frame(const QCLdpcCode& code,
+                                                 FixedFormat fmt, float ebn0_db,
+                                                 std::uint64_t seed,
+                                                 BitVec* codeword = nullptr) {
+  const RuEncoder enc(code);
+  Xoshiro256 rng(seed);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const BitVec word = enc.encode(info);
+  if (codeword) *codeword = word;
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  AwgnChannel ch(variance, seed * 19 + 7);
+  const auto llr =
+      BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+  return codes;
+}
+
+/// Run the architecture simulator for a fixed 10 iterations (no early
+/// termination) — the paper's Table II operating point — and return the
+/// result with activity counters.
+inline ArchDecodeResult run_design_point(const QCLdpcCode& code, ArchKind arch,
+                                         double mhz, int parallelism,
+                                         FixedFormat fmt = FixedFormat{8, 2},
+                                         bool reorder = false,
+                                         std::size_t iterations = 10,
+                                         bool early_termination = false) {
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, arch, HardwareTarget{mhz, parallelism});
+  DecoderOptions opt;
+  opt.max_iterations = iterations;
+  opt.early_termination = early_termination;
+  ArchSimDecoder sim(code, est, opt, fmt, ArchSimConfig{reorder});
+  const auto frame = quantized_frame(code, fmt, 2.0F, 42);
+  return sim.decode_quantized(frame);
+}
+
+/// SRAM complement of the flexible multi-rate WiMAX decoder (Table II):
+/// P memory for 24 block columns plus R memory sized for the worst-case
+/// rate family, at z = 96 and 8-bit messages.
+inline long long flexible_decoder_sram_bits() {
+  return 24LL * 96 * 8 +
+         static_cast<long long>(wimax_max_r_slots()) * 96 * 8;
+}
+
+}  // namespace ldpc::bench

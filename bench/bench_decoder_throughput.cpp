@@ -1,0 +1,95 @@
+// Software decoder micro-benchmarks (google-benchmark).
+//
+// Not a paper table — this measures the C++ library itself: frames/second
+// and info-bit throughput of each decoder implementation on the host CPU,
+// which is what a downstream user simulating BER curves cares about.
+#include <benchmark/benchmark.h>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ldpc;
+
+const QCLdpcCode& code2304() {
+  static const QCLdpcCode code = make_wimax_2304_half_rate();
+  return code;
+}
+
+std::vector<float> noisy_llr(const QCLdpcCode& code, float ebn0, std::uint64_t seed) {
+  const RuEncoder enc(code);
+  Xoshiro256 rng(seed);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const float variance = awgn_noise_variance(ebn0, code.rate());
+  AwgnChannel ch(variance, seed + 1);
+  return BpskModem::demodulate(
+      ch.transmit(BpskModem::modulate(enc.encode(info))), variance);
+}
+
+void decode_bench(benchmark::State& state, const std::string& name,
+                  bool early_termination) {
+  const auto& code = code2304();
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = early_termination;
+  auto dec = make_decoder(name, code, opt);
+  const auto llr = noisy_llr(code, 2.0F, 5);
+  for (auto _ : state) {
+    auto result = dec->decode(llr);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["info_Mbps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * code.k()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_LayeredFixed(benchmark::State& s) { decode_bench(s, "layered-minsum-fixed", true); }
+void BM_LayeredFixedNoET(benchmark::State& s) { decode_bench(s, "layered-minsum-fixed", false); }
+void BM_LayeredFloat(benchmark::State& s) { decode_bench(s, "layered-minsum-float", true); }
+void BM_FloodingMinSumNorm(benchmark::State& s) { decode_bench(s, "flooding-minsum-norm", true); }
+void BM_FloodingBp(benchmark::State& s) { decode_bench(s, "flooding-bp", true); }
+
+BENCHMARK(BM_LayeredFixed);
+BENCHMARK(BM_LayeredFixedNoET);
+BENCHMARK(BM_LayeredFloat);
+BENCHMARK(BM_FloodingMinSumNorm);
+BENCHMARK(BM_FloodingBp);
+
+void BM_Encoder(benchmark::State& state) {
+  const auto& code = code2304();
+  const RuEncoder enc(code);
+  Xoshiro256 rng(9);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  for (auto _ : state) {
+    auto word = enc.encode(info);
+    benchmark::DoNotOptimize(word.popcount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Encoder);
+
+void BM_DenseEncoder(benchmark::State& state) {
+  const auto& code = code2304();
+  const DenseEncoder enc(code);
+  Xoshiro256 rng(9);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  for (auto _ : state) {
+    auto word = enc.encode(info);
+    benchmark::DoNotOptimize(word.popcount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DenseEncoder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

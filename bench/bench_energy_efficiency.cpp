@@ -1,0 +1,62 @@
+// Energy-efficiency design-space sweep — the handset constraint from the
+// paper's abstract ("to meet the data rate and power consumption
+// constraints in wireless handsets") mapped out: energy per decoded
+// information bit across architecture, clock frequency and parallelism,
+// with and without clock gating.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "power/area_model.hpp"
+#include "power/metrics.hpp"
+#include "power/power_model.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const AreaModel area_model;
+  const PowerModel power_model;
+
+  TextTable t(
+      "Energy per decoded information bit — (2304, 1/2), 10 iterations, "
+      "hazard-aware order, SRAM access power included");
+  t.set_header({"arch", "MHz", "parallelism", "tput (Mbps)", "power (mW)",
+                "pJ/bit gated", "pJ/bit ungated", "gating saves"});
+
+  for (ArchKind arch : {ArchKind::kPerLayer, ArchKind::kTwoLayerPipelined}) {
+    for (double mhz : {100.0, 400.0}) {
+      for (int p : {96, 24}) {
+        const auto est = pico.compile(code, arch, HardwareTarget{mhz, p});
+        const auto run = bench::run_design_point(code, arch, mhz, p, fmt, true);
+        const auto area =
+            area_model.estimate(est, bench::flexible_decoder_sram_bits());
+        const auto gated =
+            power_model.estimate(est, run.activity, area.std_cells_mm2, true);
+        const auto ungated =
+            power_model.estimate(est, run.activity, area.std_cells_mm2, false);
+        const double tput =
+            info_throughput_mbps(code.k(), run.activity.cycles, mhz);
+        const double epb_g = energy_per_bit_pj(gated.total_with_sram_mw, tput);
+        const double epb_u = energy_per_bit_pj(ungated.total_with_sram_mw, tput);
+        t.add_row({arch_name(arch), TextTable::num(mhz, 0),
+                   TextTable::integer(p), TextTable::num(tput, 0),
+                   TextTable::num(gated.total_with_sram_mw, 1),
+                   TextTable::num(epb_g, 0), TextTable::num(epb_u, 0),
+                   TextTable::percent(1.0 - epb_g / epb_u)});
+      }
+    }
+    t.add_rule();
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::puts(
+      "\nReading guide: energy/bit is nearly flat across frequency and\n"
+      "parallelism (power and throughput scale together); the pipelined\n"
+      "architecture wins on energy because the same static structure\n"
+      "delivers more bits per cycle; clock gating buys a further 10-25%.\n"
+      "This is why a handset decoder picks the pipelined architecture at\n"
+      "whatever clock meets the data-rate requirement, gated.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 4 / Fig. 6 reproduction: core utilization under the two schedules.
+//
+// Fig. 4 (per-layer): core 1 idles while core 2 drains a layer and vice
+// versa — roughly 50% utilization. Fig. 6 (two-layer pipelined): core 1 of
+// layer n+1 overlaps core 2 of layer n, raising utilization at the cost of
+// scoreboard stalls. This bench measures both from the cycle-accurate
+// simulator, with and without the hazard-aware column ordering.
+#include <cstdio>
+
+#include "arch/trace.hpp"
+#include "bench/bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+// Render the first few layers of the measured schedule — the simulated
+// equivalent of the paper's Fig. 4 / Fig. 6 timing diagrams.
+void print_timeline(const QCLdpcCode& code, ArchKind arch, const char* title) {
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, arch, HardwareTarget{400.0, 96});
+  DecoderOptions opt;
+  opt.max_iterations = 2;
+  opt.early_termination = false;
+  ArchSimConfig sim_cfg;
+  sim_cfg.record_trace = true;
+  ArchSimDecoder sim(code, est, opt, fmt, sim_cfg);
+  const auto frame = ldpc::bench::quantized_frame(code, fmt, 2.0F, 42);
+  sim.decode_quantized(frame);
+  std::printf("\n%s (first 3 layers; digits = layer, x = stall, . = idle)\n%s",
+              title, render_timeline(sim.trace(), 0, 56).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+
+  TextTable table(
+      "Fig. 4/6 — core utilization and stalls (WiMAX (2304, 1/2), 400 MHz, "
+      "10 iterations)");
+  table.set_header({"architecture", "column order", "cycles/iter",
+                    "core1 util", "core2 util", "stall cycles/iter"});
+
+  struct Case {
+    ArchKind arch;
+    bool reorder;
+    const char* order_name;
+  };
+  const Case cases[] = {
+      {ArchKind::kPerLayer, false, "block-serial"},
+      {ArchKind::kTwoLayerPipelined, false, "block-serial"},
+      {ArchKind::kTwoLayerPipelined, true, "hazard-aware"},
+  };
+
+  for (const Case& c : cases) {
+    const auto run = bench::run_design_point(code, c.arch, 400.0, 96,
+                                             FixedFormat{8, 2}, c.reorder);
+    const double iters = static_cast<double>(run.activity.iterations);
+    table.add_row(
+        {arch_name(c.arch), c.order_name,
+         TextTable::num(static_cast<double>(run.activity.cycles) / iters, 1),
+         TextTable::percent(run.activity.core1_utilization()),
+         TextTable::percent(run.activity.core2_utilization()),
+         TextTable::num(static_cast<double>(run.activity.core1_stall_cycles) / iters,
+                        1)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  print_timeline(code, ArchKind::kPerLayer,
+                 "Fig. 4 — per-layer schedule (measured)");
+  print_timeline(code, ArchKind::kTwoLayerPipelined,
+                 "Fig. 6 — two-layer pipelined schedule (measured)");
+  std::puts(
+      "\nExpected shape (paper): per-layer cores sit near 50% utilization\n"
+      "(Fig. 4 — each core waits for the other stage); the pipelined schedule\n"
+      "overlaps the stages (Fig. 6), pushing utilization well above 50% and\n"
+      "cutting cycles per iteration by roughly a third to a half, at the cost\n"
+      "of scoreboard stalls on read-after-write hazards.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table I reproduction: SpyGlass-style power estimate of the (2304, 1/2)
+// pipelined decoder with and without clock gating (std cells only — the
+// paper's numbers exclude the external SRAMs).
+//
+// Leakage and switching are activity-independent of gating; the sequential
+// internal (clock) power drops because PICO's idle-register and block-level
+// gating stop clocking registers that are not being written. Our reduction
+// comes from the simulator's measured write activity per register class.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "power/area_model.hpp"
+#include "power/power_model.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const double mhz = 400.0;
+
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{mhz, 96});
+  // Same operating point as the Table II bench: hazard-aware column order,
+  // 10 iterations, sustained decoding.
+  const auto run = bench::run_design_point(code, ArchKind::kTwoLayerPipelined,
+                                           mhz, 96, fmt, /*reorder=*/true);
+
+  const AreaModel area_model;
+  const auto area = area_model.estimate(est, bench::flexible_decoder_sram_bits());
+  const PowerModel power_model;
+  const auto gated =
+      power_model.estimate(est, run.activity, area.std_cells_mm2, true);
+  const auto ungated =
+      power_model.estimate(est, run.activity, area.std_cells_mm2, false);
+
+  TextTable table(
+      "Table I — power with and without clock gating ((2304, 1/2) pipelined "
+      "decoder, 400 MHz, std cells only; paper values in parentheses)");
+  table.set_header({"", "Leakage", "Internal", "Switching", "Total"});
+  table.add_row({"W/ clock-gating (measured)", TextTable::num(gated.leakage_mw, 2) + " mW",
+                 TextTable::num(gated.internal_mw, 1) + " mW",
+                 TextTable::num(gated.switching_mw, 1) + " mW",
+                 TextTable::num(gated.total_mw, 1) + " mW"});
+  table.add_row({"W/ clock-gating (paper)", "(3.43 mW)", "(46.1 mW)",
+                 "(22.5 mW)", "(72.0 mW)"});
+  table.add_rule();
+  table.add_row({"W/O clock-gating (measured)", TextTable::num(ungated.leakage_mw, 2) + " mW",
+                 TextTable::num(ungated.internal_mw, 1) + " mW",
+                 TextTable::num(ungated.switching_mw, 1) + " mW",
+                 TextTable::num(ungated.total_mw, 1) + " mW"});
+  table.add_row({"W/O clock-gating (paper)", "(3.43 mW)", "(64.5 mW)",
+                 "(22.5 mW)", "(90.4 mW)"});
+  std::fputs(table.str().c_str(), stdout);
+
+  const double measured_reduction = 1.0 - gated.internal_mw / ungated.internal_mw;
+  const double paper_reduction = 1.0 - 46.1 / 64.5;
+  std::printf(
+      "\nSequential internal power reduction via clock gating:\n"
+      "  measured: %.1f%%   paper: %.1f%% (the \"29%%\" headline)\n"
+      "Invariants (both hold by construction and are asserted in tests):\n"
+      "  leakage identical across rows, switching identical across rows.\n"
+      "SRAM access power (excluded above, both rows): %.1f mW\n",
+      measured_reduction * 100.0, paper_reduction * 100.0, gated.sram_mw);
+  return 0;
+}

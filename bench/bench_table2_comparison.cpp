@@ -1,0 +1,88 @@
+// Table II reproduction: implementation results of the two-layer pipelined
+// WiMAX decoder versus the hand-designed decoders [2] (Rovini et al.,
+// GLOBECOM'07) and [3] (Brack et al., DATE'07).
+//
+// Our column is measured end-to-end: the cycle-accurate simulator supplies
+// cycles (with the hazard-aware column order a production matrix ROM would
+// use), the PICO model supplies structure, and the 65 nm area/power models
+// price it. The [2]/[3] columns and the paper's own column are constants
+// from the publication, reproduced for the side-by-side comparison.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "power/area_model.hpp"
+#include "power/metrics.hpp"
+#include "power/power_model.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const double mhz = 400.0;
+  const std::size_t iterations = 10;  // the paper's Table II operating point
+
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{mhz, 96});
+  const auto run = bench::run_design_point(code, ArchKind::kTwoLayerPipelined,
+                                           mhz, 96, fmt, /*reorder=*/true,
+                                           iterations);
+
+  const long long sram_bits = bench::flexible_decoder_sram_bits();
+  const AreaModel area_model;
+  const auto area = area_model.estimate(est, sram_bits);
+  const PowerModel power_model;
+  const auto power =
+      power_model.estimate(est, run.activity, area.std_cells_mm2, true);
+
+  const double lat_us = latency_us(run.activity.cycles, mhz);
+  const double tput = info_throughput_mbps(code.k(), run.activity.cycles, mhz);
+  // Peak power: worst case over gating states plus the SRAM complement.
+  const auto peak = power_model.estimate(est, run.activity, area.std_cells_mm2,
+                                         false);
+
+  TextTable table("Table II — comparison with existing LDPC decoders");
+  table.set_header(
+      {"Metric", "This repro (measured)", "Paper (this work)", "[2] Rovini", "[3] Brack"});
+  table.add_row({"Core area", TextTable::num(area.core_mm2, 2) + " mm2",
+                 "1.2 mm2", "0.74 mm2", "1.337 mm2"});
+  table.add_row({"  std cells", TextTable::num(area.std_cells_mm2, 2) + " mm2",
+                 "n/a", "n/a", "n/a"});
+  table.add_row({"  SRAM", TextTable::num(area.sram_mm2, 2) + " mm2", "n/a",
+                 "n/a", "0.551 mm2"});
+  table.add_row({"Max frequency", TextTable::num(mhz, 0) + " MHz", "400 MHz",
+                 "240 MHz", "400 MHz"});
+  table.add_row({"Power (sustained)",
+                 TextTable::num(power.total_with_sram_mw, 0) + " mW",
+                 "180 mW (peak)", "235 mW", "NA"});
+  table.add_row({"  peak (ungated, +SRAM)",
+                 TextTable::num(peak.total_with_sram_mw, 0) + " mW", "180 mW",
+                 "n/a", "n/a"});
+  table.add_row({"Technology", "65 nm (model)", "65 nm", "65 nm", "65 nm"});
+  table.add_row({"Quantization", std::to_string(fmt.total_bits), "6", "5", "6"});
+  table.add_row({"Iterations", TextTable::integer(static_cast<long long>(iterations)),
+                 "10", "13", "25-20"});
+  table.add_row({"Max code length", TextTable::integer(static_cast<long long>(code.n())),
+                 "2304", "1944", "2304"});
+  table.add_row({"Memory (SRAM)", TextTable::integer(sram_bits) + " bit",
+                 "82,944 bit", "68,256 bit", "0.551 mm2"});
+  table.add_row({"Max throughput @ R=1/2", TextTable::num(tput, 0) + " Mbps",
+                 "415 Mbps", "178 Mbps", "333 Mbps"});
+  table.add_row({"Max latency @ R=1/2", TextTable::num(lat_us, 2) + " us",
+                 "2.8 us", "5.75 us", "6.0 us"});
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf(
+      "\nMeasured detail: %lld cycles for %zu iterations (%.1f cycles/iter),\n"
+      "%lld scoreboard stall cycles, energy %.0f pJ/info bit.\n"
+      "Memory note: our multi-rate R memory provisions %zu slots (the max\n"
+      "over the six 802.16e families in our tables) vs the paper's 84 —\n"
+      "a 3.7%% difference in SRAM bits.\n",
+      run.activity.cycles, iterations,
+      static_cast<double>(run.activity.cycles) / static_cast<double>(iterations),
+      run.activity.core1_stall_cycles,
+      energy_per_bit_pj(power.total_with_sram_mw, tput), wimax_max_r_slots());
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Architecture design-space explorer.
+//
+//   build/examples/architecture_explorer --arch pipelined --mhz 400
+//       --parallelism 96 --rate 1/2 --z 96 --reorder 1
+//
+// Reproduces the paper's design methodology interactively: pick an
+// architecture, an unroll factor and a clock target; the PICO model
+// schedules the datapaths, the cycle-accurate simulator measures a decode,
+// and the 65 nm models report area, power, latency and throughput — the
+// full Table II row for any point in the design space.
+#include <cstdio>
+
+#include "arch/arch_sim.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "power/area_model.hpp"
+#include "power/metrics.hpp"
+#include "power/power_model.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+WimaxRate parse_rate(const std::string& name) {
+  if (name == "1/2") return WimaxRate::kRate1_2;
+  if (name == "2/3A") return WimaxRate::kRate2_3A;
+  if (name == "2/3B") return WimaxRate::kRate2_3B;
+  if (name == "3/4A") return WimaxRate::kRate3_4A;
+  if (name == "3/4B") return WimaxRate::kRate3_4B;
+  if (name == "5/6") return WimaxRate::kRate5_6;
+  throw Error("unknown rate '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {"arch", "mhz", "parallelism", "rate", "z",
+                                    "iters", "reorder", "ebn0", "quant-bits"});
+
+    const std::string arch_str = args.get("arch", "pipelined");
+    ArchKind arch;
+    if (arch_str == "per-layer")
+      arch = ArchKind::kPerLayer;
+    else if (arch_str == "pipelined")
+      arch = ArchKind::kTwoLayerPipelined;
+    else
+      throw Error("--arch must be per-layer or pipelined");
+
+    const double mhz = args.get_double("mhz", 400.0);
+    const QCLdpcCode code = make_wimax_code(parse_rate(args.get("rate", "1/2")),
+                                            static_cast<int>(args.get_int("z", 96)));
+    const int parallelism =
+        static_cast<int>(args.get_int("parallelism", code.z()));
+    const int quant_bits = static_cast<int>(args.get_int("quant-bits", 8));
+    const FixedFormat fmt{quant_bits, quant_bits >= 6 ? 2 : 0};
+    const bool reorder = args.get_int("reorder", 1) != 0;
+
+    // HLS compile.
+    const PicoCompiler pico(fmt);
+    const auto est = pico.compile(code, arch, HardwareTarget{mhz, parallelism});
+
+    // One representative decode for activity.
+    DecoderOptions options;
+    options.max_iterations = static_cast<std::size_t>(args.get_int("iters", 10));
+    options.early_termination = false;
+    ArchSimDecoder sim(code, est, options, fmt, ArchSimConfig{reorder});
+    const RuEncoder enc(code);
+    Xoshiro256 rng(1);
+    BitVec info(code.k());
+    for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+    const float ebn0 = static_cast<float>(args.get_double("ebn0", 2.0));
+    const float variance = awgn_noise_variance(ebn0, code.rate());
+    AwgnChannel ch(variance, 2);
+    const auto llr = BpskModem::demodulate(
+        ch.transmit(BpskModem::modulate(enc.encode(info))), variance);
+    std::vector<std::int32_t> codes(llr.size());
+    for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+    const auto run = sim.decode_quantized(codes);
+
+    // Models.
+    const long long sram_bits = sim.p_memory_bits() + sim.r_memory_bits();
+    const AreaModel am;
+    const auto area = am.estimate(est, sram_bits);
+    const PowerModel pm;
+    const auto pw = pm.estimate(est, run.activity, area.std_cells_mm2, true);
+
+    TextTable t("Design point — " + code.base().name() + ", " + arch_name(arch) +
+                ", " + TextTable::num(mhz, 0) + " MHz, parallelism " +
+                std::to_string(parallelism) + " (fold " +
+                std::to_string(est.fold) + "), " + fmt.name());
+    t.set_header({"metric", "value"});
+    t.add_row({"pipeline depths (core1/core2)",
+               std::to_string(est.core1_latency) + " / " +
+                   std::to_string(est.core2_latency)});
+    t.add_row({"cycles / iteration",
+               TextTable::num(static_cast<double>(run.activity.cycles) /
+                                  static_cast<double>(run.activity.iterations),
+                              1)});
+    t.add_row({"scoreboard stalls / iteration",
+               TextTable::num(static_cast<double>(run.activity.core1_stall_cycles) /
+                                  static_cast<double>(run.activity.iterations),
+                              1)});
+    t.add_row({"core1 / core2 utilization",
+               TextTable::percent(run.activity.core1_utilization()) + " / " +
+                   TextTable::percent(run.activity.core2_utilization())});
+    t.add_row({"decode latency",
+               TextTable::num(latency_us(run.activity.cycles, mhz), 2) + " us (" +
+                   std::to_string(options.max_iterations) + " it)"});
+    t.add_row({"info throughput",
+               TextTable::num(info_throughput_mbps(code.k(), run.activity.cycles,
+                                                   mhz),
+                              0) +
+                   " Mbps"});
+    t.add_row({"std-cell area", TextTable::num(area.std_cells_mm2, 3) + " mm2"});
+    t.add_row({"SRAM area (" + TextTable::integer(sram_bits) + " bit)",
+               TextTable::num(area.sram_mm2, 3) + " mm2"});
+    t.add_row({"core area", TextTable::num(area.core_mm2, 3) + " mm2"});
+    t.add_row({"power (gated, std cells)", TextTable::num(pw.total_mw, 1) + " mW"});
+    t.add_row({"power incl. SRAM", TextTable::num(pw.total_with_sram_mw, 1) + " mW"});
+    t.add_row({"energy / info bit",
+               TextTable::num(energy_per_bit_pj(
+                                  pw.total_with_sram_mw,
+                                  info_throughput_mbps(code.k(),
+                                                       run.activity.cycles, mhz)),
+                              0) +
+                   " pJ"});
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

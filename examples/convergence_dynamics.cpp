@@ -1,0 +1,79 @@
+// Convergence dynamics: why layered decoding halves the iteration count.
+//
+//   build/examples/convergence_dynamics [--ebn0 1.8] [--seed 5]
+//
+// Decodes the same noisy frame with flooding min-sum and with the paper's
+// layered schedule, printing the per-iteration syndrome weight (unsatisfied
+// checks), hard-decision flips, and mean posterior magnitude. The layered
+// decoder uses updated posteriors within the iteration, so its syndrome
+// weight collapses roughly twice as fast — the architectural premise of
+// Algorithm 1.
+#include <cstdio>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {"ebn0", "seed", "iters"});
+    const float ebn0 = static_cast<float>(args.get_double("ebn0", 1.8));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+
+    const auto code = make_wimax_2304_half_rate();
+    const RuEncoder enc(code);
+    Xoshiro256 rng(seed);
+    BitVec info(code.k());
+    for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+    const BitVec word = enc.encode(info);
+    const float variance = awgn_noise_variance(ebn0, code.rate());
+    AwgnChannel ch(variance, seed + 1);
+    const auto llr = BpskModem::demodulate(
+        ch.transmit(BpskModem::modulate(word)), variance);
+
+    TextTable table("Convergence on one (2304, 1/2) frame at Eb/N0 = " +
+                    TextTable::num(ebn0, 1) + " dB");
+    table.set_header({"decoder", "iter", "unsatisfied checks", "bit flips",
+                      "mean |LLR|"});
+
+    for (const char* name :
+         {"flooding-minsum-norm", "layered-minsum-float", "layered-minsum-fixed"}) {
+      DecoderOptions opt;
+      opt.max_iterations =
+          static_cast<std::size_t>(args.get_int("iters", 12));
+      opt.early_termination = true;
+      std::vector<IterationSnapshot> history;
+      opt.observer = [&history](const IterationSnapshot& s) {
+        history.push_back(s);
+      };
+      auto dec = make_decoder(name, code, opt);
+      const auto result = dec->decode(llr);
+      for (const auto& s : history)
+        table.add_row({s.iteration == 1 ? name : "",
+                       TextTable::integer(static_cast<long long>(s.iteration)),
+                       TextTable::integer(static_cast<long long>(s.syndrome_weight)),
+                       TextTable::integer(static_cast<long long>(s.flipped_bits)),
+                       TextTable::num(s.mean_abs_llr, 2)});
+      table.add_row({"", "", result.converged ? "converged" : "NOT converged",
+                     "", ""});
+      table.add_rule();
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::puts(
+        "\nReading guide: the layered schedules' syndrome weight collapses in\n"
+        "roughly half the iterations of the flooding schedule; the fixed-point\n"
+        "decoder's |LLR| saturates at the 8-bit rail (31.75) while float keeps\n"
+        "growing — quantization caps confidence, not convergence.");
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

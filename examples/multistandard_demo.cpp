@@ -1,0 +1,97 @@
+// Multi-standard flexibility demo.
+//
+//   build/examples/multistandard_demo
+//
+// The paper's motivation: "because different standards employ different
+// LDPC codes, it is very important to design a flexible LDPC decoder".
+// This demo runs the SAME decoder machinery — Algorithm 1 kernel, both
+// hardware architectures — over three very different block-structured
+// codes: IEEE 802.16e (WiMAX), IEEE 802.11n (WiFi) and a randomly
+// generated QC code, and prints the HLS schedule the PICO model produced
+// for the shared datapaths.
+#include <cstdio>
+
+#include "arch/arch_sim.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/graph_analysis.hpp"
+#include "codes/random_qc.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "hls/scheduler.hpp"
+#include "power/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+void run_code(const QCLdpcCode& code, float ebn0_db, TextTable& table) {
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, ArchKind::kTwoLayerPipelined,
+                                HardwareTarget{400.0, code.z()});
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  ArchSimDecoder sim(code, est, opt, fmt, ArchSimConfig{true});
+
+  const RuEncoder enc(code);
+  Xoshiro256 rng(11);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const BitVec word = enc.encode(info);
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  AwgnChannel ch(variance, 12);
+  const auto llr = BpskModem::demodulate(
+      ch.transmit(BpskModem::modulate(word)), variance);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+  const auto run = sim.decode_quantized(codes);
+
+  table.add_row({code.base().name(),
+                 TextTable::integer(static_cast<long long>(code.n())),
+                 TextTable::num(code.rate(), 2),
+                 TextTable::integer(code.z()),
+                 TextTable::integer(static_cast<long long>(
+                     tanner_girth(code, 10))),
+                 run.decode.hard_bits == word ? "yes" : "NO",
+                 TextTable::integer(run.activity.cycles),
+                 TextTable::num(info_throughput_mbps(code.k(),
+                                                     run.activity.cycles, 400.0),
+                                0)});
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "One decoder, three standards — pipelined architecture @ 400 MHz, "
+      "10 iterations max, AWGN");
+  table.set_header({"code", "n", "rate", "z", "girth(<=10)", "decoded",
+                    "cycles", "info Mbps"});
+
+  run_code(make_wimax_2304_half_rate(), 2.2F, table);
+  run_code(make_wifi_1944_half_rate(), 2.2F, table);
+  run_code(make_wifi_648_half_rate(), 2.6F, table);
+  RandomQcConfig cfg;
+  cfg.block_rows = 6;
+  cfg.block_cols = 18;
+  cfg.z = 64;
+  cfg.info_row_degree = 5;
+  cfg.seed = 2;  // a girth-6 construction (seed 3 has 4-cycles — try it!)
+  const auto random_code = make_random_qc_code(cfg);
+  run_code(random_code, 3.2F, table);
+  std::fputs(table.str().c_str(), stdout);
+
+  // The shared datapath: what PICO scheduled at 400 MHz.
+  const PicoCompiler pico(FixedFormat{8, 2});
+  std::puts("\ncore1 front-end schedule at 400 MHz (2.5 ns clock):");
+  OpGraph core1 = pico.build_core1_graph();
+  std::fputs(schedule_report(core1, 2.5).c_str(), stdout);
+  std::puts("core2 back-end schedule at 400 MHz:");
+  OpGraph core2 = pico.build_core2_graph();
+  std::fputs(schedule_report(core2, 2.5).c_str(), stdout);
+  return 0;
+}

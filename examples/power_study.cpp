@@ -1,0 +1,95 @@
+// Clock-gating power study across clock frequencies and architectures.
+//
+//   build/examples/power_study [--rate 1/2] [--z 96] [--iters 10]
+//
+// The handset scenario from the paper's abstract: how much power does the
+// decoder burn at each clock target, and how much does PICO-style clock
+// gating save? Prints the full leakage/internal/switching decomposition per
+// (architecture, frequency) point, gated and ungated.
+#include <cstdio>
+
+#include "arch/arch_sim.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "power/area_model.hpp"
+#include "power/metrics.hpp"
+#include "power/power_model.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {"z", "iters"});
+    const int z = static_cast<int>(args.get_int("z", 96));
+    const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, z);
+    const FixedFormat fmt{8, 2};
+    const PicoCompiler pico(fmt);
+    const AreaModel am;
+    const PowerModel pm;
+
+    DecoderOptions options;
+    options.max_iterations = static_cast<std::size_t>(args.get_int("iters", 10));
+    options.early_termination = false;
+
+    // One noisy frame reused at every design point.
+    const RuEncoder enc(code);
+    Xoshiro256 rng(5);
+    BitVec info(code.k());
+    for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+    const float variance = awgn_noise_variance(2.0F, code.rate());
+    AwgnChannel ch(variance, 6);
+    const auto llr = BpskModem::demodulate(
+        ch.transmit(BpskModem::modulate(enc.encode(info))), variance);
+    std::vector<std::int32_t> codes(llr.size());
+    for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+
+    TextTable t("Clock-gating power study — " + code.base().name() +
+                " (std cells only; energy per decoded info bit includes SRAM)");
+    t.set_header({"arch", "MHz", "leak (mW)", "int gated", "int ungated",
+                  "saved", "switch (mW)", "total gated", "pJ/bit"});
+
+    for (ArchKind arch : {ArchKind::kPerLayer, ArchKind::kTwoLayerPipelined}) {
+      for (double mhz : {100.0, 200.0, 300.0, 400.0}) {
+        const auto est = pico.compile(code, arch,
+                                      HardwareTarget{mhz, code.z()});
+        ArchSimDecoder sim(code, est, options, fmt, ArchSimConfig{true});
+        const auto run = sim.decode_quantized(codes);
+        const auto area = am.estimate(
+            est, sim.p_memory_bits() + sim.r_memory_bits());
+        const auto gated =
+            pm.estimate(est, run.activity, area.std_cells_mm2, true);
+        const auto ungated =
+            pm.estimate(est, run.activity, area.std_cells_mm2, false);
+        const double tput =
+            info_throughput_mbps(code.k(), run.activity.cycles, mhz);
+        t.add_row({arch_name(arch), TextTable::num(mhz, 0),
+                   TextTable::num(gated.leakage_mw, 2),
+                   TextTable::num(gated.internal_mw, 1),
+                   TextTable::num(ungated.internal_mw, 1),
+                   TextTable::percent(1.0 - gated.internal_mw /
+                                                ungated.internal_mw),
+                   TextTable::num(gated.switching_mw, 1),
+                   TextTable::num(gated.total_mw, 1),
+                   TextTable::num(energy_per_bit_pj(gated.total_with_sram_mw,
+                                                    tput),
+                                  0)});
+      }
+      t.add_rule();
+    }
+    std::fputs(t.str().c_str(), stdout);
+    std::puts(
+        "\nReading guide: internal (sequential) power scales with frequency\n"
+        "and register count; gating savings track the fraction of register\n"
+        "bits actually written each cycle (Table I's mechanism). Energy per\n"
+        "bit is roughly frequency independent — latency and power trade off.");
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

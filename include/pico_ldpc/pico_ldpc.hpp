@@ -1,0 +1,72 @@
+// pico_ldpc — umbrella header: the full public API in one include.
+//
+//   #include <pico_ldpc/pico_ldpc.hpp>
+//
+// Downstream users add this repository's `src/` and `include/` directories
+// to their include path and link the static libraries (see README). The
+// individual headers remain the authoritative documentation; this header
+// only aggregates them in dependency order.
+#pragma once
+
+// util — primitives
+#include "util/check.hpp"      // IWYU pragma: export
+#include "util/rng.hpp"        // IWYU pragma: export
+#include "util/bitvec.hpp"     // IWYU pragma: export
+#include "util/saturate.hpp"   // IWYU pragma: export
+#include "util/stats.hpp"      // IWYU pragma: export
+#include "util/table.hpp"      // IWYU pragma: export
+#include "util/csv.hpp"        // IWYU pragma: export
+#include "util/cli.hpp"        // IWYU pragma: export
+
+// codes — QC-LDPC code substrate
+#include "codes/base_matrix.hpp"     // IWYU pragma: export
+#include "codes/qc_code.hpp"         // IWYU pragma: export
+#include "codes/wimax.hpp"           // IWYU pragma: export
+#include "codes/wifi.hpp"            // IWYU pragma: export
+#include "codes/random_qc.hpp"       // IWYU pragma: export
+#include "codes/encoder.hpp"         // IWYU pragma: export
+#include "codes/graph_analysis.hpp"  // IWYU pragma: export
+#include "codes/alist.hpp"           // IWYU pragma: export
+
+// core — decoding algorithms (the paper's Algorithm 1 and baselines)
+#include "core/decoder.hpp"                // IWYU pragma: export
+#include "core/quant.hpp"                  // IWYU pragma: export
+#include "core/flooding_bp.hpp"            // IWYU pragma: export
+#include "core/flooding_minsum.hpp"        // IWYU pragma: export
+#include "core/flooding_minsum_fixed.hpp"  // IWYU pragma: export
+#include "core/gallager_b.hpp"             // IWYU pragma: export
+#include "core/layered_minsum_float.hpp"   // IWYU pragma: export
+#include "core/layered_minsum_fixed.hpp"   // IWYU pragma: export
+#include "core/decoder_factory.hpp"        // IWYU pragma: export
+
+// channel — modulation, channels, Monte-Carlo harness
+#include "channel/modem.hpp"        // IWYU pragma: export
+#include "channel/awgn.hpp"         // IWYU pragma: export
+#include "channel/rayleigh.hpp"     // IWYU pragma: export
+#include "channel/interleaver.hpp"  // IWYU pragma: export
+#include "channel/ber_runner.hpp"   // IWYU pragma: export
+
+// hls — the PICO high-level-synthesis model
+#include "hls/opgraph.hpp"          // IWYU pragma: export
+#include "hls/scheduler.hpp"        // IWYU pragma: export
+#include "hls/pico.hpp"             // IWYU pragma: export
+#include "hls/hardware_report.hpp"  // IWYU pragma: export
+#include "hls/rtl_gen.hpp"          // IWYU pragma: export
+
+// arch — cycle-accurate architecture simulators
+#include "arch/activity.hpp"          // IWYU pragma: export
+#include "arch/sram.hpp"              // IWYU pragma: export
+#include "arch/barrel_shifter.hpp"    // IWYU pragma: export
+#include "arch/q_fifo.hpp"            // IWYU pragma: export
+#include "arch/scoreboard.hpp"        // IWYU pragma: export
+#include "arch/trace.hpp"             // IWYU pragma: export
+#include "arch/arch_sim.hpp"          // IWYU pragma: export
+#include "arch/flooding_arch.hpp"     // IWYU pragma: export
+#include "arch/flexible_decoder.hpp"  // IWYU pragma: export
+#include "arch/testbench.hpp"         // IWYU pragma: export
+
+// power — 65 nm area/power/throughput models
+#include "power/tech65nm.hpp"     // IWYU pragma: export
+#include "power/area_model.hpp"   // IWYU pragma: export
+#include "power/power_model.hpp"  // IWYU pragma: export
+#include "power/metrics.hpp"      // IWYU pragma: export

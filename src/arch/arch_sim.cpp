@@ -1,0 +1,285 @@
+#include "arch/arch_sim.hpp"
+
+#include <algorithm>
+
+namespace ldpc {
+
+ArchSimDecoder::ArchSimDecoder(const QCLdpcCode& code, HardwareEstimate estimate,
+                               DecoderOptions options, FixedFormat format,
+                               ArchSimConfig sim_config)
+    : code_(code),
+      estimate_(estimate),
+      options_(options),
+      sim_config_(sim_config),
+      kernel_(format),
+      p_mem_("P", code.base().cols(), static_cast<std::size_t>(code.z())),
+      r_mem_("R", code.base().nonzero_blocks(), static_cast<std::size_t>(code.z())),
+      shifter_(static_cast<std::size_t>(code.z())),
+      q_fifo_(code.base().max_row_degree()),
+      scoreboard_(code.base().cols()),
+      lane_state_(static_cast<std::size_t>(code.z())) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  LDPC_CHECK_MSG(estimate_.parallelism >= 1 &&
+                     code.z() % estimate_.parallelism == 0,
+                 "estimate parallelism " << estimate_.parallelism
+                                         << " does not divide z=" << code.z());
+  LDPC_CHECK(estimate_.fold == code.z() / estimate_.parallelism);
+  fifo_pop_times_.assign(q_fifo_.capacity(), -1);
+
+  // Column processing order per layer. Default: the block-serial order of
+  // Fig. 4. Hazard-aware: columns the (cyclically) previous layer does not
+  // write first, then shared columns in the previous layer's write order —
+  // maximizing the distance between a write and the dependent read.
+  const std::size_t n_layers = code_.num_layers();
+  column_order_.resize(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const auto& layer = code_.layers()[l];
+    auto& order = column_order_[l];
+    order.resize(layer.size());
+    for (std::size_t j = 0; j < layer.size(); ++j) order[j] = j;
+    if (!sim_config_.hazard_aware_order) continue;
+
+    const auto& prev = code_.layers()[(l + n_layers - 1) % n_layers];
+    auto prev_write_pos = [&prev](std::uint32_t col) -> int {
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        if (prev[j].block_col == col) return static_cast<int>(j);
+      return -1;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const int pa = prev_write_pos(layer[a].block_col);
+                       const int pb = prev_write_pos(layer[b].block_col);
+                       if ((pa < 0) != (pb < 0)) return pa < 0;  // free first
+                       return pa < pb;  // shared: earliest-written first
+                     });
+  }
+}
+
+void ArchSimDecoder::accumulate_busy(long long start, long long end,
+                                     long long& busy_until,
+                                     long long& busy_cycles) {
+  const long long effective_start = std::max(start, busy_until + 1);
+  if (end >= effective_start) {
+    busy_cycles += end - effective_start + 1;
+    busy_until = end;
+  }
+}
+
+std::string ArchSimDecoder::name() const {
+  return "arch-" + arch_name(estimate_.arch) + "-p" +
+         std::to_string(estimate_.parallelism);
+}
+
+long long ArchSimDecoder::p_memory_bits() const {
+  return p_mem_.capacity_bits(kernel_.format().total_bits);
+}
+
+long long ArchSimDecoder::r_memory_bits() const {
+  return r_mem_.capacity_bits(kernel_.format().total_bits);
+}
+
+DecodeResult ArchSimDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t v = 0; v < llr.size(); ++v)
+    codes[v] = kernel_.format().quantize(llr[v]);
+  return decode_quantized(codes).decode;
+}
+
+void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
+                               ActivityCounters& act) {
+  const auto& layer = code_.layers()[layer_index];
+  const auto z = static_cast<std::size_t>(code_.z());
+  const long long fold = estimate_.fold;
+  const long long d1 = estimate_.core1_latency;
+  const long long d2 = estimate_.core2_latency;
+  const bool pipelined = estimate_.arch == ArchKind::kTwoLayerPipelined;
+
+  // ---- Core 1: read & pre-process (stage 1) --------------------------------
+  for (auto& st : lane_state_) st.reset();
+
+  std::vector<std::vector<std::int32_t>> q_vectors;  // kept for core 2 writes
+  q_vectors.reserve(layer.size());
+  std::vector<long long> absorb_time(layer.size());
+
+  const auto& order = column_order_[layer_index];
+
+  long long core1_done = -1;
+  for (std::size_t j = 0; j < layer.size(); ++j) {
+    const auto& blk = layer[order[j]];
+    long long ready = timing.core1_free;
+    long long issue = ready;
+    if (pipelined) {
+      // Scoreboard RAW stall on the P word of this block column.
+      if (scoreboard_.is_pending(blk.block_col))
+        issue = scoreboard_.earliest_read(blk.block_col, ready);
+      // Q FIFO back-pressure: this column's push (at absorb time) needs a
+      // free slot; the slot frees one cycle after the blocking pop.
+      if (fifo_push_count_ >= q_fifo_.capacity()) {
+        const long long blocking_pop =
+            fifo_pop_times_[(fifo_push_count_ - q_fifo_.capacity()) %
+                            q_fifo_.capacity()];
+        const long long earliest_issue = blocking_pop + 1 - (fold - 1) - (d1 - 1);
+        issue = std::max(issue, earliest_issue);
+      }
+      act.core1_stall_cycles += issue - ready;
+      if (scoreboard_.is_pending(blk.block_col))
+        scoreboard_.resolve(blk.block_col);
+      if (sim_config_.record_trace && issue > ready)
+        trace_.push_back(TraceEvent{TraceEngine::kCore1,
+                                    static_cast<std::size_t>(timing.layer_seq),
+                                    ready, issue - 1, /*stall=*/true});
+    }
+    if (sim_config_.record_trace)
+      trace_.push_back(TraceEvent{TraceEngine::kCore1,
+                                  static_cast<std::size_t>(timing.layer_seq),
+                                  issue, issue + fold - 1, false});
+    timing.core1_free = issue + fold;
+    // A depth-d pipeline started on cycle `issue` delivers at the end of
+    // cycle issue + (fold - 1) + (d - 1).
+    absorb_time[j] = issue + fold - 1 + (d1 - 1);
+    core1_done = absorb_time[j];
+    accumulate_busy(issue, absorb_time[j], timing.core1_busy_until,
+                    act.core1_busy_cycles);
+
+    // Functional stage 1 through the component models.
+    const auto& p_word = p_mem_.read(blk.block_col);
+    const auto shifted = shifter_.rotate(p_word, blk.shift);
+    const auto& r_word = r_mem_.read(blk.r_slot);
+    std::vector<std::int32_t> q(z);
+    for (std::size_t r = 0; r < z; ++r) {
+      q[r] = kernel_.compute_q(shifted[r], r_word[r]);
+      lane_state_[r].absorb(q[r], static_cast<std::uint32_t>(j));
+    }
+    q_fifo_.push(q);
+    q_vectors.push_back(std::move(q));
+    ++fifo_push_count_;
+    if (pipelined) scoreboard_.set(blk.block_col);
+
+    act.p_reads += 1;
+    act.r_reads += 1;
+    act.shifter_rotates += 1;
+    act.core1_issue_beats += fold;
+    act.min_array_updates += static_cast<long long>(z);
+    act.q_fifo_pushes += 1;
+  }
+  timing.core1_done = core1_done;
+
+  // ---- Core 2: decode & write back (stage 2) -------------------------------
+  long long core2_start = std::max(timing.core2_free, core1_done + 1);
+  for (std::size_t j = 0; j < layer.size(); ++j) {
+    const auto& blk = layer[order[j]];
+    const long long issue = std::max(core2_start, absorb_time[j] + 1);
+    core2_start = issue + fold;
+    timing.core2_free = core2_start;
+    const long long land = issue + fold - 1 + (d2 - 1);
+    timing.last_write_land = std::max(timing.last_write_land, land);
+    accumulate_busy(issue, land, timing.core2_busy_until,
+                    act.core2_busy_cycles);
+    if (pipelined) scoreboard_.schedule_clear(blk.block_col, land);
+    fifo_pop_times_[(fifo_push_count_ - layer.size() + j) %
+                    q_fifo_.capacity()] = issue;
+    if (sim_config_.record_trace)
+      trace_.push_back(TraceEvent{TraceEngine::kCore2,
+                                  static_cast<std::size_t>(timing.layer_seq),
+                                  issue, issue + fold - 1, false});
+
+    // Functional stage 2.
+    const auto q = q_fifo_.pop();
+    std::vector<std::int32_t> r_new(z);
+    std::vector<std::int32_t> p_new(z);
+    for (std::size_t r = 0; r < z; ++r) {
+      r_new[r] =
+          kernel_.compute_r_new(lane_state_[r], q[r], static_cast<std::uint32_t>(j));
+      p_new[r] = kernel_.compute_p_new(q[r], r_new[r]);
+    }
+    r_mem_.write(blk.r_slot, std::move(r_new));
+    p_mem_.write(blk.block_col, shifter_.rotate_back(p_new, blk.shift));
+
+    act.p_writes += 1;
+    act.r_writes += 1;
+    act.shifter_rotates += 1;
+    act.core2_issue_beats += fold;
+    act.q_fifo_pops += 1;
+  }
+
+  // Per-layer architecture: the next layer's reads wait for every write of
+  // this layer to land (no scoreboard, so the schedule serializes).
+  if (!pipelined)
+    timing.core1_free = std::max(timing.core1_free, timing.last_write_land + 1);
+
+  // Shifter busy: one rotate per column read and one per write-back; the
+  // rotations coincide with distinct issue beats of their cores.
+  act.shifter_busy_cycles += static_cast<long long>(layer.size()) * 2;
+  act.layer_snapshots += 1;  // core1 state handed to core2 once per layer
+  ++timing.layer_seq;
+}
+
+ArchDecodeResult ArchSimDecoder::decode_quantized(
+    std::span<const std::int32_t> channel_codes) {
+  LDPC_CHECK(channel_codes.size() == code_.n());
+  const auto z = static_cast<std::size_t>(code_.z());
+  const std::size_t nb = code_.base().cols();
+
+  // Load channel LLRs into the P memory (external DMA; not part of the
+  // decode cycle count) and reset R, FIFO, scoreboard, counters.
+  for (std::size_t c = 0; c < nb; ++c) {
+    std::vector<std::int32_t> word(z);
+    for (std::size_t r = 0; r < z; ++r) word[r] = channel_codes[c * z + r];
+    p_mem_.write(c, std::move(word));
+  }
+  r_mem_.fill(0);
+  p_mem_.reset_counters();
+  r_mem_.reset_counters();
+  shifter_.reset_counters();
+  q_fifo_.reset();
+  scoreboard_.reset();
+  std::fill(fifo_pop_times_.begin(), fifo_pop_times_.end(), -1);
+  fifo_push_count_ = 0;
+  trace_.clear();
+
+  ArchDecodeResult out;
+  out.decode.hard_bits.resize(code_.n());
+
+  Timing timing;
+  ActivityCounters& act = out.activity;
+
+  auto harvest_hard_bits = [&] {
+    for (std::size_t c = 0; c < nb; ++c) {
+      const auto& word = p_mem_.peek(c);
+      for (std::size_t r = 0; r < z; ++r)
+        out.decode.hard_bits.set(c * z + r, word[r] < 0);
+    }
+  };
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    out.decode.iterations = iter;
+    for (std::size_t l = 0; l < code_.num_layers(); ++l)
+      run_layer(l, timing, act);
+
+    if (iter == 1) out.first_iteration_cycles = timing.last_write_land + 1;
+
+    harvest_hard_bits();
+    if (options_.early_termination) {
+      // The syndrome verdict gates the next iteration: all writes must have
+      // landed, plus the configured check latency.
+      if (sim_config_.et_check_cycles > 0) {
+        timing.last_write_land += sim_config_.et_check_cycles;
+        timing.core1_free =
+            std::max(timing.core1_free, timing.last_write_land + 1);
+      }
+      if (code_.parity_ok(out.decode.hard_bits)) {
+        out.decode.converged = true;
+        break;
+      }
+    }
+  }
+  if (!out.decode.converged)
+    out.decode.converged = code_.parity_ok(out.decode.hard_bits);
+
+  act.cycles = timing.last_write_land + 1;
+  act.iterations = static_cast<long long>(out.decode.iterations);
+  return out;
+}
+
+}  // namespace ldpc

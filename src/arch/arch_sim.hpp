@@ -1,0 +1,139 @@
+// Cycle-accurate simulator of the paper's two decoder architectures.
+//
+// The simulator executes the real decoding computation through hardware
+// component models — P/R SRAMs, barrel shifter, z datapath lanes running
+// LayerRowKernel, Q array/FIFO, scoreboard — while an analytic timing engine
+// assigns every block-column operation an issue cycle under the
+// architecture's structural constraints:
+//
+//   per-layer (Fig. 4):   core2(l) starts after core1(l) drains; core1(l+1)
+//                         starts after core2(l)'s last write lands.
+//   pipelined (Fig. 6):   core1(l+1) overlaps core2(l); per-column stalls
+//                         from the scoreboard (RAW on P words) and from Q
+//                         FIFO back-pressure.
+//
+// Because the arithmetic is the same LayerRowKernel the algorithmic decoder
+// uses and the stall logic enforces layer-sequential P semantics, the
+// simulator's hard decisions are bit-identical to LayeredMinSumFixedDecoder
+// — an invariant the integration tests assert for every supported code and
+// parallelism.
+#pragma once
+
+#include <memory>
+
+#include "arch/activity.hpp"
+#include "arch/barrel_shifter.hpp"
+#include "arch/q_fifo.hpp"
+#include "arch/scoreboard.hpp"
+#include "arch/sram.hpp"
+#include "arch/trace.hpp"
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "hls/pico.hpp"
+
+namespace ldpc {
+
+struct ArchDecodeResult {
+  DecodeResult decode;
+  ActivityCounters activity;
+  /// Cycles of the first full iteration (the Fig. 8a metric; excludes the
+  /// dependence of later iterations on early termination).
+  long long first_iteration_cycles = 0;
+};
+
+/// Simulator knobs beyond what the hardware estimate fixes.
+struct ArchSimConfig {
+  /// Process each layer's block columns in a hazard-aware order: columns not
+  /// written by the previous layer first, shared columns last and in the
+  /// previous layer's write order. Functionally invisible (the min update is
+  /// order independent and the scoreboard still enforces RAW), but it hides
+  /// most pipeline stalls — the schedule optimization a designer would bake
+  /// into the parity-check-matrix ROM ordering.
+  bool hazard_aware_order = false;
+  /// Record per-column TraceEvents during decoding (see arch/trace.hpp);
+  /// retrieve with trace(). Off by default — BER sweeps don't want the
+  /// allocation churn.
+  bool record_trace = false;
+  /// Cycles the early-termination syndrome check costs between iterations
+  /// when early_termination is enabled. 0 (default) models the paper's
+  /// on-the-fly check: parity accumulates in XOR trees as core 2 writes, so
+  /// the verdict is free by the time the iteration drains. A dedicated
+  /// check pass over L layers would cost ~L cycles — set this to model it.
+  int et_check_cycles = 0;
+};
+
+class ArchSimDecoder final : public Decoder {
+ public:
+  /// `estimate` supplies the pipeline depths/parallelism the PICO model
+  /// produced for the chosen clock target. The code must outlive the sim.
+  ArchSimDecoder(const QCLdpcCode& code, HardwareEstimate estimate,
+                 DecoderOptions options, FixedFormat format = FixedFormat{},
+                 ArchSimConfig sim_config = ArchSimConfig{});
+
+  /// Decoder interface (quantizes internally).
+  DecodeResult decode(std::span<const float> llr) override;
+  std::size_t n() const override { return code_.n(); }
+  std::string name() const override;
+
+  /// Full result with activity counters.
+  ArchDecodeResult decode_quantized(std::span<const std::int32_t> channel_codes);
+
+  const HardwareEstimate& estimate() const { return estimate_; }
+
+  /// Memory capacities (Table II "Memory (SRAM)" row).
+  long long p_memory_bits() const;
+  long long r_memory_bits() const;
+
+  /// Schedule trace of the last decode (empty unless record_trace was set).
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+ private:
+  /// Timing state for one decode.
+  struct Timing {
+    long long core1_free = 0;   ///< first cycle core1 may issue next beat
+    long long core2_free = 0;   ///< first cycle core2 may issue next beat
+    long long core1_done = -1;  ///< absorb completion of current layer
+    long long last_write_land = -1;
+    long long stalls = 0;
+    // Busy-window union tracking for the clock-gating model (a block is
+    // "busy" from a column's issue until its pipeline drains; overlapping
+    // windows must not be double counted).
+    long long core1_busy_until = -1;
+    long long core2_busy_until = -1;
+    long long layer_seq = 0;  ///< global layer counter for trace labels
+  };
+
+  /// Add window [start, end] to a busy-union accumulator.
+  static void accumulate_busy(long long start, long long end,
+                              long long& busy_until, long long& busy_cycles);
+
+  void run_layer(std::size_t layer_index, Timing& timing, ActivityCounters& act);
+
+  const QCLdpcCode& code_;
+  HardwareEstimate estimate_;
+  DecoderOptions options_;
+  ArchSimConfig sim_config_;
+  LayerRowKernel kernel_;
+
+  /// Per-layer column processing order (indices into code_.layers()[l]).
+  std::vector<std::vector<std::size_t>> column_order_;
+
+  SramModel p_mem_;
+  SramModel r_mem_;
+  BarrelShifter shifter_;
+  QFifo q_fifo_;
+  Scoreboard scoreboard_;
+
+  /// Per-lane core-1 state (min1/min2/pos1/sign for check row `lane`).
+  std::vector<LayerRowKernel::CheckState> lane_state_;
+
+  /// Pop times of the q-FIFO entries still counted against capacity, used
+  /// by the timing engine for back-pressure (ring of the last `capacity`).
+  std::vector<long long> fifo_pop_times_;
+  std::size_t fifo_push_count_ = 0;
+
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace ldpc

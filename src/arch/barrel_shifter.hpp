@@ -1,0 +1,48 @@
+// Logarithmic barrel rotator (the barrel_shifter() block of Fig. 5/7).
+//
+// Rotates a z-lane message vector so that lane r of the datapath receives
+// the variable node (r + shift) mod z of the block column — the circulant
+// alignment. The inverse rotation realigns core 2's results for write-back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+class BarrelShifter {
+ public:
+  explicit BarrelShifter(std::size_t z) : z_(z) { LDPC_CHECK(z >= 1); }
+
+  std::size_t z() const { return z_; }
+  long long rotations() const { return rotations_; }
+  void reset_counters() { rotations_ = 0; }
+
+  /// out[r] = in[(r + shift) % z] — multiplication by circulant P^shift.
+  std::vector<std::int32_t> rotate(const std::vector<std::int32_t>& in,
+                                   std::uint32_t shift) {
+    LDPC_CHECK(in.size() == z_);
+    ++rotations_;
+    std::vector<std::int32_t> out(z_);
+    for (std::size_t r = 0; r < z_; ++r) out[r] = in[(r + shift) % z_];
+    return out;
+  }
+
+  /// Inverse alignment: out[(r + shift) % z] = in[r].
+  std::vector<std::int32_t> rotate_back(const std::vector<std::int32_t>& in,
+                                        std::uint32_t shift) {
+    LDPC_CHECK(in.size() == z_);
+    ++rotations_;
+    std::vector<std::int32_t> out(z_);
+    for (std::size_t r = 0; r < z_; ++r) out[(r + shift) % z_] = in[r];
+    return out;
+  }
+
+ private:
+  std::size_t z_;
+  long long rotations_ = 0;
+};
+
+}  // namespace ldpc

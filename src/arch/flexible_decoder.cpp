@@ -1,0 +1,66 @@
+#include "arch/flexible_decoder.hpp"
+
+namespace ldpc {
+
+FlexibleWimaxDecoder::FlexibleWimaxDecoder(double clock_mhz, FixedFormat format,
+                                           ArchKind arch, bool hazard_aware_order)
+    : clock_mhz_(clock_mhz),
+      format_(format),
+      arch_(arch),
+      hazard_aware_order_(hazard_aware_order) {
+  validate(format_);
+  LDPC_CHECK(clock_mhz_ > 0.0);
+  options_.max_iterations = 10;
+  options_.early_termination = true;
+}
+
+FlexibleWimaxDecoder::Instance& FlexibleWimaxDecoder::instance_for(
+    const WimaxCodeId& id) {
+  auto it = instances_.find(id);
+  if (it != instances_.end()) return it->second;
+
+  // make_wimax_code validates (rate, z).
+  QCLdpcCode code = make_wimax_code(id.rate, id.z);
+  const PicoCompiler pico(format_);
+  // Smaller-z codes run on a z-lane subset of the 96-lane datapath: one
+  // block column per beat, exactly as at full size.
+  HardwareEstimate est =
+      pico.compile(code, arch_, HardwareTarget{clock_mhz_, id.z});
+
+  auto [inserted, _] = instances_.emplace(id, Instance{std::move(code), est, nullptr});
+  Instance& inst = inserted->second;
+  ArchSimConfig sim_cfg;
+  sim_cfg.hazard_aware_order = hazard_aware_order_;
+  inst.sim = std::make_unique<ArchSimDecoder>(inst.code, inst.estimate,
+                                              options_, format_, sim_cfg);
+  return inst;
+}
+
+ArchDecodeResult FlexibleWimaxDecoder::decode(const WimaxCodeId& id,
+                                              std::span<const float> llr) {
+  Instance& inst = instance_for(id);
+  LDPC_CHECK_MSG(llr.size() == inst.code.n(),
+                 "frame length " << llr.size() << " does not match n="
+                                 << inst.code.n() << " for z=" << id.z);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    codes[i] = format_.quantize(llr[i]);
+  return inst.sim->decode_quantized(codes);
+}
+
+const QCLdpcCode& FlexibleWimaxDecoder::code(const WimaxCodeId& id) {
+  return instance_for(id).code;
+}
+
+const HardwareEstimate& FlexibleWimaxDecoder::estimate(const WimaxCodeId& id) {
+  return instance_for(id).estimate;
+}
+
+long long FlexibleWimaxDecoder::provisioned_sram_bits() const {
+  const long long z0 = 96;
+  const long long w = format_.total_bits;
+  return 24 * z0 * w +
+         static_cast<long long>(wimax_max_r_slots()) * z0 * w;
+}
+
+}  // namespace ldpc

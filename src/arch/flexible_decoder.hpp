@@ -1,0 +1,77 @@
+// The paper's §V deliverable: "A flexible LDPC decoder which fully supports
+// the IEEE 802.16e WiMAX standard".
+//
+// One hardware instance — memories provisioned for the worst-case rate
+// family and expansion factor, z = 96 datapath lanes — reconfigured per
+// frame by selecting a (rate family, z) pair. The model holds one
+// cycle-accurate simulator per active configuration (hardware reality: the
+// same arrays indexed under different control programs; software reality:
+// per-code connectivity is precomputed) and reports the worst-case memory
+// complement the single silicon instance must carry.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "arch/arch_sim.hpp"
+#include "codes/wimax.hpp"
+
+namespace ldpc {
+
+struct WimaxCodeId {
+  WimaxRate rate = WimaxRate::kRate1_2;
+  int z = 96;
+
+  bool operator<(const WimaxCodeId& other) const {
+    return rate != other.rate ? rate < other.rate : z < other.z;
+  }
+};
+
+class FlexibleWimaxDecoder {
+ public:
+  /// `clock_mhz` and `format` fix the silicon instance; every 802.16e
+  /// (rate, z) combination is then decodable. Parallelism is the full 96
+  /// lanes (smaller-z codes use a z-lane subset, as the real decoder does).
+  FlexibleWimaxDecoder(double clock_mhz = 400.0, FixedFormat format = FixedFormat{8, 2},
+                       ArchKind arch = ArchKind::kTwoLayerPipelined,
+                       bool hazard_aware_order = true);
+
+  /// Decode one frame of n = 24 z LLRs for the selected code. Throws
+  /// ldpc::Error for invalid (rate, z) combinations.
+  ArchDecodeResult decode(const WimaxCodeId& id, std::span<const float> llr);
+
+  /// The code object for a configuration (valid until the decoder dies).
+  const QCLdpcCode& code(const WimaxCodeId& id);
+
+  /// Hardware estimate of a configuration's control program.
+  const HardwareEstimate& estimate(const WimaxCodeId& id);
+
+  /// Worst-case SRAM complement the silicon must provision (bits): P memory
+  /// at z = 96 plus R memory for the densest rate family — the Table II
+  /// "Memory (SRAM)" number.
+  long long provisioned_sram_bits() const;
+
+  double clock_mhz() const { return clock_mhz_; }
+  FixedFormat format() const { return format_; }
+
+  /// Number of configurations instantiated so far (for tests).
+  std::size_t active_configurations() const { return instances_.size(); }
+
+ private:
+  struct Instance {
+    QCLdpcCode code;
+    HardwareEstimate estimate;
+    std::unique_ptr<ArchSimDecoder> sim;
+  };
+
+  Instance& instance_for(const WimaxCodeId& id);
+
+  double clock_mhz_;
+  FixedFormat format_;
+  ArchKind arch_;
+  bool hazard_aware_order_;
+  DecoderOptions options_;
+  std::map<WimaxCodeId, Instance> instances_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,45 @@
+#include "arch/flooding_arch.hpp"
+
+namespace ldpc {
+
+FloodingArchSim::FloodingArchSim(const QCLdpcCode& code, DecoderOptions options,
+                                 FixedFormat format, int pipeline_overhead)
+    : code_(code),
+      options_(options),
+      format_(format),
+      pipeline_overhead_(pipeline_overhead),
+      functional_(code, options, format) {
+  LDPC_CHECK(pipeline_overhead >= 0);
+}
+
+FloodingArchResult FloodingArchSim::decode_quantized(
+    std::span<const std::int32_t> channel_codes) {
+  FloodingArchResult out;
+  out.decode = functional_.decode_quantized(channel_codes);
+
+  // Timing: per iteration,
+  //   CNU: per block row, dc reads + dc writes of circulant words + fill;
+  //   VNU: per block column, dv reads + dv writes + fill.
+  const auto& base = code_.base();
+  long long cnu = 0;
+  for (std::size_t r = 0; r < base.rows(); ++r)
+    cnu += 2 * static_cast<long long>(base.row_degree(r)) + pipeline_overhead_;
+  long long vnu = 0;
+  for (std::size_t c = 0; c < base.cols(); ++c)
+    vnu += 2 * static_cast<long long>(base.col_degree(c)) + pipeline_overhead_;
+  out.cycles_per_iteration = cnu + vnu;
+  out.cycles =
+      out.cycles_per_iteration * static_cast<long long>(out.decode.iterations);
+
+  // Memory: per-edge Q and R words plus the channel LLRs (needed by the VNU
+  // every iteration; the layered architecture folds them into P).
+  const long long z = code_.z();
+  const long long w = format_.total_bits;
+  const auto slots = static_cast<long long>(base.nonzero_blocks());
+  out.q_memory_bits = slots * z * w;
+  out.r_memory_bits = slots * z * w;
+  out.channel_memory_bits = static_cast<long long>(base.cols()) * z * w;
+  return out;
+}
+
+}  // namespace ldpc

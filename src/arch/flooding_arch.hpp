@@ -1,0 +1,58 @@
+// Cycle-accurate model of the *traditional* partial-parallel flooding
+// architecture — the baseline the paper's §IV-A improves on ("each z x z
+// sub-matrix is treated as a block within which all the involved parity
+// checks are processed in parallel using z decoding cores ... parallelism
+// is only at the sub-circulant level").
+//
+// Two-phase schedule per iteration:
+//   CNU phase — per block row: read the row's Q circulant-words (1/cycle),
+//               then write the updated R words (1/cycle);
+//   VNU phase — per block column: read its R words, then write Q words.
+// Messages live per edge, so the memory complement is Q + R + channel —
+// roughly 60% more storage than the layered architecture's P + R, and an
+// iteration costs ~4 circulant-accesses per edge instead of the layered
+// architecture's 2. Combined with flooding's ~2x iteration count this is
+// the quantified motivation for Algorithm 1 (see bench_baseline_comparison).
+#pragma once
+
+#include "arch/activity.hpp"
+#include "codes/qc_code.hpp"
+#include "core/flooding_minsum_fixed.hpp"
+
+namespace ldpc {
+
+struct FloodingArchResult {
+  DecodeResult decode;
+  long long cycles = 0;
+  long long cycles_per_iteration = 0;
+  long long q_memory_bits = 0;
+  long long r_memory_bits = 0;
+  long long channel_memory_bits = 0;
+
+  long long total_memory_bits() const {
+    return q_memory_bits + r_memory_bits + channel_memory_bits;
+  }
+};
+
+class FloodingArchSim {
+ public:
+  /// `pipeline_overhead` models CNU/VNU pipeline fill per block row/column
+  /// (grows with the clock target like the layered cores' depths).
+  FloodingArchSim(const QCLdpcCode& code, DecoderOptions options,
+                  FixedFormat format = FixedFormat{}, int pipeline_overhead = 1);
+
+  /// Functionally identical to FloodingMinSumFixedDecoder (asserted in the
+  /// tests); adds the traditional architecture's timing and memory model.
+  FloodingArchResult decode_quantized(std::span<const std::int32_t> channel_codes);
+
+  const QCLdpcCode& code() const { return code_; }
+
+ private:
+  const QCLdpcCode& code_;
+  DecoderOptions options_;
+  FixedFormat format_;
+  int pipeline_overhead_;
+  FloodingMinSumFixedDecoder functional_;
+};
+
+}  // namespace ldpc

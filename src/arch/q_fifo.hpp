@@ -1,0 +1,58 @@
+// Q FIFO between core 1 and core 2 (Fig. 7).
+//
+// Core 1 pushes one z-wide vector of Q messages per block column; core 2
+// pops them in order. Capacity equals the maximum layer degree (the paper's
+// 7 x 768-bit FIFO for the rate-1/2 WiMAX code). In the pipelined
+// architecture a full FIFO back-pressures core 1 — an additional stall
+// source the timing engine models alongside the scoreboard.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+class QFifo {
+ public:
+  explicit QFifo(std::size_t capacity) : capacity_(capacity) {
+    LDPC_CHECK(capacity >= 1);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+  long long pushes() const { return pushes_; }
+  long long pops() const { return pops_; }
+
+  void push(std::vector<std::int32_t> q_vector) {
+    LDPC_CHECK_MSG(!full(), "Q FIFO overflow — stall logic failed");
+    ++pushes_;
+    entries_.push_back(std::move(q_vector));
+  }
+
+  std::vector<std::int32_t> pop() {
+    LDPC_CHECK_MSG(!empty(), "Q FIFO underflow — core 2 ran ahead of core 1");
+    ++pops_;
+    auto front = std::move(entries_.front());
+    entries_.pop_front();
+    return front;
+  }
+
+  void reset() {
+    entries_.clear();
+    pushes_ = pops_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::vector<std::int32_t>> entries_;
+  long long pushes_ = 0;
+  long long pops_ = 0;
+};
+
+}  // namespace ldpc

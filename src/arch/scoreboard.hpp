@@ -1,0 +1,73 @@
+// Scoreboard for the two-layer pipelined architecture (§IV-B).
+//
+// Bit n is set while a write to the P word of block column n is pending in
+// core 2; core 1 of the following layer must stall on a set bit to avoid a
+// read-after-write hazard. Beyond the bit itself the model records *when*
+// the pending write will land, which is what the analytic timing engine
+// needs; the bit semantics used for functional checks are exactly the
+// paper's.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+class Scoreboard {
+ public:
+  explicit Scoreboard(std::size_t block_cols)
+      : clear_time_(block_cols, -1), pending_(block_cols, false) {}
+
+  std::size_t size() const { return clear_time_.size(); }
+
+  /// Core 1 just read column n whose new P will be written by core 2 at an
+  /// as-yet-unknown time; mark pending.
+  void set(std::size_t n) {
+    LDPC_CHECK(n < pending_.size());
+    pending_[n] = true;
+    clear_time_[n] = -1;  // unknown until core 2 schedules the write
+  }
+
+  /// Core 2 scheduled the write of column n to land at `cycle`.
+  void schedule_clear(std::size_t n, long long cycle) {
+    LDPC_CHECK(n < pending_.size());
+    LDPC_CHECK_MSG(pending_[n], "clearing a scoreboard bit that was never set");
+    clear_time_[n] = cycle;
+  }
+
+  bool is_pending(std::size_t n) const {
+    LDPC_CHECK(n < pending_.size());
+    return pending_[n];
+  }
+
+  /// Earliest cycle at which column n may be read: one past the write land
+  /// time while pending, otherwise "now" (the caller passes its ready time).
+  long long earliest_read(std::size_t n, long long ready) const {
+    LDPC_CHECK(n < pending_.size());
+    if (!pending_[n]) return ready;
+    LDPC_CHECK_MSG(clear_time_[n] >= 0,
+                   "core 1 would deadlock: pending write never scheduled");
+    return std::max(ready, clear_time_[n] + 1);
+  }
+
+  /// Consume the pending state once the stall (if any) has been resolved.
+  void resolve(std::size_t n) {
+    LDPC_CHECK(n < pending_.size());
+    pending_[n] = false;
+    clear_time_[n] = -1;
+  }
+
+  void reset() {
+    std::fill(pending_.begin(), pending_.end(), false);
+    std::fill(clear_time_.begin(), clear_time_.end(), -1);
+  }
+
+ private:
+  std::vector<long long> clear_time_;
+  std::vector<bool> pending_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,79 @@
+// Word-wide SRAM macro model.
+//
+// The paper's P memory is 24 words x 768 bits (one word per block column:
+// 96 lanes x 8 bits) and the R memory 84 words x 768 bits (one word per
+// non-zero circulant). The model stores one decoder message per lane and
+// counts accesses for the power model. Single read port + single write port
+// per cycle, which both architectures respect by construction (one column
+// read and one column write per beat).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+class SramModel {
+ public:
+  SramModel(std::string name, std::size_t words, std::size_t lanes)
+      : name_(std::move(name)), lanes_(lanes),
+        data_(words, std::vector<std::int32_t>(lanes, 0)) {
+    LDPC_CHECK(words > 0 && lanes > 0);
+  }
+
+  std::size_t words() const { return data_.size(); }
+  std::size_t lanes() const { return lanes_; }
+  const std::string& name() const { return name_; }
+
+  /// Total macro capacity in bits for a given per-lane width.
+  long long capacity_bits(int bits_per_lane) const {
+    return static_cast<long long>(words()) * static_cast<long long>(lanes_) *
+           bits_per_lane;
+  }
+
+  const std::vector<std::int32_t>& read(std::size_t word) {
+    LDPC_CHECK(word < data_.size());
+    ++reads_;
+    return data_[word];
+  }
+
+  void write(std::size_t word, std::vector<std::int32_t> value) {
+    LDPC_CHECK(word < data_.size());
+    LDPC_CHECK(value.size() == lanes_);
+    ++writes_;
+    data_[word] = std::move(value);
+  }
+
+  /// Write a single lane of a word (used by folded datapaths).
+  void write_lane(std::size_t word, std::size_t lane, std::int32_t value) {
+    LDPC_CHECK(word < data_.size() && lane < lanes_);
+    data_[word][lane] = value;
+  }
+
+  /// Peek without access accounting (testbench/early-termination logic).
+  const std::vector<std::int32_t>& peek(std::size_t word) const {
+    LDPC_CHECK(word < data_.size());
+    return data_[word];
+  }
+
+  void fill(std::int32_t value) {
+    for (auto& w : data_) std::fill(w.begin(), w.end(), value);
+  }
+
+  long long reads() const { return reads_; }
+  long long writes() const { return writes_; }
+  void reset_counters() { reads_ = writes_ = 0; }
+
+ private:
+  std::string name_;
+  std::size_t lanes_;
+  std::vector<std::vector<std::int32_t>> data_;
+  long long reads_ = 0;
+  long long writes_ = 0;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,157 @@
+#include "arch/testbench.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+
+Testbench generate_testbench(const QCLdpcCode& code, ArchSimDecoder& sim,
+                             std::size_t n_frames, float ebn0_db,
+                             std::uint64_t seed) {
+  LDPC_CHECK(sim.n() == code.n());
+  const FixedFormat fmt{sim.estimate().msg_bits,
+                        sim.estimate().msg_bits >= 6 ? 2 : 0};
+
+  Testbench tb;
+  tb.code_name = code.base().name();
+  tb.n = code.n();
+  tb.z = code.z();
+  tb.msg_bits = sim.estimate().msg_bits;
+  tb.arch = sim.estimate().arch;
+  tb.clock_mhz = sim.estimate().clock_mhz;
+  tb.parallelism = sim.estimate().parallelism;
+
+  const RuEncoder encoder(code);
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    Xoshiro256 rng(seed + f * 1009);
+    BitVec info(code.k());
+    for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+    const BitVec word = encoder.encode(info);
+    AwgnChannel channel(variance, seed + f * 1009 + 7);
+    const auto llr = BpskModem::demodulate(
+        channel.transmit(BpskModem::modulate(word)), variance);
+
+    TestbenchFrame frame;
+    frame.channel_codes.resize(llr.size());
+    for (std::size_t i = 0; i < llr.size(); ++i)
+      frame.channel_codes[i] = fmt.quantize(llr[i]);
+
+    const auto result = sim.decode_quantized(frame.channel_codes);
+    frame.expected_hard = result.decode.hard_bits;
+    frame.expected_iterations = result.decode.iterations;
+    frame.expected_converged = result.decode.converged;
+    frame.expected_cycles = result.activity.cycles;
+    tb.max_iterations = std::max(tb.max_iterations, frame.expected_iterations);
+    tb.frames.push_back(std::move(frame));
+  }
+  return tb;
+}
+
+void write_testbench(std::ostream& out, const Testbench& tb) {
+  out << "pico_ldpc_testbench v1\n";
+  out << "code " << tb.code_name << '\n';
+  out << "n " << tb.n << " z " << tb.z << " msg_bits " << tb.msg_bits << '\n';
+  out << "arch " << arch_name(tb.arch) << " clock_mhz " << tb.clock_mhz
+      << " parallelism " << tb.parallelism << '\n';
+  out << "frames " << tb.frames.size() << '\n';
+  for (const TestbenchFrame& f : tb.frames) {
+    out << "frame " << f.expected_iterations << ' '
+        << (f.expected_converged ? 1 : 0) << ' ' << f.expected_cycles << '\n';
+    out << "stimulus";
+    for (const auto c : f.channel_codes) out << ' ' << c;
+    out << '\n';
+    out << "expected ";
+    for (std::size_t i = 0; i < f.expected_hard.size(); ++i)
+      out << (f.expected_hard.get(i) ? '1' : '0');
+    out << '\n';
+  }
+}
+
+Testbench read_testbench(std::istream& in) {
+  auto expect_token = [&in](const std::string& want) {
+    std::string tok;
+    LDPC_CHECK_MSG(static_cast<bool>(in >> tok) && tok == want,
+                   "testbench: expected '" << want << "', got '" << tok << "'");
+  };
+
+  Testbench tb;
+  expect_token("pico_ldpc_testbench");
+  expect_token("v1");
+  expect_token("code");
+  in >> tb.code_name;
+  expect_token("n");
+  in >> tb.n;
+  expect_token("z");
+  in >> tb.z;
+  expect_token("msg_bits");
+  in >> tb.msg_bits;
+  expect_token("arch");
+  std::string arch;
+  in >> arch;
+  if (arch == "per-layer")
+    tb.arch = ArchKind::kPerLayer;
+  else if (arch == "two-layer-pipelined")
+    tb.arch = ArchKind::kTwoLayerPipelined;
+  else
+    throw Error("testbench: unknown architecture " + arch);
+  expect_token("clock_mhz");
+  in >> tb.clock_mhz;
+  expect_token("parallelism");
+  in >> tb.parallelism;
+  expect_token("frames");
+  std::size_t n_frames = 0;
+  in >> n_frames;
+  LDPC_CHECK_MSG(in.good() && tb.n > 0 && n_frames < 1000000,
+                 "testbench: malformed header");
+
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    TestbenchFrame frame;
+    expect_token("frame");
+    int converged = 0;
+    in >> frame.expected_iterations >> converged >> frame.expected_cycles;
+    frame.expected_converged = converged != 0;
+    expect_token("stimulus");
+    frame.channel_codes.resize(tb.n);
+    for (auto& c : frame.channel_codes) in >> c;
+    expect_token("expected");
+    std::string bits;
+    in >> bits;
+    LDPC_CHECK_MSG(bits.size() == tb.n, "testbench: expected-bits length "
+                                            << bits.size() << " != n " << tb.n);
+    frame.expected_hard.resize(tb.n);
+    for (std::size_t i = 0; i < tb.n; ++i) {
+      LDPC_CHECK_MSG(bits[i] == '0' || bits[i] == '1',
+                     "testbench: bad bit character");
+      frame.expected_hard.set(i, bits[i] == '1');
+    }
+    LDPC_CHECK_MSG(in.good() || in.eof(), "testbench: truncated frame");
+    tb.max_iterations =
+        std::max(tb.max_iterations, frame.expected_iterations);
+    tb.frames.push_back(std::move(frame));
+  }
+  return tb;
+}
+
+std::size_t verify_testbench(const Testbench& tb, ArchSimDecoder& sim) {
+  LDPC_CHECK_MSG(sim.n() == tb.n, "testbench: simulator n mismatch");
+  std::size_t mismatches = 0;
+  for (const TestbenchFrame& f : tb.frames) {
+    const auto result = sim.decode_quantized(f.channel_codes);
+    const bool ok = result.decode.hard_bits == f.expected_hard &&
+                    result.decode.iterations == f.expected_iterations &&
+                    result.decode.converged == f.expected_converged &&
+                    result.activity.cycles == f.expected_cycles;
+    if (!ok) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,53 @@
+// Testbench generation — the PICO flow's verification collateral ("the PICO
+// system automatically generates ... customized test benches", §II).
+//
+// A testbench bundles stimulus (quantized channel LLRs) with the golden
+// responses measured on the cycle-accurate simulator (hard decisions,
+// iteration and cycle counts). Serialized as a line-oriented text format so
+// an RTL simulation can replay it; round-trip and self-check are tested.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "arch/arch_sim.hpp"
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+struct TestbenchFrame {
+  std::vector<std::int32_t> channel_codes;  ///< stimulus, n values
+  BitVec expected_hard;                     ///< golden response
+  std::size_t expected_iterations = 0;
+  bool expected_converged = false;
+  long long expected_cycles = 0;
+};
+
+struct Testbench {
+  // Identity of the design point the vectors were generated for.
+  std::string code_name;
+  std::size_t n = 0;
+  int z = 0;
+  int msg_bits = 0;
+  ArchKind arch = ArchKind::kPerLayer;
+  double clock_mhz = 0.0;
+  int parallelism = 0;
+  std::size_t max_iterations = 0;
+  std::vector<TestbenchFrame> frames;
+};
+
+/// Generate `n_frames` noisy-frame vectors at `ebn0_db` through `sim` (which
+/// defines the golden behaviour). Deterministic in `seed`.
+Testbench generate_testbench(const QCLdpcCode& code, ArchSimDecoder& sim,
+                             std::size_t n_frames, float ebn0_db,
+                             std::uint64_t seed);
+
+/// Text serialization (round-trips exactly).
+void write_testbench(std::ostream& out, const Testbench& tb);
+Testbench read_testbench(std::istream& in);
+
+/// Replay the stimulus on `sim` and compare every golden field. Returns the
+/// number of mismatching frames (0 = pass).
+std::size_t verify_testbench(const Testbench& tb, ArchSimDecoder& sim);
+
+}  // namespace ldpc

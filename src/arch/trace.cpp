@@ -1,0 +1,49 @@
+#include "arch/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+std::string render_timeline(const std::vector<TraceEvent>& events,
+                            long long from, long long to) {
+  LDPC_CHECK_MSG(to > from, "empty timeline window");
+  const auto width = static_cast<std::size_t>(to - from);
+  LDPC_CHECK_MSG(width <= 4096, "timeline window too wide to render");
+
+  std::string lanes[2];
+  lanes[0].assign(width, '.');
+  lanes[1].assign(width, '.');
+
+  for (const TraceEvent& e : events) {
+    if (e.end < from || e.start >= to) continue;
+    auto& lane = lanes[e.engine == TraceEngine::kCore1 ? 0 : 1];
+    const long long lo = std::max(e.start, from);
+    const long long hi = std::min(e.end, to - 1);
+    const char mark =
+        e.stall ? 'x' : static_cast<char>('0' + static_cast<int>(e.layer % 10));
+    for (long long c = lo; c <= hi; ++c) {
+      auto& cell = lane[static_cast<std::size_t>(c - from)];
+      LDPC_CHECK_MSG(cell == '.', "engine double-booked at cycle " << c);
+      cell = mark;
+    }
+  }
+
+  // Cycle ruler (tens digits every 10 columns).
+  std::string ruler(width, ' ');
+  for (std::size_t i = 0; i < width; i += 10) {
+    const std::string label = std::to_string(from + static_cast<long long>(i));
+    for (std::size_t j = 0; j < label.size() && i + j < width; ++j)
+      ruler[i + j] = label[j];
+  }
+
+  std::ostringstream os;
+  os << "cycle  " << ruler << '\n';
+  os << "core1  " << lanes[0] << '\n';
+  os << "core2  " << lanes[1] << '\n';
+  return os.str();
+}
+
+}  // namespace ldpc

@@ -1,0 +1,35 @@
+// Schedule traces: per-cycle engine occupancy from the architecture
+// simulator, and an ASCII timeline renderer that reproduces the paper's
+// Fig. 4 / Fig. 6 scheduling diagrams from measured data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ldpc {
+
+enum class TraceEngine { kCore1, kCore2 };
+
+struct TraceEvent {
+  TraceEngine engine;
+  std::size_t layer;     ///< layer index within the decode (not mod L)
+  long long start;       ///< first busy cycle
+  long long end;         ///< last busy cycle (inclusive)
+  bool stall = false;    ///< true: engine waited (scoreboard / FIFO)
+};
+
+/// Render events in [from, to) as a two-lane ASCII timeline:
+///
+///   cycle  0         1         2
+///          0123456789012345678901234567890
+///   core1  000000.111111x.222222...
+///   core2  ......000000...111111...
+///
+/// Busy cycles print the layer index mod 10, stalls print 'x', idle '.'.
+/// Overlapping events on the same lane are an error (the simulator never
+/// double-books an engine).
+std::string render_timeline(const std::vector<TraceEvent>& events,
+                            long long from, long long to);
+
+}  // namespace ldpc

@@ -1,0 +1,30 @@
+#include "channel/awgn.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+float awgn_noise_variance(float ebn0_db, double code_rate, double bits_per_dim) {
+  LDPC_CHECK(code_rate > 0.0 && code_rate < 1.0);
+  LDPC_CHECK(bits_per_dim > 0.0);
+  const double ebn0 = std::pow(10.0, static_cast<double>(ebn0_db) / 10.0);
+  return static_cast<float>(1.0 / (2.0 * code_rate * bits_per_dim * ebn0));
+}
+
+AwgnChannel::AwgnChannel(float noise_variance, std::uint64_t seed)
+    : noise_variance_(noise_variance),
+      sigma_(std::sqrt(noise_variance)),
+      rng_(seed) {
+  LDPC_CHECK(noise_variance > 0.0F);
+}
+
+std::vector<float> AwgnChannel::transmit(const std::vector<float>& symbols) {
+  std::vector<float> received(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i)
+    received[i] = symbols[i] + sigma_ * static_cast<float>(rng_.gaussian());
+  return received;
+}
+
+}  // namespace ldpc

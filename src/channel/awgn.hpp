@@ -1,0 +1,31 @@
+// Additive white Gaussian noise channel.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ldpc {
+
+/// Noise variance (per real dimension) for a given Eb/N0 in dB, code rate,
+/// and modulation efficiency (info bits per real symbol dimension):
+///   sigma^2 = 1 / (2 * rate * bits_per_dim * 10^(EbN0/10))
+/// for unit symbol energy per dimension.
+float awgn_noise_variance(float ebn0_db, double code_rate, double bits_per_dim = 1.0);
+
+class AwgnChannel {
+ public:
+  explicit AwgnChannel(float noise_variance, std::uint64_t seed = 42);
+
+  float noise_variance() const { return noise_variance_; }
+
+  /// y = x + n, n ~ N(0, sigma^2) i.i.d.
+  std::vector<float> transmit(const std::vector<float>& symbols);
+
+ private:
+  float noise_variance_;
+  float sigma_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ldpc

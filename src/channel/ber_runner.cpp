@@ -1,0 +1,169 @@
+#include "channel/ber_runner.hpp"
+
+#include <algorithm>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "channel/rayleigh.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+
+BerRunner::BerRunner(const QCLdpcCode& code, DecoderFactory factory,
+                     BerConfig config)
+    : code_(code), factory_(std::move(factory)), config_(std::move(config)) {
+  LDPC_CHECK(factory_ != nullptr);
+  LDPC_CHECK(!config_.ebn0_db.empty());
+  LDPC_CHECK(config_.num_workers >= 1);
+  LDPC_CHECK(config_.max_frames >= config_.min_frames);
+}
+
+std::vector<BerPoint> BerRunner::run() {
+  std::vector<BerPoint> points;
+  points.reserve(config_.ebn0_db.size());
+  for (std::size_t i = 0; i < config_.ebn0_db.size(); ++i)
+    points.push_back(run_point(config_.ebn0_db[i], i));
+  return points;
+}
+
+BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
+  BerPoint point;
+  point.ebn0_db = ebn0_db;
+
+  // Unit-energy complex symbols carry 2 (QPSK) or 4 (16-QAM) coded bits, so
+  // the per-dimension energy drops accordingly; this factor keeps the Eb/N0
+  // accounting correct across modulations (sigma^2 = 1/(2 R k Eb/N0) for k
+  // coded bits per unit-energy 2D symbol ... expressed per dimension).
+  const double bits_factor = config_.modulation == Modulation::kQam16 ? 4.0
+                             : config_.modulation == Modulation::kQpsk ? 2.0
+                                                                       : 1.0;
+  const float variance = awgn_noise_variance(ebn0_db, code_.rate(), bits_factor);
+  std::atomic<std::size_t> frames_issued{0};
+  std::atomic<std::size_t> frame_errors_seen{0};
+  std::mutex merge_mutex;
+
+  auto worker = [&](unsigned worker_id) {
+    // Worker-private simulation chain; seeds are derived from (seed, point,
+    // worker) so every configuration is reproducible.
+    std::uint64_t sm = config_.seed + 0x9e3779b9ULL * (point_index + 1);
+    sm ^= 0x1000003ULL * (worker_id + 1);
+    Xoshiro256 info_rng(splitmix64(sm));
+    AwgnChannel awgn(variance, splitmix64(sm));
+    RayleighChannel rayleigh(variance, splitmix64(sm));
+    const RuEncoder encoder(code_);
+    const std::unique_ptr<Decoder> decoder = factory_();
+    LDPC_CHECK(decoder->n() == code_.n());
+
+    // One frame through the configured modulation and channel model.
+    std::vector<float> gains;
+    auto transmit_frame = [&](const BitVec& codeword) -> std::vector<float> {
+      std::vector<float> symbols;
+      switch (config_.modulation) {
+        case Modulation::kBpsk:  symbols = BpskModem::modulate(codeword); break;
+        case Modulation::kQpsk:  symbols = QpskModem::modulate(codeword); break;
+        case Modulation::kQam16: symbols = Qam16Modem::modulate(codeword); break;
+      }
+      if (config_.channel == ChannelModel::kAwgn) {
+        const auto received = awgn.transmit(symbols);
+        switch (config_.modulation) {
+          case Modulation::kBpsk:
+            return BpskModem::demodulate(received, variance);
+          case Modulation::kQpsk:
+            return QpskModem::demodulate(received, variance, code_.n());
+          case Modulation::kQam16:
+            return Qam16Modem::demodulate(received, variance, code_.n());
+        }
+      }
+      // Rayleigh fading with per-dimension independent gains (fully
+      // interleaved assumption), coherent reception.
+      const auto received = rayleigh.transmit(symbols, gains);
+      if (config_.modulation == Modulation::kBpsk)
+        return RayleighChannel::demodulate_bpsk(received, gains, variance);
+      if (config_.modulation == Modulation::kQpsk) {
+        std::vector<float> llr(code_.n());
+        constexpr float kInvSqrt2 = 0.70710678118654752F;
+        const float base = 2.0F * kInvSqrt2 / variance;
+        for (std::size_t b = 0; b < llr.size(); ++b)
+          llr[b] = base * gains[b] * received[b];
+        return llr;
+      }
+      // 16-QAM over fading: equalize each rail by its known gain, scale the
+      // effective noise accordingly, and reuse the AWGN demapper.
+      std::vector<float> llr(code_.n());
+      for (std::size_t b = 0; b < llr.size(); ++b) {
+        const std::size_t rail = b / 2;  // two bits per rail
+        const float h = std::max(gains[rail], 1e-6F);
+        const auto rail_llr = Qam16Modem::demodulate(
+            {received[rail] / h, 0.0F}, variance / (h * h), 2);
+        llr[b] = rail_llr[b % 2];
+      }
+      return llr;
+    };
+
+    BerPoint local;
+    BitVec info(code_.k());
+    while (true) {
+      const std::size_t frame = frames_issued.fetch_add(1);
+      if (frame >= config_.max_frames) break;
+      if (frame >= config_.min_frames &&
+          frame_errors_seen.load(std::memory_order_relaxed) >=
+              config_.target_frame_errors)
+        break;
+
+      if (config_.random_info) {
+        for (std::size_t i = 0; i < info.size(); ++i) info.set(i, info_rng.coin());
+      } else {
+        info.clear_all();
+      }
+      const BitVec codeword = encoder.encode(info);
+      const auto llr = transmit_frame(codeword);
+
+      const DecodeResult result = decoder->decode(llr);
+
+      std::size_t bit_errors = 0;
+      for (std::size_t i = 0; i < code_.k(); ++i)
+        if (result.hard_bits.get(i) != info.get(i)) ++bit_errors;
+
+      ++local.frames;
+      local.sum_iterations += static_cast<double>(result.iterations);
+      if (result.iterations > local.iteration_histogram.size())
+        local.iteration_histogram.resize(result.iterations, 0);
+      ++local.iteration_histogram[result.iterations - 1];
+      if (bit_errors > 0) {
+        local.bit_errors += bit_errors;
+        ++local.frame_errors;
+        if (result.converged) ++local.undetected_errors;
+        frame_errors_seen.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    const std::scoped_lock lock(merge_mutex);
+    point.frames += local.frames;
+    point.bit_errors += local.bit_errors;
+    point.frame_errors += local.frame_errors;
+    point.undetected_errors += local.undetected_errors;
+    point.sum_iterations += local.sum_iterations;
+    if (local.iteration_histogram.size() > point.iteration_histogram.size())
+      point.iteration_histogram.resize(local.iteration_histogram.size(), 0);
+    for (std::size_t i = 0; i < local.iteration_histogram.size(); ++i)
+      point.iteration_histogram[i] += local.iteration_histogram[i];
+  };
+
+  if (config_.num_workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(config_.num_workers);
+    for (unsigned w = 0; w < config_.num_workers; ++w)
+      threads.emplace_back(worker, w);
+    for (auto& t : threads) t.join();
+  }
+  return point;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,81 @@
+// Multithreaded Monte-Carlo BER/FER harness.
+//
+// Each worker owns its own encoder-channel-decoder instances (decoders carry
+// mutable message memory) and a deterministically derived RNG stream, so
+// results are reproducible for a given (seed, worker count) regardless of
+// scheduling. The harness stops a point early once `target_frame_errors`
+// have been observed — the standard technique for equal-confidence points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/encoder.hpp"
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+
+namespace ldpc {
+
+enum class Modulation { kBpsk, kQpsk, kQam16 };
+enum class ChannelModel { kAwgn, kRayleigh };
+
+struct BerConfig {
+  std::vector<float> ebn0_db;            ///< sweep points
+  std::size_t max_frames = 100000;       ///< per point, across all workers
+  std::size_t target_frame_errors = 50;  ///< early stop per point
+  std::size_t min_frames = 100;          ///< never stop before this many
+  unsigned num_workers = 1;
+  std::uint64_t seed = 2009;
+  bool random_info = true;  ///< false = all-zero information words
+  Modulation modulation = Modulation::kBpsk;
+  ChannelModel channel = ChannelModel::kAwgn;
+};
+
+struct BerPoint {
+  float ebn0_db = 0.0F;
+  std::size_t frames = 0;
+  std::size_t bit_errors = 0;    ///< over information bits
+  std::size_t frame_errors = 0;  ///< frames with any info-bit error
+  std::size_t undetected_errors = 0;  ///< decoder converged to wrong codeword
+  double sum_iterations = 0.0;
+  /// Iterations histogram: index i counts frames decoded in i+1 iterations
+  /// (sized to the largest observed count).
+  std::vector<std::size_t> iteration_histogram;
+
+  double ber(std::size_t k) const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(bit_errors) /
+                             (static_cast<double>(frames) * static_cast<double>(k));
+  }
+  double fer() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(frame_errors) / static_cast<double>(frames);
+  }
+  double avg_iterations() const {
+    return frames == 0 ? 0.0 : sum_iterations / static_cast<double>(frames);
+  }
+};
+
+/// Factory invoked once per worker thread (decoders hold per-call state).
+using DecoderFactory = std::function<std::unique_ptr<Decoder>()>;
+
+class BerRunner {
+ public:
+  /// `code` must outlive the runner and every decoder the factory creates.
+  BerRunner(const QCLdpcCode& code, DecoderFactory factory, BerConfig config);
+
+  /// Run the full Eb/N0 sweep; one BerPoint per configured dB value.
+  std::vector<BerPoint> run();
+
+ private:
+  BerPoint run_point(float ebn0_db, std::size_t point_index);
+
+  const QCLdpcCode& code_;
+  DecoderFactory factory_;
+  BerConfig config_;
+};
+
+}  // namespace ldpc

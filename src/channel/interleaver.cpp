@@ -1,0 +1,12 @@
+#include "channel/interleaver.hpp"
+
+namespace ldpc {
+
+BlockInterleaver::BlockInterleaver(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  LDPC_CHECK_MSG(rows >= 1 && cols >= 1,
+                 "interleaver geometry must be positive, got " << rows << "x"
+                                                               << cols);
+}
+
+}  // namespace ldpc

@@ -1,0 +1,55 @@
+// Block (row-column) channel interleaver.
+//
+// The fading channel model assumes per-symbol independent gains; a real
+// channel is correlated in time, and the interleaver is what makes the
+// assumption hold for the decoder. write row-wise, read column-wise —
+// adjacent codeword bits end up `rows` symbols apart on the air.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+class BlockInterleaver {
+ public:
+  /// Geometry must tile the frame exactly: rows * cols == frame length.
+  BlockInterleaver(std::size_t rows, std::size_t cols);
+
+  std::size_t size() const { return rows_ * cols_; }
+
+  /// Interleave (transmit side): out[c * rows + r] = in[r * cols + c].
+  template <typename T>
+  std::vector<T> interleave(const std::vector<T>& in) const {
+    LDPC_CHECK_MSG(in.size() == size(), "interleaver frame size mismatch: "
+                                            << in.size() << " != " << size());
+    std::vector<T> out(in.size());
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c)
+        out[c * rows_ + r] = in[r * cols_ + c];
+    return out;
+  }
+
+  /// Deinterleave (receive side): exact inverse of interleave().
+  template <typename T>
+  std::vector<T> deinterleave(const std::vector<T>& in) const {
+    LDPC_CHECK_MSG(in.size() == size(), "deinterleaver frame size mismatch: "
+                                            << in.size() << " != " << size());
+    std::vector<T> out(in.size());
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c)
+        out[r * cols_ + c] = in[c * rows_ + r];
+    return out;
+  }
+
+  /// Minimum on-air separation of two bits that were adjacent in the input.
+  std::size_t dispersion() const { return rows_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace ldpc

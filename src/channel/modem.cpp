@@ -1,0 +1,112 @@
+#include "channel/modem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+namespace {
+constexpr float kInvSqrt2 = 0.70710678118654752F;
+}
+
+std::vector<float> BpskModem::modulate(const BitVec& bits) {
+  std::vector<float> symbols(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    symbols[i] = bits.get(i) ? -1.0F : 1.0F;
+  return symbols;
+}
+
+std::vector<float> BpskModem::demodulate(const std::vector<float>& symbols,
+                                         float noise_variance) {
+  LDPC_CHECK(noise_variance > 0.0F);
+  std::vector<float> llr(symbols.size());
+  const float gain = 2.0F / noise_variance;
+  for (std::size_t i = 0; i < symbols.size(); ++i) llr[i] = gain * symbols[i];
+  return llr;
+}
+
+std::vector<float> QpskModem::modulate(const BitVec& bits) {
+  const std::size_t n_sym = (bits.size() + 1) / 2;
+  std::vector<float> iq(2 * n_sym);
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const bool b_i = bits.get(2 * s);
+    const bool b_q = (2 * s + 1 < bits.size()) ? bits.get(2 * s + 1) : false;
+    iq[2 * s] = (b_i ? -kInvSqrt2 : kInvSqrt2);
+    iq[2 * s + 1] = (b_q ? -kInvSqrt2 : kInvSqrt2);
+  }
+  return iq;
+}
+
+namespace {
+// 4-PAM Gray levels for 16-QAM, unit average symbol energy over two rails.
+constexpr float kQamScale = 0.31622776601683794F;  // 1/sqrt(10)
+
+float pam4_level(bool b_outer, bool b_inner) {
+  // Gray: (0,0)->+3, (0,1)->+1, (1,1)->-1, (1,0)->-3 (scaled).
+  const float mag = b_inner ? 1.0F : 3.0F;
+  return (b_outer ? -mag : mag) * kQamScale;
+}
+}  // namespace
+
+std::vector<float> Qam16Modem::modulate(const BitVec& bits) {
+  const std::size_t n_sym = (bits.size() + 3) / 4;
+  std::vector<float> iq(2 * n_sym);
+  auto bit_at = [&bits](std::size_t i) {
+    return i < bits.size() ? bits.get(i) : false;
+  };
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    iq[2 * s] = pam4_level(bit_at(4 * s), bit_at(4 * s + 1));
+    iq[2 * s + 1] = pam4_level(bit_at(4 * s + 2), bit_at(4 * s + 3));
+  }
+  return iq;
+}
+
+std::vector<float> Qam16Modem::demodulate(const std::vector<float>& iq,
+                                          float noise_variance,
+                                          std::size_t n_bits) {
+  LDPC_CHECK(noise_variance > 0.0F);
+  LDPC_CHECK(iq.size() * 2 >= n_bits);
+  std::vector<float> llr(n_bits);
+  const double inv2v = 1.0 / (2.0 * static_cast<double>(noise_variance));
+  // Per rail, exact bit LLRs from the four level likelihoods.
+  auto rail_llrs = [&](double y, double& llr_outer, double& llr_inner) {
+    const double a = kQamScale;
+    auto lk = [&](double level) {
+      const double d = y - level;
+      return std::exp(-d * d * inv2v);
+    };
+    const double p3 = lk(3 * a), p1 = lk(a), m1 = lk(-a), m3 = lk(-3 * a);
+    constexpr double kFloor = 1e-300;  // avoid log(0) deep in the tails
+    // outer = 0 selects the positive levels; inner = 0 the outer (+-3a)
+    // magnitudes (see pam4_level).
+    llr_outer = std::log(std::max(p3 + p1, kFloor)) -
+                std::log(std::max(m1 + m3, kFloor));
+    llr_inner = std::log(std::max(p3 + m3, kFloor)) -
+                std::log(std::max(p1 + m1, kFloor));
+  };
+  for (std::size_t b = 0; b < n_bits; ++b) {
+    const std::size_t sym = b / 4;
+    const bool q_rail = (b % 4) >= 2;
+    const bool inner = (b % 2) == 1;
+    double lo, li;
+    rail_llrs(iq[2 * sym + (q_rail ? 1 : 0)], lo, li);
+    llr[b] = static_cast<float>(inner ? li : lo);
+  }
+  return llr;
+}
+
+std::vector<float> QpskModem::demodulate(const std::vector<float>& iq,
+                                         float noise_variance,
+                                         std::size_t n_bits) {
+  LDPC_CHECK(noise_variance > 0.0F);
+  LDPC_CHECK(iq.size() >= n_bits);  // 2 floats per 2 bits
+  std::vector<float> llr(n_bits);
+  // Per-rail amplitude is 1/sqrt(2), so llr = 2 * (y / sqrt(2)) ... the
+  // matched-filter LLR for amplitude a is 2 a y / sigma^2.
+  const float gain = 2.0F * kInvSqrt2 / noise_variance;
+  for (std::size_t b = 0; b < n_bits; ++b) llr[b] = gain * iq[b];
+  return llr;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,52 @@
+// Modulation / demodulation for the Monte-Carlo simulation chain.
+//
+// Convention: bit 0 maps to +1, bit 1 maps to -1 (so a positive LLR votes
+// for bit 0, matching Algorithm 1's initialization P_n = 2 y_n / sigma^2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace ldpc {
+
+/// BPSK: one bit per real symbol.
+struct BpskModem {
+  /// Map codeword bits to antipodal symbols.
+  static std::vector<float> modulate(const BitVec& bits);
+
+  /// Channel LLRs from noisy symbols: llr = 2 y / sigma^2.
+  static std::vector<float> demodulate(const std::vector<float>& symbols,
+                                       float noise_variance);
+};
+
+/// Gray-mapped QPSK: two bits per complex symbol, stored as interleaved
+/// (I, Q) floats. With Gray mapping each rail is an independent BPSK, which
+/// the demodulator exploits.
+struct QpskModem {
+  /// Returns 2*ceil(n/2) floats (I0,Q0,I1,Q1,...); odd-length inputs pad the
+  /// final Q rail with a zero bit.
+  static std::vector<float> modulate(const BitVec& bits);
+
+  /// LLRs per original bit (length must be passed back in).
+  static std::vector<float> demodulate(const std::vector<float>& iq,
+                                       float noise_variance, std::size_t n_bits);
+};
+
+/// Gray-mapped 16-QAM: four bits per complex symbol (two per rail with the
+/// 4-PAM Gray levels {-3, -1, +1, +3}/sqrt(10), unit average symbol
+/// energy). Demodulation uses exact per-bit LLRs computed from the four
+/// level likelihoods of the rail — the max-log simplification is left to
+/// the caller via llr clipping if desired.
+struct Qam16Modem {
+  /// Returns 2*ceil(n/4) floats; inputs padded with zero bits to a multiple
+  /// of 4.
+  static std::vector<float> modulate(const BitVec& bits);
+
+  /// Exact LLRs per original bit.
+  static std::vector<float> demodulate(const std::vector<float>& iq,
+                                       float noise_variance, std::size_t n_bits);
+};
+
+}  // namespace ldpc

@@ -1,0 +1,45 @@
+#include "channel/rayleigh.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+RayleighChannel::RayleighChannel(float noise_variance, std::uint64_t seed)
+    : noise_variance_(noise_variance),
+      sigma_(std::sqrt(noise_variance)),
+      rng_(seed) {
+  LDPC_CHECK(noise_variance > 0.0F);
+}
+
+std::vector<float> RayleighChannel::transmit(const std::vector<float>& symbols,
+                                             std::vector<float>& gains) {
+  gains.clear();
+  gains.reserve(symbols.size());
+  std::vector<float> received(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    // |CN(0,1)| is Rayleigh with E[h^2] = 1: h = sqrt((g1^2 + g2^2) / 2).
+    const auto g1 = static_cast<float>(rng_.gaussian());
+    const auto g2 = static_cast<float>(rng_.gaussian());
+    const float h = std::sqrt((g1 * g1 + g2 * g2) * 0.5F);
+    gains.push_back(h);
+    received[i] =
+        h * symbols[i] + sigma_ * static_cast<float>(rng_.gaussian());
+  }
+  return received;
+}
+
+std::vector<float> RayleighChannel::demodulate_bpsk(
+    const std::vector<float>& received, const std::vector<float>& gains,
+    float noise_variance) {
+  LDPC_CHECK(received.size() == gains.size());
+  LDPC_CHECK(noise_variance > 0.0F);
+  std::vector<float> llr(received.size());
+  const float base_gain = 2.0F / noise_variance;
+  for (std::size_t i = 0; i < received.size(); ++i)
+    llr[i] = base_gain * gains[i] * received[i];
+  return llr;
+}
+
+}  // namespace ldpc

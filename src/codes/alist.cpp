@@ -1,0 +1,127 @@
+#include "codes/alist.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace ldpc {
+
+void write_alist(std::ostream& out, const QCLdpcCode& code) {
+  const auto n = code.n();
+  const auto m = code.m();
+  const auto& var_adj = code.var_adjacency();
+  const auto& check_adj = code.check_adjacency();
+
+  std::size_t max_col = 0, max_row = 0;
+  for (const auto& a : var_adj) max_col = std::max(max_col, a.size());
+  for (const auto& a : check_adj) max_row = std::max(max_row, a.size());
+
+  out << n << ' ' << m << '\n';
+  out << max_col << ' ' << max_row << '\n';
+  for (std::size_t v = 0; v < n; ++v)
+    out << var_adj[v].size() << (v + 1 == n ? '\n' : ' ');
+  for (std::size_t c = 0; c < m; ++c)
+    out << check_adj[c].size() << (c + 1 == m ? '\n' : ' ');
+  // 1-based indices, one node per line (no zero padding — the common
+  // "sparse" alist variant; the reader accepts both).
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < var_adj[v].size(); ++i)
+      out << (var_adj[v][i] + 1) << (i + 1 == var_adj[v].size() ? '\n' : ' ');
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t i = 0; i < check_adj[c].size(); ++i)
+      out << (check_adj[c][i] + 1) << (i + 1 == check_adj[c].size() ? '\n' : ' ');
+  }
+}
+
+std::string to_alist(const QCLdpcCode& code) {
+  std::ostringstream os;
+  write_alist(os, code);
+  return os.str();
+}
+
+QCLdpcCode read_alist(std::istream& in) {
+  auto next = [&in]() -> long {
+    long v;
+    if (!(in >> v)) throw Error("alist: unexpected end of input");
+    return v;
+  };
+
+  const long n = next();
+  const long m = next();
+  LDPC_CHECK_MSG(n > 0 && m > 0 && n > m,
+                 "alist: need N > M > 0, got N=" << n << " M=" << m);
+  const long max_col = next();
+  const long max_row = next();
+  LDPC_CHECK(max_col > 0 && max_row > 0);
+
+  std::vector<long> col_deg(static_cast<std::size_t>(n));
+  std::vector<long> row_deg(static_cast<std::size_t>(m));
+  for (auto& d : col_deg) {
+    d = next();
+    LDPC_CHECK_MSG(d >= 0 && d <= max_col, "alist: bad column degree " << d);
+  }
+  for (auto& d : row_deg) {
+    d = next();
+    LDPC_CHECK_MSG(d >= 0 && d <= max_row, "alist: bad row degree " << d);
+  }
+
+  // Column adjacency (consume; we rebuild H from the row lists and verify
+  // the two views agree).
+  std::vector<std::vector<long>> col_rows(static_cast<std::size_t>(n));
+  for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+    for (long i = 0; i < col_deg[v]; ++i) {
+      const long r = next();
+      LDPC_CHECK_MSG(r >= 1 && r <= m, "alist: row index " << r << " out of range");
+      col_rows[v].push_back(r - 1);
+    }
+    // Tolerate zero padding up to max_col (the "full" alist variant): zeros
+    // only appear as padding, which the degree already told us to skip.
+    while (static_cast<long>(col_rows[v].size()) < max_col && in.peek() != EOF) {
+      const auto pos = in.tellg();
+      long maybe;
+      if (!(in >> maybe)) break;
+      if (maybe == 0) continue;  // padding
+      in.seekg(pos);
+      break;
+    }
+  }
+
+  std::vector<int> entries(static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+                           BaseMatrix::kZero);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
+    for (long i = 0; i < row_deg[r]; ++i) {
+      const long c = next();
+      LDPC_CHECK_MSG(c >= 1 && c <= n, "alist: column index " << c << " out of range");
+      entries[r * static_cast<std::size_t>(n) + static_cast<std::size_t>(c - 1)] = 0;
+    }
+    while (in.peek() != EOF) {
+      const auto pos = in.tellg();
+      long maybe;
+      if (!(in >> maybe)) break;
+      if (maybe == 0) continue;
+      in.seekg(pos);
+      break;
+    }
+  }
+
+  // Cross-validate the column lists against the row lists.
+  for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v)
+    for (long r : col_rows[v])
+      LDPC_CHECK_MSG(entries[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + v] == 0,
+                     "alist: column list names H(" << r << "," << v
+                                                   << ") but row list does not");
+
+  BaseMatrix base(static_cast<std::size_t>(m), static_cast<std::size_t>(n),
+                  std::move(entries), /*design_z=*/1, "alist-import");
+  return QCLdpcCode(std::move(base));
+}
+
+QCLdpcCode alist_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_alist(is);
+}
+
+}  // namespace ldpc

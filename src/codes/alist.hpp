@@ -1,0 +1,29 @@
+// alist import/export — the de-facto interchange format for LDPC parity
+// check matrices (MacKay's format, used by aff3ct, GNU Radio, Matlab).
+//
+// Export lets codes built here (standard tables, random QC constructions)
+// be decoded by other toolchains; import lets externally designed matrices
+// run on this library's decoders. Imported general matrices are dense-
+// encodable only (no QC layer structure is recoverable from alist), so the
+// importer reconstructs an un-expanded BaseMatrix with z = 1 — every block
+// is 1x1, layers are single check rows, and all decoders work unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+/// Serialize the expanded H of `code` in alist format.
+void write_alist(std::ostream& out, const QCLdpcCode& code);
+std::string to_alist(const QCLdpcCode& code);
+
+/// Parse an alist matrix into a z = 1 QCLdpcCode. Throws ldpc::Error on
+/// malformed input (inconsistent dimensions, out-of-range indices,
+/// mismatched adjacency lists).
+QCLdpcCode read_alist(std::istream& in);
+QCLdpcCode alist_from_string(const std::string& text);
+
+}  // namespace ldpc

@@ -1,0 +1,77 @@
+#include "codes/base_matrix.hpp"
+
+#include <algorithm>
+
+namespace ldpc {
+
+BaseMatrix::BaseMatrix(std::size_t rows, std::size_t cols,
+                       std::vector<int> entries, int design_z, std::string name)
+    : rows_(rows),
+      cols_(cols),
+      entries_(std::move(entries)),
+      design_z_(design_z),
+      name_(std::move(name)) {
+  LDPC_CHECK_MSG(entries_.size() == rows_ * cols_,
+                 "base matrix " << name_ << ": expected " << rows_ * cols_
+                                << " entries, got " << entries_.size());
+  LDPC_CHECK(design_z_ > 0);
+  for (int e : entries_)
+    LDPC_CHECK_MSG(e >= kZero && e < design_z_,
+                   "base matrix " << name_ << ": shift " << e
+                                  << " out of range for z=" << design_z_);
+}
+
+std::size_t BaseMatrix::row_degree(std::size_t r) const {
+  LDPC_CHECK(r < rows_);
+  std::size_t deg = 0;
+  for (std::size_t c = 0; c < cols_; ++c)
+    if (!is_zero_block(r, c)) ++deg;
+  return deg;
+}
+
+std::size_t BaseMatrix::col_degree(std::size_t c) const {
+  LDPC_CHECK(c < cols_);
+  std::size_t deg = 0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    if (!is_zero_block(r, c)) ++deg;
+  return deg;
+}
+
+std::size_t BaseMatrix::nonzero_blocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(), [](int e) { return e >= 0; }));
+}
+
+std::size_t BaseMatrix::max_row_degree() const {
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < rows_; ++r) m = std::max(m, row_degree(r));
+  return m;
+}
+
+std::vector<std::size_t> BaseMatrix::row_support(std::size_t r) const {
+  std::vector<std::size_t> cols;
+  for (std::size_t c = 0; c < cols_; ++c)
+    if (!is_zero_block(r, c)) cols.push_back(c);
+  return cols;
+}
+
+BaseMatrix BaseMatrix::scaled_to(int z, bool scale_mod) const {
+  LDPC_CHECK_MSG(z > 0 && z <= design_z_,
+                 "cannot scale " << name_ << " designed for z=" << design_z_
+                                 << " up to z=" << z);
+  std::vector<int> scaled(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const int e = entries_[i];
+    if (e < 0) {
+      scaled[i] = kZero;
+    } else if (scale_mod) {
+      scaled[i] = e % z;
+    } else {
+      scaled[i] = static_cast<int>(static_cast<long>(e) * z / design_z_);
+    }
+  }
+  return BaseMatrix(rows_, cols_, std::move(scaled), z,
+                    name_ + "/z" + std::to_string(z));
+}
+
+}  // namespace ldpc

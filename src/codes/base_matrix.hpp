@@ -1,0 +1,68 @@
+// Block-structured (quasi-cyclic) LDPC prototype matrices.
+//
+// A base matrix B is an mb x nb array of circulant descriptors: entry -1
+// denotes the z x z zero block and entry s >= 0 denotes the identity matrix
+// cyclically right-shifted by s columns (the convention used by IEEE
+// 802.16e / 802.11n: row r of the block connects to column (r + s) mod z).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+class BaseMatrix {
+ public:
+  static constexpr int kZero = -1;
+
+  BaseMatrix() = default;
+
+  /// Construct from a row-major table of shift coefficients.
+  /// `design_z` is the expansion factor the shifts were designed for
+  /// (96 for 802.16e; equal to the actual z for 802.11n tables).
+  BaseMatrix(std::size_t rows, std::size_t cols, std::vector<int> entries,
+             int design_z, std::string name);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  int design_z() const { return design_z_; }
+  const std::string& name() const { return name_; }
+
+  int at(std::size_t r, std::size_t c) const {
+    LDPC_CHECK(r < rows_ && c < cols_);
+    return entries_[r * cols_ + c];
+  }
+
+  bool is_zero_block(std::size_t r, std::size_t c) const { return at(r, c) < 0; }
+
+  /// Number of non-zero circulant blocks in row r (the layer's block degree).
+  std::size_t row_degree(std::size_t r) const;
+  /// Number of non-zero circulant blocks in column c.
+  std::size_t col_degree(std::size_t c) const;
+  /// Total non-zero circulant blocks (the number of R-memory slots the
+  /// paper's architecture provisions per code).
+  std::size_t nonzero_blocks() const;
+  /// Maximum row degree over all rows (sizes the Q FIFO in Fig. 7).
+  std::size_t max_row_degree() const;
+
+  /// Column indices of the non-zero blocks in row r, ascending.
+  std::vector<std::size_t> row_support(std::size_t r) const;
+
+  /// Rescale the shift coefficients from design_z to target z.
+  /// `scale_mod` selects the 802.16e rate-2/3A rule (s mod z); otherwise the
+  /// standard floor rule (s * z / design_z) is applied. Zero blocks and the
+  /// structural 0-shifts are preserved by both rules.
+  BaseMatrix scaled_to(int z, bool scale_mod) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<int> entries_;
+  int design_z_ = 0;
+  std::string name_;
+};
+
+}  // namespace ldpc

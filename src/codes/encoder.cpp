@@ -1,0 +1,206 @@
+#include "codes/encoder.hpp"
+
+#include <algorithm>
+
+namespace ldpc {
+namespace {
+
+/// Block vector of z bits, one byte per bit (encoding is not a hot path and
+/// byte addressing keeps the rotations trivially correct).
+using Block = std::vector<std::uint8_t>;
+
+/// y[r] = x[(r + shift) % z] — multiplication by the circulant P^shift.
+Block rotate(const Block& x, int shift) {
+  const auto z = x.size();
+  Block y(z);
+  for (std::size_t r = 0; r < z; ++r) y[r] = x[(r + static_cast<std::size_t>(shift)) % z];
+  return y;
+}
+
+void xor_into(Block& acc, const Block& x) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= x[i];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RuEncoder
+// ---------------------------------------------------------------------------
+
+RuEncoder::RuEncoder(const QCLdpcCode& code) : code_(code) {
+  const BaseMatrix& b = code_.base();
+  const std::size_t mb = b.rows();
+  const std::size_t nb = b.cols();
+  const std::size_t kb = nb - mb;
+
+  // The weight-3 column must be the first parity column.
+  std::vector<std::size_t> w3_rows;
+  for (std::size_t r = 0; r < mb; ++r)
+    if (!b.is_zero_block(r, kb)) w3_rows.push_back(r);
+  LDPC_CHECK_MSG(w3_rows.size() == 3,
+                 b.name() << ": first parity column must have weight 3, has "
+                          << w3_rows.size());
+  LDPC_CHECK(w3_rows.front() == 0 && w3_rows.back() == mb - 1);
+
+  w3_.first_row = w3_rows[0];
+  w3_.mid_row = w3_rows[1];
+  w3_.last_row = w3_rows[2];
+  w3_.first_shift = b.at(w3_.first_row, kb);
+  w3_.mid_shift = b.at(w3_.mid_row, kb);
+  w3_.last_shift = b.at(w3_.last_row, kb);
+
+  // Two of the three shifts cancel in the all-rows sum; the remaining one
+  // determines p0.
+  if (w3_.first_shift == w3_.last_shift)
+    w3_.odd_shift = w3_.mid_shift;
+  else if (w3_.first_shift == w3_.mid_shift)
+    w3_.odd_shift = w3_.last_shift;
+  else if (w3_.mid_shift == w3_.last_shift)
+    w3_.odd_shift = w3_.first_shift;
+  else
+    throw Error(b.name() + ": weight-3 column needs two equal shifts");
+
+  // Remaining parity columns must form the shift-0 dual diagonal.
+  for (std::size_t j = 1; j < mb; ++j) {
+    const std::size_t col = kb + j;
+    for (std::size_t r = 0; r < mb; ++r) {
+      const bool expected = (r + 1 == j) || (r == j);
+      LDPC_CHECK_MSG(b.is_zero_block(r, col) == !expected,
+                     b.name() << ": parity part is not dual-diagonal at ("
+                              << r << "," << col << ")");
+      if (expected)
+        LDPC_CHECK_MSG(b.at(r, col) == 0,
+                       b.name() << ": dual-diagonal shifts must be 0");
+    }
+  }
+}
+
+std::size_t RuEncoder::k() const { return code_.k(); }
+std::size_t RuEncoder::n() const { return code_.n(); }
+
+BitVec RuEncoder::encode(const BitVec& info) const {
+  LDPC_CHECK(info.size() == k());
+  const BaseMatrix& b = code_.base();
+  const auto z = static_cast<std::size_t>(code_.z());
+  const std::size_t mb = b.rows();
+  const std::size_t kb = b.cols() - mb;
+
+  // Unpack info into blocks.
+  std::vector<Block> u(kb, Block(z, 0));
+  for (std::size_t j = 0; j < kb; ++j)
+    for (std::size_t r = 0; r < z; ++r) u[j][r] = info.get(j * z + r) ? 1 : 0;
+
+  // Layer syndromes over the information part: s_i = sum_j P^{p(i,j)} u_j.
+  std::vector<Block> s(mb, Block(z, 0));
+  for (std::size_t i = 0; i < mb; ++i)
+    for (std::size_t j = 0; j < kb; ++j)
+      if (!b.is_zero_block(i, j)) xor_into(s[i], rotate(u[j], b.at(i, j)));
+
+  // p0 from the all-rows sum: P^{odd_shift} p0 = sum_i s_i.
+  Block total(z, 0);
+  for (const Block& si : s) xor_into(total, si);
+  // rotate(p0, odd)[r] = p0[(r+odd)%z] = total[r]  =>  p0[r'] = total[(r'-odd) mod z]
+  Block p0(z);
+  for (std::size_t r = 0; r < z; ++r)
+    p0[(r + static_cast<std::size_t>(w3_.odd_shift)) % z] = total[r];
+
+  // Forward substitution along the dual diagonal.
+  std::vector<Block> q(mb);  // q[0] unused; q[j] is parity column kb + j
+  Block carry = s[0];
+  xor_into(carry, rotate(p0, w3_.first_shift));
+  q[1] = carry;
+  for (std::size_t i = 1; i + 1 < mb; ++i) {
+    carry = s[i];
+    xor_into(carry, q[i]);
+    if (i == w3_.mid_row) xor_into(carry, rotate(p0, w3_.mid_shift));
+    q[i + 1] = carry;
+  }
+
+  // Assemble systematic codeword.
+  BitVec word(n());
+  for (std::size_t i = 0; i < info.size(); ++i) word.set(i, info.get(i));
+  for (std::size_t r = 0; r < z; ++r) word.set(kb * z + r, p0[r] != 0);
+  for (std::size_t j = 1; j < mb; ++j)
+    for (std::size_t r = 0; r < z; ++r) word.set((kb + j) * z + r, q[j][r] != 0);
+  return word;
+}
+
+// ---------------------------------------------------------------------------
+// DenseEncoder
+// ---------------------------------------------------------------------------
+
+DenseEncoder::DenseEncoder(const QCLdpcCode& code)
+    : k_(code.k()), n_(code.n()), m_(code.m()) {
+  words_per_row_ = (m_ + 63) / 64;
+
+  // Dense parity part of H (columns k_..n_-1), augmented with the identity;
+  // Gauss-Jordan yields the inverse.
+  const std::size_t stride = 2 * words_per_row_;
+  std::vector<std::uint64_t> aug(m_ * stride, 0);
+  auto set_bit = [&](std::size_t row, std::size_t col) {
+    aug[row * stride + (col >> 6)] ^= 1ULL << (col & 63);
+  };
+  for (std::size_t check = 0; check < m_; ++check) {
+    for (std::uint32_t var : code.check_adjacency()[check])
+      if (var >= k_) set_bit(check, var - k_);
+    set_bit(check, m_ + check);  // identity half
+  }
+
+  for (std::size_t col = 0; col < m_; ++col) {
+    // Find a pivot row with a 1 in this column at or below `col`.
+    std::size_t pivot = col;
+    while (pivot < m_ &&
+           !((aug[pivot * stride + (col >> 6)] >> (col & 63)) & 1ULL))
+      ++pivot;
+    LDPC_CHECK_MSG(pivot < m_, "parity part of H is singular at column " << col);
+    if (pivot != col)
+      for (std::size_t w = 0; w < stride; ++w)
+        std::swap(aug[pivot * stride + w], aug[col * stride + w]);
+    // Eliminate every other row.
+    for (std::size_t row = 0; row < m_; ++row) {
+      if (row == col) continue;
+      if ((aug[row * stride + (col >> 6)] >> (col & 63)) & 1ULL)
+        for (std::size_t w = 0; w < stride; ++w)
+          aug[row * stride + w] ^= aug[col * stride + w];
+    }
+  }
+
+  hp_inverse_.assign(m_ * words_per_row_, 0);
+  for (std::size_t row = 0; row < m_; ++row)
+    for (std::size_t c = 0; c < m_; ++c)
+      if ((aug[row * stride + ((m_ + c) >> 6)] >> ((m_ + c) & 63)) & 1ULL)
+        hp_inverse_[row * words_per_row_ + (c >> 6)] |= 1ULL << (c & 63);
+
+  info_adj_.resize(m_);
+  for (std::size_t check = 0; check < m_; ++check)
+    for (std::uint32_t var : code.check_adjacency()[check])
+      if (var < k_) info_adj_[check].push_back(var);
+}
+
+std::size_t DenseEncoder::k() const { return k_; }
+std::size_t DenseEncoder::n() const { return n_; }
+
+BitVec DenseEncoder::encode(const BitVec& info) const {
+  LDPC_CHECK(info.size() == k_);
+
+  // Right-hand side: b = H_u * u.
+  std::vector<std::uint64_t> rhs(words_per_row_, 0);
+  for (std::size_t check = 0; check < m_; ++check) {
+    bool parity = false;
+    for (std::uint32_t var : info_adj_[check]) parity ^= info.get(var);
+    if (parity) rhs[check >> 6] |= 1ULL << (check & 63);
+  }
+
+  // p = Hp^{-1} * b (bit dot products of packed rows with rhs).
+  BitVec word(n_);
+  for (std::size_t i = 0; i < info.size(); ++i) word.set(i, info.get(i));
+  for (std::size_t row = 0; row < m_; ++row) {
+    std::uint64_t acc = 0;
+    for (std::size_t w = 0; w < words_per_row_; ++w)
+      acc ^= hp_inverse_[row * words_per_row_ + w] & rhs[w];
+    if (__builtin_parityll(acc)) word.set(k_ + row, true);
+  }
+  return word;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,80 @@
+// Systematic encoders for QC-LDPC codes.
+//
+// Two implementations with identical contracts (tests verify they agree):
+//
+//  * RuEncoder    — O(#edges) Richardson-Urbanke style encoder exploiting the
+//                   dual-diagonal + weight-3-column parity structure shared
+//                   by the 802.16e and 802.11n base matrices.
+//  * DenseEncoder — generic GF(2) encoder: inverts the parity part of H once
+//                   (dense, word-packed Gaussian elimination) and solves
+//                   H_p p = H_u u per codeword. Works for any full-rank
+//                   parity part; used as the reference implementation.
+//
+// Both produce systematic codewords: x = [info (k bits) | parity (m bits)].
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "util/bitvec.hpp"
+
+namespace ldpc {
+
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  /// Encode k information bits into an n-bit systematic codeword.
+  virtual BitVec encode(const BitVec& info) const = 0;
+
+  virtual std::size_t k() const = 0;
+  virtual std::size_t n() const = 0;
+};
+
+/// Fast structured encoder. Construction throws ldpc::Error if the code's
+/// parity part is not dual-diagonal with a single weight-3 column.
+class RuEncoder final : public Encoder {
+ public:
+  explicit RuEncoder(const QCLdpcCode& code);
+
+  BitVec encode(const BitVec& info) const override;
+  std::size_t k() const override;
+  std::size_t n() const override;
+
+ private:
+  /// Block rows of the weight-3 column and their shifts.
+  struct Weight3Column {
+    std::size_t first_row, mid_row, last_row;
+    int first_shift, mid_shift, last_shift;
+    /// Shift h such that rotate(p0, h) == sum of all layer syndromes.
+    int odd_shift;
+  };
+
+  const QCLdpcCode& code_;  // non-owning; caller keeps the code alive
+  Weight3Column w3_;
+};
+
+/// Generic dense encoder (reference implementation).
+class DenseEncoder final : public Encoder {
+ public:
+  /// Throws ldpc::Error if the parity part of H is singular over GF(2).
+  explicit DenseEncoder(const QCLdpcCode& code);
+
+  BitVec encode(const BitVec& info) const override;
+  std::size_t k() const override;
+  std::size_t n() const override;
+
+ private:
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t words_per_row_ = 0;
+  /// Row-major packed inverse of the parity part of H (m x m bits).
+  std::vector<std::uint64_t> hp_inverse_;
+  /// Check adjacency restricted to information columns.
+  std::vector<std::vector<std::uint32_t>> info_adj_;
+};
+
+}  // namespace ldpc

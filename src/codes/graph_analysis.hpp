@@ -1,0 +1,35 @@
+// Tanner-graph structure analysis for QC-LDPC codes.
+//
+// Decoding performance of min-sum/BP depends on graph properties the code
+// tables encode implicitly: short cycles (girth), degree distributions and
+// density. These tools quantify them — used by the tests as a regression
+// anchor on the standard tables (the 802.16e/802.11n matrices are designed
+// to avoid 4-cycles) and by code designers evaluating random constructions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+/// Number of length-4 cycles at the circulant level: pairs of rows (i, j)
+/// and columns (a, b) with p(i,a) - p(j,a) + p(j,b) - p(i,b) == 0 (mod z).
+/// Each such base-level event corresponds to z cycles in the expanded graph.
+std::size_t count_base_4cycles(const BaseMatrix& base);
+
+/// Exact girth of the expanded Tanner graph (length of the shortest cycle,
+/// always even), computed by BFS from every variable node. Returns
+/// `max_girth` if no cycle shorter than it is found (practically: the graph
+/// has girth >= max_girth). O(n * edges) — fine for n up to a few thousand.
+std::size_t tanner_girth(const QCLdpcCode& code, std::size_t max_girth = 12);
+
+/// Degree histogram: degree -> node count.
+std::map<std::size_t, std::size_t> variable_degree_histogram(const QCLdpcCode& code);
+std::map<std::size_t, std::size_t> check_degree_histogram(const QCLdpcCode& code);
+
+/// Fraction of ones in the expanded H (the "low density" in LDPC).
+double density(const QCLdpcCode& code);
+
+}  // namespace ldpc

@@ -1,0 +1,76 @@
+// Expanded quasi-cyclic LDPC code: Tanner-graph connectivity plus the layer
+// (block-row) structure that the paper's layered decoder and both hardware
+// architectures operate on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codes/base_matrix.hpp"
+#include "util/bitvec.hpp"
+
+namespace ldpc {
+
+class QCLdpcCode {
+ public:
+  /// One non-zero circulant inside a layer, in block-column order — exactly
+  /// the order the block-serial schedule of Fig. 4 walks them.
+  struct LayerBlock {
+    std::uint32_t block_col;  ///< base-matrix column index
+    std::uint32_t shift;      ///< circulant shift
+    std::uint32_t r_slot;     ///< R-memory slot (global non-zero-block index)
+  };
+
+  /// `base` must already be scaled to `z` (base.design_z() == z).
+  explicit QCLdpcCode(BaseMatrix base);
+
+  const BaseMatrix& base() const { return base_; }
+  int z() const { return base_.design_z(); }
+  std::size_t n() const { return base_.cols() * static_cast<std::size_t>(z()); }
+  std::size_t m() const { return base_.rows() * static_cast<std::size_t>(z()); }
+  std::size_t k() const { return n() - m(); }
+  double rate() const { return static_cast<double>(k()) / static_cast<double>(n()); }
+  std::size_t num_layers() const { return base_.rows(); }
+
+  /// Layer -> non-zero circulants in block-column order.
+  const std::vector<std::vector<LayerBlock>>& layers() const { return layers_; }
+
+  /// Check node m -> variable node indices (ascending within each circulant
+  /// walk order: block-column by block-column).
+  const std::vector<std::vector<std::uint32_t>>& check_adjacency() const {
+    return check_adj_;
+  }
+  /// Variable node n -> check node indices.
+  const std::vector<std::vector<std::uint32_t>>& var_adjacency() const {
+    return var_adj_;
+  }
+
+  /// Edge bookkeeping for flooding decoders: edges are numbered in
+  /// (check, position-within-check) order.
+  std::size_t num_edges() const { return num_edges_; }
+  std::size_t edge_index(std::size_t check, std::size_t pos) const {
+    return check_edge_offset_[check] + pos;
+  }
+  /// Variable node n -> global edge indices of its incident edges.
+  const std::vector<std::vector<std::uint32_t>>& var_edges() const {
+    return var_edges_;
+  }
+
+  /// True iff H * word^T == 0.
+  bool parity_ok(const BitVec& word) const;
+
+  /// Syndrome weight (number of unsatisfied checks).
+  std::size_t syndrome_weight(const BitVec& word) const;
+
+ private:
+  BaseMatrix base_;
+  std::vector<std::vector<LayerBlock>> layers_;
+  std::vector<std::vector<std::uint32_t>> check_adj_;
+  std::vector<std::vector<std::uint32_t>> var_adj_;
+  std::vector<std::size_t> check_edge_offset_;
+  std::vector<std::vector<std::uint32_t>> var_edges_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ldpc

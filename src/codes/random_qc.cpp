@@ -1,0 +1,148 @@
+#include "codes/random_qc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "codes/graph_analysis.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+/// First base-level 4-cycle as (row_i, row_j, col_a, col_b), if any.
+std::optional<std::array<std::size_t, 4>> find_4cycle(
+    const std::vector<int>& entries, std::size_t mb, std::size_t nb, int z) {
+  auto at = [&](std::size_t r, std::size_t c) { return entries[r * nb + c]; };
+  for (std::size_t i = 0; i < mb; ++i)
+    for (std::size_t j = i + 1; j < mb; ++j)
+      for (std::size_t a = 0; a < nb; ++a) {
+        if (at(i, a) < 0 || at(j, a) < 0) continue;
+        for (std::size_t b = a + 1; b < nb; ++b) {
+          if (at(i, b) < 0 || at(j, b) < 0) continue;
+          const int delta =
+              ((at(i, a) - at(j, a) + at(j, b) - at(i, b)) % z + 2 * z) % z;
+          if (delta == 0) return std::array<std::size_t, 4>{i, j, a, b};
+        }
+      }
+  return std::nullopt;
+}
+
+}  // namespace
+
+QCLdpcCode make_random_qc_code(const RandomQcConfig& config) {
+  const std::size_t mb = config.block_rows;
+  const std::size_t nb = config.block_cols;
+  const std::size_t kb = nb - mb;
+  LDPC_CHECK_MSG(mb >= 3, "need at least 3 layers for the weight-3 column");
+  LDPC_CHECK_MSG(nb > mb, "block_cols must exceed block_rows");
+  LDPC_CHECK_MSG(config.z >= 2, "z must be at least 2");
+  LDPC_CHECK_MSG(config.info_row_degree >= 1 && config.info_row_degree <= kb,
+                 "info_row_degree " << config.info_row_degree
+                                    << " out of range for " << kb
+                                    << " info columns");
+
+  Xoshiro256 rng(config.seed);
+  std::vector<int> entries(mb * nb, BaseMatrix::kZero);
+  auto at = [&](std::size_t r, std::size_t c) -> int& {
+    return entries[r * nb + c];
+  };
+
+  // Information part: each layer picks `info_row_degree` distinct columns
+  // with random shifts. Ensure every info column is used at least once so
+  // no variable node is disconnected from the graph.
+  std::vector<std::size_t> col_use(kb, 0);
+  for (std::size_t r = 0; r < mb; ++r) {
+    std::vector<std::size_t> cols(kb);
+    for (std::size_t c = 0; c < kb; ++c) cols[c] = c;
+    // Partial Fisher-Yates for a random degree-sized subset.
+    for (std::size_t i = 0; i < config.info_row_degree; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_int(cols.size() - i));
+      std::swap(cols[i], cols[j]);
+      at(r, cols[i]) = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(config.z)));
+      ++col_use[cols[i]];
+    }
+  }
+  for (std::size_t c = 0; c < kb; ++c) {
+    if (col_use[c] != 0) continue;
+    const auto r = static_cast<std::size_t>(rng.uniform_int(mb));
+    at(r, c) = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(config.z)));
+  }
+
+  // Encodable parity part: weight-3 first parity column (equal shifts at the
+  // first and last layer so the RU trick applies) + shift-0 dual diagonal.
+  const int h = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(config.z)));
+  const std::size_t mid = mb / 2;
+  at(0, kb) = h;
+  at(mid, kb) = 0;
+  at(mb - 1, kb) = h;
+  for (std::size_t j = 1; j < mb; ++j) {
+    at(j - 1, kb + j) = 0;
+    at(j, kb + j) = 0;
+  }
+
+  BaseMatrix base(mb, nb, std::move(entries), config.z,
+                  "random-qc-" + std::to_string(nb) + "x" + std::to_string(mb) +
+                      "-z" + std::to_string(config.z) + "-s" +
+                      std::to_string(config.seed));
+  return QCLdpcCode(std::move(base));
+}
+
+QCLdpcCode make_girth6_qc_code(const RandomQcConfig& config,
+                               std::size_t max_attempts) {
+  const QCLdpcCode start = make_random_qc_code(config);
+  const std::size_t mb = config.block_rows;
+  const std::size_t nb = config.block_cols;
+  const std::size_t kb = nb - mb;
+  const int z = config.z;
+
+  // Work on a mutable copy of the entry table.
+  std::vector<int> entries(mb * nb);
+  for (std::size_t r = 0; r < mb; ++r)
+    for (std::size_t c = 0; c < nb; ++c) entries[r * nb + c] = start.base().at(r, c);
+
+  Xoshiro256 rng(config.seed ^ 0x61727468ULL);
+  auto at = [&](std::size_t r, std::size_t c) -> int& {
+    return entries[r * nb + c];
+  };
+
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const auto cycle = find_4cycle(entries, mb, nb, z);
+    if (!cycle) {
+      BaseMatrix base(mb, nb, entries, z,
+                      "girth6-qc-" + std::to_string(nb) + "x" +
+                          std::to_string(mb) + "-z" + std::to_string(z) + "-s" +
+                          std::to_string(config.seed));
+      return QCLdpcCode(std::move(base));
+    }
+    const auto [i, j, a, b] = *cycle;
+    // Prefer mutating an information-part shift (keeps the RU skeleton).
+    std::size_t col;
+    std::size_t row;
+    if (a < kb) {
+      col = a;
+      row = rng.coin() ? i : j;
+    } else if (b < kb) {
+      col = b;
+      row = rng.coin() ? i : j;
+    } else {
+      // Both columns are parity: only the weight-3 column's shift h is
+      // adjustable (rows first and last must stay equal).
+      LDPC_CHECK_MSG(a == kb || b == kb,
+                     "dual-diagonal-only 4-cycle should be impossible");
+      const int h = 1 + static_cast<int>(
+                            rng.uniform_int(static_cast<std::uint64_t>(z - 1)));
+      at(0, kb) = h;
+      at(mb - 1, kb) = h;
+      continue;
+    }
+    at(row, col) = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(z)));
+  }
+  throw Error("make_girth6_qc_code: could not clear all 4-cycles in " +
+              std::to_string(max_attempts) + " mutations (z=" +
+              std::to_string(z) + " too small for this density)");
+}
+
+}  // namespace ldpc

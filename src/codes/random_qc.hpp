@@ -1,0 +1,38 @@
+// Synthetic block-structured LDPC code generator.
+//
+// The paper's flexibility argument is that the same architecture serves any
+// block-structured code. To exercise geometries beyond the standardized
+// tables (odd layer counts, extreme rates, very small/large z) the test and
+// benchmark suites generate random codes with the same encodable skeleton:
+// a random information part plus the 802.16e-style dual-diagonal parity part
+// with one weight-3 column, so RuEncoder works on them unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+struct RandomQcConfig {
+  std::size_t block_rows = 4;       ///< mb (layers)
+  std::size_t block_cols = 12;      ///< nb
+  int z = 16;                       ///< expansion factor
+  std::size_t info_row_degree = 4;  ///< non-zero info blocks per layer
+  std::uint64_t seed = 1;
+};
+
+/// Build a random encodable QC-LDPC code. Throws ldpc::Error on impossible
+/// configurations (e.g. info_row_degree exceeding the info width).
+QCLdpcCode make_random_qc_code(const RandomQcConfig& config);
+
+/// Build a random encodable QC-LDPC code with girth >= 6: starts from
+/// make_random_qc_code and hill-climbs, re-randomizing one information-part
+/// shift involved in a base-level 4-cycle until none remain. The parity
+/// skeleton is never touched, so RuEncoder keeps working. Throws
+/// ldpc::Error when `max_attempts` mutations cannot clear the cycles (the
+/// configuration is too dense for the chosen z).
+QCLdpcCode make_girth6_qc_code(const RandomQcConfig& config,
+                               std::size_t max_attempts = 20000);
+
+}  // namespace ldpc

@@ -1,0 +1,20 @@
+// IEEE 802.11n (WiFi) LDPC code tables.
+//
+// 802.11n defines a separate shift table per (rate, z) pair rather than
+// scaling one design matrix; we carry the rate-1/2 tables for z = 27
+// (n = 648) and z = 81 (n = 1944 — the length quoted for decoder [2] in the
+// paper's Table II). They exercise the decoder's multi-standard flexibility:
+// same block-structured machinery, different geometry.
+#pragma once
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+/// n = 648, rate 1/2, z = 27.
+QCLdpcCode make_wifi_648_half_rate();
+
+/// n = 1944, rate 1/2, z = 81.
+QCLdpcCode make_wifi_1944_half_rate();
+
+}  // namespace ldpc

@@ -1,0 +1,165 @@
+#include "codes/wimax.hpp"
+
+#include <array>
+
+namespace ldpc {
+namespace {
+
+// Shift tables follow IEEE 802.16e-2005 §8.4.9.2.5 (designed for z0 = 96).
+// -1 marks the z x z zero block. Parity parts are dual-diagonal with one
+// weight-3 column, which the RU-style encoder in codes/encoder.cpp exploits.
+
+constexpr int kZ0 = 96;
+
+const BaseMatrix& rate_1_2() {
+  static const BaseMatrix b(12, 24,
+      {
+          -1, 94, 73, -1, -1, -1, -1, -1, 55, 83, -1, -1,  7,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+          -1, 27, -1, -1, -1, 22, 79,  9, -1, -1, -1, 12, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+          -1, -1, -1, 24, 22, 81, -1, 33, -1, -1, -1,  0, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1, -1,
+          61, -1, 47, -1, -1, -1, -1, -1, 65, 25, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1, -1,
+          -1, -1, 39, -1, -1, -1, 84, -1, -1, 41, 72, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1, -1,
+          -1, -1, -1, -1, 46, 40, -1, 82, -1, -1, -1, 79,  0, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1, -1,
+          -1, -1, 95, 53, -1, -1, -1, -1, -1, 14, 18, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1, -1,
+          -1, 11, 73, -1, -1, -1,  2, -1, -1, 47, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1, -1,
+          12, -1, -1, -1, 83, 24, -1, 43, -1, -1, -1, 51, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1, -1,
+          -1, -1, -1, -1, -1, 94, -1, 59, -1, -1, 70, 72, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0, -1,
+          -1, -1,  7, 65, -1, -1, -1, -1, 39, 49, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,  0,
+          43, -1, -1, -1, -1, 66, -1, 41, -1, -1, -1, 26,  7, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  0,
+      },
+      kZ0, "wimax-1/2");
+  return b;
+}
+
+const BaseMatrix& rate_2_3a() {
+  static const BaseMatrix b(8, 24,
+      {
+           3,  0, -1, -1,  2,  0, -1,  3,  7, -1,  1,  1, -1, -1, -1, -1,  1,  0, -1, -1, -1, -1, -1, -1,
+          -1, -1,  1, -1, 36, -1, -1, 34, 10, -1, -1, 18,  2, -1,  3,  0, -1,  0,  0, -1, -1, -1, -1, -1,
+          -1, -1, 12,  2, -1, 15, -1, 40, -1,  3, -1, 15, -1,  2, 13, -1, -1, -1,  0,  0, -1, -1, -1, -1,
+          -1, -1, 19, 24, -1,  3,  0, -1,  6, -1, 17, -1, -1, -1,  8, 39, -1, -1, -1,  0,  0, -1, -1, -1,
+          20, -1,  6, -1, -1, 10, 29, -1, -1, 28, -1, 14, -1, 38, -1, -1,  0, -1, -1, -1,  0,  0, -1, -1,
+          -1, -1, 10, -1, 28, 20, -1, -1,  8, -1, 36, -1,  9, -1, 21, 45, -1, -1, -1, -1, -1,  0,  0, -1,
+          35, 25, -1, 37, -1, 21, -1, -1,  5, -1, -1,  0, -1,  4, 20, -1, -1, -1, -1, -1, -1, -1,  0,  0,
+          -1,  6,  6, -1, -1, -1,  4, -1, 14, 30, -1,  3, 36, -1, 14, -1,  1, -1, -1, -1, -1, -1, -1,  0,
+      },
+      kZ0, "wimax-2/3A");
+  return b;
+}
+
+const BaseMatrix& rate_2_3b() {
+  static const BaseMatrix b(8, 24,
+      {
+           2, -1, 19, -1, 47, -1, 48, -1, 36, -1, 82, -1, 47, -1, 15, -1, 95,  0, -1, -1, -1, -1, -1, -1,
+          -1, 69, -1, 88, -1, 33, -1,  3, -1, 16, -1, 37, -1, 40, -1, 48, -1,  0,  0, -1, -1, -1, -1, -1,
+          10, -1, 86, -1, 62, -1, 28, -1, 85, -1, 16, -1, 34, -1, 73, -1, -1, -1,  0,  0, -1, -1, -1, -1,
+          -1, 28, -1, 32, -1, 81, -1, 27, -1, 88, -1,  5, -1, 56, -1, 37, -1, -1, -1,  0,  0, -1, -1, -1,
+          23, -1, 29, -1, 15, -1, 30, -1, 66, -1, 24, -1, 50, -1, 62, -1, -1, -1, -1, -1,  0,  0, -1, -1,
+          -1, 30, -1, 65, -1, 54, -1, 14, -1,  0, -1, 30, -1, 74, -1,  0, -1, -1, -1, -1, -1,  0,  0, -1,
+          32, -1,  0, -1, 15, -1, 56, -1, 85, -1,  5, -1,  6, -1, 52, -1,  0, -1, -1, -1, -1, -1,  0,  0,
+          -1,  0, -1, 47, -1, 13, -1, 61, -1, 84, -1, 55, -1, 78, -1, 41, 95, -1, -1, -1, -1, -1, -1,  0,
+      },
+      kZ0, "wimax-2/3B");
+  return b;
+}
+
+const BaseMatrix& rate_3_4a() {
+  static const BaseMatrix b(6, 24,
+      {
+           6, 38,  3, 93, -1, -1, -1, 30, 70, -1, 86, -1, 37, 38,  4, 11, -1, 46, 48,  0, -1, -1, -1, -1,
+          62, 94, 19, 84, -1, 92, 78, -1, 15, -1, -1, 92, -1, 45, 24, 32, 30, -1, -1,  0,  0, -1, -1, -1,
+          71, -1, 55, -1, 12, 66, 45, 79, -1, 78, -1, -1, 10, -1, 22, 55, 70, 82, -1, -1,  0,  0, -1, -1,
+          38, 61, -1, 66,  9, 73, 47, 64, -1, 39, 61, 43, -1, -1, -1, -1, 95, 32,  0, -1, -1,  0,  0, -1,
+          -1, -1, -1, -1, 32, 52, 55, 80, 95, 22,  6, 51, 24, 90, 44, 20, -1, -1, -1, -1, -1, -1,  0,  0,
+          -1, 63, 31, 88, 20, -1, -1, -1,  6, 40, 56, 16, 71, 53, -1, -1, 27, 26, 48, -1, -1, -1, -1,  0,
+      },
+      kZ0, "wimax-3/4A");
+  return b;
+}
+
+const BaseMatrix& rate_3_4b() {
+  static const BaseMatrix b(6, 24,
+      {
+          -1, 81, -1, 28, -1, -1, 14, 25, 17, -1, -1, 85, 29, 52, 78, 95, 22, 92,  0,  0, -1, -1, -1, -1,
+          42, -1, 14, 68, 32, -1, -1, -1, -1, 70, 43, 11, 36, 40, 33, 57, 38, 24, -1,  0,  0, -1, -1, -1,
+          -1, -1, 20, -1, -1, 63, 39, -1, 70, 67, -1, 38,  4, 72, 47, 29, 60,  5, 80, -1,  0,  0, -1, -1,
+          64,  2, -1, -1, 63, -1, -1,  3, 51, -1, 81, 15, 94,  9, 85, 36, 14, 19, -1, -1, -1,  0,  0, -1,
+          -1, 53, 60, 80, -1, 26, 75, -1, -1, -1, -1, 86, 77,  1,  3, 72, 60, 25, -1, -1, -1, -1,  0,  0,
+          77, -1, -1, -1, 15, 28, -1, 35, -1, 72, 30, 68, 85, 84, 26, 64, 11, 89,  0, -1, -1, -1, -1,  0,
+      },
+      kZ0, "wimax-3/4B");
+  return b;
+}
+
+const BaseMatrix& rate_5_6() {
+  static const BaseMatrix b(4, 24,
+      {
+           1, 25, 55, -1, 47,  4, -1, 91, 84,  8, 86, 52, 82, 33,  5,  0, 36, 20,  4, 77, 80,  0, -1, -1,
+          -1,  6, -1, 36, 40, 47, 12, 79, 47, -1, 41, 21, 12, 71, 14, 72,  0, 44, 49,  0,  0,  0,  0, -1,
+          51, 81, 83,  4, 67, -1, 21, -1, 31, 24, 91, 61, 81,  9, 86, 78, 60, 88, 67, 15, -1, -1,  0,  0,
+          50, -1, 50, 15, -1, 36, 13, 10, 11, 20, 53, 90, 29, 92, 57, 30, 84, 92, 11, 66, 80, -1, -1,  0,
+      },
+      kZ0, "wimax-5/6");
+  return b;
+}
+
+}  // namespace
+
+const std::vector<WimaxRate>& all_wimax_rates() {
+  static const std::vector<WimaxRate> rates = {
+      WimaxRate::kRate1_2,  WimaxRate::kRate2_3A, WimaxRate::kRate2_3B,
+      WimaxRate::kRate3_4A, WimaxRate::kRate3_4B, WimaxRate::kRate5_6,
+  };
+  return rates;
+}
+
+std::string wimax_rate_name(WimaxRate rate) {
+  return wimax_base_matrix(rate).name();
+}
+
+const BaseMatrix& wimax_base_matrix(WimaxRate rate) {
+  switch (rate) {
+    case WimaxRate::kRate1_2:  return rate_1_2();
+    case WimaxRate::kRate2_3A: return rate_2_3a();
+    case WimaxRate::kRate2_3B: return rate_2_3b();
+    case WimaxRate::kRate3_4A: return rate_3_4a();
+    case WimaxRate::kRate3_4B: return rate_3_4b();
+    case WimaxRate::kRate5_6:  return rate_5_6();
+  }
+  throw Error("unknown WiMAX rate family");
+}
+
+bool wimax_uses_mod_scaling(WimaxRate rate) {
+  return rate == WimaxRate::kRate2_3A;
+}
+
+const std::vector<int>& wimax_z_values() {
+  static const std::vector<int> zs = [] {
+    std::vector<int> v;
+    for (int z = 24; z <= 96; z += 4) v.push_back(z);
+    return v;
+  }();
+  return zs;
+}
+
+QCLdpcCode make_wimax_code(WimaxRate rate, int z) {
+  bool valid_z = false;
+  for (int zz : wimax_z_values()) valid_z = valid_z || (zz == z);
+  LDPC_CHECK_MSG(valid_z, "invalid WiMAX expansion factor z=" << z);
+  const BaseMatrix& design = wimax_base_matrix(rate);
+  if (z == design.design_z()) return QCLdpcCode(design);
+  return QCLdpcCode(design.scaled_to(z, wimax_uses_mod_scaling(rate)));
+}
+
+QCLdpcCode make_wimax_2304_half_rate() {
+  return make_wimax_code(WimaxRate::kRate1_2, 96);
+}
+
+std::size_t wimax_max_r_slots() {
+  std::size_t slots = 0;
+  for (WimaxRate rate : all_wimax_rates())
+    slots = std::max(slots, wimax_base_matrix(rate).nonzero_blocks());
+  return slots;
+}
+
+}  // namespace ldpc

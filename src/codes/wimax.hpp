@@ -1,0 +1,52 @@
+// IEEE 802.16e (WiMAX) LDPC code tables.
+//
+// The standard defines six base matrices (one per rate family), each 24
+// block-columns wide and designed for z0 = 96 (n = 2304). Codeword lengths
+// from 576 to 2304 are obtained by scaling the shift coefficients down to
+// z in {24, 28, ..., 96}: rate 2/3A uses the modulo rule, all other
+// families use the floor rule (per 802.16e §8.4.9.2.5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+enum class WimaxRate {
+  kRate1_2,   ///< 12 x 24 base matrix
+  kRate2_3A,  ///< 8 x 24, modulo shift scaling
+  kRate2_3B,  ///< 8 x 24
+  kRate3_4A,  ///< 6 x 24
+  kRate3_4B,  ///< 6 x 24
+  kRate5_6,   ///< 4 x 24
+};
+
+/// All six rate families, for parameterized sweeps.
+const std::vector<WimaxRate>& all_wimax_rates();
+
+/// Human-readable name, e.g. "wimax-1/2".
+std::string wimax_rate_name(WimaxRate rate);
+
+/// The z0=96 design base matrix of a rate family.
+const BaseMatrix& wimax_base_matrix(WimaxRate rate);
+
+/// True for the one family (2/3A) that scales shifts modulo z.
+bool wimax_uses_mod_scaling(WimaxRate rate);
+
+/// Valid expansion factors: 24, 28, ..., 96.
+const std::vector<int>& wimax_z_values();
+
+/// Build the expanded code for (rate family, z). n = 24 * z.
+QCLdpcCode make_wimax_code(WimaxRate rate, int z);
+
+/// Convenience: the paper's case-study code, (2304, rate 1/2), z = 96.
+QCLdpcCode make_wimax_2304_half_rate();
+
+/// R-memory slots a decoder supporting every 802.16e rate family must
+/// provision: the maximum circulant count over the six base matrices (the
+/// paper's R SRAM has 84 slots of z*8 bits).
+std::size_t wimax_max_r_slots();
+
+}  // namespace ldpc

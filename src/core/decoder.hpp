@@ -1,0 +1,59 @@
+// Common decoder interface.
+//
+// Every decoder in this library — floating-point baselines, the paper's
+// fixed-point layered scaled-min-sum, and the two cycle-accurate hardware
+// architectures — consumes channel LLRs (positive = bit 0 more likely, the
+// convention of Algorithm 1's  Pn = 2 yn / sigma^2  with BPSK 0 -> +1) and
+// produces hard decisions plus convergence metadata.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "util/bitvec.hpp"
+
+namespace ldpc {
+
+struct DecodeResult {
+  BitVec hard_bits;            ///< n hard decisions (1 = bit value 1)
+  std::size_t iterations = 0;  ///< full iterations actually executed
+  bool converged = false;      ///< true iff H * hard_bits == 0 at exit
+};
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  /// Decode one frame of n channel LLRs.
+  virtual DecodeResult decode(std::span<const float> llr) = 0;
+
+  /// Codeword length the decoder is configured for.
+  virtual std::size_t n() const = 0;
+
+  /// Short identifier used in benchmark tables, e.g. "layered-msf-q8".
+  virtual std::string name() const = 0;
+};
+
+/// Per-iteration convergence snapshot delivered to an IterationObserver.
+struct IterationSnapshot {
+  std::size_t iteration = 0;        ///< 1-based
+  std::size_t syndrome_weight = 0;  ///< unsatisfied checks after this iter
+  double mean_abs_llr = 0.0;        ///< mean |posterior| (LLR units)
+  std::size_t flipped_bits = 0;     ///< hard decisions changed vs prev iter
+};
+
+/// Called after every completed iteration (before early termination exits).
+/// Observation only — must not mutate decoder state.
+using IterationObserver = std::function<void(const IterationSnapshot&)>;
+
+/// Options shared by the iterative decoders.
+struct DecoderOptions {
+  std::size_t max_iterations = 10;  ///< the paper's Table II uses 10
+  bool early_termination = true;    ///< stop when all parity checks pass
+  float scale = 0.75F;              ///< min-sum normalization factor
+  IterationObserver observer;       ///< optional convergence probe
+};
+
+}  // namespace ldpc

@@ -1,0 +1,59 @@
+#include "core/decoder_factory.hpp"
+
+#include "core/flooding_bp.hpp"
+#include "core/flooding_minsum.hpp"
+#include "core/gallager_b.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "core/layered_minsum_float.hpp"
+
+namespace ldpc {
+
+std::unique_ptr<Decoder> make_decoder(const std::string& name,
+                                      const QCLdpcCode& code,
+                                      const DecoderOptions& options) {
+  if (name == "flooding-bp")
+    return std::make_unique<FloodingBpDecoder>(code, options);
+  if (name == "flooding-minsum")
+    return std::make_unique<FloodingMinSumDecoder>(code, options,
+                                                   MinSumVariant::kPlain);
+  if (name == "flooding-minsum-norm")
+    return std::make_unique<FloodingMinSumDecoder>(code, options,
+                                                   MinSumVariant::kNormalized);
+  if (name == "flooding-minsum-offset")
+    return std::make_unique<FloodingMinSumDecoder>(code, options,
+                                                   MinSumVariant::kOffset);
+  if (name == "flooding-minsum-scms")
+    return std::make_unique<FloodingMinSumDecoder>(code, options,
+                                                   MinSumVariant::kSelfCorrected);
+  if (name == "gallager-b")
+    return std::make_unique<GallagerBDecoder>(code, options);
+  if (name == "layered-minsum-float")
+    return std::make_unique<LayeredMinSumFloatDecoder>(code, options);
+  if (name == "layered-minsum-fixed")
+    return std::make_unique<LayeredMinSumFixedDecoder>(code, options,
+                                                       FixedFormat{8, 2});
+  if (name == "layered-minsum-q6")
+    return std::make_unique<LayeredMinSumFixedDecoder>(code, options,
+                                                       FixedFormat{6, 1});
+  if (name == "layered-minsum-offset-fixed") {
+    // Offset 0.5 in LLR units at the default q8.2 format = 2 codes.
+    const FixedFormat fmt{8, 2};
+    return std::make_unique<LayeredMinSumFixedDecoder>(
+        code, options, LayerRowKernel::offset_kernel(fmt, 2),
+        "layered-minsum-offset-" + fmt.name());
+  }
+  throw Error("unknown decoder name: " + name);
+}
+
+const std::vector<std::string>& decoder_names() {
+  static const std::vector<std::string> names = {
+      "flooding-bp",           "flooding-minsum",
+      "flooding-minsum-norm",  "flooding-minsum-offset",
+      "flooding-minsum-scms",  "gallager-b",
+      "layered-minsum-float",  "layered-minsum-fixed",
+      "layered-minsum-q6",     "layered-minsum-offset-fixed",
+  };
+  return names;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,28 @@
+// Decoder factory — maps benchmark/CLI names onto decoder instances so the
+// examples and the BER harness select decoders by string.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+#include "core/quant.hpp"
+
+namespace ldpc {
+
+/// Recognised names:
+///   "flooding-bp", "flooding-minsum", "flooding-minsum-norm",
+///   "flooding-minsum-offset", "layered-minsum-float",
+///   "layered-minsum-fixed" (8.2), "layered-minsum-q6" (6.1)
+/// Throws ldpc::Error for unknown names. The returned decoder borrows `code`;
+/// the caller must keep the code alive for the decoder's lifetime.
+std::unique_ptr<Decoder> make_decoder(const std::string& name,
+                                      const QCLdpcCode& code,
+                                      const DecoderOptions& options);
+
+/// All names make_decoder accepts (for --help strings and sweeps).
+const std::vector<std::string>& decoder_names();
+
+}  // namespace ldpc

@@ -1,0 +1,104 @@
+#include "core/flooding_bp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldpc {
+namespace {
+
+/// Stable pairwise "boxplus" of two LLRs:
+///   a ⊞ b = 2 atanh(tanh(a/2) tanh(b/2))
+///         = sign(a) sign(b) min(|a|,|b|) + log1p(e^{-|a+b|}) - log1p(e^{-|a-b|})
+/// The correction terms apply to the signed value (they can flip a weak
+/// result toward zero), not to the magnitude.
+float boxplus(float a, float b) {
+  const float sm = std::min(std::fabs(a), std::fabs(b));
+  const float signed_min = ((a < 0.0F) != (b < 0.0F)) ? -sm : sm;
+  return signed_min + std::log1p(std::exp(-std::fabs(a + b))) -
+         std::log1p(std::exp(-std::fabs(a - b)));
+}
+
+}  // namespace
+
+FloodingBpDecoder::FloodingBpDecoder(const QCLdpcCode& code, DecoderOptions options)
+    : code_(code), options_(options) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  var_to_check_.resize(code_.num_edges());
+  check_to_var_.resize(code_.num_edges());
+  posterior_.resize(code_.n());
+}
+
+DecodeResult FloodingBpDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  const auto& checks = code_.check_adjacency();
+  const auto& var_edges = code_.var_edges();
+
+  // Initialization: variable messages = channel LLRs.
+  for (std::size_t v = 0; v < code_.n(); ++v)
+    for (std::uint32_t e : var_edges[v]) var_to_check_[e] = llr[v];
+  std::fill(check_to_var_.begin(), check_to_var_.end(), 0.0F);
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+  BitVec previous_hard;
+  if (options_.observer) previous_hard.resize(code_.n());
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // Check-node update: exact extrinsic boxplus via forward/backward pass.
+    std::vector<float> fwd, bwd;
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const std::size_t deg = checks[c].size();
+      const std::size_t base = code_.edge_index(c, 0);
+      fwd.assign(deg, 0.0F);
+      bwd.assign(deg, 0.0F);
+      fwd[0] = var_to_check_[base];
+      for (std::size_t i = 1; i < deg; ++i)
+        fwd[i] = boxplus(fwd[i - 1], var_to_check_[base + i]);
+      bwd[deg - 1] = var_to_check_[base + deg - 1];
+      for (std::size_t i = deg - 1; i-- > 0;)
+        bwd[i] = boxplus(bwd[i + 1], var_to_check_[base + i]);
+      for (std::size_t i = 0; i < deg; ++i) {
+        if (i == 0)
+          check_to_var_[base] = bwd[1];
+        else if (i + 1 == deg)
+          check_to_var_[base + i] = fwd[deg - 2];
+        else
+          check_to_var_[base + i] = boxplus(fwd[i - 1], bwd[i + 1]);
+      }
+    }
+
+    // Variable-node update + posterior.
+    for (std::size_t v = 0; v < code_.n(); ++v) {
+      float total = llr[v];
+      for (std::uint32_t e : var_edges[v]) total += check_to_var_[e];
+      posterior_[v] = total;
+      for (std::uint32_t e : var_edges[v])
+        var_to_check_[e] = total - check_to_var_[e];
+      result.hard_bits.set(v, posterior_[v] < 0.0F);
+    }
+
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = code_.syndrome_weight(result.hard_bits);
+      double sum = 0.0;
+      for (const float p : posterior_) sum += std::fabs(static_cast<double>(p));
+      snap.mean_abs_llr = sum / static_cast<double>(code_.n());
+      snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      previous_hard = result.hard_bits;
+      options_.observer(snap);
+    }
+
+    if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  result.converged = code_.parity_ok(result.hard_bits);
+  return result;
+}
+
+}  // namespace ldpc

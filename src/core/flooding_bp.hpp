@@ -1,0 +1,32 @@
+// Floating-point flooding sum-product (belief propagation) decoder.
+//
+// This is the error-rate reference every other decoder is measured against:
+// exact check-node update (tanh rule, computed stably in the log domain via
+// pairwise combination), two-phase flooding schedule.
+#pragma once
+
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+
+namespace ldpc {
+
+class FloodingBpDecoder final : public Decoder {
+ public:
+  FloodingBpDecoder(const QCLdpcCode& code, DecoderOptions options);
+
+  DecodeResult decode(std::span<const float> llr) override;
+  std::size_t n() const override { return code_.n(); }
+  std::string name() const override { return "flooding-bp"; }
+
+ private:
+  const QCLdpcCode& code_;
+  DecoderOptions options_;
+  // Messages indexed by the code's global edge numbering.
+  std::vector<float> var_to_check_;
+  std::vector<float> check_to_var_;
+  std::vector<float> posterior_;
+};
+
+}  // namespace ldpc

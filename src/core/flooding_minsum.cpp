@@ -1,0 +1,130 @@
+#include "core/flooding_minsum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ldpc {
+
+FloodingMinSumDecoder::FloodingMinSumDecoder(const QCLdpcCode& code,
+                                             DecoderOptions options,
+                                             MinSumVariant variant, float offset)
+    : code_(code), options_(options), variant_(variant), offset_(offset) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  var_to_check_.resize(code_.num_edges());
+  check_to_var_.resize(code_.num_edges());
+}
+
+std::string FloodingMinSumDecoder::name() const {
+  switch (variant_) {
+    case MinSumVariant::kPlain:         return "flooding-minsum";
+    case MinSumVariant::kNormalized:    return "flooding-minsum-norm";
+    case MinSumVariant::kOffset:        return "flooding-minsum-offset";
+    case MinSumVariant::kSelfCorrected: return "flooding-minsum-scms";
+  }
+  return "flooding-minsum-?";
+}
+
+DecodeResult FloodingMinSumDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  const auto& checks = code_.check_adjacency();
+  const auto& var_edges = code_.var_edges();
+
+  for (std::size_t v = 0; v < code_.n(); ++v)
+    for (std::uint32_t e : var_edges[v]) var_to_check_[e] = llr[v];
+  std::fill(check_to_var_.begin(), check_to_var_.end(), 0.0F);
+  if (variant_ == MinSumVariant::kSelfCorrected)
+    prev_sign_.assign(code_.num_edges(), 2);  // unset
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+  BitVec previous_hard;
+  if (options_.observer) previous_hard.resize(code_.n());
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // Check-node update: min1/min2 + sign product, the same computation the
+    // hardware core 1 performs (but over all edges at once).
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const std::size_t deg = checks[c].size();
+      const std::size_t base = code_.edge_index(c, 0);
+      float min1 = std::numeric_limits<float>::infinity();
+      float min2 = std::numeric_limits<float>::infinity();
+      std::size_t pos1 = 0;
+      bool sign_product = false;  // false = +1
+      for (std::size_t i = 0; i < deg; ++i) {
+        const float q = var_to_check_[base + i];
+        const float mag = std::fabs(q);
+        sign_product ^= (q < 0.0F);
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          pos1 = i;
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      for (std::size_t i = 0; i < deg; ++i) {
+        float mag = (i == pos1) ? min2 : min1;
+        switch (variant_) {
+          case MinSumVariant::kPlain:
+          case MinSumVariant::kSelfCorrected:
+            break;
+          case MinSumVariant::kNormalized:
+            mag *= options_.scale;
+            break;
+          case MinSumVariant::kOffset:
+            mag = std::max(0.0F, mag - offset_);
+            break;
+        }
+        const bool negative = sign_product ^ (var_to_check_[base + i] < 0.0F);
+        check_to_var_[base + i] = negative ? -mag : mag;
+      }
+    }
+
+    // Variable-node update. Self-corrected min-sum (Savin 2008) erases a
+    // variable-to-check message whose sign flipped since the previous
+    // iteration — oscillation marks it unreliable.
+    double abs_sum = 0.0;
+    for (std::size_t v = 0; v < code_.n(); ++v) {
+      float total = llr[v];
+      for (std::uint32_t e : var_edges[v]) total += check_to_var_[e];
+      for (std::uint32_t e : var_edges[v]) {
+        float msg = total - check_to_var_[e];
+        if (variant_ == MinSumVariant::kSelfCorrected) {
+          const std::uint8_t sign_now = msg < 0.0F ? 1 : 0;
+          if (prev_sign_[e] != 2 && prev_sign_[e] != sign_now && msg != 0.0F) {
+            msg = 0.0F;
+            prev_sign_[e] = 2;  // erased: no sign to compare next round
+          } else {
+            prev_sign_[e] = sign_now;
+          }
+        }
+        var_to_check_[e] = msg;
+      }
+      result.hard_bits.set(v, total < 0.0F);
+      abs_sum += std::fabs(static_cast<double>(total));
+    }
+
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = code_.syndrome_weight(result.hard_bits);
+      snap.mean_abs_llr = abs_sum / static_cast<double>(code_.n());
+      snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      previous_hard = result.hard_bits;
+      options_.observer(snap);
+    }
+
+    if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  result.converged = code_.parity_ok(result.hard_bits);
+  return result;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,79 @@
+#include "core/flooding_minsum_fixed.hpp"
+
+#include <algorithm>
+
+#include "util/saturate.hpp"
+
+namespace ldpc {
+
+FloodingMinSumFixedDecoder::FloodingMinSumFixedDecoder(const QCLdpcCode& code,
+                                                       DecoderOptions options,
+                                                       FixedFormat format)
+    : code_(code), options_(options), kernel_(format) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  if (options_.scale != 0.75F) {
+    const auto num = static_cast<std::int32_t>(options_.scale * 16.0F + 0.5F);
+    kernel_ = LayerRowKernel(format, num, 16);
+  }
+  var_to_check_.resize(code_.num_edges());
+  check_to_var_.resize(code_.num_edges());
+}
+
+DecodeResult FloodingMinSumFixedDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t v = 0; v < llr.size(); ++v)
+    codes[v] = kernel_.format().quantize(llr[v]);
+  return decode_quantized(codes);
+}
+
+DecodeResult FloodingMinSumFixedDecoder::decode_quantized(
+    std::span<const std::int32_t> channel_codes) {
+  LDPC_CHECK(channel_codes.size() == code_.n());
+  const auto& checks = code_.check_adjacency();
+  const auto& var_edges = code_.var_edges();
+  const int w = kernel_.format().total_bits;
+
+  for (std::size_t v = 0; v < code_.n(); ++v)
+    for (std::uint32_t e : var_edges[v]) var_to_check_[e] = channel_codes[v];
+  std::fill(check_to_var_.begin(), check_to_var_.end(), 0);
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // Check phase: min1/min2/sign per row, scaled write-back (the CNU).
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const std::size_t deg = checks[c].size();
+      const std::size_t base = code_.edge_index(c, 0);
+      LayerRowKernel::CheckState st;
+      st.reset();
+      for (std::size_t i = 0; i < deg; ++i)
+        st.absorb(var_to_check_[base + i], static_cast<std::uint32_t>(i));
+      for (std::size_t i = 0; i < deg; ++i)
+        check_to_var_[base + i] = kernel_.compute_r_new(
+            st, var_to_check_[base + i], static_cast<std::uint32_t>(i));
+    }
+
+    // Variable phase: saturating totals, extrinsic write-back (the VNU).
+    for (std::size_t v = 0; v < code_.n(); ++v) {
+      std::int64_t total = channel_codes[v];
+      for (std::uint32_t e : var_edges[v]) total += check_to_var_[e];
+      for (std::uint32_t e : var_edges[v])
+        var_to_check_[e] = sat_clamp(total - check_to_var_[e], w);
+      result.hard_bits.set(v, total < 0);
+    }
+
+    if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  result.converged = code_.parity_ok(result.hard_bits);
+  return result;
+}
+
+}  // namespace ldpc

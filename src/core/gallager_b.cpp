@@ -1,0 +1,85 @@
+#include "core/gallager_b.hpp"
+
+#include <algorithm>
+
+namespace ldpc {
+
+GallagerBDecoder::GallagerBDecoder(const QCLdpcCode& code, DecoderOptions options,
+                                   std::size_t threshold)
+    : code_(code), options_(options), threshold_(threshold) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  var_to_check_.resize(code_.num_edges());
+  check_to_var_.resize(code_.num_edges());
+}
+
+DecodeResult GallagerBDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  BitVec received(code_.n());
+  for (std::size_t v = 0; v < code_.n(); ++v) received.set(v, llr[v] < 0.0F);
+  return decode_hard(received);
+}
+
+DecodeResult GallagerBDecoder::decode_hard(const BitVec& received) {
+  LDPC_CHECK(received.size() == code_.n());
+  const auto& checks = code_.check_adjacency();
+  const auto& var_edges = code_.var_edges();
+
+  for (std::size_t v = 0; v < code_.n(); ++v)
+    for (std::uint32_t e : var_edges[v])
+      var_to_check_[e] = received.get(v) ? 1 : 0;
+
+  DecodeResult result;
+  result.hard_bits = received;
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // Check update: extrinsic parity (XOR of all other incoming bits).
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      const std::size_t deg = checks[c].size();
+      const std::size_t base = code_.edge_index(c, 0);
+      std::uint8_t total = 0;
+      for (std::size_t i = 0; i < deg; ++i) total ^= var_to_check_[base + i];
+      for (std::size_t i = 0; i < deg; ++i)
+        check_to_var_[base + i] = total ^ var_to_check_[base + i];
+    }
+
+    // Variable update: flip against the channel bit when enough checks
+    // disagree; outgoing messages use the extrinsic count.
+    for (std::size_t v = 0; v < code_.n(); ++v) {
+      const bool channel_bit = received.get(v);
+      const std::size_t dv = var_edges[v].size();
+      const std::size_t threshold =
+          threshold_ ? threshold_ : std::max<std::size_t>(2, dv / 2 + 1);
+
+      std::size_t disagree = 0;
+      for (std::uint32_t e : var_edges[v])
+        disagree += (check_to_var_[e] != (channel_bit ? 1 : 0));
+
+      result.hard_bits.set(v, disagree >= threshold ? !channel_bit : channel_bit);
+      for (std::uint32_t e : var_edges[v]) {
+        const std::size_t extrinsic_disagree =
+            disagree - (check_to_var_[e] != (channel_bit ? 1 : 0));
+        const bool out = extrinsic_disagree >= threshold ? !channel_bit : channel_bit;
+        var_to_check_[e] = out ? 1 : 0;
+      }
+    }
+
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = code_.syndrome_weight(result.hard_bits);
+      options_.observer(snap);
+    }
+
+    if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  result.converged = code_.parity_ok(result.hard_bits);
+  return result;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,187 @@
+#include "core/layered_minsum_fixed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/saturate.hpp"
+
+namespace ldpc {
+
+// ---------------------------------------------------------------------------
+// LayerRowKernel
+// ---------------------------------------------------------------------------
+
+LayerRowKernel::LayerRowKernel(FixedFormat format, std::int32_t scale_num,
+                               std::int32_t scale_den)
+    : format_(format), scale_num_(scale_num), scale_den_(scale_den) {
+  validate(format_);
+  LDPC_CHECK_MSG(scale_den_ > 0 && scale_num_ > 0 && scale_num_ <= scale_den_,
+                 "min-sum scale must be a fraction in (0, 1], got "
+                     << scale_num_ << "/" << scale_den_);
+}
+
+void LayerRowKernel::CheckState::reset() {
+  // Sentinel: larger than any |Q| of any supported format (|min code| = 2^15).
+  min1 = 1 << 20;
+  min2 = 1 << 20;
+  pos1 = 0;
+  sign_product = false;
+  count = 0;
+}
+
+void LayerRowKernel::CheckState::absorb(std::int32_t q, std::uint32_t pos) {
+  const std::int32_t mag = q < 0 ? -q : q;
+  sign_product ^= (q < 0);
+  if (mag < min1) {
+    min2 = min1;
+    min1 = mag;
+    pos1 = pos;
+  } else if (mag < min2) {
+    min2 = mag;
+  }
+  ++count;
+}
+
+std::int32_t LayerRowKernel::compute_q(std::int32_t p, std::int32_t r) const {
+  return sat_sub(p, r, format_.total_bits);
+}
+
+LayerRowKernel LayerRowKernel::offset_kernel(FixedFormat format,
+                                             std::int32_t offset_code) {
+  LDPC_CHECK_MSG(offset_code >= 0, "offset must be non-negative");
+  LayerRowKernel k(format, 1, 1);
+  k.offset_code_ = offset_code;
+  return k;
+}
+
+std::int32_t LayerRowKernel::scale(std::int32_t magnitude) const {
+  if (offset_code_ >= 0) return std::max(0, magnitude - offset_code_);
+  // The paper's 0.75 is realized as (x>>1)+(x>>2) in a multiplier-free
+  // datapath; other ratios (ablation sweeps) use truncating num/den.
+  if (scale_num_ == 3 && scale_den_ == 4) return scale_three_quarters(magnitude);
+  return static_cast<std::int32_t>(
+      static_cast<std::int64_t>(magnitude) * scale_num_ / scale_den_);
+}
+
+std::int32_t LayerRowKernel::compute_r_new(const CheckState& st, std::int32_t q,
+                                           std::uint32_t pos) const {
+  LDPC_CHECK_MSG(st.count >= 2, "check row needs degree >= 2");
+  const std::int32_t mag = scale((pos == st.pos1) ? st.min2 : st.min1);
+  const bool negative = st.sign_product ^ (q < 0);
+  // Magnitudes fit the format by construction (|Q| <= max|code|, scaled down),
+  // except |min code| itself, which saturates to the positive rail.
+  return sat_clamp(negative ? -mag : mag, format_.total_bits);
+}
+
+std::int32_t LayerRowKernel::compute_p_new(std::int32_t q, std::int32_t r_new) const {
+  return sat_add(q, r_new, format_.total_bits);
+}
+
+// ---------------------------------------------------------------------------
+// LayeredMinSumFixedDecoder
+// ---------------------------------------------------------------------------
+
+LayeredMinSumFixedDecoder::LayeredMinSumFixedDecoder(const QCLdpcCode& code,
+                                                     DecoderOptions options,
+                                                     FixedFormat format)
+    : code_(code), options_(options), kernel_(format) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  // Ablation sweeps may pass non-0.75 scales via DecoderOptions::scale; map
+  // the common ones onto exact fractions to stay multiplier-free.
+  if (options_.scale != 0.75F) {
+    const auto num = static_cast<std::int32_t>(options_.scale * 16.0F + 0.5F);
+    kernel_ = LayerRowKernel(format, num, 16);
+  }
+  posterior_.resize(code_.n());
+  check_msg_.resize(code_.base().nonzero_blocks() * static_cast<std::size_t>(code_.z()));
+}
+
+LayeredMinSumFixedDecoder::LayeredMinSumFixedDecoder(const QCLdpcCode& code,
+                                                     DecoderOptions options,
+                                                     LayerRowKernel kernel,
+                                                     std::string label)
+    : code_(code),
+      options_(options),
+      kernel_(kernel),
+      label_(std::move(label)) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  posterior_.resize(code_.n());
+  check_msg_.resize(code_.base().nonzero_blocks() * static_cast<std::size_t>(code_.z()));
+}
+
+DecodeResult LayeredMinSumFixedDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t v = 0; v < llr.size(); ++v)
+    codes[v] = format().quantize(llr[v]);
+  return decode_quantized(codes);
+}
+
+DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
+    std::span<const std::int32_t> channel_codes) {
+  LDPC_CHECK(channel_codes.size() == code_.n());
+  const auto z = static_cast<std::size_t>(code_.z());
+
+  std::copy(channel_codes.begin(), channel_codes.end(), posterior_.begin());
+  std::fill(check_msg_.begin(), check_msg_.end(), 0);
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+  BitVec previous_hard;
+  if (options_.observer) previous_hard.resize(code_.n());
+
+  std::vector<std::int32_t> q;  // the Q_array of Fig. 5
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    for (const auto& layer : code_.layers()) {
+      const std::size_t deg = layer.size();
+      q.resize(deg);
+      for (std::size_t row = 0; row < z; ++row) {
+        LayerRowKernel::CheckState st;
+        st.reset();
+        // Stage 1 (core 1): Q = P - R, min1/min2/pos/sign accumulation.
+        for (std::size_t j = 0; j < deg; ++j) {
+          const auto& blk = layer[j];
+          const std::size_t var = blk.block_col * z + (row + blk.shift) % z;
+          q[j] = kernel_.compute_q(posterior_[var], check_msg_[blk.r_slot * z + row]);
+          st.absorb(q[j], static_cast<std::uint32_t>(j));
+        }
+        // Stage 2 (core 2): R' and P' write-back.
+        for (std::size_t j = 0; j < deg; ++j) {
+          const auto& blk = layer[j];
+          const std::size_t var = blk.block_col * z + (row + blk.shift) % z;
+          const std::int32_t r_new =
+              kernel_.compute_r_new(st, q[j], static_cast<std::uint32_t>(j));
+          check_msg_[blk.r_slot * z + row] = r_new;
+          posterior_[var] = kernel_.compute_p_new(q[j], r_new);
+        }
+      }
+    }
+
+    for (std::size_t v = 0; v < code_.n(); ++v)
+      result.hard_bits.set(v, posterior_[v] < 0);
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = code_.syndrome_weight(result.hard_bits);
+      double sum = 0.0;
+      for (const auto p : posterior_)
+        sum += std::abs(static_cast<double>(kernel_.format().dequantize(p)));
+      snap.mean_abs_llr = sum / static_cast<double>(code_.n());
+      snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      previous_hard = result.hard_bits;
+      options_.observer(snap);
+    }
+    if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  result.converged = code_.parity_ok(result.hard_bits);
+  return result;
+}
+
+}  // namespace ldpc

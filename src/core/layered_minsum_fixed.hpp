@@ -1,0 +1,113 @@
+// Fixed-point layered scaled-min-sum decoder — the paper's Algorithm 1,
+// bit-exact with the hardware datapaths in src/arch.
+//
+// Message representation follows Fig. 5: P and R are stored as
+// `format.total_bits`-wide two's-complement codes (8 bits in the paper's
+// architecture diagram, 6 in the Table II comparison row). The check-node
+// magnitude update uses min1/min2/pos1/sign tracking — precisely what the
+// core1 datapath computes into min1_array/min2_array/pos1_array/sign_array —
+// and the 0.75 scaling is the shift-add (x>>1)+(x>>2) a hardware multiplier-
+// free datapath performs (see scale_three_quarters in util/saturate.hpp).
+//
+// The cycle-accurate architecture simulators re-use this class's layer
+// arithmetic through LayerRowKernel so that "decoded output of the hardware
+// model == decoded output of the algorithm" is a checkable invariant rather
+// than a coincidence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+#include "core/quant.hpp"
+
+namespace ldpc {
+
+/// The per-row arithmetic of Algorithm 1, factored out so the algorithmic
+/// decoder and the hardware simulators execute the identical computation.
+/// All values are sign-extended codes of `format` width.
+class LayerRowKernel {
+ public:
+  LayerRowKernel(FixedFormat format, std::int32_t scale_num, std::int32_t scale_den);
+
+  /// Default kernel: the paper's 0.75 scaling.
+  explicit LayerRowKernel(FixedFormat format)
+      : LayerRowKernel(format, 3, 4) {}
+
+  /// Offset-min-sum kernel: magnitudes corrected by max(|m| - offset, 0)
+  /// instead of scaling. `offset_code` is in quantized units. The datapath
+  /// cost is one subtractor instead of the shift-add — the classic
+  /// alternative to the paper's normalization (used for ablations).
+  static LayerRowKernel offset_kernel(FixedFormat format, std::int32_t offset_code);
+
+  FixedFormat format() const { return format_; }
+
+  /// Stage-1 state for one check row (what core 1 accumulates).
+  struct CheckState {
+    std::int32_t min1 = 0;   ///< smallest |Q|
+    std::int32_t min2 = 0;   ///< second smallest |Q|
+    std::uint32_t pos1 = 0;  ///< block index of min1
+    bool sign_product = false;
+    std::uint32_t count = 0;
+
+    void reset();
+    /// Absorb one Q message (block index `pos` within the layer).
+    void absorb(std::int32_t q, std::uint32_t pos);
+  };
+
+  /// Q = P - R with saturation (stage 1 pre-processing).
+  std::int32_t compute_q(std::int32_t p, std::int32_t r) const;
+
+  /// New check message R' for block `pos` given the completed row state
+  /// (stage 2): scaled min with the sign product excluding this edge.
+  std::int32_t compute_r_new(const CheckState& st, std::int32_t q,
+                             std::uint32_t pos) const;
+
+  /// New posterior P' = Q + R' with saturation (stage 2).
+  std::int32_t compute_p_new(std::int32_t q, std::int32_t r_new) const;
+
+ private:
+  std::int32_t scale(std::int32_t magnitude) const;
+
+  FixedFormat format_;
+  std::int32_t scale_num_;
+  std::int32_t scale_den_;
+  std::int32_t offset_code_ = -1;  ///< >= 0 selects offset correction
+};
+
+class LayeredMinSumFixedDecoder final : public Decoder {
+ public:
+  LayeredMinSumFixedDecoder(const QCLdpcCode& code, DecoderOptions options,
+                            FixedFormat format = FixedFormat{});
+
+  /// Custom-kernel variant (e.g. LayerRowKernel::offset_kernel) for
+  /// correction-scheme ablations. `label` names the decoder in reports.
+  LayeredMinSumFixedDecoder(const QCLdpcCode& code, DecoderOptions options,
+                            LayerRowKernel kernel, std::string label);
+
+  DecodeResult decode(std::span<const float> llr) override;
+  std::size_t n() const override { return code_.n(); }
+  std::string name() const override {
+    return label_.empty() ? "layered-minsum-" + format().name() : label_;
+  }
+
+  FixedFormat format() const { return kernel_.format(); }
+
+  /// Decode from already-quantized channel codes; exposed so the hardware
+  /// simulators and tests can drive the decoder bit-exactly.
+  DecodeResult decode_quantized(std::span<const std::int32_t> channel_codes);
+
+  /// Final posteriors of the last decode (codes), for quantization studies.
+  const std::vector<std::int32_t>& posteriors() const { return posterior_; }
+
+ private:
+  const QCLdpcCode& code_;
+  DecoderOptions options_;
+  LayerRowKernel kernel_;
+  std::string label_;
+  std::vector<std::int32_t> posterior_;  ///< P memory
+  std::vector<std::int32_t> check_msg_;  ///< R memory, r_slot * z + row
+};
+
+}  // namespace ldpc

@@ -1,0 +1,96 @@
+#include "core/layered_minsum_float.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ldpc {
+
+LayeredMinSumFloatDecoder::LayeredMinSumFloatDecoder(const QCLdpcCode& code,
+                                                     DecoderOptions options)
+    : code_(code), options_(options) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  posterior_.resize(code_.n());
+  check_msg_.resize(code_.base().nonzero_blocks() * static_cast<std::size_t>(code_.z()));
+}
+
+DecodeResult LayeredMinSumFloatDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  const auto z = static_cast<std::size_t>(code_.z());
+
+  // Initialization (Algorithm 1): R = 0, P = channel LLR.
+  std::copy(llr.begin(), llr.end(), posterior_.begin());
+  std::fill(check_msg_.begin(), check_msg_.end(), 0.0F);
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+  BitVec previous_hard;
+  if (options_.observer) previous_hard.resize(code_.n());
+
+  std::vector<float> q;  // Q_mn for the row being processed
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    for (const auto& layer : code_.layers()) {
+      const std::size_t deg = layer.size();
+      q.resize(deg);
+      for (std::size_t row = 0; row < z; ++row) {
+        // Stage 1: read & pre-process — Q = P - R, track min1/min2/sign.
+        float min1 = std::numeric_limits<float>::infinity();
+        float min2 = std::numeric_limits<float>::infinity();
+        std::size_t pos1 = 0;
+        bool sign_product = false;
+        for (std::size_t j = 0; j < deg; ++j) {
+          const auto& blk = layer[j];
+          const std::size_t var = blk.block_col * z + (row + blk.shift) % z;
+          const float qv = posterior_[var] - check_msg_[blk.r_slot * z + row];
+          q[j] = qv;
+          const float mag = std::fabs(qv);
+          sign_product ^= (qv < 0.0F);
+          if (mag < min1) {
+            min2 = min1;
+            min1 = mag;
+            pos1 = j;
+          } else if (mag < min2) {
+            min2 = mag;
+          }
+        }
+        // Stage 2: decode & write back — R' = scale * prod(sign) * min,
+        // P' = Q + R'.
+        for (std::size_t j = 0; j < deg; ++j) {
+          const auto& blk = layer[j];
+          const std::size_t var = blk.block_col * z + (row + blk.shift) % z;
+          const float mag = options_.scale * ((j == pos1) ? min2 : min1);
+          const bool negative = sign_product ^ (q[j] < 0.0F);
+          const float r_new = negative ? -mag : mag;
+          check_msg_[blk.r_slot * z + row] = r_new;
+          posterior_[var] = q[j] + r_new;
+        }
+      }
+    }
+
+    for (std::size_t v = 0; v < code_.n(); ++v)
+      result.hard_bits.set(v, posterior_[v] < 0.0F);
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = code_.syndrome_weight(result.hard_bits);
+      double sum = 0.0;
+      for (const float p : posterior_) sum += std::fabs(static_cast<double>(p));
+      snap.mean_abs_llr = sum / static_cast<double>(code_.n());
+      snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      previous_hard = result.hard_bits;
+      options_.observer(snap);
+    }
+    if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  result.converged = code_.parity_ok(result.hard_bits);
+  return result;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,31 @@
+// Floating-point layered scaled-min-sum decoder (Algorithm 1 without
+// quantization).
+//
+// Serves two purposes: (1) isolates the convergence benefit of the layered
+// schedule from fixed-point effects in the BER benches, and (2) is the
+// reference the fixed-point decoder's quantization loss is measured against.
+#pragma once
+
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+
+namespace ldpc {
+
+class LayeredMinSumFloatDecoder final : public Decoder {
+ public:
+  LayeredMinSumFloatDecoder(const QCLdpcCode& code, DecoderOptions options);
+
+  DecodeResult decode(std::span<const float> llr) override;
+  std::size_t n() const override { return code_.n(); }
+  std::string name() const override { return "layered-minsum-float"; }
+
+ private:
+  const QCLdpcCode& code_;
+  DecoderOptions options_;
+  std::vector<float> posterior_;  ///< P_n
+  std::vector<float> check_msg_;  ///< R_mn, indexed r_slot * z + row
+};
+
+}  // namespace ldpc

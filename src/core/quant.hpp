@@ -1,0 +1,52 @@
+// Fixed-point quantization of channel LLRs and decoder messages.
+//
+// The paper's decoder stores P and R as 8-bit two's-complement values
+// (Fig. 5); Table II quotes 6 quantization bits for the comparison point.
+// Both are instances of FixedFormat{total_bits, frac_bits}: value = code *
+// 2^-frac_bits, saturating at the format's rails. The format is threaded
+// through the algorithmic decoder and the cycle-accurate datapaths so the
+// quantization-width ablation benches can sweep it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/saturate.hpp"
+
+namespace ldpc {
+
+struct FixedFormat {
+  int total_bits = 8;  ///< including sign
+  int frac_bits = 2;   ///< LLR resolution of 0.25 by default
+
+  constexpr std::int32_t max_code() const { return fixed_max(total_bits); }
+  constexpr std::int32_t min_code() const { return fixed_min(total_bits); }
+
+  /// Quantize an LLR: round to nearest, saturate.
+  std::int32_t quantize(float llr) const {
+    const float scaled = llr * static_cast<float>(1 << frac_bits);
+    const auto rounded = static_cast<std::int64_t>(std::lround(scaled));
+    return sat_clamp(rounded, total_bits);
+  }
+
+  /// Reconstruct the real value of a code.
+  float dequantize(std::int32_t code) const {
+    return static_cast<float>(code) / static_cast<float>(1 << frac_bits);
+  }
+
+  std::string name() const {
+    return "q" + std::to_string(total_bits) + "." + std::to_string(frac_bits);
+  }
+};
+
+/// Validate a format for use in the decoders (2..16 bits, frac < total).
+inline void validate(const FixedFormat& fmt) {
+  LDPC_CHECK_MSG(fmt.total_bits >= 2 && fmt.total_bits <= 16,
+                 "unsupported fixed-point width " << fmt.total_bits);
+  LDPC_CHECK_MSG(fmt.frac_bits >= 0 && fmt.frac_bits < fmt.total_bits,
+                 "invalid fraction bits " << fmt.frac_bits);
+}
+
+}  // namespace ldpc

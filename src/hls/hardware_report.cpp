@@ -1,0 +1,88 @@
+#include "hls/hardware_report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ldpc {
+
+std::vector<HardwareBlock> hardware_inventory(const QCLdpcCode& code,
+                                              const HardwareEstimate& est) {
+  const auto z = static_cast<long long>(code.z());
+  const int w = est.msg_bits;
+  const auto nb = static_cast<long long>(code.base().cols());
+  const auto slots = static_cast<long long>(code.base().nonzero_blocks());
+  const auto qdepth = static_cast<long long>(code.base().max_row_degree());
+  const bool pipelined = est.arch == ArchKind::kTwoLayerPipelined;
+
+  std::vector<HardwareBlock> blocks;
+  auto geometry = [](long long words, long long width) {
+    return std::to_string(words) + " x " + std::to_string(width) + " bits";
+  };
+
+  blocks.push_back({"P SRAM", geometry(nb, z * w), nb * z * w, "SRAM"});
+  blocks.push_back({"R SRAM", geometry(slots, z * w), slots * z * w, "SRAM"});
+  blocks.push_back({"parity check matrix ROM",
+                    std::to_string(slots) + " entries", 0, "control"});
+  blocks.push_back({"barrel_shifter",
+                    std::to_string(z) + " lanes x " + std::to_string(w) +
+                        " bits, log2 stages",
+                    0, "logic"});
+  blocks.push_back({"core1_dp cluster",
+                    std::to_string(est.core1_instances) + " copies", 0, "logic"});
+  blocks.push_back({"core2_dp cluster",
+                    std::to_string(est.core2_instances) + " copies", 0, "logic"});
+
+  const int copies = pipelined ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    const std::string owner = pipelined ? (c == 0 ? " (core1)" : " (core2)") : "";
+    blocks.push_back({"min1_array" + owner, geometry(z, w), z * w, "register file"});
+    blocks.push_back({"min2_array" + owner, geometry(z, w), z * w, "register file"});
+    blocks.push_back({"pos1_array" + owner, geometry(z, 5), z * 5, "register file"});
+    blocks.push_back({"sign_array" + owner, geometry(z, 1), z, "register file"});
+  }
+
+  if (pipelined) {
+    blocks.push_back({"Q FIFO", geometry(qdepth, z * w), qdepth * z * w, "FIFO"});
+    blocks.push_back({"scoreboard", geometry(1, nb), nb, "register file"});
+  } else {
+    blocks.push_back({"Q_array", geometry(qdepth, z * w), qdepth * z * w,
+                      "register file"});
+  }
+
+  blocks.push_back({"pipeline registers",
+                    std::to_string(est.pipeline_reg_bits) + " bits total",
+                    est.pipeline_reg_bits, "register file"});
+  return blocks;
+}
+
+std::string hardware_report(const QCLdpcCode& code, const HardwareEstimate& est) {
+  TextTable table("Hardware inventory — " + code.base().name() + ", " +
+                  arch_name(est.arch) + " @ " +
+                  TextTable::num(est.clock_mhz, 0) + " MHz, parallelism " +
+                  std::to_string(est.parallelism));
+  table.set_header({"block", "geometry", "bits", "kind"});
+  long long total_bits = 0;
+  for (const HardwareBlock& b : hardware_inventory(code, est)) {
+    table.add_row({b.name, b.geometry,
+                   b.bits ? TextTable::integer(b.bits) : std::string("-"),
+                   b.kind});
+    total_bits += b.bits;
+  }
+  table.add_rule();
+  table.add_row({"total storage", "", TextTable::integer(total_bits), ""});
+
+  std::ostringstream os;
+  os << table.str();
+  if (code.n() == 2304 && code.z() == 96 && est.msg_bits == 8) {
+    os << "Paper reference (Fig. " << (est.arch == ArchKind::kPerLayer ? 5 : 7)
+       << ", (2304, 1/2)): P SRAM 24 x 768 bits, R SRAM 84 x 768 bits (84 = "
+          "multi-rate provisioning; this code alone uses "
+       << code.base().nonzero_blocks()
+       << "), min1/min2 96 x 8, pos1 96 x 5, sign 96 x 1, Q "
+       << code.base().max_row_degree() << " x 768 bits.\n";
+  }
+  return os.str();
+}
+
+}  // namespace ldpc

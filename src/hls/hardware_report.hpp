@@ -1,0 +1,30 @@
+// Hardware inventory report — the textual equivalent of the paper's Fig. 5
+// (per-layer) and Fig. 7 (pipelined) block diagrams: every memory, array
+// and datapath cluster with its geometry, as generated for a given code and
+// hardware estimate.
+#pragma once
+
+#include <string>
+
+#include "codes/qc_code.hpp"
+#include "hls/pico.hpp"
+
+namespace ldpc {
+
+/// One block of the architecture diagram.
+struct HardwareBlock {
+  std::string name;      ///< e.g. "P SRAM", "min1_array", "core1_dp"
+  std::string geometry;  ///< e.g. "24 x 768 bits", "96 copies"
+  long long bits = 0;    ///< storage bits (0 for pure logic blocks)
+  std::string kind;      ///< "SRAM" | "register file" | "FIFO" | "logic" | "control"
+};
+
+/// Enumerate the blocks of Fig. 5 / Fig. 7 for this design point.
+std::vector<HardwareBlock> hardware_inventory(const QCLdpcCode& code,
+                                              const HardwareEstimate& est);
+
+/// Render the inventory as a table, annotated with the paper's Fig. 5/7
+/// reference values for the (2304, 1/2) case study when they apply.
+std::string hardware_report(const QCLdpcCode& code, const HardwareEstimate& est);
+
+}  // namespace ldpc

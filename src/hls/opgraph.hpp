@@ -1,0 +1,70 @@
+// Dataflow-graph representation of a datapath, the input to the HLS
+// scheduler.
+//
+// This stands in for the proprietary PICO compiler's internal IR (see
+// DESIGN.md's substitution table). Nodes are primitive RTL operators with
+// 65 nm delay/area characteristics; edges are data dependencies. The
+// scheduler chains operators into clock periods exactly the way an HLS tool
+// does when given a target frequency, which is what produces the paper's
+// "latency and area increase with clock frequency" behaviour (Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+enum class OpKind {
+  kAdd,        ///< ripple/carry-select adder
+  kSub,
+  kAbs,        ///< conditional negate (two's complement -> magnitude)
+  kCompare,    ///< magnitude comparator
+  kMux,        ///< 2:1 multiplexer
+  kXor,        ///< 1-bit parity / sign xor
+  kScaleShiftAdd,  ///< (x>>1)+(x>>2) normalization
+  kSramRead,   ///< SRAM macro access (delay dominated)
+  kSramWrite,
+  kShiftStage, ///< one mux stage of the logarithmic barrel shifter
+  kLut,        ///< nonlinear function table (phi(x) for sum-product)
+  kWire,       ///< zero-delay connection point (fan-in collector)
+};
+
+/// Typical TSMC 65 nm GP standard-cell timing (ns) for a `width`-bit
+/// instance of the operator, at nominal corner. Values are calibrated so the
+/// paper's datapaths land at the pipeline depths its Fig. 8 implies.
+double op_delay_ns(OpKind kind, int width);
+
+/// Combinational area (um^2) of a `width`-bit instance (NAND2-equivalent
+/// counts times 1.44 um^2/gate for the 65 nm library).
+double op_area_um2(OpKind kind, int width);
+
+struct OpNode {
+  OpKind kind;
+  int width;                      ///< operand width in bits
+  std::vector<std::size_t> deps;  ///< producer node ids
+  std::string label;
+};
+
+class OpGraph {
+ public:
+  /// Append a node; dependencies must already exist (topological insert).
+  std::size_t add(OpKind kind, int width, std::vector<std::size_t> deps,
+                  std::string label = "");
+
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Sum of op areas (un-pipelined, one instance).
+  double total_area_um2() const;
+
+  /// Longest combinational path with no pipelining (ns).
+  double critical_path_ns() const;
+
+ private:
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,203 @@
+#include "hls/pico.hpp"
+
+#include <cmath>
+
+namespace ldpc {
+
+std::string arch_name(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kPerLayer:          return "per-layer";
+    case ArchKind::kTwoLayerPipelined: return "two-layer-pipelined";
+  }
+  return "?";
+}
+
+OpGraph PicoCompiler::build_core1_graph() const {
+  const int w = format_.total_bits;
+  OpGraph g;
+  // Stage 1 of Algorithm 1: read P (already shifted), read R, Q = P - R,
+  // then the min1/min2/pos/sign running update against the state arrays.
+  const auto p_read = g.add(OpKind::kSramRead, w, {}, "P_read");
+  const auto r_read = g.add(OpKind::kSramRead, w, {}, "R_read");
+  const auto q = g.add(OpKind::kSub, w, {p_read, r_read}, "Q=P-R");
+  const auto q_abs = g.add(OpKind::kAbs, w, {q}, "|Q|");
+  const auto sign = g.add(OpKind::kXor, 1, {q}, "sign_acc");
+  const auto cmp1 = g.add(OpKind::kCompare, w, {q_abs}, "cmp_min1");
+  const auto min1 = g.add(OpKind::kMux, w, {cmp1, q_abs}, "min1_upd");
+  const auto cmp2 = g.add(OpKind::kCompare, w, {q_abs, cmp1}, "cmp_min2");
+  const auto min2 = g.add(OpKind::kMux, w, {cmp2, min1}, "min2_upd");
+  const auto pos = g.add(OpKind::kMux, 5, {cmp1}, "pos1_upd");
+  g.add(OpKind::kWire, 1, {min2, pos, sign, q}, "state_out");
+  return g;
+}
+
+OpGraph PicoCompiler::build_core2_graph() const {
+  const int w = format_.total_bits;
+  OpGraph g;
+  // Stage 2 of Algorithm 1: pick min1/min2 by position, scale by 0.75,
+  // re-apply sign, P' = Q + R', write both memories back.
+  const auto pos_cmp = g.add(OpKind::kCompare, 5, {}, "pos==min1?");
+  const auto min_sel = g.add(OpKind::kMux, w, {pos_cmp}, "min_select");
+  const auto scaled = g.add(OpKind::kScaleShiftAdd, w, {min_sel}, "0.75x");
+  const auto sign = g.add(OpKind::kXor, 1, {}, "sign_prod^sign(Q)");
+  const auto r_new = g.add(OpKind::kAbs, w, {scaled, sign}, "apply_sign");
+  const auto p_new = g.add(OpKind::kAdd, w, {r_new}, "P'=Q+R'");
+  g.add(OpKind::kSramWrite, w, {r_new}, "R_write");
+  g.add(OpKind::kSramWrite, w, {p_new}, "P_write");
+  return g;
+}
+
+OpGraph PicoCompiler::build_bp_core1_graph() const {
+  const int w = format_.total_bits;
+  OpGraph g;
+  // Sum-product stage 1: Q = P - R, then the log-domain transform
+  // phi(|Q|) = -log tanh(|Q|/2) via LUT, accumulated into a (w+3)-bit sum;
+  // the sign chain is identical to min-sum.
+  const auto p_read = g.add(OpKind::kSramRead, w, {}, "P_read");
+  const auto r_read = g.add(OpKind::kSramRead, w, {}, "R_read");
+  const auto q = g.add(OpKind::kSub, w, {p_read, r_read}, "Q=P-R");
+  const auto q_abs = g.add(OpKind::kAbs, w, {q}, "|Q|");
+  const auto sign = g.add(OpKind::kXor, 1, {q}, "sign_acc");
+  const auto phi = g.add(OpKind::kLut, w, {q_abs}, "phi_lut");
+  const auto acc = g.add(OpKind::kAdd, w + 3, {phi}, "phi_sum_acc");
+  g.add(OpKind::kWire, 1, {acc, sign, q}, "state_out");
+  return g;
+}
+
+OpGraph PicoCompiler::build_bp_core2_graph() const {
+  const int w = format_.total_bits;
+  OpGraph g;
+  // Sum-product stage 2: per-edge extrinsic = phi^{-1}(sum - phi(|Q|)),
+  // which needs a second phi LUT, a wide subtract and the inverse LUT.
+  const auto phi = g.add(OpKind::kLut, w, {}, "phi_lut_2");
+  const auto diff = g.add(OpKind::kSub, w + 3, {phi}, "sum_minus_phi");
+  const auto inv = g.add(OpKind::kLut, w, {diff}, "phi_inv_lut");
+  const auto sign = g.add(OpKind::kXor, 1, {}, "sign_prod^sign(Q)");
+  const auto r_new = g.add(OpKind::kAbs, w, {inv, sign}, "apply_sign");
+  const auto p_new = g.add(OpKind::kAdd, w, {r_new}, "P'=Q+R'");
+  g.add(OpKind::kSramWrite, w, {r_new}, "R_write");
+  g.add(OpKind::kSramWrite, w, {p_new}, "P_write");
+  return g;
+}
+
+OpGraph PicoCompiler::build_shifter_graph(int z) const {
+  LDPC_CHECK(z >= 2);
+  const int w = format_.total_bits;
+  OpGraph g;
+  // Logarithmic barrel rotator: ceil(log2(z)) mux stages, chained.
+  const int stages = static_cast<int>(std::ceil(std::log2(static_cast<double>(z))));
+  std::size_t prev = g.add(OpKind::kWire, w, {}, "shift_in");
+  for (int s = 0; s < stages; ++s)
+    prev = g.add(OpKind::kShiftStage, w, {prev}, "rot_stage" + std::to_string(s));
+  return g;
+}
+
+HardwareEstimate PicoCompiler::compile(const QCLdpcCode& code, ArchKind arch,
+                                       const HardwareTarget& target) const {
+  const int z = code.z();
+  LDPC_CHECK_MSG(target.parallelism >= 1 && target.parallelism <= z &&
+                     z % target.parallelism == 0,
+                 "parallelism " << target.parallelism << " must divide z=" << z);
+  LDPC_CHECK_MSG(target.clock_mhz > 0.0, "clock must be positive");
+  const double period_ns = 1000.0 / target.clock_mhz;
+
+  const OpGraph core1 = build_core1_graph();
+  const OpGraph core2 = build_core2_graph();
+  const OpGraph shifter = build_shifter_graph(z);
+
+  // The shifter feeds core1 (Fig. 5): schedule the concatenated front-end so
+  // chaining across the block boundary is modelled. Rebuild core1 on top of
+  // the shifter graph.
+  OpGraph front = build_shifter_graph(z);
+  {
+    const std::size_t shift_out = front.size() - 1;
+    const int w = format_.total_bits;
+    const auto p_read = shift_out;  // shifted P value
+    const auto r_read = front.add(OpKind::kSramRead, w, {}, "R_read");
+    const auto q = front.add(OpKind::kSub, w, {p_read, r_read}, "Q=P-R");
+    const auto q_abs = front.add(OpKind::kAbs, w, {q}, "|Q|");
+    const auto sign = front.add(OpKind::kXor, 1, {q}, "sign_acc");
+    const auto cmp1 = front.add(OpKind::kCompare, w, {q_abs}, "cmp_min1");
+    const auto min1 = front.add(OpKind::kMux, w, {cmp1, q_abs}, "min1_upd");
+    const auto cmp2 = front.add(OpKind::kCompare, w, {q_abs, cmp1}, "cmp_min2");
+    const auto min2 = front.add(OpKind::kMux, w, {cmp2, min1}, "min2_upd");
+    const auto pos = front.add(OpKind::kMux, 5, {cmp1}, "pos1_upd");
+    front.add(OpKind::kWire, 1, {min2, pos, sign, q}, "state_out");
+  }
+  // The P SRAM read precedes the shifter in its own access slot; model it as
+  // a prefix op on the front-end graph.
+  OpGraph front_full;
+  {
+    const int w = format_.total_bits;
+    const auto pr = front_full.add(OpKind::kSramRead, w, {}, "P_read");
+    std::size_t prev = pr;
+    for (const OpNode& n : front.nodes()) {
+      std::vector<std::size_t> deps = n.deps;
+      for (auto& d : deps) d += 1;  // shifted by the prefix node
+      if (deps.empty()) deps.push_back(prev);
+      front_full.add(n.kind, n.width, std::move(deps), n.label);
+    }
+  }
+
+  const ScheduleResult front_sched = schedule(front_full, period_ns);
+  const ScheduleResult back_sched = schedule(core2, period_ns);
+
+  HardwareEstimate est;
+  est.arch = arch;
+  est.clock_mhz = target.clock_mhz;
+  est.parallelism = target.parallelism;
+  est.fold = z / target.parallelism;
+  est.core1_latency = front_sched.latency_cycles;
+  est.core2_latency = back_sched.latency_cycles;
+  est.core1_instances = target.parallelism;
+  est.core2_instances = target.parallelism;
+  est.critical_path_ns =
+      std::max(front_sched.critical_path_ns, back_sched.critical_path_ns);
+
+  const double p = static_cast<double>(target.parallelism);
+  est.datapath_area_um2 =
+      p * (core1.total_area_um2() + core2.total_area_um2());
+  // Full-z rotator regardless of datapath folding: data still arrives as a
+  // z-wide vector from the P memory word.
+  const int stages = static_cast<int>(std::ceil(std::log2(static_cast<double>(z))));
+  est.shifter_area_um2 = static_cast<double>(z) * static_cast<double>(stages) *
+                         op_area_um2(OpKind::kShiftStage, format_.total_bits);
+
+  // Pipeline registers: per instance, plus one set for the z-wide shifter.
+  est.pipeline_reg_bits =
+      static_cast<long long>(p) * (front_sched.register_bits + back_sched.register_bits);
+
+  // Architectural arrays (Fig. 5 / Fig. 7 block diagrams).
+  const int w = format_.total_bits;
+  const auto zl = static_cast<long long>(z);
+  const auto max_deg = static_cast<long long>(code.base().max_row_degree());
+  const long long min_arrays = zl * w * 2;  // min1 + min2
+  const long long pos_array = zl * 5;
+  const long long sign_array = zl * 1;
+  const long long state_arrays = min_arrays + pos_array + sign_array;
+  const long long q_storage = max_deg * zl * w;  // Q array or Q FIFO
+
+  const long long front_pipe =
+      static_cast<long long>(p) * front_sched.register_bits;
+  const long long back_pipe =
+      static_cast<long long>(p) * back_sched.register_bits;
+
+  est.msg_bits = w;
+  est.reg_bits_state_core1 = state_arrays;
+  est.reg_bits_pipe_core1 = front_pipe;
+  est.reg_bits_pipe_core2 = back_pipe;
+  est.reg_bits_q = q_storage;
+  long long arrays = state_arrays + q_storage;
+  if (arch == ArchKind::kTwoLayerPipelined) {
+    // Each core owns private copies of the state arrays, plus the scoreboard.
+    arrays += state_arrays;
+    est.reg_bits_state_core2 = state_arrays;
+    const auto sb_bits = static_cast<long long>(code.base().cols());
+    arrays += sb_bits;
+    est.reg_bits_other += sb_bits;
+  }
+  est.array_reg_bits = arrays;
+  return est;
+}
+
+}  // namespace ldpc

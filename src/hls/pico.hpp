@@ -1,0 +1,106 @@
+// PICO high-level-synthesis model: untimed decoder description -> hardware.
+//
+// PicoCompiler plays the role of the Synfora PICO flow in the paper (see
+// DESIGN.md): given the decoder architecture (per-layer or two-layer
+// pipelined), the unroll factor (datapath parallelism, Fig. 3) and a target
+// clock frequency, it
+//   1. builds the operator graphs of the core1 / core2 datapaths and the
+//      logarithmic barrel shifter (the blocks of Fig. 5/7),
+//   2. schedules them against the clock budget (operator chaining; deeper
+//      pipelines at higher frequencies),
+//   3. sizes the architectural storage (min1/min2/pos1/sign arrays, Q
+//      array or FIFO, scoreboard) from the code geometry, and
+//   4. reports instance counts, register bits and combinational area for
+//      the area/power models.
+#pragma once
+
+#include "codes/qc_code.hpp"
+#include "core/quant.hpp"
+#include "hls/scheduler.hpp"
+
+namespace ldpc {
+
+enum class ArchKind {
+  kPerLayer,           ///< Fig. 4/5: core1 then core2, no overlap
+  kTwoLayerPipelined,  ///< Fig. 6/7: core1 of layer l+1 overlaps core2 of l
+};
+
+std::string arch_name(ArchKind kind);
+
+struct HardwareTarget {
+  double clock_mhz = 400.0;
+  int parallelism = 96;  ///< datapath copies (the Fig. 3 unroll factor)
+};
+
+struct HardwareEstimate {
+  ArchKind arch = ArchKind::kPerLayer;
+  double clock_mhz = 0.0;
+  int parallelism = 0;
+  int fold = 1;  ///< z / parallelism: beats per block-column vector
+
+  // Pipeline depths (cycles) from scheduling at the clock budget.
+  int core1_latency = 1;   ///< P read + shift + Q + min tracking
+  int core2_latency = 1;   ///< R'/P' compute + write back
+
+  // Structure.
+  int core1_instances = 0;
+  int core2_instances = 0;
+
+  // Area inputs (std cells only; SRAM macros are handled by AreaModel).
+  double datapath_area_um2 = 0.0;   ///< all datapath instances
+  double shifter_area_um2 = 0.0;    ///< full-z logarithmic shifter
+  long long pipeline_reg_bits = 0;  ///< from scheduling, all instances
+  long long array_reg_bits = 0;     ///< min/pos/sign/Q/scoreboard storage
+  double critical_path_ns = 0.0;
+
+  // Register breakdown by clock-gating domain (sums to total_reg_bits()).
+  // PICO's idle-register gating clocks each class only when it is written,
+  // which is what the power model prices.
+  long long reg_bits_state_core1 = 0;  ///< min1/min2/pos1/sign arrays (core1)
+  long long reg_bits_state_core2 = 0;  ///< core2's private copies (pipelined)
+  long long reg_bits_pipe_core1 = 0;   ///< front-end pipeline registers
+  long long reg_bits_pipe_core2 = 0;   ///< back-end pipeline registers
+  long long reg_bits_q = 0;            ///< Q array / Q FIFO storage
+  long long reg_bits_other = 0;        ///< scoreboard, sequencers, misc
+
+  int msg_bits = 8;  ///< message width (for per-lane register accounting)
+
+  long long total_reg_bits() const { return pipeline_reg_bits + array_reg_bits; }
+  /// State-array bits one datapath lane owns (min1+min2+pos1+sign).
+  int state_bits_per_lane() const { return 2 * msg_bits + 5 + 1; }
+  /// One Q FIFO entry (a z-wide vector of Q messages), in bits.
+  long long q_entry_bits() const {
+    return static_cast<long long>(parallelism) * fold * msg_bits;
+  }
+};
+
+class PicoCompiler {
+ public:
+  explicit PicoCompiler(FixedFormat format = FixedFormat{}) : format_(format) {
+    validate(format_);
+  }
+
+  /// Operator graph of one core1 datapath lane (including the P/R reads).
+  OpGraph build_core1_graph() const;
+  /// Operator graph of one core2 datapath lane (including the write-backs).
+  OpGraph build_core2_graph() const;
+  /// Operator graph of the full-width barrel shifter (z lanes).
+  OpGraph build_shifter_graph(int z) const;
+
+  /// Hypothetical sum-product (exact boxplus) check-node datapaths, built
+  /// from phi-function lookup tables. Not used by the decoder — they exist
+  /// to quantify the hardware cost of BP vs min-sum (the justification for
+  /// Algorithm 1's min-sum approximation; see bench_ablations).
+  OpGraph build_bp_core1_graph() const;
+  OpGraph build_bp_core2_graph() const;
+
+  /// Compile for a code / architecture / target. Throws ldpc::Error when the
+  /// parallelism does not divide z or the frequency is unschedulable.
+  HardwareEstimate compile(const QCLdpcCode& code, ArchKind arch,
+                           const HardwareTarget& target) const;
+
+ private:
+  FixedFormat format_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,29 @@
+// Verilog RTL generation — the PICO flow's primary output ("the PICO system
+// automatically generates the synthesizable RTL", §II).
+//
+// Emits a structural Verilog-2001 skeleton of the compiled decoder:
+// parameterized top module, P/R memory wrappers, the logarithmic barrel
+// shifter, core1/core2 datapath lanes pipelined per the HLS schedule, the
+// layer-program ROM derived from the parity check matrix, and — for the
+// pipelined architecture — the Q FIFO and scoreboard. The output is a
+// synthesis bring-up skeleton: structurally complete and internally
+// consistent (geometry, widths and the control program all come from the
+// same objects the cycle-accurate simulator runs on), intended for human
+// review and downstream elaboration rather than as tape-out-ready netlists.
+#pragma once
+
+#include <string>
+
+#include "codes/qc_code.hpp"
+#include "hls/pico.hpp"
+
+namespace ldpc {
+
+/// The layer-program ROM contents: one line per non-zero circulant in
+/// schedule order, as a Verilog case statement body.
+std::string generate_matrix_rom(const QCLdpcCode& code);
+
+/// Full decoder skeleton for a compiled design point.
+std::string generate_verilog(const QCLdpcCode& code, const HardwareEstimate& est);
+
+}  // namespace ldpc

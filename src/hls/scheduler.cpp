@@ -1,0 +1,107 @@
+#include "hls/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ldpc {
+
+std::vector<ScheduledOp> schedule_detail(const OpGraph& graph,
+                                         double clock_period_ns,
+                                         double sequencing_overhead_ns) {
+  LDPC_CHECK(clock_period_ns > sequencing_overhead_ns);
+  const double budget = clock_period_ns - sequencing_overhead_ns;
+
+  const auto& nodes = graph.nodes();
+  std::vector<ScheduledOp> out(nodes.size());
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const double delay = op_delay_ns(nodes[i].kind, nodes[i].width);
+    LDPC_CHECK_MSG(delay <= budget,
+                   "operator '" << nodes[i].label << "' (" << delay
+                                << " ns) cannot meet a " << clock_period_ns
+                                << " ns clock");
+    // Value availability: produced in an earlier cycle -> registered, usable
+    // at offset 0; produced in the same candidate cycle -> chained.
+    int c = 0;
+    double t = 0.0;
+    for (std::size_t d : nodes[i].deps) {
+      if (out[d].cycle > c) {
+        c = out[d].cycle;
+        t = out[d].finish_ns;
+      } else if (out[d].cycle == c) {
+        t = std::max(t, out[d].finish_ns);
+      }
+    }
+    if (t + delay > budget) {  // does not fit after chaining: next cycle
+      ++c;
+      t = 0.0;
+    }
+    out[i] = ScheduledOp{i, c, t, t + delay};
+  }
+  return out;
+}
+
+ScheduleResult schedule(const OpGraph& graph, double clock_period_ns,
+                        double sequencing_overhead_ns) {
+  const auto detail =
+      schedule_detail(graph, clock_period_ns, sequencing_overhead_ns);
+  const auto& nodes = graph.nodes();
+
+  ScheduleResult result;
+  result.comb_area_um2 = graph.total_area_um2();
+
+  int depth = 0;
+  for (const ScheduledOp& op : detail) {
+    depth = std::max(depth, op.cycle);
+    result.critical_path_ns = std::max(result.critical_path_ns, op.finish_ns);
+  }
+  result.latency_cycles = depth + 1;
+
+  // Pipeline registers: each node's value must survive until its last
+  // consumer's cycle; one register of `width` bits per boundary crossed.
+  std::vector<int> last_use(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t d : nodes[i].deps)
+      last_use[d] = std::max(last_use[d], detail[i].cycle);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const int span = last_use[i] - detail[i].cycle;
+    if (span > 0)
+      result.register_bits += static_cast<long long>(span) * nodes[i].width;
+  }
+  return result;
+}
+
+double max_schedulable_mhz(const OpGraph& graph, double sequencing_overhead_ns) {
+  double slowest = 0.0;
+  for (const OpNode& n : graph.nodes())
+    slowest = std::max(slowest, op_delay_ns(n.kind, n.width));
+  return 1000.0 / (slowest + sequencing_overhead_ns);
+}
+
+std::string schedule_report(const OpGraph& graph, double clock_period_ns,
+                            double sequencing_overhead_ns) {
+  const auto detail =
+      schedule_detail(graph, clock_period_ns, sequencing_overhead_ns);
+  const auto& nodes = graph.nodes();
+
+  std::map<int, std::vector<const ScheduledOp*>> by_cycle;
+  for (const ScheduledOp& op : detail) by_cycle[op.cycle].push_back(&op);
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  for (const auto& [cycle, ops] : by_cycle) {
+    os << "cycle " << cycle << ':';
+    for (const ScheduledOp* op : ops) {
+      const std::string& label = nodes[op->node].label;
+      os << ' ' << (label.empty() ? "op" + std::to_string(op->node) : label)
+         << '[' << op->start_ns << '-' << op->finish_ns << ']';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ldpc

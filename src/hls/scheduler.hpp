@@ -1,0 +1,52 @@
+// Clock-budgeted list scheduler.
+//
+// Given an operator DAG and a target clock period, pack chained operators
+// into cycles (operator chaining), inserting pipeline registers at every
+// cycle boundary a live value crosses. Initiation interval is 1 — the
+// paper's decoder cores accept one block column per cycle — so deeper
+// pipelines cost fill/drain latency and register area but not throughput,
+// which is exactly the trade Fig. 8 plots.
+#pragma once
+
+#include "hls/opgraph.hpp"
+
+namespace ldpc {
+
+struct ScheduleResult {
+  int latency_cycles = 1;        ///< pipeline depth (>= 1)
+  long long register_bits = 0;   ///< pipeline registers inserted
+  double comb_area_um2 = 0.0;    ///< operator area (one instance)
+  double critical_path_ns = 0.0; ///< longest intra-cycle chain achieved
+};
+
+/// `sequencing_overhead_ns` models FF clk->Q + setup + clock skew; the
+/// usable chaining budget per cycle is period - overhead. Throws ldpc::Error
+/// if any single operator exceeds the budget (frequency infeasible).
+ScheduleResult schedule(const OpGraph& graph, double clock_period_ns,
+                        double sequencing_overhead_ns = 0.35);
+
+/// Largest clock frequency (MHz) at which the graph can still be scheduled,
+/// i.e. the slowest single operator fits the budget.
+double max_schedulable_mhz(const OpGraph& graph,
+                           double sequencing_overhead_ns = 0.35);
+
+/// Detailed schedule: the cycle and intra-cycle time window assigned to
+/// every operator (same algorithm as schedule(), exposed for inspection).
+struct ScheduledOp {
+  std::size_t node = 0;
+  int cycle = 0;
+  double start_ns = 0.0;
+  double finish_ns = 0.0;
+};
+
+std::vector<ScheduledOp> schedule_detail(const OpGraph& graph,
+                                         double clock_period_ns,
+                                         double sequencing_overhead_ns = 0.35);
+
+/// Human-readable schedule report:
+///   cycle 0: P_read[0.00-1.40] Q=P-R[1.40-1.92]
+///   cycle 1: ...
+std::string schedule_report(const OpGraph& graph, double clock_period_ns,
+                            double sequencing_overhead_ns = 0.35);
+
+}  // namespace ldpc

@@ -1,0 +1,27 @@
+#include "power/area_model.hpp"
+
+namespace ldpc {
+
+AreaBreakdown AreaModel::estimate(const HardwareEstimate& hw,
+                                  long long sram_bits) const {
+  constexpr double kUm2PerMm2 = 1.0e6;
+
+  const double control = hw.arch == ArchKind::kTwoLayerPipelined
+                             ? tech_.control_overhead_pipelined
+                             : tech_.control_overhead_per_layer;
+  const double f_ratio = hw.clock_mhz / tech_.pressure_ref_mhz;
+  const double pressure = 1.0 + tech_.timing_pressure * f_ratio * f_ratio;
+
+  AreaBreakdown a;
+  a.datapath_mm2 = hw.datapath_area_um2 * control * pressure / kUm2PerMm2;
+  a.shifter_mm2 = hw.shifter_area_um2 * pressure / kUm2PerMm2;
+  a.registers_mm2 =
+      static_cast<double>(hw.total_reg_bits()) * tech_.ff_area_um2 / kUm2PerMm2;
+  a.std_cells_mm2 = a.datapath_mm2 + a.shifter_mm2 + a.registers_mm2;
+  a.sram_mm2 =
+      static_cast<double>(sram_bits) * tech_.sram_area_um2_per_bit / kUm2PerMm2;
+  a.core_mm2 = a.std_cells_mm2 + a.sram_mm2;
+  return a;
+}
+
+}  // namespace ldpc

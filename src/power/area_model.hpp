@@ -1,0 +1,34 @@
+// Area model: PICO hardware estimate -> silicon area (65 nm).
+//
+// Splits area the way the paper reports it: Fig. 8b plots standard cells
+// only ("a fair comparison because two architectures would require the same
+// amount of external SRAMs"); Table II's 1.2 mm^2 core area includes the
+// SRAM macros.
+#pragma once
+
+#include "hls/pico.hpp"
+#include "power/tech65nm.hpp"
+
+namespace ldpc {
+
+struct AreaBreakdown {
+  double datapath_mm2 = 0.0;   ///< core1/core2 instances incl. control share
+  double shifter_mm2 = 0.0;
+  double registers_mm2 = 0.0;  ///< pipeline + architectural flip-flops
+  double std_cells_mm2 = 0.0;  ///< sum of the above (the Fig. 8b quantity)
+  double sram_mm2 = 0.0;       ///< P + R macros
+  double core_mm2 = 0.0;       ///< std cells + SRAM (the Table II quantity)
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(const Tech65nm& tech = tech65nm()) : tech_(tech) {}
+
+  /// `sram_bits` = P memory + R memory capacity for the supported code(s).
+  AreaBreakdown estimate(const HardwareEstimate& hw, long long sram_bits) const;
+
+ private:
+  Tech65nm tech_;
+};
+
+}  // namespace ldpc

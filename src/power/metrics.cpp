@@ -1,0 +1,32 @@
+#include "power/metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+double latency_us(long long cycles, double clock_mhz) {
+  LDPC_CHECK(clock_mhz > 0.0);
+  return static_cast<double>(cycles) / clock_mhz;
+}
+
+double info_throughput_mbps(std::size_t info_bits, long long cycles_per_frame,
+                            double clock_mhz) {
+  LDPC_CHECK(cycles_per_frame > 0);
+  return static_cast<double>(info_bits) * clock_mhz /
+         static_cast<double>(cycles_per_frame);
+}
+
+double coded_throughput_mbps(std::size_t coded_bits, long long cycles_per_frame,
+                             double clock_mhz) {
+  LDPC_CHECK(cycles_per_frame > 0);
+  return static_cast<double>(coded_bits) * clock_mhz /
+         static_cast<double>(cycles_per_frame);
+}
+
+double energy_per_bit_pj(double power_mw, double throughput_mbps) {
+  LDPC_CHECK(throughput_mbps > 0.0);
+  // mW / Mbps = nJ/bit; convert to pJ/bit.
+  return power_mw / throughput_mbps * 1000.0;
+}
+
+}  // namespace ldpc

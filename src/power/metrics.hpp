@@ -1,0 +1,24 @@
+// Throughput / latency / efficiency calculators for the Table II metrics.
+#pragma once
+
+#include <cstddef>
+
+namespace ldpc {
+
+/// Decode latency in microseconds.
+double latency_us(long long cycles, double clock_mhz);
+
+/// Information throughput in Mbps: k info bits delivered per frame latency.
+/// (Table II's 415 Mbps at R = 1/2 is information throughput: 1152 bits in
+/// ~2.8 us.)
+double info_throughput_mbps(std::size_t info_bits, long long cycles_per_frame,
+                            double clock_mhz);
+
+/// Coded throughput in Mbps (n bits per frame).
+double coded_throughput_mbps(std::size_t coded_bits, long long cycles_per_frame,
+                             double clock_mhz);
+
+/// Energy efficiency in pJ per decoded information bit.
+double energy_per_bit_pj(double power_mw, double throughput_mbps);
+
+}  // namespace ldpc

@@ -1,0 +1,45 @@
+// Gate-level-style power model (the SpyGlass substitute, see DESIGN.md).
+//
+// Reproduces the paper's Table I decomposition:
+//   leakage   — area-proportional, activity independent;
+//   internal  — sequential/clock power: every flip-flop that receives a
+//               clock edge costs ff_clock_fj. Without gating all registers
+//               clock every cycle; with PICO's idle-register and block-level
+//               gating only the busy blocks' registers do (plus an
+//               ungateable root fraction);
+//   switching — datapath toggling, priced per simulated operation from the
+//               architecture simulator's activity counters.
+#pragma once
+
+#include "arch/activity.hpp"
+#include "hls/pico.hpp"
+#include "power/area_model.hpp"
+#include "power/tech65nm.hpp"
+
+namespace ldpc {
+
+struct PowerBreakdown {
+  double leakage_mw = 0.0;
+  double internal_mw = 0.0;   ///< sequential internal power (Table I column)
+  double switching_mw = 0.0;
+  double total_mw = 0.0;      ///< std cells only (the Table I "Total")
+  double sram_mw = 0.0;       ///< P/R macro access power
+  double total_with_sram_mw = 0.0;  ///< whole core (Table II power basis)
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const Tech65nm& tech = tech65nm()) : tech_(tech) {}
+
+  /// Power during sustained decoding at `hw.clock_mhz`, given the measured
+  /// activity of a representative decode. `std_cell_area_mm2` should come
+  /// from AreaModel (leakage excludes the external SRAMs, as in Table I).
+  PowerBreakdown estimate(const HardwareEstimate& hw,
+                          const ActivityCounters& activity,
+                          double std_cell_area_mm2, bool clock_gating) const;
+
+ private:
+  Tech65nm tech_;
+};
+
+}  // namespace ldpc

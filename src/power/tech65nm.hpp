@@ -1,0 +1,64 @@
+// TSMC 65 nm LP technology coefficients used by the area and power models.
+//
+// These are calibration constants, not library data: they were chosen so a
+// decoder with the paper's structure (z = 96 lanes, ~15-30 k register bits,
+// ~83 kb of SRAM) lands at the paper's reported design points — 0.45 mm² of
+// standard cells + ~0.75 mm² of SRAM ≈ 1.2 mm² core at 400 MHz, 180 mW peak
+// — while every *relative* result (per-layer vs pipelined, gated vs
+// ungated, area vs frequency) is produced by structure and simulated
+// activity, not by the constants. See DESIGN.md §2.
+#pragma once
+
+namespace ldpc {
+
+struct Tech65nm {
+  // --- Area -----------------------------------------------------------------
+  /// Flip-flop area including local clock buffering (um^2 per bit).
+  double ff_area_um2 = 5.2;
+  /// Multiplier covering PICO-generated control: sequencers, address
+  /// generators, operand steering muxes (applied to datapath comb area).
+  double control_overhead_per_layer = 2.0;
+  /// The pipelined architecture adds conflict detection (scoreboard checks)
+  /// and FIFO control.
+  double control_overhead_pipelined = 2.5;
+  /// Synthesis timing pressure: cells are upsized as the target period
+  /// approaches the critical path. area *= 1 + pressure * (f/f_ref)^2.
+  double timing_pressure = 0.9;
+  double pressure_ref_mhz = 400.0;
+  /// Single-port SRAM macro density including periphery (um^2 per bit) for
+  /// the small, wide macros the decoder uses (768-bit words).
+  double sram_area_um2_per_bit = 8.5;
+
+  // --- Power ----------------------------------------------------------------
+  /// Std-cell leakage density at the 0.9 V low-leakage corner (mW per mm^2).
+  double leakage_mw_per_mm2 = 8.6;
+  /// Clock energy per flip-flop bit per clock edge (fJ): FF clock pin plus
+  /// its share of the local clock tree. This is the component clock gating
+  /// removes for idle cycles.
+  double ff_clock_fj = 10.0;
+  /// Fraction of the internal (sequential) power that cannot be gated:
+  /// root clock spine, integrated clock-gating cells, FF internal (data)
+  /// component, always-on control.
+  double ungateable_fraction = 0.33;
+  /// SRAM macro access energies (pJ per word access, 768-bit words).
+  double sram_read_pj = 18.0;
+  double sram_write_pj = 14.0;
+  /// Switching energy per core-1 lane operation (pJ): Q subtraction,
+  /// magnitude compare tree, state update.
+  double core1_op_pj = 0.48;
+  /// Switching energy per core-2 lane operation (pJ).
+  double core2_op_pj = 0.42;
+  /// Switching energy per full-width barrel rotation (pJ, all z lanes).
+  double shifter_rotate_pj = 6.0;
+  /// Register-file lane update energy (pJ per lane write, data pins only —
+  /// the clock component is counted under internal power).
+  double regfile_write_pj = 0.05;
+};
+
+/// The default calibrated technology instance.
+inline const Tech65nm& tech65nm() {
+  static const Tech65nm t{};
+  return t;
+}
+
+}  // namespace ldpc

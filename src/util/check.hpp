@@ -1,0 +1,53 @@
+// Error handling primitives shared by every pico_ldpc library.
+//
+// The libraries follow the C++ Core Guidelines convention: exceptions for
+// errors that the caller may recover from (bad configuration, malformed
+// code tables), and assertions for programmer errors on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ldpc {
+
+/// Exception thrown for violated preconditions and invalid configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LDPC_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace ldpc
+
+/// Precondition / invariant check that is always on (never compiled out):
+/// code-table and configuration validation is not performance critical and
+/// silent corruption of a decoder is far worse than a branch.
+#define LDPC_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::ldpc::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Same as LDPC_CHECK but with a streamed message:
+///   LDPC_CHECK_MSG(z > 0, "expansion factor must be positive, got " << z);
+#define LDPC_CHECK_MSG(expr, stream_expr)                                    \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream os_;                                                \
+      os_ << stream_expr;                                                    \
+      ::ldpc::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                          os_.str());                        \
+    }                                                                        \
+  } while (false)

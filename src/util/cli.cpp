@@ -1,0 +1,58 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& allowed) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    LDPC_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got: " << arg);
+    arg = arg.substr(2);
+    std::string name, value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      LDPC_CHECK_MSG(i + 1 < argc, "flag --" << name << " is missing a value");
+      value = argv[++i];
+    }
+    LDPC_CHECK_MSG(std::find(allowed.begin(), allowed.end(), name) != allowed.end(),
+                   "unknown flag --" << name);
+    values_[name] = value;
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_int(const std::string& name, long fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  LDPC_CHECK_MSG(end && *end == '\0', "flag --" << name << " expects an integer, got: " << it->second);
+  return v;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  LDPC_CHECK_MSG(end && *end == '\0', "flag --" << name << " expects a number, got: " << it->second);
+  return v;
+}
+
+}  // namespace ldpc

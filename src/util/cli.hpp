@@ -1,0 +1,29 @@
+// Tiny command-line flag parser for the example binaries.
+//
+// Supports `--name value` and `--name=value`; unknown flags are an error so
+// typos do not silently fall back to defaults.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldpc {
+
+class CliArgs {
+ public:
+  /// Parses argv. `allowed` lists every recognised flag name (without the
+  /// leading dashes); throws ldpc::Error for unknown or malformed flags.
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& allowed);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,30 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  LDPC_CHECK_MSG(out_.good(), "cannot open CSV output file: " << path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace ldpc

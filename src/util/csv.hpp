@@ -1,0 +1,23 @@
+// Minimal CSV writer so benchmark harnesses can emit machine-readable series
+// next to the human-readable tables (e.g. to re-plot Fig. 8 externally).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ldpc {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws ldpc::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace ldpc

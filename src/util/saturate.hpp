@@ -1,0 +1,47 @@
+// Saturating fixed-width integer arithmetic.
+//
+// The paper's decoder carries 8-bit two's-complement messages; hardware
+// adders saturate instead of wrapping. These helpers are the single source
+// of truth for that behaviour — both the algorithmic fixed-point decoder
+// (src/core) and the cycle-accurate datapaths (src/arch) call them, which is
+// what makes the bit-exactness cross-checks in the tests meaningful.
+#pragma once
+
+#include <cstdint>
+
+namespace ldpc {
+
+/// Inclusive two's-complement bounds of a `bits`-wide signed integer.
+constexpr std::int32_t fixed_max(int bits) { return (1 << (bits - 1)) - 1; }
+constexpr std::int32_t fixed_min(int bits) { return -(1 << (bits - 1)); }
+
+/// Clamp a wide intermediate value into `bits`-wide signed range.
+constexpr std::int32_t sat_clamp(std::int64_t v, int bits) {
+  const std::int32_t hi = fixed_max(bits);
+  const std::int32_t lo = fixed_min(bits);
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return static_cast<std::int32_t>(v);
+}
+
+/// Saturating add of two values already inside `bits`-wide range.
+constexpr std::int32_t sat_add(std::int32_t a, std::int32_t b, int bits) {
+  return sat_clamp(static_cast<std::int64_t>(a) + b, bits);
+}
+
+/// Saturating subtract.
+constexpr std::int32_t sat_sub(std::int32_t a, std::int32_t b, int bits) {
+  return sat_clamp(static_cast<std::int64_t>(a) - b, bits);
+}
+
+/// The paper's 0.75 scaling, computed exactly the way a shift-add datapath
+/// does it: (|v| >> 1) + (|v| >> 2), truncating, sign re-applied. Using the
+/// magnitude keeps the operation symmetric around zero, matching the
+/// sign-magnitude min-sum datapath in the decoder cores.
+constexpr std::int32_t scale_three_quarters(std::int32_t v) {
+  const std::int32_t mag = v < 0 ? -v : v;
+  const std::int32_t scaled = (mag >> 1) + (mag >> 2);
+  return v < 0 ? -scaled : scaled;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,31 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  LDPC_CHECK_MSG(hi > lo, "histogram range is empty: [" << lo << ", " << hi << ")");
+  LDPC_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double fraction = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(fraction * static_cast<double>(counts_.size()));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(counts_.size()))
+    idx = static_cast<long>(counts_.size()) - 1;
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+}  // namespace ldpc

@@ -1,0 +1,43 @@
+// Console table formatter used by the benchmark harnesses so that every
+// regenerated paper table/figure prints with aligned, labelled columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ldpc {
+
+/// Builds a monospace table:
+///   Table II: comparison with existing decoders
+///   +-----------+--------+
+///   | Metric    | Value  |
+///   +-----------+--------+
+/// Cells are strings; helpers format numbers with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal separator between row groups.
+  void add_rule();
+
+  std::string str() const;
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string sci(double v, int precision = 2);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,97 @@
+// Table anchors: exact spot-check values for the standard code tables and
+// their scaling. The structural tests (encodability, 4-cycle-freeness)
+// verify global self-consistency; these anchors pin individual entries so
+// an accidental one-character edit to a table is caught directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+
+namespace ldpc {
+namespace {
+
+TEST(Anchors, WimaxHalfRateEntries) {
+  const BaseMatrix& b = wimax_base_matrix(WimaxRate::kRate1_2);
+  EXPECT_EQ(b.at(0, 1), 94);
+  EXPECT_EQ(b.at(0, 12), 7);    // weight-3 column head
+  EXPECT_EQ(b.at(5, 12), 0);    // its mid tap
+  EXPECT_EQ(b.at(11, 12), 7);   // its tail (equal to the head: RU trick)
+  EXPECT_EQ(b.at(2, 3), 24);
+  EXPECT_EQ(b.at(11, 0), 43);
+  EXPECT_EQ(b.at(0, 0), BaseMatrix::kZero);
+  EXPECT_EQ(b.at(11, 23), 0);   // dual-diagonal corner
+}
+
+TEST(Anchors, Wimax56Entries) {
+  const BaseMatrix& b = wimax_base_matrix(WimaxRate::kRate5_6);
+  EXPECT_EQ(b.at(0, 0), 1);
+  EXPECT_EQ(b.at(0, 20), 80);   // weight-3 head
+  EXPECT_EQ(b.at(1, 20), 0);    // mid
+  EXPECT_EQ(b.at(3, 20), 80);   // tail
+  EXPECT_EQ(b.at(3, 23), 0);
+  EXPECT_EQ(b.at(2, 5), BaseMatrix::kZero);
+}
+
+TEST(Anchors, FloorScalingSpotValues) {
+  // Rate 1/2 scaled to z = 48: floor(shift * 48 / 96) = shift / 2.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  const BaseMatrix& s = code.base();
+  EXPECT_EQ(s.at(0, 1), 47);   // 94 -> 47
+  EXPECT_EQ(s.at(0, 12), 3);   // 7  -> 3
+  EXPECT_EQ(s.at(11, 12), 3);  // head/tail stay equal after scaling
+  EXPECT_EQ(s.at(2, 5), 40);   // 81 -> 40
+  EXPECT_EQ(s.at(5, 12), 0);
+}
+
+TEST(Anchors, ModScalingSpotValues) {
+  // Rate 2/3A scaled to z = 28 uses shift mod z.
+  const auto code = make_wimax_code(WimaxRate::kRate2_3A, 28);
+  const BaseMatrix& s = code.base();
+  const BaseMatrix& d = wimax_base_matrix(WimaxRate::kRate2_3A);
+  EXPECT_EQ(s.at(1, 4), d.at(1, 4) % 28);  // 36 -> 8
+  EXPECT_EQ(s.at(1, 4), 8);
+  EXPECT_EQ(s.at(5, 15), d.at(5, 15) % 28);  // 45 -> 17
+}
+
+TEST(Anchors, WifiEntries) {
+  const auto w648 = make_wifi_648_half_rate();
+  EXPECT_EQ(w648.base().at(0, 0), 0);
+  EXPECT_EQ(w648.base().at(1, 0), 22);
+  EXPECT_EQ(w648.base().at(0, 12), 1);   // weight-3 head
+  EXPECT_EQ(w648.base().at(6, 12), 0);   // mid
+  EXPECT_EQ(w648.base().at(11, 12), 1);  // tail
+  const auto w1944 = make_wifi_1944_half_rate();
+  EXPECT_EQ(w1944.base().at(0, 0), 57);
+  EXPECT_EQ(w1944.base().at(11, 2), 61);
+  EXPECT_EQ(w1944.base().at(0, 12), 1);
+}
+
+TEST(Anchors, DegreeProfiles) {
+  // Row-degree multisets of the design matrices (order-insensitive).
+  auto degrees = [](const BaseMatrix& b) {
+    std::vector<std::size_t> d;
+    for (std::size_t r = 0; r < b.rows(); ++r) d.push_back(b.row_degree(r));
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(degrees(wimax_base_matrix(WimaxRate::kRate1_2)),
+            (std::vector<std::size_t>{6, 6, 6, 6, 6, 6, 6, 6, 7, 7, 7, 7}));
+  EXPECT_EQ(degrees(wimax_base_matrix(WimaxRate::kRate5_6)),
+            (std::vector<std::size_t>{20, 20, 20, 20}));
+}
+
+TEST(Anchors, ColumnDegreeTotalsMatchEdgeCounts) {
+  for (WimaxRate rate : all_wimax_rates()) {
+    const BaseMatrix& b = wimax_base_matrix(rate);
+    std::size_t row_total = 0, col_total = 0;
+    for (std::size_t r = 0; r < b.rows(); ++r) row_total += b.row_degree(r);
+    for (std::size_t c = 0; c < b.cols(); ++c) col_total += b.col_degree(c);
+    EXPECT_EQ(row_total, col_total) << wimax_rate_name(rate);
+    EXPECT_EQ(row_total, b.nonzero_blocks()) << wimax_rate_name(rate);
+  }
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,498 @@
+// Cycle-accurate architecture tests: component models (SRAM, shifter,
+// scoreboard, Q FIFO), the bit-exactness invariant against the algorithmic
+// decoder, and the paper's timing claims (pipelined beats per-layer, ~50%
+// core utilization without pipelining, stall accounting, fold scaling).
+#include <gtest/gtest.h>
+
+#include "arch/arch_sim.hpp"
+#include "arch/barrel_shifter.hpp"
+#include "arch/q_fifo.hpp"
+#include "arch/scoreboard.hpp"
+#include "arch/sram.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/random_qc.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+// ------------------------------------------------------------ components ----
+
+TEST(Sram, ReadWriteRoundTrip) {
+  SramModel m("T", 4, 8);
+  std::vector<std::int32_t> word(8);
+  for (int i = 0; i < 8; ++i) word[static_cast<std::size_t>(i)] = i * 3 - 5;
+  m.write(2, word);
+  EXPECT_EQ(m.read(2), word);
+  EXPECT_EQ(m.reads(), 1);
+  EXPECT_EQ(m.writes(), 1);
+}
+
+TEST(Sram, PeekDoesNotCount) {
+  SramModel m("T", 2, 4);
+  m.peek(0);
+  m.peek(1);
+  EXPECT_EQ(m.reads(), 0);
+}
+
+TEST(Sram, CapacityBits) {
+  SramModel p("P", 24, 96);
+  EXPECT_EQ(p.capacity_bits(8), 24LL * 96 * 8);  // the paper's 18,432 b
+  EXPECT_EQ(p.capacity_bits(8), 18432);
+}
+
+TEST(Sram, BoundsChecked) {
+  SramModel m("T", 2, 4);
+  EXPECT_THROW(m.read(2), Error);
+  EXPECT_THROW(m.write(2, std::vector<std::int32_t>(4)), Error);
+  EXPECT_THROW(m.write(0, std::vector<std::int32_t>(3)), Error);  // wrong lanes
+  EXPECT_THROW(m.write_lane(0, 4, 1), Error);
+}
+
+TEST(Sram, FillAndCounterReset) {
+  SramModel m("T", 2, 4);
+  m.fill(7);
+  EXPECT_EQ(m.peek(1)[3], 7);
+  m.read(0);
+  m.reset_counters();
+  EXPECT_EQ(m.reads(), 0);
+}
+
+TEST(Shifter, RotateMatchesCirculantDefinition) {
+  BarrelShifter sh(5);
+  const std::vector<std::int32_t> in = {10, 11, 12, 13, 14};
+  const auto out = sh.rotate(in, 2);
+  // out[r] = in[(r + 2) % 5]
+  EXPECT_EQ(out, (std::vector<std::int32_t>{12, 13, 14, 10, 11}));
+}
+
+TEST(Shifter, RotateBackIsInverse) {
+  BarrelShifter sh(96);
+  std::vector<std::int32_t> in(96);
+  Xoshiro256 rng(3);
+  for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(256)) - 128;
+  for (std::uint32_t s : {0u, 1u, 37u, 95u})
+    EXPECT_EQ(sh.rotate_back(sh.rotate(in, s), s), in) << s;
+}
+
+TEST(Shifter, ZeroShiftIsIdentity) {
+  BarrelShifter sh(7);
+  const std::vector<std::int32_t> in = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(sh.rotate(in, 0), in);
+}
+
+TEST(Shifter, CountsRotations) {
+  BarrelShifter sh(4);
+  const std::vector<std::int32_t> in = {1, 2, 3, 4};
+  sh.rotate(in, 1);
+  sh.rotate_back(in, 1);
+  EXPECT_EQ(sh.rotations(), 2);
+  sh.reset_counters();
+  EXPECT_EQ(sh.rotations(), 0);
+}
+
+TEST(Scoreboard, PendingLifecycle) {
+  Scoreboard sb(4);
+  EXPECT_FALSE(sb.is_pending(1));
+  sb.set(1);
+  EXPECT_TRUE(sb.is_pending(1));
+  sb.schedule_clear(1, 100);
+  EXPECT_EQ(sb.earliest_read(1, 50), 101);   // must wait past the write
+  EXPECT_EQ(sb.earliest_read(1, 200), 200);  // already landed
+  sb.resolve(1);
+  EXPECT_FALSE(sb.is_pending(1));
+  EXPECT_EQ(sb.earliest_read(1, 50), 50);
+}
+
+TEST(Scoreboard, UnscheduledPendingReadIsDeadlock) {
+  Scoreboard sb(4);
+  sb.set(2);
+  EXPECT_THROW(sb.earliest_read(2, 0), Error);
+}
+
+TEST(Scoreboard, ClearWithoutSetThrows) {
+  Scoreboard sb(4);
+  EXPECT_THROW(sb.schedule_clear(0, 10), Error);
+}
+
+TEST(Scoreboard, ResetClearsEverything) {
+  Scoreboard sb(3);
+  sb.set(0);
+  sb.set(2);
+  sb.reset();
+  EXPECT_FALSE(sb.is_pending(0));
+  EXPECT_FALSE(sb.is_pending(2));
+}
+
+TEST(QFifoModel, FifoOrderPreserved) {
+  QFifo f(3);
+  f.push({1});
+  f.push({2});
+  f.push({3});
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.pop(), std::vector<std::int32_t>{1});
+  EXPECT_EQ(f.pop(), std::vector<std::int32_t>{2});
+  f.push({4});
+  EXPECT_EQ(f.pop(), std::vector<std::int32_t>{3});
+  EXPECT_EQ(f.pop(), std::vector<std::int32_t>{4});
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.pushes(), 4);
+  EXPECT_EQ(f.pops(), 4);
+}
+
+TEST(QFifoModel, OverflowAndUnderflowThrow) {
+  QFifo f(1);
+  f.push({1});
+  EXPECT_THROW(f.push({2}), Error);
+  f.pop();
+  EXPECT_THROW(f.pop(), Error);
+}
+
+// ------------------------------------------------------------ test frame ----
+
+std::vector<std::int32_t> noisy_frame(const QCLdpcCode& code, float ebn0_db,
+                                      std::uint64_t seed, FixedFormat fmt,
+                                      BitVec* codeword_out = nullptr) {
+  const RuEncoder enc(code);
+  Xoshiro256 rng(seed);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const BitVec word = enc.encode(info);
+  if (codeword_out) *codeword_out = word;
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  AwgnChannel ch(variance, seed * 17 + 5);
+  const auto llr =
+      BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+  return codes;
+}
+
+// ------------------------------------------ bit-exactness (the invariant) ----
+
+struct ExactnessCase {
+  ArchKind arch;
+  int parallelism;
+  bool reorder;
+};
+
+class BitExactnessTest : public ::testing::TestWithParam<ExactnessCase> {};
+
+TEST_P(BitExactnessTest, MatchesAlgorithmicDecoder) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  opt.max_iterations = 6;
+  LayeredMinSumFixedDecoder reference(code, opt, fmt);
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, GetParam().arch,
+                                HardwareTarget{400.0, GetParam().parallelism});
+  ArchSimDecoder sim(code, est, opt, fmt, ArchSimConfig{GetParam().reorder});
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto frame = noisy_frame(code, 1.8F, seed, fmt);
+    const auto want = reference.decode_quantized(frame);
+    const auto got = sim.decode_quantized(frame);
+    EXPECT_TRUE(got.decode.hard_bits == want.hard_bits) << "seed " << seed;
+    EXPECT_EQ(got.decode.iterations, want.iterations) << "seed " << seed;
+    EXPECT_EQ(got.decode.converged, want.converged) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchsAndParallelism, BitExactnessTest,
+    ::testing::Values(ExactnessCase{ArchKind::kPerLayer, 96, false},
+                      ExactnessCase{ArchKind::kPerLayer, 48, false},
+                      ExactnessCase{ArchKind::kPerLayer, 24, false},
+                      ExactnessCase{ArchKind::kTwoLayerPipelined, 96, false},
+                      ExactnessCase{ArchKind::kTwoLayerPipelined, 48, false},
+                      ExactnessCase{ArchKind::kTwoLayerPipelined, 96, true},
+                      ExactnessCase{ArchKind::kTwoLayerPipelined, 24, true}),
+    [](const auto& info) {
+      return arch_name(info.param.arch).substr(0, 3) + "_p" +
+             std::to_string(info.param.parallelism) +
+             (info.param.reorder ? "_reord" : "");
+    });
+
+TEST(BitExactness, HoldsOnWifiCode) {
+  const auto code = make_wifi_1944_half_rate();
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  LayeredMinSumFixedDecoder reference(code, opt, fmt);
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{400.0, 81});
+  ArchSimDecoder sim(code, est, opt, fmt);
+  const auto frame = noisy_frame(code, 2.0F, 3, fmt);
+  EXPECT_TRUE(sim.decode_quantized(frame).decode.hard_bits ==
+              reference.decode_quantized(frame).hard_bits);
+}
+
+TEST(BitExactness, HoldsOnRandomCodes) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    RandomQcConfig cfg;
+    cfg.block_rows = 4;
+    cfg.block_cols = 16;
+    cfg.z = 12;
+    cfg.info_row_degree = 5;
+    cfg.seed = seed;
+    const auto code = make_random_qc_code(cfg);
+    const FixedFormat fmt{6, 1};
+    DecoderOptions opt;
+    LayeredMinSumFixedDecoder reference(code, opt, fmt);
+    const PicoCompiler pico(fmt);
+    const auto est = pico.compile(code, ArchKind::kTwoLayerPipelined,
+                                  HardwareTarget{300.0, 12});
+    ArchSimDecoder sim(code, est, opt, fmt);
+    const auto frame = noisy_frame(code, 3.0F, seed + 10, fmt);
+    EXPECT_TRUE(sim.decode_quantized(frame).decode.hard_bits ==
+                reference.decode_quantized(frame).hard_bits)
+        << "seed " << seed;
+  }
+}
+
+// ----------------------------------------------------------- timing model ----
+
+ArchDecodeResult run_frames(const QCLdpcCode& code, ArchKind arch, double mhz,
+                            int parallelism, bool early_term, bool reorder,
+                            std::size_t iterations = 10) {
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  opt.max_iterations = iterations;
+  opt.early_termination = early_term;
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, arch, HardwareTarget{mhz, parallelism});
+  ArchSimDecoder sim(code, est, opt, fmt, ArchSimConfig{reorder});
+  const auto frame = noisy_frame(code, 2.0F, 42, fmt);
+  return sim.decode_quantized(frame);
+}
+
+TEST(Timing, PipelinedFasterThanPerLayer) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto per = run_frames(code, ArchKind::kPerLayer, 400.0, 96, false, false);
+  const auto pipe =
+      run_frames(code, ArchKind::kTwoLayerPipelined, 400.0, 96, false, false);
+  EXPECT_LT(pipe.activity.cycles, per.activity.cycles);
+  // Fig. 8a: pipelined saves roughly a third to a half.
+  EXPECT_LT(static_cast<double>(pipe.activity.cycles),
+            0.85 * static_cast<double>(per.activity.cycles));
+}
+
+TEST(Timing, PerLayerUtilizationNearHalf) {
+  // Fig. 4: cores idle while the other stage runs -> ~50% utilization.
+  const auto code = make_wimax_2304_half_rate();
+  const auto per = run_frames(code, ArchKind::kPerLayer, 100.0, 96, false, false);
+  EXPECT_GT(per.activity.core1_utilization(), 0.35);
+  EXPECT_LT(per.activity.core1_utilization(), 0.65);
+}
+
+TEST(Timing, PipelinedUtilizationHigher) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto per = run_frames(code, ArchKind::kPerLayer, 400.0, 96, false, false);
+  const auto pipe =
+      run_frames(code, ArchKind::kTwoLayerPipelined, 400.0, 96, false, false);
+  EXPECT_GT(pipe.activity.core1_utilization(),
+            per.activity.core1_utilization());
+}
+
+TEST(Timing, PerLayerHasNoStalls) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto per = run_frames(code, ArchKind::kPerLayer, 400.0, 96, false, false);
+  EXPECT_EQ(per.activity.core1_stall_cycles, 0);
+}
+
+TEST(Timing, ReorderingReducesPipelineStalls) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto plain =
+      run_frames(code, ArchKind::kTwoLayerPipelined, 400.0, 96, false, false);
+  const auto reordered =
+      run_frames(code, ArchKind::kTwoLayerPipelined, 400.0, 96, false, true);
+  EXPECT_LT(reordered.activity.core1_stall_cycles,
+            plain.activity.core1_stall_cycles);
+  EXPECT_LE(reordered.activity.cycles, plain.activity.cycles);
+}
+
+TEST(Timing, HalvingParallelismRoughlyDoublesCycles) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto p96 = run_frames(code, ArchKind::kPerLayer, 100.0, 96, false, false);
+  const auto p48 = run_frames(code, ArchKind::kPerLayer, 100.0, 48, false, false);
+  const auto p24 = run_frames(code, ArchKind::kPerLayer, 100.0, 24, false, false);
+  const double r48 = static_cast<double>(p48.activity.cycles) /
+                     static_cast<double>(p96.activity.cycles);
+  const double r24 = static_cast<double>(p24.activity.cycles) /
+                     static_cast<double>(p96.activity.cycles);
+  EXPECT_NEAR(r48, 2.0, 0.2);
+  EXPECT_NEAR(r24, 4.0, 0.4);
+}
+
+TEST(Timing, CyclesPerIterationGrowWithFrequency) {
+  // Fig. 8a: deeper pipelines at higher target clocks cost cycles.
+  const auto code = make_wimax_2304_half_rate();
+  long long prev = 0;
+  for (double f : {100.0, 200.0, 400.0}) {
+    const auto r = run_frames(code, ArchKind::kPerLayer, f, 96, false, false);
+    EXPECT_GE(r.activity.cycles, prev) << f;
+    prev = r.activity.cycles;
+  }
+}
+
+TEST(Timing, EarlyTerminationShortensDecode) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto et =
+      run_frames(code, ArchKind::kTwoLayerPipelined, 400.0, 96, true, false);
+  const auto no_et =
+      run_frames(code, ArchKind::kTwoLayerPipelined, 400.0, 96, false, false);
+  EXPECT_LT(et.activity.iterations, no_et.activity.iterations);
+  EXPECT_LT(et.activity.cycles, no_et.activity.cycles);
+  EXPECT_TRUE(et.decode.converged);
+}
+
+TEST(Timing, FirstIterationCyclesStable) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto r = run_frames(code, ArchKind::kPerLayer, 400.0, 96, false, false);
+  // 10 identical iterations: total = 10x the first (per-layer is periodic).
+  EXPECT_EQ(r.activity.cycles, 10 * r.first_iteration_cycles);
+}
+
+TEST(Timing, PerLayerCyclesMatchAnalyticFormula) {
+  // Per-layer, fold 1: cycles/iter = sum_l (2 dc_l) + L*(D1 - 1 + D2 - 1).
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  const auto r = run_frames(code, ArchKind::kPerLayer, 400.0, 96, false, false);
+  long long expected = 0;
+  for (const auto& layer : code.layers())
+    expected += 2 * static_cast<long long>(layer.size());
+  expected += static_cast<long long>(code.num_layers()) *
+              (est.core1_latency - 1 + est.core2_latency - 1);
+  EXPECT_EQ(r.first_iteration_cycles, expected);
+}
+
+// -------------------------------------------------------------- activity ----
+
+TEST(Activity, MemoryTrafficMatchesCodeStructure) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto r = run_frames(code, ArchKind::kPerLayer, 100.0, 96, false, false);
+  const long long blocks_per_iter =
+      static_cast<long long>(code.base().nonzero_blocks());
+  EXPECT_EQ(r.activity.p_reads, 10 * blocks_per_iter);
+  EXPECT_EQ(r.activity.p_writes, 10 * blocks_per_iter);
+  EXPECT_EQ(r.activity.r_reads, 10 * blocks_per_iter);
+  EXPECT_EQ(r.activity.r_writes, 10 * blocks_per_iter);
+  EXPECT_EQ(r.activity.q_fifo_pushes, 10 * blocks_per_iter);
+  EXPECT_EQ(r.activity.q_fifo_pops, 10 * blocks_per_iter);
+  EXPECT_EQ(r.activity.shifter_rotates, 2 * 10 * blocks_per_iter);
+  EXPECT_EQ(r.activity.min_array_updates, 10 * blocks_per_iter * 96);
+  EXPECT_EQ(r.activity.layer_snapshots, 10 * 12);
+}
+
+TEST(Activity, FoldMultipliesIssueBeats) {
+  const auto code = make_wimax_2304_half_rate();
+  const auto p96 = run_frames(code, ArchKind::kPerLayer, 100.0, 96, false, false);
+  const auto p24 = run_frames(code, ArchKind::kPerLayer, 100.0, 24, false, false);
+  EXPECT_EQ(p24.activity.core1_issue_beats, 4 * p96.activity.core1_issue_beats);
+}
+
+TEST(Activity, AddAccumulates) {
+  ActivityCounters a, b;
+  a.cycles = 10;
+  a.p_reads = 3;
+  b.cycles = 5;
+  b.p_reads = 4;
+  b.core1_stall_cycles = 2;
+  a.add(b);
+  EXPECT_EQ(a.cycles, 15);
+  EXPECT_EQ(a.p_reads, 7);
+  EXPECT_EQ(a.core1_stall_cycles, 2);
+}
+
+TEST(ArchSim, MemoryBitsMatchPaper) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{400.0, 96});
+  ArchSimDecoder sim(code, est, opt, fmt);
+  EXPECT_EQ(sim.p_memory_bits(), 24 * 768);        // 18,432 bits
+  EXPECT_EQ(sim.r_memory_bits(), 76 * 768);        // rate-1/2 slots
+}
+
+TEST(ArchSim, DecoderInterfaceWorks) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 24});
+  ArchSimDecoder sim(code, est, opt, fmt);
+  EXPECT_EQ(sim.n(), code.n());
+  EXPECT_NE(sim.name().find("per-layer"), std::string::npos);
+  BitVec word;
+  const auto frame = noisy_frame(code, 6.0F, 9, fmt, &word);
+  std::vector<float> llr(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    llr[i] = fmt.dequantize(frame[i]);
+  const auto result = sim.decode(llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.hard_bits == word);
+}
+
+TEST(ArchSim, EtCheckCyclesAddPerIterationBarrier) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = true;
+  ArchSimConfig free_check;
+  ArchSimConfig costly_check;
+  costly_check.et_check_cycles = 12;
+  ArchSimDecoder sim_free(code, est, opt, fmt, free_check);
+  ArchSimDecoder sim_costly(code, est, opt, fmt, costly_check);
+  const auto frame = noisy_frame(code, 2.0F, 7, fmt);
+  const auto a = sim_free.decode_quantized(frame);
+  const auto b = sim_costly.decode_quantized(frame);
+  // Same decode, same iterations; 12 extra cycles per completed iteration.
+  EXPECT_TRUE(a.decode.hard_bits == b.decode.hard_bits);
+  EXPECT_EQ(a.decode.iterations, b.decode.iterations);
+  EXPECT_EQ(b.activity.cycles - a.activity.cycles,
+            12 * static_cast<long long>(a.decode.iterations));
+}
+
+TEST(ArchSim, EtCheckCostIgnoredWithoutEarlyTermination) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 24});
+  DecoderOptions opt;
+  opt.max_iterations = 4;
+  opt.early_termination = false;
+  ArchSimConfig costly;
+  costly.et_check_cycles = 50;
+  ArchSimDecoder plain(code, est, opt, fmt);
+  ArchSimDecoder with_cost(code, est, opt, fmt, costly);
+  const auto frame = noisy_frame(code, 3.0F, 8, fmt);
+  EXPECT_EQ(plain.decode_quantized(frame).activity.cycles,
+            with_cost.decode_quantized(frame).activity.cycles);
+}
+
+TEST(ArchSim, MismatchedParallelismRejected) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  auto est = pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 96});
+  est.parallelism = 40;  // tampered: does not divide z
+  DecoderOptions opt;
+  EXPECT_THROW(ArchSimDecoder(code, est, opt), Error);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,239 @@
+// Channel substrate tests: modulation mappings, LLR signs and scaling, AWGN
+// statistics, and the Monte-Carlo BER runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "channel/ber_runner.hpp"
+#include "channel/modem.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "util/stats.hpp"
+
+namespace ldpc {
+namespace {
+
+// ---------------------------------------------------------------- modem ----
+
+TEST(Bpsk, MapsBitZeroToPlusOne) {
+  BitVec bits(4);
+  bits.set(1, true);
+  bits.set(3, true);
+  const auto s = BpskModem::modulate(bits);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_FLOAT_EQ(s[0], 1.0F);
+  EXPECT_FLOAT_EQ(s[1], -1.0F);
+  EXPECT_FLOAT_EQ(s[2], 1.0F);
+  EXPECT_FLOAT_EQ(s[3], -1.0F);
+}
+
+TEST(Bpsk, LlrScalingIsTwoOverVariance) {
+  const std::vector<float> y = {0.5F, -1.5F};
+  const auto llr = BpskModem::demodulate(y, 0.25F);
+  EXPECT_FLOAT_EQ(llr[0], 2.0F / 0.25F * 0.5F);
+  EXPECT_FLOAT_EQ(llr[1], 2.0F / 0.25F * -1.5F);
+}
+
+TEST(Bpsk, NoiselessLlrSignsRecoverBits) {
+  BitVec bits(64);
+  for (std::size_t i = 0; i < 64; i += 3) bits.set(i, true);
+  const auto llr = BpskModem::demodulate(BpskModem::modulate(bits), 1.0F);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(llr[i] < 0.0F, bits.get(i)) << i;
+}
+
+TEST(Bpsk, ZeroVarianceRejected) {
+  EXPECT_THROW(BpskModem::demodulate({1.0F}, 0.0F), Error);
+}
+
+TEST(Qpsk, UnitSymbolEnergy) {
+  BitVec bits(8);
+  bits.set(0, true);
+  bits.set(5, true);
+  const auto iq = QpskModem::modulate(bits);
+  ASSERT_EQ(iq.size(), 8u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const float e = iq[2 * s] * iq[2 * s] + iq[2 * s + 1] * iq[2 * s + 1];
+    EXPECT_NEAR(e, 1.0F, 1e-6);
+  }
+}
+
+TEST(Qpsk, NoiselessRoundTrip) {
+  BitVec bits(50);  // odd length exercises padding
+  for (std::size_t i = 0; i < 50; i += 7) bits.set(i, true);
+  const auto iq = QpskModem::modulate(bits);
+  const auto llr = QpskModem::demodulate(iq, 0.5F, 50);
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_EQ(llr[i] < 0.0F, bits.get(i)) << i;
+}
+
+TEST(Qpsk, OddLengthPadsCleanly) {
+  BitVec bits(3);
+  bits.set(2, true);
+  const auto iq = QpskModem::modulate(bits);
+  EXPECT_EQ(iq.size(), 4u);  // 2 symbols
+  const auto llr = QpskModem::demodulate(iq, 1.0F, 3);
+  EXPECT_EQ(llr.size(), 3u);
+}
+
+// ----------------------------------------------------------------- awgn ----
+
+TEST(Awgn, NoiseVarianceFormula) {
+  // At Eb/N0 = 0 dB, rate 1/2, BPSK: sigma^2 = 1 / (2 * 0.5 * 1) = 1.
+  EXPECT_NEAR(awgn_noise_variance(0.0F, 0.5), 1.0F, 1e-6);
+  // +3 dB halves the variance (within rounding of 10^0.3).
+  EXPECT_NEAR(awgn_noise_variance(3.0F, 0.5), 0.5012F, 1e-3);
+  // Higher rate -> less redundancy -> smaller sigma^2 at equal Eb/N0.
+  EXPECT_LT(awgn_noise_variance(2.0F, 0.75), awgn_noise_variance(2.0F, 0.5));
+}
+
+TEST(Awgn, InvalidParametersRejected) {
+  EXPECT_THROW(awgn_noise_variance(1.0F, 0.0), Error);
+  EXPECT_THROW(awgn_noise_variance(1.0F, 1.0), Error);
+  EXPECT_THROW(AwgnChannel(0.0F), Error);
+}
+
+TEST(Awgn, NoiseStatisticsMatchConfiguredVariance) {
+  const float variance = 0.64F;
+  AwgnChannel ch(variance, 11);
+  const std::vector<float> zeros(50000, 0.0F);
+  const auto noisy = ch.transmit(zeros);
+  RunningStats s;
+  for (float v : noisy) s.add(v);
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), variance, 0.02);
+}
+
+TEST(Awgn, DeterministicForSeed) {
+  AwgnChannel a(1.0F, 5), b(1.0F, 5);
+  const std::vector<float> x = {1.0F, -1.0F, 1.0F};
+  EXPECT_EQ(a.transmit(x), b.transmit(x));
+}
+
+TEST(Awgn, MeanFollowsInput) {
+  AwgnChannel ch(0.25F, 12);
+  const std::vector<float> ones(20000, 1.0F);
+  const auto noisy = ch.transmit(ones);
+  RunningStats s;
+  for (float v : noisy) s.add(v);
+  EXPECT_NEAR(s.mean(), 1.0, 0.02);
+}
+
+// ------------------------------------------------------------ BER runner ----
+
+TEST(BerRunner, HighSnrIsErrorFree) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {8.0F};
+  cfg.max_frames = 30;
+  cfg.min_frames = 30;
+  cfg.num_workers = 2;
+  DecoderOptions opt;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-fixed", code, opt); },
+      cfg);
+  const auto points = runner.run();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].frames, 30u);
+  EXPECT_EQ(points[0].bit_errors, 0u);
+  EXPECT_EQ(points[0].fer(), 0.0);
+}
+
+TEST(BerRunner, VeryLowSnrMostlyFails) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {-4.0F};
+  cfg.max_frames = 20;
+  cfg.min_frames = 5;
+  cfg.target_frame_errors = 5;
+  DecoderOptions opt;
+  opt.max_iterations = 5;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-fixed", code, opt); },
+      cfg);
+  const auto points = runner.run();
+  EXPECT_GT(points[0].fer(), 0.5);
+  EXPECT_GT(points[0].avg_iterations(), 4.0);  // never converges early
+}
+
+TEST(BerRunner, ReproducibleForSameSeedAndWorkerCount) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {1.0F};
+  cfg.max_frames = 40;
+  cfg.min_frames = 40;
+  cfg.num_workers = 1;
+  cfg.seed = 77;
+  DecoderOptions opt;
+  auto run_once = [&] {
+    BerRunner runner(
+        code, [&] { return make_decoder("layered-minsum-fixed", code, opt); },
+        cfg);
+    return runner.run()[0];
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+  EXPECT_EQ(a.frame_errors, b.frame_errors);
+  EXPECT_EQ(a.frames, b.frames);
+}
+
+TEST(BerRunner, SweepsMultiplePoints) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {0.0F, 2.0F, 4.0F};
+  cfg.max_frames = 15;
+  cfg.min_frames = 15;
+  DecoderOptions opt;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-float", code, opt); },
+      cfg);
+  const auto points = runner.run();
+  ASSERT_EQ(points.size(), 3u);
+  // Error rates must be non-increasing with SNR on this coarse grid.
+  EXPECT_GE(points[0].fer() + 1e-9, points[2].fer());
+}
+
+TEST(BerRunner, EarlyStopOnTargetErrors) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {-6.0F};  // everything fails
+  cfg.max_frames = 10000;
+  cfg.min_frames = 4;
+  cfg.target_frame_errors = 4;
+  DecoderOptions opt;
+  opt.max_iterations = 2;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-fixed", code, opt); },
+      cfg);
+  const auto points = runner.run();
+  EXPECT_LT(points[0].frames, 100u);  // stopped long before max_frames
+  EXPECT_GE(points[0].frame_errors, 4u);
+}
+
+TEST(BerRunner, InvalidConfigRejected) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  BerConfig cfg;  // empty sweep
+  EXPECT_THROW(BerRunner(code,
+                         [&] {
+                           return make_decoder("layered-minsum-fixed", code, opt);
+                         },
+                         cfg),
+               Error);
+}
+
+TEST(BerPoint, DerivedMetrics) {
+  BerPoint p;
+  p.frames = 100;
+  p.bit_errors = 50;
+  p.frame_errors = 10;
+  p.sum_iterations = 450.0;
+  EXPECT_DOUBLE_EQ(p.ber(10), 50.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(p.fer(), 0.1);
+  EXPECT_DOUBLE_EQ(p.avg_iterations(), 4.5);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,389 @@
+// Tests for the code substrate: base matrices, standard tables, scaling
+// rules, QC expansion and Tanner-graph invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "codes/base_matrix.hpp"
+#include "codes/qc_code.hpp"
+#include "codes/random_qc.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+
+namespace ldpc {
+namespace {
+
+// ----------------------------------------------------------- BaseMatrix ----
+
+TEST(BaseMatrix, ConstructionValidatesEntryCount) {
+  EXPECT_THROW(BaseMatrix(2, 3, {0, 1, 2}, 4, "bad"), Error);
+}
+
+TEST(BaseMatrix, ConstructionValidatesShiftRange) {
+  EXPECT_THROW(BaseMatrix(1, 2, {0, 4}, 4, "bad"), Error);   // shift == z
+  EXPECT_THROW(BaseMatrix(1, 2, {0, -2}, 4, "bad"), Error);  // below -1
+}
+
+TEST(BaseMatrix, DegreeAccounting) {
+  BaseMatrix b(2, 3, {0, -1, 2, 1, 1, -1}, 4, "t");
+  EXPECT_EQ(b.row_degree(0), 2u);
+  EXPECT_EQ(b.row_degree(1), 2u);
+  EXPECT_EQ(b.col_degree(0), 2u);
+  EXPECT_EQ(b.col_degree(1), 1u);
+  EXPECT_EQ(b.col_degree(2), 1u);
+  EXPECT_EQ(b.nonzero_blocks(), 4u);
+  EXPECT_EQ(b.max_row_degree(), 2u);
+}
+
+TEST(BaseMatrix, RowSupportListsColumnsInOrder) {
+  BaseMatrix b(1, 4, {-1, 3, -1, 0}, 4, "t");
+  const auto support = b.row_support(0);
+  ASSERT_EQ(support.size(), 2u);
+  EXPECT_EQ(support[0], 1u);
+  EXPECT_EQ(support[1], 3u);
+}
+
+TEST(BaseMatrix, FloorScalingRule) {
+  BaseMatrix b(1, 2, {95, 0}, 96, "t");
+  const auto s = b.scaled_to(24, /*scale_mod=*/false);
+  EXPECT_EQ(s.at(0, 0), 95 * 24 / 96);
+  EXPECT_EQ(s.at(0, 1), 0);
+  EXPECT_EQ(s.design_z(), 24);
+}
+
+TEST(BaseMatrix, ModScalingRule) {
+  BaseMatrix b(1, 2, {50, 0}, 96, "t");
+  const auto s = b.scaled_to(24, /*scale_mod=*/true);
+  EXPECT_EQ(s.at(0, 0), 50 % 24);
+}
+
+TEST(BaseMatrix, ScalingPreservesZeroBlocks) {
+  BaseMatrix b(1, 3, {-1, 10, -1}, 96, "t");
+  for (bool mod : {false, true}) {
+    const auto s = b.scaled_to(48, mod);
+    EXPECT_TRUE(s.is_zero_block(0, 0));
+    EXPECT_FALSE(s.is_zero_block(0, 1));
+    EXPECT_TRUE(s.is_zero_block(0, 2));
+  }
+}
+
+TEST(BaseMatrix, UpscalingThrows) {
+  BaseMatrix b(1, 1, {0}, 24, "t");
+  EXPECT_THROW(b.scaled_to(48, false), Error);
+}
+
+// --------------------------------------------------------- WiMAX tables ----
+
+class WimaxRateTest : public ::testing::TestWithParam<WimaxRate> {};
+
+TEST_P(WimaxRateTest, GeometryMatchesStandard) {
+  const BaseMatrix& b = wimax_base_matrix(GetParam());
+  EXPECT_EQ(b.cols(), 24u);
+  EXPECT_EQ(b.design_z(), 96);
+  switch (GetParam()) {
+    case WimaxRate::kRate1_2:
+      EXPECT_EQ(b.rows(), 12u);
+      break;
+    case WimaxRate::kRate2_3A:
+    case WimaxRate::kRate2_3B:
+      EXPECT_EQ(b.rows(), 8u);
+      break;
+    case WimaxRate::kRate3_4A:
+    case WimaxRate::kRate3_4B:
+      EXPECT_EQ(b.rows(), 6u);
+      break;
+    case WimaxRate::kRate5_6:
+      EXPECT_EQ(b.rows(), 4u);
+      break;
+  }
+}
+
+TEST_P(WimaxRateTest, ParityPartIsEncodable) {
+  // Weight-3 first parity column with two equal shifts; dual diagonal after.
+  const BaseMatrix& b = wimax_base_matrix(GetParam());
+  const std::size_t mb = b.rows();
+  const std::size_t kb = b.cols() - mb;
+  EXPECT_EQ(b.col_degree(kb), 3u);
+  std::vector<int> shifts;
+  for (std::size_t r = 0; r < mb; ++r)
+    if (!b.is_zero_block(r, kb)) shifts.push_back(b.at(r, kb));
+  ASSERT_EQ(shifts.size(), 3u);
+  EXPECT_TRUE(shifts[0] == shifts[2] || shifts[0] == shifts[1] ||
+              shifts[1] == shifts[2]);
+  for (std::size_t j = 1; j < mb; ++j) {
+    EXPECT_EQ(b.col_degree(kb + j), 2u) << "col " << kb + j;
+    EXPECT_EQ(b.at(j - 1, kb + j), 0);
+    EXPECT_EQ(b.at(j, kb + j), 0);
+  }
+}
+
+TEST_P(WimaxRateTest, EveryVariableNodeIsConnected) {
+  const BaseMatrix& b = wimax_base_matrix(GetParam());
+  for (std::size_t c = 0; c < b.cols(); ++c)
+    EXPECT_GE(b.col_degree(c), 1u) << "col " << c;
+}
+
+TEST_P(WimaxRateTest, EveryCheckRowHasMinimumDegree) {
+  const BaseMatrix& b = wimax_base_matrix(GetParam());
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    EXPECT_GE(b.row_degree(r), 2u) << "row " << r;
+}
+
+TEST_P(WimaxRateTest, AllZValuesExpand) {
+  for (int z : wimax_z_values()) {
+    const QCLdpcCode code = make_wimax_code(GetParam(), z);
+    EXPECT_EQ(code.n(), 24u * static_cast<std::size_t>(z));
+    EXPECT_EQ(code.z(), z);
+    EXPECT_EQ(code.num_layers(), wimax_base_matrix(GetParam()).rows());
+  }
+}
+
+TEST_P(WimaxRateTest, RateMatchesFamily) {
+  const QCLdpcCode code = make_wimax_code(GetParam(), 96);
+  const double r = code.rate();
+  switch (GetParam()) {
+    case WimaxRate::kRate1_2:  EXPECT_DOUBLE_EQ(r, 0.5); break;
+    case WimaxRate::kRate2_3A:
+    case WimaxRate::kRate2_3B: EXPECT_NEAR(r, 2.0 / 3.0, 1e-12); break;
+    case WimaxRate::kRate3_4A:
+    case WimaxRate::kRate3_4B: EXPECT_DOUBLE_EQ(r, 0.75); break;
+    case WimaxRate::kRate5_6:  EXPECT_NEAR(r, 5.0 / 6.0, 1e-12); break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, WimaxRateTest,
+                         ::testing::ValuesIn(all_wimax_rates()),
+                         [](const auto& info) {
+                           std::string n = wimax_rate_name(info.param);
+                           for (char& c : n)
+                             if (c == '-' || c == '/') c = '_';
+                           return n;
+                         });
+
+TEST(Wimax, InvalidZRejected) {
+  EXPECT_THROW(make_wimax_code(WimaxRate::kRate1_2, 25), Error);
+  EXPECT_THROW(make_wimax_code(WimaxRate::kRate1_2, 100), Error);
+  EXPECT_THROW(make_wimax_code(WimaxRate::kRate1_2, 0), Error);
+}
+
+TEST(Wimax, ZValueListIsTheStandardSet) {
+  const auto& zs = wimax_z_values();
+  EXPECT_EQ(zs.size(), 19u);
+  EXPECT_EQ(zs.front(), 24);
+  EXPECT_EQ(zs.back(), 96);
+  for (std::size_t i = 1; i < zs.size(); ++i) EXPECT_EQ(zs[i] - zs[i - 1], 4);
+}
+
+TEST(Wimax, CaseStudyCodeIs2304Half) {
+  const auto code = make_wimax_2304_half_rate();
+  EXPECT_EQ(code.n(), 2304u);
+  EXPECT_EQ(code.k(), 1152u);
+  EXPECT_EQ(code.z(), 96);
+  EXPECT_EQ(code.num_layers(), 12u);
+}
+
+TEST(Wimax, HalfRateCirculantCountMatchesPaper) {
+  // The paper's R memory sizes one slot per non-zero circulant; the
+  // rate-1/2 code has 76 and the Q FIFO depth (max row degree) is 7.
+  const BaseMatrix& b = wimax_base_matrix(WimaxRate::kRate1_2);
+  EXPECT_EQ(b.nonzero_blocks(), 76u);
+  EXPECT_EQ(b.max_row_degree(), 7u);
+}
+
+TEST(Wimax, MaxRSlotsCoversAllFamilies) {
+  const std::size_t slots = wimax_max_r_slots();
+  EXPECT_GE(slots, 76u);
+  for (WimaxRate rate : all_wimax_rates())
+    EXPECT_LE(wimax_base_matrix(rate).nonzero_blocks(), slots);
+  // The paper provisions 84 slots; our tables require a close count.
+  EXPECT_NEAR(static_cast<double>(slots), 84.0, 6.0);
+}
+
+TEST(Wimax, OnlyRate23AUsesModScaling) {
+  for (WimaxRate rate : all_wimax_rates())
+    EXPECT_EQ(wimax_uses_mod_scaling(rate), rate == WimaxRate::kRate2_3A);
+}
+
+// ---------------------------------------------------------- WiFi tables ----
+
+TEST(Wifi, Geometry648) {
+  const auto code = make_wifi_648_half_rate();
+  EXPECT_EQ(code.n(), 648u);
+  EXPECT_EQ(code.k(), 324u);
+  EXPECT_EQ(code.z(), 27);
+}
+
+TEST(Wifi, Geometry1944) {
+  const auto code = make_wifi_1944_half_rate();
+  EXPECT_EQ(code.n(), 1944u);
+  EXPECT_EQ(code.k(), 972u);
+  EXPECT_EQ(code.z(), 81);
+}
+
+TEST(Wifi, ParityStructureEncodable) {
+  for (const QCLdpcCode& code :
+       {make_wifi_648_half_rate(), make_wifi_1944_half_rate()}) {
+    const BaseMatrix& b = code.base();
+    const std::size_t kb = b.cols() - b.rows();
+    EXPECT_EQ(b.col_degree(kb), 3u);
+    for (std::size_t j = 1; j < b.rows(); ++j)
+      EXPECT_EQ(b.col_degree(kb + j), 2u);
+  }
+}
+
+// ------------------------------------------------------------ QCLdpcCode ----
+
+TEST(QcCode, ExpansionProducesCorrectDimensions) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  EXPECT_EQ(code.n(), 1152u);
+  EXPECT_EQ(code.m(), 576u);
+  EXPECT_EQ(code.check_adjacency().size(), code.m());
+  EXPECT_EQ(code.var_adjacency().size(), code.n());
+}
+
+TEST(QcCode, CheckDegreesMatchBaseRowDegrees) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto z = static_cast<std::size_t>(code.z());
+  for (std::size_t l = 0; l < code.num_layers(); ++l) {
+    const std::size_t deg = code.base().row_degree(l);
+    for (std::size_t r = 0; r < z; ++r)
+      EXPECT_EQ(code.check_adjacency()[l * z + r].size(), deg);
+  }
+}
+
+TEST(QcCode, VariableDegreesMatchBaseColumnDegrees) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto z = static_cast<std::size_t>(code.z());
+  for (std::size_t c = 0; c < code.base().cols(); ++c) {
+    const std::size_t deg = code.base().col_degree(c);
+    for (std::size_t r = 0; r < z; ++r)
+      EXPECT_EQ(code.var_adjacency()[c * z + r].size(), deg) << "col " << c;
+  }
+}
+
+TEST(QcCode, EdgeCountEqualsCirculantsTimesZ) {
+  const auto code = make_wimax_code(WimaxRate::kRate2_3B, 48);
+  EXPECT_EQ(code.num_edges(),
+            code.base().nonzero_blocks() * static_cast<std::size_t>(code.z()));
+}
+
+TEST(QcCode, CirculantConnectivityIsAPermutation) {
+  // Within one circulant every check row connects to a distinct variable.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto z = static_cast<std::size_t>(code.z());
+  for (const auto& layer : code.layers()) {
+    for (const auto& blk : layer) {
+      std::set<std::uint32_t> vars;
+      for (std::size_t r = 0; r < z; ++r)
+        vars.insert(static_cast<std::uint32_t>(blk.block_col * z +
+                                               (r + blk.shift) % z));
+      EXPECT_EQ(vars.size(), z);
+      EXPECT_EQ(*vars.begin(), blk.block_col * z);
+    }
+  }
+}
+
+TEST(QcCode, RSlotsAreDenselyNumbered) {
+  const auto code = make_wimax_code(WimaxRate::kRate3_4A, 96);
+  std::set<std::uint32_t> slots;
+  for (const auto& layer : code.layers())
+    for (const auto& blk : layer) slots.insert(blk.r_slot);
+  EXPECT_EQ(slots.size(), code.base().nonzero_blocks());
+  EXPECT_EQ(*slots.rbegin(), code.base().nonzero_blocks() - 1);
+}
+
+TEST(QcCode, VarEdgesAreConsistentWithCheckAdjacency) {
+  const auto code = make_wimax_code(WimaxRate::kRate5_6, 24);
+  // Each variable's edge list must point back at it.
+  std::vector<std::uint32_t> edge_to_var(code.num_edges());
+  for (std::size_t c = 0; c < code.m(); ++c)
+    for (std::size_t p = 0; p < code.check_adjacency()[c].size(); ++p)
+      edge_to_var[code.edge_index(c, p)] = code.check_adjacency()[c][p];
+  for (std::size_t v = 0; v < code.n(); ++v)
+    for (std::uint32_t e : code.var_edges()[v]) EXPECT_EQ(edge_to_var[e], v);
+}
+
+TEST(QcCode, AllZeroWordSatisfiesParity) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BitVec zero(code.n());
+  EXPECT_TRUE(code.parity_ok(zero));
+  EXPECT_EQ(code.syndrome_weight(zero), 0u);
+}
+
+TEST(QcCode, SingleBitFlipBreaksParity) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BitVec word(code.n());
+  word.set(17, true);
+  EXPECT_FALSE(code.parity_ok(word));
+  EXPECT_EQ(code.syndrome_weight(word), code.var_adjacency()[17].size());
+}
+
+TEST(QcCode, ParityWordLengthChecked) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BitVec wrong(code.n() - 1);
+  EXPECT_THROW(code.parity_ok(wrong), Error);
+}
+
+// --------------------------------------------------------- random codes ----
+
+TEST(RandomQc, GeneratesRequestedGeometry) {
+  RandomQcConfig cfg;
+  cfg.block_rows = 5;
+  cfg.block_cols = 15;
+  cfg.z = 8;
+  cfg.info_row_degree = 4;
+  const auto code = make_random_qc_code(cfg);
+  EXPECT_EQ(code.n(), 15u * 8u);
+  EXPECT_EQ(code.m(), 5u * 8u);
+  EXPECT_EQ(code.num_layers(), 5u);
+}
+
+TEST(RandomQc, DeterministicForSeed) {
+  RandomQcConfig cfg;
+  cfg.seed = 99;
+  const auto a = make_random_qc_code(cfg);
+  const auto b = make_random_qc_code(cfg);
+  for (std::size_t r = 0; r < a.base().rows(); ++r)
+    for (std::size_t c = 0; c < a.base().cols(); ++c)
+      EXPECT_EQ(a.base().at(r, c), b.base().at(r, c));
+}
+
+TEST(RandomQc, DifferentSeedsDiffer) {
+  RandomQcConfig a_cfg, b_cfg;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  const auto a = make_random_qc_code(a_cfg);
+  const auto b = make_random_qc_code(b_cfg);
+  int diff = 0;
+  for (std::size_t r = 0; r < a.base().rows(); ++r)
+    for (std::size_t c = 0; c < a.base().cols(); ++c)
+      diff += a.base().at(r, c) != b.base().at(r, c);
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RandomQc, EveryInfoColumnConnected) {
+  RandomQcConfig cfg;
+  cfg.block_rows = 3;
+  cfg.block_cols = 20;
+  cfg.info_row_degree = 2;  // sparse: forces the patch-up path
+  const auto code = make_random_qc_code(cfg);
+  for (std::size_t c = 0; c < code.base().cols(); ++c)
+    EXPECT_GE(code.base().col_degree(c), 1u);
+}
+
+TEST(RandomQc, RejectsImpossibleConfigs) {
+  RandomQcConfig cfg;
+  cfg.block_rows = 2;  // weight-3 column needs >= 3 layers
+  EXPECT_THROW(make_random_qc_code(cfg), Error);
+  cfg = RandomQcConfig{};
+  cfg.info_row_degree = 100;
+  EXPECT_THROW(make_random_qc_code(cfg), Error);
+  cfg = RandomQcConfig{};
+  cfg.block_cols = 4;
+  cfg.block_rows = 4;
+  EXPECT_THROW(make_random_qc_code(cfg), Error);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,235 @@
+// Tests for the extension decoders (Gallager-B, self-corrected min-sum)
+// and the 16-QAM modem / BER-harness path.
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "channel/ber_runner.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "core/gallager_b.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+BitVec random_info(std::size_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVec info(k);
+  for (std::size_t i = 0; i < k; ++i) info.set(i, rng.coin());
+  return info;
+}
+
+// ------------------------------------------------------------ Gallager-B ----
+
+TEST(GallagerB, CleanWordConvergesImmediately) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  GallagerBDecoder dec(code, opt);
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 1));
+  const auto r = dec.decode_hard(word);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_TRUE(r.hard_bits == word);
+}
+
+TEST(GallagerB, CorrectsAFewScatteredErrors) {
+  const auto code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  opt.max_iterations = 20;
+  GallagerBDecoder dec(code, opt);
+  const RuEncoder enc(code);
+  BitVec word = enc.encode(random_info(code.k(), 2));
+  BitVec corrupted = word;
+  // ~0.5% raw BER: a regime hard-decision decoding handles.
+  for (std::size_t i = 0; i < corrupted.size(); i += 211) corrupted.flip(i);
+  const auto r = dec.decode_hard(corrupted);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.hard_bits == word);
+}
+
+TEST(GallagerB, WeakerThanSoftDecodingAtWaterfall) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 20;
+  auto run = [&](const char* name) {
+    BerConfig cfg;
+    cfg.ebn0_db = {3.0F};
+    cfg.max_frames = 80;
+    cfg.min_frames = 80;
+    BerRunner runner(code, [&] { return make_decoder(name, code, opt); }, cfg);
+    return runner.run()[0].fer();
+  };
+  EXPECT_GT(run("gallager-b") + 1e-9, run("layered-minsum-fixed"));
+}
+
+TEST(GallagerB, SoftInterfaceThresholdsLlrs) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  GallagerBDecoder dec(code, opt);
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 3));
+  std::vector<float> llr(code.n());
+  for (std::size_t i = 0; i < code.n(); ++i)
+    llr[i] = word.get(i) ? -2.5F : 2.5F;
+  const auto r = dec.decode(llr);
+  EXPECT_TRUE(r.hard_bits == word);
+}
+
+TEST(GallagerB, ViaFactory) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto dec = make_decoder("gallager-b", code, opt);
+  EXPECT_EQ(dec->name(), "gallager-b");
+}
+
+// ------------------------------------------------------------------ SCMS ----
+
+TEST(Scms, DecodesAndOutperformsPlainMinSum) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 15;
+  auto run = [&](const char* name) {
+    BerConfig cfg;
+    cfg.ebn0_db = {1.8F};
+    cfg.max_frames = 120;
+    cfg.min_frames = 120;
+    cfg.num_workers = 2;
+    BerRunner runner(code, [&] { return make_decoder(name, code, opt); }, cfg);
+    return runner.run()[0].fer();
+  };
+  const double scms = run("flooding-minsum-scms");
+  const double plain = run("flooding-minsum");
+  EXPECT_LE(scms, plain + 0.05);  // SCMS at least matches plain min-sum
+}
+
+TEST(Scms, NameAndFactory) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto dec = make_decoder("flooding-minsum-scms", code, opt);
+  EXPECT_EQ(dec->name(), "flooding-minsum-scms");
+  // Clean decode still works (no erasures on a consistent frame).
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 4));
+  const auto llr = BpskModem::demodulate(BpskModem::modulate(word), 1.0F);
+  EXPECT_TRUE(dec->decode(llr).hard_bits == word);
+}
+
+// ---------------------------------------------------------------- 16-QAM ----
+
+TEST(Qam16, UnitAverageSymbolEnergy) {
+  BitVec bits(4000);
+  Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.coin());
+  const auto iq = Qam16Modem::modulate(bits);
+  double energy = 0.0;
+  for (std::size_t s = 0; s < iq.size() / 2; ++s)
+    energy += iq[2 * s] * iq[2 * s] + iq[2 * s + 1] * iq[2 * s + 1];
+  EXPECT_NEAR(energy / (iq.size() / 2.0), 1.0, 0.05);
+}
+
+TEST(Qam16, FourLevelsPerRail) {
+  BitVec bits(16);
+  // Enumerate all four (outer, inner) pairs on the I rail; the I rail of
+  // symbol s uses bits 4s (outer) and 4s+1 (inner).
+  bits.set(5, true);             // symbol 1: (0,1)
+  bits.set(8, true);             // symbol 2: (1,0)
+  bits.set(12, true);            // symbol 3: (1,1)
+  bits.set(13, true);
+  const auto iq = Qam16Modem::modulate(bits);
+  const float a = 0.31622776601683794F;
+  EXPECT_NEAR(iq[0], 3 * a, 1e-6);   // (0,0) -> +3a
+  EXPECT_NEAR(iq[2], a, 1e-6);       // (0,1) -> +a
+  EXPECT_NEAR(iq[4], -3 * a, 1e-6);  // (1,0) -> -3a
+  EXPECT_NEAR(iq[6], -a, 1e-6);      // (1,1) -> -a
+}
+
+TEST(Qam16, NoiselessRoundTrip) {
+  BitVec bits(222);  // non-multiple of 4 exercises padding
+  Xoshiro256 rng(6);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.coin());
+  const auto iq = Qam16Modem::modulate(bits);
+  const auto llr = Qam16Modem::demodulate(iq, 0.05F, bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    EXPECT_EQ(llr[i] < 0.0F, bits.get(i)) << i;
+}
+
+TEST(Qam16, InnerBitsLessReliableThanOuterOnAverage) {
+  // The inner (magnitude) bit has smaller decision distance; its average
+  // |LLR| must be below the outer bit's at the same noise level.
+  BitVec bits(10000);
+  Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.coin());
+  const auto iq = Qam16Modem::modulate(bits);
+  AwgnChannel ch(0.05F, 8);
+  const auto received = ch.transmit(iq);
+  const auto llr = Qam16Modem::demodulate(received, 0.05F, bits.size());
+  double outer = 0, inner = 0;
+  std::size_t n_outer = 0, n_inner = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i % 2 == 0) {
+      outer += std::abs(llr[i]);
+      ++n_outer;
+    } else {
+      inner += std::abs(llr[i]);
+      ++n_inner;
+    }
+  }
+  EXPECT_GT(outer / static_cast<double>(n_outer),
+            inner / static_cast<double>(n_inner));
+}
+
+TEST(Qam16, BerHarnessDecodesAtGenerousSnr) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {8.0F};
+  cfg.max_frames = 30;
+  cfg.min_frames = 30;
+  cfg.modulation = Modulation::kQam16;
+  DecoderOptions opt;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-float", code, opt); }, cfg);
+  const auto p = runner.run()[0];
+  EXPECT_EQ(p.frame_errors, 0u);
+}
+
+TEST(Qam16, NeedsMoreSnrThanQpsk) {
+  // Higher-order modulation trades spectral efficiency for SNR; at a fixed
+  // waterfall-region Eb/N0 16-QAM must show a worse FER than QPSK.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto run = [&](Modulation mod) {
+    BerConfig cfg;
+    cfg.ebn0_db = {2.2F};
+    cfg.max_frames = 120;
+    cfg.min_frames = 120;
+    cfg.modulation = mod;
+    cfg.num_workers = 2;
+    BerRunner runner(
+        code, [&] { return make_decoder("layered-minsum-float", code, opt); },
+        cfg);
+    return runner.run()[0].fer();
+  };
+  EXPECT_GT(run(Modulation::kQam16), run(Modulation::kQpsk));
+}
+
+TEST(Qam16, RayleighPathRuns) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {12.0F};
+  cfg.max_frames = 20;
+  cfg.min_frames = 20;
+  cfg.modulation = Modulation::kQam16;
+  cfg.channel = ChannelModel::kRayleigh;
+  DecoderOptions opt;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-float", code, opt); }, cfg);
+  const auto p = runner.run()[0];
+  EXPECT_EQ(p.frames, 20u);
+  EXPECT_LT(p.fer(), 0.5);  // high SNR: mostly decodable even with fading
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,364 @@
+// Fixed-point decoder tests: quantization formats, the LayerRowKernel
+// (Algorithm 1's per-row arithmetic, shared with the hardware simulators),
+// and the full fixed-point layered decoder including quantization-loss and
+// early-termination behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "core/layered_minsum_float.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+// ---------------------------------------------------------- FixedFormat ----
+
+TEST(FixedFormat, RailValues) {
+  const FixedFormat f{8, 2};
+  EXPECT_EQ(f.max_code(), 127);
+  EXPECT_EQ(f.min_code(), -128);
+  const FixedFormat g{6, 1};
+  EXPECT_EQ(g.max_code(), 31);
+  EXPECT_EQ(g.min_code(), -32);
+}
+
+TEST(FixedFormat, QuantizeRoundsToNearest) {
+  const FixedFormat f{8, 2};  // resolution 0.25
+  EXPECT_EQ(f.quantize(0.0F), 0);
+  EXPECT_EQ(f.quantize(0.25F), 1);
+  EXPECT_EQ(f.quantize(0.24F), 1);   // rounds to nearest code
+  EXPECT_EQ(f.quantize(0.12F), 0);
+  EXPECT_EQ(f.quantize(-0.25F), -1);
+  EXPECT_EQ(f.quantize(1.0F), 4);
+}
+
+TEST(FixedFormat, QuantizeSaturates) {
+  const FixedFormat f{8, 2};
+  EXPECT_EQ(f.quantize(1000.0F), 127);
+  EXPECT_EQ(f.quantize(-1000.0F), -128);
+  EXPECT_EQ(f.quantize(31.74F), 127);
+  EXPECT_EQ(f.quantize(32.0F), 127);
+}
+
+TEST(FixedFormat, DequantizeInvertsScaling) {
+  const FixedFormat f{8, 3};
+  EXPECT_FLOAT_EQ(f.dequantize(8), 1.0F);
+  EXPECT_FLOAT_EQ(f.dequantize(-4), -0.5F);
+  for (float v : {0.5F, -3.25F, 7.125F})
+    EXPECT_NEAR(f.dequantize(f.quantize(v)), v, 1.0F / (1 << 3) / 2 + 1e-6);
+}
+
+TEST(FixedFormat, SignPreserved) {
+  const FixedFormat f{6, 1};
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.gaussian()) * 5.0F;
+    const auto q = f.quantize(v);
+    if (std::fabs(v) >= 0.5F) {
+      EXPECT_EQ(q < 0, v < 0.0F) << v;
+    }
+  }
+}
+
+TEST(FixedFormat, ValidateRejectsBadFormats) {
+  EXPECT_THROW(validate(FixedFormat{1, 0}), Error);
+  EXPECT_THROW(validate(FixedFormat{17, 2}), Error);
+  EXPECT_THROW(validate(FixedFormat{8, 8}), Error);
+  EXPECT_THROW(validate(FixedFormat{8, -1}), Error);
+  EXPECT_NO_THROW(validate(FixedFormat{4, 0}));
+}
+
+TEST(FixedFormat, NameEncodesWidths) {
+  EXPECT_EQ((FixedFormat{8, 2}).name(), "q8.2");
+  EXPECT_EQ((FixedFormat{6, 1}).name(), "q6.1");
+}
+
+// -------------------------------------------------------- LayerRowKernel ----
+
+TEST(Kernel, CheckStateTracksMin1Min2Pos) {
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(-5, 0);
+  st.absorb(3, 1);
+  st.absorb(-2, 2);
+  st.absorb(7, 3);
+  EXPECT_EQ(st.min1, 2);
+  EXPECT_EQ(st.min2, 3);
+  EXPECT_EQ(st.pos1, 2u);
+  // Two negative inputs: the signs cancel, so the product is positive.
+  EXPECT_FALSE(st.sign_product);
+}
+
+TEST(Kernel, SignProductXorsAllSigns) {
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(-1, 0);
+  EXPECT_TRUE(st.sign_product);
+  st.absorb(-1, 1);
+  EXPECT_FALSE(st.sign_product);
+  st.absorb(-1, 2);
+  EXPECT_TRUE(st.sign_product);
+  st.absorb(5, 3);
+  EXPECT_TRUE(st.sign_product);  // positive leaves it unchanged
+}
+
+TEST(Kernel, TieGoesToFirstPosition) {
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(4, 0);
+  st.absorb(-4, 1);
+  EXPECT_EQ(st.min1, 4);
+  EXPECT_EQ(st.min2, 4);
+  EXPECT_EQ(st.pos1, 0u);  // strict < keeps the first minimum
+}
+
+TEST(Kernel, ComputeQIsSaturatingSubtract) {
+  const LayerRowKernel k(FixedFormat{8, 2});
+  EXPECT_EQ(k.compute_q(100, -100), 127);
+  EXPECT_EQ(k.compute_q(-100, 100), -128);
+  EXPECT_EQ(k.compute_q(10, 3), 7);
+}
+
+TEST(Kernel, ComputeRNewUsesMin2AtPos1) {
+  const LayerRowKernel k(FixedFormat{8, 2});
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(4, 0);   // min1 = 4 @ 0
+  st.absorb(-8, 1);  // min2 = 8
+  st.absorb(16, 2);
+  // sign product negative (one negative input).
+  // At pos 0 (the minimum's own edge): magnitude from min2 = 8 -> 6 scaled.
+  EXPECT_EQ(k.compute_r_new(st, 4, 0), -6);   // sign: prod(-) ^ q(+) = -
+  // At pos 1: magnitude from min1 = 4 -> 3; sign: prod(-) ^ q(-) = +
+  EXPECT_EQ(k.compute_r_new(st, -8, 1), 3);
+  // At pos 2: magnitude 3; sign: prod(-) ^ q(+) = -
+  EXPECT_EQ(k.compute_r_new(st, 16, 2), -3);
+}
+
+TEST(Kernel, ComputeRNewScalesWithShiftAddTruncation) {
+  const LayerRowKernel k(FixedFormat{8, 2});
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(7, 0);
+  st.absorb(9, 1);
+  // At pos 1 magnitude comes from min1=7: (7>>1)+(7>>2) = 3+1 = 4 (not 5).
+  EXPECT_EQ(k.compute_r_new(st, 9, 1), 4);
+}
+
+TEST(Kernel, ComputePNewSaturates) {
+  const LayerRowKernel k(FixedFormat{8, 2});
+  EXPECT_EQ(k.compute_p_new(120, 30), 127);
+  EXPECT_EQ(k.compute_p_new(-120, -30), -128);
+  EXPECT_EQ(k.compute_p_new(-10, 30), 20);
+}
+
+TEST(Kernel, DegreeTwoRowsSupported) {
+  const LayerRowKernel k(FixedFormat{8, 2});
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(5, 0);    // min2 = 5 after the next absorb
+  st.absorb(-3, 1);   // min1 = 3 @ pos 1; sign product negative
+  // pos 0: extrinsic magnitude = scale(min1 = 3) = (3>>1)+(3>>2) = 1;
+  // sign = prod(-) ^ sign(q=5 is +) = negative.
+  EXPECT_EQ(k.compute_r_new(st, 5, 0), -1);
+  // pos 1 (the minimum's own edge): magnitude = scale(min2 = 5) = 3;
+  // sign = prod(-) ^ sign(q=-3 is -) = positive.
+  EXPECT_EQ(k.compute_r_new(st, -3, 1), 3);
+}
+
+TEST(Kernel, DegreeOneRowRejected) {
+  const LayerRowKernel k(FixedFormat{8, 2});
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(5, 0);
+  EXPECT_THROW(k.compute_r_new(st, 5, 0), Error);
+}
+
+TEST(Kernel, InvalidScaleRejected) {
+  EXPECT_THROW(LayerRowKernel(FixedFormat{8, 2}, 0, 4), Error);
+  EXPECT_THROW(LayerRowKernel(FixedFormat{8, 2}, 5, 4), Error);
+  EXPECT_THROW(LayerRowKernel(FixedFormat{8, 2}, 3, 0), Error);
+  EXPECT_NO_THROW(LayerRowKernel(FixedFormat{8, 2}, 1, 1));
+}
+
+// --------------------------------------------- fixed-point layered decoder ----
+
+BitVec random_info(std::size_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVec info(k);
+  for (std::size_t i = 0; i < k; ++i) info.set(i, rng.coin());
+  return info;
+}
+
+struct Frame {
+  BitVec codeword;
+  std::vector<float> llr;
+};
+
+Frame make_frame(const QCLdpcCode& code, float ebn0_db, std::uint64_t seed) {
+  const RuEncoder enc(code);
+  Frame f;
+  f.codeword = enc.encode(random_info(code.k(), seed));
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  AwgnChannel ch(variance, seed * 13 + 3);
+  f.llr = BpskModem::demodulate(ch.transmit(BpskModem::modulate(f.codeword)),
+                                variance);
+  return f;
+}
+
+TEST(FixedDecoder, DecodesNoiselessChannel) {
+  const auto code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  LayeredMinSumFixedDecoder dec(code, opt);
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 2));
+  const auto llr = BpskModem::demodulate(BpskModem::modulate(word), 0.5F);
+  const auto r = dec.decode(llr);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_TRUE(r.hard_bits == word);
+}
+
+TEST(FixedDecoder, CorrectsModerateNoiseAt8Bits) {
+  const auto code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  LayeredMinSumFixedDecoder dec(code, opt, FixedFormat{8, 2});
+  int good = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const Frame f = make_frame(code, 2.2F, s);
+    good += (dec.decode(f.llr).hard_bits == f.codeword);
+  }
+  EXPECT_GE(good, 9);
+}
+
+TEST(FixedDecoder, SixBitFormatStillDecodes) {
+  const auto code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  LayeredMinSumFixedDecoder dec(code, opt, FixedFormat{6, 1});
+  int good = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const Frame f = make_frame(code, 2.5F, s);
+    good += (dec.decode(f.llr).hard_bits == f.codeword);
+  }
+  EXPECT_GE(good, 8);
+}
+
+TEST(FixedDecoder, TracksFloatDecoderAtHighSnr) {
+  // Quantization loss must not change decisions on comfortably decodable
+  // frames.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  LayeredMinSumFixedDecoder fixed(code, opt);
+  LayeredMinSumFloatDecoder flt(code, opt);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const Frame f = make_frame(code, 3.5F, s);
+    EXPECT_TRUE(fixed.decode(f.llr).hard_bits == flt.decode(f.llr).hard_bits)
+        << "seed " << s;
+  }
+}
+
+TEST(FixedDecoder, DecodeQuantizedMatchesDecode) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  LayeredMinSumFixedDecoder dec(code, opt);
+  const Frame f = make_frame(code, 2.0F, 5);
+  std::vector<std::int32_t> codes(f.llr.size());
+  for (std::size_t i = 0; i < f.llr.size(); ++i)
+    codes[i] = dec.format().quantize(f.llr[i]);
+  const auto a = dec.decode(f.llr);
+  const auto b = dec.decode_quantized(codes);
+  EXPECT_TRUE(a.hard_bits == b.hard_bits);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(FixedDecoder, EarlyTerminationReducesIterations) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions et;
+  et.max_iterations = 10;
+  DecoderOptions no_et = et;
+  no_et.early_termination = false;
+  LayeredMinSumFixedDecoder d_et(code, et);
+  LayeredMinSumFixedDecoder d_no(code, no_et);
+  const Frame f = make_frame(code, 3.0F, 8);
+  EXPECT_LT(d_et.decode(f.llr).iterations, 10u);
+  EXPECT_EQ(d_no.decode(f.llr).iterations, 10u);
+}
+
+TEST(FixedDecoder, DeterministicAcrossCalls) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  LayeredMinSumFixedDecoder dec(code, opt);
+  const Frame f = make_frame(code, 1.5F, 6);
+  const auto a = dec.decode(f.llr);
+  const auto b = dec.decode(f.llr);  // state fully reset between calls
+  EXPECT_TRUE(a.hard_bits == b.hard_bits);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(FixedDecoder, PosteriorsExposedAndInRange) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  LayeredMinSumFixedDecoder dec(code, opt, FixedFormat{8, 2});
+  const Frame f = make_frame(code, 2.0F, 7);
+  dec.decode(f.llr);
+  ASSERT_EQ(dec.posteriors().size(), code.n());
+  for (const auto p : dec.posteriors()) {
+    EXPECT_GE(p, -128);
+    EXPECT_LE(p, 127);
+  }
+}
+
+TEST(FixedDecoder, SaturatedChannelStillDecodable) {
+  // Extremely strong LLRs saturate at the rails; the decoder must remain
+  // consistent (rails encode maximal confidence).
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  LayeredMinSumFixedDecoder dec(code, opt);
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 11));
+  std::vector<float> llr(code.n());
+  for (std::size_t i = 0; i < code.n(); ++i)
+    llr[i] = word.get(i) ? -1e6F : 1e6F;
+  const auto r = dec.decode(llr);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.hard_bits == word);
+}
+
+TEST(FixedDecoder, CustomScaleViaOptions) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  opt.scale = 0.875F;  // maps onto 14/16
+  LayeredMinSumFixedDecoder dec(code, opt);
+  const Frame f = make_frame(code, 3.0F, 12);
+  const auto r = dec.decode(f.llr);
+  EXPECT_TRUE(r.hard_bits == f.codeword);
+}
+
+class QuantWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantWidthTest, AllWidthsDecodeCleanChannel) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  const int bits = GetParam();
+  LayeredMinSumFixedDecoder dec(code, opt, FixedFormat{bits, bits >= 6 ? 2 : 0});
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 13));
+  const auto llr = BpskModem::demodulate(BpskModem::modulate(word), 0.5F);
+  const auto r = dec.decode(llr);
+  EXPECT_TRUE(r.converged) << bits << " bits";
+  EXPECT_TRUE(r.hard_bits == word);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantWidthTest, ::testing::Values(4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ldpc

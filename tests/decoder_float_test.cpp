@@ -1,0 +1,227 @@
+// Floating-point decoder tests: sum-product, flooding min-sum variants and
+// the layered float min-sum — correctness on clean and noisy channels, and
+// the qualitative relationships the paper's algorithm relies on (layered
+// converges faster than flooding; normalization improves plain min-sum).
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "core/flooding_bp.hpp"
+#include "core/flooding_minsum.hpp"
+#include "core/layered_minsum_float.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+BitVec random_info(std::size_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVec info(k);
+  for (std::size_t i = 0; i < k; ++i) info.set(i, rng.coin());
+  return info;
+}
+
+struct Frame {
+  BitVec codeword;
+  std::vector<float> llr;
+};
+
+Frame make_frame(const QCLdpcCode& code, float ebn0_db, std::uint64_t seed) {
+  const RuEncoder enc(code);
+  Frame f;
+  f.codeword = enc.encode(random_info(code.k(), seed));
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  AwgnChannel ch(variance, seed * 31 + 7);
+  f.llr = BpskModem::demodulate(ch.transmit(BpskModem::modulate(f.codeword)),
+                                variance);
+  return f;
+}
+
+// Decoders under test, via the factory (also covers the factory itself).
+class FloatDecoderTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FloatDecoderTest, DecodesNoiselessChannel) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 1));
+  auto llr = BpskModem::demodulate(BpskModem::modulate(word), 1.0F);
+  DecoderOptions opt;
+  auto dec = make_decoder(GetParam(), code, opt);
+  const auto result = dec->decode(llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_TRUE(result.hard_bits == word);
+}
+
+TEST_P(FloatDecoderTest, CorrectsModerateNoise) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 20;
+  auto dec = make_decoder(GetParam(), code, opt);
+  int good = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Frame f = make_frame(code, 2.5F, seed);
+    const auto result = dec->decode(f.llr);
+    good += (result.hard_bits == f.codeword);
+  }
+  EXPECT_GE(good, 9) << GetParam();
+}
+
+TEST_P(FloatDecoderTest, ReportsNonConvergenceOnGarbage) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  opt.max_iterations = 3;
+  auto dec = make_decoder(GetParam(), code, opt);
+  // Adversarial LLRs: alternating strong values that satisfy no parity.
+  std::vector<float> llr(code.n());
+  Xoshiro256 rng(3);
+  for (auto& v : llr) v = rng.coin() ? 9.0F : -9.0F;
+  const auto result = dec->decode(llr);
+  EXPECT_EQ(result.iterations, 3u);
+  // (convergence is possible but overwhelmingly unlikely; just check sanity)
+  EXPECT_EQ(result.hard_bits.size(), code.n());
+}
+
+TEST_P(FloatDecoderTest, WrongLlrLengthThrows) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto dec = make_decoder(GetParam(), code, opt);
+  std::vector<float> llr(code.n() - 1, 1.0F);
+  EXPECT_THROW(dec->decode(llr), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Decoders, FloatDecoderTest,
+                         ::testing::Values("flooding-bp", "flooding-minsum",
+                                           "flooding-minsum-norm",
+                                           "flooding-minsum-offset",
+                                           "layered-minsum-float"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ----------------------------------------------------- factory behaviour ----
+
+TEST(DecoderFactory, UnknownNameThrows) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  EXPECT_THROW(make_decoder("no-such-decoder", code, opt), Error);
+}
+
+TEST(DecoderFactory, AllAdvertisedNamesConstruct) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  for (const auto& name : decoder_names()) {
+    auto dec = make_decoder(name, code, opt);
+    EXPECT_EQ(dec->n(), code.n()) << name;
+    EXPECT_FALSE(dec->name().empty()) << name;
+  }
+}
+
+// ----------------------------------------------- qualitative comparisons ----
+
+// Count decoding failures over a fixed batch of noisy frames.
+int failures(Decoder& dec, const QCLdpcCode& code, float ebn0_db, int frames) {
+  int fail = 0;
+  for (int f = 0; f < frames; ++f) {
+    const Frame fr = make_frame(code, ebn0_db, 1000 + static_cast<std::uint64_t>(f));
+    const auto result = dec.decode(fr.llr);
+    fail += !(result.hard_bits == fr.codeword);
+  }
+  return fail;
+}
+
+double mean_iterations(Decoder& dec, const QCLdpcCode& code, float ebn0_db,
+                       int frames) {
+  double total = 0;
+  for (int f = 0; f < frames; ++f) {
+    const Frame fr = make_frame(code, ebn0_db, 500 + static_cast<std::uint64_t>(f));
+    total += static_cast<double>(dec.decode(fr.llr).iterations);
+  }
+  return total / frames;
+}
+
+TEST(DecoderComparison, LayeredConvergesFasterThanFlooding) {
+  // The classic layered-decoding result: roughly half the iterations at
+  // equal error rate, because updated posteriors are used within the same
+  // iteration. This is the premise of the paper's architecture.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 30;
+  FloodingMinSumDecoder flooding(code, opt);
+  LayeredMinSumFloatDecoder layered(code, opt);
+  const double it_flood = mean_iterations(flooding, code, 2.2F, 20);
+  const double it_layer = mean_iterations(layered, code, 2.2F, 20);
+  EXPECT_LT(it_layer, it_flood * 0.75)
+      << "layered=" << it_layer << " flooding=" << it_flood;
+}
+
+TEST(DecoderComparison, NormalizationHelpsMinSum) {
+  // Plain min-sum overestimates magnitudes; 0.75 scaling recovers most of
+  // the gap to BP at waterfall SNR.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 15;
+  FloodingMinSumDecoder plain(code, opt, MinSumVariant::kPlain);
+  FloodingMinSumDecoder normalized(code, opt, MinSumVariant::kNormalized);
+  const int fail_plain = failures(plain, code, 1.8F, 40);
+  const int fail_norm = failures(normalized, code, 1.8F, 40);
+  EXPECT_LE(fail_norm, fail_plain);
+}
+
+TEST(DecoderComparison, BpAtLeastAsGoodAsPlainMinSum) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 15;
+  FloodingBpDecoder bp(code, opt);
+  FloodingMinSumDecoder plain(code, opt, MinSumVariant::kPlain);
+  EXPECT_LE(failures(bp, code, 1.8F, 40), failures(plain, code, 1.8F, 40));
+}
+
+TEST(LayeredFloat, EarlyTerminationStopsAtConvergence) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions with_et;
+  with_et.max_iterations = 30;
+  DecoderOptions without_et = with_et;
+  without_et.early_termination = false;
+  LayeredMinSumFloatDecoder et(code, with_et);
+  LayeredMinSumFloatDecoder no_et(code, without_et);
+  const Frame f = make_frame(code, 3.0F, 9);
+  const auto r_et = et.decode(f.llr);
+  const auto r_no = no_et.decode(f.llr);
+  EXPECT_TRUE(r_et.converged);
+  EXPECT_LT(r_et.iterations, 30u);
+  EXPECT_EQ(r_no.iterations, 30u);
+  // Both must decode to the transmitted codeword here.
+  EXPECT_TRUE(r_et.hard_bits == f.codeword);
+  EXPECT_TRUE(r_no.hard_bits == f.codeword);
+}
+
+TEST(LayeredFloat, ScaleParameterMatters) {
+  // scale = 1.0 (plain layered min-sum) should not beat 0.75 on average.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions scaled;
+  scaled.max_iterations = 15;
+  DecoderOptions unscaled = scaled;
+  unscaled.scale = 1.0F;
+  LayeredMinSumFloatDecoder dec_s(code, scaled);
+  LayeredMinSumFloatDecoder dec_u(code, unscaled);
+  EXPECT_LE(failures(dec_s, code, 1.8F, 40), failures(dec_u, code, 1.8F, 40));
+}
+
+TEST(FloodingBp, ZeroIterationsRejected) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  opt.max_iterations = 0;
+  EXPECT_THROW(FloodingBpDecoder(code, opt), Error);
+  EXPECT_THROW(LayeredMinSumFloatDecoder(code, opt), Error);
+  EXPECT_THROW(FloodingMinSumDecoder(code, opt), Error);
+}
+
+}  // namespace
+}  // namespace ldpc

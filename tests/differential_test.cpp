@@ -1,0 +1,109 @@
+// Randomized differential tests: the hardware simulators must be bit-exact
+// with the algorithmic fixed-point decoder for EVERY combination of code
+// geometry, message format, architecture, parallelism, clock target and
+// column ordering. This is the repository's central invariant, here
+// hammered with randomized configurations beyond the curated cases in
+// arch_test.cpp.
+#include <gtest/gtest.h>
+
+#include "arch/arch_sim.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/random_qc.hpp"
+#include "codes/wimax.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+struct Config {
+  std::uint64_t seed;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, RandomConfigurationIsBitExact) {
+  Xoshiro256 rng(GetParam() * 7919 + 13);
+
+  // Random code: either a WiMAX configuration or a random QC construction.
+  std::unique_ptr<QCLdpcCode> code;
+  if (rng.coin()) {
+    const auto& rates = all_wimax_rates();
+    const auto rate = rates[rng.uniform_int(rates.size())];
+    const auto& zs = wimax_z_values();
+    const int z = zs[rng.uniform_int(zs.size())];
+    code = std::make_unique<QCLdpcCode>(make_wimax_code(rate, z));
+  } else {
+    RandomQcConfig cfg;
+    cfg.block_rows = 3 + rng.uniform_int(5);
+    cfg.block_cols = cfg.block_rows + 4 + rng.uniform_int(12);
+    cfg.z = 4 + static_cast<int>(rng.uniform_int(60));
+    cfg.info_row_degree =
+        1 + rng.uniform_int(cfg.block_cols - cfg.block_rows);
+    cfg.seed = GetParam();
+    code = std::make_unique<QCLdpcCode>(make_random_qc_code(cfg));
+  }
+
+  // Random format / architecture / parallelism / clock / ordering.
+  const int bits = 4 + static_cast<int>(rng.uniform_int(5));  // 4..8
+  const FixedFormat fmt{bits, bits >= 6 ? 2 : 0};
+  const ArchKind arch =
+      rng.coin() ? ArchKind::kPerLayer : ArchKind::kTwoLayerPipelined;
+  std::vector<int> divisors;
+  for (int p = 1; p <= code->z(); ++p)
+    if (code->z() % p == 0) divisors.push_back(p);
+  const int parallelism = divisors[rng.uniform_int(divisors.size())];
+  const double mhz = 100.0 + static_cast<double>(rng.uniform_int(31)) * 10.0;
+  ArchSimConfig sim_cfg;
+  sim_cfg.hazard_aware_order = rng.coin();
+
+  DecoderOptions opt;
+  opt.max_iterations = 1 + rng.uniform_int(8);
+  opt.early_termination = rng.coin();
+
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(*code, arch, HardwareTarget{mhz, parallelism});
+  ArchSimDecoder sim(*code, est, opt, fmt, sim_cfg);
+  LayeredMinSumFixedDecoder reference(*code, opt, fmt);
+
+  // Random noisy frame (valid codeword + AWGN at a random SNR).
+  const RuEncoder enc(*code);
+  BitVec info(code->k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const BitVec word = enc.encode(info);
+  const float ebn0 = 0.5F + static_cast<float>(rng.uniform()) * 5.0F;
+  const float variance = awgn_noise_variance(ebn0, code->rate());
+  AwgnChannel ch(variance, GetParam() + 101);
+  const auto llr = BpskModem::demodulate(
+      ch.transmit(BpskModem::modulate(word)), variance);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+
+  const auto want = reference.decode_quantized(codes);
+  const auto got = sim.decode_quantized(codes);
+
+  const std::string context =
+      code->base().name() + " " + arch_name(arch) + " p=" +
+      std::to_string(parallelism) + " " + fmt.name() + " @" +
+      std::to_string(mhz) + "MHz it=" + std::to_string(opt.max_iterations) +
+      (sim_cfg.hazard_aware_order ? " reordered" : "");
+  EXPECT_TRUE(got.decode.hard_bits == want.hard_bits) << context;
+  EXPECT_EQ(got.decode.iterations, want.iterations) << context;
+  EXPECT_EQ(got.decode.converged, want.converged) << context;
+
+  // Structural timing invariants hold for every configuration.
+  EXPECT_GT(got.activity.cycles, 0) << context;
+  if (arch == ArchKind::kPerLayer) {
+    EXPECT_EQ(got.activity.core1_stall_cycles, 0) << context;
+  }
+  EXPECT_LE(got.activity.core1_busy_cycles, got.activity.cycles) << context;
+  EXPECT_LE(got.activity.core2_busy_cycles, got.activity.cycles) << context;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace ldpc

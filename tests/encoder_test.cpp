@@ -1,0 +1,200 @@
+// Encoder tests: RU (structured) vs dense (reference) agreement, codeword
+// validity over every standard table, and linearity properties.
+#include <gtest/gtest.h>
+
+#include "codes/encoder.hpp"
+#include "codes/random_qc.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+BitVec random_info(std::size_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVec info(k);
+  for (std::size_t i = 0; i < k; ++i) info.set(i, rng.coin());
+  return info;
+}
+
+// Sweep every WiMAX rate family at several expansion factors.
+struct EncoderCase {
+  WimaxRate rate;
+  int z;
+};
+
+class WimaxEncoderTest : public ::testing::TestWithParam<EncoderCase> {};
+
+TEST_P(WimaxEncoderTest, RuCodewordSatisfiesParity) {
+  const auto code = make_wimax_code(GetParam().rate, GetParam().z);
+  const RuEncoder enc(code);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const BitVec word = enc.encode(random_info(code.k(), seed));
+    EXPECT_TRUE(code.parity_ok(word)) << "seed " << seed;
+  }
+}
+
+TEST_P(WimaxEncoderTest, RuMatchesDenseReference) {
+  const auto code = make_wimax_code(GetParam().rate, GetParam().z);
+  const RuEncoder ru(code);
+  const DenseEncoder dense(code);
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    const BitVec info = random_info(code.k(), seed);
+    EXPECT_TRUE(ru.encode(info) == dense.encode(info)) << "seed " << seed;
+  }
+}
+
+TEST_P(WimaxEncoderTest, CodewordIsSystematic) {
+  const auto code = make_wimax_code(GetParam().rate, GetParam().z);
+  const RuEncoder enc(code);
+  const BitVec info = random_info(code.k(), 3);
+  const BitVec word = enc.encode(info);
+  for (std::size_t i = 0; i < code.k(); ++i)
+    EXPECT_EQ(word.get(i), info.get(i));
+}
+
+std::vector<EncoderCase> encoder_cases() {
+  std::vector<EncoderCase> cases;
+  for (WimaxRate rate : all_wimax_rates())
+    for (int z : {24, 28, 52, 96}) cases.push_back({rate, z});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRatesAndSizes, WimaxEncoderTest,
+                         ::testing::ValuesIn(encoder_cases()),
+                         [](const auto& info) {
+                           std::string n = wimax_rate_name(info.param.rate) +
+                                           "_z" + std::to_string(info.param.z);
+                           for (char& c : n)
+                             if (c == '-' || c == '/') c = '_';
+                           return n;
+                         });
+
+// ------------------------------------------------------------ properties ----
+
+TEST(Encoder, ZeroInfoEncodesToZeroCodeword) {
+  const auto code = make_wimax_2304_half_rate();
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(BitVec(code.k()));
+  EXPECT_TRUE(word.all_zero());
+}
+
+TEST(Encoder, EncodingIsLinear) {
+  // encode(a) XOR encode(b) == encode(a XOR b) for a linear code.
+  const auto code = make_wimax_code(WimaxRate::kRate2_3A, 48);
+  const RuEncoder enc(code);
+  const BitVec a = random_info(code.k(), 21);
+  const BitVec b = random_info(code.k(), 22);
+  BitVec ab = a;
+  ab.xor_with(b);
+  BitVec sum = enc.encode(a);
+  sum.xor_with(enc.encode(b));
+  EXPECT_TRUE(sum == enc.encode(ab));
+}
+
+TEST(Encoder, SingleBitImpulseResponsesAreCodewords) {
+  const auto code = make_wimax_code(WimaxRate::kRate5_6, 24);
+  const RuEncoder enc(code);
+  for (std::size_t i = 0; i < code.k(); i += 37) {
+    BitVec impulse(code.k());
+    impulse.set(i, true);
+    EXPECT_TRUE(code.parity_ok(enc.encode(impulse))) << "bit " << i;
+  }
+}
+
+TEST(Encoder, WrongInfoLengthThrows) {
+  const auto code = make_wimax_2304_half_rate();
+  const RuEncoder ru(code);
+  const DenseEncoder dense(code);
+  EXPECT_THROW(ru.encode(BitVec(code.k() - 1)), Error);
+  EXPECT_THROW(dense.encode(BitVec(code.k() + 1)), Error);
+}
+
+TEST(Encoder, DimensionsExposed) {
+  const auto code = make_wimax_2304_half_rate();
+  const RuEncoder enc(code);
+  EXPECT_EQ(enc.k(), 1152u);
+  EXPECT_EQ(enc.n(), 2304u);
+}
+
+// ------------------------------------------------------------ WiFi codes ----
+
+TEST(Encoder, Wifi648BothEncodersAgree) {
+  const auto code = make_wifi_648_half_rate();
+  const RuEncoder ru(code);
+  const DenseEncoder dense(code);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const BitVec info = random_info(code.k(), seed);
+    const BitVec w = ru.encode(info);
+    EXPECT_TRUE(code.parity_ok(w));
+    EXPECT_TRUE(w == dense.encode(info));
+  }
+}
+
+TEST(Encoder, Wifi1944BothEncodersAgree) {
+  const auto code = make_wifi_1944_half_rate();
+  const RuEncoder ru(code);
+  const DenseEncoder dense(code);
+  const BitVec info = random_info(code.k(), 4);
+  const BitVec w = ru.encode(info);
+  EXPECT_TRUE(code.parity_ok(w));
+  EXPECT_TRUE(w == dense.encode(info));
+}
+
+// ---------------------------------------------------------- random codes ----
+
+class RandomCodeEncoderTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCodeEncoderTest, RandomCodesEncodeCleanly) {
+  RandomQcConfig cfg;
+  cfg.block_rows = 4 + GetParam() % 5;
+  cfg.block_cols = 12 + (GetParam() % 3) * 4;
+  cfg.z = 8 << (GetParam() % 3);
+  const std::size_t kb = cfg.block_cols - cfg.block_rows;
+  cfg.info_row_degree = std::min<std::size_t>(3 + GetParam() % 4, kb);
+  cfg.seed = GetParam();
+  const auto code = make_random_qc_code(cfg);
+  const RuEncoder ru(code);
+  const DenseEncoder dense(code);
+  const BitVec info = random_info(code.k(), GetParam() * 7 + 1);
+  const BitVec w = ru.encode(info);
+  EXPECT_TRUE(code.parity_ok(w));
+  EXPECT_TRUE(w == dense.encode(info));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCodeEncoderTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(Encoder, RuRejectsNonDualDiagonalParity) {
+  // A base matrix whose parity part is an identity (not dual-diagonal).
+  BaseMatrix b(3, 6,
+               {
+                   0, 1, 2, 0, -1, -1,
+                   2, 0, 1, -1, 0, -1,
+                   1, 2, 0, -1, -1, 0,
+               },
+               4, "identity-parity");
+  const QCLdpcCode code(b);
+  EXPECT_THROW(RuEncoder{code}, Error);
+  // The dense encoder handles it fine (parity part is invertible).
+  const DenseEncoder dense(code);
+  const BitVec w = dense.encode(random_info(code.k(), 1));
+  EXPECT_TRUE(code.parity_ok(w));
+}
+
+TEST(Encoder, DenseRejectsSingularParityPart) {
+  // Two identical parity columns -> singular parity part.
+  BaseMatrix b(3, 6,
+               {
+                   0, 1, 2, 0, 0, -1,
+                   2, 0, 1, 0, 0, -1,
+                   1, 2, 0, -1, -1, 0,
+               },
+               4, "singular-parity");
+  const QCLdpcCode code(b);
+  EXPECT_THROW(DenseEncoder{code}, Error);
+}
+
+}  // namespace
+}  // namespace ldpc

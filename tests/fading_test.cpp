@@ -1,0 +1,197 @@
+// Tests for the channel-model extensions: Rayleigh fading, QPSK through the
+// BER harness, iteration histograms, and the offset-min-sum fixed decoder.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "channel/ber_runner.hpp"
+#include "channel/rayleigh.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "util/stats.hpp"
+
+namespace ldpc {
+namespace {
+
+// ------------------------------------------------------------- Rayleigh ----
+
+TEST(Rayleigh, GainsAreUnitSecondMoment) {
+  RayleighChannel ch(1.0F, 3);
+  const std::vector<float> zeros(40000, 0.0F);
+  std::vector<float> gains;
+  ch.transmit(zeros, gains);
+  RunningStats s;
+  for (float h : gains) s.add(h * h);
+  EXPECT_NEAR(s.mean(), 1.0, 0.03);  // E[h^2] = 1
+  for (float h : gains) EXPECT_GE(h, 0.0F);
+}
+
+TEST(Rayleigh, NoiseAddsOnTopOfFading) {
+  RayleighChannel ch(0.25F, 4);
+  const std::vector<float> ones(40000, 1.0F);
+  std::vector<float> gains;
+  const auto received = ch.transmit(ones, gains);
+  // received - h*x must be N(0, 0.25).
+  RunningStats s;
+  for (std::size_t i = 0; i < received.size(); ++i)
+    s.add(received[i] - gains[i]);
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 0.25, 0.02);
+}
+
+TEST(Rayleigh, CoherentLlrSignsMostlyCorrectAtHighSnr) {
+  RayleighChannel ch(0.01F, 5);
+  std::vector<float> symbols(1000);
+  for (std::size_t i = 0; i < symbols.size(); ++i)
+    symbols[i] = (i % 3 == 0) ? -1.0F : 1.0F;
+  std::vector<float> gains;
+  const auto received = ch.transmit(symbols, gains);
+  const auto llr = RayleighChannel::demodulate_bpsk(received, gains, 0.01F);
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    wrong += ((llr[i] < 0.0F) != (symbols[i] < 0.0F));
+  EXPECT_LT(wrong, 10u);
+}
+
+TEST(Rayleigh, InvalidConfigRejected) {
+  EXPECT_THROW(RayleighChannel(0.0F), Error);
+  std::vector<float> r(3), g(2);
+  EXPECT_THROW(RayleighChannel::demodulate_bpsk(r, g, 1.0F), Error);
+}
+
+TEST(Rayleigh, DeterministicForSeed) {
+  RayleighChannel a(1.0F, 9), b(1.0F, 9);
+  std::vector<float> ga, gb;
+  const std::vector<float> x = {1.0F, -1.0F, 1.0F, 1.0F};
+  EXPECT_EQ(a.transmit(x, ga), b.transmit(x, gb));
+  EXPECT_EQ(ga, gb);
+}
+
+// ------------------------------------------------- BER runner extensions ----
+
+BerPoint run_point(const QCLdpcCode& code, Modulation mod, ChannelModel chan,
+                   float ebn0, std::size_t frames) {
+  BerConfig cfg;
+  cfg.ebn0_db = {ebn0};
+  cfg.max_frames = frames;
+  cfg.min_frames = frames;
+  cfg.modulation = mod;
+  cfg.channel = chan;
+  cfg.num_workers = 2;
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-float", code, opt); }, cfg);
+  return runner.run()[0];
+}
+
+TEST(BerExtensions, QpskMatchesBpskOnAwgn) {
+  // Gray-mapped QPSK is two independent BPSK rails: same BER at equal Eb/N0.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto bpsk = run_point(code, Modulation::kBpsk, ChannelModel::kAwgn, 1.6F, 150);
+  const auto qpsk = run_point(code, Modulation::kQpsk, ChannelModel::kAwgn, 1.6F, 150);
+  // Same regime (both are noisy estimates; allow generous slack).
+  const double f1 = bpsk.fer(), f2 = qpsk.fer();
+  EXPECT_NEAR(f1, f2, 0.25) << f1 << " vs " << f2;
+}
+
+TEST(BerExtensions, RayleighNeedsMoreSnrThanAwgn) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto awgn = run_point(code, Modulation::kBpsk, ChannelModel::kAwgn, 2.5F, 120);
+  const auto fading =
+      run_point(code, Modulation::kBpsk, ChannelModel::kRayleigh, 2.5F, 120);
+  EXPECT_GT(fading.fer(), awgn.fer());
+}
+
+TEST(BerExtensions, IterationHistogramSumsToFrames) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto p = run_point(code, Modulation::kBpsk, ChannelModel::kAwgn, 3.0F, 80);
+  const std::size_t total = std::accumulate(p.iteration_histogram.begin(),
+                                            p.iteration_histogram.end(),
+                                            std::size_t{0});
+  EXPECT_EQ(total, p.frames);
+  // Histogram mean must equal avg_iterations.
+  double mean = 0;
+  for (std::size_t i = 0; i < p.iteration_histogram.size(); ++i)
+    mean += static_cast<double>((i + 1) * p.iteration_histogram[i]);
+  mean /= static_cast<double>(p.frames);
+  EXPECT_NEAR(mean, p.avg_iterations(), 1e-9);
+}
+
+TEST(BerExtensions, HighSnrConcentratesIterations) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto p = run_point(code, Modulation::kBpsk, ChannelModel::kAwgn, 5.0F, 60);
+  // Nearly every frame should decode within the first three iterations.
+  std::size_t early = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, p.iteration_histogram.size()); ++i)
+    early += p.iteration_histogram[i];
+  EXPECT_GE(early, p.frames - 2);
+}
+
+// ----------------------------------------------------- offset-min-sum ----
+
+TEST(OffsetMinSum, KernelAppliesOffsetCorrection) {
+  const auto k = LayerRowKernel::offset_kernel(FixedFormat{8, 2}, 2);
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(6, 0);
+  st.absorb(-10, 1);
+  // pos 1 uses min1... pos 1 is min? |−10| = 10 > 6: min1 = 6 @ 0, min2 = 10.
+  // pos 0 (min's own edge): |mag| = max(min2 - 2, 0) = 8, sign prod(-) ^ + = -
+  EXPECT_EQ(k.compute_r_new(st, 6, 0), -8);
+  // pos 1: mag = max(6 - 2, 0) = 4, sign prod(-) ^ (-) = +
+  EXPECT_EQ(k.compute_r_new(st, -10, 1), 4);
+}
+
+TEST(OffsetMinSum, OffsetClampsAtZero) {
+  const auto k = LayerRowKernel::offset_kernel(FixedFormat{8, 2}, 5);
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(3, 0);
+  st.absorb(4, 1);
+  EXPECT_EQ(k.compute_r_new(st, 4, 1), 0);  // 3 - 5 -> clamp 0
+}
+
+TEST(OffsetMinSum, NegativeOffsetRejected) {
+  EXPECT_THROW(LayerRowKernel::offset_kernel(FixedFormat{8, 2}, -1), Error);
+}
+
+TEST(OffsetMinSum, FactoryDecoderWorks) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto dec = make_decoder("layered-minsum-offset-fixed", code, opt);
+  EXPECT_EQ(dec->name(), "layered-minsum-offset-q8.2");
+  BerConfig cfg;
+  cfg.ebn0_db = {3.0F};
+  cfg.max_frames = 40;
+  cfg.min_frames = 40;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-offset-fixed", code, opt); },
+      cfg);
+  const auto p = runner.run()[0];
+  EXPECT_LT(p.fer(), 0.3);  // decodes respectably at comfortable SNR
+}
+
+TEST(OffsetMinSum, ComparableToNormalizedAtWaterfall) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  auto run = [&](const char* name) {
+    BerConfig cfg;
+    cfg.ebn0_db = {2.2F};
+    cfg.max_frames = 120;
+    cfg.min_frames = 120;
+    cfg.num_workers = 2;
+    BerRunner runner(code, [&] { return make_decoder(name, code, opt); }, cfg);
+    return runner.run()[0].fer();
+  };
+  const double offset = run("layered-minsum-offset-fixed");
+  const double normalized = run("layered-minsum-fixed");
+  // Both correction schemes are serviceable; neither should collapse.
+  EXPECT_LT(offset, 0.6);
+  EXPECT_LT(normalized, 0.6);
+}
+
+}  // namespace
+}  // namespace ldpc

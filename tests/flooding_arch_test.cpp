@@ -1,0 +1,163 @@
+// Tests for the fixed-point flooding decoder and the traditional
+// partial-parallel architecture model.
+#include <gtest/gtest.h>
+
+#include "arch/arch_sim.hpp"
+#include "arch/flooding_arch.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/flooding_minsum.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+std::vector<std::int32_t> quantized(const QCLdpcCode& code, FixedFormat fmt,
+                                    float ebn0, std::uint64_t seed,
+                                    BitVec* word_out = nullptr) {
+  const RuEncoder enc(code);
+  Xoshiro256 rng(seed);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const BitVec word = enc.encode(info);
+  if (word_out) *word_out = word;
+  const float variance = awgn_noise_variance(ebn0, code.rate());
+  AwgnChannel ch(variance, seed + 5);
+  const auto llr =
+      BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+  return codes;
+}
+
+// ---------------------------------------------- fixed flooding decoder ----
+
+TEST(FloodingFixed, DecodesCleanAndNoisyFrames) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 20;
+  FloodingMinSumFixedDecoder dec(code, opt, FixedFormat{8, 2});
+  int good = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    BitVec word;
+    const auto frame = quantized(code, dec.format(), 2.6F, s, &word);
+    good += (dec.decode_quantized(frame).hard_bits == word);
+  }
+  EXPECT_GE(good, 9);
+}
+
+TEST(FloodingFixed, TracksFloatFloodingAtHighSnr) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  opt.max_iterations = 15;
+  FloodingMinSumFixedDecoder fixed(code, opt, FixedFormat{8, 2});
+  FloodingMinSumDecoder flt(code, opt, MinSumVariant::kNormalized);
+  const RuEncoder enc(code);
+  Xoshiro256 rng(3);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const BitVec word = enc.encode(info);
+  const float variance = awgn_noise_variance(4.0F, code.rate());
+  AwgnChannel ch(variance, 4);
+  const auto llr =
+      BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+  EXPECT_TRUE(fixed.decode(llr).hard_bits == flt.decode(llr).hard_bits);
+}
+
+TEST(FloodingFixed, NeedsMoreIterationsThanLayeredFixed) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 30;
+  FloodingMinSumFixedDecoder flooding(code, opt);
+  LayeredMinSumFixedDecoder layered(code, opt);
+  double it_flood = 0, it_layer = 0;
+  for (std::uint64_t s = 0; s < 12; ++s) {
+    const auto frame = quantized(code, FixedFormat{8, 2}, 2.6F, 100 + s);
+    it_flood += static_cast<double>(flooding.decode_quantized(frame).iterations);
+    it_layer += static_cast<double>(layered.decode_quantized(frame).iterations);
+  }
+  EXPECT_LT(it_layer, it_flood * 0.8);
+}
+
+// -------------------------------------------------- architecture model ----
+
+TEST(FloodingArch, FunctionalIdenticalToAlgorithm) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  opt.max_iterations = 8;
+  FloodingArchSim sim(code, opt, fmt);
+  FloodingMinSumFixedDecoder reference(code, opt, fmt);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    const auto frame = quantized(code, fmt, 2.0F, s);
+    const auto got = sim.decode_quantized(frame);
+    const auto want = reference.decode_quantized(frame);
+    EXPECT_TRUE(got.decode.hard_bits == want.hard_bits) << s;
+    EXPECT_EQ(got.decode.iterations, want.iterations) << s;
+  }
+}
+
+TEST(FloodingArch, CyclesMatchTwoPhaseFormula) {
+  const auto code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  opt.max_iterations = 5;
+  opt.early_termination = false;
+  FloodingArchSim sim(code, opt, FixedFormat{8, 2}, /*pipeline_overhead=*/0);
+  const auto frame = quantized(code, FixedFormat{8, 2}, 2.0F, 1);
+  const auto r = sim.decode_quantized(frame);
+  // CNU: 2 * sum(dc) = 2 * 76; VNU: 2 * sum(dv) = 2 * 76 (each edge read
+  // and written once per phase).
+  EXPECT_EQ(r.cycles_per_iteration, 4 * 76);
+  EXPECT_EQ(r.cycles, 5 * 4 * 76);
+}
+
+TEST(FloodingArch, PipelineOverheadAddsPerRowAndColumn) {
+  const auto code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  opt.early_termination = false;
+  FloodingArchSim flat(code, opt, FixedFormat{8, 2}, 0);
+  FloodingArchSim deep(code, opt, FixedFormat{8, 2}, 3);
+  const auto frame = quantized(code, FixedFormat{8, 2}, 2.0F, 2);
+  const auto a = flat.decode_quantized(frame);
+  const auto b = deep.decode_quantized(frame);
+  // 12 block rows + 24 block columns, 3 extra cycles each.
+  EXPECT_EQ(b.cycles_per_iteration - a.cycles_per_iteration, 3 * (12 + 24));
+}
+
+TEST(FloodingArch, MemoryExceedsLayeredComplement) {
+  const auto code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  FloodingArchSim sim(code, opt, FixedFormat{8, 2});
+  const auto frame = quantized(code, FixedFormat{8, 2}, 2.0F, 3);
+  const auto r = sim.decode_quantized(frame);
+  EXPECT_EQ(r.q_memory_bits, 76LL * 96 * 8);
+  EXPECT_EQ(r.r_memory_bits, 76LL * 96 * 8);
+  EXPECT_EQ(r.channel_memory_bits, 24LL * 96 * 8);
+  // Layered stores P (24 words) + R (76 words): 100 words; flooding needs
+  // 176 words for the same code.
+  const long long layered = (24LL + 76) * 96 * 8;
+  EXPECT_GT(r.total_memory_bits(), layered + 50000);
+}
+
+TEST(FloodingArch, SlowerThanLayeredAtEqualIterations) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = false;
+  FloodingArchSim flooding(code, opt, fmt, 3);
+  const auto frame = quantized(code, fmt, 2.0F, 4);
+  const auto fl = flooding.decode_quantized(frame);
+
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  ArchSimDecoder layered(code, est, opt, fmt);
+  const auto lay = layered.decode_quantized(frame);
+  EXPECT_GT(fl.cycles, lay.activity.cycles);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,113 @@
+// Golden regression tests: exact expected values for fixed seeds.
+//
+// Unlike the property tests, these pin down the *precise* behaviour of the
+// deterministic pipeline — quantized LLRs, iteration counts, cycle counts,
+// stall counts. Any change to the RNG, the quantizer, the kernel's rounding
+// or the timing engine shows up here first, on purpose: bit-exact
+// reproducibility is a feature of this codebase. If you change behaviour
+// deliberately, re-derive these constants and say so in the commit.
+#include <gtest/gtest.h>
+
+#include "arch/arch_sim.hpp"
+#include "bench/bench_common.hpp"
+#include "codes/wimax.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+TEST(Golden, XoshiroFirstDraws) {
+  Xoshiro256 rng(42);
+  EXPECT_EQ(rng(), 15021278609987233951ULL);
+  EXPECT_EQ(rng(), 5881210131331364753ULL);
+}
+
+TEST(Golden, QuantizedFrameChecksum) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const auto frame = ldpc::bench::quantized_frame(code, fmt, 2.0F, 42);
+  long long sum = 0, abs_sum = 0;
+  for (const auto c : frame) {
+    sum += c;
+    abs_sum += c < 0 ? -c : c;
+  }
+  // Any change to the encoder, modulator, AWGN draw order or quantizer
+  // moves these.
+  EXPECT_EQ(frame.size(), 2304u);
+  EXPECT_EQ(sum, -488);
+  EXPECT_EQ(abs_sum, 32234);
+}
+
+TEST(Golden, FixedDecoderTrajectory) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  std::vector<std::size_t> syndrome_history;
+  opt.observer = [&](const IterationSnapshot& s) {
+    syndrome_history.push_back(s.syndrome_weight);
+  };
+  LayeredMinSumFixedDecoder dec(code, opt, fmt);
+  const auto frame = ldpc::bench::quantized_frame(code, fmt, 2.0F, 42);
+  const auto result = dec.decode_quantized(frame);
+  EXPECT_TRUE(result.converged);
+  ASSERT_FALSE(syndrome_history.empty());
+  EXPECT_EQ(syndrome_history.back(), 0u);
+  // Strictly this frame: converges in 7 iterations at 2.0 dB.
+  EXPECT_EQ(result.iterations, 7u);
+  EXPECT_EQ(syndrome_history.size(), 7u);
+}
+
+TEST(Golden, ArchCycleCounts400MHz) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+
+  const auto per =
+      bench::run_design_point(code, ArchKind::kPerLayer, 400.0, 96, fmt);
+  EXPECT_EQ(per.activity.cycles, 1880);
+  EXPECT_EQ(per.first_iteration_cycles, 188);
+  EXPECT_EQ(per.activity.core1_stall_cycles, 0);
+
+  const auto pipe = bench::run_design_point(code, ArchKind::kTwoLayerPipelined,
+                                            400.0, 96, fmt, /*reorder=*/false);
+  EXPECT_EQ(pipe.activity.cycles, 1345);
+  EXPECT_EQ(pipe.activity.core1_stall_cycles, 576);
+
+  const auto reordered = bench::run_design_point(
+      code, ArchKind::kTwoLayerPipelined, 400.0, 96, fmt, /*reorder=*/true);
+  EXPECT_EQ(reordered.activity.cycles, 1016);
+  EXPECT_EQ(reordered.activity.core1_stall_cycles, 247);
+}
+
+TEST(Golden, ArchCycleCounts100MHz) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const auto per =
+      bench::run_design_point(code, ArchKind::kPerLayer, 100.0, 96, fmt);
+  // D1 = D2 = 1 at 100 MHz: exactly 2 * 76 cycles per iteration.
+  EXPECT_EQ(per.first_iteration_cycles, 152);
+  const auto pipe = bench::run_design_point(code, ArchKind::kTwoLayerPipelined,
+                                            100.0, 96, fmt);
+  EXPECT_EQ(pipe.activity.cycles, 985);
+}
+
+TEST(Golden, PicoEstimate400MHz) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const auto est = pico.compile(code, ArchKind::kTwoLayerPipelined,
+                                HardwareTarget{400.0, 96});
+  EXPECT_EQ(est.core1_latency, 3);
+  EXPECT_EQ(est.core2_latency, 2);
+  EXPECT_EQ(est.array_reg_bits, 2112 * 2 + 5376 + 24);
+  EXPECT_EQ(est.pipeline_reg_bits, 3168);
+}
+
+TEST(Golden, MemoryComplement) {
+  EXPECT_EQ(ldpc::bench::flexible_decoder_sram_bits(), 86016);
+  EXPECT_EQ(wimax_max_r_slots(), 88u);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,379 @@
+// HLS substrate tests: operator library, list scheduler behaviour under
+// clock budgets, and the PICO compiler's hardware estimates.
+#include <gtest/gtest.h>
+
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "hls/opgraph.hpp"
+#include "hls/pico.hpp"
+#include "hls/hardware_report.hpp"
+#include "hls/scheduler.hpp"
+
+namespace ldpc {
+namespace {
+
+// -------------------------------------------------------------- op model ----
+
+TEST(OpModel, DelaysArePositiveAndWidthMonotone) {
+  for (OpKind kind : {OpKind::kAdd, OpKind::kSub, OpKind::kAbs, OpKind::kCompare,
+                      OpKind::kScaleShiftAdd}) {
+    EXPECT_GT(op_delay_ns(kind, 8), 0.0);
+    EXPECT_LE(op_delay_ns(kind, 4), op_delay_ns(kind, 8));
+    EXPECT_LE(op_delay_ns(kind, 8), op_delay_ns(kind, 16));
+  }
+}
+
+TEST(OpModel, WireIsFree) {
+  EXPECT_EQ(op_delay_ns(OpKind::kWire, 8), 0.0);
+  EXPECT_EQ(op_area_um2(OpKind::kWire, 8), 0.0);
+}
+
+TEST(OpModel, SramAreaCountedAsMacroNotCells) {
+  EXPECT_EQ(op_area_um2(OpKind::kSramRead, 8), 0.0);
+  EXPECT_EQ(op_area_um2(OpKind::kSramWrite, 8), 0.0);
+}
+
+TEST(OpModel, AreaScalesWithWidth) {
+  EXPECT_DOUBLE_EQ(op_area_um2(OpKind::kAdd, 16), 2 * op_area_um2(OpKind::kAdd, 8));
+}
+
+// --------------------------------------------------------------- opgraph ----
+
+TEST(OpGraph, RejectsForwardDependencies) {
+  OpGraph g;
+  EXPECT_THROW(g.add(OpKind::kAdd, 8, {0}), Error);  // node 0 doesn't exist
+  const auto a = g.add(OpKind::kWire, 8, {});
+  EXPECT_NO_THROW(g.add(OpKind::kAdd, 8, {a}));
+  EXPECT_THROW(g.add(OpKind::kAdd, 8, {5}), Error);
+}
+
+TEST(OpGraph, CriticalPathIsChainSum) {
+  OpGraph g;
+  const auto a = g.add(OpKind::kAdd, 8, {});
+  const auto b = g.add(OpKind::kAdd, 8, {a});
+  g.add(OpKind::kAdd, 8, {b});
+  EXPECT_NEAR(g.critical_path_ns(), 3 * op_delay_ns(OpKind::kAdd, 8), 1e-12);
+}
+
+TEST(OpGraph, CriticalPathTakesLongestBranch) {
+  OpGraph g;
+  const auto a = g.add(OpKind::kMux, 8, {});       // short branch
+  const auto b = g.add(OpKind::kSramRead, 8, {});  // long branch
+  g.add(OpKind::kAdd, 8, {a, b});
+  EXPECT_NEAR(g.critical_path_ns(),
+              op_delay_ns(OpKind::kSramRead, 8) + op_delay_ns(OpKind::kAdd, 8),
+              1e-12);
+}
+
+TEST(OpGraph, TotalAreaSumsNodes) {
+  OpGraph g;
+  g.add(OpKind::kAdd, 8, {});
+  g.add(OpKind::kMux, 8, {});
+  EXPECT_NEAR(g.total_area_um2(),
+              op_area_um2(OpKind::kAdd, 8) + op_area_um2(OpKind::kMux, 8), 1e-9);
+}
+
+// -------------------------------------------------------------- scheduler ----
+
+OpGraph chain(int n, OpKind kind = OpKind::kAdd) {
+  OpGraph g;
+  std::size_t prev = g.add(kind, 8, {});
+  for (int i = 1; i < n; ++i) prev = g.add(kind, 8, {prev});
+  return g;
+}
+
+TEST(Scheduler, GenerousBudgetFitsOneCycle) {
+  const auto g = chain(5);
+  const auto s = schedule(g, 100.0);
+  EXPECT_EQ(s.latency_cycles, 1);
+  EXPECT_EQ(s.register_bits, 0);
+}
+
+TEST(Scheduler, TightBudgetSplitsChain) {
+  const auto g = chain(4);  // 4 adders, ~0.55ns each
+  const double add = op_delay_ns(OpKind::kAdd, 8);
+  // Budget for exactly two chained adders per cycle.
+  const auto s = schedule(g, 2 * add + 0.35 + 0.01);
+  EXPECT_EQ(s.latency_cycles, 2);
+  EXPECT_GT(s.register_bits, 0);
+}
+
+TEST(Scheduler, DepthIsMonotoneInFrequency) {
+  const auto g = chain(6);
+  int prev_depth = 0;
+  for (double period : {20.0, 10.0, 5.0, 2.5, 1.6}) {
+    const auto s = schedule(g, period);
+    EXPECT_GE(s.latency_cycles, prev_depth);
+    prev_depth = s.latency_cycles;
+  }
+}
+
+TEST(Scheduler, CriticalPathNeverExceedsBudget) {
+  const auto g = chain(8);
+  for (double period : {10.0, 4.0, 2.5, 1.5}) {
+    const auto s = schedule(g, period);
+    EXPECT_LE(s.critical_path_ns, period - 0.35 + 1e-9) << period;
+  }
+}
+
+TEST(Scheduler, InfeasibleFrequencyThrows) {
+  OpGraph g;
+  g.add(OpKind::kSramRead, 8, {});  // 1.4 ns access
+  EXPECT_THROW(schedule(g, 1.0), Error);   // 0.65 ns budget
+  EXPECT_NO_THROW(schedule(g, 2.0));
+}
+
+TEST(Scheduler, RegisterBitsCoverMultiCycleLiveRanges) {
+  // A value produced in cycle 0 consumed in cycle 2 needs 2 registers.
+  OpGraph g;
+  const auto src = g.add(OpKind::kAdd, 8, {});
+  const auto mid1 = g.add(OpKind::kSramRead, 8, {});
+  const auto mid2 = g.add(OpKind::kSramRead, 8, {mid1});
+  g.add(OpKind::kAdd, 8, {src, mid2});
+  const auto s = schedule(g, 2.0);  // each SRAM read takes its own cycle
+  EXPECT_GE(s.latency_cycles, 3);
+  EXPECT_GE(s.register_bits, 16);  // src alive across >= 2 boundaries
+}
+
+TEST(Scheduler, MaxSchedulableFrequency) {
+  OpGraph g;
+  g.add(OpKind::kSramRead, 8, {});
+  const double fmax = max_schedulable_mhz(g);
+  EXPECT_NO_THROW(schedule(g, 1000.0 / fmax + 1e-6));
+  EXPECT_THROW(schedule(g, 1000.0 / (fmax * 1.2)), Error);
+}
+
+// ----------------------------------------------------------------- PICO ----
+
+TEST(Pico, DatapathGraphsAreNonTrivial) {
+  const PicoCompiler pico;
+  EXPECT_GT(pico.build_core1_graph().size(), 5u);
+  EXPECT_GT(pico.build_core2_graph().size(), 5u);
+  EXPECT_EQ(pico.build_shifter_graph(96).size(), 8u);  // wire + ceil(log2 96)
+}
+
+TEST(Pico, CompileBasicSanity) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  EXPECT_EQ(est.parallelism, 96);
+  EXPECT_EQ(est.fold, 1);
+  EXPECT_GE(est.core1_latency, 1);
+  EXPECT_GE(est.core2_latency, 1);
+  EXPECT_GT(est.datapath_area_um2, 0.0);
+  EXPECT_GT(est.shifter_area_um2, 0.0);
+  EXPECT_GT(est.total_reg_bits(), 0);
+}
+
+TEST(Pico, LatencyNonDecreasingWithFrequency) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  int prev = 0;
+  for (double f : {100.0, 200.0, 300.0, 400.0}) {
+    const auto est =
+        pico.compile(code, ArchKind::kPerLayer, HardwareTarget{f, 96});
+    EXPECT_GE(est.core1_latency + est.core2_latency, prev) << f;
+    prev = est.core1_latency + est.core2_latency;
+  }
+}
+
+TEST(Pico, ParallelismScalesDatapathAreaLinearly) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  const auto full =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 96});
+  const auto half =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 48});
+  EXPECT_NEAR(half.datapath_area_um2, full.datapath_area_um2 / 2, 1e-6);
+  EXPECT_EQ(half.fold, 2);
+  // The shifter stays full width regardless of folding.
+  EXPECT_DOUBLE_EQ(half.shifter_area_um2, full.shifter_area_um2);
+}
+
+TEST(Pico, InvalidParallelismRejected) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  EXPECT_THROW(pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 95}),
+               Error);
+  EXPECT_THROW(pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 0}),
+               Error);
+  EXPECT_THROW(pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 192}),
+               Error);
+  EXPECT_THROW(pico.compile(code, ArchKind::kPerLayer, HardwareTarget{-5.0, 96}),
+               Error);
+}
+
+TEST(Pico, DivisorParallelismsAccepted) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  for (int p : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 96}) {
+    const auto est =
+        pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, p});
+    EXPECT_EQ(est.fold * p, 96);
+  }
+}
+
+TEST(Pico, PipelinedArchHasMoreStorage) {
+  // Fig. 7: duplicated state arrays + scoreboard.
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  const auto per =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  const auto pipe =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{400.0, 96});
+  EXPECT_GT(pipe.array_reg_bits, per.array_reg_bits);
+  EXPECT_GT(pipe.reg_bits_state_core2, 0);
+  EXPECT_EQ(per.reg_bits_state_core2, 0);
+  EXPECT_GT(pipe.reg_bits_other, 0);  // scoreboard
+}
+
+TEST(Pico, ArraySizesMatchFig5) {
+  // (2304, 1/2): min arrays 96x8 x2, pos 96x5, sign 96x1, Q array 7x768.
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{100.0, 96});
+  const long long expected = 96 * 8 * 2 + 96 * 5 + 96 + 7 * 96 * 8;
+  EXPECT_EQ(est.array_reg_bits, expected);
+  EXPECT_EQ(est.state_bits_per_lane(), 22);
+  EXPECT_EQ(est.q_entry_bits(), 768);
+}
+
+TEST(Pico, RegisterBreakdownSumsToTotal) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico;
+  for (auto arch : {ArchKind::kPerLayer, ArchKind::kTwoLayerPipelined}) {
+    const auto est = pico.compile(code, arch, HardwareTarget{400.0, 96});
+    EXPECT_EQ(est.reg_bits_state_core1 + est.reg_bits_state_core2 +
+                  est.reg_bits_pipe_core1 + est.reg_bits_pipe_core2 +
+                  est.reg_bits_q + est.reg_bits_other,
+              est.total_reg_bits());
+  }
+}
+
+TEST(Pico, WorksForWifiGeometry) {
+  const auto code = make_wifi_1944_half_rate();
+  const PicoCompiler pico;
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{300.0, 81});
+  EXPECT_EQ(est.parallelism, 81);
+  EXPECT_GT(est.total_reg_bits(), 0);
+}
+
+TEST(Pico, ArchNames) {
+  EXPECT_EQ(arch_name(ArchKind::kPerLayer), "per-layer");
+  EXPECT_EQ(arch_name(ArchKind::kTwoLayerPipelined), "two-layer-pipelined");
+}
+
+// ------------------------------------------------------ schedule detail ----
+
+TEST(ScheduleDetail, ConsistentWithSummary) {
+  const PicoCompiler pico;
+  const OpGraph g = pico.build_core1_graph();
+  for (double period : {10.0, 2.5}) {
+    const auto detail = schedule_detail(g, period);
+    const auto summary = schedule(g, period);
+    int depth = 0;
+    for (const auto& op : detail) depth = std::max(depth, op.cycle);
+    EXPECT_EQ(depth + 1, summary.latency_cycles) << period;
+    ASSERT_EQ(detail.size(), g.size());
+  }
+}
+
+TEST(ScheduleDetail, DependenciesRespectOrdering) {
+  const PicoCompiler pico;
+  const OpGraph g = pico.build_core2_graph();
+  const auto detail = schedule_detail(g, 2.5);
+  for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+    for (std::size_t d : g.nodes()[i].deps) {
+      // A consumer starts no earlier than its producer finishes (same
+      // cycle, later offset) or in a later cycle.
+      ASSERT_TRUE(detail[i].cycle > detail[d].cycle ||
+                  (detail[i].cycle == detail[d].cycle &&
+                   detail[i].start_ns >= detail[d].finish_ns - 1e-9));
+    }
+  }
+}
+
+TEST(ScheduleReport, MentionsEveryCycleAndLabel) {
+  const PicoCompiler pico;
+  const OpGraph g = pico.build_core1_graph();
+  const std::string report = schedule_report(g, 2.5);
+  EXPECT_NE(report.find("cycle 0:"), std::string::npos);
+  EXPECT_NE(report.find("cycle 1:"), std::string::npos);
+  EXPECT_NE(report.find("Q=P-R"), std::string::npos);
+  EXPECT_NE(report.find("cmp_min1"), std::string::npos);
+}
+
+// ------------------------------------------------------ hardware report ----
+
+TEST(HardwareReport, InventoryMatchesFig5Geometry) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  const auto blocks = hardware_inventory(code, est);
+
+  auto find = [&](const std::string& name) -> const HardwareBlock* {
+    for (const auto& b : blocks)
+      if (b.name == name) return &b;
+    return nullptr;
+  };
+  ASSERT_NE(find("P SRAM"), nullptr);
+  EXPECT_EQ(find("P SRAM")->bits, 18432);            // 24 x 768
+  EXPECT_EQ(find("P SRAM")->geometry, "24 x 768 bits");
+  ASSERT_NE(find("R SRAM"), nullptr);
+  EXPECT_EQ(find("R SRAM")->bits, 76 * 768);
+  ASSERT_NE(find("Q_array"), nullptr);
+  EXPECT_EQ(find("Q_array")->geometry, "7 x 768 bits");  // Fig. 5's Q array
+  ASSERT_NE(find("min1_array"), nullptr);
+  EXPECT_EQ(find("min1_array")->geometry, "96 x 8 bits");
+  ASSERT_NE(find("pos1_array"), nullptr);
+  EXPECT_EQ(find("pos1_array")->geometry, "96 x 5 bits");
+  EXPECT_EQ(find("Q FIFO"), nullptr);       // per-layer has the array
+  EXPECT_EQ(find("scoreboard"), nullptr);   // no scoreboard either
+}
+
+TEST(HardwareReport, PipelinedAddsFifoScoreboardAndCopies) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const auto est = pico.compile(code, ArchKind::kTwoLayerPipelined,
+                                HardwareTarget{400.0, 96});
+  const auto blocks = hardware_inventory(code, est);
+  int min_arrays = 0;
+  bool fifo = false, scoreboard = false, q_array = false;
+  for (const auto& b : blocks) {
+    if (b.name.rfind("min1_array", 0) == 0) ++min_arrays;
+    if (b.name == "Q FIFO") fifo = true;
+    if (b.name == "scoreboard") scoreboard = true;
+    if (b.name == "Q_array") q_array = true;
+  }
+  EXPECT_EQ(min_arrays, 2);  // private copies per core (Fig. 7)
+  EXPECT_TRUE(fifo);
+  EXPECT_TRUE(scoreboard);
+  EXPECT_FALSE(q_array);
+}
+
+TEST(HardwareReport, RendersWithPaperReference) {
+  const auto code = make_wimax_2304_half_rate();
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{100.0, 96});
+  const std::string report = hardware_report(code, est);
+  EXPECT_NE(report.find("24 x 768"), std::string::npos);
+  EXPECT_NE(report.find("Paper reference"), std::string::npos);
+}
+
+TEST(HardwareReport, NoPaperReferenceForOtherCodes) {
+  const auto code = make_wifi_648_half_rate();
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{100.0, 27});
+  const std::string report = hardware_report(code, est);
+  EXPECT_EQ(report.find("Paper reference"), std::string::npos);
+  EXPECT_NE(report.find("27"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,234 @@
+// Whole-chain integration tests: information bits -> encoder -> modulation
+// -> AWGN -> quantization -> hardware-simulated decoding -> metrics, across
+// code families, rates, parallelism and both architectures.
+#include <gtest/gtest.h>
+
+#include "arch/arch_sim.hpp"
+#include "channel/awgn.hpp"
+#include "channel/ber_runner.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "power/area_model.hpp"
+#include "power/metrics.hpp"
+#include "power/power_model.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+BitVec random_info(std::size_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVec info(k);
+  for (std::size_t i = 0; i < k; ++i) info.set(i, rng.coin());
+  return info;
+}
+
+// End-to-end: every WiMAX rate family decodes its own codewords through the
+// full hardware model at a comfortable SNR.
+class EndToEndRateTest : public ::testing::TestWithParam<WimaxRate> {};
+
+TEST_P(EndToEndRateTest, HardwareModelDecodesAllRates) {
+  const auto code = make_wimax_code(GetParam(), 96);
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{400.0, 96});
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  ArchSimDecoder sim(code, est, opt, fmt);
+  const RuEncoder enc(code);
+
+  int good = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const BitVec info = random_info(code.k(), seed);
+    const BitVec word = enc.encode(info);
+    // Higher rates need higher Eb/N0 for the same BER; use a generous point.
+    const float ebn0 = GetParam() == WimaxRate::kRate5_6 ? 5.0F : 4.0F;
+    const float variance = awgn_noise_variance(ebn0, code.rate());
+    AwgnChannel ch(variance, seed + 900);
+    const auto llr =
+        BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+    const auto result = sim.decode(llr);
+    good += (result.hard_bits == word);
+  }
+  EXPECT_GE(good, 4) << wimax_rate_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, EndToEndRateTest,
+                         ::testing::ValuesIn(all_wimax_rates()),
+                         [](const auto& info) {
+                           std::string n = wimax_rate_name(info.param);
+                           for (char& c : n)
+                             if (c == '-' || c == '/') c = '_';
+                           return n;
+                         });
+
+TEST(EndToEnd, WifiCodeThroughHardwareModel) {
+  const auto code = make_wifi_648_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{400.0, 27});
+  DecoderOptions opt;
+  ArchSimDecoder sim(code, est, opt, fmt);
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 77));
+  const float variance = awgn_noise_variance(3.5F, code.rate());
+  AwgnChannel ch(variance, 78);
+  const auto llr =
+      BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+  const auto result = sim.decode(llr);
+  EXPECT_TRUE(result.hard_bits == word);
+}
+
+TEST(EndToEnd, BerRunnerDrivesArchSimulator) {
+  // The BER harness treats the hardware model as just another Decoder.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 24});
+  BerConfig cfg;
+  cfg.ebn0_db = {6.0F};
+  cfg.max_frames = 10;
+  cfg.min_frames = 10;
+  DecoderOptions opt;
+  BerRunner runner(
+      code,
+      [&] { return std::make_unique<ArchSimDecoder>(code, est, opt, fmt); },
+      cfg);
+  const auto points = runner.run();
+  EXPECT_EQ(points[0].frames, 10u);
+  EXPECT_EQ(points[0].frame_errors, 0u);
+}
+
+TEST(EndToEnd, FixedPointLossIsSmallAtWaterfall) {
+  // Frames decodable by float layered min-sum are nearly always decodable
+  // by the 8-bit hardware path at the same SNR.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  auto float_dec = make_decoder("layered-minsum-float", code, opt);
+  auto fixed_dec = make_decoder("layered-minsum-fixed", code, opt);
+  const RuEncoder enc(code);
+  int float_ok = 0, fixed_ok = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const BitVec word = enc.encode(random_info(code.k(), seed));
+    const float variance = awgn_noise_variance(2.4F, code.rate());
+    AwgnChannel ch(variance, seed + 50);
+    const auto llr =
+        BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+    float_ok += (float_dec->decode(llr).hard_bits == word);
+    fixed_ok += (fixed_dec->decode(llr).hard_bits == word);
+  }
+  EXPECT_GE(fixed_ok, float_ok - 3);
+}
+
+TEST(EndToEnd, UndetectedErrorsAreRare) {
+  // When the decoder claims convergence at sane SNR it should have the
+  // right codeword (ML-certificate property of the syndrome check).
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto dec = make_decoder("layered-minsum-fixed", code, opt);
+  const RuEncoder enc(code);
+  int converged = 0, undetected = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const BitVec word = enc.encode(random_info(code.k(), seed));
+    const float variance = awgn_noise_variance(1.5F, code.rate());
+    AwgnChannel ch(variance, seed + 11);
+    const auto llr =
+        BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+    const auto r = dec->decode(llr);
+    if (r.converged) {
+      ++converged;
+      undetected += !(r.hard_bits == word);
+    }
+  }
+  EXPECT_GT(converged, 10);
+  EXPECT_EQ(undetected, 0);
+}
+
+TEST(EndToEnd, FullMetricsPipeline) {
+  // The complete Table II computation path: simulate, size, price, report.
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kTwoLayerPipelined, HardwareTarget{400.0, 96});
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = false;
+  ArchSimDecoder sim(code, est, opt, fmt, ArchSimConfig{true});
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 5));
+  const float variance = awgn_noise_variance(2.0F, code.rate());
+  AwgnChannel ch(variance, 6);
+  const auto llr =
+      BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+  const auto result = sim.decode_quantized(codes);
+
+  const long long flex_sram =
+      24LL * 768 + static_cast<long long>(wimax_max_r_slots()) * 768;
+  const AreaModel am;
+  const auto area = am.estimate(est, flex_sram);
+  const PowerModel pm;
+  const auto power =
+      pm.estimate(est, result.activity, area.std_cells_mm2, true);
+
+  const double lat = latency_us(result.activity.cycles, 400.0);
+  const double tput = info_throughput_mbps(code.k(), result.activity.cycles, 400.0);
+
+  // Paper regime: 2.8 us, 415 Mbps, 1.2 mm^2, <= 180 mW.
+  EXPECT_GT(lat, 1.5);
+  EXPECT_LT(lat, 4.5);
+  EXPECT_GT(tput, 250.0);
+  EXPECT_LT(tput, 700.0);
+  EXPECT_GT(area.core_mm2, 0.6);
+  EXPECT_LT(area.core_mm2, 2.0);
+  EXPECT_GT(power.total_with_sram_mw, 20.0);
+  EXPECT_LT(power.total_with_sram_mw, 180.0);
+  EXPECT_GT(energy_per_bit_pj(power.total_with_sram_mw, tput), 0.0);
+}
+
+TEST(EndToEnd, ScalableParallelismTradesThroughputForArea) {
+  // Fig. 3's design-space claim, end to end: halving the cores halves the
+  // datapath area and roughly halves throughput.
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = false;
+  const RuEncoder enc(code);
+  const BitVec word = enc.encode(random_info(code.k(), 8));
+  const float variance = awgn_noise_variance(2.0F, code.rate());
+  AwgnChannel ch(variance, 9);
+  const auto llr =
+      BpskModem::demodulate(ch.transmit(BpskModem::modulate(word)), variance);
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) codes[i] = fmt.quantize(llr[i]);
+
+  double prev_tput = 1e18;
+  double prev_area = 1e18;
+  const AreaModel am;
+  for (int p : {96, 48, 24}) {
+    const auto est =
+        pico.compile(code, ArchKind::kPerLayer, HardwareTarget{400.0, p});
+    ArchSimDecoder sim(code, est, opt, fmt);
+    const auto r = sim.decode_quantized(codes);
+    const double tput = info_throughput_mbps(code.k(), r.activity.cycles, 400.0);
+    const auto area = am.estimate(est, 0);
+    EXPECT_LT(tput, prev_tput) << p;
+    EXPECT_LT(area.datapath_mm2, prev_area) << p;
+    prev_tput = tput;
+    prev_area = area.datapath_mm2;
+  }
+}
+
+}  // namespace
+}  // namespace ldpc

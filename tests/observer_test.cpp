@@ -1,0 +1,120 @@
+// Iteration-observer tests across all decoder families.
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+std::vector<float> noisy_llr(const QCLdpcCode& code, float ebn0,
+                             std::uint64_t seed) {
+  const RuEncoder enc(code);
+  Xoshiro256 rng(seed);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const float variance = awgn_noise_variance(ebn0, code.rate());
+  AwgnChannel ch(variance, seed + 1);
+  return BpskModem::demodulate(
+      ch.transmit(BpskModem::modulate(enc.encode(info))), variance);
+}
+
+class ObserverTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ObserverTest, SnapshotPerIteration) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 8;
+  std::vector<IterationSnapshot> history;
+  opt.observer = [&](const IterationSnapshot& s) { history.push_back(s); };
+  auto dec = make_decoder(GetParam(), code, opt);
+  const auto result = dec->decode(noisy_llr(code, 2.2F, 3));
+  ASSERT_EQ(history.size(), result.iterations);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].iteration, i + 1);
+    EXPECT_GE(history[i].mean_abs_llr, 0.0);
+  }
+}
+
+TEST_P(ObserverTest, ConvergedDecodeEndsAtZeroSyndrome) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 15;
+  std::vector<IterationSnapshot> history;
+  opt.observer = [&](const IterationSnapshot& s) { history.push_back(s); };
+  auto dec = make_decoder(GetParam(), code, opt);
+  const auto result = dec->decode(noisy_llr(code, 3.5F, 4));
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(history.back().syndrome_weight, 0u);
+}
+
+TEST_P(ObserverTest, NoObserverNoCrash) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;  // observer empty
+  auto dec = make_decoder(GetParam(), code, opt);
+  EXPECT_NO_THROW(dec->decode(noisy_llr(code, 2.0F, 5)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Decoders, ObserverTest,
+                         ::testing::Values("flooding-bp", "flooding-minsum-norm",
+                                           "layered-minsum-float",
+                                           "layered-minsum-fixed"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Observer, LayeredConvergesFasterBySyndrome) {
+  // The convergence_dynamics example's claim as an invariant: area under
+  // the layered syndrome trajectory is smaller than flooding's on the same
+  // decodable frame.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  const auto llr = noisy_llr(code, 2.4F, 7);
+  auto trajectory = [&](const char* name) {
+    DecoderOptions opt;
+    opt.max_iterations = 20;
+    std::vector<std::size_t> syndromes;
+    opt.observer = [&](const IterationSnapshot& s) {
+      syndromes.push_back(s.syndrome_weight);
+    };
+    auto dec = make_decoder(name, code, opt);
+    dec->decode(llr);
+    return syndromes;
+  };
+  const auto flooding = trajectory("flooding-minsum-norm");
+  const auto layered = trajectory("layered-minsum-float");
+  // Layered should converge in no more iterations...
+  EXPECT_LE(layered.size(), flooding.size());
+  // ...and be at-or-below flooding's syndrome weight from iteration 2 on.
+  std::size_t ahead = 0;
+  const std::size_t common = std::min(layered.size(), flooding.size());
+  for (std::size_t i = 1; i < common; ++i) ahead += layered[i] <= flooding[i];
+  EXPECT_GE(ahead, common - 2);
+}
+
+TEST(Observer, FlipsDecayAsDecodingConverges) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  DecoderOptions opt;
+  opt.max_iterations = 15;
+  std::vector<std::size_t> flips;
+  opt.observer = [&](const IterationSnapshot& s) {
+    flips.push_back(s.flipped_bits);
+  };
+  auto dec = make_decoder("layered-minsum-fixed", code, opt);
+  const auto result = dec->decode(noisy_llr(code, 3.0F, 8));
+  ASSERT_TRUE(result.converged);
+  ASSERT_GE(flips.size(), 2u);
+  // First snapshot counts the transition from the all-zero baseline (large);
+  // the final iteration's flips must be tiny.
+  EXPECT_GT(flips.front(), flips.back());
+  EXPECT_LE(flips.back(), 5u);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,143 @@
+// Extended power/area model invariants: energy-per-bit behaviour across the
+// design space, SRAM power proportionality, folding effects — the
+// properties the energy-efficiency bench relies on.
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.hpp"
+#include "power/area_model.hpp"
+#include "power/metrics.hpp"
+#include "power/power_model.hpp"
+
+namespace ldpc {
+namespace {
+
+struct Point {
+  double tput_mbps;
+  double epb_gated;
+  double epb_ungated;
+  PowerBreakdown gated;
+  PowerBreakdown ungated;
+};
+
+Point measure(ArchKind arch, double mhz, int parallelism) {
+  static const QCLdpcCode code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, arch, HardwareTarget{mhz, parallelism});
+  const auto run = bench::run_design_point(code, arch, mhz, parallelism, fmt, true);
+  const AreaModel am;
+  const auto area = am.estimate(est, bench::flexible_decoder_sram_bits());
+  const PowerModel pm;
+  Point p;
+  p.gated = pm.estimate(est, run.activity, area.std_cells_mm2, true);
+  p.ungated = pm.estimate(est, run.activity, area.std_cells_mm2, false);
+  p.tput_mbps = info_throughput_mbps(code.k(), run.activity.cycles, mhz);
+  p.epb_gated = energy_per_bit_pj(p.gated.total_with_sram_mw, p.tput_mbps);
+  p.epb_ungated = energy_per_bit_pj(p.ungated.total_with_sram_mw, p.tput_mbps);
+  return p;
+}
+
+TEST(EnergyPerBit, RoughlyFlatAcrossFrequency) {
+  // Power and throughput both scale ~linearly with the clock, so energy
+  // per bit moves by far less than the 4x frequency span.
+  const auto lo = measure(ArchKind::kTwoLayerPipelined, 100.0, 96);
+  const auto hi = measure(ArchKind::kTwoLayerPipelined, 400.0, 96);
+  EXPECT_LT(hi.epb_gated / lo.epb_gated, 1.6);
+  EXPECT_GT(hi.epb_gated / lo.epb_gated, 0.6);
+}
+
+TEST(EnergyPerBit, PipelinedBeatsPerLayer) {
+  // Same storage, same per-edge work, more bits per cycle.
+  const auto per = measure(ArchKind::kPerLayer, 400.0, 96);
+  const auto pipe = measure(ArchKind::kTwoLayerPipelined, 400.0, 96);
+  EXPECT_LT(pipe.epb_gated, per.epb_gated);
+}
+
+TEST(EnergyPerBit, GatingAlwaysHelps) {
+  for (ArchKind arch : {ArchKind::kPerLayer, ArchKind::kTwoLayerPipelined}) {
+    for (int p : {96, 24}) {
+      const auto pt = measure(arch, 200.0, p);
+      EXPECT_LT(pt.epb_gated, pt.epb_ungated)
+          << arch_name(arch) << " p=" << p;
+    }
+  }
+}
+
+TEST(EnergyPerBit, GatingSavesMoreAtLowerUtilization) {
+  // Folded datapaths idle the shared arrays longer, so block gating
+  // removes a larger fraction of the clock power.
+  auto saving = [](const Point& pt) {
+    return 1.0 - pt.gated.internal_mw / pt.ungated.internal_mw;
+  };
+  const auto full = measure(ArchKind::kPerLayer, 200.0, 96);
+  const auto folded = measure(ArchKind::kPerLayer, 200.0, 24);
+  EXPECT_GT(saving(folded), saving(full));
+}
+
+TEST(PowerModelExt, SramPowerScalesWithAccessRate) {
+  // Same structure, double the iterations -> same SRAM power (it is a
+  // rate, not an energy): access count and time both double.
+  static const QCLdpcCode code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, ArchKind::kPerLayer,
+                                HardwareTarget{200.0, 96});
+  const auto short_run =
+      bench::run_design_point(code, ArchKind::kPerLayer, 200.0, 96, fmt, false, 5);
+  const auto long_run =
+      bench::run_design_point(code, ArchKind::kPerLayer, 200.0, 96, fmt, false, 10);
+  const PowerModel pm;
+  const auto p5 = pm.estimate(est, short_run.activity, 0.3, true);
+  const auto p10 = pm.estimate(est, long_run.activity, 0.3, true);
+  EXPECT_NEAR(p5.sram_mw, p10.sram_mw, p10.sram_mw * 0.05);
+}
+
+TEST(PowerModelExt, SwitchingPowerScalesWithFrequency) {
+  const auto lo = measure(ArchKind::kPerLayer, 100.0, 96);
+  const auto hi = measure(ArchKind::kPerLayer, 400.0, 96);
+  // Same activity per cycle, 4x the cycles per second.
+  EXPECT_GT(hi.gated.switching_mw, 2.5 * lo.gated.switching_mw);
+  EXPECT_LT(hi.gated.switching_mw, 5.0 * lo.gated.switching_mw);
+}
+
+TEST(PowerModelExt, LeakageIndependentOfActivity) {
+  static const QCLdpcCode code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 96});
+  const auto a = bench::run_design_point(code, ArchKind::kPerLayer, 200.0, 96,
+                                         fmt, false, 3);
+  const auto b = bench::run_design_point(code, ArchKind::kPerLayer, 200.0, 96,
+                                         fmt, false, 10);
+  const PowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.estimate(est, a.activity, 0.3, true).leakage_mw,
+                   pm.estimate(est, b.activity, 0.3, true).leakage_mw);
+}
+
+TEST(PowerModelExt, PaperPowerRegimeAt400MHz) {
+  // Sustained decoding with the full multi-rate SRAM complement lands
+  // between Table I's 72 mW (std cells) and the 180 mW peak estimate.
+  const auto pt = measure(ArchKind::kTwoLayerPipelined, 400.0, 96);
+  EXPECT_GT(pt.gated.total_with_sram_mw, 50.0);
+  EXPECT_LT(pt.ungated.total_with_sram_mw, 180.0);
+}
+
+TEST(AreaModelExt, RegisterAreaTracksRegBits) {
+  static const QCLdpcCode code = make_wimax_2304_half_rate();
+  const PicoCompiler pico(FixedFormat{8, 2});
+  const AreaModel am;
+  const auto per = pico.compile(code, ArchKind::kPerLayer,
+                                HardwareTarget{400.0, 96});
+  const auto pipe = pico.compile(code, ArchKind::kTwoLayerPipelined,
+                                 HardwareTarget{400.0, 96});
+  const auto a_per = am.estimate(per, 0);
+  const auto a_pipe = am.estimate(pipe, 0);
+  const double ratio_bits = static_cast<double>(pipe.total_reg_bits()) /
+                            static_cast<double>(per.total_reg_bits());
+  const double ratio_area = a_pipe.registers_mm2 / a_per.registers_mm2;
+  EXPECT_NEAR(ratio_area, ratio_bits, 1e-9);
+}
+
+}  // namespace
+}  // namespace ldpc

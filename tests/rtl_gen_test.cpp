@@ -1,0 +1,141 @@
+// RTL generator tests: structural consistency of the emitted Verilog
+// skeleton with the compiled hardware estimate and the code geometry.
+#include <gtest/gtest.h>
+
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "hls/rtl_gen.hpp"
+
+namespace ldpc {
+namespace {
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+struct Generated {
+  QCLdpcCode code = make_wimax_2304_half_rate();
+  PicoCompiler pico{FixedFormat{8, 2}};
+
+  std::string emit(ArchKind arch, double mhz = 400.0) {
+    const auto est = pico.compile(code, arch, HardwareTarget{mhz, 96});
+    return generate_verilog(code, est);
+  }
+};
+
+TEST(RtlGen, ContainsAllExpectedModules) {
+  Generated g;
+  const std::string v = g.emit(ArchKind::kPerLayer);
+  for (const char* module :
+       {"module p_memory", "module r_memory", "module barrel_shifter",
+        "module core1_dp", "module core2_dp", "module matrix_rom",
+        "module ldpc_decoder_top"})
+    EXPECT_NE(v.find(module), std::string::npos) << module;
+  // Per-layer has neither scoreboard nor FIFO.
+  EXPECT_EQ(v.find("module scoreboard"), std::string::npos);
+  EXPECT_EQ(v.find("module q_fifo"), std::string::npos);
+}
+
+TEST(RtlGen, PipelinedAddsInterlockModules) {
+  Generated g;
+  const std::string v = g.emit(ArchKind::kTwoLayerPipelined);
+  EXPECT_NE(v.find("module scoreboard"), std::string::npos);
+  EXPECT_NE(v.find("module q_fifo"), std::string::npos);
+}
+
+TEST(RtlGen, ParametersMatchGeometry) {
+  Generated g;
+  const std::string v = g.emit(ArchKind::kPerLayer);
+  EXPECT_NE(v.find("localparam Z       = 96;"), std::string::npos);
+  EXPECT_NE(v.find("localparam W       = 8;"), std::string::npos);
+  EXPECT_NE(v.find("localparam NB      = 24;"), std::string::npos);
+  EXPECT_NE(v.find("localparam LAYERS  = 12;"), std::string::npos);
+  EXPECT_NE(v.find("localparam SLOTS   = 76;"), std::string::npos);
+  EXPECT_NE(v.find("localparam QDEPTH  = 7;"), std::string::npos);
+}
+
+TEST(RtlGen, EveryModuleHasMatchingEndmodule) {
+  Generated g;
+  for (ArchKind arch : {ArchKind::kPerLayer, ArchKind::kTwoLayerPipelined}) {
+    const std::string v = g.emit(arch);
+    EXPECT_EQ(count_occurrences(v, "\nmodule "),
+              count_occurrences(v, "endmodule"));
+  }
+}
+
+TEST(RtlGen, RomHasOneEntryPerCirculant) {
+  Generated g;
+  const std::string rom = generate_matrix_rom(g.code);
+  EXPECT_EQ(count_occurrences(rom, "entry = 32'h"),
+            g.code.base().nonzero_blocks());
+  // Layer boundaries: exactly LAYERS entries carry the layer_end flag (bit
+  // 31), i.e. packed value >= 0x80000000 — spot-check the last line.
+  EXPECT_NE(rom.find("layer 11"), std::string::npos);
+  EXPECT_EQ(rom.find("layer 12"), std::string::npos);
+}
+
+TEST(RtlGen, RomEntriesRoundTrip) {
+  // Decode the packed fields back and compare against the code structure.
+  Generated g;
+  const std::string rom = generate_matrix_rom(g.code);
+  std::istringstream is(rom);
+  std::string line;
+  std::size_t index = 0;
+  std::vector<QCLdpcCode::LayerBlock> flat;
+  for (const auto& layer : g.code.layers())
+    for (const auto& blk : layer) flat.push_back(blk);
+  while (std::getline(is, line)) {
+    const auto hex_pos = line.find("32'h");
+    if (hex_pos == std::string::npos) continue;
+    const unsigned long packed =
+        std::stoul(line.substr(hex_pos + 4), nullptr, 16);
+    ASSERT_LT(index, flat.size());
+    EXPECT_EQ((packed >> 21) & 0x3FF, flat[index].block_col) << index;
+    EXPECT_EQ((packed >> 9) & 0xFFF, flat[index].shift) << index;
+    EXPECT_EQ(packed & 0x1FF, flat[index].r_slot) << index;
+    ++index;
+  }
+  EXPECT_EQ(index, flat.size());
+}
+
+TEST(RtlGen, HeaderDocumentsDesignPoint) {
+  Generated g;
+  const std::string v = g.emit(ArchKind::kTwoLayerPipelined, 300.0);
+  EXPECT_NE(v.find("wimax-1/2"), std::string::npos);
+  EXPECT_NE(v.find("two-layer-pipelined"), std::string::npos);
+  EXPECT_NE(v.find("300"), std::string::npos);
+}
+
+TEST(RtlGen, PipelineDepthsAnnotated) {
+  Generated g;
+  const auto est = g.pico.compile(g.code, ArchKind::kTwoLayerPipelined,
+                                  HardwareTarget{400.0, 96});
+  const std::string v = generate_verilog(g.code, est);
+  EXPECT_NE(v.find("pipelined to " + std::to_string(est.core1_latency)),
+            std::string::npos);
+  EXPECT_NE(v.find("pipelined to " + std::to_string(est.core2_latency)),
+            std::string::npos);
+}
+
+TEST(RtlGen, WorksForOtherGeometries) {
+  const auto code = make_wifi_648_half_rate();
+  const PicoCompiler pico(FixedFormat{6, 1});
+  const auto est =
+      pico.compile(code, ArchKind::kPerLayer, HardwareTarget{200.0, 27});
+  const std::string v = generate_verilog(code, est);
+  EXPECT_NE(v.find("localparam Z       = 27;"), std::string::npos);
+  EXPECT_NE(v.find("localparam W       = 6;"), std::string::npos);
+  EXPECT_EQ(count_occurrences(v, "\nmodule "), count_occurrences(v, "endmodule"));
+}
+
+TEST(RtlGen, DeterministicOutput) {
+  Generated g;
+  EXPECT_EQ(g.emit(ArchKind::kPerLayer), g.emit(ArchKind::kPerLayer));
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,136 @@
+// Testbench generator tests: golden-vector generation, serialization
+// round-trip, self-check, and cross-architecture mismatch detection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codes/wimax.hpp"
+#include "arch/testbench.hpp"
+
+namespace ldpc {
+namespace {
+
+struct Fixture {
+  QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  FixedFormat fmt{8, 2};
+  PicoCompiler pico{FixedFormat{8, 2}};
+
+  std::unique_ptr<ArchSimDecoder> make_sim(ArchKind arch, double mhz = 400.0) {
+    const auto est = pico.compile(code, arch, HardwareTarget{mhz, 24});
+    DecoderOptions opt;
+    opt.max_iterations = 8;
+    return std::make_unique<ArchSimDecoder>(code, est, opt, fmt);
+  }
+};
+
+TEST(Testbench, GenerationProducesRequestedFrames) {
+  Fixture fx;
+  auto sim = fx.make_sim(ArchKind::kPerLayer);
+  const auto tb = generate_testbench(fx.code, *sim, 5, 2.5F, 99);
+  EXPECT_EQ(tb.frames.size(), 5u);
+  EXPECT_EQ(tb.n, fx.code.n());
+  EXPECT_EQ(tb.z, 24);
+  EXPECT_EQ(tb.code_name, "wimax-1/2/z24");
+  for (const auto& f : tb.frames) {
+    EXPECT_EQ(f.channel_codes.size(), fx.code.n());
+    EXPECT_EQ(f.expected_hard.size(), fx.code.n());
+    EXPECT_GT(f.expected_cycles, 0);
+  }
+}
+
+TEST(Testbench, DeterministicForSeed) {
+  Fixture fx;
+  auto sim = fx.make_sim(ArchKind::kPerLayer);
+  const auto a = generate_testbench(fx.code, *sim, 3, 2.5F, 7);
+  const auto b = generate_testbench(fx.code, *sim, 3, 2.5F, 7);
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_EQ(a.frames[f].channel_codes, b.frames[f].channel_codes);
+    EXPECT_TRUE(a.frames[f].expected_hard == b.frames[f].expected_hard);
+    EXPECT_EQ(a.frames[f].expected_cycles, b.frames[f].expected_cycles);
+  }
+}
+
+TEST(Testbench, SerializationRoundTrips) {
+  Fixture fx;
+  auto sim = fx.make_sim(ArchKind::kTwoLayerPipelined);
+  const auto tb = generate_testbench(fx.code, *sim, 4, 2.5F, 11);
+  std::stringstream buffer;
+  write_testbench(buffer, tb);
+  const auto loaded = read_testbench(buffer);
+  EXPECT_EQ(loaded.code_name, tb.code_name);
+  EXPECT_EQ(loaded.n, tb.n);
+  EXPECT_EQ(loaded.arch, tb.arch);
+  EXPECT_EQ(loaded.parallelism, tb.parallelism);
+  ASSERT_EQ(loaded.frames.size(), tb.frames.size());
+  for (std::size_t f = 0; f < tb.frames.size(); ++f) {
+    EXPECT_EQ(loaded.frames[f].channel_codes, tb.frames[f].channel_codes);
+    EXPECT_TRUE(loaded.frames[f].expected_hard == tb.frames[f].expected_hard);
+    EXPECT_EQ(loaded.frames[f].expected_iterations,
+              tb.frames[f].expected_iterations);
+    EXPECT_EQ(loaded.frames[f].expected_converged,
+              tb.frames[f].expected_converged);
+    EXPECT_EQ(loaded.frames[f].expected_cycles, tb.frames[f].expected_cycles);
+  }
+}
+
+TEST(Testbench, SelfVerifyPasses) {
+  Fixture fx;
+  auto sim = fx.make_sim(ArchKind::kTwoLayerPipelined);
+  const auto tb = generate_testbench(fx.code, *sim, 6, 2.0F, 13);
+  EXPECT_EQ(verify_testbench(tb, *sim), 0u);
+}
+
+TEST(Testbench, VerifyAfterRoundTripPasses) {
+  Fixture fx;
+  auto sim = fx.make_sim(ArchKind::kPerLayer);
+  const auto tb = generate_testbench(fx.code, *sim, 3, 2.0F, 17);
+  std::stringstream buffer;
+  write_testbench(buffer, tb);
+  const auto loaded = read_testbench(buffer);
+  EXPECT_EQ(verify_testbench(loaded, *sim), 0u);
+}
+
+TEST(Testbench, CrossArchitectureCycleMismatchDetected) {
+  // The same stimulus decodes to the same bits on both architectures, but
+  // cycle counts differ — verify_testbench must flag every frame.
+  Fixture fx;
+  auto per_layer = fx.make_sim(ArchKind::kPerLayer);
+  auto pipelined = fx.make_sim(ArchKind::kTwoLayerPipelined);
+  const auto tb = generate_testbench(fx.code, *per_layer, 4, 2.0F, 19);
+  EXPECT_EQ(verify_testbench(tb, *pipelined), 4u);
+}
+
+TEST(Testbench, TamperedVectorDetected) {
+  Fixture fx;
+  auto sim = fx.make_sim(ArchKind::kPerLayer);
+  auto tb = generate_testbench(fx.code, *sim, 2, 2.0F, 23);
+  tb.frames[1].expected_hard.flip(0);
+  EXPECT_EQ(verify_testbench(tb, *sim), 1u);
+}
+
+TEST(Testbench, MalformedInputRejected) {
+  EXPECT_THROW(
+      { std::istringstream is("not a testbench"); read_testbench(is); }, Error);
+  EXPECT_THROW(
+      {
+        std::istringstream is("pico_ldpc_testbench v1\ncode x\nn 0 z 1 msg_bits 8\n");
+        read_testbench(is);
+      },
+      Error);
+}
+
+TEST(Testbench, WrongSimulatorRejected) {
+  Fixture fx;
+  auto sim24 = fx.make_sim(ArchKind::kPerLayer);
+  const auto tb = generate_testbench(fx.code, *sim24, 1, 2.0F, 29);
+
+  const auto other_code = make_wimax_code(WimaxRate::kRate1_2, 48);
+  const auto est = fx.pico.compile(other_code, ArchKind::kPerLayer,
+                                   HardwareTarget{400.0, 48});
+  DecoderOptions opt;
+  ArchSimDecoder sim48(other_code, est, opt, fx.fmt);
+  EXPECT_THROW(verify_testbench(tb, sim48), Error);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,187 @@
+// Schedule-trace tests: renderer behaviour and structural properties of
+// the traces the architecture simulator emits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/arch_sim.hpp"
+#include "arch/trace.hpp"
+#include "bench/bench_common.hpp"
+#include "codes/wimax.hpp"
+
+namespace ldpc {
+namespace {
+
+// -------------------------------------------------------------- renderer ----
+
+TEST(TraceRender, BasicLanes) {
+  std::vector<TraceEvent> events = {
+      {TraceEngine::kCore1, 0, 0, 2, false},
+      {TraceEngine::kCore2, 0, 4, 5, false},
+      {TraceEngine::kCore1, 1, 3, 3, true},
+  };
+  const std::string out = render_timeline(events, 0, 8);
+  EXPECT_NE(out.find("core1  000x...."), std::string::npos);
+  EXPECT_NE(out.find("core2  ....00.."), std::string::npos);
+}
+
+TEST(TraceRender, LayerDigitsWrapAtTen) {
+  std::vector<TraceEvent> events = {{TraceEngine::kCore1, 13, 0, 1, false}};
+  const std::string out = render_timeline(events, 0, 4);
+  EXPECT_NE(out.find("33"), std::string::npos);
+}
+
+TEST(TraceRender, WindowClipsEvents) {
+  std::vector<TraceEvent> events = {{TraceEngine::kCore1, 0, 0, 100, false}};
+  const std::string out = render_timeline(events, 10, 20);
+  // Entire visible window busy.
+  EXPECT_NE(out.find("core1  0000000000"), std::string::npos);
+}
+
+TEST(TraceRender, DoubleBookingDetected) {
+  std::vector<TraceEvent> events = {
+      {TraceEngine::kCore1, 0, 0, 5, false},
+      {TraceEngine::kCore1, 1, 3, 6, false},
+  };
+  EXPECT_THROW(render_timeline(events, 0, 8), Error);
+}
+
+TEST(TraceRender, InvalidWindowRejected) {
+  EXPECT_THROW(render_timeline({}, 5, 5), Error);
+  EXPECT_THROW(render_timeline({}, 0, 100000), Error);
+}
+
+// ---------------------------------------------------- simulator tracing ----
+
+struct Sim {
+  QCLdpcCode code = make_wimax_2304_half_rate();
+  FixedFormat fmt{8, 2};
+
+  std::vector<TraceEvent> run(ArchKind arch, bool reorder) {
+    const PicoCompiler pico(fmt);
+    const auto est = pico.compile(code, arch, HardwareTarget{400.0, 96});
+    DecoderOptions opt;
+    opt.max_iterations = 2;
+    opt.early_termination = false;
+    ArchSimConfig cfg;
+    cfg.hazard_aware_order = reorder;
+    cfg.record_trace = true;
+    ArchSimDecoder sim(code, est, opt, fmt, cfg);
+    const auto frame = ldpc::bench::quantized_frame(code, fmt, 2.0F, 1);
+    sim.decode_quantized(frame);
+    return sim.trace();
+  }
+};
+
+TEST(SimTrace, DisabledByDefault) {
+  Sim s;
+  const PicoCompiler pico(s.fmt);
+  const auto est =
+      pico.compile(s.code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  DecoderOptions opt;
+  ArchSimDecoder sim(s.code, est, opt, s.fmt);
+  const auto frame = ldpc::bench::quantized_frame(s.code, s.fmt, 2.0F, 1);
+  sim.decode_quantized(frame);
+  EXPECT_TRUE(sim.trace().empty());
+}
+
+TEST(SimTrace, EventCountsMatchStructure) {
+  Sim s;
+  const auto events = s.run(ArchKind::kPerLayer, false);
+  // 2 iterations x 76 columns per iteration on each engine, no stalls.
+  const auto core1 = std::count_if(events.begin(), events.end(), [](auto& e) {
+    return e.engine == TraceEngine::kCore1 && !e.stall;
+  });
+  const auto core2 = std::count_if(events.begin(), events.end(), [](auto& e) {
+    return e.engine == TraceEngine::kCore2;
+  });
+  const auto stalls = std::count_if(events.begin(), events.end(),
+                                    [](auto& e) { return e.stall; });
+  EXPECT_EQ(core1, 2 * 76);
+  EXPECT_EQ(core2, 2 * 76);
+  EXPECT_EQ(stalls, 0);
+}
+
+TEST(SimTrace, PipelinedTraceShowsStalls) {
+  Sim s;
+  const auto events = s.run(ArchKind::kTwoLayerPipelined, false);
+  const auto stalls = std::count_if(events.begin(), events.end(),
+                                    [](auto& e) { return e.stall; });
+  EXPECT_GT(stalls, 0);
+}
+
+TEST(SimTrace, EventsNeverOverlapPerEngine) {
+  Sim s;
+  for (auto arch : {ArchKind::kPerLayer, ArchKind::kTwoLayerPipelined}) {
+    for (bool reorder : {false, true}) {
+      auto events = s.run(arch, reorder);
+      for (TraceEngine engine : {TraceEngine::kCore1, TraceEngine::kCore2}) {
+        std::vector<TraceEvent> lane;
+        std::copy_if(events.begin(), events.end(), std::back_inserter(lane),
+                     [&](auto& e) { return e.engine == engine; });
+        std::sort(lane.begin(), lane.end(),
+                  [](auto& a, auto& b) { return a.start < b.start; });
+        for (std::size_t i = 1; i < lane.size(); ++i)
+          ASSERT_GT(lane[i].start, lane[i - 1].end)
+              << arch_name(arch) << " reorder=" << reorder;
+      }
+    }
+  }
+}
+
+TEST(SimTrace, PipelinedOverlapsAdjacentLayers) {
+  // The defining property of Fig. 6: some core1 event of layer l+1 starts
+  // before the last core2 event of layer l ends.
+  Sim s;
+  const auto events = s.run(ArchKind::kTwoLayerPipelined, false);
+  long long core2_layer0_end = -1;
+  long long core1_layer1_start = -1;
+  for (const auto& e : events) {
+    if (e.engine == TraceEngine::kCore2 && e.layer == 0)
+      core2_layer0_end = std::max(core2_layer0_end, e.end);
+    if (e.engine == TraceEngine::kCore1 && e.layer == 1 && !e.stall &&
+        core1_layer1_start < 0)
+      core1_layer1_start = e.start;
+  }
+  ASSERT_GE(core2_layer0_end, 0);
+  ASSERT_GE(core1_layer1_start, 0);
+  EXPECT_LT(core1_layer1_start, core2_layer0_end);
+}
+
+TEST(SimTrace, PerLayerNeverOverlapsLayers) {
+  // Fig. 4: core1 of layer l+1 starts only after core2 of layer l is done.
+  Sim s;
+  const auto events = s.run(ArchKind::kPerLayer, false);
+  for (std::size_t layer = 0; layer + 1 < 4; ++layer) {
+    long long core2_end = -1, next_core1_start = -1;
+    for (const auto& e : events) {
+      if (e.engine == TraceEngine::kCore2 && e.layer == layer)
+        core2_end = std::max(core2_end, e.end);
+      if (e.engine == TraceEngine::kCore1 && e.layer == layer + 1 &&
+          next_core1_start < 0)
+        next_core1_start = e.start;
+    }
+    EXPECT_GT(next_core1_start, core2_end) << "layer " << layer;
+  }
+}
+
+TEST(SimTrace, TraceResetBetweenDecodes) {
+  Sim s;
+  const PicoCompiler pico(s.fmt);
+  const auto est =
+      pico.compile(s.code, ArchKind::kPerLayer, HardwareTarget{400.0, 96});
+  DecoderOptions opt;
+  opt.max_iterations = 1;
+  opt.early_termination = false;
+  ArchSimConfig cfg;
+  cfg.record_trace = true;
+  ArchSimDecoder sim(s.code, est, opt, s.fmt, cfg);
+  const auto frame = ldpc::bench::quantized_frame(s.code, s.fmt, 2.0F, 1);
+  sim.decode_quantized(frame);
+  const auto first = sim.trace().size();
+  sim.decode_quantized(frame);
+  EXPECT_EQ(sim.trace().size(), first);  // not accumulated across decodes
+}
+
+}  // namespace
+}  // namespace ldpc
