@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ber_performance.dir/bench_ber_performance.cpp.o"
+  "CMakeFiles/bench_ber_performance.dir/bench_ber_performance.cpp.o.d"
+  "bench_ber_performance"
+  "bench_ber_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ber_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

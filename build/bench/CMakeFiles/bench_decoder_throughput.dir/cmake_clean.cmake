@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoder_throughput.dir/bench_decoder_throughput.cpp.o"
+  "CMakeFiles/bench_decoder_throughput.dir/bench_decoder_throughput.cpp.o.d"
+  "bench_decoder_throughput"
+  "bench_decoder_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoder_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

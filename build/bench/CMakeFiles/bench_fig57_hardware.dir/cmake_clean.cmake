@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig57_hardware.dir/bench_fig57_hardware.cpp.o"
+  "CMakeFiles/bench_fig57_hardware.dir/bench_fig57_hardware.cpp.o.d"
+  "bench_fig57_hardware"
+  "bench_fig57_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig57_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

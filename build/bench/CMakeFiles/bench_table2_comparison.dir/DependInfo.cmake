@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_comparison.cpp" "bench/CMakeFiles/bench_table2_comparison.dir/bench_table2_comparison.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_comparison.dir/bench_table2_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/ldpc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ldpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/ldpc_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ldpc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/ldpc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_dynamics.dir/convergence_dynamics.cpp.o"
+  "CMakeFiles/convergence_dynamics.dir/convergence_dynamics.cpp.o.d"
+  "convergence_dynamics"
+  "convergence_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

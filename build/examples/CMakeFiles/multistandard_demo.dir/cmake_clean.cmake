@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistandard_demo.dir/multistandard_demo.cpp.o"
+  "CMakeFiles/multistandard_demo.dir/multistandard_demo.cpp.o.d"
+  "multistandard_demo"
+  "multistandard_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistandard_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimax_ber_sweep.dir/wimax_ber_sweep.cpp.o"
+  "CMakeFiles/wimax_ber_sweep.dir/wimax_ber_sweep.cpp.o.d"
+  "wimax_ber_sweep"
+  "wimax_ber_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimax_ber_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wimax_ber_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ber_sweep "/root/repo/build/examples/wimax_ber_sweep" "--z" "24" "--ebn0-start" "2.0" "--ebn0-stop" "2.0" "--max-frames" "30" "--workers" "1")
+set_tests_properties(example_ber_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explorer "/root/repo/build/examples/architecture_explorer" "--z" "24" "--parallelism" "24" "--iters" "4")
+set_tests_properties(example_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_power_study "/root/repo/build/examples/power_study" "--z" "24" "--iters" "4")
+set_tests_properties(example_power_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multistandard "/root/repo/build/examples/multistandard_demo")
+set_tests_properties(example_multistandard PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_convergence "/root/repo/build/examples/convergence_dynamics" "--iters" "8")
+set_tests_properties(example_convergence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rtl_export "/root/repo/build/examples/rtl_export" "--z" "24" "--frames" "2" "--rtl" "/root/repo/build/smoke_decoder.v" "--tb" "/root/repo/build/smoke_decoder.tb")
+set_tests_properties(example_rtl_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch_sim.cpp" "src/arch/CMakeFiles/ldpc_arch.dir/arch_sim.cpp.o" "gcc" "src/arch/CMakeFiles/ldpc_arch.dir/arch_sim.cpp.o.d"
+  "/root/repo/src/arch/flexible_decoder.cpp" "src/arch/CMakeFiles/ldpc_arch.dir/flexible_decoder.cpp.o" "gcc" "src/arch/CMakeFiles/ldpc_arch.dir/flexible_decoder.cpp.o.d"
+  "/root/repo/src/arch/flooding_arch.cpp" "src/arch/CMakeFiles/ldpc_arch.dir/flooding_arch.cpp.o" "gcc" "src/arch/CMakeFiles/ldpc_arch.dir/flooding_arch.cpp.o.d"
+  "/root/repo/src/arch/testbench.cpp" "src/arch/CMakeFiles/ldpc_arch.dir/testbench.cpp.o" "gcc" "src/arch/CMakeFiles/ldpc_arch.dir/testbench.cpp.o.d"
+  "/root/repo/src/arch/trace.cpp" "src/arch/CMakeFiles/ldpc_arch.dir/trace.cpp.o" "gcc" "src/arch/CMakeFiles/ldpc_arch.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/ldpc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/ldpc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/ldpc_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

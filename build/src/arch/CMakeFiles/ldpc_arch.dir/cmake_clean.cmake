@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_arch.dir/arch_sim.cpp.o"
+  "CMakeFiles/ldpc_arch.dir/arch_sim.cpp.o.d"
+  "CMakeFiles/ldpc_arch.dir/flexible_decoder.cpp.o"
+  "CMakeFiles/ldpc_arch.dir/flexible_decoder.cpp.o.d"
+  "CMakeFiles/ldpc_arch.dir/flooding_arch.cpp.o"
+  "CMakeFiles/ldpc_arch.dir/flooding_arch.cpp.o.d"
+  "CMakeFiles/ldpc_arch.dir/testbench.cpp.o"
+  "CMakeFiles/ldpc_arch.dir/testbench.cpp.o.d"
+  "CMakeFiles/ldpc_arch.dir/trace.cpp.o"
+  "CMakeFiles/ldpc_arch.dir/trace.cpp.o.d"
+  "libldpc_arch.a"
+  "libldpc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cpp" "src/channel/CMakeFiles/ldpc_channel.dir/awgn.cpp.o" "gcc" "src/channel/CMakeFiles/ldpc_channel.dir/awgn.cpp.o.d"
+  "/root/repo/src/channel/ber_runner.cpp" "src/channel/CMakeFiles/ldpc_channel.dir/ber_runner.cpp.o" "gcc" "src/channel/CMakeFiles/ldpc_channel.dir/ber_runner.cpp.o.d"
+  "/root/repo/src/channel/interleaver.cpp" "src/channel/CMakeFiles/ldpc_channel.dir/interleaver.cpp.o" "gcc" "src/channel/CMakeFiles/ldpc_channel.dir/interleaver.cpp.o.d"
+  "/root/repo/src/channel/modem.cpp" "src/channel/CMakeFiles/ldpc_channel.dir/modem.cpp.o" "gcc" "src/channel/CMakeFiles/ldpc_channel.dir/modem.cpp.o.d"
+  "/root/repo/src/channel/rayleigh.cpp" "src/channel/CMakeFiles/ldpc_channel.dir/rayleigh.cpp.o" "gcc" "src/channel/CMakeFiles/ldpc_channel.dir/rayleigh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/ldpc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

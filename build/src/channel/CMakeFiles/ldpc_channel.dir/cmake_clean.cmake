@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_channel.dir/awgn.cpp.o"
+  "CMakeFiles/ldpc_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/ldpc_channel.dir/ber_runner.cpp.o"
+  "CMakeFiles/ldpc_channel.dir/ber_runner.cpp.o.d"
+  "CMakeFiles/ldpc_channel.dir/interleaver.cpp.o"
+  "CMakeFiles/ldpc_channel.dir/interleaver.cpp.o.d"
+  "CMakeFiles/ldpc_channel.dir/modem.cpp.o"
+  "CMakeFiles/ldpc_channel.dir/modem.cpp.o.d"
+  "CMakeFiles/ldpc_channel.dir/rayleigh.cpp.o"
+  "CMakeFiles/ldpc_channel.dir/rayleigh.cpp.o.d"
+  "libldpc_channel.a"
+  "libldpc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

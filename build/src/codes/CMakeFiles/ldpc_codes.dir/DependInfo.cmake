@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/alist.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/alist.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/alist.cpp.o.d"
+  "/root/repo/src/codes/base_matrix.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/base_matrix.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/base_matrix.cpp.o.d"
+  "/root/repo/src/codes/encoder.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/encoder.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/encoder.cpp.o.d"
+  "/root/repo/src/codes/graph_analysis.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/graph_analysis.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/graph_analysis.cpp.o.d"
+  "/root/repo/src/codes/qc_code.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/qc_code.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/qc_code.cpp.o.d"
+  "/root/repo/src/codes/random_qc.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/random_qc.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/random_qc.cpp.o.d"
+  "/root/repo/src/codes/wifi.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/wifi.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/wifi.cpp.o.d"
+  "/root/repo/src/codes/wimax.cpp" "src/codes/CMakeFiles/ldpc_codes.dir/wimax.cpp.o" "gcc" "src/codes/CMakeFiles/ldpc_codes.dir/wimax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_codes.dir/alist.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/alist.cpp.o.d"
+  "CMakeFiles/ldpc_codes.dir/base_matrix.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/base_matrix.cpp.o.d"
+  "CMakeFiles/ldpc_codes.dir/encoder.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/encoder.cpp.o.d"
+  "CMakeFiles/ldpc_codes.dir/graph_analysis.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/graph_analysis.cpp.o.d"
+  "CMakeFiles/ldpc_codes.dir/qc_code.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/qc_code.cpp.o.d"
+  "CMakeFiles/ldpc_codes.dir/random_qc.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/random_qc.cpp.o.d"
+  "CMakeFiles/ldpc_codes.dir/wifi.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/wifi.cpp.o.d"
+  "CMakeFiles/ldpc_codes.dir/wimax.cpp.o"
+  "CMakeFiles/ldpc_codes.dir/wimax.cpp.o.d"
+  "libldpc_codes.a"
+  "libldpc_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decoder_factory.cpp" "src/core/CMakeFiles/ldpc_core.dir/decoder_factory.cpp.o" "gcc" "src/core/CMakeFiles/ldpc_core.dir/decoder_factory.cpp.o.d"
+  "/root/repo/src/core/flooding_bp.cpp" "src/core/CMakeFiles/ldpc_core.dir/flooding_bp.cpp.o" "gcc" "src/core/CMakeFiles/ldpc_core.dir/flooding_bp.cpp.o.d"
+  "/root/repo/src/core/flooding_minsum.cpp" "src/core/CMakeFiles/ldpc_core.dir/flooding_minsum.cpp.o" "gcc" "src/core/CMakeFiles/ldpc_core.dir/flooding_minsum.cpp.o.d"
+  "/root/repo/src/core/flooding_minsum_fixed.cpp" "src/core/CMakeFiles/ldpc_core.dir/flooding_minsum_fixed.cpp.o" "gcc" "src/core/CMakeFiles/ldpc_core.dir/flooding_minsum_fixed.cpp.o.d"
+  "/root/repo/src/core/gallager_b.cpp" "src/core/CMakeFiles/ldpc_core.dir/gallager_b.cpp.o" "gcc" "src/core/CMakeFiles/ldpc_core.dir/gallager_b.cpp.o.d"
+  "/root/repo/src/core/layered_minsum_fixed.cpp" "src/core/CMakeFiles/ldpc_core.dir/layered_minsum_fixed.cpp.o" "gcc" "src/core/CMakeFiles/ldpc_core.dir/layered_minsum_fixed.cpp.o.d"
+  "/root/repo/src/core/layered_minsum_float.cpp" "src/core/CMakeFiles/ldpc_core.dir/layered_minsum_float.cpp.o" "gcc" "src/core/CMakeFiles/ldpc_core.dir/layered_minsum_float.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/ldpc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

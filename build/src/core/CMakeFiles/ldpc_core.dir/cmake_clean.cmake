@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_core.dir/decoder_factory.cpp.o"
+  "CMakeFiles/ldpc_core.dir/decoder_factory.cpp.o.d"
+  "CMakeFiles/ldpc_core.dir/flooding_bp.cpp.o"
+  "CMakeFiles/ldpc_core.dir/flooding_bp.cpp.o.d"
+  "CMakeFiles/ldpc_core.dir/flooding_minsum.cpp.o"
+  "CMakeFiles/ldpc_core.dir/flooding_minsum.cpp.o.d"
+  "CMakeFiles/ldpc_core.dir/flooding_minsum_fixed.cpp.o"
+  "CMakeFiles/ldpc_core.dir/flooding_minsum_fixed.cpp.o.d"
+  "CMakeFiles/ldpc_core.dir/gallager_b.cpp.o"
+  "CMakeFiles/ldpc_core.dir/gallager_b.cpp.o.d"
+  "CMakeFiles/ldpc_core.dir/layered_minsum_fixed.cpp.o"
+  "CMakeFiles/ldpc_core.dir/layered_minsum_fixed.cpp.o.d"
+  "CMakeFiles/ldpc_core.dir/layered_minsum_float.cpp.o"
+  "CMakeFiles/ldpc_core.dir/layered_minsum_float.cpp.o.d"
+  "libldpc_core.a"
+  "libldpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

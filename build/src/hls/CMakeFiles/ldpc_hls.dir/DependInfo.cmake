@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/hardware_report.cpp" "src/hls/CMakeFiles/ldpc_hls.dir/hardware_report.cpp.o" "gcc" "src/hls/CMakeFiles/ldpc_hls.dir/hardware_report.cpp.o.d"
+  "/root/repo/src/hls/opgraph.cpp" "src/hls/CMakeFiles/ldpc_hls.dir/opgraph.cpp.o" "gcc" "src/hls/CMakeFiles/ldpc_hls.dir/opgraph.cpp.o.d"
+  "/root/repo/src/hls/pico.cpp" "src/hls/CMakeFiles/ldpc_hls.dir/pico.cpp.o" "gcc" "src/hls/CMakeFiles/ldpc_hls.dir/pico.cpp.o.d"
+  "/root/repo/src/hls/rtl_gen.cpp" "src/hls/CMakeFiles/ldpc_hls.dir/rtl_gen.cpp.o" "gcc" "src/hls/CMakeFiles/ldpc_hls.dir/rtl_gen.cpp.o.d"
+  "/root/repo/src/hls/scheduler.cpp" "src/hls/CMakeFiles/ldpc_hls.dir/scheduler.cpp.o" "gcc" "src/hls/CMakeFiles/ldpc_hls.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/ldpc_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

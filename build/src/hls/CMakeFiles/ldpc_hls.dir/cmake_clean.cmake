@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_hls.dir/hardware_report.cpp.o"
+  "CMakeFiles/ldpc_hls.dir/hardware_report.cpp.o.d"
+  "CMakeFiles/ldpc_hls.dir/opgraph.cpp.o"
+  "CMakeFiles/ldpc_hls.dir/opgraph.cpp.o.d"
+  "CMakeFiles/ldpc_hls.dir/pico.cpp.o"
+  "CMakeFiles/ldpc_hls.dir/pico.cpp.o.d"
+  "CMakeFiles/ldpc_hls.dir/rtl_gen.cpp.o"
+  "CMakeFiles/ldpc_hls.dir/rtl_gen.cpp.o.d"
+  "CMakeFiles/ldpc_hls.dir/scheduler.cpp.o"
+  "CMakeFiles/ldpc_hls.dir/scheduler.cpp.o.d"
+  "libldpc_hls.a"
+  "libldpc_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldpc_hls.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_power.dir/area_model.cpp.o"
+  "CMakeFiles/ldpc_power.dir/area_model.cpp.o.d"
+  "CMakeFiles/ldpc_power.dir/metrics.cpp.o"
+  "CMakeFiles/ldpc_power.dir/metrics.cpp.o.d"
+  "CMakeFiles/ldpc_power.dir/power_model.cpp.o"
+  "CMakeFiles/ldpc_power.dir/power_model.cpp.o.d"
+  "libldpc_power.a"
+  "libldpc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_util.dir/cli.cpp.o"
+  "CMakeFiles/ldpc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ldpc_util.dir/csv.cpp.o"
+  "CMakeFiles/ldpc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ldpc_util.dir/stats.cpp.o"
+  "CMakeFiles/ldpc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ldpc_util.dir/table.cpp.o"
+  "CMakeFiles/ldpc_util.dir/table.cpp.o.d"
+  "libldpc_util.a"
+  "libldpc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_ext_test.dir/decoder_ext_test.cpp.o"
+  "CMakeFiles/decoder_ext_test.dir/decoder_ext_test.cpp.o.d"
+  "decoder_ext_test"
+  "decoder_ext_test.pdb"
+  "decoder_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexible_test.dir/flexible_test.cpp.o"
+  "CMakeFiles/flexible_test.dir/flexible_test.cpp.o.d"
+  "flexible_test"
+  "flexible_test.pdb"
+  "flexible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

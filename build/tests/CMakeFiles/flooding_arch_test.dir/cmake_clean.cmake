@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flooding_arch_test.dir/flooding_arch_test.cpp.o"
+  "CMakeFiles/flooding_arch_test.dir/flooding_arch_test.cpp.o.d"
+  "flooding_arch_test"
+  "flooding_arch_test.pdb"
+  "flooding_arch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flooding_arch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleaver_test.dir/interleaver_test.cpp.o"
+  "CMakeFiles/interleaver_test.dir/interleaver_test.cpp.o.d"
+  "interleaver_test"
+  "interleaver_test.pdb"
+  "interleaver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

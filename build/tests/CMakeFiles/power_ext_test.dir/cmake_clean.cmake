@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_ext_test.dir/power_ext_test.cpp.o"
+  "CMakeFiles/power_ext_test.dir/power_ext_test.cpp.o.d"
+  "power_ext_test"
+  "power_ext_test.pdb"
+  "power_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_gen_test.dir/rtl_gen_test.cpp.o"
+  "CMakeFiles/rtl_gen_test.dir/rtl_gen_test.cpp.o.d"
+  "rtl_gen_test"
+  "rtl_gen_test.pdb"
+  "rtl_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/codes_test[1]_include.cmake")
+include("/root/repo/build/tests/anchor_test[1]_include.cmake")
+include("/root/repo/build/tests/interleaver_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/fading_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_float_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_fixed_test[1]_include.cmake")
+include("/root/repo/build/tests/observer_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/hls_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/testbench_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/flexible_test[1]_include.cmake")
+include("/root/repo/build/tests/flooding_arch_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/power_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
