@@ -1,0 +1,97 @@
+// Fault-resilience campaign: BER/FER degradation and detection coverage of
+// the decoder pipeline under injected SRAM / datapath / scoreboard upsets.
+//
+// The paper's silicon carries 82,944 SRAM bits (Table II) plus the
+// min1/min2/sign register files of the two-stage cores (Fig. 5/7); this
+// bench sweeps per-bit per-access upset rate x Eb/N0 and reports how the
+// decode degrades and — the graceful-degradation claim — how much of the
+// degradation the decoder flags itself via DecodeStatus (parity recheck +
+// iteration watchdog). Two campaigns run:
+//
+//   1. layered-fixed, all sites, rate sweep at fixed Eb/N0 — the headline
+//      degradation curve (committed to EXPERIMENTS.md).
+//   2. arch-sim, SRAM + scoreboard sites — the §IV-B RAW-hazard failure
+//      mode that only exists in the pipelined architecture.
+//
+// Output is deterministic: running twice produces byte-identical CSV
+// (acceptance criterion for the fault subsystem).
+//
+//   --csv out.csv   also write the combined table as CSV
+#include <cstdio>
+#include <memory>
+
+#include "codes/wimax.hpp"
+#include "fault/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+std::vector<FaultCampaignPoint> run_campaign(
+    const QCLdpcCode& code, const FaultCampaignConfig& cfg, TextTable& table,
+    CsvWriter* csv) {
+  FaultCampaignRunner runner(code, cfg);
+  const auto points = runner.run();
+  for (const auto& p : points) {
+    const auto row = runner.csv_row(p);
+    table.add_row(row);
+    if (csv) csv->write_row(row);
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const CliArgs args(argc, argv, {"csv", "frames"});
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 96);
+  const auto frames = static_cast<std::size_t>(args.get_int("frames", 200));
+
+  TextTable table(
+      "Fault resilience — WiMAX (2304, 1/2), BPSK/AWGN, 10 iterations, "
+      "watchdog window 3");
+  table.set_header(FaultCampaignRunner::csv_header());
+
+  std::unique_ptr<CsvWriter> csv;
+  if (args.has("csv")) {
+    csv = std::make_unique<CsvWriter>(args.get("csv", ""));
+    csv->write_row(FaultCampaignRunner::csv_header());
+  }
+
+  // Campaign 1: algorithmic layered decoder, all fault sites, upset-rate
+  // sweep at a waterfall-region operating point plus one high-SNR point
+  // (where channel errors vanish and faults dominate).
+  FaultCampaignConfig c1;
+  c1.fault_rates = {0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2};
+  c1.ebn0_db = {2.0F, 3.0F};
+  c1.frames_per_point = frames;
+  c1.target = CampaignTarget::kLayeredFixed;
+  run_campaign(code, c1, table, csv.get());
+
+  // Campaign 2: cycle-accurate pipelined architecture, SRAM + scoreboard
+  // sites (the RAW-hazard failure of §IV-B). Fewer frames — the cycle
+  // simulator is ~20x the algorithmic decoder's cost.
+  FaultCampaignConfig c2;
+  c2.fault_rates = {0.0, 1e-4, 1e-3};
+  c2.ebn0_db = {3.0F};
+  c2.frames_per_point = frames / 5 == 0 ? 1 : frames / 5;
+  c2.sites = kSramFaultSites | kScoreboardFaultSites;
+  c2.target = CampaignTarget::kArchSim;
+  run_campaign(code, c2, table, csv.get());
+
+  std::fputs(table.str().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: BER/FER flat up to ~1e-5 upsets/bit (the code\n"
+      "corrects sparse upsets like channel noise), degrading steeply past\n"
+      "1e-3; detection coverage stays near 1.0 — corrupted frames fail the\n"
+      "output parity recheck or trip the watchdog instead of being reported\n"
+      "as clean decodes. The arch-sim campaign shows the scoreboard site's\n"
+      "stale-P reads degrading the pipelined architecture specifically.");
+  return 0;
+} catch (const Error& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,117 @@
+// Fault-injection demo: what an SRAM upset does to a decode, and how the
+// decoder degrades gracefully instead of emitting garbage.
+//
+//   build/examples/fault_injection_demo [--rate 1e-3] [--z 96] [--ebn0 2.0]
+//
+// Decodes the same noisy WiMAX frame three times:
+//   1. clean            — the seed path, no injector attached;
+//   2. injector disabled — hooks wired but disarmed, must be bit-identical;
+//   3. injector armed   — upsets land in the P/R SRAMs and the min1/min2/
+//                         sign register files; the output parity recheck
+//                         (and optionally the watchdog) flags the frame.
+#include <cstdio>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "fault/fault_injector.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+std::size_t info_bit_errors(const QCLdpcCode& code, const BitVec& info,
+                            const DecodeResult& result) {
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < code.k(); ++i)
+    errors += result.hard_bits.get(i) != info.get(i);
+  return errors;
+}
+
+void report(const char* label, const QCLdpcCode& code, const BitVec& info,
+            const DecodeResult& result) {
+  std::printf("%-18s status=%-14s iters=%zu info-bit errors=%zu faults=%zu\n",
+              label, to_string(result.status), result.iterations,
+              info_bit_errors(code, info, result), result.faults_injected);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const CliArgs args(argc, argv, {"rate", "z", "ebn0", "seed"});
+  const double rate = args.get_double("rate", 1e-3);
+  const int z = static_cast<int>(args.get_int("z", 96));
+  const float ebn0_db = static_cast<float>(args.get_double("ebn0", 2.0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, z);
+  const FixedFormat fmt{8, 2};
+  std::printf("code: (%zu, 1/2) WiMAX, z=%d; Eb/N0=%.1f dB; upset rate %g "
+              "per bit per access\n\n",
+              code.n(), z, ebn0_db, rate);
+
+  // One noisy frame, reused for all three decodes.
+  Xoshiro256 rng(seed);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const BitVec codeword = RuEncoder(code).encode(info);
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  AwgnChannel channel(variance, seed * 19 + 7);
+  const auto llr = BpskModem::demodulate(
+      channel.transmit(BpskModem::modulate(codeword)), variance);
+  std::vector<std::int32_t> frame(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) frame[i] = fmt.quantize(llr[i]);
+
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+
+  // 1. Clean reference.
+  LayeredMinSumFixedDecoder clean(code, opt, fmt);
+  const auto ref = clean.decode_quantized(frame);
+  report("clean", code, info, ref);
+
+  // 2. Hooks wired, injector disabled: must match the clean decode exactly.
+  FaultConfig cfg;
+  cfg.rate = rate;
+  cfg.seed = seed;
+  FaultInjector injector(cfg);
+  injector.set_enabled(false);
+  DecoderOptions hooked = opt;
+  hooked.fault_injector = &injector;
+  LayeredMinSumFixedDecoder disarmed(code, hooked, fmt);
+  const auto quiet = disarmed.decode_quantized(frame);
+  bool identical = quiet.iterations == ref.iterations;
+  for (std::size_t i = 0; identical && i < code.n(); ++i)
+    identical = quiet.hard_bits.get(i) == ref.hard_bits.get(i);
+  report("injector off", code, info, quiet);
+  std::printf("                   bit-identical to clean: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  // 3. Armed: upsets land, watchdog + parity recheck flag the outcome.
+  injector.set_enabled(true);
+  hooked.watchdog.stall_window = 3;
+  LayeredMinSumFixedDecoder faulty(code, hooked, fmt);
+  const auto hit = faulty.decode_quantized(frame);
+  report("injector armed", code, info, hit);
+
+  std::printf("\nper-site injection stats:\n");
+  for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    const auto& st = injector.stats(site);
+    if (st.bits_examined == 0) continue;
+    std::printf("  %-10s %10lld bits examined  %6lld upsets\n",
+                fault_site_name(site), st.bits_examined, st.injections);
+  }
+  std::printf(
+      "\nThe armed decode never reports 'converged' with a wrong word:\n"
+      "corruption is caught by the output parity recheck (fault-detected)\n"
+      "or cut short by the iteration watchdog (watchdog-abort).\n");
+  return identical ? 0 : 1;
+} catch (const Error& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -39,6 +39,11 @@ struct ActivityCounters {
   long long core2_busy_cycles = 0;
   long long shifter_busy_cycles = 0;
 
+  // Degraded-operation monitoring (0 unless the corresponding
+  // DecoderOptions flags are set).
+  long long sat_clips = 0;        ///< datapath saturation events
+  long long faults_injected = 0;  ///< upsets landed by a fault injector
+
   void add(const ActivityCounters& other) {
     cycles += other.cycles;
     iterations += other.iterations;
@@ -57,6 +62,8 @@ struct ActivityCounters {
     core1_busy_cycles += other.core1_busy_cycles;
     core2_busy_cycles += other.core2_busy_cycles;
     shifter_busy_cycles += other.shifter_busy_cycles;
+    sat_clips += other.sat_clips;
+    faults_injected += other.faults_injected;
   }
 
   /// Core-1 utilization: busy cycles over total (Fig. 4 vs Fig. 6 contrast).

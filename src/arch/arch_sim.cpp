@@ -26,6 +26,17 @@ ArchSimDecoder::ArchSimDecoder(const QCLdpcCode& code, HardwareEstimate estimate
   LDPC_CHECK(estimate_.fold == code.z() / estimate_.parallelism);
   fifo_pop_times_.assign(q_fifo_.capacity(), -1);
 
+  // Optional fault injection: hand the SRAM macros their read-path hooks
+  // and keep a handle for the datapath/scoreboard sites. With no injector
+  // every hook below reduces to a null-pointer compare.
+  injector_ = options_.fault_injector;
+  if (injector_) {
+    const int w = kernel_.format().total_bits;
+    p_mem_.attach_fault_injector(injector_, FaultSite::kSramP, w);
+    r_mem_.attach_fault_injector(injector_, FaultSite::kSramR, w);
+    stale_p_.resize(code.base().cols());
+  }
+
   // Column processing order per layer. Default: the block-serial order of
   // Fig. 4. Hazard-aware: columns the (cyclically) previous layer does not
   // write first, then shared columns in the previous layer's write order —
@@ -80,9 +91,15 @@ long long ArchSimDecoder::r_memory_bits() const {
 
 DecodeResult ArchSimDecoder::decode(std::span<const float> llr) {
   LDPC_CHECK(llr.size() == code_.n());
+  quant_clips_ = 0;
   std::vector<std::int32_t> codes(llr.size());
-  for (std::size_t v = 0; v < llr.size(); ++v)
-    codes[v] = kernel_.format().quantize(llr[v]);
+  if (options_.count_saturation) {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      codes[v] = kernel_.format().quantize(llr[v], quant_clips_);
+  } else {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      codes[v] = kernel_.format().quantize(llr[v]);
+  }
   return decode_quantized(codes).decode;
 }
 
@@ -109,10 +126,24 @@ void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
     const auto& blk = layer[order[j]];
     long long ready = timing.core1_free;
     long long issue = ready;
+    // Set when a scoreboard upset drops a pending bit: core 1 proceeds
+    // without the RAW stall and reads the stale P word (§IV-B failure mode).
+    bool raw_hazard = false;
     if (pipelined) {
+      const bool pending = scoreboard_.is_pending(blk.block_col);
+      const bool observed = scoreboard_.observed_pending(blk.block_col, injector_);
       // Scoreboard RAW stall on the P word of this block column.
-      if (scoreboard_.is_pending(blk.block_col))
-        issue = scoreboard_.earliest_read(blk.block_col, ready);
+      if (observed) {
+        if (pending) {
+          issue = scoreboard_.earliest_read(blk.block_col, ready);
+        } else {
+          // Spurious pending bit: core 1 waits for core 2's backlog to
+          // drain before the (phantom) clear lets it proceed.
+          issue = std::max(issue, timing.core2_free);
+        }
+      } else if (pending) {
+        raw_hazard = true;
+      }
       // Q FIFO back-pressure: this column's push (at absorb time) needs a
       // free slot; the slot frees one cycle after the blocking pop.
       if (fifo_push_count_ >= q_fifo_.capacity()) {
@@ -123,8 +154,7 @@ void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
         issue = std::max(issue, earliest_issue);
       }
       act.core1_stall_cycles += issue - ready;
-      if (scoreboard_.is_pending(blk.block_col))
-        scoreboard_.resolve(blk.block_col);
+      if (pending) scoreboard_.resolve(blk.block_col);
       if (sim_config_.record_trace && issue > ready)
         trace_.push_back(TraceEvent{TraceEngine::kCore1,
                                     static_cast<std::size_t>(timing.layer_seq),
@@ -142,8 +172,12 @@ void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
     accumulate_busy(issue, absorb_time[j], timing.core1_busy_until,
                     act.core1_busy_cycles);
 
-    // Functional stage 1 through the component models.
-    const auto& p_word = p_mem_.read(blk.block_col);
+    // Functional stage 1 through the component models. A RAW hazard serves
+    // the P word captured before core 2's still-in-flight write landed.
+    const bool use_stale = raw_hazard && !stale_p_.empty() &&
+                           !stale_p_[blk.block_col].empty();
+    const auto& p_word =
+        use_stale ? stale_p_[blk.block_col] : p_mem_.read(blk.block_col);
     const auto shifted = shifter_.rotate(p_word, blk.shift);
     const auto& r_word = r_mem_.read(blk.r_slot);
     std::vector<std::int32_t> q(z);
@@ -164,6 +198,20 @@ void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
     act.q_fifo_pushes += 1;
   }
   timing.core1_done = core1_done;
+
+  // Upsets in the held core-1 state arrays (min1/min2/sign registers of
+  // Fig. 5/7) while the layer's state is handed to core 2.
+  if (injector_ && (injector_->armed(FaultSite::kCoreMin1) ||
+                    injector_->armed(FaultSite::kCoreMin2) ||
+                    injector_->armed(FaultSite::kCoreSign))) {
+    const int w = kernel_.format().total_bits;
+    for (auto& st : lane_state_) {
+      st.min1 = injector_->corrupt_magnitude(FaultSite::kCoreMin1, st.min1, w);
+      st.min2 = injector_->corrupt_magnitude(FaultSite::kCoreMin2, st.min2, w);
+      st.sign_product =
+          injector_->corrupt_flag(FaultSite::kCoreSign, st.sign_product);
+    }
+  }
 
   // ---- Core 2: decode & write back (stage 2) -------------------------------
   long long core2_start = std::max(timing.core2_free, core1_done + 1);
@@ -194,6 +242,10 @@ void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
       p_new[r] = kernel_.compute_p_new(q[r], r_new[r]);
     }
     r_mem_.write(blk.r_slot, std::move(r_new));
+    // Capture the outgoing P word while scoreboard upsets are possible: a
+    // dropped pending bit makes the next layer's core 1 read this value.
+    if (injector_ && injector_->armed(FaultSite::kScoreboard))
+      stale_p_[blk.block_col] = p_mem_.peek(blk.block_col);
     p_mem_.write(blk.block_col, shifter_.rotate_back(p_new, blk.shift));
 
     act.p_writes += 1;
@@ -244,6 +296,13 @@ ArchDecodeResult ArchSimDecoder::decode_quantized(
   Timing timing;
   ActivityCounters& act = out.activity;
 
+  datapath_clips_ = 0;
+  kernel_.track_saturation(options_.count_saturation ? &datapath_clips_
+                                                     : nullptr);
+  const long long injections_before = injector_ ? injector_->injections() : 0;
+  WatchdogState watchdog(options_.watchdog);
+  bool watchdog_fired = false;
+
   auto harvest_hard_bits = [&] {
     for (std::size_t c = 0; c < nb; ++c) {
       const auto& word = p_mem_.peek(c);
@@ -273,12 +332,26 @@ ArchDecodeResult ArchSimDecoder::decode_quantized(
         break;
       }
     }
+    if (options_.watchdog.enabled() &&
+        watchdog.should_abort(code_.syndrome_weight(out.decode.hard_bits))) {
+      watchdog_fired = true;
+      break;
+    }
   }
+  // Parity recheck on output: corrupted decodes leave here flagged, never
+  // silently marked as codewords.
   if (!out.decode.converged)
     out.decode.converged = code_.parity_ok(out.decode.hard_bits);
+  if (injector_)
+    out.decode.faults_injected = static_cast<std::size_t>(
+        injector_->injections() - injections_before);
+  out.decode.status = classify_exit(out.decode.converged, watchdog_fired,
+                                    out.decode.faults_injected);
 
   act.cycles = timing.last_write_land + 1;
   act.iterations = static_cast<long long>(out.decode.iterations);
+  act.sat_clips = datapath_clips_;
+  act.faults_injected = static_cast<long long>(out.decode.faults_injected);
   return out;
 }
 

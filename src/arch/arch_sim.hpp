@@ -88,6 +88,10 @@ class ArchSimDecoder final : public Decoder {
   /// Schedule trace of the last decode (empty unless record_trace was set).
   const std::vector<TraceEvent>& trace() const { return trace_; }
 
+  /// Channel-LLR quantizer clips of the last decode() call (0 unless
+  /// DecoderOptions::count_saturation; decode_quantized() bypasses this).
+  long long quantizer_clips() const { return quant_clips_; }
+
  private:
   /// Timing state for one decode.
   struct Timing {
@@ -134,6 +138,19 @@ class ArchSimDecoder final : public Decoder {
   std::size_t fifo_push_count_ = 0;
 
   std::vector<TraceEvent> trace_;
+
+  /// Fault injection (nullptr when DecoderOptions::fault_injector is unset —
+  /// the hooks then cost one pointer compare and decode bit-identically to
+  /// the seed path).
+  FaultInjector* injector_ = nullptr;
+  /// P words captured just before core 2 overwrites them, indexed by block
+  /// column; served to core 1 when a scoreboard upset drops a pending bit
+  /// (the §IV-B RAW hazard reading stale data). Maintained only while the
+  /// scoreboard fault site is armed.
+  std::vector<std::vector<std::int32_t>> stale_p_;
+
+  long long quant_clips_ = 0;
+  long long datapath_clips_ = 0;
 };
 
 }  // namespace ldpc

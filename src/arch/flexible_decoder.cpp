@@ -48,6 +48,18 @@ ArchDecodeResult FlexibleWimaxDecoder::decode(const WimaxCodeId& id,
   return inst.sim->decode_quantized(codes);
 }
 
+void FlexibleWimaxDecoder::set_fault_injector(FaultInjector* injector) {
+  options_.fault_injector = injector;
+  // Simulators capture DecoderOptions by value; drop them so the next
+  // decode() rebuilds with the hook in place.
+  instances_.clear();
+}
+
+void FlexibleWimaxDecoder::set_watchdog(WatchdogOptions watchdog) {
+  options_.watchdog = watchdog;
+  instances_.clear();
+}
+
 const QCLdpcCode& FlexibleWimaxDecoder::code(const WimaxCodeId& id) {
   return instance_for(id).code;
 }

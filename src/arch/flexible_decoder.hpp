@@ -57,6 +57,14 @@ class FlexibleWimaxDecoder {
   /// Number of configurations instantiated so far (for tests).
   std::size_t active_configurations() const { return instances_.size(); }
 
+  /// Route all configurations' decodes through `injector` (nullptr detaches).
+  /// Existing per-configuration simulators are rebuilt lazily so the hook
+  /// applies uniformly; injector must outlive the decoder while attached.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Enable the non-convergence watchdog on every configuration.
+  void set_watchdog(WatchdogOptions watchdog);
+
  private:
   struct Instance {
     QCLdpcCode code;

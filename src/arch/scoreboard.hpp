@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "util/check.hpp"
 
 namespace ldpc {
@@ -41,6 +42,17 @@ class Scoreboard {
   bool is_pending(std::size_t n) const {
     LDPC_CHECK(n < pending_.size());
     return pending_[n];
+  }
+
+  /// The pending bit as core 1 observes it through an optional fault
+  /// injector — the §IV-B RAW-hazard failure mode: an upset that drops a
+  /// set bit lets core 1 read a stale P word; an upset that raises a clear
+  /// bit stalls core 1 needlessly. The stored bit itself is untouched.
+  bool observed_pending(std::size_t n, FaultInjector* injector) const {
+    const bool pending = is_pending(n);
+    if (injector && injector->armed(FaultSite::kScoreboard))
+      return injector->corrupt_flag(FaultSite::kScoreboard, pending);
+    return pending;
   }
 
   /// Earliest cycle at which column n may be read: one past the write land

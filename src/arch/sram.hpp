@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "util/check.hpp"
 
 namespace ldpc {
@@ -35,9 +36,26 @@ class SramModel {
            bits_per_lane;
   }
 
+  /// Wire a fault injector to this macro: reads pass through the injector,
+  /// which may upset bits of the returned word (soft errors / read-disturb;
+  /// the stored cells stay intact). `bits_per_lane` is the message width the
+  /// macro carries. Passing nullptr detaches. With no injector (the default)
+  /// or a disabled one, read() is bit-identical to the seed behaviour.
+  void attach_fault_injector(FaultInjector* injector, FaultSite site,
+                             int bits_per_lane) {
+    injector_ = injector;
+    fault_site_ = site;
+    fault_bits_ = bits_per_lane;
+  }
+
   const std::vector<std::int32_t>& read(std::size_t word) {
     LDPC_CHECK(word < data_.size());
     ++reads_;
+    if (injector_ && injector_->armed(fault_site_)) {
+      read_scratch_ = data_[word];
+      injector_->corrupt_word(fault_site_, read_scratch_, fault_bits_);
+      return read_scratch_;
+    }
     return data_[word];
   }
 
@@ -74,6 +92,14 @@ class SramModel {
   std::vector<std::vector<std::int32_t>> data_;
   long long reads_ = 0;
   long long writes_ = 0;
+
+  // Fault-injection hook (read path only). Corrupted reads are served from
+  // a scratch word so stored data stays clean — transient upsets must not
+  // accidentally persist.
+  FaultInjector* injector_ = nullptr;
+  FaultSite fault_site_ = FaultSite::kSramP;
+  int fault_bits_ = 8;
+  std::vector<std::int32_t> read_scratch_;
 };
 
 }  // namespace ldpc

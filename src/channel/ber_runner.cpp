@@ -131,6 +131,9 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
 
       ++local.frames;
       local.sum_iterations += static_cast<double>(result.iterations);
+      local.faults_injected += result.faults_injected;
+      if (result.status == DecodeStatus::kWatchdogAbort)
+        ++local.watchdog_aborts;
       if (result.iterations > local.iteration_histogram.size())
         local.iteration_histogram.resize(result.iterations, 0);
       ++local.iteration_histogram[result.iterations - 1];
@@ -138,6 +141,7 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
         local.bit_errors += bit_errors;
         ++local.frame_errors;
         if (result.converged) ++local.undetected_errors;
+        else ++local.detected_errors;
         frame_errors_seen.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -147,6 +151,9 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
     point.bit_errors += local.bit_errors;
     point.frame_errors += local.frame_errors;
     point.undetected_errors += local.undetected_errors;
+    point.detected_errors += local.detected_errors;
+    point.watchdog_aborts += local.watchdog_aborts;
+    point.faults_injected += local.faults_injected;
     point.sum_iterations += local.sum_iterations;
     if (local.iteration_histogram.size() > point.iteration_histogram.size())
       point.iteration_histogram.resize(local.iteration_histogram.size(), 0);

@@ -40,6 +40,9 @@ struct BerPoint {
   std::size_t bit_errors = 0;    ///< over information bits
   std::size_t frame_errors = 0;  ///< frames with any info-bit error
   std::size_t undetected_errors = 0;  ///< decoder converged to wrong codeword
+  std::size_t detected_errors = 0;    ///< frame errors flagged by DecodeStatus
+  std::size_t watchdog_aborts = 0;    ///< frames cut short by the watchdog
+  std::size_t faults_injected = 0;    ///< upsets landed across all frames
   double sum_iterations = 0.0;
   /// Iterations histogram: index i counts frames decoded in i+1 iterations
   /// (sized to the largest observed count).
@@ -56,6 +59,13 @@ struct BerPoint {
   }
   double avg_iterations() const {
     return frames == 0 ? 0.0 : sum_iterations / static_cast<double>(frames);
+  }
+  /// Fraction of frame errors the decoder itself flagged (status !=
+  /// converged) — the graceful-degradation detection-coverage metric.
+  double detection_coverage() const {
+    return frame_errors == 0 ? 1.0
+                             : static_cast<double>(detected_errors) /
+                                   static_cast<double>(frame_errors);
   }
 };
 

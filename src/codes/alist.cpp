@@ -43,30 +43,60 @@ std::string to_alist(const QCLdpcCode& code) {
 }
 
 QCLdpcCode read_alist(std::istream& in) {
-  auto next = [&in]() -> long {
-    long v;
-    if (!(in >> v)) throw Error("alist: unexpected end of input");
+  long tokens = 0;  // whitespace-separated tokens consumed, for error context
+  auto fail = [&tokens](const std::string& reason) -> void {
+    throw AlistParseError(reason, tokens);
+  };
+  auto next = [&in, &tokens, &fail]() -> long {
+    long v = 0;
+    if (!(in >> v))
+      fail(in.eof() ? "unexpected end of input" : "token is not an integer");
+    ++tokens;
     return v;
   };
 
   const long n = next();
   const long m = next();
-  LDPC_CHECK_MSG(n > 0 && m > 0 && n > m,
-                 "alist: need N > M > 0, got N=" << n << " M=" << m);
+  if (n <= 0 || m <= 0 || n <= m)
+    fail("need N > M > 0, got N=" + std::to_string(n) +
+         " M=" + std::to_string(m));
+  // The importer materializes a dense M x N base matrix; refuse dimensions
+  // that would let a 30-byte header exhaust memory.
+  constexpr long kMaxDenseEntries = 1L << 26;  // 64M ints = 256 MiB
+  if (m > kMaxDenseEntries / n)
+    fail("matrix " + std::to_string(m) + " x " + std::to_string(n) +
+         " exceeds the dense-import cap of " +
+         std::to_string(kMaxDenseEntries) + " entries");
   const long max_col = next();
   const long max_row = next();
-  LDPC_CHECK(max_col > 0 && max_row > 0);
+  if (max_col <= 0 || max_col > m)
+    fail("max column degree " + std::to_string(max_col) +
+         " outside [1, M=" + std::to_string(m) + "]");
+  if (max_row <= 0 || max_row > n)
+    fail("max row degree " + std::to_string(max_row) +
+         " outside [1, N=" + std::to_string(n) + "]");
 
   std::vector<long> col_deg(static_cast<std::size_t>(n));
   std::vector<long> row_deg(static_cast<std::size_t>(m));
+  long col_deg_sum = 0, row_deg_sum = 0;
   for (auto& d : col_deg) {
     d = next();
-    LDPC_CHECK_MSG(d >= 0 && d <= max_col, "alist: bad column degree " << d);
+    if (d < 0 || d > max_col)
+      fail("column degree " + std::to_string(d) + " outside [0, " +
+           std::to_string(max_col) + "]");
+    col_deg_sum += d;
   }
   for (auto& d : row_deg) {
     d = next();
-    LDPC_CHECK_MSG(d >= 0 && d <= max_row, "alist: bad row degree " << d);
+    if (d < 0 || d > max_row)
+      fail("row degree " + std::to_string(d) + " outside [0, " +
+           std::to_string(max_row) + "]");
+    row_deg_sum += d;
   }
+  if (col_deg_sum != row_deg_sum)
+    fail("column degrees sum to " + std::to_string(col_deg_sum) +
+         " but row degrees sum to " + std::to_string(row_deg_sum) +
+         " — the two adjacency views disagree");
 
   // Column adjacency (consume; we rebuild H from the row lists and verify
   // the two views agree).
@@ -74,7 +104,13 @@ QCLdpcCode read_alist(std::istream& in) {
   for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
     for (long i = 0; i < col_deg[v]; ++i) {
       const long r = next();
-      LDPC_CHECK_MSG(r >= 1 && r <= m, "alist: row index " << r << " out of range");
+      if (r < 1 || r > m)
+        fail("row index " + std::to_string(r) + " of column " +
+             std::to_string(v) + " outside [1, M=" + std::to_string(m) + "]");
+      for (long seen : col_rows[v])
+        if (seen == r - 1)
+          fail("duplicate row index " + std::to_string(r) + " in column " +
+               std::to_string(v));
       col_rows[v].push_back(r - 1);
     }
     // Tolerate zero padding up to max_col (the "full" alist variant): zeros
@@ -94,8 +130,15 @@ QCLdpcCode read_alist(std::istream& in) {
   for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
     for (long i = 0; i < row_deg[r]; ++i) {
       const long c = next();
-      LDPC_CHECK_MSG(c >= 1 && c <= n, "alist: column index " << c << " out of range");
-      entries[r * static_cast<std::size_t>(n) + static_cast<std::size_t>(c - 1)] = 0;
+      if (c < 1 || c > n)
+        fail("column index " + std::to_string(c) + " of row " +
+             std::to_string(r) + " outside [1, N=" + std::to_string(n) + "]");
+      auto& cell =
+          entries[r * static_cast<std::size_t>(n) + static_cast<std::size_t>(c - 1)];
+      if (cell != BaseMatrix::kZero)
+        fail("duplicate column index " + std::to_string(c) + " in row " +
+             std::to_string(r));
+      cell = 0;
     }
     while (in.peek() != EOF) {
       const auto pos = in.tellg();
@@ -107,12 +150,13 @@ QCLdpcCode read_alist(std::istream& in) {
     }
   }
 
-  // Cross-validate the column lists against the row lists.
+  // Cross-validate the column lists against the row lists (same degree sums
+  // were already enforced, so one-sided containment implies equality).
   for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v)
     for (long r : col_rows[v])
-      LDPC_CHECK_MSG(entries[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + v] == 0,
-                     "alist: column list names H(" << r << "," << v
-                                                   << ") but row list does not");
+      if (entries[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + v] != 0)
+        fail("column list names H(" + std::to_string(r) + "," +
+             std::to_string(v) + ") but the row list does not");
 
   BaseMatrix base(static_cast<std::size_t>(m), static_cast<std::size_t>(n),
                   std::move(entries), /*design_z=*/1, "alist-import");

@@ -13,16 +13,41 @@
 #include <string>
 
 #include "codes/qc_code.hpp"
+#include "util/check.hpp"
 
 namespace ldpc {
+
+/// Recoverable parse failure for malformed alist input. Carries the 0-based
+/// index of the offending whitespace-separated token (or the token count at
+/// truncation) so tooling can point at the defect; what() embeds both.
+class AlistParseError : public Error {
+ public:
+  AlistParseError(const std::string& reason, long token_index)
+      : Error("alist parse error at token " + std::to_string(token_index) +
+              ": " + reason),
+        reason_(reason),
+        token_index_(token_index) {}
+
+  const std::string& reason() const { return reason_; }
+  long token_index() const { return token_index_; }
+
+ private:
+  std::string reason_;
+  long token_index_;
+};
 
 /// Serialize the expanded H of `code` in alist format.
 void write_alist(std::ostream& out, const QCLdpcCode& code);
 std::string to_alist(const QCLdpcCode& code);
 
-/// Parse an alist matrix into a z = 1 QCLdpcCode. Throws ldpc::Error on
-/// malformed input (inconsistent dimensions, out-of-range indices,
-/// mismatched adjacency lists).
+/// Parse an alist matrix into a z = 1 QCLdpcCode. Throws AlistParseError on
+/// malformed input — negative or inconsistent dimensions, degrees exceeding
+/// the declared maxima, out-of-range or duplicate indices, truncated
+/// streams, adjacency lists that disagree between the row and column views,
+/// and dimensions large enough to exhaust memory (the importer materializes
+/// a dense M x N base matrix). The stream may be left partially consumed on
+/// failure; the error is recoverable in the sense that the process state is
+/// untouched and the caller can report and continue.
 QCLdpcCode read_alist(std::istream& in);
 QCLdpcCode alist_from_string(const std::string& text);
 

@@ -16,11 +16,46 @@
 
 namespace ldpc {
 
+class FaultInjector;  // fault/fault_injector.hpp
+
+/// How a decode ended. `kConverged` is the only state in which the output
+/// is a codeword; every other state flags the frame as unreliable instead
+/// of silently emitting garbage (graceful degradation).
+enum class DecodeStatus {
+  kConverged,      ///< H * hard_bits == 0 at exit
+  kMaxIterations,  ///< iteration budget exhausted, parity still failing
+  kWatchdogAbort,  ///< watchdog detected a non-convergent/oscillating decode
+  kFaultDetected,  ///< parity recheck failed on a decode that saw injected
+                   ///< faults — the corruption was caught at the output
+};
+
+inline const char* to_string(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kConverged:     return "converged";
+    case DecodeStatus::kMaxIterations: return "max-iters";
+    case DecodeStatus::kWatchdogAbort: return "watchdog-abort";
+    case DecodeStatus::kFaultDetected: return "fault-detected";
+  }
+  return "?";
+}
+
 struct DecodeResult {
   BitVec hard_bits;            ///< n hard decisions (1 = bit value 1)
   std::size_t iterations = 0;  ///< full iterations actually executed
   bool converged = false;      ///< true iff H * hard_bits == 0 at exit
+  DecodeStatus status = DecodeStatus::kMaxIterations;
+  std::size_t faults_injected = 0;  ///< upsets landed during this decode
 };
+
+/// Output-side parity recheck: classify a finished decode. Every decoder
+/// funnels its exit through this so the status taxonomy stays consistent.
+inline DecodeStatus classify_exit(bool parity_ok, bool watchdog_fired,
+                                  std::size_t faults_injected) {
+  if (parity_ok) return DecodeStatus::kConverged;
+  if (watchdog_fired) return DecodeStatus::kWatchdogAbort;
+  return faults_injected > 0 ? DecodeStatus::kFaultDetected
+                             : DecodeStatus::kMaxIterations;
+}
 
 class Decoder {
  public:
@@ -42,11 +77,52 @@ struct IterationSnapshot {
   std::size_t syndrome_weight = 0;  ///< unsatisfied checks after this iter
   double mean_abs_llr = 0.0;        ///< mean |posterior| (LLR units)
   std::size_t flipped_bits = 0;     ///< hard decisions changed vs prev iter
+  long long saturation_clips = 0;   ///< cumulative clip events this decode
+                                    ///< (0 unless count_saturation is set)
 };
 
 /// Called after every completed iteration (before early termination exits).
 /// Observation only — must not mutate decoder state.
 using IterationObserver = std::function<void(const IterationSnapshot&)>;
+
+/// Iteration watchdog: aborts decodes whose syndrome weight has stopped
+/// improving (non-convergent or oscillating frames) instead of burning the
+/// full iteration budget and emitting garbage. Disabled by default —
+/// enabling it costs one syndrome evaluation per iteration.
+struct WatchdogOptions {
+  /// Abort after this many consecutive iterations without a new minimum
+  /// syndrome weight. 0 disables the watchdog.
+  std::size_t stall_window = 0;
+
+  bool enabled() const { return stall_window > 0; }
+};
+
+/// Tracks the watchdog's view of one decode. Value-type helper so every
+/// decoder runs the identical policy.
+class WatchdogState {
+ public:
+  explicit WatchdogState(const WatchdogOptions& options)
+      : window_(options.stall_window) {}
+
+  /// Feed this iteration's syndrome weight; returns true if the decode
+  /// should be aborted now.
+  bool should_abort(std::size_t syndrome_weight) {
+    if (window_ == 0) return false;
+    if (syndrome_weight < best_weight_) {
+      best_weight_ = syndrome_weight;
+      stalled_ = 0;
+      return false;
+    }
+    return ++stalled_ >= window_;
+  }
+
+  bool fired() const { return window_ != 0 && stalled_ >= window_; }
+
+ private:
+  std::size_t window_;
+  std::size_t best_weight_ = static_cast<std::size_t>(-1);
+  std::size_t stalled_ = 0;
+};
 
 /// Options shared by the iterative decoders.
 struct DecoderOptions {
@@ -54,6 +130,14 @@ struct DecoderOptions {
   bool early_termination = true;    ///< stop when all parity checks pass
   float scale = 0.75F;              ///< min-sum normalization factor
   IterationObserver observer;       ///< optional convergence probe
+  WatchdogOptions watchdog;         ///< non-convergence abort (off by default)
+  /// Count quantizer/datapath saturation events (first symptom of degraded
+  /// operation); surfaced via IterationSnapshot and decoder-specific stats.
+  bool count_saturation = false;
+  /// Optional fault injector (non-owning, off = nullptr = bit-identical to
+  /// the seed path). Honored by the fixed-point layered decoder and the
+  /// cycle-accurate architecture simulator; see src/fault/.
+  FaultInjector* fault_injector = nullptr;
 };
 
 }  // namespace ldpc

@@ -40,6 +40,10 @@ DecodeResult FloodingMinSumFixedDecoder::decode_quantized(
 
   DecodeResult result;
   result.hard_bits.resize(code_.n());
+  long long clips = 0;
+  kernel_.track_saturation(options_.count_saturation ? &clips : nullptr);
+  WatchdogState watchdog(options_.watchdog);
+  bool watchdog_fired = false;
 
   for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
     result.iterations = iter;
@@ -58,21 +62,38 @@ DecodeResult FloodingMinSumFixedDecoder::decode_quantized(
     }
 
     // Variable phase: saturating totals, extrinsic write-back (the VNU).
-    for (std::size_t v = 0; v < code_.n(); ++v) {
-      std::int64_t total = channel_codes[v];
-      for (std::uint32_t e : var_edges[v]) total += check_to_var_[e];
-      for (std::uint32_t e : var_edges[v])
-        var_to_check_[e] = sat_clamp(total - check_to_var_[e], w);
-      result.hard_bits.set(v, total < 0);
+    if (options_.count_saturation) {
+      for (std::size_t v = 0; v < code_.n(); ++v) {
+        std::int64_t total = channel_codes[v];
+        for (std::uint32_t e : var_edges[v]) total += check_to_var_[e];
+        for (std::uint32_t e : var_edges[v])
+          var_to_check_[e] = sat_clamp_counted(total - check_to_var_[e], w, clips);
+        result.hard_bits.set(v, total < 0);
+      }
+    } else {
+      for (std::size_t v = 0; v < code_.n(); ++v) {
+        std::int64_t total = channel_codes[v];
+        for (std::uint32_t e : var_edges[v]) total += check_to_var_[e];
+        for (std::uint32_t e : var_edges[v])
+          var_to_check_[e] = sat_clamp(total - check_to_var_[e], w);
+        result.hard_bits.set(v, total < 0);
+      }
     }
 
     if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
       result.converged = true;
-      return result;
+      break;
+    }
+    if (options_.watchdog.enabled() &&
+        watchdog.should_abort(code_.syndrome_weight(result.hard_bits))) {
+      watchdog_fired = true;
+      break;
     }
   }
 
-  result.converged = code_.parity_ok(result.hard_bits);
+  if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
+  saturation_clips_ = clips;
+  result.status = classify_exit(result.converged, watchdog_fired, 0);
   return result;
 }
 

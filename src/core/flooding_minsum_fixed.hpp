@@ -34,12 +34,17 @@ class FloodingMinSumFixedDecoder final : public Decoder {
   /// Quantized entry point (used by the architecture simulator and tests).
   DecodeResult decode_quantized(std::span<const std::int32_t> channel_codes);
 
+  /// CNU/VNU saturation events in the last decode (0 unless
+  /// DecoderOptions::count_saturation was set).
+  long long saturation_clips() const { return saturation_clips_; }
+
  private:
   const QCLdpcCode& code_;
   DecoderOptions options_;
   LayerRowKernel kernel_;  ///< reused for saturating ops + 0.75 scaling
   std::vector<std::int32_t> var_to_check_;  ///< Q messages, per edge
   std::vector<std::int32_t> check_to_var_;  ///< R messages, per edge
+  long long saturation_clips_ = 0;
 };
 
 }  // namespace ldpc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault_injector.hpp"
 #include "util/saturate.hpp"
 
 namespace ldpc {
@@ -43,6 +44,7 @@ void LayerRowKernel::CheckState::absorb(std::int32_t q, std::uint32_t pos) {
 }
 
 std::int32_t LayerRowKernel::compute_q(std::int32_t p, std::int32_t r) const {
+  if (clips_) return sat_sub_counted(p, r, format_.total_bits, *clips_);
   return sat_sub(p, r, format_.total_bits);
 }
 
@@ -70,10 +72,13 @@ std::int32_t LayerRowKernel::compute_r_new(const CheckState& st, std::int32_t q,
   const bool negative = st.sign_product ^ (q < 0);
   // Magnitudes fit the format by construction (|Q| <= max|code|, scaled down),
   // except |min code| itself, which saturates to the positive rail.
+  if (clips_)
+    return sat_clamp_counted(negative ? -mag : mag, format_.total_bits, *clips_);
   return sat_clamp(negative ? -mag : mag, format_.total_bits);
 }
 
 std::int32_t LayerRowKernel::compute_p_new(std::int32_t q, std::int32_t r_new) const {
+  if (clips_) return sat_add_counted(q, r_new, format_.total_bits, *clips_);
   return sat_add(q, r_new, format_.total_bits);
 }
 
@@ -111,9 +116,15 @@ LayeredMinSumFixedDecoder::LayeredMinSumFixedDecoder(const QCLdpcCode& code,
 
 DecodeResult LayeredMinSumFixedDecoder::decode(std::span<const float> llr) {
   LDPC_CHECK(llr.size() == code_.n());
+  saturation_.quantizer_clips = 0;
   std::vector<std::int32_t> codes(llr.size());
-  for (std::size_t v = 0; v < llr.size(); ++v)
-    codes[v] = format().quantize(llr[v]);
+  if (options_.count_saturation) {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      codes[v] = format().quantize(llr[v], saturation_.quantizer_clips);
+  } else {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      codes[v] = format().quantize(llr[v]);
+  }
   return decode_quantized(codes);
 }
 
@@ -121,9 +132,22 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
     std::span<const std::int32_t> channel_codes) {
   LDPC_CHECK(channel_codes.size() == code_.n());
   const auto z = static_cast<std::size_t>(code_.z());
+  const int w = kernel_.format().total_bits;
 
   std::copy(channel_codes.begin(), channel_codes.end(), posterior_.begin());
   std::fill(check_msg_.begin(), check_msg_.end(), 0);
+
+  saturation_.datapath_clips = 0;
+  kernel_.track_saturation(options_.count_saturation
+                               ? &saturation_.datapath_clips
+                               : nullptr);
+  FaultInjector* const injector =
+      (options_.fault_injector && options_.fault_injector->enabled())
+          ? options_.fault_injector
+          : nullptr;
+  const long long injections_before = injector ? injector->injections() : 0;
+  WatchdogState watchdog(options_.watchdog);
+  bool watchdog_fired = false;
 
   DecodeResult result;
   result.hard_bits.resize(code_.n());
@@ -145,8 +169,21 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
         for (std::size_t j = 0; j < deg; ++j) {
           const auto& blk = layer[j];
           const std::size_t var = blk.block_col * z + (row + blk.shift) % z;
-          q[j] = kernel_.compute_q(posterior_[var], check_msg_[blk.r_slot * z + row]);
+          std::int32_t p = posterior_[var];
+          std::int32_t r = check_msg_[blk.r_slot * z + row];
+          if (injector) {
+            p = injector->corrupt_value(FaultSite::kSramP, p, w);
+            r = injector->corrupt_value(FaultSite::kSramR, r, w);
+          }
+          q[j] = kernel_.compute_q(p, r);
           st.absorb(q[j], static_cast<std::uint32_t>(j));
+        }
+        // Upsets in the held core-1 state registers (row == hardware lane).
+        if (injector) {
+          st.min1 = injector->corrupt_magnitude(FaultSite::kCoreMin1, st.min1, w);
+          st.min2 = injector->corrupt_magnitude(FaultSite::kCoreMin2, st.min2, w);
+          st.sign_product =
+              injector->corrupt_flag(FaultSite::kCoreSign, st.sign_product);
         }
         // Stage 2 (core 2): R' and P' write-back.
         for (std::size_t j = 0; j < deg; ++j) {
@@ -171,16 +208,28 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
         sum += std::abs(static_cast<double>(kernel_.format().dequantize(p)));
       snap.mean_abs_llr = sum / static_cast<double>(code_.n());
       snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      snap.saturation_clips = saturation_.datapath_clips;
       previous_hard = result.hard_bits;
       options_.observer(snap);
     }
     if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
       result.converged = true;
-      return result;
+      break;
+    }
+    if (options_.watchdog.enabled() &&
+        watchdog.should_abort(code_.syndrome_weight(result.hard_bits))) {
+      watchdog_fired = true;
+      break;
     }
   }
 
-  result.converged = code_.parity_ok(result.hard_bits);
+  // Parity recheck on output: never report garbage as a codeword.
+  if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
+  if (injector)
+    result.faults_injected =
+        static_cast<std::size_t>(injector->injections() - injections_before);
+  result.status =
+      classify_exit(result.converged, watchdog_fired, result.faults_injected);
   return result;
 }
 

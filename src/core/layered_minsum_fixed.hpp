@@ -43,6 +43,11 @@ class LayerRowKernel {
 
   FixedFormat format() const { return format_; }
 
+  /// Route saturation events into `clips` (nullptr disables counting; the
+  /// arithmetic is identical either way). Non-owning — the counter must
+  /// outlive every kernel call.
+  void track_saturation(long long* clips) { clips_ = clips; }
+
   /// Stage-1 state for one check row (what core 1 accumulates).
   struct CheckState {
     std::int32_t min1 = 0;   ///< smallest |Q|
@@ -74,6 +79,7 @@ class LayerRowKernel {
   std::int32_t scale_num_;
   std::int32_t scale_den_;
   std::int32_t offset_code_ = -1;  ///< >= 0 selects offset correction
+  long long* clips_ = nullptr;     ///< optional saturation-event counter
 };
 
 class LayeredMinSumFixedDecoder final : public Decoder {
@@ -101,6 +107,14 @@ class LayeredMinSumFixedDecoder final : public Decoder {
   /// Final posteriors of the last decode (codes), for quantization studies.
   const std::vector<std::int32_t>& posteriors() const { return posterior_; }
 
+  /// Saturation accounting for the last decode (zeros unless
+  /// DecoderOptions::count_saturation was set).
+  struct SaturationStats {
+    long long quantizer_clips = 0;  ///< channel LLRs clipped at the rails
+    long long datapath_clips = 0;   ///< Q/R'/P' adder saturations
+  };
+  const SaturationStats& saturation() const { return saturation_; }
+
  private:
   const QCLdpcCode& code_;
   DecoderOptions options_;
@@ -108,6 +122,7 @@ class LayeredMinSumFixedDecoder final : public Decoder {
   std::string label_;
   std::vector<std::int32_t> posterior_;  ///< P memory
   std::vector<std::int32_t> check_msg_;  ///< R memory, r_slot * z + row
+  SaturationStats saturation_;
 };
 
 }  // namespace ldpc

@@ -85,11 +85,13 @@ DecodeResult LayeredMinSumFloatDecoder::decode(std::span<const float> llr) {
     }
     if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
       result.converged = true;
+      result.status = DecodeStatus::kConverged;
       return result;
     }
   }
 
   result.converged = code_.parity_ok(result.hard_bits);
+  result.status = classify_exit(result.converged, /*watchdog_fired=*/false, 0);
   return result;
 }
 

@@ -31,6 +31,15 @@ struct FixedFormat {
     return sat_clamp(rounded, total_bits);
   }
 
+  /// Counted quantize: same value, but `clips` is incremented when the LLR
+  /// saturated at the format's rails (overflow accounting for degraded-
+  /// operation monitoring).
+  std::int32_t quantize(float llr, long long& clips) const {
+    const float scaled = llr * static_cast<float>(1 << frac_bits);
+    const auto rounded = static_cast<std::int64_t>(std::lround(scaled));
+    return sat_clamp_counted(rounded, total_bits, clips);
+  }
+
   /// Reconstruct the real value of a code.
   float dequantize(std::int32_t code) const {
     return static_cast<float>(code) / static_cast<float>(1 << frac_bits);

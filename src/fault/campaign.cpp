@@ -1,0 +1,189 @@
+#include "fault/campaign.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "arch/arch_sim.hpp"
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "hls/pico.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+
+const char* campaign_target_name(CampaignTarget target) {
+  switch (target) {
+    case CampaignTarget::kLayeredFixed: return "layered-fixed";
+    case CampaignTarget::kArchSim:      return "arch-sim";
+  }
+  return "?";
+}
+
+FaultCampaignRunner::FaultCampaignRunner(const QCLdpcCode& code,
+                                         FaultCampaignConfig config)
+    : code_(code), config_(std::move(config)) {
+  LDPC_CHECK_MSG(!config_.fault_rates.empty(), "campaign needs fault rates");
+  LDPC_CHECK_MSG(!config_.ebn0_db.empty(), "campaign needs Eb/N0 points");
+  LDPC_CHECK(config_.frames_per_point > 0);
+  for (double r : config_.fault_rates)
+    LDPC_CHECK_MSG(r >= 0.0 && r <= 1.0, "fault rate " << r << " out of range");
+  validate(config_.format);
+}
+
+std::vector<FaultCampaignPoint> FaultCampaignRunner::run() {
+  std::vector<FaultCampaignPoint> points;
+  points.reserve(config_.fault_rates.size() * config_.ebn0_db.size());
+  for (std::size_t ri = 0; ri < config_.fault_rates.size(); ++ri)
+    for (std::size_t ei = 0; ei < config_.ebn0_db.size(); ++ei)
+      points.push_back(
+          run_point(config_.fault_rates[ri], ri, config_.ebn0_db[ei], ei));
+  return points;
+}
+
+FaultCampaignPoint FaultCampaignRunner::run_point(double fault_rate,
+                                                  std::size_t rate_index,
+                                                  float ebn0_db,
+                                                  std::size_t ebn0_index) {
+  FaultCampaignPoint point;
+  point.fault_rate = fault_rate;
+  point.ebn0_db = ebn0_db;
+
+  DecoderOptions options;
+  options.max_iterations = config_.max_iterations;
+  options.early_termination = true;
+  options.watchdog = config_.watchdog;
+  options.count_saturation = true;
+
+  // One injector per point. Its Bernoulli stream is reseeded per frame from
+  // (seed, rate, ebn0, frame) so any frame's fault pattern can be replayed
+  // in isolation.
+  FaultConfig fc;
+  fc.rate = fault_rate;
+  fc.kind = config_.kind;
+  fc.sites = config_.sites;
+  fc.seed = config_.seed;
+  FaultInjector injector(fc);
+  if (fault_rate > 0.0) options.fault_injector = &injector;
+
+  std::unique_ptr<LayeredMinSumFixedDecoder> layered;
+  std::unique_ptr<ArchSimDecoder> arch;
+  if (config_.target == CampaignTarget::kLayeredFixed) {
+    layered = std::make_unique<LayeredMinSumFixedDecoder>(code_, options,
+                                                          config_.format);
+  } else {
+    const PicoCompiler pico(config_.format);
+    const HardwareEstimate est = pico.compile(
+        code_, ArchKind::kTwoLayerPipelined,
+        HardwareTarget{400.0, code_.z()});
+    ArchSimConfig sim_cfg;
+    sim_cfg.hazard_aware_order = true;
+    arch = std::make_unique<ArchSimDecoder>(code_, est, options,
+                                            config_.format, sim_cfg);
+  }
+
+  const float variance = awgn_noise_variance(ebn0_db, code_.rate());
+  const RuEncoder encoder(code_);
+  BitVec info(code_.k());
+  std::vector<std::int32_t> channel_codes(code_.n());
+
+  for (std::size_t frame = 0; frame < config_.frames_per_point; ++frame) {
+    // Frame content depends on (seed, ebn0, frame) only — identical across
+    // fault rates for paired degradation comparison.
+    std::uint64_t sm = config_.seed + 0x9e3779b9ULL * (ebn0_index + 1) +
+                       0x100000001b3ULL * (frame + 1);
+    Xoshiro256 info_rng(splitmix64(sm));
+    AwgnChannel awgn(variance, splitmix64(sm));
+    for (std::size_t i = 0; i < info.size(); ++i) info.set(i, info_rng.coin());
+    const BitVec codeword = encoder.encode(info);
+    const auto symbols = BpskModem::modulate(codeword);
+    const auto received = awgn.transmit(symbols);
+    const auto llr = BpskModem::demodulate(received, variance);
+
+    long long quant_clips = 0;
+    for (std::size_t i = 0; i < llr.size(); ++i)
+      channel_codes[i] = config_.format.quantize(llr[i], quant_clips);
+
+    // The fault stream additionally depends on the rate index so sweeping
+    // rates never replays one upset pattern at a new rate by accident.
+    std::uint64_t fsm = config_.seed ^ (0xFA17ULL * (rate_index + 1));
+    splitmix64(fsm);
+    injector.reseed(splitmix64(fsm) + frame);
+
+    DecodeResult result;
+    long long sat_clips = quant_clips;
+    if (layered) {
+      result = layered->decode_quantized(channel_codes);
+      sat_clips += layered->saturation().quantizer_clips +
+                   layered->saturation().datapath_clips;
+    } else {
+      ArchDecodeResult arch_result = arch->decode_quantized(channel_codes);
+      sat_clips += arch_result.activity.sat_clips;
+      result = std::move(arch_result.decode);
+    }
+
+    std::size_t bit_errors = 0;
+    for (std::size_t i = 0; i < code_.k(); ++i)
+      if (result.hard_bits.get(i) != info.get(i)) ++bit_errors;
+
+    ++point.frames;
+    point.sum_iterations += static_cast<double>(result.iterations);
+    point.injections += static_cast<long long>(result.faults_injected);
+    point.sat_clips += sat_clips;
+    if (result.status == DecodeStatus::kWatchdogAbort) ++point.watchdog_aborts;
+    if (bit_errors > 0) {
+      point.bit_errors += bit_errors;
+      ++point.frame_errors;
+      if (result.converged) ++point.undetected_errors;
+      else ++point.detected_errors;
+    }
+  }
+  return point;
+}
+
+std::vector<std::string> FaultCampaignRunner::csv_header() {
+  return {"target",          "sites",          "kind",
+          "fault_rate",      "ebn0_db",        "frames",
+          "ber",             "fer",            "frame_errors",
+          "detected_errors", "undetected_errors", "detection_coverage",
+          "watchdog_aborts", "injections",     "sat_clips",
+          "avg_iterations"};
+}
+
+namespace {
+std::string fmt(const char* spec, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+}  // namespace
+
+std::vector<std::string> FaultCampaignRunner::csv_row(
+    const FaultCampaignPoint& point) const {
+  std::string sites;
+  for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+    if ((config_.sites & (1U << s)) == 0) continue;
+    if (!sites.empty()) sites += '+';
+    sites += fault_site_name(static_cast<FaultSite>(s));
+  }
+  return {campaign_target_name(config_.target),
+          sites,
+          fault_kind_name(config_.kind),
+          fmt("%.3g", point.fault_rate),
+          fmt("%.2f", point.ebn0_db),
+          std::to_string(point.frames),
+          fmt("%.6g", point.ber(code_.k())),
+          fmt("%.6g", point.fer()),
+          std::to_string(point.frame_errors),
+          std::to_string(point.detected_errors),
+          std::to_string(point.undetected_errors),
+          fmt("%.4f", point.detection_coverage()),
+          std::to_string(point.watchdog_aborts),
+          std::to_string(point.injections),
+          std::to_string(point.sat_clips),
+          fmt("%.3f", point.avg_iterations())};
+}
+
+}  // namespace ldpc

@@ -1,0 +1,103 @@
+// Fault-resilience campaign runner.
+//
+// Sweeps upset rate x Eb/N0 for a chosen decoder target and reports the
+// BER/FER degradation plus the graceful-degradation metrics: how many wrong
+// frames the decoder itself flagged (detection coverage), how many the
+// watchdog cut short, and how many upsets landed. Frame content (info bits,
+// noise) is derived from (seed, ebn0 index, frame) only — never from the
+// fault rate — so every rate decodes the *same* noisy frames and the
+// degradation columns are a paired comparison, not two independent
+// Monte-Carlo estimates.
+//
+// The runner is single-threaded by design: campaign CSVs are committed as
+// golden artifacts and must be byte-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/quant.hpp"
+#include "fault/fault_injector.hpp"
+#include "core/decoder.hpp"
+
+namespace ldpc {
+
+/// Which implementation the upsets are injected into.
+enum class CampaignTarget {
+  kLayeredFixed,  ///< algorithmic layered min-sum (fast; datapath+SRAM-word sites)
+  kArchSim,       ///< cycle-accurate two-layer pipeline (adds scoreboard site)
+};
+
+const char* campaign_target_name(CampaignTarget target);
+
+struct FaultCampaignConfig {
+  std::vector<double> fault_rates;  ///< per-bit per-access upset probabilities
+  std::vector<float> ebn0_db;       ///< channel operating points
+  std::size_t frames_per_point = 200;
+  std::size_t max_iterations = 10;
+  std::uint64_t seed = 2009;
+  FaultKind kind = FaultKind::kTransientFlip;
+  std::uint32_t sites = kAllFaultSites;
+  FixedFormat format{8, 2};
+  CampaignTarget target = CampaignTarget::kLayeredFixed;
+  /// Watchdog stall window (0 disables); 3 is a sensible default against
+  /// oscillating corrupted decodes at max_iterations = 10.
+  WatchdogOptions watchdog{3};
+};
+
+struct FaultCampaignPoint {
+  double fault_rate = 0.0;
+  float ebn0_db = 0.0F;
+  std::size_t frames = 0;
+  std::size_t bit_errors = 0;        ///< over information bits
+  std::size_t frame_errors = 0;      ///< frames with any info-bit error
+  std::size_t detected_errors = 0;   ///< wrong and status != converged
+  std::size_t undetected_errors = 0; ///< wrong yet reported converged
+  std::size_t watchdog_aborts = 0;
+  long long injections = 0;          ///< upsets landed
+  long long sat_clips = 0;           ///< saturation events (quantizer+datapath)
+  double sum_iterations = 0.0;
+
+  double ber(std::size_t k) const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(bit_errors) /
+                             (static_cast<double>(frames) * static_cast<double>(k));
+  }
+  double fer() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(frame_errors) /
+                             static_cast<double>(frames);
+  }
+  double detection_coverage() const {
+    return frame_errors == 0 ? 1.0
+                             : static_cast<double>(detected_errors) /
+                                   static_cast<double>(frame_errors);
+  }
+  double avg_iterations() const {
+    return frames == 0 ? 0.0 : sum_iterations / static_cast<double>(frames);
+  }
+};
+
+class FaultCampaignRunner {
+ public:
+  /// `code` must outlive the runner.
+  FaultCampaignRunner(const QCLdpcCode& code, FaultCampaignConfig config);
+
+  /// One point per (fault_rate, ebn0) pair, fault rates outer, in order.
+  std::vector<FaultCampaignPoint> run();
+
+  /// CSV header matching write_csv_row's columns.
+  static std::vector<std::string> csv_header();
+  std::vector<std::string> csv_row(const FaultCampaignPoint& point) const;
+
+ private:
+  FaultCampaignPoint run_point(double fault_rate, std::size_t rate_index,
+                               float ebn0_db, std::size_t ebn0_index);
+
+  const QCLdpcCode& code_;
+  FaultCampaignConfig config_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,264 @@
+// Deterministic fault injection for the decoder pipeline.
+//
+// Real deployments of the paper's silicon (TSMC 65 nm, 82,944 SRAM bits,
+// Table II) must survive SRAM soft errors and datapath upsets. This header
+// models them: a seeded Bernoulli stream of bit upsets applied at named
+// sites of the architecture — P/R SRAM words on read, the min1/min2/sign
+// state arrays of the two-stage cores (Fig. 5/7), and the §IV-B scoreboard
+// pending bits. The injector is off by default and costs a single pointer
+// compare on the hot paths when disabled; all randomness is xoshiro256++
+// seeded, so campaigns are bit-reproducible.
+//
+// The Bernoulli stream uses geometric skip sampling: instead of drawing one
+// uniform per examined bit, the injector draws the gap to the next upset
+// (~Geometric(rate)), so sweeping realistic upset rates (1e-7..1e-2 per bit
+// per access) costs O(upsets), not O(bits examined). The draw sequence
+// depends only on the number of bits examined, never on how the bits are
+// grouped into calls, which keeps campaigns deterministic across refactors
+// of the call sites.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+
+/// Where a fault lands in the paper's datapath (see docs/fault_injection.md
+/// for the mapping onto Fig. 4/6 and the Table II SRAM macros).
+enum class FaultSite : unsigned {
+  kSramP = 0,        ///< P memory word on read (24 x z*w bit macro)
+  kSramR,            ///< R memory word on read (84 x z*w bit macro)
+  kCoreMin1,         ///< core-1 min1_array registers (z x (w) bits)
+  kCoreMin2,         ///< core-1 min2_array registers
+  kCoreSign,         ///< core-1 sign_array registers (z x 1 bit)
+  kScoreboard,       ///< §IV-B scoreboard pending bits (RAW hazard bits)
+  kCount
+};
+
+constexpr std::size_t kNumFaultSites = static_cast<std::size_t>(FaultSite::kCount);
+
+constexpr std::uint32_t fault_site_bit(FaultSite s) {
+  return 1U << static_cast<unsigned>(s);
+}
+
+constexpr std::uint32_t kAllFaultSites = (1U << kNumFaultSites) - 1;
+constexpr std::uint32_t kSramFaultSites =
+    fault_site_bit(FaultSite::kSramP) | fault_site_bit(FaultSite::kSramR);
+constexpr std::uint32_t kDatapathFaultSites =
+    fault_site_bit(FaultSite::kCoreMin1) | fault_site_bit(FaultSite::kCoreMin2) |
+    fault_site_bit(FaultSite::kCoreSign);
+constexpr std::uint32_t kScoreboardFaultSites =
+    fault_site_bit(FaultSite::kScoreboard);
+
+inline const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kSramP:      return "sram-p";
+    case FaultSite::kSramR:      return "sram-r";
+    case FaultSite::kCoreMin1:   return "core-min1";
+    case FaultSite::kCoreMin2:   return "core-min2";
+    case FaultSite::kCoreSign:   return "core-sign";
+    case FaultSite::kScoreboard: return "scoreboard";
+    case FaultSite::kCount:      break;
+  }
+  return "?";
+}
+
+/// What an upset does to the bit it hits. Transient flips model SEUs;
+/// stuck-at faults model weak cells re-sampled per access (the value read
+/// is forced, the stored value is untouched — a read-disturb model).
+enum class FaultKind { kTransientFlip, kStuckAtZero, kStuckAtOne };
+
+inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kTransientFlip: return "flip";
+    case FaultKind::kStuckAtZero:   return "stuck0";
+    case FaultKind::kStuckAtOne:    return "stuck1";
+  }
+  return "?";
+}
+
+struct FaultConfig {
+  double rate = 0.0;   ///< per-bit, per-access upset probability
+  FaultKind kind = FaultKind::kTransientFlip;
+  std::uint32_t sites = kAllFaultSites;  ///< OR of fault_site_bit()
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct FaultSiteStats {
+  long long bits_examined = 0;  ///< Bernoulli trials at this site
+  long long injections = 0;     ///< upsets that actually changed a bit
+};
+
+class FaultInjector {
+ public:
+  /// Default-constructed injector is disabled (rate 0): hooks may be wired
+  /// unconditionally and decode bit-identically to the un-hooked path.
+  FaultInjector() { recompute_(); }
+
+  explicit FaultInjector(FaultConfig config) : config_(config) {
+    LDPC_CHECK_MSG(config_.rate >= 0.0 && config_.rate <= 1.0,
+                   "fault rate must be a probability, got " << config_.rate);
+    rng_.reseed(config_.seed);
+    recompute_();
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Master switch on top of the configured rate (campaign runners disarm
+  /// the injector while generating clean reference decodes).
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    recompute_();
+  }
+  bool enabled() const { return active_; }
+
+  /// True iff upsets can land at `site` — the hot-path gate every hook
+  /// checks before touching the injector (one load + mask when disabled).
+  bool armed(FaultSite site) const {
+    return active_ && (config_.sites & fault_site_bit(site)) != 0;
+  }
+
+  /// Restart the Bernoulli stream (per-frame or per-point reseeding).
+  void reseed(std::uint64_t seed) {
+    rng_.reseed(seed);
+    skip_ = -1;
+  }
+
+  void reset_stats() { stats_.fill(FaultSiteStats{}); }
+
+  const FaultSiteStats& stats(FaultSite site) const {
+    return stats_[static_cast<std::size_t>(site)];
+  }
+
+  /// Total upsets injected across all sites since the last reset_stats().
+  long long injections() const {
+    long long total = 0;
+    for (const auto& s : stats_) total += s.injections;
+    return total;
+  }
+
+  /// Corrupt a `bits`-wide two's-complement value (SRAM message words).
+  /// Result is sign-extended back into the format's range.
+  std::int32_t corrupt_value(FaultSite site, std::int32_t value, int bits) {
+    if (!armed(site)) return value;
+    return corrupt_bits_(site, value, bits, /*sign_extend=*/true);
+  }
+
+  /// Corrupt a `bits`-wide unsigned magnitude (min1/min2 register files).
+  std::int32_t corrupt_magnitude(FaultSite site, std::int32_t value, int bits) {
+    if (!armed(site)) return value;
+    return corrupt_bits_(site, value, bits, /*sign_extend=*/false);
+  }
+
+  /// Corrupt a single control bit (sign registers, scoreboard pending bits).
+  bool corrupt_flag(FaultSite site, bool value) {
+    if (!armed(site)) return value;
+    auto& st = stats_[static_cast<std::size_t>(site)];
+    ++st.bits_examined;
+    if (!take_trial_(1)) return value;
+    const bool upset = apply_kind_(value);
+    if (upset != value) ++st.injections;
+    return upset;
+  }
+
+  /// Corrupt every lane of an SRAM word in place; returns bits changed.
+  int corrupt_word(FaultSite site, std::vector<std::int32_t>& word, int bits) {
+    if (!armed(site)) return 0;
+    int changed = 0;
+    for (auto& lane : word) {
+      const std::int32_t before = lane;
+      lane = corrupt_bits_(site, lane, bits, /*sign_extend=*/true);
+      if (lane != before) ++changed;
+    }
+    return changed;
+  }
+
+ private:
+  void recompute_() {
+    active_ = enabled_ && config_.rate > 0.0;
+    skip_ = -1;  // force a fresh geometric draw at the new rate
+  }
+
+  /// Consume `trials` Bernoulli trials; true iff one of them is an upset
+  /// (at realistic rates at most one lands inside a <=16-bit window, so the
+  /// callers treat the window as carrying a single upset).
+  bool take_trial_(int trials) {
+    if (skip_ < 0) draw_skip_();
+    if (skip_ >= trials) {
+      skip_ -= trials;
+      return false;
+    }
+    draw_skip_();  // gap from the upset to the next one
+    return true;
+  }
+
+  void draw_skip_() {
+    if (config_.rate >= 1.0) {
+      skip_ = 0;
+      return;
+    }
+    // Geometric(p) via inversion: floor(ln U / ln(1-p)), U in (0,1).
+    const double u = 1.0 - rng_.uniform();  // (0, 1]
+    const double g = std::log(u) / std::log1p(-config_.rate);
+    skip_ = g > 1e18 ? static_cast<long long>(1e18) : static_cast<long long>(g);
+  }
+
+  bool apply_kind_(bool bit) const {
+    switch (config_.kind) {
+      case FaultKind::kTransientFlip: return !bit;
+      case FaultKind::kStuckAtZero:   return false;
+      case FaultKind::kStuckAtOne:    return true;
+    }
+    return bit;
+  }
+
+  std::int32_t corrupt_bits_(FaultSite site, std::int32_t value, int bits,
+                             bool sign_extend) {
+    auto& st = stats_[static_cast<std::size_t>(site)];
+    st.bits_examined += bits;
+    std::uint32_t u =
+        static_cast<std::uint32_t>(value) & ((bits >= 32) ? ~0U : ((1U << bits) - 1U));
+    bool touched = false;
+    int offset = 0;
+    int remaining = bits;
+    while (remaining > 0) {
+      if (skip_ < 0) draw_skip_();
+      if (skip_ >= remaining) {
+        skip_ -= remaining;
+        break;
+      }
+      const int pos = offset + static_cast<int>(skip_);
+      remaining -= static_cast<int>(skip_) + 1;
+      offset = pos + 1;
+      draw_skip_();
+      const bool old_bit = ((u >> pos) & 1U) != 0;
+      const bool new_bit = apply_kind_(old_bit);
+      if (new_bit != old_bit) {
+        u ^= (1U << pos);
+        touched = true;
+        ++st.injections;
+      }
+    }
+    if (!touched) return value;
+    if (sign_extend && bits < 32) {
+      const int shift = 32 - bits;
+      return static_cast<std::int32_t>(u << shift) >> shift;
+    }
+    return static_cast<std::int32_t>(u);
+  }
+
+  FaultConfig config_{};
+  Xoshiro256 rng_{0x5eedULL};
+  bool enabled_ = true;
+  bool active_ = false;          ///< enabled_ && rate > 0, cached
+  long long skip_ = -1;          ///< Bernoulli trials until the next upset
+  std::array<FaultSiteStats, kNumFaultSites> stats_{};
+};
+
+}  // namespace ldpc

@@ -34,6 +34,29 @@ constexpr std::int32_t sat_sub(std::int32_t a, std::int32_t b, int bits) {
   return sat_clamp(static_cast<std::int64_t>(a) - b, bits);
 }
 
+// Counted variants: identical arithmetic, but clipping events increment the
+// caller's counter. Saturation is the first symptom of a decoder operating
+// outside its designed dynamic range (too-hot channel LLRs, injected faults,
+// too-narrow quantization), so the decoders surface these through their
+// stats machinery when DecoderOptions::count_saturation is set.
+
+constexpr std::int32_t sat_clamp_counted(std::int64_t v, int bits,
+                                         long long& clips) {
+  const std::int32_t r = sat_clamp(v, bits);
+  if (r != v) ++clips;
+  return r;
+}
+
+constexpr std::int32_t sat_add_counted(std::int32_t a, std::int32_t b, int bits,
+                                       long long& clips) {
+  return sat_clamp_counted(static_cast<std::int64_t>(a) + b, bits, clips);
+}
+
+constexpr std::int32_t sat_sub_counted(std::int32_t a, std::int32_t b, int bits,
+                                       long long& clips) {
+  return sat_clamp_counted(static_cast<std::int64_t>(a) - b, bits, clips);
+}
+
 /// The paper's 0.75 scaling, computed exactly the way a shift-add datapath
 /// does it: (|v| >> 1) + (|v| >> 2), truncating, sign re-applied. Using the
 /// magnitude keeps the operation symmetric around zero, matching the

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <set>
 
+#include "codes/alist.hpp"
 #include "codes/base_matrix.hpp"
 #include "codes/qc_code.hpp"
 #include "codes/random_qc.hpp"
@@ -370,6 +371,112 @@ TEST(RandomQc, EveryInfoColumnConnected) {
   const auto code = make_random_qc_code(cfg);
   for (std::size_t c = 0; c < code.base().cols(); ++c)
     EXPECT_GE(code.base().col_degree(c), 1u);
+}
+
+// ------------------------------------------------- malformed alist input ----
+//
+// read_alist must reject malformed matrices with a recoverable
+// AlistParseError instead of crashing, allocating unbounded memory, or
+// importing a silently wrong code. The baseline text is a valid 2 x 4
+// matrix (rows {1,2} and {3,4}); each test breaks one property.
+
+namespace {
+// N M / max degrees / col degrees / row degrees / col lists / row lists.
+const char* kValidAlist =
+    "4 2\n1 2\n1 1 1 1\n2 2\n1\n1\n2\n2\n1 2\n3 4\n";
+}  // namespace
+
+TEST(AlistErrors, BaselineTextIsValid) {
+  const auto code = alist_from_string(kValidAlist);
+  EXPECT_EQ(code.n(), 4u);
+  EXPECT_EQ(code.m(), 2u);
+}
+
+TEST(AlistErrors, NegativeDimensions) {
+  try {
+    alist_from_string("-4 2\n1 2\n");
+    FAIL() << "expected AlistParseError";
+  } catch (const AlistParseError& e) {
+    EXPECT_EQ(e.token_index(), 2);  // detected after reading N and M
+    EXPECT_NE(e.reason().find("N > M > 0"), std::string::npos);
+  }
+}
+
+TEST(AlistErrors, RowCountNotBelowColumnCount) {
+  EXPECT_THROW(alist_from_string("4 8\n2 2\n"), AlistParseError);
+  EXPECT_THROW(alist_from_string("4 4\n2 2\n"), AlistParseError);
+}
+
+TEST(AlistErrors, HugeDimensionsRejectedBeforeAllocation) {
+  // 200000 x 100000 would be a 20-billion-entry dense matrix; the reader
+  // must refuse from the header alone.
+  EXPECT_THROW(alist_from_string("200000 100000\n3 6\n"), AlistParseError);
+}
+
+TEST(AlistErrors, DegreeExceedsDeclaredMaximum) {
+  EXPECT_THROW(alist_from_string("4 2\n1 2\n1 3 1 1\n2 2\n"), AlistParseError);
+  EXPECT_THROW(alist_from_string("4 2\n1 2\n1 1 1 1\n2 9\n"), AlistParseError);
+}
+
+TEST(AlistErrors, MismatchedDegreeSums) {
+  // Column degrees sum to 4 but row degrees to 3: the two adjacency views
+  // cannot describe the same matrix.
+  EXPECT_THROW(alist_from_string("4 2\n1 2\n1 1 1 1\n2 1\n"), AlistParseError);
+}
+
+TEST(AlistErrors, OutOfRangeRowIndex) {
+  // Column 0 claims membership in row 5 of a 2-row matrix.
+  EXPECT_THROW(
+      alist_from_string("4 2\n1 2\n1 1 1 1\n2 2\n5\n1\n2\n2\n1 2\n3 4\n"),
+      AlistParseError);
+}
+
+TEST(AlistErrors, OutOfRangeColumnIndex) {
+  EXPECT_THROW(
+      alist_from_string("4 2\n1 2\n1 1 1 1\n2 2\n1\n1\n2\n2\n1 9\n3 4\n"),
+      AlistParseError);
+}
+
+TEST(AlistErrors, DuplicateColumnIndexInRow) {
+  EXPECT_THROW(
+      alist_from_string("4 2\n1 2\n1 1 1 1\n2 2\n1\n1\n2\n2\n1 1\n3 4\n"),
+      AlistParseError);
+}
+
+TEST(AlistErrors, MismatchedAdjacencyViews) {
+  // Degree sums agree but column 0 names row 2 while the row lists place
+  // the entry elsewhere.
+  EXPECT_THROW(
+      alist_from_string("4 2\n1 2\n1 1 1 1\n2 2\n2\n1\n2\n2\n1 2\n3 4\n"),
+      AlistParseError);
+}
+
+TEST(AlistErrors, TruncatedStream) {
+  const std::string full = kValidAlist;
+  // Every proper prefix that ends mid-stream must fail cleanly. Check a few
+  // cut points: after the header, mid-degrees, mid-lists.
+  for (const std::size_t cut :
+       {std::size_t{3}, std::size_t{9}, std::size_t{16}, std::size_t{24},
+        full.size() - 3}) {
+    try {
+      alist_from_string(full.substr(0, cut));
+      FAIL() << "expected AlistParseError at cut " << cut;
+    } catch (const AlistParseError& e) {
+      EXPECT_NE(e.reason().find("end of input"), std::string::npos)
+          << "cut " << cut;
+    }
+  }
+}
+
+TEST(AlistErrors, NonIntegerToken) {
+  EXPECT_THROW(alist_from_string("four 2\n1 2\n"), AlistParseError);
+}
+
+TEST(AlistErrors, IsRecoverable) {
+  // A failed parse must not poison subsequent parses (no global state).
+  EXPECT_THROW(alist_from_string("4 2\n1 2\n1 3 1 1\n2 2\n"), AlistParseError);
+  const auto code = alist_from_string(kValidAlist);
+  EXPECT_EQ(code.n(), 4u);
 }
 
 TEST(RandomQc, RejectsImpossibleConfigs) {

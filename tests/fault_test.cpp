@@ -1,0 +1,432 @@
+// Fault-injection & graceful-degradation subsystem tests.
+//
+// Three layers of guarantees:
+//   1. FaultInjector unit behaviour — determinism, site gating, stuck-at
+//      semantics, geometric-stream call-grouping invariance.
+//   2. Golden transparency — an injector that is constructed but disabled
+//      (and saturation counting, and the wired hooks generally) leaves the
+//      decoders bit-identical to the seed path, pinned against the same
+//      constants as golden_test.cpp.
+//   3. Degradation behaviour — upsets corrupt decodes, the output parity
+//      recheck / watchdog flag them (DecodeStatus), the scoreboard fault
+//      reproduces the §IV-B RAW hazard, and campaigns are reproducible.
+#include <gtest/gtest.h>
+
+#include "arch/arch_sim.hpp"
+#include "arch/scoreboard.hpp"
+#include "arch/sram.hpp"
+#include "bench/bench_common.hpp"
+#include "codes/wimax.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace ldpc {
+namespace {
+
+// ------------------------------------------------------- injector unit ----
+
+TEST(FaultInjector, DefaultConstructedIsDisabled) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  for (std::size_t s = 0; s < kNumFaultSites; ++s)
+    EXPECT_FALSE(inj.armed(static_cast<FaultSite>(s)));
+  EXPECT_EQ(inj.corrupt_value(FaultSite::kSramP, 17, 8), 17);
+  EXPECT_EQ(inj.corrupt_flag(FaultSite::kScoreboard, true), true);
+  EXPECT_EQ(inj.injections(), 0);
+  EXPECT_EQ(inj.stats(FaultSite::kSramP).bits_examined, 0);
+}
+
+TEST(FaultInjector, ZeroRateIsDisabled) {
+  FaultConfig cfg;
+  cfg.rate = 0.0;
+  FaultInjector inj(cfg);
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_EQ(inj.corrupt_value(FaultSite::kSramP, -3, 8), -3);
+}
+
+TEST(FaultInjector, RejectsNonProbabilityRate) {
+  FaultConfig cfg;
+  cfg.rate = 1.5;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg.rate = -0.1;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+}
+
+TEST(FaultInjector, DeterministicForSeed) {
+  FaultConfig cfg;
+  cfg.rate = 0.05;
+  cfg.seed = 123;
+  FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.corrupt_value(FaultSite::kSramP, i, 8),
+              b.corrupt_value(FaultSite::kSramP, i, 8));
+  EXPECT_EQ(a.injections(), b.injections());
+  EXPECT_GT(a.injections(), 0);  // 0.05 * 1600 bits ≈ 80 expected upsets
+}
+
+TEST(FaultInjector, ReseedRestartsTheStream) {
+  FaultConfig cfg;
+  cfg.rate = 0.05;
+  cfg.seed = 99;
+  FaultInjector a(cfg);
+  std::vector<std::int32_t> first;
+  for (int i = 0; i < 64; ++i)
+    first.push_back(a.corrupt_value(FaultSite::kSramR, 0, 8));
+  a.reseed(99);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(a.corrupt_value(FaultSite::kSramR, 0, 8), first[i]);
+}
+
+TEST(FaultInjector, RateOneFlipsEveryBit) {
+  FaultConfig cfg;
+  cfg.rate = 1.0;
+  FaultInjector inj(cfg);
+  // Magnitude: every bit of the 4-bit field flips.
+  EXPECT_EQ(inj.corrupt_magnitude(FaultSite::kCoreMin1, 0b0101, 4), 0b1010);
+  // Signed: flipping all 8 bits of 0 gives -1 after sign extension.
+  EXPECT_EQ(inj.corrupt_value(FaultSite::kSramP, 0, 8), -1);
+  EXPECT_FALSE(inj.corrupt_flag(FaultSite::kScoreboard, true));
+  EXPECT_TRUE(inj.corrupt_flag(FaultSite::kScoreboard, false));
+}
+
+TEST(FaultInjector, StuckAtSemantics) {
+  FaultConfig cfg;
+  cfg.rate = 1.0;
+  cfg.kind = FaultKind::kStuckAtOne;
+  FaultInjector one(cfg);
+  EXPECT_EQ(one.corrupt_magnitude(FaultSite::kCoreMin2, 0, 4), 0b1111);
+  EXPECT_TRUE(one.corrupt_flag(FaultSite::kCoreSign, false));
+
+  cfg.kind = FaultKind::kStuckAtZero;
+  FaultInjector zero(cfg);
+  EXPECT_EQ(zero.corrupt_magnitude(FaultSite::kCoreMin2, 0b1111, 4), 0);
+  EXPECT_FALSE(zero.corrupt_flag(FaultSite::kCoreSign, true));
+  // Stuck-at-zero on an already-zero bit is not an injection.
+  EXPECT_EQ(zero.corrupt_magnitude(FaultSite::kCoreMin1, 0, 4), 0);
+  EXPECT_EQ(zero.stats(FaultSite::kCoreMin1).injections, 0);
+}
+
+TEST(FaultInjector, SiteMaskGatesInjection) {
+  FaultConfig cfg;
+  cfg.rate = 1.0;
+  cfg.sites = fault_site_bit(FaultSite::kSramP);
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.armed(FaultSite::kSramP));
+  EXPECT_FALSE(inj.armed(FaultSite::kCoreMin1));
+  EXPECT_EQ(inj.corrupt_magnitude(FaultSite::kCoreMin1, 7, 4), 7);
+  EXPECT_EQ(inj.stats(FaultSite::kCoreMin1).bits_examined, 0);
+  EXPECT_NE(inj.corrupt_value(FaultSite::kSramP, 7, 8), 7);
+}
+
+TEST(FaultInjector, StreamIndependentOfCallGrouping) {
+  // The geometric skip stream advances per bit examined, so corrupting two
+  // 8-bit halves must upset the same bit positions as one 16-bit word.
+  FaultConfig cfg;
+  cfg.rate = 0.07;
+  cfg.seed = 7;
+  FaultInjector split(cfg), whole(cfg);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(
+        split.corrupt_magnitude(FaultSite::kSramP, 0, 8));
+    const std::uint32_t hi = static_cast<std::uint32_t>(
+        split.corrupt_magnitude(FaultSite::kSramP, 0, 8));
+    const std::uint32_t wide = static_cast<std::uint32_t>(
+        whole.corrupt_magnitude(FaultSite::kSramP, 0, 16));
+    EXPECT_EQ(lo | (hi << 8), wide) << "trial " << trial;
+  }
+}
+
+TEST(FaultInjector, DisableSuppressesInjection) {
+  FaultConfig cfg;
+  cfg.rate = 1.0;
+  FaultInjector inj(cfg);
+  inj.set_enabled(false);
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_EQ(inj.corrupt_value(FaultSite::kSramP, 21, 8), 21);
+  inj.set_enabled(true);
+  EXPECT_NE(inj.corrupt_value(FaultSite::kSramP, 21, 8), 21);
+}
+
+// ----------------------------------------------------- component hooks ----
+
+TEST(FaultHooks, SramReadCorruptionLeavesStorageClean) {
+  SramModel mem("p", 4, 8);
+  mem.write(2, std::vector<std::int32_t>(8, 5));
+  FaultConfig cfg;
+  cfg.rate = 1.0;
+  cfg.kind = FaultKind::kStuckAtZero;
+  FaultInjector inj(cfg);
+  mem.attach_fault_injector(&inj, FaultSite::kSramP, 8);
+  const auto& corrupted = mem.read(2);
+  for (const auto lane : corrupted) EXPECT_EQ(lane, 0);
+  // Stored cells are untouched (read-disturb model)...
+  for (const auto lane : mem.peek(2)) EXPECT_EQ(lane, 5);
+  // ...and detaching restores clean reads.
+  mem.attach_fault_injector(nullptr, FaultSite::kSramP, 8);
+  for (const auto lane : mem.read(2)) EXPECT_EQ(lane, 5);
+}
+
+TEST(FaultHooks, ScoreboardObservedPending) {
+  Scoreboard sb(4);
+  sb.set(1);
+  EXPECT_TRUE(sb.observed_pending(1, nullptr));
+  FaultConfig cfg;
+  cfg.rate = 1.0;
+  cfg.kind = FaultKind::kStuckAtZero;
+  cfg.sites = kScoreboardFaultSites;
+  FaultInjector inj(cfg);
+  // Upset drops the set bit (RAW hazard) but the stored bit survives.
+  EXPECT_FALSE(sb.observed_pending(1, &inj));
+  EXPECT_TRUE(sb.is_pending(1));
+  // A clear bit reads clear under stuck-at-zero, no injection counted.
+  const long long before = inj.injections();
+  EXPECT_FALSE(sb.observed_pending(0, &inj));
+  EXPECT_EQ(inj.stats(FaultSite::kScoreboard).injections, before);
+}
+
+// ------------------------------------------------- golden transparency ----
+
+TEST(FaultGolden, DisabledInjectorBitIdenticalLayered) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const auto frame = bench::quantized_frame(code, fmt, 2.0F, 42);
+
+  DecoderOptions plain;
+  plain.max_iterations = 10;
+  LayeredMinSumFixedDecoder ref(code, plain, fmt);
+  const auto ref_result = ref.decode_quantized(frame);
+
+  FaultConfig cfg;
+  cfg.rate = 1e-3;  // would corrupt heavily if it were armed
+  FaultInjector inj(cfg);
+  inj.set_enabled(false);
+  DecoderOptions hooked = plain;
+  hooked.fault_injector = &inj;
+  hooked.count_saturation = true;
+  LayeredMinSumFixedDecoder dec(code, hooked, fmt);
+  const auto result = dec.decode_quantized(frame);
+
+  // Same golden trajectory as golden_test.cpp pins for the seed path.
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.status, DecodeStatus::kConverged);
+  EXPECT_EQ(result.iterations, 7u);
+  EXPECT_EQ(result.faults_injected, 0u);
+  EXPECT_EQ(inj.injections(), 0);
+  ASSERT_EQ(result.hard_bits.size(), ref_result.hard_bits.size());
+  for (std::size_t i = 0; i < result.hard_bits.size(); ++i)
+    ASSERT_EQ(result.hard_bits.get(i), ref_result.hard_bits.get(i)) << i;
+}
+
+TEST(FaultGolden, DisabledInjectorBitIdenticalArchSim) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, ArchKind::kTwoLayerPipelined,
+                                HardwareTarget{400.0, 96});
+  FaultConfig cfg;
+  cfg.rate = 1e-3;
+  FaultInjector inj(cfg);
+  inj.set_enabled(false);
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = false;
+  opt.fault_injector = &inj;
+  opt.count_saturation = true;
+
+  ArchSimDecoder naive(code, est, opt, fmt, ArchSimConfig{false});
+  const auto frame = bench::quantized_frame(code, fmt, 2.0F, 42);
+  const auto res = naive.decode_quantized(frame);
+  // The golden cycle counts of the un-hooked simulator (golden_test.cpp).
+  EXPECT_EQ(res.activity.cycles, 1345);
+  EXPECT_EQ(res.activity.faults_injected, 0);
+
+  ArchSimDecoder reordered(code, est, opt, fmt, ArchSimConfig{true});
+  EXPECT_EQ(reordered.decode_quantized(frame).activity.cycles, 1016);
+}
+
+// --------------------------------------------------------- degradation ----
+
+TEST(FaultDegradation, InjectionCorruptsAndIsDetected) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const auto frame = bench::quantized_frame(code, fmt, 2.0F, 42);
+
+  FaultConfig cfg;
+  cfg.rate = 5e-3;
+  cfg.seed = 11;
+  FaultInjector inj(cfg);
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.fault_injector = &inj;
+  LayeredMinSumFixedDecoder dec(code, opt, fmt);
+  const auto result = dec.decode_quantized(frame);
+
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_GT(inj.stats(FaultSite::kSramP).bits_examined, 0);
+  EXPECT_GT(inj.stats(FaultSite::kCoreMin1).bits_examined, 0);
+  // At this upset rate the frame cannot converge; the parity recheck flags
+  // the corruption instead of reporting a clean decode.
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.status, DecodeStatus::kFaultDetected);
+}
+
+TEST(FaultDegradation, WatchdogAbortsNonConvergentDecode) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  // 0 dB is far below the waterfall: the decode stalls instead of
+  // converging, which is exactly what the watchdog exists to cut short.
+  const auto frame = bench::quantized_frame(code, fmt, 0.0F, 7);
+
+  DecoderOptions opt;
+  opt.max_iterations = 50;
+  LayeredMinSumFixedDecoder no_watchdog(code, opt, fmt);
+  const auto slow = no_watchdog.decode_quantized(frame);
+  ASSERT_FALSE(slow.converged);
+  EXPECT_EQ(slow.status, DecodeStatus::kMaxIterations);
+
+  opt.watchdog.stall_window = 3;
+  LayeredMinSumFixedDecoder dec(code, opt, fmt);
+  const auto result = dec.decode_quantized(frame);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.status, DecodeStatus::kWatchdogAbort);
+  EXPECT_LT(result.iterations, slow.iterations);
+}
+
+TEST(FaultDegradation, WatchdogStateUnit) {
+  WatchdogState off{WatchdogOptions{}};
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(off.should_abort(100));
+  EXPECT_FALSE(off.fired());
+
+  WatchdogState wd{WatchdogOptions{2}};
+  EXPECT_FALSE(wd.should_abort(10));  // first weight = new minimum? no: 10 < max
+  EXPECT_FALSE(wd.should_abort(8));   // improving
+  EXPECT_FALSE(wd.should_abort(8));   // stall 1
+  EXPECT_TRUE(wd.should_abort(9));    // stall 2 -> abort
+  EXPECT_TRUE(wd.fired());
+}
+
+TEST(FaultDegradation, ClassifyExit) {
+  EXPECT_EQ(classify_exit(true, false, 0), DecodeStatus::kConverged);
+  EXPECT_EQ(classify_exit(true, true, 5), DecodeStatus::kConverged);
+  EXPECT_EQ(classify_exit(false, true, 5), DecodeStatus::kWatchdogAbort);
+  EXPECT_EQ(classify_exit(false, false, 5), DecodeStatus::kFaultDetected);
+  EXPECT_EQ(classify_exit(false, false, 0), DecodeStatus::kMaxIterations);
+}
+
+TEST(FaultDegradation, ScoreboardUpsetRemovesStallsAndCorruptsPipeline) {
+  const auto code = make_wimax_2304_half_rate();
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  const auto est = pico.compile(code, ArchKind::kTwoLayerPipelined,
+                                HardwareTarget{400.0, 96});
+  const auto frame = bench::quantized_frame(code, fmt, 2.0F, 42);
+
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = false;
+  ArchSimDecoder clean(code, est, opt, fmt, ArchSimConfig{false});
+  const auto ref = clean.decode_quantized(frame);
+  ASSERT_EQ(ref.activity.core1_stall_cycles, 576);
+
+  // Stuck-at-zero pending bits: core 1 never observes a hazard — every
+  // stall disappears and it reads stale P words instead (§IV-B).
+  FaultConfig cfg;
+  cfg.rate = 1.0;
+  cfg.kind = FaultKind::kStuckAtZero;
+  cfg.sites = kScoreboardFaultSites;
+  FaultInjector inj(cfg);
+  DecoderOptions faulty = opt;
+  faulty.fault_injector = &inj;
+  ArchSimDecoder sim(code, est, faulty, fmt, ArchSimConfig{false});
+  const auto res = sim.decode_quantized(frame);
+
+  EXPECT_LT(res.activity.core1_stall_cycles, ref.activity.core1_stall_cycles);
+  EXPECT_GT(res.decode.faults_injected, 0u);
+  // Stale-P reads change the computation: the decode must differ from the
+  // clean pipeline's (which is bit-identical to the algorithmic decoder).
+  bool differs = false;
+  for (std::size_t i = 0; i < ref.decode.hard_bits.size() && !differs; ++i)
+    differs = ref.decode.hard_bits.get(i) != res.decode.hard_bits.get(i);
+  EXPECT_TRUE(differs);
+}
+
+// ------------------------------------------------------------ campaign ----
+
+TEST(FaultCampaign, DeterministicAcrossRuns) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  FaultCampaignConfig cfg;
+  cfg.fault_rates = {0.0, 1e-3};
+  cfg.ebn0_db = {2.5F};
+  cfg.frames_per_point = 20;
+  auto run_once = [&] {
+    FaultCampaignRunner runner(code, cfg);
+    return runner.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bit_errors, b[i].bit_errors);
+    EXPECT_EQ(a[i].frame_errors, b[i].frame_errors);
+    EXPECT_EQ(a[i].detected_errors, b[i].detected_errors);
+    EXPECT_EQ(a[i].watchdog_aborts, b[i].watchdog_aborts);
+    EXPECT_EQ(a[i].injections, b[i].injections);
+    EXPECT_EQ(a[i].sat_clips, b[i].sat_clips);
+    EXPECT_DOUBLE_EQ(a[i].sum_iterations, b[i].sum_iterations);
+  }
+}
+
+TEST(FaultCampaign, FaultFreePointMatchesAcrossTargets) {
+  // At rate 0 the arch sim must agree bit-for-bit with the algorithmic
+  // decoder (the repo's core invariant), so the campaign metrics match too.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  FaultCampaignConfig cfg;
+  cfg.fault_rates = {0.0};
+  cfg.ebn0_db = {2.0F};
+  cfg.frames_per_point = 10;
+  const auto layered = FaultCampaignRunner(code, cfg).run();
+  cfg.target = CampaignTarget::kArchSim;
+  const auto arch = FaultCampaignRunner(code, cfg).run();
+  ASSERT_EQ(layered.size(), 1u);
+  ASSERT_EQ(arch.size(), 1u);
+  EXPECT_EQ(layered[0].bit_errors, arch[0].bit_errors);
+  EXPECT_EQ(layered[0].frame_errors, arch[0].frame_errors);
+  EXPECT_DOUBLE_EQ(layered[0].sum_iterations, arch[0].sum_iterations);
+}
+
+TEST(FaultCampaign, InjectionDegradesAndIsFlagged) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  FaultCampaignConfig cfg;
+  cfg.fault_rates = {0.0, 1e-2};
+  cfg.ebn0_db = {3.0F};
+  cfg.frames_per_point = 20;
+  const auto pts = FaultCampaignRunner(code, cfg).run();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].injections, 0);
+  EXPECT_GT(pts[1].injections, 0);
+  EXPECT_GT(pts[1].frame_errors, pts[0].frame_errors);
+  // Graceful degradation: every corrupted frame error is flagged.
+  EXPECT_EQ(pts[1].undetected_errors, 0u);
+  EXPECT_DOUBLE_EQ(pts[1].detection_coverage(), 1.0);
+}
+
+TEST(FaultCampaign, CsvRowShape) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  FaultCampaignConfig cfg;
+  cfg.fault_rates = {1e-3};
+  cfg.ebn0_db = {2.0F};
+  cfg.frames_per_point = 2;
+  cfg.sites = kSramFaultSites;
+  FaultCampaignRunner runner(code, cfg);
+  const auto pts = runner.run();
+  const auto header = FaultCampaignRunner::csv_header();
+  const auto row = runner.csv_row(pts[0]);
+  ASSERT_EQ(row.size(), header.size());
+  EXPECT_EQ(row[0], "layered-fixed");
+  EXPECT_EQ(row[1], "sram-p+sram-r");
+  EXPECT_EQ(row[2], "flip");
+}
+
+}  // namespace
+}  // namespace ldpc
