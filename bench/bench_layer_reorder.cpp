@@ -1,0 +1,119 @@
+// Layer-reordering study: how much of the two-layer pipeline's stall
+// overhead (§IV-B, Fig. 6) can be scheduled away offline.
+//
+// For every bundled code this bench compares three schedules at 400 MHz,
+// P = z, 10 iterations:
+//   natural        block rows in standard order, block-serial columns
+//   hazard-aware   natural layer order, free-columns-first column order
+//   reordered      layer permutation found by the static optimizer
+//                  (analysis/layer_reorder.hpp), block-serial columns
+// Each schedule is both predicted by the static timing model and measured
+// in the cycle-accurate simulator; the pairs must agree cycle-exactly
+// (tests/analysis_test.cpp asserts this — here the table shows it).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/layer_reorder.hpp"
+#include "analysis/pipeline_model.hpp"
+#include "bench/bench_common.hpp"
+#include "codes/wifi.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+struct Named {
+  std::string name;
+  QCLdpcCode code;
+};
+
+long long measure_cycles(const QCLdpcCode& code, const HardwareEstimate& est,
+                         bool hazard_order, long long* stalls) {
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+  opt.early_termination = false;
+  const FixedFormat fmt{8, 2};
+  ArchSimDecoder sim(code, est, opt, fmt, ArchSimConfig{hazard_order});
+  // Timing is data independent; a constant frame avoids re-encoding per
+  // permuted code (RuEncoder assumes the natural row order).
+  const std::vector<std::int32_t> frame(code.n(), 9);
+  const auto run = sim.decode_quantized(frame);
+  *stalls = run.activity.core1_stall_cycles;
+  return run.activity.cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Named> codes;
+  for (WimaxRate rate : all_wimax_rates())
+    codes.push_back(Named{wimax_rate_name(rate), make_wimax_code(rate, 96)});
+  codes.push_back(Named{"wifi-648", make_wifi_648_half_rate()});
+  codes.push_back(Named{"wifi-1944", make_wifi_1944_half_rate()});
+
+  TextTable table(
+      "Layer reordering vs column reordering — two-layer pipeline, 400 MHz, "
+      "P = z, 10 iterations (predicted == measured for every cell)");
+  table.set_header({"code", "schedule", "stalls", "cycles", "vs natural",
+                    "permutation"});
+
+  const FixedFormat fmt{8, 2};
+  const PicoCompiler pico(fmt);
+  for (const Named& entry : codes) {
+    const QCLdpcCode& code = entry.code;
+    const auto est =
+        pico.compile(code, ArchKind::kTwoLayerPipelined,
+                     HardwareTarget{400.0, code.z()});
+
+    long long natural_stalls = 0;
+    const long long natural_cycles =
+        measure_cycles(code, est, false, &natural_stalls);
+    long long hazard_stalls = 0;
+    const long long hazard_cycles =
+        measure_cycles(code, est, true, &hazard_stalls);
+
+    const auto opt = optimize_layer_order(code, est,
+                                          ColumnOrderPolicy::kBlockSerial, 10);
+    const QCLdpcCode reordered(code.base().permuted_rows(opt.permutation));
+    long long reordered_stalls = 0;
+    const long long reordered_cycles =
+        measure_cycles(reordered, est, false, &reordered_stalls);
+    if (reordered_stalls != opt.best_stalls ||
+        reordered_cycles != opt.best_cycles) {
+      std::fprintf(stderr,
+                   "%s: prediction diverged from measurement "
+                   "(predicted %lld/%lld, measured %lld/%lld)\n",
+                   entry.name.c_str(), opt.best_stalls, opt.best_cycles,
+                   reordered_stalls, reordered_cycles);
+      return 1;
+    }
+
+    std::string perm;
+    for (std::size_t p : opt.permutation)
+      perm += (perm.empty() ? "" : " ") + std::to_string(p);
+
+    const auto speedup = [natural_cycles](long long cycles) {
+      return TextTable::percent(
+          1.0 - static_cast<double>(cycles) / static_cast<double>(natural_cycles));
+    };
+    table.add_row({entry.name, "natural", TextTable::integer(natural_stalls),
+                   TextTable::integer(natural_cycles), "-", "identity"});
+    table.add_row({"", "hazard-aware cols", TextTable::integer(hazard_stalls),
+                   TextTable::integer(hazard_cycles), speedup(hazard_cycles),
+                   "identity"});
+    table.add_row({"", "reordered layers", TextTable::integer(reordered_stalls),
+                   TextTable::integer(reordered_cycles),
+                   speedup(reordered_cycles), perm});
+    table.add_rule();
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf(
+      "\nLayer reordering permutes base-matrix block rows (the decoding\n"
+      "schedule), which leaves the code and its BER unchanged while\n"
+      "minimizing the block columns consecutive layers share — the RAW\n"
+      "hazards the §IV-B scoreboard turns into core-1 stalls.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Full verification gate: everything CI runs, in one command.
+#
+#   1. tier-1 verify   — warnings-as-errors build + complete ctest suite
+#   2. sanitizer pass  — ASan+UBSan build (LDPC_SANITIZE) + ctest
+#   3. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
+#                        with a notice when clang-tidy is not installed
+#   4. ldpc-lint       — static schedule/hazard analysis over every bundled
+#                        code and both column orders (must exit 0)
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast skips the sanitizer pass (the slowest stage) for quick local runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== [1/4] tier-1 verify (LDPC_WERROR=ON) =="
+cmake -B build -S . -DLDPC_WERROR=ON
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+if [ "$FAST" -eq 0 ]; then
+  echo "== [2/4] ASan + UBSan =="
+  cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure
+else
+  echo "== [2/4] ASan + UBSan — skipped (--fast) =="
+fi
+
+echo "== [3/4] clang-tidy =="
+cmake --build build --target lint
+
+echo "== [4/4] ldpc-lint over all bundled codes =="
+./build/src/analysis/ldpc-lint
+./build/src/analysis/ldpc-lint --order hazard
+
+echo "All checks passed."

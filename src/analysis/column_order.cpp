@@ -1,0 +1,49 @@
+#include "analysis/column_order.hpp"
+
+#include <algorithm>
+
+namespace ldpc {
+
+LayerSupports layer_supports(const QCLdpcCode& code) {
+  LayerSupports out(code.num_layers());
+  for (std::size_t l = 0; l < code.num_layers(); ++l) {
+    const auto& layer = code.layers()[l];
+    out[l].reserve(layer.size());
+    for (const auto& blk : layer) out[l].push_back(blk.block_col);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> make_column_order(
+    const LayerSupports& layers, ColumnOrderPolicy policy) {
+  const std::size_t n_layers = layers.size();
+  std::vector<std::vector<std::size_t>> order(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    order[l].resize(layers[l].size());
+    for (std::size_t j = 0; j < layers[l].size(); ++j) order[l][j] = j;
+    if (policy == ColumnOrderPolicy::kBlockSerial) continue;
+
+    const auto& prev = layers[(l + n_layers - 1) % n_layers];
+    auto prev_write_pos = [&prev](std::uint32_t col) -> int {
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        if (prev[j] == col) return static_cast<int>(j);
+      return -1;
+    };
+    const auto& layer = layers[l];
+    std::stable_sort(order[l].begin(), order[l].end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const int pa = prev_write_pos(layer[a]);
+                       const int pb = prev_write_pos(layer[b]);
+                       if ((pa < 0) != (pb < 0)) return pa < 0;  // free first
+                       return pa < pb;  // shared: earliest-written first
+                     });
+  }
+  return order;
+}
+
+std::vector<std::vector<std::size_t>> make_column_order(
+    const QCLdpcCode& code, ColumnOrderPolicy policy) {
+  return make_column_order(layer_supports(code), policy);
+}
+
+}  // namespace ldpc

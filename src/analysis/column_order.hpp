@@ -1,0 +1,44 @@
+// Per-layer block-column processing orders.
+//
+// The order in which a layer's non-zero circulants are fed to core 1 is a
+// free scheduling choice: the min update is order independent and the
+// scoreboard enforces RAW regardless. It is also the main lever on pipeline
+// stalls, so the policy lives here — shared verbatim by the cycle-accurate
+// simulator (arch/arch_sim.cpp) and the static hazard analyzer, which keeps
+// the two views of the schedule provably identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+enum class ColumnOrderPolicy {
+  /// Block-serial order of Fig. 4: ascending base-matrix column.
+  kBlockSerial,
+  /// Columns the (cyclically) previous layer does not write first, then
+  /// shared columns in the previous layer's write order — maximizing the
+  /// distance between each P write and the dependent read.
+  kHazardAware,
+};
+
+/// Column supports per layer in block-serial order — the representation the
+/// order policies and the static timing model operate on. Extracted from a
+/// code via `layer_supports()`, or built by hand (layer-permutation search,
+/// defect seeding in tests).
+using LayerSupports = std::vector<std::vector<std::uint32_t>>;
+
+/// Block columns of each layer's non-zero circulants, ascending.
+LayerSupports layer_supports(const QCLdpcCode& code);
+
+/// Per-layer processing order: `order[l][j]` is the index (into the layer's
+/// block-serial support) of the j-th column core 1 reads.
+std::vector<std::vector<std::size_t>> make_column_order(
+    const LayerSupports& layers, ColumnOrderPolicy policy);
+
+std::vector<std::vector<std::size_t>> make_column_order(
+    const QCLdpcCode& code, ColumnOrderPolicy policy);
+
+}  // namespace ldpc

@@ -1,0 +1,82 @@
+#include "analysis/hazard_lint.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace ldpc {
+
+std::vector<LayerOverlap> consecutive_overlaps(const LayerSupports& supports) {
+  const std::size_t L = supports.size();
+  std::vector<LayerOverlap> out;
+  out.reserve(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    LayerOverlap ov;
+    ov.from = l;
+    ov.to = (l + 1) % L;
+    const auto& prev = supports[ov.from];
+    ov.subset = !supports[ov.to].empty();
+    for (std::uint32_t col : supports[ov.to]) {
+      if (std::find(prev.begin(), prev.end(), col) != prev.end())
+        ov.shared_cols.push_back(col);
+      else
+        ov.subset = false;
+    }
+    out.push_back(std::move(ov));
+  }
+  return out;
+}
+
+std::vector<LintFinding> lint_layer_hazards(const LayerSupports& supports,
+                                            std::size_t block_cols) {
+  std::vector<LintFinding> out;
+  if (supports.empty()) {
+    out.push_back(LintFinding{LintSeverity::kError, "empty-schedule",
+                              "code has no layers"});
+    return out;
+  }
+
+  std::vector<std::size_t> col_degree(block_cols, 0);
+  for (std::size_t l = 0; l < supports.size(); ++l) {
+    std::vector<std::uint32_t> seen;
+    for (std::uint32_t col : supports[l]) {
+      if (col >= block_cols) {
+        out.push_back(LintFinding{
+            LintSeverity::kError, "column-out-of-range",
+            "layer " + std::to_string(l) + " reads block column " +
+                std::to_string(col) + " but the code has only " +
+                std::to_string(block_cols) + " columns"});
+        continue;
+      }
+      if (std::find(seen.begin(), seen.end(), col) != seen.end())
+        out.push_back(LintFinding{
+            LintSeverity::kError, "duplicate-column",
+            "layer " + std::to_string(l) + " reads block column " +
+                std::to_string(col) +
+                " twice — the scoreboard bit would be set while already "
+                "pending and core 1 deadlocks on its own write"});
+      seen.push_back(col);
+      ++col_degree[col];
+    }
+  }
+  if (lint_has_errors(out)) return out;  // overlap analysis needs sane inputs
+
+  for (const LayerOverlap& ov : consecutive_overlaps(supports)) {
+    if (!ov.subset) continue;
+    out.push_back(LintFinding{
+        LintSeverity::kError, "degenerate-layer-pair",
+        "every block column layer " + std::to_string(ov.to) +
+            " reads is written by layer " + std::to_string(ov.from) +
+            " (" + std::to_string(ov.shared_cols.size()) +
+            " shared columns) — the two-layer pipeline degenerates to the "
+            "per-layer schedule"});
+  }
+
+  for (std::size_t c = 0; c < block_cols; ++c)
+    if (col_degree[c] == 0)
+      out.push_back(LintFinding{LintSeverity::kWarning, "idle-column",
+                                "block column " + std::to_string(c) +
+                                    " is touched by no layer"});
+  return out;
+}
+
+}  // namespace ldpc

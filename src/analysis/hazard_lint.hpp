@@ -1,0 +1,44 @@
+// Static hazard lint over a code's layer structure (§IV-B).
+//
+// The two-layer pipeline's RAW hazards are fixed by the base matrix: core 1
+// of layer l+1 stalls exactly on the block columns layer l also touches.
+// These passes prove schedule-level properties of that structure — before
+// any simulation — and flag the degenerate shapes that defeat the pipeline
+// or break the scoreboard's accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/column_order.hpp"
+#include "analysis/opgraph_lint.hpp"
+
+namespace ldpc {
+
+/// Shared block columns of each cyclically consecutive layer pair — the
+/// statically known RAW-hazard set the scoreboard resolves at run time.
+struct LayerOverlap {
+  std::size_t from = 0;  ///< writing layer
+  std::size_t to = 0;    ///< reading layer ((from + 1) % L)
+  std::vector<std::uint32_t> shared_cols;
+  bool subset = false;   ///< every column `to` reads is written by `from`
+};
+
+std::vector<LayerOverlap> consecutive_overlaps(const LayerSupports& supports);
+
+/// Layer-structure checks:
+///   column-out-of-range   support references a block column >= block_cols
+///   duplicate-column      a layer reads the same block column twice — the
+///                         scoreboard would double-set and core 1 deadlock
+///   degenerate-layer-pair every column layer l+1 reads is pending from
+///                         layer l: the two-layer overlap of Fig. 6 degrades
+///                         to the serial schedule of Fig. 4
+///   idle-column (warning) a block column no layer touches
+std::vector<LintFinding> lint_layer_hazards(const LayerSupports& supports,
+                                            std::size_t block_cols);
+
+inline std::vector<LintFinding> lint_layer_hazards(const QCLdpcCode& code) {
+  return lint_layer_hazards(layer_supports(code), code.base().cols());
+}
+
+}  // namespace ldpc

@@ -1,0 +1,166 @@
+#include "analysis/layer_reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ldpc {
+
+LayerSupports permute_supports(const LayerSupports& supports,
+                               const std::vector<std::size_t>& permutation) {
+  LDPC_CHECK(permutation.size() == supports.size());
+  LayerSupports out;
+  out.reserve(supports.size());
+  for (std::size_t p : permutation) {
+    LDPC_CHECK(p < supports.size());
+    out.push_back(supports[p]);
+  }
+  return out;
+}
+
+namespace {
+
+struct Objective {
+  long long stalls = 0;
+  long long cycles = 0;
+
+  bool better_than(const Objective& other) const {
+    if (stalls != other.stalls) return stalls < other.stalls;
+    return cycles < other.cycles;
+  }
+};
+
+/// Pairwise overlap counts, used to seed the search with a cheap greedy tour.
+std::vector<std::vector<std::size_t>> overlap_matrix(
+    const LayerSupports& supports) {
+  const std::size_t L = supports.size();
+  std::vector<std::vector<std::size_t>> m(L, std::vector<std::size_t>(L, 0));
+  for (std::size_t a = 0; a < L; ++a)
+    for (std::size_t b = 0; b < L; ++b) {
+      if (a == b) continue;
+      for (std::uint32_t col : supports[b])
+        if (std::find(supports[a].begin(), supports[a].end(), col) !=
+            supports[a].end())
+          ++m[a][b];
+    }
+  return m;
+}
+
+/// Nearest-neighbour tour on the overlap matrix starting from layer 0:
+/// repeatedly append the unvisited layer sharing the fewest columns with the
+/// current tail (ties toward the lowest index, deterministic).
+std::vector<std::size_t> greedy_order(const LayerSupports& supports) {
+  const std::size_t L = supports.size();
+  const auto m = overlap_matrix(supports);
+  std::vector<bool> used(L, false);
+  std::vector<std::size_t> order{0};
+  used[0] = true;
+  while (order.size() < L) {
+    const std::size_t tail = order.back();
+    std::size_t best = L;
+    for (std::size_t c = 0; c < L; ++c) {
+      if (used[c]) continue;
+      if (best == L || m[tail][c] < m[tail][best]) best = c;
+    }
+    used[best] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+LayerReorderResult optimize_layer_order(const LayerSupports& supports,
+                                        std::size_t block_cols,
+                                        const HardwareEstimate& estimate,
+                                        ColumnOrderPolicy policy,
+                                        std::size_t iterations) {
+  const std::size_t L = supports.size();
+  LDPC_CHECK(L >= 1 && iterations >= 1);
+
+  LayerReorderResult result;
+  auto evaluate = [&](const std::vector<std::size_t>& perm) -> Objective {
+    const auto model = make_pipeline_model(permute_supports(supports, perm),
+                                           block_cols, estimate, policy);
+    const auto pred = predict_timing(model, iterations);
+    ++result.evaluations;
+    return Objective{pred.core1_stall_cycles, pred.cycles};
+  };
+
+  std::vector<std::size_t> natural(L);
+  std::iota(natural.begin(), natural.end(), 0);
+  const Objective natural_obj = evaluate(natural);
+  result.natural_stalls = natural_obj.stalls;
+  result.natural_cycles = natural_obj.cycles;
+
+  std::vector<std::size_t> best_perm = natural;
+  Objective best_obj = natural_obj;
+
+  auto consider = [&](const std::vector<std::size_t>& perm, Objective obj) {
+    if (obj.better_than(best_obj) ||
+        (!best_obj.better_than(obj) && perm < best_perm)) {
+      best_perm = perm;
+      best_obj = obj;
+    }
+  };
+
+  // Best-improvement local search over swaps and relocations. Position 0 is
+  // pinned: the schedule is cyclic, so every rotation of a permutation has
+  // identical steady-state timing and searching them is wasted work.
+  auto local_search = [&](std::vector<std::size_t> perm) {
+    Objective obj = evaluate(perm);
+    consider(perm, obj);
+    bool improved = true;
+    while (improved && L > 2) {
+      improved = false;
+      std::vector<std::size_t> round_best_perm = perm;
+      Objective round_best = obj;
+      for (std::size_t i = 1; i < L; ++i) {
+        for (std::size_t j = i + 1; j < L; ++j) {
+          auto cand = perm;
+          std::swap(cand[i], cand[j]);
+          const Objective c = evaluate(cand);
+          if (c.better_than(round_best)) {
+            round_best = c;
+            round_best_perm = std::move(cand);
+          }
+        }
+        for (std::size_t j = 1; j < L; ++j) {
+          if (j == i) continue;
+          auto cand = perm;
+          const std::size_t layer = cand[i];
+          cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+          cand.insert(cand.begin() + static_cast<std::ptrdiff_t>(j), layer);
+          const Objective c = evaluate(cand);
+          if (c.better_than(round_best)) {
+            round_best = c;
+            round_best_perm = std::move(cand);
+          }
+        }
+      }
+      if (round_best.better_than(obj)) {
+        perm = std::move(round_best_perm);
+        obj = round_best;
+        consider(perm, obj);
+        improved = true;
+      }
+    }
+  };
+
+  local_search(natural);
+  if (L > 2) local_search(greedy_order(supports));
+
+  result.permutation = std::move(best_perm);
+  result.best_stalls = best_obj.stalls;
+  result.best_cycles = best_obj.cycles;
+  return result;
+}
+
+LayerReorderResult optimize_layer_order(const QCLdpcCode& code,
+                                        const HardwareEstimate& estimate,
+                                        ColumnOrderPolicy policy,
+                                        std::size_t iterations) {
+  return optimize_layer_order(layer_supports(code), code.base().cols(),
+                              estimate, policy, iterations);
+}
+
+}  // namespace ldpc

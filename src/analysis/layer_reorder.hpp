@@ -1,0 +1,53 @@
+// Layer-permutation schedule optimizer.
+//
+// A layered decoder may process the base-matrix block rows in any order —
+// the parity checks are unchanged and layered min-sum converges with any
+// layer sequence — but the two-layer pipeline's stalls depend entirely on
+// which columns cyclically consecutive layers share. Since the static timing
+// model predicts those stalls cycle-exactly, the layer order can be
+// optimized offline (the ordering a designer would bake into the
+// parity-check-matrix ROM) and the winner verified in the cycle-accurate
+// simulator via BaseMatrix::permuted_rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/pipeline_model.hpp"
+
+namespace ldpc {
+
+struct LayerReorderResult {
+  /// permutation[i] = original layer processed i-th; identity when the
+  /// natural order is already optimal among the candidates searched.
+  std::vector<std::size_t> permutation;
+  long long natural_stalls = 0;  ///< predicted, natural layer order
+  long long best_stalls = 0;     ///< predicted, returned permutation
+  long long natural_cycles = 0;  ///< predicted decode latency, natural order
+  long long best_cycles = 0;
+  std::size_t evaluations = 0;   ///< timing-model evaluations spent
+};
+
+/// Search layer permutations minimizing predicted core-1 stalls over
+/// `iterations` (ties broken toward lower predicted latency, then toward
+/// the lexicographically smaller permutation). Deterministic: greedy
+/// overlap-minimizing construction plus best-improvement local search over
+/// swaps and relocations, seeded from the natural order and the greedy
+/// order. The first layer is pinned — layer order is cyclic, so rotations
+/// are equivalent and pinning quotients them out.
+LayerReorderResult optimize_layer_order(const LayerSupports& supports,
+                                        std::size_t block_cols,
+                                        const HardwareEstimate& estimate,
+                                        ColumnOrderPolicy policy,
+                                        std::size_t iterations);
+
+LayerReorderResult optimize_layer_order(const QCLdpcCode& code,
+                                        const HardwareEstimate& estimate,
+                                        ColumnOrderPolicy policy,
+                                        std::size_t iterations);
+
+/// Apply a layer permutation to supports (helper for evaluating candidates).
+LayerSupports permute_supports(const LayerSupports& supports,
+                               const std::vector<std::size_t>& permutation);
+
+}  // namespace ldpc

@@ -1,0 +1,235 @@
+// ldpc-lint — static schedule & hazard analyzer for the HLS op-graphs and
+// the two-layer pipeline.
+//
+//   build/src/analysis/ldpc-lint                      # lint everything bundled
+//   build/src/analysis/ldpc-lint --code wimax-1/2 --reorder 1 --verbose 1
+//   build/src/analysis/ldpc-lint --selftest-defect cycle   # must exit nonzero
+//
+// (Flag values are required by the shared CliArgs parser; any value enables
+// the boolean flags, e.g. --reorder 1.)
+//
+// Passes (see docs/static_analysis.md for the mapping to the paper):
+//   op-graphs   dangling edges, combinational cycles, zero widths,
+//               clock-budget-infeasible operators, dead values
+//   schedules   independent re-verification of the list scheduler's output
+//               (dependency order, chaining, stage clock-budget overflow)
+//               plus a register lifetime/pressure report (--verbose)
+//   pipeline    layer-structure hazards (degenerate layer pairs, duplicate
+//               columns) and the exact core-1 stall count the scoreboard
+//               will measure, per code and parallelism
+//   --reorder   layer-permutation search minimizing predicted stalls
+//
+// Exit status: 0 when every pass is clean (warnings allowed), 1 when any
+// error-severity finding exists, 2 on bad usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/hazard_lint.hpp"
+#include "analysis/layer_reorder.hpp"
+#include "analysis/opgraph_lint.hpp"
+#include "analysis/pipeline_model.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+int g_errors = 0;
+
+void report(const std::string& context, const std::vector<LintFinding>& findings) {
+  for (const LintFinding& f : findings) {
+    std::printf("%s: %s: [%s] %s\n", context.c_str(),
+                f.severity == LintSeverity::kError ? "error" : "warning",
+                f.pass.c_str(), f.message.c_str());
+    if (f.severity == LintSeverity::kError) ++g_errors;
+  }
+}
+
+// ------------------------------------------------------------- op-graphs ----
+
+void lint_graph(const std::string& name, const OpGraph& graph, double clock_mhz,
+                bool verbose) {
+  const double period_ns = 1000.0 / clock_mhz;
+  const auto structural = lint_opgraph(graph, period_ns);
+  report(name, structural);
+  if (lint_has_errors(structural)) return;
+
+  const auto detail = schedule_detail(graph, period_ns);
+  report(name, lint_schedule(graph.nodes(), detail, period_ns));
+
+  if (verbose) {
+    const auto pressure = register_pressure(graph.nodes(), detail);
+    std::printf("%s: %zu ops, depth %zu, register pressure peak %lld b / "
+                "total %lld b\n",
+                name.c_str(), graph.size(), pressure.live_bits.size() + 1,
+                pressure.peak_bits, pressure.total_register_bits);
+    std::printf("%s", schedule_report(graph, period_ns).c_str());
+  }
+}
+
+void lint_opgraphs(double clock_mhz, int z, bool verbose) {
+  const PicoCompiler pico;
+  lint_graph("core1", pico.build_core1_graph(), clock_mhz, verbose);
+  lint_graph("core2", pico.build_core2_graph(), clock_mhz, verbose);
+  lint_graph("bp-core1", pico.build_bp_core1_graph(), clock_mhz, verbose);
+  lint_graph("bp-core2", pico.build_bp_core2_graph(), clock_mhz, verbose);
+  lint_graph("shifter", pico.build_shifter_graph(z), clock_mhz, verbose);
+}
+
+// -------------------------------------------------------------- pipeline ----
+
+struct NamedCode {
+  std::string name;
+  QCLdpcCode code;
+};
+
+std::vector<NamedCode> select_codes(const std::string& which, int z) {
+  std::vector<NamedCode> out;
+  for (WimaxRate rate : all_wimax_rates()) {
+    const std::string name = wimax_rate_name(rate);
+    if (which == "all" || which == name)
+      out.push_back(NamedCode{name + " z" + std::to_string(z),
+                              make_wimax_code(rate, z)});
+  }
+  if (which == "all" || which == "wifi-648")
+    out.push_back(NamedCode{"wifi-648", make_wifi_648_half_rate()});
+  if (which == "all" || which == "wifi-1944")
+    out.push_back(NamedCode{"wifi-1944", make_wifi_1944_half_rate()});
+  if (out.empty())
+    throw Error("unknown --code '" + which +
+                "' (use all, wimax-1/2 ... wimax-5/6, wifi-648, wifi-1944)");
+  return out;
+}
+
+std::vector<int> parallelism_sweep(int z) {
+  std::vector<int> out;
+  for (int div : {1, 2, 4})
+    if (z % div == 0) out.push_back(z / div);
+  return out;
+}
+
+void analyze_code(const NamedCode& nc, double clock_mhz,
+                  ColumnOrderPolicy policy, std::size_t iterations,
+                  bool reorder, TextTable& table) {
+  report(nc.name, lint_layer_hazards(nc.code));
+
+  const PicoCompiler pico;
+  for (int p : parallelism_sweep(nc.code.z())) {
+    const auto est = pico.compile(nc.code, ArchKind::kTwoLayerPipelined,
+                                  HardwareTarget{clock_mhz, p});
+    const auto model = make_pipeline_model(nc.code, est, policy);
+    const auto pred = predict_timing(model, iterations);
+    table.add_row({nc.name, TextTable::integer(nc.code.z()),
+                   TextTable::integer(p),
+                   TextTable::integer(pred.core1_stall_cycles),
+                   TextTable::num(static_cast<double>(pred.core1_stall_cycles) /
+                                      static_cast<double>(iterations),
+                                  1),
+                   TextTable::integer(pred.first_iteration_cycles),
+                   TextTable::integer(pred.cycles)});
+
+    if (reorder && p == nc.code.z()) {
+      const auto opt =
+          optimize_layer_order(nc.code, est, policy, iterations);
+      std::printf("%s: reorder: stalls %lld -> %lld, cycles %lld -> %lld "
+                  "(%zu evaluations), permutation:",
+                  nc.name.c_str(), opt.natural_stalls, opt.best_stalls,
+                  opt.natural_cycles, opt.best_cycles, opt.evaluations);
+      for (std::size_t l : opt.permutation) std::printf(" %zu", l);
+      std::printf("\n");
+    }
+  }
+}
+
+// ------------------------------------------------------- defect selftests ----
+
+/// Build one known-bad input and lint it; the analyzer proves itself by
+/// returning nonzero (ctest runs these with WILL_FAIL).
+int run_defect(const std::string& kind) {
+  std::vector<LintFinding> findings;
+  const double period_ns = 2.5;
+  if (kind == "cycle") {
+    // a -> b -> c -> a: combinational loop no register can break.
+    std::vector<OpNode> nodes;
+    nodes.push_back(OpNode{OpKind::kAdd, 8, {2}, "a"});
+    nodes.push_back(OpNode{OpKind::kAdd, 8, {0}, "b"});
+    nodes.push_back(OpNode{OpKind::kAdd, 8, {1}, "c"});
+    findings = lint_opgraph(nodes, period_ns);
+  } else if (kind == "dangling") {
+    std::vector<OpNode> nodes;
+    nodes.push_back(OpNode{OpKind::kAdd, 8, {}, "a"});
+    nodes.push_back(OpNode{OpKind::kMux, 8, {0, 7}, "b"});  // op7 missing
+    findings = lint_opgraph(nodes, period_ns);
+  } else if (kind == "budget") {
+    // An SRAM access (1.4 ns) can never fit a 1.5 ns clock period after
+    // the 0.35 ns sequencing overhead.
+    std::vector<OpNode> nodes;
+    nodes.push_back(OpNode{OpKind::kSramRead, 8, {}, "P_read"});
+    findings = lint_opgraph(nodes, 1.5);
+  } else if (kind == "schedule") {
+    // Hand-corrupted schedule: chained pair declared to finish past budget.
+    std::vector<OpNode> nodes;
+    nodes.push_back(OpNode{OpKind::kSramRead, 8, {}, "P_read"});
+    nodes.push_back(OpNode{OpKind::kAdd, 8, {0}, "Q=P-R"});
+    std::vector<ScheduledOp> bad{ScheduledOp{0, 0, 0.0, 1.4},
+                                 ScheduledOp{1, 0, 1.4, 3.0}};
+    findings = lint_schedule(nodes, bad, period_ns);
+  } else if (kind == "layer-pair") {
+    // Two layers with identical support: every read of layer 1 is pending
+    // from layer 0 — the pipeline degenerates.
+    findings = lint_layer_hazards(LayerSupports{{0, 1, 3}, {0, 1, 3}}, 4);
+  } else if (kind == "duplicate-column") {
+    findings = lint_layer_hazards(LayerSupports{{0, 1, 1}, {2, 3}}, 4);
+  } else {
+    std::fprintf(stderr, "unknown defect '%s'\n", kind.c_str());
+    return 2;
+  }
+  report("selftest-" + kind, findings);
+  return lint_has_errors(findings) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const CliArgs args(argc, argv,
+                     {"clock", "code", "z", "order", "iterations", "reorder",
+                      "verbose", "selftest-defect"});
+  if (args.has("selftest-defect"))
+    return run_defect(args.get("selftest-defect", ""));
+
+  const double clock_mhz = args.get_double("clock", 400.0);
+  const int z = static_cast<int>(args.get_int("z", 96));
+  const auto iterations =
+      static_cast<std::size_t>(args.get_int("iterations", 10));
+  const std::string order = args.get("order", "serial");
+  if (order != "serial" && order != "hazard")
+    throw Error("--order must be 'serial' or 'hazard'");
+  const ColumnOrderPolicy policy = order == "hazard"
+                                       ? ColumnOrderPolicy::kHazardAware
+                                       : ColumnOrderPolicy::kBlockSerial;
+
+  lint_opgraphs(clock_mhz, z, args.has("verbose"));
+
+  TextTable table("Predicted two-layer pipeline stalls (" + order +
+                  " column order, " + std::to_string(iterations) +
+                  " iterations, " + TextTable::num(clock_mhz, 0) + " MHz)");
+  table.set_header({"code", "z", "P", "stalls", "stalls/iter", "cyc/iter1",
+                    "cycles"});
+  for (const NamedCode& nc : select_codes(args.get("code", "all"), z))
+    analyze_code(nc, clock_mhz, policy, iterations, args.has("reorder"), table);
+  std::printf("%s", table.str().c_str());
+
+  if (g_errors > 0) {
+    std::printf("ldpc-lint: %d error(s)\n", g_errors);
+    return 1;
+  }
+  std::printf("ldpc-lint: clean\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "ldpc-lint: %s\n", e.what());
+  return 2;
+}

@@ -1,0 +1,226 @@
+#include "analysis/opgraph_lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ldpc {
+
+bool lint_has_errors(const std::vector<LintFinding>& findings) {
+  return std::any_of(findings.begin(), findings.end(), [](const LintFinding& f) {
+    return f.severity == LintSeverity::kError;
+  });
+}
+
+std::string format_findings(const std::vector<LintFinding>& findings) {
+  std::ostringstream os;
+  for (const LintFinding& f : findings)
+    os << (f.severity == LintSeverity::kError ? "error" : "warning") << " ["
+       << f.pass << "] " << f.message << '\n';
+  return os.str();
+}
+
+std::string lint_node_name(const std::vector<OpNode>& nodes, std::size_t i) {
+  if (i < nodes.size() && !nodes[i].label.empty())
+    return nodes[i].label + " (op" + std::to_string(i) + ")";
+  return "op" + std::to_string(i);
+}
+
+namespace {
+
+void find_cycles(const std::vector<OpNode>& nodes,
+                 std::vector<LintFinding>& out) {
+  // Iterative three-color DFS over dependency edges (consumer -> producer).
+  // Dangling deps are skipped here; the dangling-edge pass reports them.
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<std::uint8_t> color(nodes.size(), kWhite);
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    // Stack of (node, next dep index to visit).
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    color[root] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, dep_idx] = stack.back();
+      if (dep_idx < nodes[node].deps.size()) {
+        const std::size_t dep = nodes[node].deps[dep_idx++];
+        if (dep >= nodes.size()) continue;  // dangling, reported elsewhere
+        if (color[dep] == kGrey) {
+          out.push_back(LintFinding{
+              LintSeverity::kError, "combinational-cycle",
+              "dependency cycle through " + lint_node_name(nodes, dep) +
+                  " reached from " + lint_node_name(nodes, node) +
+                  " — no register boundary can break it"});
+          return;  // one cycle report is enough to fail the graph
+        }
+        if (color[dep] == kWhite) {
+          color[dep] = kGrey;
+          stack.emplace_back(dep, 0);
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint_opgraph(const std::vector<OpNode>& nodes,
+                                      double clock_period_ns,
+                                      double sequencing_overhead_ns) {
+  std::vector<LintFinding> out;
+  if (nodes.empty()) {
+    out.push_back(LintFinding{LintSeverity::kError, "empty-graph",
+                              "operator graph has no nodes"});
+    return out;
+  }
+  if (clock_period_ns <= sequencing_overhead_ns) {
+    std::ostringstream os;
+    os << "clock period " << clock_period_ns
+       << " ns leaves no chaining budget after " << sequencing_overhead_ns
+       << " ns sequencing overhead";
+    out.push_back(LintFinding{LintSeverity::kError, "clock-budget", os.str()});
+    return out;
+  }
+  const double budget = clock_period_ns - sequencing_overhead_ns;
+
+  std::vector<bool> consumed(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const OpNode& n = nodes[i];
+    if (n.width < 1)
+      out.push_back(LintFinding{LintSeverity::kError, "zero-width",
+                                lint_node_name(nodes, i) + " has width " +
+                                    std::to_string(n.width)});
+    for (std::size_t d : n.deps) {
+      if (d >= nodes.size()) {
+        out.push_back(LintFinding{
+            LintSeverity::kError, "dangling-edge",
+            lint_node_name(nodes, i) + " depends on nonexistent op" +
+                std::to_string(d) + " (graph has " +
+                std::to_string(nodes.size()) + " nodes)"});
+      } else {
+        consumed[d] = true;
+      }
+    }
+    if (n.width >= 1) {
+      const double delay = op_delay_ns(n.kind, n.width);
+      if (delay > budget) {
+        std::ostringstream os;
+        os << lint_node_name(nodes, i) << " needs " << delay
+           << " ns but the chaining budget at " << clock_period_ns
+           << " ns clock is " << budget << " ns — frequency infeasible";
+        out.push_back(
+            LintFinding{LintSeverity::kError, "unschedulable-op", os.str()});
+      }
+    }
+  }
+
+  find_cycles(nodes, out);
+
+  // Dead values: computed, never consumed, and neither a memory side effect
+  // nor the graph's output (by convention the last node).
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    if (consumed[i]) continue;
+    if (nodes[i].kind == OpKind::kSramWrite) continue;
+    out.push_back(LintFinding{LintSeverity::kWarning, "dead-op",
+                              lint_node_name(nodes, i) +
+                                  " is computed but never consumed"});
+  }
+  return out;
+}
+
+std::vector<LintFinding> lint_schedule(const std::vector<OpNode>& nodes,
+                                       const std::vector<ScheduledOp>& schedule,
+                                       double clock_period_ns,
+                                       double sequencing_overhead_ns) {
+  constexpr double kEps = 1e-9;
+  std::vector<LintFinding> out;
+  const double budget = clock_period_ns - sequencing_overhead_ns;
+
+  std::vector<int> slot_of(nodes.size(), -1);
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const ScheduledOp& op = schedule[s];
+    if (op.node >= nodes.size()) {
+      out.push_back(LintFinding{LintSeverity::kError, "schedule-unknown-op",
+                                "schedule entry " + std::to_string(s) +
+                                    " refers to nonexistent op" +
+                                    std::to_string(op.node)});
+      continue;
+    }
+    if (slot_of[op.node] >= 0)
+      out.push_back(LintFinding{LintSeverity::kError, "schedule-duplicate",
+                                lint_node_name(nodes, op.node) +
+                                    " is scheduled more than once"});
+    slot_of[op.node] = static_cast<int>(s);
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (slot_of[i] < 0)
+      out.push_back(LintFinding{LintSeverity::kError, "unscheduled-op",
+                                lint_node_name(nodes, i) +
+                                    " never received a cycle assignment"});
+  if (lint_has_errors(out)) return out;
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const ScheduledOp& op = schedule[static_cast<std::size_t>(slot_of[i])];
+    const double delay = op_delay_ns(nodes[i].kind, nodes[i].width);
+    if (op.cycle < 0 || op.start_ns < -kEps ||
+        op.finish_ns < op.start_ns + delay - kEps)
+      out.push_back(LintFinding{
+          LintSeverity::kError, "schedule-window",
+          lint_node_name(nodes, i) + " has an inconsistent time window"});
+    if (op.finish_ns > budget + kEps) {
+      std::ostringstream os;
+      os << "stage clock-budget overflow: " << lint_node_name(nodes, i)
+         << " finishes at " << op.finish_ns << " ns in cycle " << op.cycle
+         << " but the budget is " << budget << " ns";
+      out.push_back(
+          LintFinding{LintSeverity::kError, "stage-budget-overflow", os.str()});
+    }
+    for (std::size_t d : nodes[i].deps) {
+      const ScheduledOp& dep = schedule[static_cast<std::size_t>(slot_of[d])];
+      if (dep.cycle > op.cycle) {
+        out.push_back(LintFinding{
+            LintSeverity::kError, "schedule-dependency-order",
+            lint_node_name(nodes, i) + " runs in cycle " +
+                std::to_string(op.cycle) + " before its producer " +
+                lint_node_name(nodes, d) + " (cycle " +
+                std::to_string(dep.cycle) + ")"});
+      } else if (dep.cycle == op.cycle && dep.finish_ns > op.start_ns + kEps) {
+        out.push_back(LintFinding{
+            LintSeverity::kError, "schedule-chaining",
+            lint_node_name(nodes, i) + " starts before same-cycle producer " +
+                lint_node_name(nodes, d) + " finishes"});
+      }
+    }
+  }
+  return out;
+}
+
+RegisterPressure register_pressure(const std::vector<OpNode>& nodes,
+                                   const std::vector<ScheduledOp>& schedule) {
+  LDPC_CHECK(schedule.size() == nodes.size());
+  RegisterPressure out;
+  int depth = 0;
+  for (const ScheduledOp& op : schedule) depth = std::max(depth, op.cycle + 1);
+  if (depth <= 1) return out;
+  out.live_bits.assign(static_cast<std::size_t>(depth - 1), 0);
+
+  std::vector<int> cycle_of(nodes.size(), 0);
+  for (const ScheduledOp& op : schedule) cycle_of[op.node] = op.cycle;
+  std::vector<int> last_use(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t d : nodes[i].deps)
+      last_use[d] = std::max(last_use[d], cycle_of[i]);
+
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (int b = cycle_of[i]; b < last_use[i]; ++b)
+      out.live_bits[static_cast<std::size_t>(b)] += nodes[i].width;
+
+  for (long long bits : out.live_bits) {
+    out.peak_bits = std::max(out.peak_bits, bits);
+    out.total_register_bits += bits;
+  }
+  return out;
+}
+
+}  // namespace ldpc

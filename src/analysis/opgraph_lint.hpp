@@ -1,0 +1,76 @@
+// Structural lint passes over HLS operator graphs and their schedules.
+//
+// OpGraph::add() enforces topological insertion, so graphs built through the
+// normal API are well formed by construction — but graphs also arrive from
+// generators and (in tests) from hand-built node lists, and the scheduler's
+// output is itself worth verifying independently. These passes therefore
+// operate on raw node lists and ScheduledOp vectors, not on OpGraph's
+// invariant-protected interface: they re-prove the invariants instead of
+// assuming them, the way PICO's own consistency passes re-checked each
+// compilation stage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/opgraph.hpp"
+#include "hls/scheduler.hpp"
+
+namespace ldpc {
+
+enum class LintSeverity { kWarning, kError };
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kError;
+  std::string pass;     ///< e.g. "dangling-edge", "combinational-cycle"
+  std::string message;  ///< names the offending op / layer
+};
+
+bool lint_has_errors(const std::vector<LintFinding>& findings);
+std::string format_findings(const std::vector<LintFinding>& findings);
+
+/// Display name of node `i` ("label" or "op<i>"), bounds-tolerant.
+std::string lint_node_name(const std::vector<OpNode>& nodes, std::size_t i);
+
+/// Structural checks on an operator graph against a clock target:
+///   dangling-edge        dependency on a node id that does not exist
+///   combinational-cycle  dependency cycle (no registers to break it)
+///   zero-width           operand width < 1
+///   unschedulable-op     single operator delay exceeds the clock budget
+///   dead-op (warning)    value computed but never consumed (non-sink,
+///                        non-output nodes only)
+std::vector<LintFinding> lint_opgraph(const std::vector<OpNode>& nodes,
+                                      double clock_period_ns,
+                                      double sequencing_overhead_ns = 0.35);
+
+inline std::vector<LintFinding> lint_opgraph(
+    const OpGraph& graph, double clock_period_ns,
+    double sequencing_overhead_ns = 0.35) {
+  return lint_opgraph(graph.nodes(), clock_period_ns, sequencing_overhead_ns);
+}
+
+/// Independent verification of a schedule (from schedule_detail or any other
+/// scheduler): every op scheduled once, dependency cycles monotone,
+/// same-cycle chaining consistent, and no intra-cycle chain exceeding the
+/// clock budget ("stage clock-budget overflow").
+std::vector<LintFinding> lint_schedule(const std::vector<OpNode>& nodes,
+                                       const std::vector<ScheduledOp>& schedule,
+                                       double clock_period_ns,
+                                       double sequencing_overhead_ns = 0.35);
+
+/// Register lifetime / pressure report for a scheduled graph: how many bits
+/// of pipeline register each cycle boundary carries (a value produced in
+/// cycle c and last consumed in cycle u crosses boundaries c..u-1).
+struct RegisterPressure {
+  /// live_bits[b] = bits registered across the boundary between cycle b and
+  /// cycle b+1; size = pipeline depth - 1.
+  std::vector<long long> live_bits;
+  long long peak_bits = 0;
+  /// Sum over boundaries — equals ScheduleResult::register_bits.
+  long long total_register_bits = 0;
+};
+
+RegisterPressure register_pressure(const std::vector<OpNode>& nodes,
+                                   const std::vector<ScheduledOp>& schedule);
+
+}  // namespace ldpc

@@ -1,0 +1,84 @@
+// Static timing model of the two decoder schedules (§IV, Fig. 4/6).
+//
+// The analytic timing engine inside ArchSimDecoder is data independent: the
+// issue cycle of every block-column beat is fully determined by the code's
+// layer structure, the column processing order, the pipeline depths the HLS
+// schedule produced, and the Q-FIFO capacity. This model replays exactly
+// that recurrence — scoreboard RAW stalls, FIFO back-pressure, per-layer
+// drain barriers — without running the datapath, which makes core-1 stall
+// counts and decode latency statically predictable. The prediction is
+// asserted cycle-exact against the simulator's measured counters for every
+// bundled code and parallelism (tests/analysis_test.cpp), so it can drive
+// schedule optimization (layer_reorder.hpp) and lint diagnostics with the
+// authority of the scoreboard itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/column_order.hpp"
+#include "hls/pico.hpp"
+
+namespace ldpc {
+
+/// Structural inputs of the timing recurrence. `layers[l]` lists the block
+/// columns of layer l in the order core 1 processes them (i.e. the support
+/// with a ColumnOrderPolicy already applied).
+struct PipelineModel {
+  std::vector<std::vector<std::uint32_t>> layers;
+  std::size_t block_cols = 0;     ///< scoreboard width (base-matrix columns)
+  int fold = 1;                   ///< z / parallelism: beats per block column
+  int core1_latency = 1;          ///< front-end pipeline depth D1
+  int core2_latency = 1;          ///< back-end pipeline depth D2
+  std::size_t fifo_capacity = 0;  ///< Q FIFO slots (max block-row degree)
+  bool pipelined = true;          ///< Fig. 6 two-layer overlap vs Fig. 4
+};
+
+/// Model of (code, estimate) under a column-order policy — mirrors the
+/// configuration ArchSimDecoder derives from the same inputs.
+PipelineModel make_pipeline_model(const QCLdpcCode& code,
+                                  const HardwareEstimate& estimate,
+                                  ColumnOrderPolicy policy);
+
+/// Same, but over explicit layer supports (block-serial per layer) — used by
+/// the layer-permutation search, which cannot afford a code re-expansion per
+/// candidate, and by defect-seeding tests.
+PipelineModel make_pipeline_model(const LayerSupports& supports,
+                                  std::size_t block_cols,
+                                  const HardwareEstimate& estimate,
+                                  ColumnOrderPolicy policy);
+
+/// One predicted core-1 stall event.
+struct StallEvent {
+  std::size_t iteration = 0;   ///< 1-based, matching DecodeResult::iterations
+  std::size_t layer = 0;       ///< layer index within the iteration
+  std::uint32_t block_col = 0; ///< column whose read was delayed
+  long long cycles = 0;        ///< stall length
+  bool fifo = false;           ///< true if Q-FIFO back-pressure set the bound
+};
+
+/// Cycle-exact prediction for a fixed iteration count.
+struct TimingPrediction {
+  long long core1_stall_cycles = 0;      ///< == ActivityCounters value
+  long long cycles = 0;                  ///< total decode latency
+  long long first_iteration_cycles = 0;  ///< the Fig. 8a metric
+  std::vector<long long> per_layer_stalls;  ///< summed over iterations
+  std::vector<StallEvent> events;           ///< chronological attribution
+};
+
+/// Replay the timing recurrence for `iterations` full iterations.
+/// `et_check_cycles` models a dedicated syndrome-check pass between
+/// iterations (ArchSimConfig::et_check_cycles with early termination on);
+/// pass 0 for the paper's free on-the-fly check or for ET-off runs. Because
+/// the recurrence is data independent, a decode that executes k iterations
+/// measures exactly predict_timing(model, k).
+TimingPrediction predict_timing(const PipelineModel& model,
+                                std::size_t iterations,
+                                int et_check_cycles = 0);
+
+/// Steady-state stalls of one iteration deep inside a long decode (the
+/// per-iteration cost layer reordering minimizes): total over `iterations`
+/// minus total over `iterations - 1`.
+long long steady_state_stalls(const PipelineModel& model);
+
+}  // namespace ldpc

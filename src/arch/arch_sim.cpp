@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/column_order.hpp"
+
 namespace ldpc {
 
 ArchSimDecoder::ArchSimDecoder(const QCLdpcCode& code, HardwareEstimate estimate,
@@ -37,33 +39,13 @@ ArchSimDecoder::ArchSimDecoder(const QCLdpcCode& code, HardwareEstimate estimate
     stale_p_.resize(code.base().cols());
   }
 
-  // Column processing order per layer. Default: the block-serial order of
-  // Fig. 4. Hazard-aware: columns the (cyclically) previous layer does not
-  // write first, then shared columns in the previous layer's write order —
-  // maximizing the distance between a write and the dependent read.
-  const std::size_t n_layers = code_.num_layers();
-  column_order_.resize(n_layers);
-  for (std::size_t l = 0; l < n_layers; ++l) {
-    const auto& layer = code_.layers()[l];
-    auto& order = column_order_[l];
-    order.resize(layer.size());
-    for (std::size_t j = 0; j < layer.size(); ++j) order[j] = j;
-    if (!sim_config_.hazard_aware_order) continue;
-
-    const auto& prev = code_.layers()[(l + n_layers - 1) % n_layers];
-    auto prev_write_pos = [&prev](std::uint32_t col) -> int {
-      for (std::size_t j = 0; j < prev.size(); ++j)
-        if (prev[j].block_col == col) return static_cast<int>(j);
-      return -1;
-    };
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       const int pa = prev_write_pos(layer[a].block_col);
-                       const int pb = prev_write_pos(layer[b].block_col);
-                       if ((pa < 0) != (pb < 0)) return pa < 0;  // free first
-                       return pa < pb;  // shared: earliest-written first
-                     });
-  }
+  // Column processing order per layer: the shared policy implementation in
+  // analysis/column_order.hpp, so the static hazard analyzer sees exactly
+  // the schedule this simulator executes.
+  column_order_ =
+      make_column_order(code_, sim_config_.hazard_aware_order
+                                   ? ColumnOrderPolicy::kHazardAware
+                                   : ColumnOrderPolicy::kBlockSerial);
 }
 
 void ArchSimDecoder::accumulate_busy(long long start, long long end,
@@ -115,8 +97,6 @@ void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
   // ---- Core 1: read & pre-process (stage 1) --------------------------------
   for (auto& st : lane_state_) st.reset();
 
-  std::vector<std::vector<std::int32_t>> q_vectors;  // kept for core 2 writes
-  q_vectors.reserve(layer.size());
   std::vector<long long> absorb_time(layer.size());
 
   const auto& order = column_order_[layer_index];
@@ -185,8 +165,7 @@ void ArchSimDecoder::run_layer(std::size_t layer_index, Timing& timing,
       q[r] = kernel_.compute_q(shifted[r], r_word[r]);
       lane_state_[r].absorb(q[r], static_cast<std::uint32_t>(j));
     }
-    q_fifo_.push(q);
-    q_vectors.push_back(std::move(q));
+    q_fifo_.push(std::move(q));
     ++fifo_push_count_;
     if (pipelined) scoreboard_.set(blk.block_col);
 

@@ -74,4 +74,26 @@ BaseMatrix BaseMatrix::scaled_to(int z, bool scale_mod) const {
                     name_ + "/z" + std::to_string(z));
 }
 
+BaseMatrix BaseMatrix::permuted_rows(
+    const std::vector<std::size_t>& permutation) const {
+  LDPC_CHECK_MSG(permutation.size() == rows_,
+                 "permutation has " << permutation.size() << " entries for "
+                                    << rows_ << " rows");
+  std::vector<bool> seen(rows_, false);
+  for (std::size_t p : permutation) {
+    LDPC_CHECK_MSG(p < rows_ && !seen[p],
+                   "row permutation entry " << p << " invalid or repeated");
+    seen[p] = true;
+  }
+  std::vector<int> entries(entries_.size());
+  for (std::size_t r = 0; r < rows_; ++r)
+    std::copy(entries_.begin() +
+                  static_cast<std::ptrdiff_t>(permutation[r] * cols_),
+              entries_.begin() +
+                  static_cast<std::ptrdiff_t>((permutation[r] + 1) * cols_),
+              entries.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+  return BaseMatrix(rows_, cols_, std::move(entries), design_z_,
+                    name_ + "/reordered");
+}
+
 }  // namespace ldpc

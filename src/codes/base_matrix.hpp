@@ -57,6 +57,13 @@ class BaseMatrix {
   /// structural 0-shifts are preserved by both rules.
   BaseMatrix scaled_to(int z, bool scale_mod) const;
 
+  /// Reorder the block rows: row i of the result is row `permutation[i]` of
+  /// this matrix. Permuting rows of H leaves the code unchanged but fixes
+  /// the layer processing order of the layered schedules — the knob the
+  /// static hazard analyzer optimizes (analysis/layer_reorder.hpp).
+  /// `permutation` must be a permutation of 0..rows()-1.
+  BaseMatrix permuted_rows(const std::vector<std::size_t>& permutation) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

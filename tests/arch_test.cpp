@@ -119,6 +119,61 @@ TEST(Scoreboard, ClearWithoutSetThrows) {
   EXPECT_THROW(sb.schedule_clear(0, 10), Error);
 }
 
+TEST(Scoreboard, DoubleSetInvalidatesScheduledClear) {
+  // Core 1 re-reads a column before the earlier write resolved (the next
+  // layer touching the same block column): set() while already pending must
+  // forget the stale land time, or core 1 would sync to the wrong write.
+  Scoreboard sb(4);
+  sb.set(1);
+  sb.schedule_clear(1, 100);
+  sb.set(1);
+  EXPECT_TRUE(sb.is_pending(1));
+  EXPECT_THROW(sb.earliest_read(1, 0), Error);  // unknown again -> deadlock
+  sb.schedule_clear(1, 250);
+  EXPECT_EQ(sb.earliest_read(1, 0), 251);  // only the new write counts
+}
+
+TEST(Scoreboard, AllPendingSaturation) {
+  // Every block column pending at once — the worst case of §IV-B, where the
+  // next layer reads the full support of the previous one. Each bit must
+  // track its own land time and release independently.
+  constexpr std::size_t kCols = 24;
+  Scoreboard sb(kCols);
+  for (std::size_t n = 0; n < kCols; ++n) {
+    sb.set(n);
+    sb.schedule_clear(n, static_cast<long long>(10 * n));
+  }
+  for (std::size_t n = 0; n < kCols; ++n) {
+    EXPECT_TRUE(sb.is_pending(n));
+    EXPECT_EQ(sb.earliest_read(n, 0), static_cast<long long>(10 * n) + 1);
+  }
+  for (std::size_t n = 0; n < kCols; n += 2) sb.resolve(n);
+  for (std::size_t n = 0; n < kCols; ++n)
+    EXPECT_EQ(sb.is_pending(n), n % 2 == 1) << n;
+}
+
+TEST(Scoreboard, OutOfRangeColumnThrows) {
+  Scoreboard sb(4);
+  EXPECT_THROW(sb.set(4), Error);
+  EXPECT_THROW(sb.is_pending(5), Error);
+  EXPECT_THROW(sb.earliest_read(4, 0), Error);
+  EXPECT_THROW(sb.resolve(7), Error);
+}
+
+TEST(Scoreboard, WraparoundAcrossLayerBoundary) {
+  // A bit set by the last layer of iteration k is consumed by the first
+  // layer of iteration k+1: pending state survives the layer_seq wrap and
+  // the stall is measured against the old iteration's land time.
+  Scoreboard sb(4);
+  sb.set(3);                    // last layer reads column 3
+  sb.schedule_clear(3, 1000);   // its core-2 write lands at cycle 1000
+  // ... iteration boundary: no reset() happens mid-decode ...
+  EXPECT_TRUE(sb.is_pending(3));
+  EXPECT_EQ(sb.earliest_read(3, 900), 1001);  // first layer of next iter
+  sb.resolve(3);
+  EXPECT_FALSE(sb.is_pending(3));
+}
+
 TEST(Scoreboard, ResetClearsEverything) {
   Scoreboard sb(3);
   sb.set(0);
