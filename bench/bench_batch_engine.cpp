@@ -1,0 +1,100 @@
+// Batch decode engine throughput — the software-side scalability axis: the
+// same WiMAX (2304, 1/2) z = 96 case-study code the hardware benches use,
+// decoded as a stream of frames through the runtime worker pool at 1..8
+// workers. Reports decoded-bits/s, speedup over one worker, queue occupancy
+// and the per-job latency distribution, and cross-checks that every worker
+// count produces bit-identical hard decisions (the engine's determinism
+// contract). Speedup saturates at the machine's core count.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/decoder_factory.hpp"
+#include "runtime/batch_engine.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+std::vector<std::vector<float>> make_frames(const QCLdpcCode& code,
+                                            std::size_t count, float ebn0_db) {
+  const RuEncoder encoder(code);
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  std::vector<std::vector<float>> frames;
+  frames.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    Xoshiro256 info_rng(2009 + 3 * f);
+    BitVec info(code.k());
+    for (std::size_t i = 0; i < info.size(); ++i) info.set(i, info_rng.coin());
+    AwgnChannel awgn(variance, 2010 + 3 * f);
+    frames.push_back(BpskModem::demodulate(
+        awgn.transmit(BpskModem::modulate(encoder.encode(info))), variance));
+  }
+  return frames;
+}
+
+}  // namespace
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+  constexpr std::size_t kFrames = 400;
+  // 2.0 dB: the waterfall operating point — a realistic mix of early
+  // terminations and full-budget decodes.
+  const auto frames = make_frames(code, kFrames, 2.0F);
+
+  DecoderFactory factory = [&code] {
+    DecoderOptions opt;
+    opt.max_iterations = 10;
+    return make_decoder("layered-minsum-fixed", code, opt);
+  };
+
+  TextTable table(
+      "Batch engine — WiMAX (2304, 1/2) z=96, layered-minsum q8.2, 400 "
+      "frames @ 2.0 dB");
+  table.set_header({"workers", "decoded Mb/s", "speedup", "p50 (us)",
+                    "p95 (us)", "p99 (us)", "queue mean/max", "avg iters"});
+
+  double base_mbps = 0.0;
+  std::vector<DecodeResult> reference;
+  bool identical = true;
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    BatchEngineConfig cfg;
+    cfg.num_workers = workers;
+    cfg.queue_capacity = 64;
+    BatchEngine engine(factory, cfg);
+    auto results = engine.decode_batch(frames);
+    const EngineMetrics m = engine.metrics();
+    if (workers == 1) {
+      base_mbps = m.throughput_mbps;
+      reference = std::move(results);
+    } else {
+      for (std::size_t f = 0; f < results.size(); ++f) {
+        if (results[f].iterations != reference[f].iterations) identical = false;
+        for (std::size_t i = 0; i < code.n(); ++i)
+          if (results[f].hard_bits.get(i) != reference[f].hard_bits.get(i))
+            identical = false;
+      }
+    }
+    char occupancy[32];
+    std::snprintf(occupancy, sizeof occupancy, "%.1f/%zu",
+                  m.queue_mean_occupancy, m.queue_max_occupancy);
+    table.add_row({TextTable::integer(workers),
+                   TextTable::num(m.throughput_mbps, 1),
+                   TextTable::num(base_mbps > 0.0
+                                      ? m.throughput_mbps / base_mbps
+                                      : 1.0, 2),
+                   TextTable::num(m.latency.p50_us, 0),
+                   TextTable::num(m.latency.p95_us, 0),
+                   TextTable::num(m.latency.p99_us, 0), occupancy,
+                   TextTable::num(m.avg_iterations(), 2)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nOutput bit-identical across worker counts: %s\n"
+      "Expected: decoded-bits/s scales with workers until the core count\n"
+      "saturates (>= 3x at 8 workers on >= 8 cores); p50 latency is flat\n"
+      "while p99 grows with queue depth — the backpressure signature.\n",
+      identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  return identical ? 0 : 1;
+}

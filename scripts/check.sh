@@ -2,14 +2,18 @@
 # Full verification gate: everything CI runs, in one command.
 #
 #   1. tier-1 verify   — warnings-as-errors build + complete ctest suite
-#   2. sanitizer pass  — ASan+UBSan build (LDPC_SANITIZE) + ctest
-#   3. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
+#   2. sanitizer pass  — ASan+UBSan build (LDPC_SANITIZE=ON) + ctest
+#   3. TSan pass       — ThreadSanitizer build (LDPC_SANITIZE=thread) running
+#                        the concurrency-sensitive tests: the runtime batch
+#                        engine and the engine-based BER runner
+#   4. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
 #                        with a notice when clang-tidy is not installed
-#   4. ldpc-lint       — static schedule/hazard analysis over every bundled
+#   5. ldpc-lint       — static schedule/hazard analysis over every bundled
 #                        code and both column orders (must exit 0)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast skips the sanitizer pass (the slowest stage) for quick local runs.
+#   --fast skips both sanitizer passes (the slowest stages) for quick local
+#   runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,24 +28,31 @@ done
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/4] tier-1 verify (LDPC_WERROR=ON) =="
+echo "== [1/5] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 if [ "$FAST" -eq 0 ]; then
-  echo "== [2/4] ASan + UBSan =="
+  echo "== [2/5] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure
+
+  echo "== [3/5] ThreadSanitizer (runtime engine + BER runner) =="
+  cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
+  cmake --build build-tsan -j "$JOBS" --target runtime_test channel_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'JobQueue|BatchEngine|BerRunner|BerFrameSeeds'
 else
-  echo "== [2/4] ASan + UBSan — skipped (--fast) =="
+  echo "== [2/5] ASan + UBSan — skipped (--fast) =="
+  echo "== [3/5] ThreadSanitizer — skipped (--fast) =="
 fi
 
-echo "== [3/4] clang-tidy =="
+echo "== [4/5] clang-tidy =="
 cmake --build build --target lint
 
-echo "== [4/4] ldpc-lint over all bundled codes =="
+echo "== [5/5] ldpc-lint over all bundled codes =="
 ./build/src/analysis/ldpc-lint
 ./build/src/analysis/ldpc-lint --order hazard
 

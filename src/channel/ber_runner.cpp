@@ -2,17 +2,100 @@
 
 #include <algorithm>
 
-#include <atomic>
-#include <mutex>
-#include <thread>
-
 #include "channel/awgn.hpp"
 #include "channel/modem.hpp"
 #include "channel/rayleigh.hpp"
+#include "runtime/batch_engine.hpp"
 #include "util/check.hpp"
-#include "util/rng.hpp"
 
 namespace ldpc {
+
+namespace {
+
+/// Frames issued between early-stop checks. A constant (never a function of
+/// the worker count) so the set of simulated frames — and therefore every
+/// counter — is identical for any num_workers.
+constexpr std::size_t kWaveFrames = 32;
+
+/// Everything one frame contributes to a BerPoint, written into a slot
+/// indexed by frame number and folded in deterministic frame order after
+/// the wave drains.
+struct FrameOutcome {
+  std::size_t bit_errors = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  DecodeStatus status = DecodeStatus::kMaxIterations;
+  std::size_t faults_injected = 0;
+};
+
+/// One frame through the configured modulation and channel model.
+std::vector<float> transmit_frame(const BerConfig& config, std::size_t n,
+                                  float variance, const BitVec& codeword,
+                                  AwgnChannel& awgn,
+                                  RayleighChannel& rayleigh) {
+  std::vector<float> symbols;
+  switch (config.modulation) {
+    case Modulation::kBpsk:  symbols = BpskModem::modulate(codeword); break;
+    case Modulation::kQpsk:  symbols = QpskModem::modulate(codeword); break;
+    case Modulation::kQam16: symbols = Qam16Modem::modulate(codeword); break;
+  }
+  if (config.channel == ChannelModel::kAwgn) {
+    const auto received = awgn.transmit(symbols);
+    switch (config.modulation) {
+      case Modulation::kBpsk:
+        return BpskModem::demodulate(received, variance);
+      case Modulation::kQpsk:
+        return QpskModem::demodulate(received, variance, n);
+      case Modulation::kQam16:
+        return Qam16Modem::demodulate(received, variance, n);
+    }
+  }
+  // Rayleigh fading with per-dimension independent gains (fully
+  // interleaved assumption), coherent reception.
+  std::vector<float> gains;
+  const auto received = rayleigh.transmit(symbols, gains);
+  if (config.modulation == Modulation::kBpsk)
+    return RayleighChannel::demodulate_bpsk(received, gains, variance);
+  if (config.modulation == Modulation::kQpsk) {
+    std::vector<float> llr(n);
+    constexpr float kInvSqrt2 = 0.70710678118654752F;
+    const float base = 2.0F * kInvSqrt2 / variance;
+    for (std::size_t b = 0; b < llr.size(); ++b)
+      llr[b] = base * gains[b] * received[b];
+    return llr;
+  }
+  // 16-QAM over fading: equalize each rail by its known gain, scale the
+  // effective noise accordingly, and reuse the AWGN demapper.
+  std::vector<float> llr(n);
+  for (std::size_t b = 0; b < llr.size(); ++b) {
+    const std::size_t rail = b / 2;  // two bits per rail
+    const float h = std::max(gains[rail], 1e-6F);
+    const auto rail_llr = Qam16Modem::demodulate(
+        {received[rail] / h, 0.0F}, variance / (h * h), 2);
+    llr[b] = rail_llr[b % 2];
+  }
+  return llr;
+}
+
+void accumulate(BerPoint& point, const FrameOutcome& outcome) {
+  ++point.frames;
+  point.sum_iterations += static_cast<double>(outcome.iterations);
+  point.faults_injected += outcome.faults_injected;
+  if (outcome.status == DecodeStatus::kWatchdogAbort) ++point.watchdog_aborts;
+  if (outcome.iterations > 0) {
+    if (outcome.iterations > point.iteration_histogram.size())
+      point.iteration_histogram.resize(outcome.iterations, 0);
+    ++point.iteration_histogram[outcome.iterations - 1];
+  }
+  if (outcome.bit_errors > 0) {
+    point.bit_errors += outcome.bit_errors;
+    ++point.frame_errors;
+    if (outcome.converged) ++point.undetected_errors;
+    else ++point.detected_errors;
+  }
+}
+
+}  // namespace
 
 BerRunner::BerRunner(const QCLdpcCode& code, DecoderFactory factory,
                      BerConfig config)
@@ -43,132 +126,63 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
                              : config_.modulation == Modulation::kQpsk ? 2.0
                                                                        : 1.0;
   const float variance = awgn_noise_variance(ebn0_db, code_.rate(), bits_factor);
-  std::atomic<std::size_t> frames_issued{0};
-  std::atomic<std::size_t> frame_errors_seen{0};
-  std::mutex merge_mutex;
+  // Shared across workers: encode() is const and carries no mutable state.
+  const RuEncoder encoder(code_);
 
-  auto worker = [&](unsigned worker_id) {
-    // Worker-private simulation chain; seeds are derived from (seed, point,
-    // worker) so every configuration is reproducible.
-    std::uint64_t sm = config_.seed + 0x9e3779b9ULL * (point_index + 1);
-    sm ^= 0x1000003ULL * (worker_id + 1);
-    Xoshiro256 info_rng(splitmix64(sm));
-    AwgnChannel awgn(variance, splitmix64(sm));
-    RayleighChannel rayleigh(variance, splitmix64(sm));
-    const RuEncoder encoder(code_);
-    const std::unique_ptr<Decoder> decoder = factory_();
-    LDPC_CHECK(decoder->n() == code_.n());
+  BatchEngineConfig engine_config;
+  engine_config.num_workers = config_.num_workers;
+  engine_config.queue_capacity = kWaveFrames;
+  BatchEngine engine(factory_, engine_config);
 
-    // One frame through the configured modulation and channel model.
-    std::vector<float> gains;
-    auto transmit_frame = [&](const BitVec& codeword) -> std::vector<float> {
-      std::vector<float> symbols;
-      switch (config_.modulation) {
-        case Modulation::kBpsk:  symbols = BpskModem::modulate(codeword); break;
-        case Modulation::kQpsk:  symbols = QpskModem::modulate(codeword); break;
-        case Modulation::kQam16: symbols = Qam16Modem::modulate(codeword); break;
-      }
-      if (config_.channel == ChannelModel::kAwgn) {
-        const auto received = awgn.transmit(symbols);
-        switch (config_.modulation) {
-          case Modulation::kBpsk:
-            return BpskModem::demodulate(received, variance);
-          case Modulation::kQpsk:
-            return QpskModem::demodulate(received, variance, code_.n());
-          case Modulation::kQam16:
-            return Qam16Modem::demodulate(received, variance, code_.n());
-        }
-      }
-      // Rayleigh fading with per-dimension independent gains (fully
-      // interleaved assumption), coherent reception.
-      const auto received = rayleigh.transmit(symbols, gains);
-      if (config_.modulation == Modulation::kBpsk)
-        return RayleighChannel::demodulate_bpsk(received, gains, variance);
-      if (config_.modulation == Modulation::kQpsk) {
-        std::vector<float> llr(code_.n());
-        constexpr float kInvSqrt2 = 0.70710678118654752F;
-        const float base = 2.0F * kInvSqrt2 / variance;
-        for (std::size_t b = 0; b < llr.size(); ++b)
-          llr[b] = base * gains[b] * received[b];
-        return llr;
-      }
-      // 16-QAM over fading: equalize each rail by its known gain, scale the
-      // effective noise accordingly, and reuse the AWGN demapper.
-      std::vector<float> llr(code_.n());
-      for (std::size_t b = 0; b < llr.size(); ++b) {
-        const std::size_t rail = b / 2;  // two bits per rail
-        const float h = std::max(gains[rail], 1e-6F);
-        const auto rail_llr = Qam16Modem::demodulate(
-            {received[rail] / h, 0.0F}, variance / (h * h), 2);
-        llr[b] = rail_llr[b % 2];
-      }
-      return llr;
-    };
+  // The whole simulation of one frame, run on whichever worker picks the
+  // job up. Deterministic: all three RNGs are re-seeded per frame from the
+  // frame index, and the outcome lands in the frame's own slot.
+  auto run_frame = [&](std::size_t frame, FrameOutcome* outcome) {
+    return [&, frame, outcome](Decoder& decoder) {
+      LDPC_CHECK(decoder.n() == code_.n());
+      const FrameSeeds seeds =
+          ber_frame_seeds(config_.seed, point_index, frame);
+      Xoshiro256 info_rng(seeds.info);
+      AwgnChannel awgn(variance, seeds.awgn);
+      RayleighChannel rayleigh(variance, seeds.rayleigh);
 
-    BerPoint local;
-    BitVec info(code_.k());
-    while (true) {
-      const std::size_t frame = frames_issued.fetch_add(1);
-      if (frame >= config_.max_frames) break;
-      if (frame >= config_.min_frames &&
-          frame_errors_seen.load(std::memory_order_relaxed) >=
-              config_.target_frame_errors)
-        break;
-
+      BitVec info(code_.k());
       if (config_.random_info) {
-        for (std::size_t i = 0; i < info.size(); ++i) info.set(i, info_rng.coin());
-      } else {
-        info.clear_all();
+        for (std::size_t i = 0; i < info.size(); ++i)
+          info.set(i, info_rng.coin());
       }
       const BitVec codeword = encoder.encode(info);
-      const auto llr = transmit_frame(codeword);
+      const auto llr = transmit_frame(config_, code_.n(), variance, codeword,
+                                      awgn, rayleigh);
+      DecodeResult result = decoder.decode(llr);
 
-      const DecodeResult result = decoder->decode(llr);
-
-      std::size_t bit_errors = 0;
+      outcome->bit_errors = 0;
       for (std::size_t i = 0; i < code_.k(); ++i)
-        if (result.hard_bits.get(i) != info.get(i)) ++bit_errors;
-
-      ++local.frames;
-      local.sum_iterations += static_cast<double>(result.iterations);
-      local.faults_injected += result.faults_injected;
-      if (result.status == DecodeStatus::kWatchdogAbort)
-        ++local.watchdog_aborts;
-      if (result.iterations > local.iteration_histogram.size())
-        local.iteration_histogram.resize(result.iterations, 0);
-      ++local.iteration_histogram[result.iterations - 1];
-      if (bit_errors > 0) {
-        local.bit_errors += bit_errors;
-        ++local.frame_errors;
-        if (result.converged) ++local.undetected_errors;
-        else ++local.detected_errors;
-        frame_errors_seen.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-
-    const std::scoped_lock lock(merge_mutex);
-    point.frames += local.frames;
-    point.bit_errors += local.bit_errors;
-    point.frame_errors += local.frame_errors;
-    point.undetected_errors += local.undetected_errors;
-    point.detected_errors += local.detected_errors;
-    point.watchdog_aborts += local.watchdog_aborts;
-    point.faults_injected += local.faults_injected;
-    point.sum_iterations += local.sum_iterations;
-    if (local.iteration_histogram.size() > point.iteration_histogram.size())
-      point.iteration_histogram.resize(local.iteration_histogram.size(), 0);
-    for (std::size_t i = 0; i < local.iteration_histogram.size(); ++i)
-      point.iteration_histogram[i] += local.iteration_histogram[i];
+        if (result.hard_bits.get(i) != info.get(i)) ++outcome->bit_errors;
+      outcome->iterations = result.iterations;
+      outcome->converged = result.converged;
+      outcome->status = result.status;
+      outcome->faults_injected = result.faults_injected;
+      return result;
+    };
   };
 
-  if (config_.num_workers == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(config_.num_workers);
-    for (unsigned w = 0; w < config_.num_workers; ++w)
-      threads.emplace_back(worker, w);
-    for (auto& t : threads) t.join();
+  std::vector<FrameOutcome> outcomes(kWaveFrames);
+  std::size_t next_frame = 0;
+  while (next_frame < config_.max_frames) {
+    if (next_frame >= config_.min_frames &&
+        point.frame_errors >= config_.target_frame_errors)
+      break;
+    const std::size_t wave =
+        std::min(kWaveFrames, config_.max_frames - next_frame);
+    for (std::size_t i = 0; i < wave; ++i) {
+      outcomes[i] = FrameOutcome{};
+      engine.submit_task(next_frame + i,
+                         run_frame(next_frame + i, &outcomes[i]));
+    }
+    engine.drain();
+    for (std::size_t i = 0; i < wave; ++i) accumulate(point, outcomes[i]);
+    next_frame += wave;
   }
   return point;
 }

@@ -1,10 +1,14 @@
 // Multithreaded Monte-Carlo BER/FER harness.
 //
-// Each worker owns its own encoder-channel-decoder instances (decoders carry
-// mutable message memory) and a deterministically derived RNG stream, so
-// results are reproducible for a given (seed, worker count) regardless of
-// scheduling. The harness stops a point early once `target_frame_errors`
-// have been observed — the standard technique for equal-confidence points.
+// Frames are decoded by the runtime batch engine (runtime/batch_engine.hpp):
+// a pool of workers each owning a private decoder, fed through a bounded
+// queue. Every frame's RNG streams are derived from (seed, point,
+// frame_index) — never from the worker that happens to run it — and frames
+// are issued in fixed-size waves with the early-stop decision taken only at
+// wave boundaries, so a point's counts are bit-identical for *any* worker
+// count, not merely for a fixed one. The harness stops a point early once
+// `target_frame_errors` have been observed — the standard technique for
+// equal-confidence points.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +20,33 @@
 #include "codes/encoder.hpp"
 #include "codes/qc_code.hpp"
 #include "core/decoder.hpp"
+#include "core/decoder_factory.hpp"
+#include "util/rng.hpp"
 
 namespace ldpc {
+
+/// The three independent RNG seeds one simulated frame consumes.
+struct FrameSeeds {
+  std::uint64_t info = 0;      ///< information-bit generator
+  std::uint64_t awgn = 0;      ///< AWGN noise generator
+  std::uint64_t rayleigh = 0;  ///< Rayleigh fading gain generator
+};
+
+/// Seed derivation for one frame of one sweep point: a splitmix64 stream
+/// keyed by (seed, point, frame) and *advanced between draws*, so the three
+/// consumers get pairwise-distinct streams (seeding them identically
+/// correlates the noise with the data). Keyed by frame index — not worker
+/// id — so the simulation is invariant to thread count and scheduling.
+inline FrameSeeds ber_frame_seeds(std::uint64_t seed, std::size_t point_index,
+                                  std::size_t frame_index) {
+  std::uint64_t sm = seed + 0x9e3779b97f4a7c15ULL * (point_index + 1);
+  sm ^= 0xd1b54a32d192ed03ULL * (frame_index + 1);
+  FrameSeeds seeds;
+  seeds.info = splitmix64(sm);
+  seeds.awgn = splitmix64(sm);
+  seeds.rayleigh = splitmix64(sm);
+  return seeds;
+}
 
 enum class Modulation { kBpsk, kQpsk, kQam16 };
 enum class ChannelModel { kAwgn, kRayleigh };
@@ -68,9 +97,6 @@ struct BerPoint {
                                    static_cast<double>(frame_errors);
   }
 };
-
-/// Factory invoked once per worker thread (decoders hold per-call state).
-using DecoderFactory = std::function<std::unique_ptr<Decoder>()>;
 
 class BerRunner {
  public:

@@ -47,6 +47,18 @@ struct DecodeResult {
   std::size_t faults_injected = 0;  ///< upsets landed during this decode
 };
 
+/// Dynamic-range accounting for one decode. Fixed-point decoders fill this
+/// in (when DecoderOptions::count_saturation is set); floating-point
+/// decoders report zeros. Aggregated per worker by the runtime batch engine.
+struct SaturationStats {
+  long long quantizer_clips = 0;  ///< channel LLRs clipped at the rails
+  long long datapath_clips = 0;   ///< Q/R'/P' adder saturations
+  /// Check rows with degree < 2 encountered by the layered kernel (R' has no
+  /// extrinsic input and is forced to 0); counted once per row per layer
+  /// pass regardless of count_saturation.
+  long long degenerate_checks = 0;
+};
+
 /// Output-side parity recheck: classify a finished decode. Every decoder
 /// funnels its exit through this so the status taxonomy stays consistent.
 inline DecodeStatus classify_exit(bool parity_ok, bool watchdog_fired,
@@ -69,6 +81,10 @@ class Decoder {
 
   /// Short identifier used in benchmark tables, e.g. "layered-msf-q8".
   virtual std::string name() const = 0;
+
+  /// Saturation accounting for the most recent decode. Default: all zeros
+  /// (decoders without a fixed-point datapath have nothing to clip).
+  virtual SaturationStats saturation() const { return {}; }
 };
 
 /// Per-iteration convergence snapshot delivered to an IterationObserver.

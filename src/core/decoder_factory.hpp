@@ -2,6 +2,7 @@
 // examples and the BER harness select decoders by string.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,11 @@
 #include "core/quant.hpp"
 
 namespace ldpc {
+
+/// Callable producing a fresh decoder instance. Invoked once per worker
+/// thread by the BER harness and the runtime batch engine (decoders hold
+/// per-call message memory, so each thread needs its own).
+using DecoderFactory = std::function<std::unique_ptr<Decoder>()>;
 
 /// Recognised names:
 ///   "flooding-bp", "flooding-minsum", "flooding-minsum-norm",

@@ -67,7 +67,14 @@ std::int32_t LayerRowKernel::scale(std::int32_t magnitude) const {
 
 std::int32_t LayerRowKernel::compute_r_new(const CheckState& st, std::int32_t q,
                                            std::uint32_t pos) const {
-  LDPC_CHECK_MSG(st.count >= 2, "check row needs degree >= 2");
+  // A degree-1 check row (random_qc configurations, punctured codes) has no
+  // extrinsic input for its single edge: the check constrains nothing beyond
+  // the bit itself, so R' = 0 — the min1/min2 state holds only the sentinel
+  // and this edge's own magnitude, neither of which is a valid message.
+  if (st.count < 2) {
+    if (degenerate_) ++(*degenerate_);
+    return 0;
+  }
   const std::int32_t mag = scale((pos == st.pos1) ? st.min2 : st.min1);
   const bool negative = st.sign_product ^ (q < 0);
   // Magnitudes fit the format by construction (|Q| <= max|code|, scaled down),
@@ -138,9 +145,11 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
   std::fill(check_msg_.begin(), check_msg_.end(), 0);
 
   saturation_.datapath_clips = 0;
+  saturation_.degenerate_checks = 0;
   kernel_.track_saturation(options_.count_saturation
                                ? &saturation_.datapath_clips
                                : nullptr);
+  kernel_.track_degenerate(&saturation_.degenerate_checks);
   FaultInjector* const injector =
       (options_.fault_injector && options_.fault_injector->enabled())
           ? options_.fault_injector

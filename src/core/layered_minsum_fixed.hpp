@@ -48,6 +48,10 @@ class LayerRowKernel {
   /// outlive every kernel call.
   void track_saturation(long long* clips) { clips_ = clips; }
 
+  /// Route degenerate-row events (compute_r_new on a check row of degree
+  /// < 2, where R' is forced to 0) into `counter`. Non-owning, may be null.
+  void track_degenerate(long long* counter) { degenerate_ = counter; }
+
   /// Stage-1 state for one check row (what core 1 accumulates).
   struct CheckState {
     std::int32_t min1 = 0;   ///< smallest |Q|
@@ -78,8 +82,9 @@ class LayerRowKernel {
   FixedFormat format_;
   std::int32_t scale_num_;
   std::int32_t scale_den_;
-  std::int32_t offset_code_ = -1;  ///< >= 0 selects offset correction
-  long long* clips_ = nullptr;     ///< optional saturation-event counter
+  std::int32_t offset_code_ = -1;   ///< >= 0 selects offset correction
+  long long* clips_ = nullptr;      ///< optional saturation-event counter
+  long long* degenerate_ = nullptr; ///< optional degree<2 row counter
 };
 
 class LayeredMinSumFixedDecoder final : public Decoder {
@@ -107,13 +112,10 @@ class LayeredMinSumFixedDecoder final : public Decoder {
   /// Final posteriors of the last decode (codes), for quantization studies.
   const std::vector<std::int32_t>& posteriors() const { return posterior_; }
 
-  /// Saturation accounting for the last decode (zeros unless
-  /// DecoderOptions::count_saturation was set).
-  struct SaturationStats {
-    long long quantizer_clips = 0;  ///< channel LLRs clipped at the rails
-    long long datapath_clips = 0;   ///< Q/R'/P' adder saturations
-  };
-  const SaturationStats& saturation() const { return saturation_; }
+  /// Saturation accounting for the last decode (clip counts are zero unless
+  /// DecoderOptions::count_saturation was set; degenerate_checks is always
+  /// counted).
+  SaturationStats saturation() const override { return saturation_; }
 
  private:
   const QCLdpcCode& code_;

@@ -1,0 +1,215 @@
+#include "runtime/batch_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ldpc {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size()));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::size_t EngineMetrics::status_total(DecodeStatus s) const {
+  std::size_t total = 0;
+  for (const auto& w : workers)
+    total += w.status_counts[static_cast<std::size_t>(s)];
+  return total;
+}
+
+std::size_t EngineMetrics::sum_iterations() const {
+  std::size_t total = 0;
+  for (const auto& w : workers) total += w.sum_iterations;
+  return total;
+}
+
+double EngineMetrics::avg_iterations() const {
+  return jobs_completed == 0 ? 0.0
+                             : static_cast<double>(sum_iterations()) /
+                                   static_cast<double>(jobs_completed);
+}
+
+BatchEngine::BatchEngine(DecoderFactory factory, BatchEngineConfig config)
+    : factory_(std::move(factory)),
+      config_(config),
+      queue_(config.queue_capacity) {
+  LDPC_CHECK(factory_ != nullptr);
+  LDPC_CHECK_MSG(config_.num_workers >= 1, "engine needs >= 1 worker");
+  worker_stats_.resize(config_.num_workers);
+  workers_.reserve(config_.num_workers);
+  for (unsigned w = 0; w < config_.num_workers; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+BatchEngine::~BatchEngine() {
+  queue_.close();
+  for (auto& t : workers_) t.join();
+}
+
+BatchEngine::Job BatchEngine::make_job(std::size_t frame_index,
+                                       std::vector<float>&& llr,
+                                       DecodeResult* slot, Task&& task) {
+  Job job;
+  job.frame_index = frame_index;
+  job.llr = std::move(llr);
+  job.slot = slot;
+  job.task = std::move(task);
+  job.enqueued = std::chrono::steady_clock::now();
+  return job;
+}
+
+void BatchEngine::record_submit() {
+  const std::scoped_lock lock(state_mutex_);
+  if (!started_) {
+    started_ = true;
+    first_enqueue_ = std::chrono::steady_clock::now();
+  }
+  ++submitted_;
+}
+
+void BatchEngine::unrecord_submit() {
+  const std::scoped_lock lock(state_mutex_);
+  --submitted_;
+  // A concurrent drain() may have been waiting on the job that was just
+  // backed out; re-evaluate its predicate.
+  if (completed_ == submitted_) all_done_.notify_all();
+}
+
+void BatchEngine::submit(std::size_t frame_index, std::vector<float> llr,
+                         DecodeResult* slot) {
+  LDPC_CHECK(slot != nullptr);
+  record_submit();
+  if (!queue_.push(make_job(frame_index, std::move(llr), slot, {}))) {
+    unrecord_submit();
+    throw Error("BatchEngine: submit on a stopped engine");
+  }
+}
+
+bool BatchEngine::try_submit(std::size_t frame_index, std::vector<float>& llr,
+                             DecodeResult* slot) {
+  LDPC_CHECK(slot != nullptr);
+  record_submit();
+  Job job = make_job(frame_index, std::move(llr), slot, {});
+  if (!queue_.try_push(job)) {
+    llr = std::move(job.llr);  // hand the frame back to the caller
+    unrecord_submit();
+    return false;
+  }
+  return true;
+}
+
+void BatchEngine::submit_task(std::size_t frame_index, Task task) {
+  LDPC_CHECK(task != nullptr);
+  record_submit();
+  if (!queue_.push(make_job(frame_index, {}, nullptr, std::move(task)))) {
+    unrecord_submit();
+    throw Error("BatchEngine: submit on a stopped engine");
+  }
+}
+
+void BatchEngine::drain() {
+  std::unique_lock lock(state_mutex_);
+  all_done_.wait(lock, [&] { return completed_ == submitted_; });
+}
+
+std::vector<DecodeResult> BatchEngine::decode_batch(
+    const std::vector<std::vector<float>>& frames) {
+  // Sized up front: slots must not move while jobs are in flight.
+  std::vector<DecodeResult> results(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    submit(i, frames[i], &results[i]);
+  drain();
+  return results;
+}
+
+void BatchEngine::worker_main(unsigned worker_id) {
+  const std::unique_ptr<Decoder> decoder = factory_();
+  Job job;
+  while (queue_.pop(job)) {
+    DecodeResult result;
+    bool failed = false;
+    try {
+      result = job.task ? job.task(*decoder) : decoder->decode(job.llr);
+    } catch (...) {
+      // A throwing decode must not take the worker (and every queued job
+      // behind it) down; it is surfaced as EngineWorkerStats::exceptions
+      // and the slot keeps its default (non-converged) DecodeResult.
+      failed = true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const std::size_t iterations = result.iterations;
+    const auto status_index = static_cast<std::size_t>(result.status);
+    const bool converged = result.status == DecodeStatus::kConverged;
+    if (!failed && job.slot) *job.slot = std::move(result);
+
+    const SaturationStats sat = decoder->saturation();
+    const std::scoped_lock lock(state_mutex_);
+    EngineWorkerStats& stats = worker_stats_[worker_id];
+    ++stats.jobs;
+    if (failed) {
+      ++stats.exceptions;
+    } else {
+      stats.sum_iterations += iterations;
+      stats.status_counts[status_index] += 1;
+      if (converged) ++stats.early_terminations;
+      stats.saturation.quantizer_clips += sat.quantizer_clips;
+      stats.saturation.datapath_clips += sat.datapath_clips;
+      stats.saturation.degenerate_checks += sat.degenerate_checks;
+      decoded_bits_ += decoder->n();
+    }
+    latency_us_.push_back(
+        std::chrono::duration<double, std::micro>(now - job.enqueued).count());
+    last_complete_ = now;
+    ++completed_;
+    if (completed_ == submitted_) all_done_.notify_all();
+    job = Job{};  // release the frame buffer before blocking on the queue
+  }
+}
+
+EngineMetrics BatchEngine::metrics() const {
+  EngineMetrics m;
+  const RunningStats occupancy = queue_.occupancy();
+  std::vector<double> latencies;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    m.jobs_submitted = submitted_;
+    m.jobs_completed = completed_;
+    m.decoded_bits = decoded_bits_;
+    if (started_) {
+      const auto end = completed_ == submitted_
+                           ? last_complete_
+                           : std::chrono::steady_clock::now();
+      m.wall_seconds =
+          std::chrono::duration<double>(end - first_enqueue_).count();
+    }
+    m.workers = worker_stats_;
+    latencies = latency_us_;
+  }
+  if (m.wall_seconds > 0.0)
+    m.throughput_mbps =
+        static_cast<double>(m.decoded_bits) / m.wall_seconds / 1e6;
+  m.queue_capacity = queue_.capacity();
+  m.queue_mean_occupancy = occupancy.mean();
+  m.queue_max_occupancy =
+      occupancy.count() == 0 ? 0 : static_cast<std::size_t>(occupancy.max());
+  std::sort(latencies.begin(), latencies.end());
+  m.latency.samples = latencies.size();
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    m.latency.mean_us = sum / static_cast<double>(latencies.size());
+    m.latency.p50_us = percentile(latencies, 0.50);
+    m.latency.p95_us = percentile(latencies, 0.95);
+    m.latency.p99_us = percentile(latencies, 0.99);
+    m.latency.max_us = latencies.back();
+  }
+  return m;
+}
+
+}  // namespace ldpc

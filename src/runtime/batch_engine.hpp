@@ -1,0 +1,163 @@
+// Multi-codeword batch decode engine.
+//
+// The library's decoders process one frame per call; production traffic
+// arrives as streams of frames. BatchEngine maps a stream onto a pool of
+// worker threads, each owning a private Decoder instance (decoders carry
+// mutable message memory), fed through a bounded job queue whose blocking
+// push is the backpressure mechanism.
+//
+// Determinism contract: the engine never makes an output depend on which
+// worker ran a job or in what order jobs completed. Results land in
+// caller-provided slots addressed by frame index, and any randomness a
+// submitted task consumes must be derived from its frame index — the same
+// discipline the BER harness follows. Under that contract the output of a
+// batch is bit-identical for every worker count.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "core/decoder_factory.hpp"
+#include "runtime/job_queue.hpp"
+
+namespace ldpc {
+
+struct BatchEngineConfig {
+  unsigned num_workers = 1;
+  /// Jobs the queue holds before submit() blocks (backpressure depth).
+  std::size_t queue_capacity = 256;
+};
+
+/// Per-worker aggregation of the DecodeResult / saturation statistics the
+/// decoders already produce, plus failure accounting.
+struct EngineWorkerStats {
+  std::size_t jobs = 0;
+  std::size_t sum_iterations = 0;
+  /// Decodes that satisfied parity and stopped (DecodeStatus::kConverged) —
+  /// the early-termination events that make average latency < worst case.
+  std::size_t early_terminations = 0;
+  /// Outcome histogram indexed by static_cast<std::size_t>(DecodeStatus).
+  std::array<std::size_t, 4> status_counts{};
+  SaturationStats saturation;  ///< accumulated over this worker's decodes
+  std::size_t exceptions = 0;  ///< jobs whose decode/task threw
+};
+
+/// Order statistics of per-job latency (enqueue -> completion, so queue
+/// wait is included — the number a caller sizing queue_capacity cares
+/// about). Microseconds.
+struct LatencySummary {
+  std::size_t samples = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct EngineMetrics {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t decoded_bits = 0;  ///< sum of codeword lengths decoded
+  /// First submit -> last completion (now, while jobs are in flight).
+  double wall_seconds = 0.0;
+  double throughput_mbps = 0.0;  ///< decoded_bits / wall_seconds / 1e6
+  std::size_t queue_capacity = 0;
+  double queue_mean_occupancy = 0.0;
+  std::size_t queue_max_occupancy = 0;
+  LatencySummary latency;
+  std::vector<EngineWorkerStats> workers;
+
+  /// Sum of one status bucket over all workers.
+  std::size_t status_total(DecodeStatus s) const;
+  std::size_t sum_iterations() const;
+  double avg_iterations() const;
+};
+
+class BatchEngine {
+ public:
+  /// A unit of work executed on a worker thread with that worker's decoder.
+  /// Must derive any randomness it consumes from data baked into the task
+  /// (e.g. a frame index), never from the worker. The returned DecodeResult
+  /// feeds the engine's statistics.
+  using Task = std::function<DecodeResult(Decoder&)>;
+
+  /// Spawns the worker pool; `factory` is invoked once on each worker
+  /// thread (it must be safe to call concurrently).
+  BatchEngine(DecoderFactory factory, BatchEngineConfig config = {});
+
+  /// Drains nothing: outstanding jobs still run to completion, but the
+  /// destructor does not wait for a drain() the caller skipped. It closes
+  /// the queue and joins the workers.
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Submit one decode job. `*slot` receives the result when the job
+  /// completes; it must stay valid until drain() returns and must be unique
+  /// per job (slot-per-frame-index is the determinism contract). Blocks
+  /// while the queue is full.
+  void submit(std::size_t frame_index, std::vector<float> llr,
+              DecodeResult* slot);
+
+  /// Non-blocking submit: false (llr left intact) when the queue is full.
+  bool try_submit(std::size_t frame_index, std::vector<float>& llr,
+                  DecodeResult* slot);
+
+  /// Submit an arbitrary task (the BER harness submits whole
+  /// generate-transmit-decode-score frames). Blocks while the queue is full.
+  void submit_task(std::size_t frame_index, Task task);
+
+  /// Block until every job submitted so far has completed.
+  void drain();
+
+  /// Synchronous convenience wrapper: decode `frames`, return results in
+  /// input order. Equivalent to submit-all + drain.
+  std::vector<DecodeResult> decode_batch(
+      const std::vector<std::vector<float>>& frames);
+
+  /// Snapshot of the engine counters; callable at any time, including while
+  /// jobs are in flight.
+  EngineMetrics metrics() const;
+
+  unsigned num_workers() const { return config_.num_workers; }
+
+ private:
+  struct Job {
+    std::size_t frame_index = 0;
+    std::vector<float> llr;
+    DecodeResult* slot = nullptr;
+    Task task;  ///< when set, runs instead of decoder.decode(llr)
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_main(unsigned worker_id);
+  Job make_job(std::size_t frame_index, std::vector<float>&& llr,
+               DecodeResult* slot, Task&& task);
+  void record_submit();
+  void unrecord_submit();
+
+  DecoderFactory factory_;
+  BatchEngineConfig config_;
+  BoundedJobQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable all_done_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t decoded_bits_ = 0;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point first_enqueue_;
+  std::chrono::steady_clock::time_point last_complete_;
+  std::vector<double> latency_us_;
+  std::vector<EngineWorkerStats> worker_stats_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,105 @@
+// Bounded multi-producer/multi-consumer job queue.
+//
+// The runtime batch engine's backpressure primitive: `push` blocks once
+// `capacity` jobs are waiting, so a producer that outruns the worker pool is
+// throttled instead of growing an unbounded backlog (decode jobs carry whole
+// LLR frames — thousands of floats each). Post-push queue depths are
+// recorded into a RunningStats so the engine can report how full the queue
+// actually ran.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace ldpc {
+
+template <typename T>
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(std::size_t capacity) : capacity_(capacity) {
+    LDPC_CHECK_MSG(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  /// Blocking push: waits while the queue is full (backpressure). Returns
+  /// false — leaving `item` unconsumed — if the queue was closed.
+  bool push(T&& item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    occupancy_.add(static_cast<double>(items_.size()));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed; `item` is moved from
+  /// only on success.
+  bool try_push(T& item) {
+    std::unique_lock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    occupancy_.add(static_cast<double>(items_.size()));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits while empty. Returns false once the queue is
+  /// closed *and* drained — the consumer-thread exit signal.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Close the queue: pending pushes fail, consumers drain what is left and
+  /// then see pop() == false. Idempotent.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  /// Snapshot of the post-push depth statistics (mean/max occupancy).
+  RunningStats occupancy() const {
+    const std::scoped_lock lock(mutex_);
+    return occupancy_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  RunningStats occupancy_;
+};
+
+}  // namespace ldpc

@@ -9,11 +9,28 @@
 
 #include <cstdint>
 
+#include "util/check.hpp"
+
 namespace ldpc {
 
+// Supported message widths. Below 2 bits a signed format carries no
+// magnitude; at 32 and above `1 << (bits - 1)` is undefined behaviour on a
+// 32-bit int. The guard throws at runtime and fails compilation when an
+// out-of-range width reaches a constant-evaluated context.
+constexpr int kMinFixedBits = 2;
+constexpr int kMaxFixedBits = 31;
+
 /// Inclusive two's-complement bounds of a `bits`-wide signed integer.
-constexpr std::int32_t fixed_max(int bits) { return (1 << (bits - 1)) - 1; }
-constexpr std::int32_t fixed_min(int bits) { return -(1 << (bits - 1)); }
+/// (Plain LDPC_CHECK, not _MSG: the streamed variant declares an
+/// ostringstream local, which C++20 rejects inside constexpr functions.)
+constexpr std::int32_t fixed_max(int bits) {
+  LDPC_CHECK(bits >= kMinFixedBits && bits <= kMaxFixedBits);
+  return (1 << (bits - 1)) - 1;
+}
+constexpr std::int32_t fixed_min(int bits) {
+  LDPC_CHECK(bits >= kMinFixedBits && bits <= kMaxFixedBits);
+  return -(1 << (bits - 1));
+}
 
 /// Clamp a wide intermediate value into `bits`-wide signed range.
 constexpr std::int32_t sat_clamp(std::int64_t v, int bits) {

@@ -157,6 +157,91 @@ TEST(BerRunner, VeryLowSnrMostlyFails) {
   EXPECT_GT(points[0].avg_iterations(), 4.0);  // never converges early
 }
 
+TEST(BerFrameSeeds, ThreeStreamsArePairwiseDistinct) {
+  // Regression: the runner used to seed the info, AWGN, and Rayleigh RNGs
+  // with the *same* splitmix64 output, correlating the noise with the data.
+  for (std::uint64_t seed : {0ULL, 1ULL, 77ULL, 2009ULL}) {
+    for (std::size_t point = 0; point < 4; ++point) {
+      for (std::size_t frame = 0; frame < 16; ++frame) {
+        const FrameSeeds s = ber_frame_seeds(seed, point, frame);
+        EXPECT_NE(s.info, s.awgn);
+        EXPECT_NE(s.info, s.rayleigh);
+        EXPECT_NE(s.awgn, s.rayleigh);
+      }
+    }
+  }
+}
+
+TEST(BerFrameSeeds, KeyedByFrameAndPoint) {
+  const FrameSeeds a = ber_frame_seeds(77, 0, 0);
+  const FrameSeeds b = ber_frame_seeds(77, 0, 1);
+  const FrameSeeds c = ber_frame_seeds(77, 1, 0);
+  const FrameSeeds d = ber_frame_seeds(78, 0, 0);
+  EXPECT_NE(a.info, b.info);
+  EXPECT_NE(a.info, c.info);
+  EXPECT_NE(a.info, d.info);
+  EXPECT_NE(a.awgn, b.awgn);
+  EXPECT_NE(a.rayleigh, b.rayleigh);
+}
+
+TEST(BerRunner, PointMovedOffCorrelatedGoldenValue) {
+  // Golden counts produced by the pre-fix runner (identical seeds for all
+  // three RNG streams, worker-keyed derivation) for this exact
+  // configuration: bit_errors = 3210, frame_errors = 165. The decorrelated
+  // seeding must land elsewhere; the error *rates* stay in the same regime.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BerConfig cfg;
+  cfg.ebn0_db = {1.0F};
+  cfg.max_frames = 200;
+  cfg.min_frames = 200;
+  cfg.num_workers = 1;
+  cfg.seed = 77;
+  DecoderOptions opt;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-fixed", code, opt); },
+      cfg);
+  const auto p = runner.run()[0];
+  ASSERT_EQ(p.frames, 200u);
+  EXPECT_NE(p.bit_errors, 3210u);
+  EXPECT_GT(p.frame_errors, 100u);  // still a high-FER operating point
+  EXPECT_LT(p.frame_errors, 200u);
+}
+
+TEST(BerRunner, BitIdenticalAcrossWorkerCounts) {
+  // The reproducibility the header has always promised: per-frame seeds and
+  // result slots are functions of the frame index alone, so 1, 2, and 8
+  // workers must produce byte-identical statistics.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto run_with = [&](unsigned workers) {
+    BerConfig cfg;
+    cfg.ebn0_db = {1.0F, 2.5F};
+    cfg.max_frames = 70;  // exercises a partial final wave
+    cfg.min_frames = 10;
+    cfg.target_frame_errors = 30;
+    cfg.num_workers = workers;
+    cfg.seed = 2009;
+    BerRunner runner(
+        code, [&] { return make_decoder("layered-minsum-fixed", code, opt); },
+        cfg);
+    return runner.run();
+  };
+  const auto base = run_with(1);
+  for (unsigned workers : {2u, 8u}) {
+    const auto points = run_with(workers);
+    ASSERT_EQ(points.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(points[i].frames, base[i].frames) << workers;
+      EXPECT_EQ(points[i].bit_errors, base[i].bit_errors) << workers;
+      EXPECT_EQ(points[i].frame_errors, base[i].frame_errors) << workers;
+      EXPECT_EQ(points[i].undetected_errors, base[i].undetected_errors);
+      EXPECT_EQ(points[i].detected_errors, base[i].detected_errors);
+      EXPECT_DOUBLE_EQ(points[i].sum_iterations, base[i].sum_iterations);
+      EXPECT_EQ(points[i].iteration_histogram, base[i].iteration_histogram);
+    }
+  }
+}
+
 TEST(BerRunner, ReproducibleForSameSeedAndWorkerCount) {
   const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
   BerConfig cfg;

@@ -172,12 +172,63 @@ TEST(Kernel, DegreeTwoRowsSupported) {
   EXPECT_EQ(k.compute_r_new(st, -3, 1), 3);
 }
 
-TEST(Kernel, DegreeOneRowRejected) {
+TEST(Kernel, DegreeOneRowYieldsZeroMessage) {
+  // A degree-1 check (random_qc configurations, punctured codes) has no
+  // extrinsic input: R' must be 0 — not the min2 sentinel — and the event
+  // is reported through the tracked counter.
   const LayerRowKernel k(FixedFormat{8, 2});
   LayerRowKernel::CheckState st;
   st.reset();
   st.absorb(5, 0);
-  EXPECT_THROW(k.compute_r_new(st, 5, 0), Error);
+  EXPECT_EQ(k.compute_r_new(st, 5, 0), 0);
+
+  long long degenerate = 0;
+  LayerRowKernel counted(FixedFormat{8, 2});
+  counted.track_degenerate(&degenerate);
+  EXPECT_EQ(counted.compute_r_new(st, 5, 0), 0);
+  EXPECT_EQ(degenerate, 1);
+
+  // Degree-0 state (nothing absorbed) is equally degenerate.
+  LayerRowKernel::CheckState empty;
+  empty.reset();
+  EXPECT_EQ(counted.compute_r_new(empty, 0, 0), 0);
+  EXPECT_EQ(degenerate, 2);
+}
+
+TEST(Kernel, DegreeTwoRowUnaffectedByDegenerateTracking) {
+  long long degenerate = 0;
+  LayerRowKernel k(FixedFormat{8, 2});
+  k.track_degenerate(&degenerate);
+  LayerRowKernel::CheckState st;
+  st.reset();
+  st.absorb(5, 0);
+  st.absorb(-8, 1);
+  EXPECT_EQ(k.compute_r_new(st, 5, 0), -(8 / 2 + 8 / 4));  // 0.75 * 8, sign -
+  EXPECT_EQ(degenerate, 0);
+}
+
+TEST(FixedDecoder, DecodesCodeWithDegreeOneRow) {
+  // Second block row has a single non-zero circulant: an expanded degree-1
+  // check per row, as random_qc configurations and punctured codes can
+  // produce. The decoder must treat it as "no extrinsic information" (R' =
+  // 0) and count the events instead of failing the kernel precondition.
+  const BaseMatrix base(2, 3, {0, 1, 2, -1, -1, 0}, 4, "deg1");
+  const QCLdpcCode code(base);
+  DecoderOptions opt;
+  opt.max_iterations = 5;
+  LayeredMinSumFixedDecoder dec(code, opt, FixedFormat{8, 2});
+  // Strong all-zero-codeword LLRs: converges immediately, but only if the
+  // degree-1 layer does not corrupt the posteriors with sentinel garbage.
+  const std::vector<float> llr(code.n(), 2.0F);
+  const auto result = dec.decode(llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.status, DecodeStatus::kConverged);
+  for (std::size_t i = 0; i < code.n(); ++i)
+    EXPECT_FALSE(result.hard_bits.get(i)) << i;
+  // One degenerate event per expanded row of the degree-1 layer per pass.
+  EXPECT_EQ(dec.saturation().degenerate_checks,
+            static_cast<long long>(code.z()) *
+                static_cast<long long>(result.iterations));
 }
 
 TEST(Kernel, InvalidScaleRejected) {

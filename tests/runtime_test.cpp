@@ -1,0 +1,280 @@
+// Runtime batch-engine tests: the bounded MPMC job queue, the determinism
+// contract (bit-identical output for any worker count), backpressure under a
+// tiny queue, and the engine metrics block.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "runtime/batch_engine.hpp"
+#include "runtime/job_queue.hpp"
+
+namespace ldpc {
+namespace {
+
+// ------------------------------------------------------------ job queue ----
+
+TEST(JobQueue, FifoOrder) {
+  BoundedJobQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(int{i}));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, TryPushFailsWhenFull) {
+  BoundedJobQueue<int> q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));
+  EXPECT_EQ(c, 3);  // not consumed
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.try_push(c));
+}
+
+TEST(JobQueue, CloseDrainsThenStops) {
+  BoundedJobQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  EXPECT_TRUE(q.push(8));
+  q.close();
+  EXPECT_FALSE(q.push(9));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(JobQueue, BlockingPushWaitsForConsumer) {
+  BoundedJobQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the pop below
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(JobQueue, OccupancyTracksDepth) {
+  BoundedJobQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  const RunningStats occ = q.occupancy();
+  EXPECT_EQ(occ.count(), 3u);
+  EXPECT_DOUBLE_EQ(occ.max(), 3.0);
+  EXPECT_DOUBLE_EQ(occ.mean(), 2.0);  // depths 1, 2, 3
+  EXPECT_THROW(BoundedJobQueue<int>(0), Error);
+}
+
+// --------------------------------------------------------- batch engine ----
+
+/// Deterministic noisy frames of the all-zero codeword.
+std::vector<std::vector<float>> make_frames(const QCLdpcCode& code,
+                                            std::size_t count, float ebn0_db) {
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  std::vector<std::vector<float>> frames;
+  frames.reserve(count);
+  const BitVec zero(code.n());
+  for (std::size_t f = 0; f < count; ++f) {
+    AwgnChannel awgn(variance, 1000 + f);
+    frames.push_back(BpskModem::demodulate(
+        awgn.transmit(BpskModem::modulate(zero)), variance));
+  }
+  return frames;
+}
+
+DecoderFactory fixed_factory(const QCLdpcCode& code) {
+  return [&code] {
+    DecoderOptions opt;
+    return make_decoder("layered-minsum-fixed", code, opt);
+  };
+}
+
+TEST(BatchEngine, DecodeBatchKeepsInputOrder) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 12, 6.0F);
+  BatchEngine engine(fixed_factory(code), {2, 8});
+  const auto results = engine.decode_batch(frames);
+  ASSERT_EQ(results.size(), frames.size());
+  // High SNR: every frame decodes to the all-zero codeword.
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.converged);
+    for (std::size_t i = 0; i < code.n(); ++i) EXPECT_FALSE(r.hard_bits.get(i));
+  }
+}
+
+TEST(BatchEngine, BitIdenticalAcrossWorkerCounts) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 24, 1.5F);  // noisy: varied outcomes
+  auto decode_all = [&](unsigned workers) {
+    BatchEngine engine(fixed_factory(code), {workers, 16});
+    return engine.decode_batch(frames);
+  };
+  const auto base = decode_all(1);
+  for (unsigned workers : {2u, 8u}) {
+    const auto results = decode_all(workers);
+    ASSERT_EQ(results.size(), base.size());
+    for (std::size_t f = 0; f < base.size(); ++f) {
+      EXPECT_EQ(results[f].iterations, base[f].iterations) << f;
+      EXPECT_EQ(results[f].converged, base[f].converged) << f;
+      EXPECT_EQ(results[f].status, base[f].status) << f;
+      for (std::size_t i = 0; i < code.n(); ++i)
+        ASSERT_EQ(results[f].hard_bits.get(i), base[f].hard_bits.get(i))
+            << "frame " << f << " bit " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(BatchEngine, BackpressureWithTinyQueue) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 40, 4.0F);
+  // Queue of 1: every submit beyond the first blocks until a worker frees a
+  // slot — the batch still completes and stays ordered.
+  BatchEngine engine(fixed_factory(code), {2, 1});
+  const auto results = engine.decode_batch(frames);
+  ASSERT_EQ(results.size(), frames.size());
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.jobs_completed, frames.size());
+  EXPECT_LE(m.queue_max_occupancy, 1u);
+}
+
+TEST(BatchEngine, TrySubmitReportsFullQueue) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  auto frames = make_frames(code, 64, 4.0F);
+  BatchEngine engine(fixed_factory(code), {1, 2});
+  std::vector<DecodeResult> results(frames.size());
+  std::size_t accepted = 0, rejected = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (engine.try_submit(f, frames[f], &results[f])) {
+      ++accepted;
+    } else {
+      ++rejected;
+      EXPECT_FALSE(frames[f].empty());  // frame handed back intact
+      engine.submit(f, std::move(frames[f]), &results[f]);  // blocking retry
+    }
+  }
+  engine.drain();
+  EXPECT_EQ(accepted + rejected, frames.size());
+  for (const auto& r : results) EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(BatchEngine, DrainIsReusable) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 6, 6.0F);
+  BatchEngine engine(fixed_factory(code), {2, 8});
+  engine.drain();  // nothing submitted: returns immediately
+  std::vector<DecodeResult> first(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    engine.submit(f, frames[f], &first[f]);
+  engine.drain();
+  std::vector<DecodeResult> second(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    engine.submit(f, frames[f], &second[f]);
+  engine.drain();
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.jobs_submitted, 2 * frames.size());
+  EXPECT_EQ(m.jobs_completed, 2 * frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    EXPECT_EQ(first[f].iterations, second[f].iterations);
+}
+
+TEST(BatchEngine, MetricsAggregateDecodeStatistics) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 20, 6.0F);
+  BatchEngine engine(fixed_factory(code), {2, 16});
+  const auto results = engine.decode_batch(frames);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.jobs_submitted, frames.size());
+  EXPECT_EQ(m.jobs_completed, frames.size());
+  EXPECT_EQ(m.decoded_bits, frames.size() * code.n());
+  EXPECT_GT(m.wall_seconds, 0.0);
+  EXPECT_GT(m.throughput_mbps, 0.0);
+  EXPECT_EQ(m.queue_capacity, 16u);
+  EXPECT_EQ(m.latency.samples, frames.size());
+  EXPECT_GT(m.latency.p50_us, 0.0);
+  EXPECT_LE(m.latency.p50_us, m.latency.p95_us);
+  EXPECT_LE(m.latency.p95_us, m.latency.p99_us);
+  EXPECT_LE(m.latency.p99_us, m.latency.max_us);
+  ASSERT_EQ(m.workers.size(), 2u);
+  std::size_t jobs = 0, expected_iterations = 0;
+  for (const auto& w : m.workers) jobs += w.jobs;
+  EXPECT_EQ(jobs, frames.size());
+  for (const auto& r : results) expected_iterations += r.iterations;
+  EXPECT_EQ(m.sum_iterations(), expected_iterations);
+  // High SNR: everything converges, so every decode terminated early.
+  EXPECT_EQ(m.status_total(DecodeStatus::kConverged), frames.size());
+  std::size_t early = 0;
+  for (const auto& w : m.workers) early += w.early_terminations;
+  EXPECT_EQ(early, frames.size());
+  EXPECT_GT(m.avg_iterations(), 0.0);
+}
+
+TEST(BatchEngine, SubmitTaskRunsOnWorkerDecoder) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 8, 6.0F);
+  BatchEngine engine(fixed_factory(code), {2, 8});
+  std::vector<std::size_t> iterations(frames.size(), 0);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    engine.submit_task(f, [&, f](Decoder& decoder) {
+      DecodeResult r = decoder.decode(frames[f]);
+      iterations[f] = r.iterations;
+      return r;
+    });
+  }
+  engine.drain();
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.jobs_completed, frames.size());
+  for (const auto it : iterations) EXPECT_GE(it, 1u);
+  EXPECT_EQ(m.decoded_bits, frames.size() * code.n());
+}
+
+TEST(BatchEngine, ThrowingJobIsCountedNotFatal) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  BatchEngine engine(fixed_factory(code), {2, 8});
+  std::vector<DecodeResult> results(3);
+  // Wrong LLR length: the decoder's precondition check throws on a worker.
+  engine.submit(0, std::vector<float>(5, 0.0F), &results[0]);
+  const auto good = make_frames(code, 2, 6.0F);
+  engine.submit(1, good[0], &results[1]);
+  engine.submit(2, good[1], &results[2]);
+  engine.drain();
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.jobs_completed, 3u);
+  std::size_t exceptions = 0;
+  for (const auto& w : m.workers) exceptions += w.exceptions;
+  EXPECT_EQ(exceptions, 1u);
+  EXPECT_EQ(m.decoded_bits, 2 * code.n());  // failed job decoded nothing
+  EXPECT_FALSE(results[0].converged);       // slot left at default
+  EXPECT_TRUE(results[1].converged);
+  EXPECT_TRUE(results[2].converged);
+}
+
+TEST(BatchEngine, InvalidConfigRejected) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  EXPECT_THROW(BatchEngine(nullptr, {1, 8}), Error);
+  EXPECT_THROW(BatchEngine(fixed_factory(code), {0, 8}), Error);
+  EXPECT_THROW(BatchEngine(fixed_factory(code), {1, 0}), Error);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -253,6 +253,62 @@ TEST(Saturate, ScaleNeverIncreasesMagnitude) {
   }
 }
 
+TEST(Saturate, WidthRailsAcrossSupportedRange) {
+  // Every supported width, including both extremes of the guard.
+  EXPECT_EQ(fixed_max(2), 1);
+  EXPECT_EQ(fixed_min(2), -2);
+  EXPECT_EQ(fixed_max(16), 32767);
+  EXPECT_EQ(fixed_min(16), -32768);
+  EXPECT_EQ(fixed_max(31), 1073741823);
+  EXPECT_EQ(fixed_min(31), -1073741824);
+  for (int bits = kMinFixedBits; bits <= kMaxFixedBits; ++bits) {
+    EXPECT_EQ(fixed_max(bits), -(fixed_min(bits) + 1)) << bits;
+    EXPECT_EQ(sat_clamp(std::int64_t{1} << 40, bits), fixed_max(bits));
+    EXPECT_EQ(sat_clamp(-(std::int64_t{1} << 40), bits), fixed_min(bits));
+  }
+}
+
+TEST(Saturate, InvalidWidthsThrow) {
+  // bits >= 32 would shift past the int width (UB before the guard), and
+  // bits < 2 leaves no magnitude bits.
+  EXPECT_THROW(fixed_max(32), Error);
+  EXPECT_THROW(fixed_max(64), Error);
+  EXPECT_THROW(fixed_min(32), Error);
+  EXPECT_THROW(fixed_max(1), Error);
+  EXPECT_THROW(fixed_max(0), Error);
+  EXPECT_THROW(fixed_min(-3), Error);
+  EXPECT_THROW(sat_clamp(0, 32), Error);
+  EXPECT_THROW(sat_add(1, 1, 40), Error);
+}
+
+TEST(Saturate, CountedClampAtExactBounds) {
+  long long clips = 0;
+  // Values exactly on the rails pass through unclipped and uncounted.
+  EXPECT_EQ(sat_clamp_counted(127, 8, clips), 127);
+  EXPECT_EQ(sat_clamp_counted(-128, 8, clips), -128);
+  EXPECT_EQ(clips, 0);
+  // One past either rail clips and counts.
+  EXPECT_EQ(sat_clamp_counted(128, 8, clips), 127);
+  EXPECT_EQ(clips, 1);
+  EXPECT_EQ(sat_clamp_counted(-129, 8, clips), -128);
+  EXPECT_EQ(clips, 2);
+  // Counted add/sub at the exact boundary behave like the uncounted ops.
+  EXPECT_EQ(sat_add_counted(100, 27, 8, clips), 127);
+  EXPECT_EQ(clips, 2);
+  EXPECT_EQ(sat_sub_counted(-100, 28, 8, clips), -128);
+  EXPECT_EQ(clips, 2);
+  EXPECT_EQ(sat_add_counted(100, 28, 8, clips), 127);
+  EXPECT_EQ(clips, 3);
+}
+
+TEST(Saturate, ScaleThreeQuartersTruncatesUnitValues) {
+  // (1>>1)+(1>>2) = 0: the shift-add datapath truncates |v| = 1 to zero in
+  // both directions — the sign-magnitude symmetry the decoder relies on.
+  EXPECT_EQ(scale_three_quarters(1), 0);
+  EXPECT_EQ(scale_three_quarters(-1), 0);
+  EXPECT_EQ(scale_three_quarters(0), 0);
+}
+
 // ---------------------------------------------------------------- stats ----
 
 TEST(Stats, EmptyStatsAreZero) {
