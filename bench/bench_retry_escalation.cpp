@@ -1,0 +1,115 @@
+// Retry-escalation recovery — what a second (and third) chance is worth.
+//
+// The paper's early-termination decoder spends its iteration budget
+// unevenly: most frames converge in a few iterations, a tail exhausts the
+// budget. A serving deployment provisions the *primary* decoder for the
+// common case (a small iteration budget = low latency and power) and lets
+// the runtime supervisor re-decode the failing tail on an escalation
+// ladder — double the budget first, then triple it with a 2-bit wider
+// fixed-point format (runtime/retry_policy.hpp's default ladder).
+//
+// This bench sweeps the waterfall region of the WiMAX (2304, 1/2) z = 96
+// case-study code and reports, per Eb/N0 point, how many frames the starved
+// primary failed, how many each escalation rung rescued, the residual
+// failures, and the extra decode work the retries cost — the
+// recovery-vs-cost table for EXPERIMENTS.md.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/decoder_factory.hpp"
+#include "runtime/retry_policy.hpp"
+#include "runtime/supervisor.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+std::vector<std::vector<float>> make_frames(const QCLdpcCode& code,
+                                            std::size_t count, float ebn0_db) {
+  const RuEncoder encoder(code);
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  std::vector<std::vector<float>> frames;
+  frames.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    Xoshiro256 info_rng(2009 + 3 * f);
+    BitVec info(code.k());
+    for (std::size_t i = 0; i < info.size(); ++i) info.set(i, info_rng.coin());
+    AwgnChannel awgn(variance, 2010 + 3 * f);
+    frames.push_back(BpskModem::demodulate(
+        awgn.transmit(BpskModem::modulate(encoder.encode(info))), variance));
+  }
+  return frames;
+}
+
+}  // namespace
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+  constexpr std::size_t kFrames = 200;
+  constexpr std::size_t kPrimaryIterations = 4;  // starved on purpose
+
+  DecoderOptions base;
+  base.max_iterations = kPrimaryIterations;
+  const FixedFormat format;  // q8.2, the paper's message format
+  const auto ladder = default_escalation_ladder(kPrimaryIterations, format);
+
+  TextTable table(
+      "Retry escalation — WiMAX (2304, 1/2) z=96, primary layered-minsum "
+      "q8.2 @ 4 iters; ladder: 8 iters q8.2, then 12 iters q10.2; 200 "
+      "frames/point, 4 workers");
+  table.set_header({"Eb/N0 (dB)", "fail@1", "rescued@2", "rescued@3",
+                    "residual", "FER primary", "FER final", "retries",
+                    "extra work (%)"});
+
+  for (const float ebn0 : {1.0F, 1.5F, 2.0F, 2.5F}) {
+    const auto frames = make_frames(code, kFrames, ebn0);
+
+    SupervisorConfig config;
+    config.engine.num_workers = 4;
+    config.engine.queue_capacity = 64;
+    config.engine.escalation_factories =
+        make_escalation_factories(code, base, ladder);
+    config.retry = RetryPolicy::up_to(1 + ladder.size());
+    DecodeSupervisor supervisor(
+        [&code, base] {
+          return make_decoder("layered-minsum-fixed", code, base);
+        },
+        config);
+
+    std::vector<DecodeResult> slots(frames.size());
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      const SubmitStatus s = supervisor.submit(f, frames[f], &slots[f]);
+      LDPC_CHECK_MSG(submit_accepted(s), "bench frame rejected");
+    }
+    supervisor.drain();
+
+    const RetryStats retry = supervisor.metrics().retry;
+    const std::size_t converged_first = retry.recovered_by_attempt[0];
+    const std::size_t fail_first = kFrames - converged_first;
+    const std::size_t rescued2 = retry.recovered_by_attempt[1];
+    const std::size_t rescued3 = retry.recovered_by_attempt[2];
+    const std::size_t residual = fail_first - rescued2 - rescued3;
+    table.add_row(
+        {TextTable::num(ebn0, 1), TextTable::integer(fail_first),
+         TextTable::integer(rescued2), TextTable::integer(rescued3),
+         TextTable::integer(residual),
+         TextTable::num(static_cast<double>(fail_first) / kFrames, 3),
+         TextTable::num(static_cast<double>(residual) / kFrames, 3),
+         TextTable::integer(retry.retries_submitted),
+         TextTable::num(100.0 * static_cast<double>(retry.retries_submitted) /
+                            kFrames, 1)});
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nExpected: the ladder closes most of the gap the starved primary\n"
+      "opens — rung 2 (2x budget) rescues the slow-convergence tail, rung 3\n"
+      "(3x budget, +2 format bits) a further slice limited by quantization;\n"
+      "residual failures approach the unconstrained decoder's FER while the\n"
+      "extra decode work stays proportional to the primary failure rate\n"
+      "instead of provisioning every frame for the worst case.\n");
+  return 0;
+}

@@ -5,7 +5,11 @@
 #   2. sanitizer pass  — ASan+UBSan build (LDPC_SANITIZE=ON) + ctest
 #   3. TSan pass       — ThreadSanitizer build (LDPC_SANITIZE=thread) running
 #                        the concurrency-sensitive tests: the runtime batch
-#                        engine and the engine-based BER runner
+#                        engine, the retry/escalation supervisor, the
+#                        fault-injection chaos test and the BER runner
+#
+# Every ctest invocation carries a per-test --timeout so a wedged worker
+# thread fails loudly instead of hanging the gate.
 #   4. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
 #                        with a notice when clang-tidy is not installed
 #   5. ldpc-lint       — static schedule/hazard analysis over every bundled
@@ -28,22 +32,27 @@ done
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# Per-test timeout (seconds): a wedged thread in the concurrency tests must
+# fail the gate, not hang CI forever.
+TEST_TIMEOUT=120
+
 echo "== [1/5] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT"
 
 if [ "$FAST" -eq 0 ]; then
   echo "== [2/5] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
-  ctest --test-dir build-asan --output-on-failure
+  ctest --test-dir build-asan --output-on-failure --timeout "$TEST_TIMEOUT"
 
-  echo "== [3/5] ThreadSanitizer (runtime engine + BER runner) =="
+  echo "== [3/5] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
   cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
-  cmake --build build-tsan -j "$JOBS" --target runtime_test channel_test
-  ctest --test-dir build-tsan --output-on-failure \
-    -R 'JobQueue|BatchEngine|BerRunner|BerFrameSeeds'
+  cmake --build build-tsan -j "$JOBS" \
+    --target runtime_test chaos_test channel_test
+  ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
+    -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds'
 else
   echo "== [2/5] ASan + UBSan — skipped (--fast) =="
   echo "== [3/5] ThreadSanitizer — skipped (--fast) =="

@@ -5,7 +5,7 @@
 #include "channel/awgn.hpp"
 #include "channel/modem.hpp"
 #include "channel/rayleigh.hpp"
-#include "runtime/batch_engine.hpp"
+#include "runtime/supervisor.hpp"
 #include "util/check.hpp"
 
 namespace ldpc {
@@ -104,6 +104,11 @@ BerRunner::BerRunner(const QCLdpcCode& code, DecoderFactory factory,
   LDPC_CHECK(!config_.ebn0_db.empty());
   LDPC_CHECK(config_.num_workers >= 1);
   LDPC_CHECK(config_.max_frames >= config_.min_frames);
+  LDPC_CHECK(config_.max_decode_attempts >= 1);
+  LDPC_CHECK_MSG(config_.max_decode_attempts == 1 ||
+                     !config_.escalation_factories.empty(),
+                 "max_decode_attempts > 1 needs escalation_factories "
+                 "(see make_escalation_factories)");
 }
 
 std::vector<BerPoint> BerRunner::run() {
@@ -129,45 +134,55 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
   // Shared across workers: encode() is const and carries no mutable state.
   const RuEncoder encoder(code_);
 
-  BatchEngineConfig engine_config;
-  engine_config.num_workers = config_.num_workers;
-  engine_config.queue_capacity = kWaveFrames;
-  BatchEngine engine(factory_, engine_config);
+  SupervisorConfig supervisor_config;
+  supervisor_config.engine.num_workers = config_.num_workers;
+  supervisor_config.engine.queue_capacity = kWaveFrames;
+  supervisor_config.engine.escalation_factories = config_.escalation_factories;
+  supervisor_config.retry = RetryPolicy::none();
+  supervisor_config.retry.max_attempts = config_.max_decode_attempts;
+  DecodeSupervisor supervisor(factory_, supervisor_config);
 
   // The whole simulation of one frame, run on whichever worker picks the
   // job up. Deterministic: all three RNGs are re-seeded per frame from the
-  // frame index, and the outcome lands in the frame's own slot.
-  auto run_frame = [&](std::size_t frame, FrameOutcome* outcome) {
-    return [&, frame, outcome](Decoder& decoder) {
-      LDPC_CHECK(decoder.n() == code_.n());
-      const FrameSeeds seeds =
-          ber_frame_seeds(config_.seed, point_index, frame);
-      Xoshiro256 info_rng(seeds.info);
-      AwgnChannel awgn(variance, seeds.awgn);
-      RayleighChannel rayleigh(variance, seeds.rayleigh);
+  // frame index, and the outcome lands in the frame's own slot. Retry
+  // attempts re-decode the *same* received LLRs (the frame's channel seeds
+  // do not depend on the attempt) on the escalated decoder — attempts for a
+  // frame are strictly sequential, so the final attempt's outcome wins.
+  auto run_frame = [&](std::size_t frame, FrameOutcome* outcome)
+      -> DecodeSupervisor::TaskFactory {
+    return [&, frame, outcome](std::size_t /*attempt*/) -> BatchEngine::Task {
+      return [&, frame, outcome](Decoder& decoder) {
+        LDPC_CHECK(decoder.n() == code_.n());
+        const FrameSeeds seeds =
+            ber_frame_seeds(config_.seed, point_index, frame);
+        Xoshiro256 info_rng(seeds.info);
+        AwgnChannel awgn(variance, seeds.awgn);
+        RayleighChannel rayleigh(variance, seeds.rayleigh);
 
-      BitVec info(code_.k());
-      if (config_.random_info) {
-        for (std::size_t i = 0; i < info.size(); ++i)
-          info.set(i, info_rng.coin());
-      }
-      const BitVec codeword = encoder.encode(info);
-      const auto llr = transmit_frame(config_, code_.n(), variance, codeword,
-                                      awgn, rayleigh);
-      DecodeResult result = decoder.decode(llr);
+        BitVec info(code_.k());
+        if (config_.random_info) {
+          for (std::size_t i = 0; i < info.size(); ++i)
+            info.set(i, info_rng.coin());
+        }
+        const BitVec codeword = encoder.encode(info);
+        const auto llr = transmit_frame(config_, code_.n(), variance,
+                                        codeword, awgn, rayleigh);
+        DecodeResult result = decoder.decode(llr);
 
-      outcome->bit_errors = 0;
-      for (std::size_t i = 0; i < code_.k(); ++i)
-        if (result.hard_bits.get(i) != info.get(i)) ++outcome->bit_errors;
-      outcome->iterations = result.iterations;
-      outcome->converged = result.converged;
-      outcome->status = result.status;
-      outcome->faults_injected = result.faults_injected;
-      return result;
+        outcome->bit_errors = 0;
+        for (std::size_t i = 0; i < code_.k(); ++i)
+          if (result.hard_bits.get(i) != info.get(i)) ++outcome->bit_errors;
+        outcome->iterations = result.iterations;
+        outcome->converged = result.converged;
+        outcome->status = result.status;
+        outcome->faults_injected = result.faults_injected;
+        return result;
+      };
     };
   };
 
   std::vector<FrameOutcome> outcomes(kWaveFrames);
+  std::vector<DecodeResult> slots(kWaveFrames);
   std::size_t next_frame = 0;
   while (next_frame < config_.max_frames) {
     if (next_frame >= config_.min_frames &&
@@ -177,13 +192,20 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
         std::min(kWaveFrames, config_.max_frames - next_frame);
     for (std::size_t i = 0; i < wave; ++i) {
       outcomes[i] = FrameOutcome{};
-      engine.submit_task(next_frame + i,
-                         run_frame(next_frame + i, &outcomes[i]));
+      const SubmitStatus submitted = supervisor.submit_task(
+          next_frame + i, run_frame(next_frame + i, &outcomes[i]), &slots[i]);
+      LDPC_CHECK_MSG(submit_accepted(submitted),
+                     "BER frame rejected: " << to_string(submitted));
     }
-    engine.drain();
+    supervisor.drain();
     for (std::size_t i = 0; i < wave; ++i) accumulate(point, outcomes[i]);
     next_frame += wave;
   }
+
+  const RetryStats retry = supervisor.metrics().retry;
+  point.retries = retry.retries_submitted;
+  for (std::size_t a = 1; a < retry.recovered_by_attempt.size(); ++a)
+    point.recovered_by_retry += retry.recovered_by_attempt[a];
   return point;
 }
 

@@ -61,6 +61,14 @@ struct BerConfig {
   bool random_info = true;  ///< false = all-zero information words
   Modulation modulation = Modulation::kBpsk;
   ChannelModel channel = ChannelModel::kAwgn;
+  /// Total decode attempts per frame (1 = no retry). Values > 1 re-decode
+  /// the same received LLRs on the escalation ladder below and require it
+  /// to be non-empty. Retries are keyed (frame, attempt), so sweep counts
+  /// stay worker-count invariant.
+  std::size_t max_decode_attempts = 1;
+  /// Per-rung decoder factories for re-decodes; see
+  /// runtime/retry_policy.hpp (make_escalation_factories).
+  std::vector<DecoderFactory> escalation_factories;
 };
 
 struct BerPoint {
@@ -72,6 +80,8 @@ struct BerPoint {
   std::size_t detected_errors = 0;    ///< frame errors flagged by DecodeStatus
   std::size_t watchdog_aborts = 0;    ///< frames cut short by the watchdog
   std::size_t faults_injected = 0;    ///< upsets landed across all frames
+  std::size_t retries = 0;            ///< re-decode attempts submitted
+  std::size_t recovered_by_retry = 0; ///< frames converged on attempt >= 2
   double sum_iterations = 0.0;
   /// Iterations histogram: index i counts frames decoded in i+1 iterations
   /// (sized to the largest observed count).

@@ -7,6 +7,8 @@
 // produces hard decisions plus convergence metadata.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <span>
@@ -27,14 +29,23 @@ enum class DecodeStatus {
   kWatchdogAbort,  ///< watchdog detected a non-convergent/oscillating decode
   kFaultDetected,  ///< parity recheck failed on a decode that saw injected
                    ///< faults — the corruption was caught at the output
+  kDeadlineExpired,  ///< deadline passed while queued, or a cooperative
+                     ///< cancellation cut the decode short mid-flight
+  kShedOverload,   ///< evicted from a full queue under OverloadPolicy::
+                   ///< kShedOldest before any decoder touched it
 };
+
+/// Number of DecodeStatus values — sizes the status histograms.
+inline constexpr std::size_t kNumDecodeStatuses = 6;
 
 inline const char* to_string(DecodeStatus s) {
   switch (s) {
-    case DecodeStatus::kConverged:     return "converged";
-    case DecodeStatus::kMaxIterations: return "max-iters";
-    case DecodeStatus::kWatchdogAbort: return "watchdog-abort";
-    case DecodeStatus::kFaultDetected: return "fault-detected";
+    case DecodeStatus::kConverged:       return "converged";
+    case DecodeStatus::kMaxIterations:   return "max-iters";
+    case DecodeStatus::kWatchdogAbort:   return "watchdog-abort";
+    case DecodeStatus::kFaultDetected:   return "fault-detected";
+    case DecodeStatus::kDeadlineExpired: return "deadline-expired";
+    case DecodeStatus::kShedOverload:    return "shed-overload";
   }
   return "?";
 }
@@ -61,13 +72,53 @@ struct SaturationStats {
 
 /// Output-side parity recheck: classify a finished decode. Every decoder
 /// funnels its exit through this so the status taxonomy stays consistent.
+/// `cancelled` marks a decode cut short by a CancelToken — it outranks every
+/// failure cause except an actual converged output (a decode that happened
+/// to satisfy parity before bailing is still a codeword).
 inline DecodeStatus classify_exit(bool parity_ok, bool watchdog_fired,
-                                  std::size_t faults_injected) {
+                                  std::size_t faults_injected,
+                                  bool cancelled = false) {
   if (parity_ok) return DecodeStatus::kConverged;
+  if (cancelled) return DecodeStatus::kDeadlineExpired;
   if (watchdog_fired) return DecodeStatus::kWatchdogAbort;
   return faults_injected > 0 ? DecodeStatus::kFaultDetected
                              : DecodeStatus::kMaxIterations;
 }
+
+/// Cooperative cancellation for long decodes. A serving layer arms the token
+/// (manually or with a deadline) and the decoder polls `expired()` at layer
+/// boundaries, bailing out with DecodeStatus::kDeadlineExpired instead of
+/// burning the rest of its iteration budget on a frame nobody is waiting
+/// for. The flag is an atomic so any thread may cancel; the deadline is
+/// written only between decodes by the owning thread.
+class CancelToken {
+ public:
+  /// Request cancellation now (thread-safe, sticky until clear()).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm a wall-clock deadline; `expired()` turns true once it passes.
+  void arm_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Re-arm for the next decode: clears both the flag and the deadline.
+  void clear() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    has_deadline_ = false;
+  }
+
+  /// The decoder-side poll: true once cancelled or past the deadline.
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
 
 class Decoder {
  public:
@@ -85,6 +136,12 @@ class Decoder {
   /// Saturation accounting for the most recent decode. Default: all zeros
   /// (decoders without a fixed-point datapath have nothing to clip).
   virtual SaturationStats saturation() const { return {}; }
+
+  /// Attach a cooperative cancellation token (non-owning; nullptr detaches).
+  /// Decoders that support mid-decode bail-out poll it between layers /
+  /// iterations; the default implementation ignores it, which is always
+  /// safe — cancellation is best-effort by design.
+  virtual void set_cancel_token(const CancelToken* token) { (void)token; }
 };
 
 /// Per-iteration convergence snapshot delivered to an IterationObserver.

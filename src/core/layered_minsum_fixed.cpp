@@ -157,6 +157,7 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
   const long long injections_before = injector ? injector->injections() : 0;
   WatchdogState watchdog(options_.watchdog);
   bool watchdog_fired = false;
+  bool cancelled = false;
 
   DecodeResult result;
   result.hard_bits.resize(code_.n());
@@ -169,6 +170,13 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
     result.iterations = iter;
 
     for (const auto& layer : code_.layers()) {
+      // Cooperative cancellation poll: the posterior memory is consistent at
+      // every layer boundary, so bailing here still yields meaningful hard
+      // decisions (and the output parity recheck below stays honest).
+      if (cancel_ && cancel_->expired()) {
+        cancelled = true;
+        break;
+      }
       const std::size_t deg = layer.size();
       q.resize(deg);
       for (std::size_t row = 0; row < z; ++row) {
@@ -225,6 +233,7 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
       result.converged = true;
       break;
     }
+    if (cancelled) break;
     if (options_.watchdog.enabled() &&
         watchdog.should_abort(code_.syndrome_weight(result.hard_bits))) {
       watchdog_fired = true;
@@ -237,8 +246,8 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
   if (injector)
     result.faults_injected =
         static_cast<std::size_t>(injector->injections() - injections_before);
-  result.status =
-      classify_exit(result.converged, watchdog_fired, result.faults_injected);
+  result.status = classify_exit(result.converged, watchdog_fired,
+                                result.faults_injected, cancelled);
   return result;
 }
 

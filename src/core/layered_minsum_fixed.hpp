@@ -117,11 +117,17 @@ class LayeredMinSumFixedDecoder final : public Decoder {
   /// counted).
   SaturationStats saturation() const override { return saturation_; }
 
+  /// Cooperative cancellation: the token is polled once per layer, so an
+  /// expired deadline costs at most one layer of extra work before the
+  /// decode exits with DecodeStatus::kDeadlineExpired.
+  void set_cancel_token(const CancelToken* token) override { cancel_ = token; }
+
  private:
   const QCLdpcCode& code_;
   DecoderOptions options_;
   LayerRowKernel kernel_;
   std::string label_;
+  const CancelToken* cancel_ = nullptr;  ///< non-owning, may be null
   std::vector<std::int32_t> posterior_;  ///< P memory
   std::vector<std::int32_t> check_msg_;  ///< R memory, r_slot * z + row
   SaturationStats saturation_;

@@ -5,17 +5,6 @@
 
 namespace ldpc {
 
-namespace {
-
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size()));
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
-
-}  // namespace
-
 std::size_t EngineMetrics::status_total(DecodeStatus s) const {
   std::size_t total = 0;
   for (const auto& w : workers)
@@ -37,80 +26,161 @@ double EngineMetrics::avg_iterations() const {
 
 BatchEngine::BatchEngine(DecoderFactory factory, BatchEngineConfig config)
     : factory_(std::move(factory)),
-      config_(config),
-      queue_(config.queue_capacity) {
+      config_(std::move(config)),
+      queue_(config_.queue_capacity, config_.overload_policy) {
   LDPC_CHECK(factory_ != nullptr);
   LDPC_CHECK_MSG(config_.num_workers >= 1, "engine needs >= 1 worker");
+  for (const auto& f : config_.escalation_factories)
+    LDPC_CHECK_MSG(f != nullptr, "escalation factory must not be null");
   worker_stats_.resize(config_.num_workers);
-  workers_.reserve(config_.num_workers);
+  workers_.reserve(config_.num_workers + config_.max_replacement_workers);
   for (unsigned w = 0; w < config_.num_workers; ++w)
     workers_.emplace_back([this, w] { worker_main(w); });
 }
 
 BatchEngine::~BatchEngine() {
   queue_.close();
-  for (auto& t : workers_) t.join();
+  // The vector may grow while we join: a quarantined worker appends its
+  // replacement before exiting, so joining index i happens-after any
+  // append i performed — the re-checked size always catches new threads.
+  for (std::size_t i = 0;;) {
+    std::thread victim;
+    {
+      const std::scoped_lock lock(state_mutex_);
+      if (i >= workers_.size()) break;
+      victim = std::move(workers_[i]);
+      ++i;
+    }
+    if (victim.joinable()) victim.join();
+  }
 }
 
 BatchEngine::Job BatchEngine::make_job(std::size_t frame_index,
                                        std::vector<float>&& llr,
-                                       DecodeResult* slot, Task&& task) {
+                                       DecodeResult* slot, Task&& task,
+                                       const JobOptions& options) {
   Job job;
   job.frame_index = frame_index;
   job.llr = std::move(llr);
   job.slot = slot;
   job.task = std::move(task);
+  job.deadline = options.deadline;
+  job.rung = options.rung;
   job.enqueued = std::chrono::steady_clock::now();
   return job;
 }
 
-void BatchEngine::record_submit() {
+void BatchEngine::record_submit(std::size_t frame_index) {
   const std::scoped_lock lock(state_mutex_);
   if (!started_) {
     started_ = true;
     first_enqueue_ = std::chrono::steady_clock::now();
   }
   ++submitted_;
+  ++outstanding_[frame_index];
 }
 
-void BatchEngine::unrecord_submit() {
+void BatchEngine::unrecord_submit(std::size_t frame_index, bool rejected) {
   const std::scoped_lock lock(state_mutex_);
   --submitted_;
+  if (rejected) ++jobs_rejected_;
+  const auto it = outstanding_.find(frame_index);
+  if (it != outstanding_.end() && --it->second == 0) outstanding_.erase(it);
   // A concurrent drain() may have been waiting on the job that was just
   // backed out; re-evaluate its predicate.
   if (completed_ == submitted_) all_done_.notify_all();
 }
 
-void BatchEngine::submit(std::size_t frame_index, std::vector<float> llr,
-                         DecodeResult* slot) {
-  LDPC_CHECK(slot != nullptr);
-  record_submit();
-  if (!queue_.push(make_job(frame_index, std::move(llr), slot, {}))) {
-    unrecord_submit();
-    throw Error("BatchEngine: submit on a stopped engine");
+void BatchEngine::finish_job_locked(
+    std::size_t frame_index, std::chrono::steady_clock::time_point now) {
+  last_complete_ = now;
+  ++completed_;
+  const auto it = outstanding_.find(frame_index);
+  if (it != outstanding_.end() && --it->second == 0) outstanding_.erase(it);
+  if (completed_ == submitted_) all_done_.notify_all();
+}
+
+void BatchEngine::complete_undecoded(Job&& job, DecodeStatus status) {
+  if (job.slot) {
+    DecodeResult result;
+    result.status = status;
+    *job.slot = result;
   }
+  const auto now = std::chrono::steady_clock::now();
+  const std::scoped_lock lock(state_mutex_);
+  if (status == DecodeStatus::kShedOverload) ++jobs_shed_;
+  if (status == DecodeStatus::kDeadlineExpired) ++jobs_expired_;
+  finish_job_locked(job.frame_index, now);
+}
+
+SubmitStatus BatchEngine::submit(std::size_t frame_index,
+                                 std::vector<float> llr, DecodeResult* slot,
+                                 JobOptions options) {
+  LDPC_CHECK(slot != nullptr);
+  record_submit(frame_index);
+  Job shed;
+  switch (queue_.push(make_job(frame_index, std::move(llr), slot, {}, options),
+                      &shed)) {
+    case BoundedJobQueue<Job>::PushResult::kClosed:
+      unrecord_submit(frame_index, /*rejected=*/true);
+      return SubmitStatus::kRejectedClosed;
+    case BoundedJobQueue<Job>::PushResult::kRejected:
+      unrecord_submit(frame_index, /*rejected=*/true);
+      return SubmitStatus::kRejectedQueueFull;
+    case BoundedJobQueue<Job>::PushResult::kAcceptedShed:
+      complete_undecoded(std::move(shed), DecodeStatus::kShedOverload);
+      return SubmitStatus::kAcceptedShedOldest;
+    case BoundedJobQueue<Job>::PushResult::kAccepted:
+      break;
+  }
+  return SubmitStatus::kAccepted;
 }
 
 bool BatchEngine::try_submit(std::size_t frame_index, std::vector<float>& llr,
-                             DecodeResult* slot) {
+                             DecodeResult* slot, JobOptions options) {
   LDPC_CHECK(slot != nullptr);
-  record_submit();
-  Job job = make_job(frame_index, std::move(llr), slot, {});
+  record_submit(frame_index);
+  Job job = make_job(frame_index, std::move(llr), slot, {}, options);
   if (!queue_.try_push(job)) {
     llr = std::move(job.llr);  // hand the frame back to the caller
-    unrecord_submit();
+    unrecord_submit(frame_index, /*rejected=*/false);
     return false;
   }
   return true;
 }
 
-void BatchEngine::submit_task(std::size_t frame_index, Task task) {
+SubmitStatus BatchEngine::submit_task(std::size_t frame_index, Task task,
+                                      JobOptions options, DecodeResult* slot) {
   LDPC_CHECK(task != nullptr);
-  record_submit();
-  if (!queue_.push(make_job(frame_index, {}, nullptr, std::move(task)))) {
-    unrecord_submit();
-    throw Error("BatchEngine: submit on a stopped engine");
+  record_submit(frame_index);
+  Job shed;
+  switch (queue_.push(make_job(frame_index, {}, slot, std::move(task), options),
+                      &shed)) {
+    case BoundedJobQueue<Job>::PushResult::kClosed:
+      unrecord_submit(frame_index, /*rejected=*/true);
+      return SubmitStatus::kRejectedClosed;
+    case BoundedJobQueue<Job>::PushResult::kRejected:
+      unrecord_submit(frame_index, /*rejected=*/true);
+      return SubmitStatus::kRejectedQueueFull;
+    case BoundedJobQueue<Job>::PushResult::kAcceptedShed:
+      complete_undecoded(std::move(shed), DecodeStatus::kShedOverload);
+      return SubmitStatus::kAcceptedShedOldest;
+    case BoundedJobQueue<Job>::PushResult::kAccepted:
+      break;
   }
+  return SubmitStatus::kAccepted;
+}
+
+bool BatchEngine::submit_retry(std::size_t frame_index, Task task,
+                               JobOptions options, DecodeResult* slot) {
+  LDPC_CHECK(task != nullptr);
+  record_submit(frame_index);
+  if (!queue_.push_forced(
+          make_job(frame_index, {}, slot, std::move(task), options))) {
+    unrecord_submit(frame_index, /*rejected=*/true);
+    return false;
+  }
+  return true;
 }
 
 void BatchEngine::drain() {
@@ -118,24 +188,74 @@ void BatchEngine::drain() {
   all_done_.wait(lock, [&] { return completed_ == submitted_; });
 }
 
+DrainReport BatchEngine::drain_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(state_mutex_);
+  DrainReport report;
+  report.completed = all_done_.wait_until(
+      lock, deadline, [&] { return completed_ == submitted_; });
+  if (!report.completed) {
+    report.outstanding = submitted_ - completed_;
+    report.straggler_frames.reserve(outstanding_.size());
+    for (const auto& entry : outstanding_)
+      report.straggler_frames.push_back(entry.first);
+  }
+  return report;
+}
+
 std::vector<DecodeResult> BatchEngine::decode_batch(
     const std::vector<std::vector<float>>& frames) {
   // Sized up front: slots must not move while jobs are in flight.
   std::vector<DecodeResult> results(frames.size());
-  for (std::size_t i = 0; i < frames.size(); ++i)
-    submit(i, frames[i], &results[i]);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const SubmitStatus s = submit(i, frames[i], &results[i]);
+    LDPC_CHECK_MSG(submit_accepted(s),
+                   "decode_batch submit failed: " << to_string(s));
+  }
   drain();
   return results;
 }
 
 void BatchEngine::worker_main(unsigned worker_id) {
-  const std::unique_ptr<Decoder> decoder = factory_();
+  // Rung decoder cache: [0] primary, [r] = escalation ladder entry r - 1.
+  // Created lazily so a worker that never sees an escalated job never pays
+  // for the wider decoders; each decoder is wired to this worker's cancel
+  // token once, at creation.
+  std::vector<std::unique_ptr<Decoder>> decoders(
+      1 + config_.escalation_factories.size());
+  CancelToken cancel;
+  auto decoder_for = [&](unsigned rung) -> Decoder& {
+    const std::size_t idx =
+        std::min<std::size_t>(rung, config_.escalation_factories.size());
+    auto& entry = decoders[idx];
+    if (!entry) {
+      entry = idx == 0 ? factory_() : config_.escalation_factories[idx - 1]();
+      LDPC_CHECK(entry != nullptr);
+      entry->set_cancel_token(&cancel);
+    }
+    return *entry;
+  };
+
   Job job;
   while (queue_.pop(job)) {
+    // A queued job whose deadline already passed is completed without
+    // touching a decoder — but only when the engine owns a result slot to
+    // report through; a slotless task must still run (with the token
+    // pre-expired, so a cancellation-aware decode bails at its first poll).
+    if (job.deadline && job.slot &&
+        std::chrono::steady_clock::now() >= *job.deadline) {
+      complete_undecoded(std::move(job), DecodeStatus::kDeadlineExpired);
+      job = Job{};
+      continue;
+    }
+    cancel.clear();
+    if (job.deadline) cancel.arm_deadline(*job.deadline);
+
+    Decoder& decoder = decoder_for(job.rung);
     DecodeResult result;
     bool failed = false;
     try {
-      result = job.task ? job.task(*decoder) : decoder->decode(job.llr);
+      result = job.task ? job.task(decoder) : decoder.decode(job.llr);
     } catch (...) {
       // A throwing decode must not take the worker (and every queued job
       // behind it) down; it is surfaced as EngineWorkerStats::exceptions
@@ -144,31 +264,55 @@ void BatchEngine::worker_main(unsigned worker_id) {
     }
     const auto now = std::chrono::steady_clock::now();
     const std::size_t iterations = result.iterations;
-    const auto status_index = static_cast<std::size_t>(result.status);
-    const bool converged = result.status == DecodeStatus::kConverged;
-    if (!failed && job.slot) *job.slot = std::move(result);
+    const DecodeStatus status = result.status;
+    const bool converged = status == DecodeStatus::kConverged;
+    // Task jobs own their result delivery (a retry layer may already have
+    // the *next* attempt in flight by the time the task returns — writing
+    // the slot here would race with it); the engine writes task-job slots
+    // only for jobs it completed without running (expired / shed).
+    if (!failed && job.slot && !job.task) *job.slot = std::move(result);
 
-    const SaturationStats sat = decoder->saturation();
-    const std::scoped_lock lock(state_mutex_);
-    EngineWorkerStats& stats = worker_stats_[worker_id];
-    ++stats.jobs;
-    if (failed) {
-      ++stats.exceptions;
-    } else {
-      stats.sum_iterations += iterations;
-      stats.status_counts[status_index] += 1;
-      if (converged) ++stats.early_terminations;
-      stats.saturation.quantizer_clips += sat.quantizer_clips;
-      stats.saturation.datapath_clips += sat.datapath_clips;
-      stats.saturation.degenerate_checks += sat.degenerate_checks;
-      decoded_bits_ += decoder->n();
+    const SaturationStats sat = decoder.saturation();
+    bool retire = false;
+    {
+      const std::scoped_lock lock(state_mutex_);
+      EngineWorkerStats& stats = worker_stats_[worker_id];
+      ++stats.jobs;
+      if (failed) {
+        ++stats.exceptions;
+      } else {
+        stats.sum_iterations += iterations;
+        stats.status_counts[static_cast<std::size_t>(status)] += 1;
+        if (converged) ++stats.early_terminations;
+        stats.saturation.quantizer_clips += sat.quantizer_clips;
+        stats.saturation.datapath_clips += sat.datapath_clips;
+        stats.saturation.degenerate_checks += sat.degenerate_checks;
+        decoded_bits_ += decoder.n();
+      }
+      if (failed || status == DecodeStatus::kFaultDetected ||
+          status == DecodeStatus::kWatchdogAbort)
+        ++stats.strikes;
+      if (config_.quarantine_strike_threshold > 0 && !stats.quarantined &&
+          stats.strikes >= config_.quarantine_strike_threshold &&
+          workers_spawned_ < config_.max_replacement_workers) {
+        // Quarantine: retire this worker and hand its slot in the pool to a
+        // fresh thread (and a fresh decoder) from the factory. `stats` is
+        // dead after the push_back below — the vector may reallocate.
+        stats.quarantined = true;
+        ++workers_quarantined_;
+        ++workers_spawned_;
+        const auto new_id = static_cast<unsigned>(worker_stats_.size());
+        worker_stats_.emplace_back();
+        workers_.emplace_back([this, new_id] { worker_main(new_id); });
+        retire = true;
+      }
+      latency_us_.push_back(
+          std::chrono::duration<double, std::micro>(now - job.enqueued)
+              .count());
+      finish_job_locked(job.frame_index, now);
     }
-    latency_us_.push_back(
-        std::chrono::duration<double, std::micro>(now - job.enqueued).count());
-    last_complete_ = now;
-    ++completed_;
-    if (completed_ == submitted_) all_done_.notify_all();
     job = Job{};  // release the frame buffer before blocking on the queue
+    if (retire) return;
   }
 }
 
@@ -181,6 +325,11 @@ EngineMetrics BatchEngine::metrics() const {
     m.jobs_submitted = submitted_;
     m.jobs_completed = completed_;
     m.decoded_bits = decoded_bits_;
+    m.jobs_expired = jobs_expired_;
+    m.jobs_shed = jobs_shed_;
+    m.jobs_rejected = jobs_rejected_;
+    m.workers_quarantined = workers_quarantined_;
+    m.workers_spawned = workers_spawned_;
     if (started_) {
       const auto end = completed_ == submitted_
                            ? last_complete_
@@ -204,9 +353,9 @@ EngineMetrics BatchEngine::metrics() const {
     double sum = 0.0;
     for (const double v : latencies) sum += v;
     m.latency.mean_us = sum / static_cast<double>(latencies.size());
-    m.latency.p50_us = percentile(latencies, 0.50);
-    m.latency.p95_us = percentile(latencies, 0.95);
-    m.latency.p99_us = percentile(latencies, 0.99);
+    m.latency.p50_us = percentile_sorted(latencies, 0.50);
+    m.latency.p95_us = percentile_sorted(latencies, 0.95);
+    m.latency.p99_us = percentile_sorted(latencies, 0.99);
     m.latency.max_us = latencies.back();
   }
   return m;

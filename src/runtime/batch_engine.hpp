@@ -3,22 +3,44 @@
 // The library's decoders process one frame per call; production traffic
 // arrives as streams of frames. BatchEngine maps a stream onto a pool of
 // worker threads, each owning a private Decoder instance (decoders carry
-// mutable message memory), fed through a bounded job queue whose blocking
-// push is the backpressure mechanism.
+// mutable message memory), fed through a bounded job queue whose overload
+// policy (block / reject-newest / shed-oldest) is the backpressure or
+// admission-control mechanism.
+//
+// Service-grade extras on top of the plain pool:
+//   * per-job deadlines — a job that expires while queued is completed with
+//     DecodeStatus::kDeadlineExpired without touching a decoder, and a
+//     cooperative CancelToken makes a running decode bail between layers
+//     once its deadline passes;
+//   * worker supervision — a worker whose strike count (exceptions +
+//     fault-detected / watchdog-abort outcomes) trips a threshold is
+//     quarantined and a replacement thread is spawned from the factory;
+//   * escalation rungs — jobs may request a decoder from an escalation
+//     ladder (e.g. more iterations, wider fixed-point format) instead of
+//     the primary factory, the mechanism the retry supervisor
+//     (runtime/supervisor.hpp) builds on;
+//   * drain_until — a bounded drain that reports straggler frames instead
+//     of blocking forever on a wedged job.
 //
 // Determinism contract: the engine never makes an output depend on which
 // worker ran a job or in what order jobs completed. Results land in
 // caller-provided slots addressed by frame index, and any randomness a
-// submitted task consumes must be derived from its frame index — the same
-// discipline the BER harness follows. Under that contract the output of a
-// batch is bit-identical for every worker count.
+// submitted task consumes must be derived from data baked into the task
+// (e.g. frame index and attempt number) — the same discipline the BER
+// harness follows. Under that contract the output of a batch is
+// bit-identical for every worker count. Deadlines and load shedding are
+// inherently timing-dependent and sit outside the contract: which frames
+// expire or are shed can vary, but the result of every frame that *is*
+// decoded cannot.
 #pragma once
 
 #include <array>
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -30,12 +52,32 @@ namespace ldpc {
 
 struct BatchEngineConfig {
   unsigned num_workers = 1;
-  /// Jobs the queue holds before submit() blocks (backpressure depth).
+  /// Jobs the queue holds before the overload policy engages.
   std::size_t queue_capacity = 256;
+  /// What a full queue does to a blocking submit: kBlock (backpressure,
+  /// the default), kRejectNewest (admission control) or kShedOldest
+  /// (load shedding; the evicted job completes as kShedOverload).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Worker supervision: quarantine a worker once its strike count
+  /// (exceptions + kFaultDetected / kWatchdogAbort outcomes) reaches this
+  /// threshold, spawning a replacement from the factory. 0 disables.
+  std::size_t quarantine_strike_threshold = 0;
+  /// Lifetime cap on replacement workers; once exhausted, strikes no longer
+  /// quarantine (the pool must never shrink to zero decoding threads).
+  std::size_t max_replacement_workers = 4;
+  /// Escalation decoder ladder: a job submitted with rung r >= 1 decodes on
+  /// escalation_factories[min(r, size) - 1] instead of the primary factory
+  /// (rungs beyond the ladder clamp to its last entry; an empty ladder
+  /// clamps every rung to the primary decoder). Used by the retry
+  /// supervisor to re-attempt failed frames with more iterations or a
+  /// wider fixed-point format.
+  std::vector<DecoderFactory> escalation_factories;
 };
 
 /// Per-worker aggregation of the DecodeResult / saturation statistics the
-/// decoders already produce, plus failure accounting.
+/// decoders already produce, plus failure accounting. Only jobs that
+/// actually ran a decode count here; queue-expired and shed jobs are
+/// engine-level events (EngineMetrics::jobs_expired / jobs_shed).
 struct EngineWorkerStats {
   std::size_t jobs = 0;
   std::size_t sum_iterations = 0;
@@ -43,14 +85,20 @@ struct EngineWorkerStats {
   /// the early-termination events that make average latency < worst case.
   std::size_t early_terminations = 0;
   /// Outcome histogram indexed by static_cast<std::size_t>(DecodeStatus).
-  std::array<std::size_t, 4> status_counts{};
+  std::array<std::size_t, kNumDecodeStatuses> status_counts{};
   SaturationStats saturation;  ///< accumulated over this worker's decodes
   std::size_t exceptions = 0;  ///< jobs whose decode/task threw
+  /// Supervision strikes: exceptions plus fault-detected / watchdog-abort
+  /// decode outcomes — the "this worker keeps producing damaged results"
+  /// signal the quarantine threshold is compared against.
+  std::size_t strikes = 0;
+  bool quarantined = false;  ///< retired by supervision; thread has exited
 };
 
 /// Order statistics of per-job latency (enqueue -> completion, so queue
 /// wait is included — the number a caller sizing queue_capacity cares
-/// about). Microseconds.
+/// about). Microseconds. Only decoded jobs contribute samples; expired and
+/// shed jobs would skew the distribution with near-zero non-decodes.
 struct LatencySummary {
   std::size_t samples = 0;
   double mean_us = 0.0;
@@ -62,8 +110,16 @@ struct LatencySummary {
 
 struct EngineMetrics {
   std::size_t jobs_submitted = 0;
-  std::size_t jobs_completed = 0;
+  std::size_t jobs_completed = 0;  ///< includes expired and shed jobs
   std::size_t decoded_bits = 0;  ///< sum of codeword lengths decoded
+  /// Deadline expired while queued: completed without touching a decoder.
+  std::size_t jobs_expired = 0;
+  /// Evicted from a full queue under kShedOldest (completed kShedOverload).
+  std::size_t jobs_shed = 0;
+  /// Refused at submit: kRejectNewest on a full queue, or engine stopped.
+  std::size_t jobs_rejected = 0;
+  std::size_t workers_quarantined = 0;
+  std::size_t workers_spawned = 0;  ///< replacement threads started
   /// First submit -> last completion (now, while jobs are in flight).
   double wall_seconds = 0.0;
   double throughput_mbps = 0.0;  ///< decoded_bits / wall_seconds / 1e6
@@ -79,12 +135,56 @@ struct EngineMetrics {
   double avg_iterations() const;
 };
 
+/// What happened to a submitted job at the queue door.
+enum class SubmitStatus {
+  kAccepted,
+  kAcceptedShedOldest,  ///< accepted; the oldest queued job was evicted
+  kRejectedQueueFull,   ///< kRejectNewest policy refused it (slot untouched)
+  kRejectedClosed,      ///< engine stopped; job not enqueued
+};
+
+/// True for the two statuses under which the job will complete.
+inline bool submit_accepted(SubmitStatus s) {
+  return s == SubmitStatus::kAccepted || s == SubmitStatus::kAcceptedShedOldest;
+}
+
+inline const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::kAccepted:          return "accepted";
+    case SubmitStatus::kAcceptedShedOldest: return "accepted-shed-oldest";
+    case SubmitStatus::kRejectedQueueFull: return "rejected-queue-full";
+    case SubmitStatus::kRejectedClosed:    return "rejected-closed";
+  }
+  return "?";
+}
+
+/// Per-job submission options.
+struct JobOptions {
+  /// Absolute completion deadline. A job still queued past its deadline is
+  /// completed kDeadlineExpired without decoding; a job mid-decode bails
+  /// cooperatively at the next layer boundary (decoders that support
+  /// CancelToken). No deadline = the job may wait and run forever.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Escalation rung selecting the decoder (0 = primary factory).
+  unsigned rung = 0;
+};
+
+/// Result of a bounded drain (drain_until / drain_for).
+struct DrainReport {
+  bool completed = false;        ///< all jobs finished before the deadline
+  std::size_t outstanding = 0;   ///< jobs still queued or running at return
+  /// Frame indices of the stragglers, ascending (one entry per frame even
+  /// if it has several attempts in flight).
+  std::vector<std::size_t> straggler_frames;
+};
+
 class BatchEngine {
  public:
-  /// A unit of work executed on a worker thread with that worker's decoder.
-  /// Must derive any randomness it consumes from data baked into the task
-  /// (e.g. a frame index), never from the worker. The returned DecodeResult
-  /// feeds the engine's statistics.
+  /// A unit of work executed on a worker thread with that worker's decoder
+  /// (the rung decoder the job asked for). Must derive any randomness it
+  /// consumes from data baked into the task (e.g. a frame index), never
+  /// from the worker. The returned DecodeResult feeds the engine's
+  /// statistics.
   using Task = std::function<DecodeResult(Decoder&)>;
 
   /// Spawns the worker pool; `factory` is invoked once on each worker
@@ -102,20 +202,51 @@ class BatchEngine {
   /// Submit one decode job. `*slot` receives the result when the job
   /// completes; it must stay valid until drain() returns and must be unique
   /// per job (slot-per-frame-index is the determinism contract). Blocks
-  /// while the queue is full.
-  void submit(std::size_t frame_index, std::vector<float> llr,
-              DecodeResult* slot);
+  /// while the queue is full under kBlock; never blocks under the other
+  /// overload policies. The caller must handle rejection (the LLR frame is
+  /// consumed only when the submit is accepted).
+  [[nodiscard]] SubmitStatus submit(std::size_t frame_index,
+                                    std::vector<float> llr, DecodeResult* slot,
+                                    JobOptions options = {});
 
   /// Non-blocking submit: false (llr left intact) when the queue is full.
+  /// Policy-independent — never sheds and never counts as a rejection.
   bool try_submit(std::size_t frame_index, std::vector<float>& llr,
-                  DecodeResult* slot);
+                  DecodeResult* slot, JobOptions options = {});
 
   /// Submit an arbitrary task (the BER harness submits whole
-  /// generate-transmit-decode-score frames). Blocks while the queue is full.
-  void submit_task(std::size_t frame_index, Task task);
+  /// generate-transmit-decode-score frames). The task owns delivering its
+  /// result (a retry layer may have the next attempt in flight by the time
+  /// the task returns, so the engine must not write the slot after running
+  /// it). `slot`, when non-null, is written only when the engine completes
+  /// the job *without running the task* — deadline expiry in the queue
+  /// (kDeadlineExpired) or eviction under kShedOldest (kShedOverload) —
+  /// which is how those outcomes reach the caller.
+  [[nodiscard]] SubmitStatus submit_task(std::size_t frame_index, Task task,
+                                         JobOptions options = {},
+                                         DecodeResult* slot = nullptr);
+
+  /// Capacity-exempt resubmission for retry layers: enqueues even on a full
+  /// queue so a worker-thread callback can never deadlock the pool against
+  /// its own backlog (bounded in practice by the number of in-flight jobs).
+  /// Returns false only when the engine is stopped.
+  [[nodiscard]] bool submit_retry(std::size_t frame_index, Task task,
+                                  JobOptions options = {},
+                                  DecodeResult* slot = nullptr);
 
   /// Block until every job submitted so far has completed.
   void drain();
+
+  /// Bounded drain: wait until every submitted job completes or `deadline`
+  /// passes, whichever is first. On timeout the report lists the straggler
+  /// frames still in flight — the caller decides whether to keep waiting,
+  /// shed, or tear down; the engine never hangs a serving thread forever.
+  DrainReport drain_until(std::chrono::steady_clock::time_point deadline);
+
+  /// Convenience overload: drain with a relative timeout.
+  DrainReport drain_for(std::chrono::nanoseconds timeout) {
+    return drain_until(std::chrono::steady_clock::now() + timeout);
+  }
 
   /// Synchronous convenience wrapper: decode `frames`, return results in
   /// input order. Equivalent to submit-all + drain.
@@ -134,14 +265,21 @@ class BatchEngine {
     std::vector<float> llr;
     DecodeResult* slot = nullptr;
     Task task;  ///< when set, runs instead of decoder.decode(llr)
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    unsigned rung = 0;
     std::chrono::steady_clock::time_point enqueued;
   };
 
   void worker_main(unsigned worker_id);
   Job make_job(std::size_t frame_index, std::vector<float>&& llr,
-               DecodeResult* slot, Task&& task);
-  void record_submit();
-  void unrecord_submit();
+               DecodeResult* slot, Task&& task, const JobOptions& options);
+  void record_submit(std::size_t frame_index);
+  void unrecord_submit(std::size_t frame_index, bool rejected);
+  /// Complete a job that never reached a decoder (expired / shed).
+  void complete_undecoded(Job&& job, DecodeStatus status);
+  /// Must hold state_mutex_: bookkeeping for one finished job.
+  void finish_job_locked(std::size_t frame_index,
+                         std::chrono::steady_clock::time_point now);
 
   DecoderFactory factory_;
   BatchEngineConfig config_;
@@ -153,6 +291,14 @@ class BatchEngine {
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
   std::size_t decoded_bits_ = 0;
+  std::size_t jobs_expired_ = 0;
+  std::size_t jobs_shed_ = 0;
+  std::size_t jobs_rejected_ = 0;
+  std::size_t workers_quarantined_ = 0;
+  std::size_t workers_spawned_ = 0;
+  /// Frames submitted but not yet completed (frame -> in-flight attempts);
+  /// the straggler report of drain_until reads this.
+  std::map<std::size_t, unsigned> outstanding_;
   bool started_ = false;
   std::chrono::steady_clock::time_point first_enqueue_;
   std::chrono::steady_clock::time_point last_complete_;

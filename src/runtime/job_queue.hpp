@@ -1,11 +1,24 @@
-// Bounded multi-producer/multi-consumer job queue.
+// Bounded multi-producer/multi-consumer job queue with overload policies.
 //
-// The runtime batch engine's backpressure primitive: `push` blocks once
-// `capacity` jobs are waiting, so a producer that outruns the worker pool is
-// throttled instead of growing an unbounded backlog (decode jobs carry whole
-// LLR frames — thousands of floats each). Post-push queue depths are
-// recorded into a RunningStats so the engine can report how full the queue
-// actually ran.
+// The runtime batch engine's backpressure primitive. What happens when a
+// producer outruns the worker pool is a policy choice:
+//
+//   kBlock        — `push` blocks once `capacity` jobs are waiting, so the
+//                   producer is throttled instead of growing an unbounded
+//                   backlog (decode jobs carry whole LLR frames — thousands
+//                   of floats each). The original behavior.
+//   kRejectNewest — `push` on a full queue fails immediately with
+//                   kRejected; the caller keeps the job (admission control:
+//                   new work is turned away at the door).
+//   kShedOldest   — `push` on a full queue evicts the oldest queued job to
+//                   make room (load shedding: stale work is dropped in
+//                   favor of fresh work — the right policy when jobs have
+//                   deadlines and the oldest is the most likely to be dead
+//                   on arrival anyway). The displaced job is handed back so
+//                   the caller can complete it as shed.
+//
+// Post-push queue depths are recorded into a RunningStats so the engine can
+// report how full the queue actually ran; shed/reject events are counted.
 #pragma once
 
 #include <condition_variable>
@@ -18,18 +31,76 @@
 
 namespace ldpc {
 
+/// What a full queue does to an incoming push (see file comment).
+enum class OverloadPolicy { kBlock, kRejectNewest, kShedOldest };
+
+inline const char* to_string(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kBlock:        return "block";
+    case OverloadPolicy::kRejectNewest: return "reject-newest";
+    case OverloadPolicy::kShedOldest:   return "shed-oldest";
+  }
+  return "?";
+}
+
 template <typename T>
 class BoundedJobQueue {
  public:
-  explicit BoundedJobQueue(std::size_t capacity) : capacity_(capacity) {
+  /// Outcome of a policy-aware push.
+  enum class PushResult {
+    kAccepted,     ///< item enqueued
+    kClosed,       ///< queue closed; item left unconsumed
+    kRejected,     ///< full under kRejectNewest; item left unconsumed
+    kAcceptedShed  ///< item enqueued, oldest job evicted (kShedOldest)
+  };
+
+  explicit BoundedJobQueue(std::size_t capacity,
+                           OverloadPolicy policy = OverloadPolicy::kBlock)
+      : capacity_(capacity), policy_(policy) {
     LDPC_CHECK_MSG(capacity >= 1, "queue capacity must be >= 1");
   }
 
-  /// Blocking push: waits while the queue is full (backpressure). Returns
-  /// false — leaving `item` unconsumed — if the queue was closed.
-  bool push(T&& item) {
+  /// Policy-aware push. Under kBlock this waits while the queue is full
+  /// (backpressure); under kRejectNewest / kShedOldest it never blocks.
+  /// On kAcceptedShed the evicted job is moved into `*shed` when `shed` is
+  /// non-null (callers that must complete every accepted job pass it);
+  /// otherwise the evicted job is destroyed.
+  PushResult push(T&& item, T* shed = nullptr) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (policy_ == OverloadPolicy::kBlock) {
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return PushResult::kClosed;
+    } else if (!closed_ && items_.size() >= capacity_) {
+      if (policy_ == OverloadPolicy::kRejectNewest) {
+        ++rejected_;
+        return PushResult::kRejected;
+      }
+      // kShedOldest: evict the head to make room for the tail.
+      if (shed) *shed = std::move(items_.front());
+      items_.pop_front();
+      ++shed_;
+      items_.push_back(std::move(item));
+      occupancy_.add(static_cast<double>(items_.size()));
+      lock.unlock();
+      not_empty_.notify_one();
+      return PushResult::kAcceptedShed;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(item));
+    occupancy_.add(static_cast<double>(items_.size()));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Capacity-exempt push: enqueues even on a full queue (false only when
+  /// closed). The escape hatch for *re*-submissions — a worker thread that
+  /// retries a failed job must never block on queue space, or a full queue
+  /// of retryable jobs deadlocks the pool. Bounded in practice because
+  /// retries never exceed the number of in-flight jobs.
+  bool push_forced(T&& item) {
+    std::unique_lock lock(mutex_);
     if (closed_) return false;
     items_.push_back(std::move(item));
     occupancy_.add(static_cast<double>(items_.size()));
@@ -39,7 +110,7 @@ class BoundedJobQueue {
   }
 
   /// Non-blocking push: false when full or closed; `item` is moved from
-  /// only on success.
+  /// only on success. Policy-independent (never sheds).
   bool try_push(T& item) {
     std::unique_lock lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
@@ -75,6 +146,7 @@ class BoundedJobQueue {
   }
 
   std::size_t capacity() const { return capacity_; }
+  OverloadPolicy policy() const { return policy_; }
 
   std::size_t size() const {
     const std::scoped_lock lock(mutex_);
@@ -84,6 +156,18 @@ class BoundedJobQueue {
   bool closed() const {
     const std::scoped_lock lock(mutex_);
     return closed_;
+  }
+
+  /// Jobs evicted under kShedOldest since construction.
+  std::size_t shed_count() const {
+    const std::scoped_lock lock(mutex_);
+    return shed_;
+  }
+
+  /// Pushes refused under kRejectNewest since construction.
+  std::size_t rejected_count() const {
+    const std::scoped_lock lock(mutex_);
+    return rejected_;
   }
 
   /// Snapshot of the post-push depth statistics (mean/max occupancy).
@@ -98,7 +182,10 @@ class BoundedJobQueue {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   std::size_t capacity_;
+  OverloadPolicy policy_;
   bool closed_ = false;
+  std::size_t shed_ = 0;
+  std::size_t rejected_ = 0;
   RunningStats occupancy_;
 };
 

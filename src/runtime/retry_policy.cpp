@@ -1,0 +1,63 @@
+#include "runtime/retry_policy.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/layered_minsum_fixed.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+
+bool RetryPolicy::should_retry(DecodeStatus status,
+                               std::size_t attempt) const {
+  if (attempt >= max_attempts) return false;
+  return (retry_statuses & retry_status_bit(status)) != 0;
+}
+
+RetryPolicy RetryPolicy::up_to(std::size_t attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  validate(policy);
+  return policy;
+}
+
+void validate(const RetryPolicy& policy) {
+  LDPC_CHECK_MSG(policy.max_attempts >= 1,
+                 "retry policy needs at least one attempt");
+  LDPC_CHECK_MSG(
+      (policy.retry_statuses & retry_status_bit(DecodeStatus::kConverged)) == 0,
+      "a converged decode must never be retried");
+}
+
+std::vector<EscalationRung> default_escalation_ladder(
+    std::size_t base_iterations, FixedFormat base_format) {
+  LDPC_CHECK(base_iterations >= 1);
+  validate(base_format);
+  EscalationRung more_iterations;
+  more_iterations.max_iterations = 2 * base_iterations;
+  more_iterations.format = base_format;
+  EscalationRung wider_format;
+  wider_format.max_iterations = 3 * base_iterations;
+  wider_format.format = base_format;
+  wider_format.format.total_bits = std::min(base_format.total_bits + 2, 16);
+  return {more_iterations, wider_format};
+}
+
+std::vector<DecoderFactory> make_escalation_factories(
+    const QCLdpcCode& code, const DecoderOptions& base,
+    const std::vector<EscalationRung>& ladder) {
+  std::vector<DecoderFactory> factories;
+  factories.reserve(ladder.size());
+  for (const EscalationRung& rung : ladder) {
+    LDPC_CHECK(rung.max_iterations >= 1);
+    validate(rung.format);
+    DecoderOptions options = base;
+    options.max_iterations = rung.max_iterations;
+    factories.push_back([&code, options, format = rung.format] {
+      return std::make_unique<LayeredMinSumFixedDecoder>(code, options, format);
+    });
+  }
+  return factories;
+}
+
+}  // namespace ldpc

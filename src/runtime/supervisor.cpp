@@ -1,0 +1,117 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ldpc {
+
+DecodeSupervisor::DecodeSupervisor(DecoderFactory primary,
+                                   SupervisorConfig config)
+    : config_(std::move(config)), engine_(std::move(primary), config_.engine) {
+  validate(config_.retry);
+  if (config_.retry.enabled())
+    LDPC_CHECK_MSG(
+        !config_.engine.escalation_factories.empty(),
+        "retry without an escalation ladder re-runs the identical decode; "
+        "configure BatchEngineConfig::escalation_factories");
+  stats_.finished_by_attempt.resize(config_.retry.max_attempts, 0);
+  stats_.recovered_by_attempt.resize(config_.retry.max_attempts, 0);
+}
+
+BatchEngine::Task DecodeSupervisor::make_attempt(
+    std::shared_ptr<JobControl> control) {
+  return [this, control = std::move(control)](Decoder& decoder) {
+    const DecodeResult result =
+        control->task_factory ? control->task_factory(control->attempt)(decoder)
+                              : decoder.decode(control->llr);
+    on_attempt_done(control, result);
+    return result;
+  };
+}
+
+void DecodeSupervisor::on_attempt_done(
+    const std::shared_ptr<JobControl>& control, const DecodeResult& result) {
+  bool retry =
+      config_.retry.should_retry(result.status, control->attempt);
+  bool abandoned = false;
+  if (retry && control->deadline &&
+      std::chrono::steady_clock::now() >= *control->deadline) {
+    // The re-decode would expire in the queue anyway; give up now and let
+    // this attempt's result stand.
+    retry = false;
+    abandoned = true;
+  }
+  if (retry) {
+    const std::size_t attempt = ++control->attempt;
+    JobOptions options;
+    options.deadline = control->deadline;
+    // Attempt a runs on escalation rung a - 1 (the engine clamps rungs
+    // beyond the ladder to its last entry).
+    options.rung = static_cast<unsigned>(attempt - 1);
+    // Capacity-exempt: this runs on a worker thread, which must never
+    // block on queue space it is itself responsible for freeing.
+    if (engine_.submit_retry(control->frame_index, make_attempt(control),
+                             options, control->slot)) {
+      const std::scoped_lock lock(stats_mutex_);
+      ++stats_.retries_submitted;
+      return;  // the next attempt owns the slot now
+    }
+    // Engine stopped under us: record this attempt as final.
+  }
+  // Final attempt: publish the result. Safe without a lock — attempts for a
+  // frame are strictly sequential, and drain() observes this write because
+  // it happens before the worker's completion bookkeeping.
+  if (control->slot) *control->slot = result;
+  const std::scoped_lock lock(stats_mutex_);
+  const std::size_t index =
+      std::min(control->attempt, config_.retry.max_attempts) - 1;
+  ++stats_.finished_by_attempt[index];
+  if (result.status == DecodeStatus::kConverged)
+    ++stats_.recovered_by_attempt[index];
+  else if (control->attempt >= config_.retry.max_attempts)
+    ++stats_.exhausted_frames;
+  if (abandoned) ++stats_.retries_abandoned_deadline;
+}
+
+SubmitStatus DecodeSupervisor::submit(
+    std::size_t frame_index, std::vector<float> llr, DecodeResult* slot,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  LDPC_CHECK(slot != nullptr);
+  auto control = std::make_shared<JobControl>();
+  control->frame_index = frame_index;
+  control->llr = std::move(llr);
+  control->slot = slot;
+  control->deadline = deadline;
+  JobOptions options;
+  options.deadline = deadline;
+  return engine_.submit_task(frame_index, make_attempt(std::move(control)),
+                             options, slot);
+}
+
+SubmitStatus DecodeSupervisor::submit_task(
+    std::size_t frame_index, TaskFactory factory, DecodeResult* slot,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  LDPC_CHECK(factory != nullptr);
+  LDPC_CHECK(slot != nullptr);
+  auto control = std::make_shared<JobControl>();
+  control->frame_index = frame_index;
+  control->task_factory = std::move(factory);
+  control->slot = slot;
+  control->deadline = deadline;
+  JobOptions options;
+  options.deadline = deadline;
+  return engine_.submit_task(frame_index, make_attempt(std::move(control)),
+                             options, slot);
+}
+
+SupervisorMetrics DecodeSupervisor::metrics() const {
+  SupervisorMetrics m;
+  m.engine = engine_.metrics();
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    m.retry = stats_;
+  }
+  return m;
+}
+
+}  // namespace ldpc

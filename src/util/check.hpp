@@ -51,3 +51,15 @@ namespace detail {
                                           os_.str());                        \
     }                                                                        \
   } while (false)
+
+/// Debug-only check: compiled out under NDEBUG. For invariants on paths
+/// where the release build deliberately tolerates the condition (e.g. a
+/// status-returning submit whose caller is expected to handle rejection)
+/// but a debug build should fail loudly on the programming error.
+#ifdef NDEBUG
+#define LDPC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define LDPC_DCHECK(expr) LDPC_CHECK(expr)
+#endif

@@ -8,6 +8,16 @@ namespace ldpc {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  LDPC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1], got " << q);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   LDPC_CHECK_MSG(hi > lo, "histogram range is empty: [" << lo << ", " << hi << ")");

@@ -36,6 +36,13 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Quantile of an ascending-sorted sample set with linear interpolation
+/// between order statistics (the "R-7" / NumPy default definition):
+/// q in [0, 1] maps onto rank q * (n - 1), fractional ranks interpolate
+/// between the two neighbours. Distinct from the previous ceil-rank rule,
+/// which returned the max for p50 of two samples. Empty input returns 0.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
 /// Fixed-bin histogram over [lo, hi); out-of-range samples land in the edge
 /// bins so nothing is silently dropped.
 class Histogram {

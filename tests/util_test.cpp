@@ -335,6 +335,46 @@ TEST(Stats, SingleValueHasZeroVariance) {
   EXPECT_EQ(s.mean(), 3.5);
 }
 
+TEST(Stats, PercentileEmptyAndSingle) {
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 1.0), 42.0);
+}
+
+TEST(Stats, PercentileTwoSamplesInterpolates) {
+  // The old ceil-rank rule returned the max here; the median of {10, 20}
+  // is their midpoint.
+  const std::vector<double> two{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(two, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(two, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(two, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(two, 0.25), 12.5);
+}
+
+TEST(Stats, PercentileOddCountHitsMiddle) {
+  const std::vector<double> odd{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(odd, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(odd, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(odd, 0.75), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(odd, 0.9), 4.6);
+}
+
+TEST(Stats, PercentileEvenCountInterpolates) {
+  const std::vector<double> even{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(even, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(even, 1.0), 4.0);
+  // p95 of four samples: rank 2.85 -> between 3 and 4.
+  EXPECT_NEAR(percentile_sorted(even, 0.95), 3.85, 1e-12);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeQuantile) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(percentile_sorted(v, -0.1), Error);
+  EXPECT_THROW(percentile_sorted(v, 1.1), Error);
+}
+
 TEST(Histogram, BinsCountCorrectly) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 10; ++i) h.add(i + 0.5);
