@@ -6,6 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/arch_sim.hpp"
@@ -56,6 +61,80 @@ inline ArchDecodeResult run_design_point(const QCLdpcCode& code, ArchKind arch,
   const auto frame = quantized_frame(code, fmt, 2.0F, 42);
   return sim.decode_quantized(frame);
 }
+
+/// Machine-readable benchmark output: a flat array of JSON objects, one
+/// per measured configuration, written next to the human-readable tables
+/// so the perf trajectory can be tracked across PRs by tooling instead of
+/// by reading bench logs. Values render eagerly (numbers unquoted,
+/// strings escaped) — the reporter holds no type state.
+class JsonReporter {
+ public:
+  class Row {
+   public:
+    Row& set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, quote(value));
+      return *this;
+    }
+    Row& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+    Row& set(const std::string& key, double value) {
+      std::ostringstream os;
+      os.precision(10);
+      os << value;
+      fields_.emplace_back(key, os.str());
+      return *this;
+    }
+    Row& set(const std::string& key, long long value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& set(const std::string& key, std::size_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& set(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class JsonReporter;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& add_row() { return rows_.emplace_back(); }
+
+  /// Write the collected rows as a JSON array and announce the path on
+  /// stdout (bench logs double as a record of where the data went).
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "  {";
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (f != 0) out << ", ";
+        out << Row::quote(fields[f].first) << ": " << fields[f].second;
+      }
+      out << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    std::cout << "wrote " << path << " (" << rows_.size() << " rows)\n";
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
 
 /// SRAM complement of the flexible multi-rate WiMAX decoder (Table II):
 /// P memory for 24 block columns plus R memory sized for the worst-case

@@ -1,15 +1,29 @@
-// Software decoder micro-benchmarks (google-benchmark).
+// Software decoder micro-benchmarks (google-benchmark) plus the tracked
+// decoder-throughput measurement.
 //
 // Not a paper table — this measures the C++ library itself: frames/second
 // and info-bit throughput of each decoder implementation on the host CPU,
 // which is what a downstream user simulating BER curves cares about.
+//
+// Before the google-benchmark suite runs, main() takes a wall-clock
+// measurement of every layered-decoder implementation on the paper's
+// (2304, 1/2) z = 96 case-study code and writes it to
+// BENCH_decoder_throughput.json (decoder label, code id, frames/s, info
+// Mbps, iterations/frame, speedup vs. the scalar fixed-point decoder) so
+// the perf trajectory is machine-readable across PRs. The headline row is
+// the SIMD z-lane decoder, whose acceptance target is >= 4x the scalar
+// layered-minsum-fixed single-thread throughput.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.hpp"
 #include "channel/awgn.hpp"
 #include "channel/modem.hpp"
 #include "codes/encoder.hpp"
 #include "codes/wimax.hpp"
 #include "core/decoder_factory.hpp"
+#include "core/simd/simd_kernel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -32,6 +46,81 @@ std::vector<float> noisy_llr(const QCLdpcCode& code, float ebn0, std::uint64_t s
       ch.transmit(BpskModem::modulate(enc.encode(info))), variance);
 }
 
+// ------------------------------------------------ tracked JSON measurement --
+
+struct Throughput {
+  double frames_per_s = 0.0;
+  double info_mbps = 0.0;
+  double iters_per_frame = 0.0;
+};
+
+/// Wall-clock throughput of one decoder on one frozen frame: warm up,
+/// then decode for at least `min_seconds` of elapsed time.
+Throughput measure(Decoder& dec, const QCLdpcCode& code,
+                   std::span<const float> llr, double min_seconds = 0.3) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 3; ++i) benchmark::DoNotOptimize(dec.decode(llr));
+  std::size_t frames = 0;
+  std::size_t iters = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    const auto result = dec.decode(llr);
+    benchmark::DoNotOptimize(result.iterations);
+    iters += result.iterations;
+    ++frames;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  Throughput t;
+  t.frames_per_s = static_cast<double>(frames) / elapsed;
+  t.info_mbps = t.frames_per_s * static_cast<double>(code.k()) / 1e6;
+  t.iters_per_frame = static_cast<double>(iters) / static_cast<double>(frames);
+  return t;
+}
+
+void write_throughput_json() {
+  const auto& code = code2304();
+  const std::string code_id =
+      "wimax-1/2 z=96 n=" + std::to_string(code.n());
+  // 2.0 dB waterfall frame, early termination on: the BER-harness
+  // operating point (converges in a handful of iterations).
+  const auto llr = noisy_llr(code, 2.0F, 5);
+  DecoderOptions opt;
+  opt.max_iterations = 10;
+
+  bench::JsonReporter report;
+  double scalar_fps = 0.0;
+  const char* names[] = {
+      "layered-minsum-fixed",  "layered-minsum-simd",
+      "layered-minsum-q6",     "layered-minsum-simd-q6",
+      "layered-minsum-float",
+  };
+  std::printf("decoder throughput — %s, 10 iters max, ET on\n",
+              code_id.c_str());
+  for (const char* name : names) {
+    auto dec = make_decoder(name, code, opt);
+    const Throughput t = measure(*dec, code, llr);
+    if (std::string(name) == "layered-minsum-fixed") scalar_fps = t.frames_per_s;
+    const double speedup =
+        scalar_fps > 0.0 ? t.frames_per_s / scalar_fps : 0.0;
+    report.add_row()
+        .set("decoder", name)
+        .set("label", dec->name())
+        .set("code", code_id)
+        .set("frames_per_s", t.frames_per_s)
+        .set("info_mbps", t.info_mbps)
+        .set("iters_per_frame", t.iters_per_frame)
+        .set("speedup_vs_scalar_fixed", speedup)
+        .set("simd_tier", simd::to_string(simd::best_tier()));
+    std::printf("  %-28s %10.0f frames/s  %8.2f Mbps  %5.2f iters/frame  %5.2fx\n",
+                dec->name().c_str(), t.frames_per_s, t.info_mbps,
+                t.iters_per_frame, speedup);
+  }
+  report.write("BENCH_decoder_throughput.json");
+}
+
+// ------------------------------------------------------- google-benchmark --
+
 void decode_bench(benchmark::State& state, const std::string& name,
                   bool early_termination) {
   const auto& code = code2304();
@@ -52,12 +141,16 @@ void decode_bench(benchmark::State& state, const std::string& name,
 
 void BM_LayeredFixed(benchmark::State& s) { decode_bench(s, "layered-minsum-fixed", true); }
 void BM_LayeredFixedNoET(benchmark::State& s) { decode_bench(s, "layered-minsum-fixed", false); }
+void BM_LayeredSimd(benchmark::State& s) { decode_bench(s, "layered-minsum-simd", true); }
+void BM_LayeredSimdNoET(benchmark::State& s) { decode_bench(s, "layered-minsum-simd", false); }
 void BM_LayeredFloat(benchmark::State& s) { decode_bench(s, "layered-minsum-float", true); }
 void BM_FloodingMinSumNorm(benchmark::State& s) { decode_bench(s, "flooding-minsum-norm", true); }
 void BM_FloodingBp(benchmark::State& s) { decode_bench(s, "flooding-bp", true); }
 
 BENCHMARK(BM_LayeredFixed);
 BENCHMARK(BM_LayeredFixedNoET);
+BENCHMARK(BM_LayeredSimd);
+BENCHMARK(BM_LayeredSimdNoET);
 BENCHMARK(BM_LayeredFloat);
 BENCHMARK(BM_FloodingMinSumNorm);
 BENCHMARK(BM_FloodingBp);
@@ -92,4 +185,11 @@ BENCHMARK(BM_DenseEncoder);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_throughput_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

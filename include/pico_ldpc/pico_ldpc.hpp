@@ -13,6 +13,7 @@
 #include "util/rng.hpp"        // IWYU pragma: export
 #include "util/bitvec.hpp"     // IWYU pragma: export
 #include "util/saturate.hpp"   // IWYU pragma: export
+#include "util/aligned.hpp"    // IWYU pragma: export
 #include "util/stats.hpp"      // IWYU pragma: export
 #include "util/table.hpp"      // IWYU pragma: export
 #include "util/csv.hpp"        // IWYU pragma: export
@@ -37,6 +38,8 @@
 #include "core/gallager_b.hpp"             // IWYU pragma: export
 #include "core/layered_minsum_float.hpp"   // IWYU pragma: export
 #include "core/layered_minsum_fixed.hpp"   // IWYU pragma: export
+#include "core/simd/simd_kernel.hpp"       // IWYU pragma: export
+#include "core/simd/simd_layered.hpp"      // IWYU pragma: export
 #include "core/decoder_factory.hpp"        // IWYU pragma: export
 
 // channel — modulation, channels, Monte-Carlo harness

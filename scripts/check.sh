@@ -2,17 +2,23 @@
 # Full verification gate: everything CI runs, in one command.
 #
 #   1. tier-1 verify   — warnings-as-errors build + complete ctest suite
-#   2. sanitizer pass  — ASan+UBSan build (LDPC_SANITIZE=ON) + ctest
-#   3. TSan pass       — ThreadSanitizer build (LDPC_SANITIZE=thread) running
+#   2. scalar-only     — LDPC_SIMD=OFF build (portable kernel only) running
+#                        the SIMD equivalence suite, proving the portable
+#                        tier alone still matches the scalar decoder
+#                        bit-for-bit
+#   3. sanitizer pass  — ASan+UBSan build (LDPC_SANITIZE=ON) + ctest; the
+#                        SIMD kernels are ON here so the intrinsic paths run
+#                        under instrumentation too
+#   4. TSan pass       — ThreadSanitizer build (LDPC_SANITIZE=thread) running
 #                        the concurrency-sensitive tests: the runtime batch
 #                        engine, the retry/escalation supervisor, the
 #                        fault-injection chaos test and the BER runner
 #
 # Every ctest invocation carries a per-test --timeout so a wedged worker
 # thread fails loudly instead of hanging the gate.
-#   4. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
+#   5. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
 #                        with a notice when clang-tidy is not installed
-#   5. ldpc-lint       — static schedule/hazard analysis over every bundled
+#   6. ldpc-lint       — static schedule/hazard analysis over every bundled
 #                        code and both column orders (must exit 0)
 #
 # Usage: scripts/check.sh [--fast]
@@ -36,32 +42,38 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # fail the gate, not hang CI forever.
 TEST_TIMEOUT=120
 
-echo "== [1/5] tier-1 verify (LDPC_WERROR=ON) =="
+echo "== [1/6] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT"
 
+echo "== [2/6] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
+cmake -B build-nosimd -S . -DLDPC_SIMD=OFF -DLDPC_WERROR=ON
+cmake --build build-nosimd -j "$JOBS" --target simd_equivalence_test
+ctest --test-dir build-nosimd --output-on-failure --timeout "$TEST_TIMEOUT" \
+  -R 'SimdEquivalence'
+
 if [ "$FAST" -eq 0 ]; then
-  echo "== [2/5] ASan + UBSan =="
+  echo "== [3/6] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure --timeout "$TEST_TIMEOUT"
 
-  echo "== [3/5] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
+  echo "== [4/6] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
   cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
   cmake --build build-tsan -j "$JOBS" \
     --target runtime_test chaos_test channel_test
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
     -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds'
 else
-  echo "== [2/5] ASan + UBSan — skipped (--fast) =="
-  echo "== [3/5] ThreadSanitizer — skipped (--fast) =="
+  echo "== [3/6] ASan + UBSan — skipped (--fast) =="
+  echo "== [4/6] ThreadSanitizer — skipped (--fast) =="
 fi
 
-echo "== [4/5] clang-tidy =="
+echo "== [5/6] clang-tidy =="
 cmake --build build --target lint
 
-echo "== [5/5] ldpc-lint over all bundled codes =="
+echo "== [6/6] ldpc-lint over all bundled codes =="
 ./build/src/analysis/ldpc-lint
 ./build/src/analysis/ldpc-lint --order hazard
 

@@ -5,6 +5,7 @@
 #include "core/gallager_b.hpp"
 #include "core/layered_minsum_fixed.hpp"
 #include "core/layered_minsum_float.hpp"
+#include "core/simd/simd_layered.hpp"
 
 namespace ldpc {
 
@@ -42,6 +43,20 @@ std::unique_ptr<Decoder> make_decoder(const std::string& name,
         code, options, LayerRowKernel::offset_kernel(fmt, 2),
         "layered-minsum-offset-" + fmt.name());
   }
+  // SIMD z-lane twins of the fixed-point layered decoders: bit-identical
+  // results (asserted in tests/simd_equivalence_test.cpp), z rows of each
+  // layer processed as vector lanes. See src/core/simd/.
+  if (name == "layered-minsum-simd")
+    return std::make_unique<SimdLayeredDecoder>(code, options,
+                                                FixedFormat{8, 2});
+  if (name == "layered-minsum-simd-q6")
+    return std::make_unique<SimdLayeredDecoder>(code, options,
+                                                FixedFormat{6, 1});
+  if (name == "layered-minsum-simd-offset") {
+    const FixedFormat fmt{8, 2};
+    return std::make_unique<SimdLayeredDecoder>(
+        code, options, fmt, 2, "layered-minsum-simd-offset-" + fmt.name());
+  }
   throw Error("unknown decoder name: " + name);
 }
 
@@ -52,6 +67,8 @@ const std::vector<std::string>& decoder_names() {
       "flooding-minsum-scms",  "gallager-b",
       "layered-minsum-float",  "layered-minsum-fixed",
       "layered-minsum-q6",     "layered-minsum-offset-fixed",
+      "layered-minsum-simd",   "layered-minsum-simd-q6",
+      "layered-minsum-simd-offset",
   };
   return names;
 }

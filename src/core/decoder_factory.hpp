@@ -21,7 +21,9 @@ using DecoderFactory = std::function<std::unique_ptr<Decoder>()>;
 /// Recognised names:
 ///   "flooding-bp", "flooding-minsum", "flooding-minsum-norm",
 ///   "flooding-minsum-offset", "layered-minsum-float",
-///   "layered-minsum-fixed" (8.2), "layered-minsum-q6" (6.1)
+///   "layered-minsum-fixed" (8.2), "layered-minsum-q6" (6.1),
+///   and the bit-identical SIMD z-lane twins "layered-minsum-simd" (8.2),
+///   "layered-minsum-simd-q6" (6.1), "layered-minsum-simd-offset"
 /// Throws ldpc::Error for unknown names. The returned decoder borrows `code`;
 /// the caller must keep the code alive for the decoder's lifetime.
 std::unique_ptr<Decoder> make_decoder(const std::string& name,

@@ -104,8 +104,7 @@ LayeredMinSumFixedDecoder::LayeredMinSumFixedDecoder(const QCLdpcCode& code,
     const auto num = static_cast<std::int32_t>(options_.scale * 16.0F + 0.5F);
     kernel_ = LayerRowKernel(format, num, 16);
   }
-  posterior_.resize(code_.n());
-  check_msg_.resize(code_.base().nonzero_blocks() * static_cast<std::size_t>(code_.z()));
+  init_scratch();
 }
 
 LayeredMinSumFixedDecoder::LayeredMinSumFixedDecoder(const QCLdpcCode& code,
@@ -117,22 +116,29 @@ LayeredMinSumFixedDecoder::LayeredMinSumFixedDecoder(const QCLdpcCode& code,
       kernel_(kernel),
       label_(std::move(label)) {
   LDPC_CHECK(options_.max_iterations > 0);
+  init_scratch();
+}
+
+void LayeredMinSumFixedDecoder::init_scratch() {
   posterior_.resize(code_.n());
   check_msg_.resize(code_.base().nonzero_blocks() * static_cast<std::size_t>(code_.z()));
+  quant_scratch_.resize(code_.n());
+  std::size_t max_deg = 0;
+  for (const auto& layer : code_.layers()) max_deg = std::max(max_deg, layer.size());
+  q_row_.reserve(max_deg);
 }
 
 DecodeResult LayeredMinSumFixedDecoder::decode(std::span<const float> llr) {
   LDPC_CHECK(llr.size() == code_.n());
   saturation_.quantizer_clips = 0;
-  std::vector<std::int32_t> codes(llr.size());
   if (options_.count_saturation) {
     for (std::size_t v = 0; v < llr.size(); ++v)
-      codes[v] = format().quantize(llr[v], saturation_.quantizer_clips);
+      quant_scratch_[v] = format().quantize(llr[v], saturation_.quantizer_clips);
   } else {
     for (std::size_t v = 0; v < llr.size(); ++v)
-      codes[v] = format().quantize(llr[v]);
+      quant_scratch_[v] = format().quantize(llr[v]);
   }
-  return decode_quantized(codes);
+  return decode_quantized(quant_scratch_);
 }
 
 DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
@@ -164,7 +170,7 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
   BitVec previous_hard;
   if (options_.observer) previous_hard.resize(code_.n());
 
-  std::vector<std::int32_t> q;  // the Q_array of Fig. 5
+  std::vector<std::int32_t>& q = q_row_;  // the Q_array of Fig. 5
 
   for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
     result.iterations = iter;
@@ -216,10 +222,18 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
 
     for (std::size_t v = 0; v < code_.n(); ++v)
       result.hard_bits.set(v, posterior_[v] < 0);
+    // One syndrome evaluation serves the observer, early termination and
+    // the watchdog (parity_ok == zero syndrome weight); when none of the
+    // weight consumers is active, early termination keeps the cheaper
+    // short-circuiting parity walk.
+    const bool want_weight =
+        static_cast<bool>(options_.observer) || options_.watchdog.enabled();
+    std::size_t weight = 0;
+    if (want_weight) weight = code_.syndrome_weight(result.hard_bits);
     if (options_.observer) {
       IterationSnapshot snap;
       snap.iteration = iter;
-      snap.syndrome_weight = code_.syndrome_weight(result.hard_bits);
+      snap.syndrome_weight = weight;
       double sum = 0.0;
       for (const auto p : posterior_)
         sum += std::abs(static_cast<double>(kernel_.format().dequantize(p)));
@@ -229,13 +243,13 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
       previous_hard = result.hard_bits;
       options_.observer(snap);
     }
-    if (options_.early_termination && code_.parity_ok(result.hard_bits)) {
+    if (options_.early_termination &&
+        (want_weight ? weight == 0 : code_.parity_ok(result.hard_bits))) {
       result.converged = true;
       break;
     }
     if (cancelled) break;
-    if (options_.watchdog.enabled() &&
-        watchdog.should_abort(code_.syndrome_weight(result.hard_bits))) {
+    if (options_.watchdog.enabled() && watchdog.should_abort(weight)) {
       watchdog_fired = true;
       break;
     }

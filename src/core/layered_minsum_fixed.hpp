@@ -123,6 +123,8 @@ class LayeredMinSumFixedDecoder final : public Decoder {
   void set_cancel_token(const CancelToken* token) override { cancel_ = token; }
 
  private:
+  void init_scratch();
+
   const QCLdpcCode& code_;
   DecoderOptions options_;
   LayerRowKernel kernel_;
@@ -130,6 +132,11 @@ class LayeredMinSumFixedDecoder final : public Decoder {
   const CancelToken* cancel_ = nullptr;  ///< non-owning, may be null
   std::vector<std::int32_t> posterior_;  ///< P memory
   std::vector<std::int32_t> check_msg_;  ///< R memory, r_slot * z + row
+  /// Reusable per-decode scratch, sized once per code so the hot path
+  /// allocates nothing: decode()'s quantized channel codes and the
+  /// per-row Q_array of Fig. 5 (capacity = widest layer).
+  std::vector<std::int32_t> quant_scratch_;
+  std::vector<std::int32_t> q_row_;
   SaturationStats saturation_;
 };
 

@@ -1,0 +1,81 @@
+// Runtime kernel dispatch: pick the widest lane kernel this build carries
+// and this CPU supports. Selection happens once per decoder construction,
+// not per decode, so the hot path pays a single indirect call per layer.
+#include "core/simd/simd_kernel.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace ldpc::simd {
+
+bool tier_available(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kPortable:
+      return true;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      // SSE2 is architecturally guaranteed on x86-64.
+      return true;
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+    case SimdTier::kSse2:
+    case SimdTier::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<SimdTier> available_tiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kPortable};
+  if (tier_available(SimdTier::kSse2)) tiers.push_back(SimdTier::kSse2);
+  if (tier_available(SimdTier::kAvx2)) tiers.push_back(SimdTier::kAvx2);
+  return tiers;
+}
+
+LayerPassFn layer_pass_for(SimdTier tier) {
+  LDPC_CHECK_MSG(tier_available(tier),
+                 "SIMD tier " << to_string(tier)
+                              << " is not available in this build/CPU");
+  switch (tier) {
+    case SimdTier::kPortable:
+      return &layer_pass_portable;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      return &layer_pass_sse2;
+    case SimdTier::kAvx2:
+      return &layer_pass_avx2;
+#else
+    default:
+      break;
+#endif
+  }
+  return &layer_pass_portable;  // unreachable after the check above
+}
+
+SimdTier tier_from_string(const std::string& name) {
+  if (name == "portable") return SimdTier::kPortable;
+  if (name == "sse2") return SimdTier::kSse2;
+  if (name == "avx2") return SimdTier::kAvx2;
+  throw Error("unknown SIMD tier name: " + name);
+}
+
+SimdTier best_tier() {
+  if (const char* env = std::getenv("LDPC_SIMD_TIER")) {
+    // Experimentation hook (benches, tier-pinned CI runs): honour the
+    // override when it names a usable tier, otherwise fall through to
+    // auto-detection rather than failing construction.
+    const std::string name(env);
+    if (name == "portable" || name == "sse2" || name == "avx2") {
+      const SimdTier t = tier_from_string(name);
+      if (tier_available(t)) return t;
+    }
+  }
+  if (tier_available(SimdTier::kAvx2)) return SimdTier::kAvx2;
+  if (tier_available(SimdTier::kSse2)) return SimdTier::kSse2;
+  return SimdTier::kPortable;
+}
+
+}  // namespace ldpc::simd

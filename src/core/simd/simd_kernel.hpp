@@ -1,0 +1,100 @@
+// Vector kernel interface for the SIMD layered min-sum decoder.
+//
+// One layer of the paper's schedule updates `z` independent check rows —
+// the hardware instantiates z datapath copies (Fig. 3) and runs them in
+// lockstep. The software analogue maps row r of the layer onto SIMD lane
+// r: posteriors are pre-rotated into a structure-of-arrays scratch (the
+// (row + shift) % z gather collapses into two memcpys, mirroring the
+// barrel shifter), after which every message update is a vertical int16
+// lane operation. The kernels below implement exactly the LayerRowKernel
+// arithmetic — saturating Q = P - R, min1/min2/pos1/sign tracking via
+// compare/blend, the multiplier-free (x>>1)+(x>>2) scaling, saturating
+// R'/P' write-back — and are asserted bit-identical to the scalar decoder
+// in tests/simd_equivalence_test.cpp.
+//
+// Three tiers share one templated implementation (simd_kernel_impl.hpp):
+//   kAvx2      16 lanes / step, compiled only on x86-64 with LDPC_SIMD=ON
+//   kSse2      8 lanes / step, ditto (baseline on every x86-64 CPU)
+//   kPortable  fixed-width 8-lane arrays, plain C++ the autovectorizer
+//              can chew on; always compiled, the only tier when
+//              LDPC_SIMD=OFF or on non-x86 hosts
+// Tier selection happens once per decoder at construction (best available,
+// overridable with the LDPC_SIMD_TIER environment variable or an explicit
+// constructor argument).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldpc::simd {
+
+/// How check-message magnitudes are corrected, mirroring LayerRowKernel:
+/// the paper's 0.75 shift-add, a truncating num/16 ratio (ablation
+/// sweeps), or offset min-sum max(|m| - offset, 0).
+enum class ScaleMode : std::uint8_t {
+  kThreeQuarters,  ///< (x>>1) + (x>>2), truncating per shift
+  kNumOver16,      ///< (x * num) / 16, truncating once
+  kOffset,         ///< max(x - offset, 0)
+};
+
+/// One layer's worth of work for a vector kernel. All pointers reference
+/// int16 lane buffers padded to a multiple of 16 lanes (z_pad); padding
+/// lanes hold zeros and provably generate no saturation events, so the
+/// tail of a non-multiple-of-lane-width z rides in the same vector ops.
+struct SimdLayerPass {
+  std::int16_t* p;             ///< deg * z_pad gathered posteriors (in/out)
+  std::int16_t* q;             ///< deg * z_pad Q scratch (Fig. 5's Q_array)
+  std::int16_t* r;             ///< R memory base, stride z_pad per slot
+  const std::uint32_t* r_base; ///< deg offsets into `r` (multiples of z_pad)
+  std::uint32_t deg;           ///< non-zero blocks in this layer
+  std::uint32_t z_pad;         ///< z rounded up to a multiple of 16
+  std::int16_t lo;             ///< format rail: fixed_min(total_bits)
+  std::int16_t hi;             ///< format rail: fixed_max(total_bits)
+  ScaleMode mode;
+  std::int16_t scale_num;      ///< numerator for kNumOver16
+  std::int16_t offset_code;    ///< subtrahend for kOffset
+  bool degenerate;             ///< deg < 2: force R' = 0 (no extrinsic input)
+  bool count_clips;            ///< accumulate saturation events into *clips
+  long long* clips;            ///< saturation counter (used iff count_clips)
+};
+
+using LayerPassFn = void (*)(const SimdLayerPass&);
+
+enum class SimdTier : std::uint8_t { kPortable, kSse2, kAvx2 };
+
+inline const char* to_string(SimdTier t) {
+  switch (t) {
+    case SimdTier::kPortable: return "portable";
+    case SimdTier::kSse2:     return "sse2";
+    case SimdTier::kAvx2:     return "avx2";
+  }
+  return "?";
+}
+
+/// Kernel entry points. The portable tier is always compiled; the x86
+/// tiers exist only when CMake enabled LDPC_SIMD on an x86-64 target
+/// (dispatch gates every reference behind the same macro).
+void layer_pass_portable(const SimdLayerPass& pass);
+#ifdef LDPC_SIMD_X86
+void layer_pass_sse2(const SimdLayerPass& pass);
+void layer_pass_avx2(const SimdLayerPass& pass);
+#endif
+
+/// True when `tier` is both compiled in and supported by this CPU.
+bool tier_available(SimdTier tier);
+
+/// All usable tiers on this host, portable first (for test sweeps).
+std::vector<SimdTier> available_tiers();
+
+/// Kernel for a specific tier; throws ldpc::Error if unavailable.
+LayerPassFn layer_pass_for(SimdTier tier);
+
+/// Best available tier, honouring an LDPC_SIMD_TIER=portable|sse2|avx2
+/// environment override (ignored when it names an unavailable tier).
+SimdTier best_tier();
+
+/// Parse a tier name; throws ldpc::Error on unknown names.
+SimdTier tier_from_string(const std::string& name);
+
+}  // namespace ldpc::simd

@@ -1,0 +1,67 @@
+// AVX2 lane kernel: 16 int16 lanes per step — a whole z = 96 layer is six
+// vector iterations. Compiled with -mavx2 (see src/core/CMakeLists.txt)
+// and only ever dispatched to after a runtime __builtin_cpu_supports
+// check, so the library binary stays safe on pre-AVX2 hosts.
+#include "core/simd/simd_kernel_impl.hpp"
+
+#ifdef LDPC_SIMD_X86
+
+#include <immintrin.h>
+
+namespace ldpc::simd {
+namespace {
+
+struct Avx2Ops {
+  static constexpr int kLanes = 16;
+  using Vec = __m256i;
+
+  static Vec load(const std::int16_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::int16_t* p, Vec a) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a);
+  }
+  static Vec broadcast(std::int16_t x) { return _mm256_set1_epi16(x); }
+  static Vec zero() { return _mm256_setzero_si256(); }
+  static Vec add(Vec a, Vec b) { return _mm256_add_epi16(a, b); }
+  static Vec sub(Vec a, Vec b) { return _mm256_sub_epi16(a, b); }
+  static Vec min(Vec a, Vec b) { return _mm256_min_epi16(a, b); }
+  static Vec max(Vec a, Vec b) { return _mm256_max_epi16(a, b); }
+  static Vec cmpgt(Vec a, Vec b) { return _mm256_cmpgt_epi16(a, b); }
+  static Vec cmpeq(Vec a, Vec b) { return _mm256_cmpeq_epi16(a, b); }
+  static Vec blend(Vec m, Vec a, Vec b) {
+    // blendv picks per byte; lane masks are all-ones per int16 lane, so
+    // byte granularity is exact.
+    return _mm256_blendv_epi8(b, a, m);
+  }
+  static Vec abs16(Vec a) { return _mm256_abs_epi16(a); }
+  static Vec xor_(Vec a, Vec b) { return _mm256_xor_si256(a, b); }
+  static Vec or_(Vec a, Vec b) { return _mm256_or_si256(a, b); }
+  template <int kShift>
+  static Vec srl(Vec a) {
+    return _mm256_srli_epi16(a, kShift);
+  }
+  template <int kShift>
+  static Vec sll(Vec a) {
+    return _mm256_slli_epi16(a, kShift);
+  }
+  static Vec mullo(Vec a, Vec b) { return _mm256_mullo_epi16(a, b); }
+  static Vec mulhi(Vec a, Vec b) { return _mm256_mulhi_epi16(a, b); }
+  static int count_diff(Vec a, Vec b) {
+    const int eq = _mm256_movemask_epi8(_mm256_cmpeq_epi16(a, b));
+    return (32 - __builtin_popcount(static_cast<unsigned>(eq))) / 2;
+  }
+};
+
+}  // namespace
+
+void layer_pass_avx2(const SimdLayerPass& pass) {
+  if (pass.count_clips)
+    detail::layer_pass<Avx2Ops, true>(pass);
+  else
+    detail::layer_pass<Avx2Ops, false>(pass);
+}
+
+}  // namespace ldpc::simd
+
+#endif  // LDPC_SIMD_X86

@@ -1,0 +1,128 @@
+// Shared templated body of the SIMD layer pass — the single source of
+// truth for the vectorized Algorithm 1 arithmetic. Each kernel TU
+// (portable / SSE2 / AVX2) defines a LaneOps policy and instantiates
+// layer_pass<Ops, count_clips> with it, so all three tiers execute the
+// same operation sequence on different vector widths.
+//
+// LaneOps contract (Vec is a pack of kLanes int16 values):
+//   load/store (unaligned), broadcast, zero
+//   add/sub           wrapping int16 (inputs are range-limited so the
+//                     exact result always fits; see width notes below)
+//   min/max           signed int16
+//   cmpgt/cmpeq       lane masks, all-ones where true
+//   blend(m, a, b)    m ? a : b, m a lane mask
+//   abs16             |v| for v > INT16_MIN
+//   xor_/or_          bitwise
+//   srl<k>/sll<k>     logical shifts by compile-time k
+//   mullo/mulhi       low/high 16 bits of the 32-bit signed product
+//   count_diff(a, b)  number of lanes where a != b
+//
+// Width envelope: the dispatcher only routes formats with total_bits <= 15
+// here (wider formats fall back to the scalar decoder). Then |P|,|R| <=
+// 2^14, so P - R and Q + R' fit int16 exactly and wrapping add/sub equal
+// the scalar int64 intermediates; saturation happens in an explicit
+// clamp-to-rails min/max, and a clip event is precisely "clamped value
+// differs from the exact value" — the same predicate sat_clamp_counted
+// applies. INT16_MAX serves as the min1/min2 sentinel: every real |Q| is
+// strictly smaller.
+#pragma once
+
+#include "core/simd/simd_kernel.hpp"
+
+namespace ldpc::simd::detail {
+
+template <class Ops>
+inline typename Ops::Vec scale_mag(typename Ops::Vec mag, ScaleMode mode,
+                                   typename Ops::Vec num,
+                                   typename Ops::Vec offset,
+                                   typename Ops::Vec zero) {
+  using V = typename Ops::Vec;
+  switch (mode) {
+    case ScaleMode::kThreeQuarters:
+      // scale_three_quarters on a non-negative magnitude: each shift
+      // truncates separately, exactly like the hardware shift-add.
+      return Ops::add(Ops::template srl<1>(mag), Ops::template srl<2>(mag));
+    case ScaleMode::kNumOver16: {
+      // (mag * num) / 16 with mag <= 2^14, num <= 16: the 32-bit product
+      // is < 2^19, so the truncating divide is a logical shift of the
+      // {mulhi:mullo} pair. mag and num are non-negative and < 2^15, so
+      // the signed high half equals the unsigned one.
+      const V lo = Ops::mullo(mag, num);
+      const V hi = Ops::mulhi(mag, num);
+      return Ops::or_(Ops::template srl<4>(lo), Ops::template sll<12>(hi));
+    }
+    case ScaleMode::kOffset:
+      // max(mag - offset, 0); mag - offset >= -2^15 + 1, no wrap.
+      return Ops::max(zero, Ops::sub(mag, offset));
+  }
+  return zero;  // unreachable
+}
+
+template <class Ops, bool kCount>
+void layer_pass(const SimdLayerPass& a) {
+  using V = typename Ops::Vec;
+  const V lo = Ops::broadcast(a.lo);
+  const V hi = Ops::broadcast(a.hi);
+  const V zero = Ops::zero();
+  const V sentinel = Ops::broadcast(INT16_MAX);
+  const V num = Ops::broadcast(a.scale_num);
+  const V offset = Ops::broadcast(a.offset_code);
+  long long clips = 0;
+
+  for (std::uint32_t c = 0; c < a.z_pad; c += Ops::kLanes) {
+    // Stage 1 (core 1): Q = P - R per block, min1/min2/pos1/sign across
+    // the layer, each lane tracking its own check row's state registers.
+    V min1 = sentinel;
+    V min2 = sentinel;
+    V pos1 = zero;
+    V signs = zero;
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const V p = Ops::load(a.p + j * a.z_pad + c);
+      const V r = Ops::load(a.r + a.r_base[j] + c);
+      const V diff = Ops::sub(p, r);
+      const V q = Ops::max(lo, Ops::min(hi, diff));
+      if constexpr (kCount) clips += Ops::count_diff(q, diff);
+      Ops::store(a.q + j * a.z_pad + c, q);
+      const V mag = Ops::abs16(q);
+      const V lt1 = Ops::cmpgt(min1, mag);  // mag < min1, strict
+      min2 = Ops::blend(lt1, min1, Ops::min(min2, mag));
+      min1 = Ops::blend(lt1, mag, min1);
+      pos1 = Ops::blend(lt1, Ops::broadcast(static_cast<std::int16_t>(j)), pos1);
+      signs = Ops::xor_(signs, Ops::cmpgt(zero, q));
+    }
+
+    // The magnitude correction is a pure function of min1/min2, so it
+    // hoists out of the per-block loop (the hardware computes it once per
+    // row into the min1/min2 arrays too).
+    const V s1 = a.degenerate ? zero
+                              : scale_mag<Ops>(min1, a.mode, num, offset, zero);
+    const V s2 = a.degenerate ? zero
+                              : scale_mag<Ops>(min2, a.mode, num, offset, zero);
+
+    // Stage 2 (core 2): R' selection + sign, P' = Q + R', both saturating.
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const V q = Ops::load(a.q + j * a.z_pad + c);
+      V r_new;
+      if (a.degenerate) {
+        // Degree < 2: no extrinsic input, R' = 0 before any clamp — the
+        // scalar kernel returns early, so no clip event either.
+        r_new = zero;
+      } else {
+        const V eq = Ops::cmpeq(pos1, Ops::broadcast(static_cast<std::int16_t>(j)));
+        const V mag = Ops::blend(eq, s2, s1);
+        const V neg = Ops::xor_(signs, Ops::cmpgt(zero, q));
+        const V val = Ops::blend(neg, Ops::sub(zero, mag), mag);
+        r_new = Ops::max(lo, Ops::min(hi, val));
+        if constexpr (kCount) clips += Ops::count_diff(r_new, val);
+      }
+      Ops::store(a.r + a.r_base[j] + c, r_new);
+      const V sum = Ops::add(q, r_new);
+      const V p_new = Ops::max(lo, Ops::min(hi, sum));
+      if constexpr (kCount) clips += Ops::count_diff(p_new, sum);
+      Ops::store(a.p + j * a.z_pad + c, p_new);
+    }
+  }
+  if constexpr (kCount) *a.clips += clips;
+}
+
+}  // namespace ldpc::simd::detail

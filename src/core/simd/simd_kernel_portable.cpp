@@ -1,0 +1,139 @@
+// Portable lane kernel: fixed-width 8-lane int16 arrays and plain loops.
+// No intrinsics — this tier compiles everywhere (and is the only one when
+// LDPC_SIMD=OFF), and the fixed trip counts give the autovectorizer a fair
+// shot at emitting vector code anyway. Arithmetic is bit-identical to the
+// x86 tiers by construction: all three instantiate the same template.
+#include "core/simd/simd_kernel_impl.hpp"
+
+#include <cstdint>
+
+namespace ldpc::simd {
+namespace {
+
+struct PortableOps {
+  static constexpr int kLanes = 8;
+  struct Vec {
+    std::int16_t v[kLanes];
+  };
+
+  static Vec load(const std::int16_t* p) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = p[i];
+    return r;
+  }
+  static void store(std::int16_t* p, Vec a) {
+    for (int i = 0; i < kLanes; ++i) p[i] = a.v[i];
+  }
+  static Vec broadcast(std::int16_t x) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = x;
+    return r;
+  }
+  static Vec zero() { return broadcast(0); }
+  static Vec add(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(a.v[i] + b.v[i]);
+    return r;
+  }
+  static Vec sub(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(a.v[i] - b.v[i]);
+    return r;
+  }
+  static Vec min(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+    return r;
+  }
+  static Vec max(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+    return r;
+  }
+  static Vec cmpgt(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = a.v[i] > b.v[i] ? static_cast<std::int16_t>(-1) : 0;
+    return r;
+  }
+  static Vec cmpeq(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = a.v[i] == b.v[i] ? static_cast<std::int16_t>(-1) : 0;
+    return r;
+  }
+  static Vec blend(Vec m, Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = m.v[i] != 0 ? a.v[i] : b.v[i];
+    return r;
+  }
+  static Vec abs16(Vec a) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(a.v[i] < 0 ? -a.v[i] : a.v[i]);
+    return r;
+  }
+  static Vec xor_(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(a.v[i] ^ b.v[i]);
+    return r;
+  }
+  static Vec or_(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(a.v[i] | b.v[i]);
+    return r;
+  }
+  template <int kShift>
+  static Vec srl(Vec a) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(a.v[i]) >> kShift);
+    return r;
+  }
+  template <int kShift>
+  static Vec sll(Vec a) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(a.v[i]) << kShift);
+    return r;
+  }
+  static Vec mullo(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(a.v[i]) *
+                                     static_cast<std::int32_t>(b.v[i])) &
+          0xFFFFU);
+    return r;
+  }
+  static Vec mulhi(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>((static_cast<std::int32_t>(a.v[i]) *
+                                          static_cast<std::int32_t>(b.v[i])) >>
+                                         16);
+    return r;
+  }
+  static int count_diff(Vec a, Vec b) {
+    int n = 0;
+    for (int i = 0; i < kLanes; ++i) n += a.v[i] != b.v[i];
+    return n;
+  }
+};
+
+}  // namespace
+
+void layer_pass_portable(const SimdLayerPass& pass) {
+  if (pass.count_clips)
+    detail::layer_pass<PortableOps, true>(pass);
+  else
+    detail::layer_pass<PortableOps, false>(pass);
+}
+
+}  // namespace ldpc::simd

@@ -1,0 +1,68 @@
+// SSE2 lane kernel: 8 int16 lanes per step. SSE2 is baseline on every
+// x86-64 CPU, so this tier needs no runtime feature check — it is the
+// floor the AVX2 tier falls back to. SSE2 lacks blendv/pabsw, so blend is
+// the classic and/andnot/or select and abs is max(v, 0 - v) (exact for
+// |v| < 2^15, which the dispatcher's width envelope guarantees).
+#include "core/simd/simd_kernel_impl.hpp"
+
+#ifdef LDPC_SIMD_X86
+
+#include <emmintrin.h>
+
+namespace ldpc::simd {
+namespace {
+
+struct Sse2Ops {
+  static constexpr int kLanes = 8;
+  using Vec = __m128i;
+
+  static Vec load(const std::int16_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(std::int16_t* p, Vec a) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a);
+  }
+  static Vec broadcast(std::int16_t x) { return _mm_set1_epi16(x); }
+  static Vec zero() { return _mm_setzero_si128(); }
+  static Vec add(Vec a, Vec b) { return _mm_add_epi16(a, b); }
+  static Vec sub(Vec a, Vec b) { return _mm_sub_epi16(a, b); }
+  static Vec min(Vec a, Vec b) { return _mm_min_epi16(a, b); }
+  static Vec max(Vec a, Vec b) { return _mm_max_epi16(a, b); }
+  static Vec cmpgt(Vec a, Vec b) { return _mm_cmpgt_epi16(a, b); }
+  static Vec cmpeq(Vec a, Vec b) { return _mm_cmpeq_epi16(a, b); }
+  static Vec blend(Vec m, Vec a, Vec b) {
+    return _mm_or_si128(_mm_and_si128(m, a), _mm_andnot_si128(m, b));
+  }
+  static Vec abs16(Vec a) { return _mm_max_epi16(a, _mm_sub_epi16(zero(), a)); }
+  static Vec xor_(Vec a, Vec b) { return _mm_xor_si128(a, b); }
+  static Vec or_(Vec a, Vec b) { return _mm_or_si128(a, b); }
+  template <int kShift>
+  static Vec srl(Vec a) {
+    return _mm_srli_epi16(a, kShift);
+  }
+  template <int kShift>
+  static Vec sll(Vec a) {
+    return _mm_slli_epi16(a, kShift);
+  }
+  static Vec mullo(Vec a, Vec b) { return _mm_mullo_epi16(a, b); }
+  static Vec mulhi(Vec a, Vec b) { return _mm_mulhi_epi16(a, b); }
+  static int count_diff(Vec a, Vec b) {
+    // movemask yields one bit per byte; equal int16 lanes contribute two
+    // set bits, so differing lanes = (16 - popcount) / 2.
+    const int eq = _mm_movemask_epi8(_mm_cmpeq_epi16(a, b));
+    return (16 - __builtin_popcount(static_cast<unsigned>(eq))) / 2;
+  }
+};
+
+}  // namespace
+
+void layer_pass_sse2(const SimdLayerPass& pass) {
+  if (pass.count_clips)
+    detail::layer_pass<Sse2Ops, true>(pass);
+  else
+    detail::layer_pass<Sse2Ops, false>(pass);
+}
+
+}  // namespace ldpc::simd
+
+#endif  // LDPC_SIMD_X86

@@ -1,0 +1,266 @@
+#include "core/simd/simd_layered.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "fault/fault_injector.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+
+namespace {
+
+/// Lane-count granularity every scratch stride is padded to; keeps one
+/// layout valid for all kernel tiers (16, 8, and 8 lanes per step).
+constexpr std::uint32_t kLanePad = 16;
+
+constexpr std::uint32_t pad16(std::uint32_t z) {
+  return (z + kLanePad - 1) & ~(kLanePad - 1);
+}
+
+}  // namespace
+
+SimdLayeredDecoder::SimdLayeredDecoder(const QCLdpcCode& code,
+                                       DecoderOptions options,
+                                       FixedFormat format,
+                                       std::optional<simd::SimdTier> tier)
+    : code_(code),
+      options_(options),
+      format_(format),
+      tier_(tier.value_or(simd::best_tier())),
+      pass_(simd::layer_pass_for(tier_)) {
+  // The scalar twin runs the identical kernel-parameter derivation and
+  // validation (scale fraction bounds, format sanity, max_iterations).
+  scalar_ = std::make_unique<LayeredMinSumFixedDecoder>(code, options, format);
+  if (options_.scale == 0.75F) {
+    mode_ = simd::ScaleMode::kThreeQuarters;
+  } else {
+    mode_ = simd::ScaleMode::kNumOver16;
+    scale_num_ = static_cast<std::int16_t>(
+        static_cast<std::int32_t>(options_.scale * 16.0F + 0.5F));
+  }
+  force_scalar_ = format_.total_bits > 15;
+  init_geometry();
+}
+
+SimdLayeredDecoder::SimdLayeredDecoder(const QCLdpcCode& code,
+                                       DecoderOptions options,
+                                       FixedFormat format,
+                                       std::int32_t offset_code,
+                                       std::string label,
+                                       std::optional<simd::SimdTier> tier)
+    : code_(code),
+      options_(options),
+      format_(format),
+      label_(std::move(label)),
+      mode_(simd::ScaleMode::kOffset),
+      tier_(tier.value_or(simd::best_tier())),
+      pass_(simd::layer_pass_for(tier_)) {
+  scalar_ = std::make_unique<LayeredMinSumFixedDecoder>(
+      code, options, LayerRowKernel::offset_kernel(format, offset_code),
+      label_);
+  offset_code_ = static_cast<std::int16_t>(
+      std::min<std::int32_t>(offset_code, INT16_MAX));
+  force_scalar_ = format_.total_bits > 15 || offset_code > INT16_MAX;
+  init_geometry();
+}
+
+void SimdLayeredDecoder::init_geometry() {
+  z_ = static_cast<std::uint32_t>(code_.z());
+  z_pad_ = pad16(z_);
+  std::size_t max_deg = 0;
+  gather_.reserve(code_.layers().size());
+  r_base_.reserve(code_.layers().size());
+  for (const auto& layer : code_.layers()) {
+    std::vector<GatherBlock> gs;
+    std::vector<std::uint32_t> rb;
+    gs.reserve(layer.size());
+    rb.reserve(layer.size());
+    for (const auto& blk : layer) {
+      gs.push_back({blk.block_col * z_, blk.shift % z_});
+      rb.push_back(blk.r_slot * z_pad_);
+    }
+    max_deg = std::max(max_deg, layer.size());
+    gather_.push_back(std::move(gs));
+    r_base_.push_back(std::move(rb));
+  }
+  posterior16_.resize(code_.n());
+  r16_.resize(code_.base().nonzero_blocks() * static_cast<std::size_t>(z_pad_));
+  p_scratch_.resize(max_deg * z_pad_);
+  q_scratch_.resize(max_deg * z_pad_);
+}
+
+bool SimdLayeredDecoder::must_use_scalar() const {
+  return force_scalar_ ||
+         (options_.fault_injector && options_.fault_injector->enabled());
+}
+
+std::string SimdLayeredDecoder::name() const {
+  return label_.empty() ? "layered-minsum-simd-" + format_.name() : label_;
+}
+
+SaturationStats SimdLayeredDecoder::saturation() const {
+  return last_used_scalar_ ? scalar_->saturation() : saturation_;
+}
+
+void SimdLayeredDecoder::set_cancel_token(const CancelToken* token) {
+  cancel_ = token;
+  scalar_->set_cancel_token(token);
+}
+
+DecodeResult SimdLayeredDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  if (must_use_scalar()) {
+    last_used_scalar_ = true;
+    return scalar_->decode(llr);
+  }
+  last_used_scalar_ = false;
+  saturation_.quantizer_clips = 0;
+  if (options_.count_saturation) {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      posterior16_[v] = static_cast<std::int16_t>(
+          format_.quantize(llr[v], saturation_.quantizer_clips));
+  } else {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      posterior16_[v] = static_cast<std::int16_t>(format_.quantize(llr[v]));
+  }
+  return run();
+}
+
+DecodeResult SimdLayeredDecoder::decode_quantized(
+    std::span<const std::int32_t> channel_codes) {
+  LDPC_CHECK(channel_codes.size() == code_.n());
+  bool lanes_ok = !must_use_scalar();
+  if (lanes_ok) {
+    // The scalar decoder accepts arbitrary int32 codes; the lane kernels
+    // assume rail-bounded inputs. Out-of-rail codes (never produced by
+    // FixedFormat::quantize) ride the scalar twin instead.
+    const std::int32_t lo = format_.min_code();
+    const std::int32_t hi = format_.max_code();
+    for (const std::int32_t c : channel_codes) {
+      if (c < lo || c > hi) {
+        lanes_ok = false;
+        break;
+      }
+    }
+  }
+  if (!lanes_ok) {
+    last_used_scalar_ = true;
+    return scalar_->decode_quantized(channel_codes);
+  }
+  last_used_scalar_ = false;
+  for (std::size_t v = 0; v < channel_codes.size(); ++v)
+    posterior16_[v] = static_cast<std::int16_t>(channel_codes[v]);
+  return run();
+}
+
+DecodeResult SimdLayeredDecoder::run() {
+  std::fill(r16_.begin(), r16_.end(), std::int16_t{0});
+  saturation_.datapath_clips = 0;
+  saturation_.degenerate_checks = 0;
+  WatchdogState watchdog(options_.watchdog);
+  bool watchdog_fired = false;
+  bool cancelled = false;
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+  BitVec previous_hard;
+  if (options_.observer) previous_hard.resize(code_.n());
+
+  simd::SimdLayerPass pass;
+  pass.p = p_scratch_.data();
+  pass.q = q_scratch_.data();
+  pass.r = r16_.data();
+  pass.z_pad = z_pad_;
+  pass.lo = static_cast<std::int16_t>(format_.min_code());
+  pass.hi = static_cast<std::int16_t>(format_.max_code());
+  pass.mode = mode_;
+  pass.scale_num = scale_num_;
+  pass.offset_code = offset_code_;
+  pass.count_clips = options_.count_saturation;
+  pass.clips = &saturation_.datapath_clips;
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    for (std::size_t l = 0; l < gather_.size(); ++l) {
+      // Same cooperative-cancellation cadence as the scalar decoder: the
+      // posterior memory is consistent at every layer boundary.
+      if (cancel_ && cancel_->expired()) {
+        cancelled = true;
+        break;
+      }
+      const auto& gs = gather_[l];
+      const auto deg = static_cast<std::uint32_t>(gs.size());
+      if (deg == 0) continue;
+
+      // Barrel-shift gather: rotate each block column's z posteriors into
+      // contiguous lane order, zero the padding lanes (which then provably
+      // produce no saturation or message traffic).
+      for (std::uint32_t j = 0; j < deg; ++j) {
+        const std::int16_t* src = posterior16_.data() + gs[j].p_base;
+        std::int16_t* dst = p_scratch_.data() + j * z_pad_;
+        const std::uint32_t shift = gs[j].shift;
+        std::memcpy(dst, src + shift, (z_ - shift) * sizeof(std::int16_t));
+        std::memcpy(dst + (z_ - shift), src, shift * sizeof(std::int16_t));
+        std::memset(dst + z_, 0, (z_pad_ - z_) * sizeof(std::int16_t));
+      }
+
+      pass.r_base = r_base_[l].data();
+      pass.deg = deg;
+      pass.degenerate = deg < 2;
+      pass_(pass);
+      // A degree-1 layer forces R' = 0 on every one of its z rows, once
+      // per layer pass — same accounting as LayerRowKernel.
+      if (deg < 2) saturation_.degenerate_checks += z_;
+
+      // Scatter: inverse rotation back into natural variable order.
+      for (std::uint32_t j = 0; j < deg; ++j) {
+        const std::int16_t* src = p_scratch_.data() + j * z_pad_;
+        std::int16_t* dst = posterior16_.data() + gs[j].p_base;
+        const std::uint32_t shift = gs[j].shift;
+        std::memcpy(dst + shift, src, (z_ - shift) * sizeof(std::int16_t));
+        std::memcpy(dst, src + (z_ - shift), shift * sizeof(std::int16_t));
+      }
+    }
+
+    for (std::size_t v = 0; v < code_.n(); ++v)
+      result.hard_bits.set(v, posterior16_[v] < 0);
+    const bool want_weight =
+        static_cast<bool>(options_.observer) || options_.watchdog.enabled();
+    std::size_t weight = 0;
+    if (want_weight) weight = code_.syndrome_weight(result.hard_bits);
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = weight;
+      double sum = 0.0;
+      for (const std::int16_t p : posterior16_)
+        sum += std::abs(static_cast<double>(format_.dequantize(p)));
+      snap.mean_abs_llr = sum / static_cast<double>(code_.n());
+      snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      snap.saturation_clips = saturation_.datapath_clips;
+      previous_hard = result.hard_bits;
+      options_.observer(snap);
+    }
+    if (options_.early_termination &&
+        (want_weight ? weight == 0 : code_.parity_ok(result.hard_bits))) {
+      result.converged = true;
+      break;
+    }
+    if (cancelled) break;
+    if (options_.watchdog.enabled() && watchdog.should_abort(weight)) {
+      watchdog_fired = true;
+      break;
+    }
+  }
+
+  // Parity recheck on output: never report garbage as a codeword.
+  if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
+  result.status =
+      classify_exit(result.converged, watchdog_fired, 0, cancelled);
+  return result;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,57 @@
+// Over-aligned heap allocation for SIMD lane buffers.
+//
+// The vectorized layered decoder (src/core/simd) streams int16 message
+// lanes through 32-byte vector loads; keeping every scratch buffer on a
+// 64-byte boundary puts each z-row chunk on its own cache line and lets
+// the kernels use aligned accesses for the full padded stride. The
+// allocator is a thin wrapper over C++17 aligned operator new so it
+// composes with std::vector (value-initialization, growth, swap) instead
+// of hand-rolled malloc bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace ldpc {
+
+/// Cache-line alignment used by every SIMD scratch buffer. 64 bytes covers
+/// AVX-512 should a wider tier ever be added; AVX2 needs 32.
+inline constexpr std::size_t kSimdAlignment = 64;
+
+template <typename T, std::size_t Alignment = kSimdAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^k");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// std::vector whose storage starts on a kSimdAlignment boundary.
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace ldpc
