@@ -1,0 +1,586 @@
+// Load generator + robustness acceptance bench for the network decode
+// service (src/service/).
+//
+// Three scenarios against an in-process loopback server:
+//
+//   baseline     closed-loop interactive tenant alone: decode round trips
+//                across the whole codec mix (WiMAX, WiFi, registry codes),
+//                per-request deadlines, client-side latency percentiles.
+//   overload_2x  the same interactive tenant plus a bursty bulk tenant
+//                offering far more heavy (2304, 1/2) z = 96 work than the
+//                engine can absorb, through an open-loop pipelined window.
+//                The bulk tenant is capped by admission control (small
+//                in-flight quota, shed-oldest wait line) so it degrades
+//                itself; the acceptance gate is that the interactive
+//                tenant keeps >= 90% of its baseline goodput.
+//   chaos        baseline traffic while hostile clients inject malformed
+//                frames (recoverable and fatal), disconnect mid-request,
+//                pipeline a deadline storm, and every worker decodes with a
+//                low-rate fault injector armed. The gate: every request the
+//                well-behaved clients sent resolves (no timeouts), the
+//                server still answers ping/stats, and shutdown drains with
+//                zero stragglers.
+//
+// Results go to BENCH_decode_service.json (one row per scenario); the
+// process exits non-zero when an acceptance gate fails, so check.sh can use
+// a short run as a smoke test.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/decoder.hpp"
+#include "fault/fault_injector.hpp"
+#include "service/client.hpp"
+#include "service/service.hpp"
+#include "util/check.hpp"
+
+using namespace ldpc;
+using namespace ldpc::service;
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::uint32_t kInteractiveTenant = 1;
+constexpr std::uint32_t kBulkTenant = 2;
+constexpr std::uint32_t kStormTenant = 3;
+
+/// The interactive mix: every bundled family, smallest instances, noiseless
+/// zero-codeword LLRs (+4 = strong bit 0) so a decode is one syndrome pass.
+struct MixEntry {
+  CodecRef codec;
+  std::size_t n;
+};
+const MixEntry kInteractiveMix[] = {
+    {{static_cast<std::uint8_t>(CodeStandard::kWimax), 0, 24}, 576},
+    {{static_cast<std::uint8_t>(CodeStandard::kWifi), 0, 27}, 648},
+    {{static_cast<std::uint8_t>(CodeStandard::kRegistry), 0, 1}, 174},
+    {{static_cast<std::uint8_t>(CodeStandard::kRegistry), 1, 1}, 32},
+};
+
+/// One worker-thread fault injector, wired into every decoder the service
+/// builds on that thread (chaos scenario only). The rate is low enough that
+/// most frames decode clean; hit frames surface as kFaultDetected — a typed
+/// resolution, never silence.
+FaultInjector& tls_injector() {
+  thread_local FaultInjector injector{[] {
+    FaultConfig config;
+    config.rate = 0.0005;
+    config.kind = FaultKind::kTransientFlip;
+    config.sites = kAllFaultSites;
+    return config;
+  }()};
+  return injector;
+}
+
+ServiceConfig make_config(unsigned workers, bool with_faults) {
+  ServiceConfig cfg;
+  cfg.engine.num_workers = workers;
+  cfg.engine.queue_capacity = 128;
+  TenantConfig interactive;
+  interactive.policy = OverloadPolicy::kBlock;
+  interactive.max_in_flight = 8;
+  cfg.tenants[kInteractiveTenant] = interactive;
+  TenantConfig bulk;
+  bulk.policy = OverloadPolicy::kShedOldest;
+  bulk.max_in_flight = 2;  // heavy frames may hold at most half the workers
+  bulk.max_parked = 4;
+  bulk.rate_per_sec = 1500.0;  // well past decode capacity, but bounded
+  bulk.burst = 64.0;
+  cfg.tenants[kBulkTenant] = bulk;
+  if (with_faults)
+    cfg.decoder_options_hook = [](DecoderOptions& options) {
+      options.fault_injector = &tls_injector();
+    };
+  return cfg;
+}
+
+/// Heavy work for the bulk tenant: noisy (2304, 1/2) z = 96 frames in the
+/// waterfall region — many iterations each, some never converge.
+std::vector<std::vector<float>> make_heavy_frames(std::size_t count) {
+  const auto code = make_wimax_2304_half_rate();
+  const float variance = awgn_noise_variance(1.2F, code.rate());
+  const BitVec zero(code.n());
+  std::vector<std::vector<float>> frames;
+  frames.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    AwgnChannel awgn(variance, 7000 + f);
+    frames.push_back(BpskModem::demodulate(
+        awgn.transmit(BpskModem::modulate(zero)), variance));
+  }
+  return frames;
+}
+
+struct ClosedLoopReport {
+  std::size_t sent = 0;
+  std::size_t decode_ok = 0;      ///< converged within its deadline
+  std::size_t typed_errors = 0;   ///< kError resolutions
+  std::size_t deadline_misses = 0;
+  std::size_t timeouts = 0;  ///< decode() gave up — an exactly-once breach
+  std::vector<double> latencies_ms;
+};
+
+/// Paced closed-loop interactive client: one request in flight, sent on a
+/// fixed absolute schedule (the tenant's *offered load*, which overload
+/// must not erode), 50 ms deadline, cycling the codec mix. Goodput counts
+/// only decodes that converged — an expired or refused request is lost
+/// work, not goodput.
+ClosedLoopReport run_closed_loop(std::uint16_t port, std::uint64_t id_base,
+                                 std::chrono::microseconds interval,
+                                 const std::atomic<bool>& stop) {
+  ClosedLoopReport report;
+  BlockingClient client;
+  client.connect("127.0.0.1", port);
+  std::uint64_t next_id = id_base;
+  std::size_t mix = 0;
+  const auto start = SteadyClock::now();
+  std::size_t tick = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    // Absolute schedule: a slow response delays one tick, not every later
+    // one — the client catches back up to its offered rate.
+    std::this_thread::sleep_until(start + interval * tick++);
+    const MixEntry& entry = kInteractiveMix[mix++ % std::size(kInteractiveMix)];
+    DecodeRequest request;
+    request.request_id = next_id++;
+    request.tenant_id = kInteractiveTenant;
+    request.codec = entry.codec;
+    request.deadline_us = 50'000;
+    request.llr.assign(entry.n, 4.0F);
+    const auto t0 = SteadyClock::now();
+    const auto outcome = client.decode(request, std::chrono::seconds(5));
+    const auto t1 = SteadyClock::now();
+    ++report.sent;
+    if (!outcome) {
+      ++report.timeouts;
+      continue;
+    }
+    report.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (outcome->is_error) {
+      ++report.typed_errors;
+      if (outcome->error.code == WireErrorCode::kDeadlineUnmeetable)
+        ++report.deadline_misses;
+    } else if (outcome->response.status ==
+               static_cast<std::uint8_t>(DecodeStatus::kDeadlineExpired)) {
+      ++report.deadline_misses;
+    } else {
+      ++report.decode_ok;
+    }
+  }
+  return report;
+}
+
+struct OpenLoopReport {
+  std::size_t sent = 0;
+  std::size_t decode_responses = 0;
+  std::size_t shed = 0;
+  std::size_t quota_rejected = 0;
+  std::size_t overloaded = 0;
+  std::size_t rate_limited = 0;
+  std::size_t deadline_refused = 0;
+  std::size_t other_errors = 0;
+};
+
+/// Open-loop pipelined client: keeps `window` requests outstanding with no
+/// pacing — deliberately more than its tenant's quota so the admission
+/// machinery (park, shed-oldest, refusals) is what resolves most of them.
+OpenLoopReport run_open_loop(std::uint16_t port, std::uint32_t tenant,
+                             std::uint64_t id_base, std::size_t window,
+                             const CodecRef& codec,
+                             const std::vector<std::vector<float>>& frames,
+                             std::uint32_t deadline_us,
+                             const std::atomic<bool>& stop) {
+  OpenLoopReport report;
+  BlockingClient client;
+  client.connect("127.0.0.1", port);
+  std::set<std::uint64_t> outstanding;
+  std::uint64_t next_id = id_base;
+  std::size_t frame_index = 0;
+
+  auto absorb = [&](const OwnedFrame& frame) {
+    if (frame.type == FrameType::kDecodeResponse) {
+      DecodeResponse response;
+      if (parse_decode_response(frame.body, &response) == WireErrorCode::kNone) {
+        outstanding.erase(response.request_id);
+        ++report.decode_responses;
+      }
+      return;
+    }
+    if (frame.type != FrameType::kError) return;
+    ErrorResponse error;
+    if (parse_error_response(frame.body, &error) != WireErrorCode::kNone)
+      return;
+    outstanding.erase(error.request_id);
+    switch (error.code) {
+      case WireErrorCode::kShedOverload: ++report.shed; break;
+      case WireErrorCode::kQuotaExceeded: ++report.quota_rejected; break;
+      case WireErrorCode::kOverloaded: ++report.overloaded; break;
+      case WireErrorCode::kRateLimited: ++report.rate_limited; break;
+      case WireErrorCode::kDeadlineUnmeetable: ++report.deadline_refused; break;
+      default: ++report.other_errors; break;
+    }
+  };
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    while (outstanding.size() < window &&
+           !stop.load(std::memory_order_relaxed)) {
+      DecodeRequest request;
+      request.request_id = next_id++;
+      request.tenant_id = tenant;
+      request.codec = codec;
+      request.deadline_us = deadline_us;
+      request.llr = frames[frame_index++ % frames.size()];
+      if (!client.send_raw(encode_decode_request(request))) return report;
+      outstanding.insert(request.request_id);
+      ++report.sent;
+    }
+    if (const auto frame = client.read_frame(std::chrono::milliseconds(5)))
+      absorb(*frame);
+  }
+  // Drain what the server still owes us so its accounting can settle.
+  const auto give_up = SteadyClock::now() + std::chrono::seconds(3);
+  while (!outstanding.empty() && SteadyClock::now() < give_up) {
+    const auto frame = client.read_frame(std::chrono::milliseconds(50));
+    if (frame) absorb(*frame);
+  }
+  return report;
+}
+
+/// A complete wire frame around an arbitrary payload body.
+std::vector<std::uint8_t> raw_frame(std::uint8_t type,
+                                    std::initializer_list<std::uint8_t> body) {
+  std::vector<std::uint8_t> bytes;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(kPayloadHeaderBytes + body.size());
+  for (int i = 0; i < 4; ++i)
+    bytes.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  bytes.push_back(kMagic0);
+  bytes.push_back(kMagic1);
+  bytes.push_back(kWireVersion);
+  bytes.push_back(type);
+  bytes.insert(bytes.end(), body);
+  return bytes;
+}
+
+struct HostileReport {
+  std::size_t malformed_sent = 0;
+  std::size_t typed_error_replies = 0;
+  std::size_t fatal_reconnects = 0;
+  std::size_t disconnects = 0;
+};
+
+/// Malformed-frame injector: recoverable garbage (bad type, truncated
+/// decode body) on a long-lived connection, periodically a fatal frame
+/// (bad magic) that earns one goodbye and a close, then reconnect.
+HostileReport run_malformed_injector(std::uint16_t port,
+                                     const std::atomic<bool>& stop) {
+  HostileReport report;
+  BlockingClient client;
+  client.connect("127.0.0.1", port);
+  std::size_t step = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::size_t kind = step++ % 3;
+    if (kind == 2) {
+      // Fatal: wrong magic. One kBadMagic reply, then EOF.
+      const std::vector<std::uint8_t> bad = {8, 0, 0, 0, 'X', 'D',
+                                             1, 1, 0,   0,   0, 0};
+      client.send_raw(bad);
+      ++report.malformed_sent;
+      while (const auto frame = client.read_frame(std::chrono::milliseconds(200)))
+        if (frame->type == FrameType::kError) ++report.typed_error_replies;
+      client.close();
+      client.connect("127.0.0.1", port);
+      ++report.fatal_reconnects;
+      continue;
+    }
+    const auto frame = kind == 0
+                           ? raw_frame(/*bad type*/ 0x63, {1, 2, 3})
+                           : raw_frame(static_cast<std::uint8_t>(
+                                           FrameType::kDecodeRequest),
+                                       {1, 2, 3, 4});  // truncated body
+    if (!client.send_raw(frame)) {
+      client.close();
+      client.connect("127.0.0.1", port);
+      continue;
+    }
+    ++report.malformed_sent;
+    if (const auto reply = client.read_frame(std::chrono::milliseconds(500)))
+      if (reply->type == FrameType::kError) ++report.typed_error_replies;
+  }
+  return report;
+}
+
+/// Mid-request disconnector: half a frame then RST-ish close, or a full
+/// request and close before reading the response — both orphan server-side
+/// state that must be reclaimed without wedging anything.
+HostileReport run_disconnector(std::uint16_t port,
+                               const std::atomic<bool>& stop) {
+  HostileReport report;
+  DecodeRequest request;
+  request.tenant_id = kInteractiveTenant;
+  request.codec = kInteractiveMix[3].codec;
+  request.llr.assign(kInteractiveMix[3].n, 4.0F);
+  std::uint64_t id = 1;
+  while (!stop.load(std::memory_order_relaxed)) {
+    request.request_id = id++;
+    const auto bytes = encode_decode_request(request);
+    BlockingClient client;
+    client.connect("127.0.0.1", port);
+    if (id % 2 == 0) {
+      client.send_raw(std::span(bytes).first(bytes.size() / 2));
+    } else {
+      client.send_raw(bytes);
+    }
+    client.close();
+    ++report.disconnects;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return report;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index = std::min(values.size() - 1,
+                              static_cast<std::size_t>(q * values.size()));
+  return values[index];
+}
+
+struct ScenarioResult {
+  ClosedLoopReport interactive;
+  double seconds = 0.0;
+  double goodput_per_sec = 0.0;
+};
+
+/// Run `extra` hostile/bulk workers alongside two closed-loop interactive
+/// clients for `seconds`, then stop everything and return the merged
+/// interactive report.
+template <typename ExtraFn>
+ScenarioResult run_scenario(std::uint16_t port, double seconds,
+                            std::chrono::microseconds interval,
+                            ExtraFn&& extra) {
+  std::atomic<bool> stop{false};
+  ClosedLoopReport a, b;
+  std::thread ta([&] { a = run_closed_loop(port, 1ULL << 32, interval, stop); });
+  std::thread tb([&] { b = run_closed_loop(port, 2ULL << 32, interval, stop); });
+  const auto t0 = SteadyClock::now();
+  extra(stop);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds));
+  stop.store(true);
+  ta.join();
+  tb.join();
+  const double elapsed =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+
+  ScenarioResult result;
+  result.interactive = a;
+  result.interactive.sent += b.sent;
+  result.interactive.decode_ok += b.decode_ok;
+  result.interactive.typed_errors += b.typed_errors;
+  result.interactive.deadline_misses += b.deadline_misses;
+  result.interactive.timeouts += b.timeouts;
+  result.interactive.latencies_ms.insert(result.interactive.latencies_ms.end(),
+                                         b.latencies_ms.begin(),
+                                         b.latencies_ms.end());
+  result.seconds = elapsed;
+  result.goodput_per_sec =
+      static_cast<double>(result.interactive.decode_ok) / elapsed;
+  return result;
+}
+
+void add_interactive_row(bench::JsonReporter& json, const char* scenario,
+                         const ScenarioResult& result) {
+  const auto& r = result.interactive;
+  json.add_row()
+      .set("scenario", scenario)
+      .set("seconds", result.seconds)
+      .set("requests", r.sent)
+      .set("decode_ok", r.decode_ok)
+      .set("typed_errors", r.typed_errors)
+      .set("deadline_misses", r.deadline_misses)
+      .set("timeouts", r.timeouts)
+      .set("goodput_per_sec", result.goodput_per_sec)
+      .set("deadline_miss_rate",
+           r.sent ? static_cast<double>(r.deadline_misses) / r.sent : 0.0)
+      .set("p50_ms", percentile(r.latencies_ms, 0.50))
+      .set("p95_ms", percentile(r.latencies_ms, 0.95))
+      .set("p99_ms", percentile(r.latencies_ms, 0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 1.2;
+  unsigned workers = 4;
+  double interval_ms = 15.0;  // per interactive client: ~133 req/s offered
+  bool perf_gate = true;
+  std::string json_path = "BENCH_decode_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      LDPC_CHECK_MSG(i + 1 < argc, arg << " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--seconds") seconds = std::stod(value());
+    else if (arg == "--workers") workers = static_cast<unsigned>(std::stoul(value()));
+    else if (arg == "--interval-ms") interval_ms = std::stod(value());
+    else if (arg == "--json") json_path = value();
+    // Sanitizer smoke runs: every robustness invariant still holds, but
+    // instrumented latencies make a goodput-ratio gate meaningless.
+    else if (arg == "--skip-perf-gate") perf_gate = false;
+    else LDPC_CHECK_MSG(false, "unknown argument " << arg);
+  }
+  const auto interval =
+      std::chrono::microseconds(static_cast<long>(interval_ms * 1000.0));
+
+  bench::JsonReporter json;
+  bool pass = true;
+
+  // --- baseline: interactive tenant alone ---------------------------------
+  double baseline_goodput = 0.0;
+  {
+    DecodeService server(make_config(workers, /*with_faults=*/false));
+    server.start();
+    const auto result = run_scenario(server.port(), seconds, interval,
+                                     [](std::atomic<bool>&) {});
+    baseline_goodput = result.goodput_per_sec;
+    add_interactive_row(json, "baseline", result);
+    std::printf("baseline     %7.0f decodes/s  p50 %.3f ms  p99 %.3f ms\n",
+                result.goodput_per_sec,
+                percentile(result.interactive.latencies_ms, 0.50),
+                percentile(result.interactive.latencies_ms, 0.99));
+    server.shutdown_after(std::chrono::seconds(2));
+  }
+
+  // --- overload_2x: add a bursty bulk tenant far past capacity ------------
+  {
+    DecodeService server(make_config(workers, /*with_faults=*/false));
+    server.start();
+    const auto heavy = make_heavy_frames(8);
+    const CodecRef bulk_codec{static_cast<std::uint8_t>(CodeStandard::kWimax),
+                              0, 96};
+    OpenLoopReport bulk1, bulk2;
+    std::thread t1, t2;
+    const auto result = run_scenario(
+        server.port(), seconds, interval, [&](std::atomic<bool>& stop) {
+          t1 = std::thread([&] {
+            bulk1 = run_open_loop(server.port(), kBulkTenant, 5ULL << 32, 10,
+                                  bulk_codec, heavy, 0, stop);
+          });
+          t2 = std::thread([&] {
+            bulk2 = run_open_loop(server.port(), kBulkTenant, 6ULL << 32, 10,
+                                  bulk_codec, heavy, 0, stop);
+          });
+        });
+    t1.join();
+    t2.join();
+    const double ratio =
+        baseline_goodput > 0.0 ? result.goodput_per_sec / baseline_goodput : 0.0;
+    add_interactive_row(json, "overload_2x", result);
+    json.add_row()
+        .set("scenario", "overload_2x_bulk")
+        .set("bulk_sent", bulk1.sent + bulk2.sent)
+        .set("bulk_decoded", bulk1.decode_responses + bulk2.decode_responses)
+        .set("bulk_shed", bulk1.shed + bulk2.shed)
+        .set("bulk_quota_rejected",
+             bulk1.quota_rejected + bulk2.quota_rejected)
+        .set("bulk_overloaded", bulk1.overloaded + bulk2.overloaded)
+        .set("bulk_rate_limited", bulk1.rate_limited + bulk2.rate_limited)
+        .set("compliant_goodput_ratio", ratio);
+    std::printf(
+        "overload_2x  %7.0f decodes/s  ratio %.3f  (bulk: %zu sent, %zu "
+        "decoded, %zu shed, %zu quota)\n",
+        result.goodput_per_sec, ratio, bulk1.sent + bulk2.sent,
+        bulk1.decode_responses + bulk2.decode_responses,
+        bulk1.shed + bulk2.shed,
+        bulk1.quota_rejected + bulk2.quota_rejected);
+    if (perf_gate && ratio < 0.90) {
+      std::printf("FAIL: compliant tenant kept only %.1f%% of baseline "
+                  "goodput (gate: 90%%)\n",
+                  100.0 * ratio);
+      pass = false;
+    }
+    const auto report = server.shutdown_after(std::chrono::seconds(2));
+    if (!report.straggler_frames.empty()) pass = false;
+  }
+
+  // --- chaos: hostile clients + worker faults -----------------------------
+  {
+    DecodeService server(make_config(workers, /*with_faults=*/true));
+    server.start();
+    const CodecRef storm_codec{
+        static_cast<std::uint8_t>(CodeStandard::kRegistry), 0, 1};
+    const std::vector<std::vector<float>> storm_frames = {
+        std::vector<float>(174, 4.0F)};
+    HostileReport malformed, disconnects;
+    OpenLoopReport storm;
+    std::thread tm, td, ts;
+    const auto result = run_scenario(
+        server.port(), seconds, interval, [&](std::atomic<bool>& stop) {
+          tm = std::thread(
+              [&] { malformed = run_malformed_injector(server.port(), stop); });
+          td = std::thread(
+              [&] { disconnects = run_disconnector(server.port(), stop); });
+          ts = std::thread([&] {
+            storm = run_open_loop(server.port(), kStormTenant, 7ULL << 32, 8,
+                                  storm_codec, storm_frames,
+                                  /*deadline_us=*/1, stop);
+          });
+        });
+    tm.join();
+    td.join();
+    ts.join();
+
+    // The server must still be fully alive after all of that.
+    BlockingClient probe;
+    probe.connect("127.0.0.1", server.port());
+    const bool ping_ok =
+        probe.ping(0xC0FFEE, std::chrono::seconds(2)).has_value();
+    const bool stats_ok = probe.stats(std::chrono::seconds(2)).has_value();
+    const auto report = server.shutdown_after(std::chrono::seconds(3));
+
+    add_interactive_row(json, "chaos", result);
+    json.add_row()
+        .set("scenario", "chaos_hostile")
+        .set("malformed_sent", malformed.malformed_sent)
+        .set("typed_error_replies", malformed.typed_error_replies)
+        .set("fatal_reconnects", malformed.fatal_reconnects)
+        .set("disconnects", disconnects.disconnects)
+        .set("storm_sent", storm.sent)
+        .set("storm_deadline_refused", storm.deadline_refused)
+        .set("ping_after_chaos", ping_ok)
+        .set("drain_stragglers", report.straggler_frames.size());
+
+    std::printf(
+        "chaos        %7.0f decodes/s  %zu malformed, %zu reconnects, %zu "
+        "disconnects, %zu storm\n",
+        result.goodput_per_sec, malformed.malformed_sent,
+        malformed.fatal_reconnects, disconnects.disconnects, storm.sent);
+    if (result.interactive.timeouts != 0) {
+      std::printf("FAIL: %zu interactive requests never resolved\n",
+                  result.interactive.timeouts);
+      pass = false;
+    }
+    if (!ping_ok || !stats_ok) {
+      std::printf("FAIL: server unresponsive after chaos\n");
+      pass = false;
+    }
+    if (!report.straggler_frames.empty()) {
+      std::printf("FAIL: %zu stragglers at drain\n",
+                  report.straggler_frames.size());
+      pass = false;
+    }
+  }
+
+  json.write(json_path);
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

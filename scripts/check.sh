@@ -13,12 +13,17 @@
 #                        the concurrency-sensitive tests: the runtime batch
 #                        engine, the retry/escalation supervisor, the
 #                        fault-injection chaos test and the BER runner
+#   5. service stage   — the network decode service under TSan: wire-codec
+#                        corpus, registry, service robustness tests, then a
+#                        short chaos load-generator smoke (malformed frames,
+#                        disconnects, deadline storm, worker faults); any
+#                        crash, hang, race or failed invariant fails the gate
 #
 # Every ctest invocation carries a per-test --timeout so a wedged worker
 # thread fails loudly instead of hanging the gate.
-#   5. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
+#   6. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
 #                        with a notice when clang-tidy is not installed
-#   6. ldpc-lint       — static schedule/hazard analysis over every bundled
+#   7. ldpc-lint       — static schedule/hazard analysis over every bundled
 #                        code and both column orders (must exit 0)
 #
 # Usage: scripts/check.sh [--fast]
@@ -42,38 +47,52 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # fail the gate, not hang CI forever.
 TEST_TIMEOUT=120
 
-echo "== [1/6] tier-1 verify (LDPC_WERROR=ON) =="
+echo "== [1/7] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT"
 
-echo "== [2/6] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
+echo "== [2/7] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
 cmake -B build-nosimd -S . -DLDPC_SIMD=OFF -DLDPC_WERROR=ON
 cmake --build build-nosimd -j "$JOBS" --target simd_equivalence_test
 ctest --test-dir build-nosimd --output-on-failure --timeout "$TEST_TIMEOUT" \
   -R 'SimdEquivalence'
 
 if [ "$FAST" -eq 0 ]; then
-  echo "== [3/6] ASan + UBSan =="
+  echo "== [3/7] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure --timeout "$TEST_TIMEOUT"
 
-  echo "== [4/6] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
+  echo "== [4/7] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
   cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
   cmake --build build-tsan -j "$JOBS" \
     --target runtime_test chaos_test channel_test
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
     -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds'
+
+  echo "== [5/7] decode service under TSan (tests + chaos load smoke) =="
+  cmake --build build-tsan -j "$JOBS" \
+    --target service_wire_test registry_test service_test bench_decode_service
+  ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
+    -R 'ServiceWire|Registry|ServiceTest|EngineSnapshot|CodecCacheTest'
+  # Short hostile-load smoke: malformed frames, mid-request disconnects, a
+  # deadline storm and worker faults against a live loopback server. The
+  # robustness invariants (exactly-once resolution, server stays responsive,
+  # clean drain) are asserted by the bench itself; the goodput-ratio perf
+  # gate is skipped because TSan's instrumented latencies are meaningless.
+  ./build-tsan/bench/bench_decode_service --seconds 0.4 --skip-perf-gate \
+    --json build-tsan/BENCH_decode_service_smoke.json
 else
-  echo "== [3/6] ASan + UBSan — skipped (--fast) =="
-  echo "== [4/6] ThreadSanitizer — skipped (--fast) =="
+  echo "== [3/7] ASan + UBSan — skipped (--fast) =="
+  echo "== [4/7] ThreadSanitizer — skipped (--fast) =="
+  echo "== [5/7] decode service under TSan — skipped (--fast) =="
 fi
 
-echo "== [5/6] clang-tidy =="
+echo "== [6/7] clang-tidy =="
 cmake --build build --target lint
 
-echo "== [6/6] ldpc-lint over all bundled codes =="
+echo "== [7/7] ldpc-lint over all bundled codes =="
 ./build/src/analysis/ldpc-lint
 ./build/src/analysis/ldpc-lint --order hazard
 

@@ -158,6 +158,13 @@ QCLdpcCode read_alist(std::istream& in) {
         fail("column list names H(" + std::to_string(r) + "," +
              std::to_string(v) + ") but the row list does not");
 
+  // A complete matrix ends here; anything but whitespace after it means the
+  // text was damaged (an appended index, a concatenated file, ...). Trailing
+  // zero padding was already consumed above.
+  std::string trailing;
+  if (in >> trailing)
+    fail("trailing content '" + trailing + "' after a complete matrix");
+
   BaseMatrix base(static_cast<std::size_t>(m), static_cast<std::size_t>(n),
                   std::move(entries), /*design_z=*/1, "alist-import");
   return QCLdpcCode(std::move(base));

@@ -1,0 +1,175 @@
+#include "codes/registry.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "codes/alist.hpp"
+#include "codes/random_qc.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+/// Dense (z = 1) variant of make_random_qc_code: same encodable skeleton —
+/// dual-diagonal parity part, weight-3 first parity column, fixed-degree
+/// information rows — but every entry is a plain 1, so the result imports
+/// and round-trips through the alist path exactly. make_random_qc_code
+/// itself requires z >= 2 (its shifts are meaningless at z = 1).
+QCLdpcCode make_dense_code(const RandomQcConfig& config) {
+  const std::size_t mb = config.block_rows;
+  const std::size_t nb = config.block_cols;
+  const std::size_t kb = nb - mb;
+  LDPC_CHECK_MSG(mb >= 3, "need at least 3 rows for the weight-3 column");
+  LDPC_CHECK_MSG(nb > mb, "block_cols must exceed block_rows");
+  LDPC_CHECK_MSG(config.info_row_degree >= 1 && config.info_row_degree <= kb,
+                 "info_row_degree " << config.info_row_degree
+                                    << " out of range for " << kb
+                                    << " info columns");
+
+  Xoshiro256 rng(config.seed);
+  std::vector<int> entries(mb * nb, BaseMatrix::kZero);
+  auto at = [&](std::size_t r, std::size_t c) -> int& {
+    return entries[r * nb + c];
+  };
+
+  // Information part: each row connects `info_row_degree` distinct columns;
+  // every column is touched at least once so no variable is disconnected.
+  std::vector<std::size_t> col_use(kb, 0);
+  for (std::size_t r = 0; r < mb; ++r) {
+    std::vector<std::size_t> cols(kb);
+    for (std::size_t c = 0; c < kb; ++c) cols[c] = c;
+    for (std::size_t i = 0; i < config.info_row_degree; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_int(cols.size() - i));
+      std::swap(cols[i], cols[j]);
+      at(r, cols[i]) = 0;
+      ++col_use[cols[i]];
+    }
+  }
+  for (std::size_t c = 0; c < kb; ++c) {
+    if (col_use[c] != 0) continue;
+    at(static_cast<std::size_t>(rng.uniform_int(mb)), c) = 0;
+  }
+
+  // Encodable parity part: weight-3 first parity column + dual diagonal.
+  at(0, kb) = 0;
+  at(mb / 2, kb) = 0;
+  at(mb - 1, kb) = 0;
+  for (std::size_t j = 1; j < mb; ++j) {
+    at(j - 1, kb + j) = 0;
+    at(j, kb + j) = 0;
+  }
+
+  BaseMatrix base(mb, nb, std::move(entries), /*design_z=*/1,
+                  "dense-" + std::to_string(nb) + "x" + std::to_string(mb) +
+                      "-s" + std::to_string(config.seed));
+  return QCLdpcCode(std::move(base));
+}
+
+/// Deterministic construction recipe for one registry entry. Every entry is
+/// an encodable random-QC build at z = 1 (a dense parity-check matrix with
+/// the 802.16e-style dual-diagonal parity skeleton, so both encoders work),
+/// matched in geometry to the external code it stands in for.
+struct Recipe {
+  const char* name;
+  const char* description;
+  RandomQcConfig config;
+};
+
+const Recipe kRecipes[] = {
+    // ft8_lib decodes a (174, 87) rate-1/2 code with column degree 3
+    // (kgoba/ft8_lib, SNIPPETS.md). Same length, rate and density here.
+    {"ft8-174",
+     "ft8_lib-style (174, 87) rate-1/2 embedded code, column degree 3",
+     {/*block_rows=*/87, /*block_cols=*/174, /*z=*/1,
+      /*info_row_degree=*/3, /*seed=*/0xF78174ULL}},
+    // Hobbyist demo decoders (hamsternz-style) run very short blocks where
+    // the whole Tanner graph fits on a whiteboard; 32 bits, rate 1/2.
+    {"hamsternz-demo-32",
+     "hamsternz-style (32, 16) rate-1/2 whiteboard demo code",
+     {/*block_rows=*/16, /*block_cols=*/32, /*z=*/1,
+      /*info_row_degree=*/3, /*seed=*/0xDE3032ULL}},
+};
+
+struct Entry {
+  ExternalCodeInfo info;
+  std::string alist;
+  std::unique_ptr<QCLdpcCode> code;  ///< built on first external_code()
+};
+
+/// Registry singleton: alist text is generated eagerly (cheap, and it pins
+/// the canonical bytes), the parsed code lazily under the same mutex.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  Entry& entry(const std::string& name) {
+    const auto it = entries_.find(name);
+    LDPC_CHECK_MSG(it != entries_.end(),
+                   "unknown external code '" << name << "'");
+    return it->second;
+  }
+
+  const QCLdpcCode& code(const std::string& name) {
+    const std::scoped_lock lock(mutex_);
+    Entry& e = entry(name);
+    if (!e.code) {
+      // The import path is the point: parse the canonical alist text just
+      // like a matrix handed over by a foreign toolchain.
+      e.code = std::make_unique<QCLdpcCode>(alist_from_string(e.alist));
+    }
+    return *e.code;
+  }
+
+  std::mutex mutex_;
+
+ private:
+  Registry() {
+    for (const Recipe& r : kRecipes) {
+      Entry e;
+      e.info.name = r.name;
+      e.info.description = r.description;
+      const QCLdpcCode built = make_dense_code(r.config);
+      e.info.n = built.n();
+      e.info.k = built.k();
+      e.alist = to_alist(built);
+      names_.emplace_back(r.name);
+      entries_.emplace(r.name, std::move(e));
+    }
+  }
+
+  std::vector<std::string> names_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& external_code_names() {
+  return Registry::instance().names();
+}
+
+const ExternalCodeInfo& external_code_info(const std::string& name) {
+  Registry& r = Registry::instance();
+  const std::scoped_lock lock(r.mutex_);
+  return r.entry(name).info;
+}
+
+const QCLdpcCode& external_code(const std::string& name) {
+  return Registry::instance().code(name);
+}
+
+const std::string& external_code_alist(const std::string& name) {
+  Registry& r = Registry::instance();
+  const std::scoped_lock lock(r.mutex_);
+  return r.entry(name).alist;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,47 @@
+// External-code registry: named, dense (z = 1) codes wired through the
+// alist import path as first-class entries next to the standard tables.
+//
+// The decode service's multi-tenant mixes pair full 802.16e/802.11n QC
+// codes with small embedded-style codes — the shape of the ft8_lib
+// (174, 87) FT8 code and of hobbyist demo decoders (hamsternz-style short
+// blocks). We do not ship those projects' matrices; each registry entry is
+// a deterministic construction with the same geometry (length, rate,
+// column degree), serialized to alist text once and *re-imported through
+// read_alist* on first use, so every registry lookup exercises the exact
+// interchange path an externally designed matrix would take.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+/// One registered external code. `alist` is the canonical interchange text
+/// (what a foreign toolchain would hand us); `code` is built by parsing it.
+struct ExternalCodeInfo {
+  std::string name;         ///< registry key, e.g. "ft8-174"
+  std::string description;  ///< one-line provenance note
+  std::size_t n = 0;        ///< codeword length
+  std::size_t k = 0;        ///< information bits
+};
+
+/// Names of all registered external codes, in registry order. The wire
+/// protocol's registry codec ids index into this vector.
+const std::vector<std::string>& external_code_names();
+
+/// Registry metadata for `name`. Throws ldpc::Error for unknown names.
+const ExternalCodeInfo& external_code_info(const std::string& name);
+
+/// The code itself, built by running the entry's alist text through
+/// read_alist (cached after the first import; the reference stays valid for
+/// the program's lifetime). Throws ldpc::Error for unknown names.
+const QCLdpcCode& external_code(const std::string& name);
+
+/// The canonical alist text of a registry entry — what write_alist produced
+/// for the constructed matrix and what external_code() re-imports. Exposed
+/// so tests can corrupt it and assert the import path rejects the damage.
+const std::string& external_code_alist(const std::string& name);
+
+}  // namespace ldpc

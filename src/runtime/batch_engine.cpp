@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/rng.hpp"
+
 namespace ldpc {
 
 std::size_t EngineMetrics::status_total(DecodeStatus s) const {
@@ -306,7 +308,7 @@ void BatchEngine::worker_main(unsigned worker_id) {
         workers_.emplace_back([this, new_id] { worker_main(new_id); });
         retire = true;
       }
-      latency_us_.push_back(
+      record_latency_locked(
           std::chrono::duration<double, std::micro>(now - job.enqueued)
               .count());
       finish_job_locked(job.frame_index, now);
@@ -316,12 +318,31 @@ void BatchEngine::worker_main(unsigned worker_id) {
   }
 }
 
-EngineMetrics BatchEngine::metrics() const {
+void BatchEngine::record_latency_locked(double us) {
+  ++latency_samples_seen_;
+  const std::size_t cap = config_.latency_sample_cap;
+  if (cap == 0 || latency_us_.size() < cap) {
+    latency_us_.push_back(us);
+    return;
+  }
+  // Algorithm R with a deterministic stream: sample i (1-based) replaces a
+  // uniformly random reservoir slot with probability cap / i.
+  std::uint64_t sm = 0x9e3779b97f4a7c15ULL ^ latency_samples_seen_;
+  const std::size_t slot =
+      static_cast<std::size_t>(splitmix64(sm) % latency_samples_seen_);
+  if (slot < cap) latency_us_[slot] = us;
+}
+
+EngineMetrics BatchEngine::snapshot() const {
   EngineMetrics m;
-  const RunningStats occupancy = queue_.occupancy();
+  RunningStats occupancy;
   std::vector<double> latencies;
   {
     const std::scoped_lock lock(state_mutex_);
+    // The queue's internal mutex nests inside state_mutex_ here (no engine
+    // path acquires them in the opposite order), making the occupancy
+    // statistics part of the same consistent cut as the job counters.
+    occupancy = queue_.occupancy();
     m.jobs_submitted = submitted_;
     m.jobs_completed = completed_;
     m.decoded_bits = decoded_bits_;

@@ -72,6 +72,13 @@ struct BatchEngineConfig {
   /// supervisor to re-attempt failed frames with more iterations or a
   /// wider fixed-point format.
   std::vector<DecoderFactory> escalation_factories;
+  /// Cap on retained per-job latency samples. 0 (default) keeps every
+  /// sample — right for bounded batches, where percentiles are exact. A
+  /// long-running service sets a cap: once reached, samples are admitted by
+  /// deterministic reservoir sampling (seeded from the sample ordinal, not
+  /// wall time), so the latency summary stays an unbiased estimate while
+  /// memory stays O(cap) over days of traffic.
+  std::size_t latency_sample_cap = 0;
 };
 
 /// Per-worker aggregation of the DecodeResult / saturation statistics the
@@ -253,9 +260,18 @@ class BatchEngine {
   std::vector<DecodeResult> decode_batch(
       const std::vector<std::vector<float>>& frames);
 
-  /// Snapshot of the engine counters; callable at any time, including while
-  /// jobs are in flight.
-  EngineMetrics metrics() const;
+  /// Tear-free snapshot of the engine counters; callable from any thread at
+  /// any time, including while jobs are in flight. Every field — job
+  /// counters, per-worker stats, latency percentiles *and* the queue
+  /// occupancy statistics — is captured under the engine's state mutex in
+  /// one critical section, so a stats endpoint polling mid-burst can never
+  /// observe, say, jobs_completed from after a completion but a latency
+  /// distribution from before it (workers take the same mutex to record
+  /// both together).
+  EngineMetrics snapshot() const;
+
+  /// Back-compat alias for snapshot().
+  EngineMetrics metrics() const { return snapshot(); }
 
   unsigned num_workers() const { return config_.num_workers; }
 
@@ -280,6 +296,9 @@ class BatchEngine {
   /// Must hold state_mutex_: bookkeeping for one finished job.
   void finish_job_locked(std::size_t frame_index,
                          std::chrono::steady_clock::time_point now);
+  /// Must hold state_mutex_: admit one latency sample into the (possibly
+  /// capped) reservoir.
+  void record_latency_locked(double us);
 
   DecoderFactory factory_;
   BatchEngineConfig config_;
@@ -303,6 +322,7 @@ class BatchEngine {
   std::chrono::steady_clock::time_point first_enqueue_;
   std::chrono::steady_clock::time_point last_complete_;
   std::vector<double> latency_us_;
+  std::size_t latency_samples_seen_ = 0;  ///< admitted + reservoir-skipped
   std::vector<EngineWorkerStats> worker_stats_;
 };
 

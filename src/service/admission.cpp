@@ -1,0 +1,152 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+namespace ldpc::service {
+
+const char* to_string(AdmitDecision decision) {
+  switch (decision) {
+    case AdmitDecision::kAdmit:           return "admit";
+    case AdmitDecision::kPark:            return "park";
+    case AdmitDecision::kParkShedOldest:  return "park-shed-oldest";
+    case AdmitDecision::kRateLimited:     return "rate-limited";
+    case AdmitDecision::kQuotaExceeded:   return "quota-exceeded";
+    case AdmitDecision::kDeadlineExpired: return "deadline-expired";
+  }
+  return "?";
+}
+
+void AdmissionController::configure_tenant(std::uint32_t tenant_id,
+                                           const TenantConfig& config) {
+  Tenant& t = tenant(tenant_id);
+  t.config = config;
+  t.stats.policy = config.policy;
+}
+
+AdmissionController::Tenant& AdmissionController::tenant(
+    std::uint32_t tenant_id) {
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    Tenant t;
+    t.config = default_config_;
+    t.stats.tenant_id = tenant_id;
+    t.stats.policy = t.config.policy;
+    it = tenants_.emplace(tenant_id, std::move(t)).first;
+  }
+  return it->second;
+}
+
+AdmitDecision AdmissionController::admit(std::uint32_t tenant_id,
+                                         Clock::time_point now,
+                                         bool deadline_already_expired) {
+  Tenant& t = tenant(tenant_id);
+  ++t.stats.requests;
+
+  if (deadline_already_expired) {
+    ++t.stats.deadline_refused;
+    return AdmitDecision::kDeadlineExpired;
+  }
+
+  if (t.config.rate_per_sec > 0.0) {
+    Bucket& b = t.bucket;
+    if (!b.primed) {
+      b.tokens = t.config.burst;
+      b.last = now;
+      b.primed = true;
+    } else {
+      const double dt = std::chrono::duration<double>(now - b.last).count();
+      b.tokens = std::min(t.config.burst,
+                          b.tokens + dt * t.config.rate_per_sec);
+      b.last = now;
+    }
+    if (b.tokens < 1.0) {
+      ++t.stats.rate_limited;
+      return AdmitDecision::kRateLimited;
+    }
+    b.tokens -= 1.0;
+  }
+
+  if (t.stats.in_flight < t.config.max_in_flight) {
+    ++t.stats.in_flight;
+    ++t.stats.admitted;
+    return AdmitDecision::kAdmit;
+  }
+
+  switch (t.config.policy) {
+    case OverloadPolicy::kRejectNewest:
+      ++t.stats.quota_rejected;
+      return AdmitDecision::kQuotaExceeded;
+    case OverloadPolicy::kBlock:
+      if (t.stats.parked >= t.config.max_parked) {
+        ++t.stats.quota_rejected;
+        return AdmitDecision::kQuotaExceeded;
+      }
+      ++t.stats.parked;
+      return AdmitDecision::kPark;
+    case OverloadPolicy::kShedOldest:
+      if (t.stats.parked >= t.config.max_parked) {
+        // Wait line stays at its cap: the caller evicts the oldest parked
+        // request (and reports it via on_shed, which decrements parked)
+        // before parking this one — so pre-increment keeps the count exact.
+        ++t.stats.parked;
+        return AdmitDecision::kParkShedOldest;
+      }
+      ++t.stats.parked;
+      return AdmitDecision::kPark;
+  }
+  ++t.stats.quota_rejected;
+  return AdmitDecision::kQuotaExceeded;
+}
+
+void AdmissionController::on_shed(std::uint32_t tenant_id) {
+  Tenant& t = tenant(tenant_id);
+  if (t.stats.parked > 0) --t.stats.parked;
+  ++t.stats.shed;
+}
+
+void AdmissionController::on_unparked(std::uint32_t tenant_id) {
+  Tenant& t = tenant(tenant_id);
+  if (t.stats.parked > 0) --t.stats.parked;
+  ++t.stats.in_flight;
+  ++t.stats.admitted;
+}
+
+void AdmissionController::on_admit_failed(std::uint32_t tenant_id) {
+  Tenant& t = tenant(tenant_id);
+  if (t.stats.in_flight > 0) --t.stats.in_flight;
+  if (t.stats.admitted > 0) --t.stats.admitted;
+}
+
+void AdmissionController::on_park_abandoned(std::uint32_t tenant_id) {
+  Tenant& t = tenant(tenant_id);
+  if (t.stats.parked > 0) --t.stats.parked;
+}
+
+bool AdmissionController::on_complete(std::uint32_t tenant_id) {
+  Tenant& t = tenant(tenant_id);
+  if (t.stats.in_flight > 0) --t.stats.in_flight;
+  ++t.stats.completed;
+  return t.stats.parked > 0 && t.stats.in_flight < t.config.max_in_flight;
+}
+
+bool AdmissionController::has_capacity(std::uint32_t tenant_id) const {
+  const auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return true;
+  return it->second.stats.in_flight < it->second.config.max_in_flight;
+}
+
+OverloadPolicy AdmissionController::tenant_policy(
+    std::uint32_t tenant_id) const {
+  const auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? default_config_.policy
+                              : it->second.config.policy;
+}
+
+std::vector<TenantStats> AdmissionController::stats() const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) out.push_back(t.stats);
+  return out;
+}
+
+}  // namespace ldpc::service

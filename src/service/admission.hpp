@@ -1,0 +1,147 @@
+// Per-tenant admission control for the decode service.
+//
+// Three gates, evaluated in order for every well-formed request:
+//
+//   1. deadline   — a request whose relative deadline cannot be met even if
+//                   it ran immediately is refused at the door
+//                   (kDeadlineUnmeetable) instead of consuming a worker;
+//   2. rate       — a token bucket (rate_per_sec, burst) smooths each
+//                   tenant's arrival process; an empty bucket refuses the
+//                   request (kRateLimited);
+//   3. occupancy  — each tenant holds at most max_in_flight jobs inside the
+//                   engine. At quota, the tenant's *overload policy* — the
+//                   same kBlock / kRejectNewest / kShedOldest taxonomy the
+//                   BatchEngine queue uses — decides what happens:
+//
+//       kBlock        — the request parks in the tenant's bounded wait line
+//                       (wire-level backpressure: it is answered when
+//                       capacity frees). A full wait line refuses with
+//                       kQuotaExceeded — backpressure, not unbounded memory.
+//       kRejectNewest — the request is refused immediately (kQuotaExceeded).
+//       kShedOldest   — the request parks; if the wait line is full the
+//                       *oldest* parked request is evicted and answered
+//                       kShedOverload. A bursty tenant degrades itself —
+//                       its stale requests die first — without touching any
+//                       other tenant's line.
+//
+// The controller is a pure decision + accounting machine: it owns counters
+// and buckets, never sockets or jobs. The service owns the actual parked
+// request objects and calls back in (on_admitted / on_parked / on_unparked
+// / on_shed / on_complete) so the controller's occupancy view stays exact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/job_queue.hpp"
+#include "service/wire.hpp"
+
+namespace ldpc::service {
+
+using Clock = std::chrono::steady_clock;
+
+struct TenantConfig {
+  /// Token-bucket refill rate; 0 disables rate limiting for the tenant.
+  double rate_per_sec = 0.0;
+  /// Bucket depth: how large a burst passes the rate gate unthrottled.
+  double burst = 32.0;
+  /// Jobs this tenant may hold inside the engine at once.
+  std::size_t max_in_flight = 16;
+  /// Bound on the tenant's parked wait line (kBlock / kShedOldest).
+  std::size_t max_parked = 32;
+  /// What quota exhaustion does to a new request (see file comment).
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+};
+
+/// Verdict for one request at the admission door.
+enum class AdmitDecision {
+  kAdmit,            ///< submit to the engine now (in-flight slot taken)
+  kPark,             ///< append to the tenant's wait line
+  kParkShedOldest,   ///< evict the tenant's oldest parked request
+                     ///< (answer it kShedOverload), then park this one
+  kRateLimited,      ///< refuse: token bucket empty
+  kQuotaExceeded,    ///< refuse: quota hit and policy refuses / line full
+  kDeadlineExpired,  ///< refuse: deadline unmeetable at arrival
+};
+
+const char* to_string(AdmitDecision decision);
+
+struct TenantStats {
+  std::uint32_t tenant_id = 0;
+  std::size_t requests = 0;
+  std::size_t admitted = 0;  ///< includes unparked promotions
+  std::size_t parked = 0;    ///< currently waiting
+  std::size_t in_flight = 0; ///< currently inside the engine
+  std::size_t rate_limited = 0;
+  std::size_t quota_rejected = 0;
+  std::size_t shed = 0;
+  std::size_t deadline_refused = 0;
+  std::size_t completed = 0;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(TenantConfig default_config = {})
+      : default_config_(default_config) {}
+
+  /// Per-tenant overrides; unknown tenants get the default config.
+  void configure_tenant(std::uint32_t tenant_id, const TenantConfig& config);
+
+  /// Evaluate the gates for one arriving request. Counter updates for the
+  /// refusal outcomes happen here; kAdmit takes the in-flight slot, kPark /
+  /// kParkShedOldest reserve a wait-line slot (the service must follow up
+  /// with on_shed for the evicted request when told to shed).
+  AdmitDecision admit(std::uint32_t tenant_id, Clock::time_point now,
+                      bool deadline_already_expired);
+
+  /// The service evicted one parked request of `tenant_id` (kParkShedOldest
+  /// follow-up, or a drain-time flush).
+  void on_shed(std::uint32_t tenant_id);
+
+  /// A parked request was promoted into the engine.
+  void on_unparked(std::uint32_t tenant_id);
+
+  /// An admitted request never made it into the engine (queue full at the
+  /// global backstop): frees the in-flight slot without counting a
+  /// completion.
+  void on_admit_failed(std::uint32_t tenant_id);
+
+  /// A parked request died without running (client disconnect, drain).
+  void on_park_abandoned(std::uint32_t tenant_id);
+
+  /// An in-flight job finished (any outcome). Returns true if the tenant
+  /// has parked requests and a free in-flight slot — the service should
+  /// unpark its oldest waiter.
+  bool on_complete(std::uint32_t tenant_id);
+
+  /// True when the tenant can take another in-flight job right now.
+  bool has_capacity(std::uint32_t tenant_id) const;
+
+  /// The tenant's configured overload policy (the default config's policy
+  /// for tenants never seen before).
+  OverloadPolicy tenant_policy(std::uint32_t tenant_id) const;
+
+  std::vector<TenantStats> stats() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    Clock::time_point last{};
+    bool primed = false;
+  };
+  struct Tenant {
+    TenantConfig config;
+    Bucket bucket;
+    TenantStats stats;
+  };
+
+  Tenant& tenant(std::uint32_t tenant_id);
+
+  TenantConfig default_config_;
+  std::map<std::uint32_t, Tenant> tenants_;
+};
+
+}  // namespace ldpc::service

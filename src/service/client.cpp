@@ -1,0 +1,178 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ldpc::service {
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void BlockingClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  LDPC_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  LDPC_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "bad host address '" << host << "'");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    throw Error("connect(" + host + ":" + std::to_string(port) +
+                ") failed: " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool BlockingClient::send_raw(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a server that closed us mid-send must surface as a
+    // return value, not a SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<OwnedFrame> BlockingClient::read_frame(
+    std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    Frame frame;
+    const FrameReader::Status status = reader_.next(&frame);
+    if (status == FrameReader::Status::kFrame) {
+      OwnedFrame out;
+      out.type = frame.type;
+      out.body.assign(frame.body.begin(), frame.body.end());
+      return out;
+    }
+    if (status == FrameReader::Status::kFatal) return std::nullopt;
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count() + 1));
+    if (ready < 0 && errno != EINTR) return std::nullopt;
+    if (ready <= 0) continue;
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) return std::nullopt;  // server closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return std::nullopt;
+    }
+    if (!reader_.push(std::span<const std::uint8_t>(
+            chunk, static_cast<std::size_t>(n))))
+      return std::nullopt;
+  }
+}
+
+std::optional<DecodeOutcome> BlockingClient::decode(
+    const DecodeRequest& request, std::chrono::milliseconds timeout) {
+  if (!send_raw(encode_decode_request(request))) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    auto frame = read_frame(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!frame) return std::nullopt;
+    DecodeOutcome outcome;
+    if (frame->type == FrameType::kDecodeResponse) {
+      if (parse_decode_response(frame->body, &outcome.response) !=
+          WireErrorCode::kNone)
+        return std::nullopt;
+      if (outcome.response.request_id != request.request_id) continue;
+      return outcome;
+    }
+    if (frame->type == FrameType::kError) {
+      outcome.is_error = true;
+      if (parse_error_response(frame->body, &outcome.error) !=
+          WireErrorCode::kNone)
+        return std::nullopt;
+      // request_id 0 marks errors the server could not attribute (e.g. a
+      // fatal framing goodbye): treat those as resolving this request too.
+      if (outcome.error.request_id != 0 &&
+          outcome.error.request_id != request.request_id)
+        continue;
+      return outcome;
+    }
+    // Unrelated frame type (a stale pong, say): skip it.
+  }
+}
+
+std::optional<std::uint64_t> BlockingClient::ping(
+    std::uint64_t nonce, std::chrono::milliseconds timeout) {
+  if (!send_raw(encode_ping(nonce))) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    auto frame = read_frame(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!frame) return std::nullopt;
+    if (frame->type != FrameType::kPong) continue;
+    std::uint64_t echoed = 0;
+    if (parse_ping(frame->body, &echoed) != WireErrorCode::kNone)
+      return std::nullopt;
+    return echoed;
+  }
+}
+
+std::optional<std::string> BlockingClient::stats(
+    std::chrono::milliseconds timeout) {
+  if (!send_raw(encode_stats_request())) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    auto frame = read_frame(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!frame) return std::nullopt;
+    if (frame->type != FrameType::kStatsResponse) continue;
+    std::string text;
+    if (parse_stats_response(frame->body, &text) != WireErrorCode::kNone)
+      return std::nullopt;
+    return text;
+  }
+}
+
+}  // namespace ldpc::service

@@ -1,0 +1,77 @@
+// Blocking client for the decode service: the test harness and the load
+// generator speak the wire protocol through this. Deliberately simple — one
+// socket, poll()-bounded reads — because the interesting concurrency lives
+// on the server side; a chaos test drives many of these from many threads.
+//
+// The raw-byte entry points (send_raw) are first-class: chaos tests and the
+// malformed-frame corpus hand-craft hostile byte sequences and need to put
+// them on the wire verbatim.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace ldpc::service {
+
+/// A received frame that owns its body bytes (Frame's span aliases the
+/// reader's buffer and dies on the next read).
+struct OwnedFrame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> body;
+};
+
+/// Either a decode response or a typed error — exactly the two ways the
+/// server resolves a request.
+struct DecodeOutcome {
+  bool is_error = false;
+  DecodeResponse response;  ///< valid when !is_error
+  ErrorResponse error;      ///< valid when is_error
+};
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { close(); }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connect to host:port; throws ldpc::Error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Put bytes on the wire verbatim. Returns false when the connection is
+  /// gone (peer reset); never throws on I/O.
+  bool send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Next frame from the server, waiting up to `timeout`. nullopt on
+  /// timeout, peer close, or a framing error in the server's byte stream
+  /// (which would indicate a server bug — the server never sends garbage).
+  std::optional<OwnedFrame> read_frame(std::chrono::milliseconds timeout);
+
+  /// Convenience RPC: send one decode request, wait for the frame that
+  /// resolves it (matched by request_id; unmatched frames are discarded).
+  std::optional<DecodeOutcome> decode(const DecodeRequest& request,
+                                      std::chrono::milliseconds timeout);
+
+  /// Round-trip a ping; returns the echoed nonce.
+  std::optional<std::uint64_t> ping(std::uint64_t nonce,
+                                    std::chrono::milliseconds timeout);
+
+  /// Fetch the server's stats JSON.
+  std::optional<std::string> stats(std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace ldpc::service

@@ -1,0 +1,148 @@
+// Codec cache: wire CodecRef -> built code + decoder pool, with
+// single-flight construction.
+//
+// Building a QCLdpcCode expands the full Tanner graph (adjacency, edge
+// numbering) and a decoder allocates its message memory — milliseconds of
+// work and megabytes of state for the big codes. A thundering herd of new
+// tenants all naming the same (standard, rate, z) must pay that cost once:
+// the first requester builds while later requesters wait on the same entry
+// (coalesced), and a failed build is reported to every waiter without
+// poisoning the cache (the next request retries).
+//
+// Each entry owns a pool of ready decoder instances. Decoders carry mutable
+// per-call message memory, so a decoder is leased to exactly one decode at
+// a time and returned to the pool afterwards; the pool grows on demand up
+// to the engine's worker count (more can never be in use at once).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+#include "core/decoder_factory.hpp"
+#include "service/wire.hpp"
+
+namespace ldpc::service {
+
+class CodecEntry;
+
+/// RAII decoder lease: returns the decoder to its entry's pool on
+/// destruction. Movable, not copyable.
+class DecoderLease {
+ public:
+  DecoderLease() = default;
+  DecoderLease(std::shared_ptr<CodecEntry> entry,
+               std::unique_ptr<Decoder> decoder)
+      : entry_(std::move(entry)), decoder_(std::move(decoder)) {}
+  DecoderLease(DecoderLease&&) = default;
+  DecoderLease& operator=(DecoderLease&& other) noexcept {
+    release();
+    entry_ = std::move(other.entry_);
+    decoder_ = std::move(other.decoder_);
+    return *this;
+  }
+  DecoderLease(const DecoderLease&) = delete;
+  DecoderLease& operator=(const DecoderLease&) = delete;
+  ~DecoderLease() { release(); }
+
+  explicit operator bool() const { return decoder_ != nullptr; }
+  Decoder& operator*() { return *decoder_; }
+  Decoder* operator->() { return decoder_.get(); }
+
+ private:
+  void release();
+
+  std::shared_ptr<CodecEntry> entry_;
+  std::unique_ptr<Decoder> decoder_;
+};
+
+/// One resolved codec: the built code plus its decoder pool.
+class CodecEntry : public std::enable_shared_from_this<CodecEntry> {
+ public:
+  CodecEntry(CodecRef ref, std::unique_ptr<QCLdpcCode> code,
+             std::string decoder_name, DecoderOptions options)
+      : ref_(ref),
+        code_(std::move(code)),
+        decoder_name_(std::move(decoder_name)),
+        options_(options) {}
+
+  const CodecRef& ref() const { return ref_; }
+  const QCLdpcCode& code() const { return *code_; }
+
+  /// Lease a decoder, building a fresh one when the pool is empty.
+  DecoderLease lease();
+
+  /// Decoders built over this entry's lifetime (pool growth metric).
+  std::size_t decoders_built() const;
+
+ private:
+  friend class DecoderLease;
+  void give_back(std::unique_ptr<Decoder> decoder);
+
+  CodecRef ref_;
+  std::unique_ptr<QCLdpcCode> code_;  ///< stable address: decoders borrow it
+  std::string decoder_name_;
+  DecoderOptions options_;
+
+  mutable std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<Decoder>> pool_;
+  std::size_t decoders_built_ = 0;
+};
+
+struct CodecCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;           ///< entries actually built
+  std::size_t coalesced_waits = 0;  ///< requests that waited on another build
+  std::size_t unknown_codecs = 0;
+  std::size_t entries = 0;
+};
+
+/// The cache itself. Thread-safe; every public method may be called from
+/// any thread.
+class CodecCache {
+ public:
+  /// `decoder_name` / `options` configure every decoder the cache builds
+  /// (make_decoder names; see core/decoder_factory.hpp).
+  explicit CodecCache(std::string decoder_name = "layered-minsum-fixed",
+                      DecoderOptions options = {});
+
+  /// Resolve a wire codec reference. Returns nullptr and sets *error to
+  /// kUnknownCodec when (standard, rate, z) names no bundled code; never
+  /// throws on wire-derived values.
+  std::shared_ptr<CodecEntry> resolve(const CodecRef& ref,
+                                      WireErrorCode* error);
+
+  CodecCacheStats stats() const;
+
+  /// Every CodecRef the cache can build (the service's advertised code
+  /// table set; tests and the load generator enumerate it).
+  static std::vector<CodecRef> all_known_codecs();
+
+ private:
+  /// Single-flight slot: holds the build state one herd coalesces on.
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable ready;
+    bool building = false;
+    bool done = false;
+    std::shared_ptr<CodecEntry> entry;  ///< null after a failed build
+  };
+
+  /// Build the code named by `ref`, or nullptr for unknown refs.
+  static std::unique_ptr<QCLdpcCode> build_code(const CodecRef& ref);
+
+  std::string decoder_name_;
+  DecoderOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<CodecRef, std::shared_ptr<Slot>> slots_;
+  CodecCacheStats stats_;
+};
+
+}  // namespace ldpc::service

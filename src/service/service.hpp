@@ -1,0 +1,252 @@
+// Network-facing decode service: a non-blocking (epoll) TCP front end over
+// the runtime BatchEngine.
+//
+// Layering, wire to decoder:
+//
+//   socket bytes -> FrameReader (hardened framing; fatal errors close)
+//                -> typed frame parse (malformed -> kError response)
+//                -> codec cache resolve (unknown codec -> kError)
+//                -> admission control (deadline / rate / quota gates;
+//                   per-tenant overload policy: park, reject, shed)
+//                -> BatchEngine::submit_task (kRejectNewest at the engine
+//                   queue = the global overload backstop)
+//                -> worker decode on a per-worker per-codec decoder
+//                -> completion queue -> event loop -> response frame
+//
+// Threading: one event-loop thread owns every socket and all service state
+// (connections, parked requests, tenant accounting) under state_mutex_;
+// engine workers only run decode tasks and push completions through a
+// mutex-guarded queue + eventfd. stats() and shutdown() may be called from
+// any thread.
+//
+// Robustness invariants (tests/service_test.cpp enforces these):
+//   * every byte from the wire is hostile — no input can crash, hang, or
+//     leak; malformed frames get typed errors, unframeable streams get one
+//     error then the connection closes;
+//   * every *accepted* request resolves exactly once: a decode response, a
+//     shed/expired response, or (post-deadline drain) kDeadlineExpired —
+//     never silence;
+//   * a slow or dead client gets bounded write buffering then eviction,
+//     never unbounded memory;
+//   * shutdown(deadline) drains: stop accepting, finish or expire in-flight
+//     work, report stragglers — it never hangs past its deadline + a small
+//     cancellation grace.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/batch_engine.hpp"
+#include "service/admission.hpp"
+#include "service/codec_cache.hpp"
+#include "service/wire.hpp"
+
+namespace ldpc::service {
+
+struct ServiceConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back via port().
+  std::uint16_t port = 0;
+  std::size_t max_connections = 256;
+  /// Write-buffer cap per connection: a client that stops reading is
+  /// evicted once its pending responses exceed this many bytes.
+  std::size_t max_write_buffer = 4U << 20;
+  std::size_t max_frame_bytes = kMaxPayloadBytes;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
+  /// shrink it so slow-client eviction triggers without megabytes of
+  /// traffic.
+  int send_buffer_bytes = 0;
+
+  /// Decoder the codec cache builds per (standard, rate, z); see
+  /// core/decoder_factory.hpp for names.
+  std::string decoder_name = "layered-minsum-fixed";
+  DecoderOptions decoder_options;
+  /// Hook run on the *worker thread* when it builds a decoder, after
+  /// `decoder_options` is copied — the place to wire a thread_local
+  /// FaultInjector for chaos runs (see tests/chaos_test.cpp's idiom).
+  std::function<void(DecoderOptions&)> decoder_options_hook;
+
+  /// Engine shape. overload_policy is forced to kRejectNewest — per-tenant
+  /// policy lives in admission control; the engine queue is the global
+  /// backstop and must never block the event loop or silently shed.
+  BatchEngineConfig engine;
+
+  TenantConfig default_tenant;
+  std::map<std::uint32_t, TenantConfig> tenants;
+};
+
+struct ServiceStats {
+  // Connections.
+  std::size_t connections_accepted = 0;
+  std::size_t connections_refused = 0;  ///< over max_connections
+  std::size_t connections_active = 0;
+  std::size_t connections_evicted_slow = 0;  ///< write buffer over cap
+  std::size_t connections_fatal_framing = 0;
+  std::size_t connections_closed_by_peer = 0;
+  // Frames.
+  std::size_t frames_received = 0;
+  std::size_t malformed_frames = 0;  ///< parse errors + bad types
+  std::size_t requests_received = 0;
+  std::size_t responses_sent = 0;
+  std::size_t errors_sent = 0;
+  // Admission outcomes.
+  std::size_t jobs_admitted = 0;   ///< entered the engine (incl. unparked)
+  std::size_t jobs_parked = 0;     ///< ever parked
+  std::size_t jobs_shed = 0;       ///< parked requests evicted (shed-oldest)
+  std::size_t jobs_rate_limited = 0;
+  std::size_t jobs_quota_rejected = 0;
+  std::size_t jobs_deadline_refused = 0;  ///< dead on arrival
+  std::size_t jobs_refused_draining = 0;
+  std::size_t jobs_engine_rejected = 0;  ///< engine queue full
+  /// Connections whose reads were paused for wire-level backpressure (the
+  /// owning tenant's wait line filled); reads resume when capacity frees.
+  std::size_t read_throttle_events = 0;
+  // Completions.
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_deadline_expired = 0;  ///< completed with that status
+  std::size_t jobs_flushed_at_drain = 0;  ///< parked, expired by shutdown
+  // Bytes.
+  std::size_t bytes_read = 0;
+  std::size_t bytes_written = 0;
+
+  CodecCacheStats codec;
+  std::vector<TenantStats> tenants;
+  EngineMetrics engine;
+};
+
+struct ShutdownReport {
+  /// True when every accepted job resolved before the drain deadline
+  /// (without needing forced cancellation).
+  bool drained_clean = false;
+  /// Parked requests answered kDeadlineExpired at the deadline.
+  std::size_t parked_flushed = 0;
+  /// In-flight jobs whose cancel token was tripped at the deadline.
+  std::size_t cancelled_in_flight = 0;
+  /// Engine jobs still running after cancellation grace (from drain_until).
+  std::size_t stragglers = 0;
+  std::vector<std::size_t> straggler_frames;
+};
+
+class DecodeService {
+ public:
+  explicit DecodeService(ServiceConfig config);
+  /// Stops the event loop and the engine; equivalent to
+  /// shutdown(now + 1s) when the caller never drained explicitly.
+  ~DecodeService();
+
+  DecodeService(const DecodeService&) = delete;
+  DecodeService& operator=(const DecodeService&) = delete;
+
+  /// Bind, listen, spawn the engine and the event loop. Throws ldpc::Error
+  /// when the socket cannot be bound.
+  void start();
+
+  /// Port actually bound (after start()).
+  std::uint16_t port() const { return bound_port_; }
+
+  /// Tear-free stats snapshot, callable from any thread.
+  ServiceStats stats() const;
+
+  /// Graceful drain (the SIGTERM path): stop accepting work, answer every
+  /// already-accepted job, expire what cannot finish by `deadline`, then
+  /// stop. Idempotent; concurrent callers get the first call's report.
+  ShutdownReport shutdown(Clock::time_point deadline);
+
+  /// Convenience: drain with a relative timeout.
+  ShutdownReport shutdown_after(std::chrono::nanoseconds timeout) {
+    return shutdown(Clock::now() + timeout);
+  }
+
+ private:
+  struct Connection;
+  struct PendingJob;
+  struct Completion {
+    std::uint64_t serial = 0;
+    DecodeResult result;
+    SaturationStats saturation;
+  };
+
+  void loop_main();
+  void handle_accept();
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  void process_frames(Connection& conn);
+  void handle_decode_request(Connection& conn, DecodeRequest&& request);
+  void submit_to_engine(const std::shared_ptr<PendingJob>& job);
+  void process_completions();
+  void unpark_tenant(std::uint32_t tenant_id);
+  /// Wire-level backpressure: stop reading from `conn` because a request it
+  /// sent parked in `tenant_id`'s wait line. Unread bytes accumulate in the
+  /// kernel buffer and TCP flow control slows the sender — the event loop
+  /// never spends a cycle parsing work the tenant cannot take.
+  void throttle_connection(Connection& conn, std::uint32_t tenant_id);
+  void unthrottle_tenant(std::uint32_t tenant_id);
+  /// Resume reads when the tenant can make progress again (free in-flight
+  /// capacity, or an emptied wait line).
+  void maybe_unthrottle(std::uint32_t tenant_id);
+  void flush_for_drain();
+  void send_bytes(Connection& conn, std::vector<std::uint8_t> bytes);
+  void send_error(Connection& conn, std::uint64_t request_id,
+                  WireErrorCode code, const std::string& detail);
+  void close_connection(int fd, bool evicted, bool by_peer);
+  void update_epoll(Connection& conn);
+  std::string build_stats_json();
+  void post_completion(std::uint64_t serial, const DecodeResult& result,
+                       const SaturationStats& saturation);
+  void wake_loop();
+
+  ServiceConfig config_;
+  std::uint16_t bound_port_ = 0;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int event_fd_ = -1;
+
+  std::unique_ptr<CodecCache> codecs_;
+  std::unique_ptr<BatchEngine> engine_;
+  std::thread loop_thread_;
+
+  // All state below state_mutex_ is owned by the event loop; stats() and
+  // shutdown() take the same mutex from other threads.
+  mutable std::mutex state_mutex_;
+  std::condition_variable drained_cv_;
+  AdmissionController admission_;
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  /// Connections closed during this event-loop tick. Destruction is
+  /// deferred to the next tick so in-flight references (a handler that
+  /// triggered the eviction mid-send) stay valid; the fd itself is closed
+  /// and unmapped immediately.
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+  std::map<std::uint64_t, std::shared_ptr<PendingJob>> pending_;
+  /// Tenant id -> parked serials, oldest first.
+  std::map<std::uint32_t, std::deque<std::uint64_t>> parked_;
+  /// Tenant id -> connections whose reads are paused for backpressure.
+  std::map<std::uint32_t, std::set<int>> throttled_fds_;
+  ServiceStats counters_;
+  std::uint64_t next_serial_ = 1;
+  bool draining_ = false;
+  bool flush_requested_ = false;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::size_t drain_cancelled_ = 0;  ///< in-flight tokens tripped at drain
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  std::mutex shutdown_mutex_;  ///< serializes shutdown(); taken first
+  bool shutdown_done_ = false;
+  ShutdownReport shutdown_report_;
+};
+
+}  // namespace ldpc::service

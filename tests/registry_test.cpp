@@ -1,0 +1,126 @@
+// External-code registry: named codes imported through the alist
+// interchange path and used as first-class entries by the decode service's
+// multi-tenant mixes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codes/alist.hpp"
+#include "codes/encoder.hpp"
+#include "codes/registry.hpp"
+#include "core/decoder_factory.hpp"
+#include "service/codec_cache.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+namespace {
+
+TEST(Registry, NamesAndMetadata) {
+  const auto& names = external_code_names();
+  ASSERT_GE(names.size(), 2U);
+  // The wire protocol indexes this vector: order is ABI, spot-check it.
+  EXPECT_EQ(names[0], "ft8-174");
+  EXPECT_EQ(names[1], "hamsternz-demo-32");
+
+  const ExternalCodeInfo& ft8 = external_code_info("ft8-174");
+  EXPECT_EQ(ft8.n, 174U);
+  EXPECT_EQ(ft8.k, 87U);
+  const ExternalCodeInfo& demo = external_code_info("hamsternz-demo-32");
+  EXPECT_EQ(demo.n, 32U);
+  EXPECT_EQ(demo.k, 16U);
+
+  EXPECT_THROW(external_code_info("no-such-code"), Error);
+  EXPECT_THROW(external_code("no-such-code"), Error);
+}
+
+TEST(Registry, CodesImportWithDeclaredGeometry) {
+  for (const std::string& name : external_code_names()) {
+    SCOPED_TRACE(name);
+    const ExternalCodeInfo& info = external_code_info(name);
+    const QCLdpcCode& code = external_code(name);
+    EXPECT_EQ(code.n(), info.n);
+    EXPECT_EQ(code.k(), info.k);
+    EXPECT_EQ(code.z(), 1);  // registry codes are dense imports
+    // Cached: the same reference comes back.
+    EXPECT_EQ(&external_code(name), &code);
+  }
+}
+
+TEST(Registry, AlistRoundTripIsExact) {
+  // The canonical alist re-imports to a matrix that serializes back to the
+  // identical text — the interchange path is lossless at z = 1.
+  for (const std::string& name : external_code_names()) {
+    SCOPED_TRACE(name);
+    const std::string& text = external_code_alist(name);
+    const QCLdpcCode imported = alist_from_string(text);
+    EXPECT_EQ(to_alist(imported), text);
+  }
+}
+
+TEST(Registry, CorruptAlistIsRejectedTyped) {
+  // Damage the canonical text a few ways; the import path must throw
+  // AlistParseError (a typed refusal), never accept a damaged matrix.
+  const std::string& text = external_code_alist("hamsternz-demo-32");
+  {
+    // Truncate mid-token-list.
+    const std::string damaged = text.substr(0, text.size() / 2);
+    EXPECT_THROW(alist_from_string(damaged), AlistParseError);
+  }
+  {
+    // Out-of-range column index.
+    std::string damaged = text;
+    damaged += " 999999";
+    EXPECT_THROW(alist_from_string(damaged), AlistParseError);
+  }
+  {
+    // Non-numeric garbage.
+    std::string damaged = "not an alist at all";
+    EXPECT_THROW(alist_from_string(damaged), AlistParseError);
+  }
+}
+
+TEST(Registry, CodesEncodeAndDecode) {
+  // Each registry code must be usable end-to-end: encode an info word,
+  // decode its noiseless LLRs, and recover the codeword.
+  for (const std::string& name : external_code_names()) {
+    SCOPED_TRACE(name);
+    const QCLdpcCode& code = external_code(name);
+    const DenseEncoder encoder(code);
+    BitVec info(code.k());
+    for (std::size_t i = 0; i < info.size(); i += 3) info.set(i, true);
+    const BitVec codeword = encoder.encode(info);
+    ASSERT_EQ(codeword.size(), code.n());
+
+    std::vector<float> llr(code.n());
+    for (std::size_t i = 0; i < llr.size(); ++i)
+      llr[i] = codeword.get(i) ? -4.0F : 4.0F;  // positive = bit 0
+    const auto decoder = make_decoder("layered-minsum-fixed", code, {});
+    const DecodeResult result = decoder->decode(llr);
+    EXPECT_EQ(result.status, DecodeStatus::kConverged);
+    for (std::size_t i = 0; i < code.n(); ++i)
+      EXPECT_EQ(result.hard_bits.get(i), codeword.get(i)) << "bit " << i;
+  }
+}
+
+TEST(Registry, ServiceCodecCacheServesRegistryCodes) {
+  // The wire-level view: (kRegistry, index, z=1) resolves to the registry
+  // code; wrong z or index is a typed unknown-codec refusal.
+  service::CodecCache cache;
+  service::WireErrorCode error = service::WireErrorCode::kNone;
+  const auto registry =
+      static_cast<std::uint8_t>(service::CodeStandard::kRegistry);
+  const auto entry = cache.resolve({registry, 0, 1}, &error);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->code().n(), external_code("ft8-174").n());
+
+  EXPECT_EQ(cache.resolve({registry, 0, 2}, &error), nullptr);
+  EXPECT_EQ(error, service::WireErrorCode::kUnknownCodec);
+  const auto bad_index = static_cast<std::uint8_t>(
+      external_code_names().size());
+  EXPECT_EQ(cache.resolve({registry, bad_index, 1}, &error), nullptr);
+  EXPECT_EQ(error, service::WireErrorCode::kUnknownCodec);
+}
+
+}  // namespace
+}  // namespace ldpc
