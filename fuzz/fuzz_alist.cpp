@@ -1,0 +1,28 @@
+// libFuzzer harness for the alist importer — the one parser in the tree
+// that consumes a foreign toolchain's text format. Contract under fuzz:
+// arbitrary input either yields a well-formed z = 1 code or throws
+// AlistParseError; any other exception, crash, or OOM-scale allocation is a
+// bug. Accepted inputs must survive the export -> import round trip.
+//
+// Built two ways: with -fsanitize=fuzzer under clang (LDPC_FUZZER=ON) and
+// with replay_main.cpp everywhere else for the corpus-replay smoke test.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "codes/alist.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const ldpc::QCLdpcCode code = ldpc::alist_from_string(text);
+    // Round trip: what we accepted must re-export and re-import to the same
+    // shape. A mismatch means importer and exporter disagree on the format.
+    const ldpc::QCLdpcCode again = ldpc::alist_from_string(to_alist(code));
+    if (again.n() != code.n() || again.k() != code.k()) __builtin_trap();
+  } catch (const ldpc::AlistParseError&) {
+    // The designed rejection path for malformed input.
+  }
+  return 0;
+}

@@ -25,6 +25,16 @@
 #                        with a notice when clang-tidy is not installed
 #   7. ldpc-lint       — static schedule/hazard analysis over every bundled
 #                        code and both column orders (must exit 0)
+#   8. thread-safety   — clang -Werror=thread-safety build of the annotated
+#                        concurrent layers (LDPC_THREAD_SAFETY=ON); skipped
+#                        with a notice when clang++ is not installed
+#   9. ldpc-verify     — static fixed-point range verification over every
+#                        registered code x {q6, q8} x scaling mode; exits
+#                        nonzero on any unproven-unsafe site; the JSON
+#                        artifact is archived next to the build
+#  10. fuzz replay     — deterministic corpus replay of the wire + alist
+#                        fuzz harnesses (generated seed corpus; runs on any
+#                        compiler, no libFuzzer needed)
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast skips both sanitizer passes (the slowest stages) for quick local
@@ -47,31 +57,31 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # fail the gate, not hang CI forever.
 TEST_TIMEOUT=120
 
-echo "== [1/7] tier-1 verify (LDPC_WERROR=ON) =="
+echo "== [1/10] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT"
 
-echo "== [2/7] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
+echo "== [2/10] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
 cmake -B build-nosimd -S . -DLDPC_SIMD=OFF -DLDPC_WERROR=ON
 cmake --build build-nosimd -j "$JOBS" --target simd_equivalence_test
 ctest --test-dir build-nosimd --output-on-failure --timeout "$TEST_TIMEOUT" \
   -R 'SimdEquivalence'
 
 if [ "$FAST" -eq 0 ]; then
-  echo "== [3/7] ASan + UBSan =="
+  echo "== [3/10] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure --timeout "$TEST_TIMEOUT"
 
-  echo "== [4/7] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
+  echo "== [4/10] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
   cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
   cmake --build build-tsan -j "$JOBS" \
     --target runtime_test chaos_test channel_test
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
     -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds'
 
-  echo "== [5/7] decode service under TSan (tests + chaos load smoke) =="
+  echo "== [5/10] decode service under TSan (tests + chaos load smoke) =="
   cmake --build build-tsan -j "$JOBS" \
     --target service_wire_test registry_test service_test bench_decode_service
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
@@ -84,16 +94,39 @@ if [ "$FAST" -eq 0 ]; then
   ./build-tsan/bench/bench_decode_service --seconds 0.4 --skip-perf-gate \
     --json build-tsan/BENCH_decode_service_smoke.json
 else
-  echo "== [3/7] ASan + UBSan — skipped (--fast) =="
-  echo "== [4/7] ThreadSanitizer — skipped (--fast) =="
-  echo "== [5/7] decode service under TSan — skipped (--fast) =="
+  echo "== [3/10] ASan + UBSan — skipped (--fast) =="
+  echo "== [4/10] ThreadSanitizer — skipped (--fast) =="
+  echo "== [5/10] decode service under TSan — skipped (--fast) =="
 fi
 
-echo "== [6/7] clang-tidy =="
+echo "== [6/10] clang-tidy =="
 cmake --build build --target lint
 
-echo "== [7/7] ldpc-lint over all bundled codes =="
+echo "== [7/10] ldpc-lint over all bundled codes =="
 ./build/src/analysis/ldpc-lint
 ./build/src/analysis/ldpc-lint --order hazard
+
+echo "== [8/10] clang thread-safety analysis (LDPC_THREAD_SAFETY=ON) =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DLDPC_THREAD_SAFETY=ON -DLDPC_WERROR=ON
+  # The annotated concurrent layers and everything linking them; any lock-
+  # discipline violation is a compile error here.
+  cmake --build build-tsafety -j "$JOBS" \
+    --target ldpc_runtime ldpc_service ldpc_codes
+else
+  echo "thread-safety: clang++ not installed - skipping (annotations are"
+  echo "no-ops under this compiler; install clang to enable the analysis)"
+fi
+
+echo "== [9/10] ldpc-verify static range verification =="
+# Nonzero exit = a datapath site can exceed its rails with no clamp there.
+./build/src/analysis/ldpc-verify --all-codes \
+  --json build/RANGE_VERIFY.json
+echo "range-verify artifact: build/RANGE_VERIFY.json"
+
+echo "== [10/10] fuzz corpus replay smoke =="
+ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT" \
+  -R 'fuzz_'
 
 echo "All checks passed."

@@ -29,6 +29,7 @@
 #include "analysis/layer_reorder.hpp"
 #include "analysis/opgraph_lint.hpp"
 #include "analysis/pipeline_model.hpp"
+#include "analysis/verify_cli.hpp"
 #include "codes/wifi.hpp"
 #include "codes/wimax.hpp"
 #include "util/cli.hpp"
@@ -195,6 +196,11 @@ int run_defect(const std::string& kind) {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  // `ldpc-lint verify ...` forwards to the range verifier (also built as
+  // the standalone ldpc-verify binary).
+  if (argc > 1 && std::string(argv[1]) == "verify")
+    return run_verify_cli(argc - 1, argv + 1);
+
   const CliArgs args(argc, argv,
                      {"clock", "code", "z", "order", "iterations", "reorder",
                       "verbose", "selftest-defect"});

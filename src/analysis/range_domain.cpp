@@ -1,0 +1,200 @@
+#include "analysis/range_domain.hpp"
+
+#include <array>
+
+namespace ldpc {
+
+namespace {
+
+constexpr std::int64_t kNegInf = Interval::kNegInf;
+constexpr std::int64_t kPosInf = Interval::kPosInf;
+
+}  // namespace
+
+const char* to_string(Sign s) {
+  switch (s) {
+    case Sign::kBottom:  return "bottom";
+    case Sign::kZero:    return "0";
+    case Sign::kNeg:     return "-";
+    case Sign::kPos:     return "+";
+    case Sign::kNonPos:  return "<=0";
+    case Sign::kNonNeg:  return ">=0";
+    case Sign::kNonZero: return "!=0";
+    case Sign::kTop:     return "any";
+  }
+  return "?";
+}
+
+Sign sign_join(Sign a, Sign b) {
+  if (a == b) return a;
+  if (a == Sign::kBottom) return b;
+  if (b == Sign::kBottom) return a;
+  // Encode each element as the subset of {neg, zero, pos} it covers, join
+  // as set union, decode. Three bits: 1 = neg, 2 = zero, 4 = pos.
+  auto bits = [](Sign s) -> unsigned {
+    switch (s) {
+      case Sign::kBottom:  return 0;
+      case Sign::kZero:    return 2;
+      case Sign::kNeg:     return 1;
+      case Sign::kPos:     return 4;
+      case Sign::kNonPos:  return 3;
+      case Sign::kNonNeg:  return 6;
+      case Sign::kNonZero: return 5;
+      case Sign::kTop:     return 7;
+    }
+    return 7;
+  };
+  static constexpr std::array<Sign, 8> kDecode = {
+      Sign::kBottom, Sign::kNeg,    Sign::kZero,   Sign::kNonPos,
+      Sign::kPos,    Sign::kNonZero, Sign::kNonNeg, Sign::kTop};
+  return kDecode[bits(a) | bits(b)];
+}
+
+std::string Interval::str() const {
+  if (empty()) return "[]";
+  std::string s = "[";
+  s += lo == kNegInf ? "-inf" : std::to_string(lo);
+  s += ", ";
+  s += hi == kPosInf ? "+inf" : std::to_string(hi);
+  s += "]";
+  return s;
+}
+
+std::int64_t sat64_add(std::int64_t a, std::int64_t b) {
+  // The infinities absorb; finite overflow saturates to the matching rail.
+  if (a == kPosInf || b == kPosInf) return kPosInf;
+  if (a == kNegInf || b == kNegInf) return kNegInf;
+  if (b > 0 && a > kPosInf - b) return kPosInf;
+  if (b < 0 && a < kNegInf - b) return kNegInf;
+  return a + b;
+}
+
+std::int64_t sat64_neg(std::int64_t a) {
+  if (a == kNegInf) return kPosInf;
+  if (a == kPosInf) return kNegInf;
+  return -a;
+}
+
+Interval interval_join(const Interval& a, const Interval& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval interval_meet(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::bottom();
+  const Interval m{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  return m.lo <= m.hi ? m : Interval::bottom();
+}
+
+Interval interval_widen(const Interval& prev, const Interval& next) {
+  if (prev.empty()) return next;
+  if (next.empty()) return prev;
+  return Interval{next.lo < prev.lo ? kNegInf : prev.lo,
+                  next.hi > prev.hi ? kPosInf : prev.hi};
+}
+
+Interval interval_add(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::bottom();
+  return Interval{sat64_add(a.lo, b.lo), sat64_add(a.hi, b.hi)};
+}
+
+Interval interval_sub(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::bottom();
+  return Interval{sat64_add(a.lo, sat64_neg(b.hi)),
+                  sat64_add(a.hi, sat64_neg(b.lo))};
+}
+
+Interval interval_neg(const Interval& a) {
+  if (a.empty()) return a;
+  return Interval{sat64_neg(a.hi), sat64_neg(a.lo)};
+}
+
+Interval interval_abs(const Interval& a) {
+  if (a.empty()) return a;
+  if (a.lo >= 0) return a;
+  if (a.hi <= 0) return interval_neg(a);
+  return Interval{0, std::max(sat64_neg(a.lo), a.hi)};
+}
+
+Interval interval_min(const Interval& a, const Interval& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return Interval{std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval interval_plus_minus(const Interval& mag) {
+  return interval_join(mag, interval_neg(mag));
+}
+
+namespace {
+
+/// Concrete scale_three_quarters on a non-negative int64 (same truncation
+/// per shift as util/saturate.hpp; >> on non-negative values is division).
+std::int64_t scale34(std::int64_t x) {
+  if (x == kPosInf) return kPosInf;
+  return (x >> 1) + (x >> 2);
+}
+
+}  // namespace
+
+Interval interval_scale_three_quarters(const Interval& mag) {
+  if (mag.empty()) return mag;
+  LDPC_CHECK(mag.lo >= 0);  // magnitudes only, like the concrete datapath
+  // f(x) = (x>>1)+(x>>2) is monotone non-decreasing on x >= 0, so the
+  // endpoint image is exact.
+  return Interval{scale34(mag.lo), scale34(mag.hi)};
+}
+
+Interval interval_scale_num_den(const Interval& mag, std::int64_t num,
+                                std::int64_t den) {
+  if (mag.empty()) return mag;
+  LDPC_CHECK(mag.lo >= 0 && num > 0 && den > 0);
+  auto f = [&](std::int64_t x) {
+    if (x == kPosInf) return kPosInf;
+    return x * num / den;  // bounded by the caller's rails, no overflow
+  };
+  return Interval{f(mag.lo), f(mag.hi)};
+}
+
+Interval interval_offset(const Interval& mag, std::int64_t offset) {
+  if (mag.empty()) return mag;
+  LDPC_CHECK(mag.lo >= 0 && offset >= 0);
+  auto f = [&](std::int64_t x) {
+    if (x == kPosInf) return kPosInf;
+    return std::max<std::int64_t>(0, x - offset);
+  };
+  return Interval{f(mag.lo), f(mag.hi)};
+}
+
+Interval interval_clamp(const Interval& a, std::int64_t rail_lo,
+                        std::int64_t rail_hi) {
+  LDPC_CHECK(rail_lo <= rail_hi);
+  if (a.empty()) return a;
+  return Interval{std::clamp(a.lo, rail_lo, rail_hi),
+                  std::clamp(a.hi, rail_lo, rail_hi)};
+}
+
+Sign interval_sign(const Interval& a) {
+  if (a.empty()) return Sign::kBottom;
+  if (a.lo == 0 && a.hi == 0) return Sign::kZero;
+  if (a.lo > 0) return Sign::kPos;
+  if (a.hi < 0) return Sign::kNeg;
+  if (a.lo == 0) return Sign::kNonNeg;
+  if (a.hi == 0) return Sign::kNonPos;
+  return Sign::kTop;
+}
+
+int required_bits(const Interval& a) {
+  if (!a.bounded()) return -1;
+  // Smallest w with -(2^(w-1)) <= lo and hi <= 2^(w-1) - 1; the fixed
+  // formats floor at 2 bits.
+  for (int w = 2; w <= 62; ++w) {
+    const std::int64_t rail_hi = (std::int64_t{1} << (w - 1)) - 1;
+    const std::int64_t rail_lo = -(std::int64_t{1} << (w - 1));
+    if (a.lo >= rail_lo && a.hi <= rail_hi) return w;
+  }
+  return 63;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,133 @@
+// Abstract domains for the static value-range verifier.
+//
+// The verifier (range_verify.hpp) runs an abstract interpretation of the
+// layered min-sum datapath: every message site is tracked as an interval
+// [lo, hi] of the int64 concrete values the site can carry, paired with a
+// sign summary. The transfer functions below mirror the concrete kernel
+// arithmetic in util/saturate.hpp / LayerRowKernel exactly — each one is
+// the tightest interval extension of the corresponding concrete operation
+// on the inputs it can actually receive (monotone operand-wise, so mapping
+// the endpoints is sound AND precise; the unit tests brute-force this
+// against the concrete functions).
+//
+// INT64_MIN/MAX act as -inf/+inf so the unbounded quantizer input is
+// representable; arithmetic saturates at the sentinels instead of wrapping.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+/// Sign lattice: kBottom < {kZero, kNeg, kPos} < mixed joins < kTop.
+enum class Sign : std::uint8_t {
+  kBottom,   ///< no value seen yet
+  kZero,     ///< exactly 0
+  kNeg,      ///< strictly negative
+  kPos,      ///< strictly positive
+  kNonPos,   ///< <= 0
+  kNonNeg,   ///< >= 0
+  kNonZero,  ///< != 0
+  kTop,      ///< any sign
+};
+
+const char* to_string(Sign s);
+
+/// Least upper bound in the sign lattice.
+Sign sign_join(Sign a, Sign b);
+
+struct Interval {
+  static constexpr std::int64_t kNegInf =
+      std::numeric_limits<std::int64_t>::min();
+  static constexpr std::int64_t kPosInf =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::int64_t lo = 1;  ///< lo > hi encodes the empty interval (bottom)
+  std::int64_t hi = 0;
+
+  static constexpr Interval bottom() { return Interval{1, 0}; }
+  static constexpr Interval top() { return Interval{kNegInf, kPosInf}; }
+  static constexpr Interval point(std::int64_t v) { return Interval{v, v}; }
+  static Interval of(std::int64_t lo, std::int64_t hi) {
+    LDPC_CHECK(lo <= hi);
+    return Interval{lo, hi};
+  }
+
+  bool empty() const { return lo > hi; }
+  bool is_point() const { return lo == hi; }
+  bool bounded() const { return !empty() && lo != kNegInf && hi != kPosInf; }
+  bool contains(std::int64_t v) const { return !empty() && lo <= v && v <= hi; }
+  bool contains(const Interval& o) const {
+    return o.empty() || (!empty() && lo <= o.lo && o.hi <= hi);
+  }
+  bool operator==(const Interval& o) const {
+    return (empty() && o.empty()) || (lo == o.lo && hi == o.hi);
+  }
+
+  std::string str() const;
+};
+
+/// Saturating int64 helpers (the infinities absorb instead of wrapping).
+std::int64_t sat64_add(std::int64_t a, std::int64_t b);
+std::int64_t sat64_neg(std::int64_t a);
+
+/// Least upper bound: smallest interval containing both.
+Interval interval_join(const Interval& a, const Interval& b);
+
+/// Greatest lower bound (may be empty).
+Interval interval_meet(const Interval& a, const Interval& b);
+
+/// Standard interval widening: any bound that grew versus `prev` jumps to
+/// its infinity, guaranteeing fixpoint termination on diverging chains.
+/// (The datapath's clamps bound every cycle in practice — iteration
+/// converges without widening — but the engine still applies this after a
+/// fixed iteration budget so termination never depends on that property.)
+Interval interval_widen(const Interval& prev, const Interval& next);
+
+// ---- transfer functions (exact extensions of the concrete kernel ops) ----
+
+Interval interval_add(const Interval& a, const Interval& b);
+Interval interval_sub(const Interval& a, const Interval& b);
+Interval interval_neg(const Interval& a);
+
+/// |x| — the magnitude extraction of CheckState::absorb.
+Interval interval_abs(const Interval& a);
+
+/// min(x, y) over all pairs — the min1/min2 running-minimum transfer: the
+/// minimum of k >= 1 draws from `a` lies in [a.lo, a.hi], and folding with
+/// further operands is exactly this pairwise min.
+Interval interval_min(const Interval& a, const Interval& b);
+
+/// ± union: the sign re-application `negative ? -mag : mag` when the sign
+/// is unknown — join of the interval and its negation.
+Interval interval_plus_minus(const Interval& mag);
+
+/// (x>>1) + (x>>2), truncating per shift — scale_three_quarters on a
+/// non-negative magnitude interval.
+Interval interval_scale_three_quarters(const Interval& mag);
+
+/// (x * num) / den, truncating — LayerRowKernel's ablation scaling path.
+/// Requires a non-negative interval and num, den > 0.
+Interval interval_scale_num_den(const Interval& mag, std::int64_t num,
+                                std::int64_t den);
+
+/// max(0, x - offset) — the offset-min-sum correction.
+Interval interval_offset(const Interval& mag, std::int64_t offset);
+
+/// Clamp into [rail_lo, rail_hi] — sat_clamp's interval image (never empty
+/// for a non-empty input: clamping maps outside values onto the rails).
+Interval interval_clamp(const Interval& a, std::int64_t rail_lo,
+                        std::int64_t rail_hi);
+
+/// Sign summary of an interval.
+Sign interval_sign(const Interval& a);
+
+/// Minimal two's-complement width holding every value of `a` (>= 2 by the
+/// fixed-format floor), or -1 when the interval is unbounded/empty.
+int required_bits(const Interval& a);
+
+}  // namespace ldpc

@@ -1,0 +1,375 @@
+#include "analysis/range_verify.hpp"
+
+#include <algorithm>
+
+#include "hls/pico.hpp"
+#include "util/saturate.hpp"
+
+namespace ldpc {
+
+namespace {
+
+/// Iterations before widening kicks in. The clamps bound every memory cell,
+/// so real runs reach the fixpoint in 2-3 iterations; the budget only
+/// guarantees termination if a future kernel variant removes a clamp.
+constexpr int kWidenAfter = 8;
+constexpr int kMaxIterations = 16;
+
+/// Unsigned capacity of a `bits`-wide magnitude register.
+constexpr std::int64_t unsigned_cap(int bits) {
+  return (std::int64_t{1} << bits) - 1;
+}
+
+/// Minimal unsigned register width for a non-negative bound.
+int required_unsigned_bits(std::int64_t hi) {
+  int w = 1;
+  while (unsigned_cap(w) < hi) ++w;
+  return w;
+}
+
+/// Apply the kernel's magnitude correction as an interval transfer.
+Interval scale_transfer(const ScalingSpec& s, const Interval& mag) {
+  switch (s.kind) {
+    case ScaleKind::kThreeQuarters:
+      return interval_scale_three_quarters(mag);
+    case ScaleKind::kNumDen:
+      return interval_scale_num_den(mag, s.num, s.den);
+    case ScaleKind::kOffset:
+      return interval_offset(mag, s.offset_code);
+  }
+  return mag;
+}
+
+struct SiteAccumulator {
+  Interval wide = Interval::bottom();
+  Interval value = Interval::bottom();
+
+  void record(const Interval& pre, const Interval& post) {
+    wide = interval_join(wide, pre);
+    value = interval_join(value, post);
+  }
+};
+
+}  // namespace
+
+std::string ScalingSpec::name() const {
+  switch (kind) {
+    case ScaleKind::kThreeQuarters:
+      return "3/4-shift-add";
+    case ScaleKind::kNumDen:
+      return "scale-" + std::to_string(num) + "/" + std::to_string(den);
+    case ScaleKind::kOffset:
+      return "offset-" + std::to_string(offset_code);
+  }
+  return "?";
+}
+
+ScalingSpec ScalingSpec::from_kernel(const LayerRowKernel& kernel) {
+  ScalingSpec s;
+  if (kernel.offset_code() >= 0) {
+    s.kind = ScaleKind::kOffset;
+    s.offset_code = kernel.offset_code();
+  } else if (kernel.scale_numerator() == 3 && kernel.scale_denominator() == 4) {
+    s.kind = ScaleKind::kThreeQuarters;
+  } else {
+    s.kind = ScaleKind::kNumDen;
+    s.num = kernel.scale_numerator();
+    s.den = kernel.scale_denominator();
+  }
+  return s;
+}
+
+CodeFacts CodeFacts::from_code(const std::string& name,
+                               const QCLdpcCode& code) {
+  CodeFacts f;
+  f.name = name;
+  f.n = code.n();
+  f.z = static_cast<std::size_t>(code.z());
+  f.layers = code.num_layers();
+  f.min_row_degree = static_cast<std::size_t>(-1);
+  f.max_row_degree = 0;
+  for (const auto& layer : code.layers()) {
+    f.min_row_degree = std::min(f.min_row_degree, layer.size());
+    f.max_row_degree = std::max(f.max_row_degree, layer.size());
+  }
+  if (f.layers == 0) f.min_row_degree = 0;
+  f.has_degenerate_rows = f.min_row_degree < 2;
+  return f;
+}
+
+const char* to_string(RangeSite site) {
+  switch (site) {
+    case RangeSite::kQuantizer:    return "quantizer";
+    case RangeSite::kQ:            return "Q=P-R";
+    case RangeSite::kMinMagnitude: return "min1/min2";
+    case RangeSite::kScale:        return "scaled-magnitude";
+    case RangeSite::kRNew:         return "R'";
+    case RangeSite::kPNew:         return "P'=Q+R'";
+  }
+  return "?";
+}
+
+bool RangeReport::all_safe() const {
+  return std::all_of(sites.begin(), sites.end(),
+                     [](const SiteBound& s) { return s.safe(); });
+}
+
+RangeReport verify_ranges(const CodeFacts& facts,
+                          const LayerRowKernel& kernel) {
+  const FixedFormat format = kernel.format();
+  const ScalingSpec scaling = ScalingSpec::from_kernel(kernel);
+  const std::int64_t rail_lo = fixed_min(format.total_bits);
+  const std::int64_t rail_hi = fixed_max(format.total_bits);
+  const Interval rails = Interval::of(rail_lo, rail_hi);
+  const Interval zero = Interval::point(0);
+
+  // Abstract memory state: one interval per memory, joined across all
+  // cells, layers and iterations (a sound summary — every concrete cell
+  // value is contained in it at every step).
+  Interval p_mem = rails;  // quantizer output: clamped to the rails
+  Interval r_mem = zero;   // R memory starts zeroed
+
+  SiteAccumulator acc_q;
+  SiteAccumulator acc_mag;
+  SiteAccumulator acc_scale;
+  SiteAccumulator acc_r;
+  SiteAccumulator acc_p;
+
+  int iterations = 0;
+  bool widened = false;
+  for (; iterations < kMaxIterations; ++iterations) {
+    // Stage 1: Q = P - R (saturating subtract).
+    const Interval q_wide = interval_sub(p_mem, r_mem);
+    const Interval q = interval_clamp(q_wide, rail_lo, rail_hi);
+    acc_q.record(q_wide, q);
+
+    // min1/min2: |Q| folded through the running minimum. The minimum of
+    // k >= 1 draws from [a, b] stays inside [a, b], so the magnitude
+    // interval is the (exact) bound of both state registers for every row
+    // degree — which is what makes the verdict code-independent.
+    const Interval mag = interval_abs(q);
+    acc_mag.record(mag, mag);
+
+    // Magnitude correction (pure function, no clamp).
+    const Interval scaled = scale_transfer(scaling, mag);
+    acc_scale.record(scaled, scaled);
+
+    // Stage 2: sign re-application (sign_product ^ sign(Q) is unknown to
+    // the domain: +-), then the R' clamp. Degenerate rows force R' = 0
+    // before the clamp, which the join with {0} already covers via the
+    // zeroed initial R memory — recorded explicitly anyway for reports.
+    Interval r_wide = interval_plus_minus(scaled);
+    if (facts.has_degenerate_rows) r_wide = interval_join(r_wide, zero);
+    const Interval r_new = interval_clamp(r_wide, rail_lo, rail_hi);
+    acc_r.record(r_wide, r_new);
+
+    // Stage 2: P' = Q + R' (saturating add).
+    const Interval p_wide = interval_add(q, r_new);
+    const Interval p_new = interval_clamp(p_wide, rail_lo, rail_hi);
+    acc_p.record(p_wide, p_new);
+
+    // Join the write-backs into the memory state; fixpoint when stable.
+    Interval p_next = interval_join(p_mem, p_new);
+    Interval r_next = interval_join(r_mem, r_new);
+    if (iterations >= kWidenAfter) {
+      p_next = interval_widen(p_mem, p_next);
+      r_next = interval_widen(r_mem, r_next);
+      widened = true;
+    }
+    if (p_next == p_mem && r_next == r_mem) {
+      ++iterations;
+      break;
+    }
+    p_mem = p_next;
+    r_mem = r_next;
+  }
+
+  RangeReport report;
+  report.code = facts;
+  report.format = format;
+  report.scaling = scaling;
+  report.iterations_to_fixpoint = iterations;
+  report.widening_applied = widened;
+  report.sites.resize(kNumRangeSites);
+
+  auto fill = [&](RangeSite site, const SiteAccumulator& acc, bool has_clamp,
+                  const Interval& site_rails) {
+    SiteBound b;
+    b.site = site;
+    b.wide = acc.wide;
+    b.value = acc.value;
+    b.sign = interval_sign(acc.value);
+    b.has_clamp = has_clamp;
+    b.proven_unsaturable = site_rails.contains(acc.wide);
+    b.clamp_required = !b.proven_unsaturable;
+    b.min_safe_bits = required_bits(acc.wide);
+    b.implemented_bits = format.total_bits;
+    report.sites[static_cast<std::size_t>(site)] = b;
+  };
+
+  // Quantizer: unbounded float input, clamped at the rails.
+  {
+    SiteAccumulator quant;
+    quant.record(Interval::top(), rails);
+    fill(RangeSite::kQuantizer, quant, /*has_clamp=*/true, rails);
+  }
+  fill(RangeSite::kQ, acc_q, /*has_clamp=*/true, rails);
+  // min1/min2 live in w-bit *unsigned magnitude* registers (hardware) /
+  // int32 (software): their capacity is [0, 2^w - 1], not the signed rails.
+  const Interval mag_rails = Interval::of(0, unsigned_cap(format.total_bits));
+  fill(RangeSite::kMinMagnitude, acc_mag, /*has_clamp=*/false, mag_rails);
+  fill(RangeSite::kScale, acc_scale, /*has_clamp=*/false, mag_rails);
+  fill(RangeSite::kRNew, acc_r, /*has_clamp=*/true, rails);
+  fill(RangeSite::kPNew, acc_p, /*has_clamp=*/true, rails);
+  return report;
+}
+
+RangeReport verify_ranges(const CodeFacts& facts, FixedFormat format,
+                          const ScalingSpec& scaling) {
+  switch (scaling.kind) {
+    case ScaleKind::kThreeQuarters:
+      return verify_ranges(facts, LayerRowKernel(format));
+    case ScaleKind::kNumDen:
+      return verify_ranges(facts,
+                           LayerRowKernel(format, scaling.num, scaling.den));
+    case ScaleKind::kOffset:
+      return verify_ranges(
+          facts, LayerRowKernel::offset_kernel(format, scaling.offset_code));
+  }
+  return verify_ranges(facts, LayerRowKernel(format));
+}
+
+std::vector<OpWidthFinding> audit_opgraph_widths(const RangeReport& report,
+                                                 const OpGraph& core1,
+                                                 const OpGraph& core2) {
+  std::vector<OpWidthFinding> findings;
+
+  // Which proven bound each labelled register/operator must hold. Signed
+  // sites compare two's-complement widths; magnitude sites (|Q|, min1/min2,
+  // the scaler) are unsigned registers in the sign-magnitude datapath.
+  struct NodeRule {
+    const char* label;
+    RangeSite site;
+    bool is_unsigned;
+  };
+  static constexpr NodeRule kRules[] = {
+      {"P_read", RangeSite::kPNew, false},
+      {"R_read", RangeSite::kRNew, false},
+      {"Q=P-R", RangeSite::kQ, false},
+      {"|Q|", RangeSite::kMinMagnitude, true},
+      {"min1_upd", RangeSite::kMinMagnitude, true},
+      {"min2_upd", RangeSite::kMinMagnitude, true},
+      {"min_select", RangeSite::kMinMagnitude, true},
+      {"0.75x", RangeSite::kScale, true},
+      {"apply_sign", RangeSite::kRNew, false},
+      {"P'=Q+R'", RangeSite::kPNew, false},
+      {"R_write", RangeSite::kRNew, false},
+      {"P_write", RangeSite::kPNew, false},
+  };
+
+  auto audit_graph = [&](const OpGraph& graph) {
+    for (const OpNode& node : graph.nodes()) {
+      for (const NodeRule& rule : kRules) {
+        if (node.label != rule.label) continue;
+        const SiteBound& bound = report.site(rule.site);
+        OpWidthFinding f;
+        f.node = node.label;
+        f.declared_bits = node.width;
+        if (rule.is_unsigned) {
+          f.required_bits = required_unsigned_bits(bound.value.hi);
+          f.clamp_free_bits = required_unsigned_bits(bound.wide.hi);
+          f.ok = unsigned_cap(node.width) >= bound.value.hi;
+          f.detail = "unsigned magnitude register, value " + bound.value.str();
+        } else {
+          f.required_bits = required_bits(bound.value);
+          f.clamp_free_bits = required_bits(bound.wide);
+          f.ok = f.required_bits > 0 && node.width >= f.required_bits;
+          f.detail = "two's-complement, value " + bound.value.str() +
+                     ", pre-clamp " + bound.wide.str();
+        }
+        findings.push_back(std::move(f));
+      }
+    }
+  };
+  audit_graph(core1);
+  audit_graph(core2);
+  return findings;
+}
+
+namespace {
+
+std::string json_interval(const Interval& v) {
+  if (v.empty()) return "null";
+  std::string s = "[";
+  s += v.lo == Interval::kNegInf ? "null" : std::to_string(v.lo);
+  s += ", ";
+  s += v.hi == Interval::kPosInf ? "null" : std::to_string(v.hi);
+  s += "]";
+  return s;
+}
+
+const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string range_reports_json(const std::vector<RangeReport>& reports) {
+  std::string out = "{\n  \"tool\": \"ldpc-verify\",\n  \"reports\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const RangeReport& r = reports[i];
+    out += "    {\n";
+    out += "      \"code\": \"" + r.code.name + "\",\n";
+    out += "      \"n\": " + std::to_string(r.code.n) + ",\n";
+    out += "      \"z\": " + std::to_string(r.code.z) + ",\n";
+    out += "      \"layers\": " + std::to_string(r.code.layers) + ",\n";
+    out += "      \"row_degree\": [" + std::to_string(r.code.min_row_degree) +
+           ", " + std::to_string(r.code.max_row_degree) + "],\n";
+    out += "      \"degenerate_rows\": " +
+           std::string(json_bool(r.code.has_degenerate_rows)) + ",\n";
+    out += "      \"format\": \"" + r.format.name() + "\",\n";
+    out += "      \"total_bits\": " + std::to_string(r.format.total_bits) +
+           ",\n";
+    out += "      \"scaling\": \"" + r.scaling.name() + "\",\n";
+    out += "      \"iterations_to_fixpoint\": " +
+           std::to_string(r.iterations_to_fixpoint) + ",\n";
+    out += "      \"widening_applied\": " +
+           std::string(json_bool(r.widening_applied)) + ",\n";
+    out += "      \"all_safe\": " + std::string(json_bool(r.all_safe())) +
+           ",\n";
+    out += "      \"sites\": [\n";
+    for (std::size_t s = 0; s < r.sites.size(); ++s) {
+      const SiteBound& b = r.sites[s];
+      out += "        {\"site\": \"" + std::string(to_string(b.site)) +
+             "\", \"wide\": " + json_interval(b.wide) +
+             ", \"value\": " + json_interval(b.value) + ", \"sign\": \"" +
+             to_string(b.sign) + "\", \"has_clamp\": " +
+             json_bool(b.has_clamp) + ", \"proven_unsaturable\": " +
+             json_bool(b.proven_unsaturable) + ", \"clamp_required\": " +
+             json_bool(b.clamp_required) + ", \"min_safe_bits\": " +
+             std::to_string(b.min_safe_bits) + ", \"implemented_bits\": " +
+             std::to_string(b.implemented_bits) + ", \"safe\": " +
+             json_bool(b.safe()) + "}";
+      out += s + 1 < r.sites.size() ? ",\n" : "\n";
+    }
+    out += "      ],\n";
+    // Width audit against the HLS graphs built for this report's format.
+    const PicoCompiler pico(r.format);
+    const auto audit = audit_opgraph_widths(r, pico.build_core1_graph(),
+                                            pico.build_core2_graph());
+    out += "      \"opgraph_audit\": [\n";
+    for (std::size_t a = 0; a < audit.size(); ++a) {
+      const OpWidthFinding& f = audit[a];
+      out += "        {\"node\": \"" + f.node +
+             "\", \"declared_bits\": " + std::to_string(f.declared_bits) +
+             ", \"required_bits\": " + std::to_string(f.required_bits) +
+             ", \"clamp_free_bits\": " + std::to_string(f.clamp_free_bits) +
+             ", \"ok\": " + json_bool(f.ok) + "}";
+      out += a + 1 < audit.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n";
+    out += i + 1 < reports.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace ldpc

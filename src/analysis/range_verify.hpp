@@ -1,0 +1,153 @@
+// Static value-range / bit-width verifier for the fixed-point layered
+// min-sum datapath (the tentpole of docs/static_analysis.md §ranges).
+//
+// For one (code, message format, scaling mode) combination the verifier
+// runs an abstract interpretation of Algorithm 1 over the interval + sign
+// domains (range_domain.hpp): starting from the quantizer's rail-bounded
+// posterior memory and zeroed check messages, it pushes intervals through
+// the exact kernel transfer functions — Q = P - R, |Q|, the min1/min2
+// running minimum, the magnitude correction, the sign re-application, the
+// R'/P' clamps — joining the memory state across layer passes until a
+// fixpoint. The result is, per datapath site:
+//
+//   wide     the guaranteed bound of the value BEFORE any clamp — what a
+//            clamp-free datapath register would have to hold
+//   value    the bound after the site's clamp (= wide when proven narrow)
+//   proven_unsaturable   wide already fits the format rails: the clamp can
+//            never fire, for ANY code and ANY input (the runtime
+//            cross-check test asserts the matching SaturationStats counter
+//            stays zero)
+//   clamp_required       wide exceeds the rails: removing the clamp would
+//            corrupt messages; the implementation must keep it
+//   min_safe_bits        minimal two's-complement width holding `wide` —
+//            the word length at which the site needs no clamp at all
+//
+// A site is UNSAFE when its value can exceed the rails and the
+// implementation has no clamp there; ldpc-verify exits nonzero on any
+// unsafe site. The proofs are degree- and code-independent (the min of k
+// magnitudes is bounded by the magnitude bound for every k >= 1), so one
+// verdict covers every registered code; per-code facts (degree range,
+// degenerate rows) are still folded in and reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/range_domain.hpp"
+#include "codes/qc_code.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "core/quant.hpp"
+#include "hls/opgraph.hpp"
+
+namespace ldpc {
+
+/// The magnitude-correction variants LayerRowKernel implements.
+enum class ScaleKind : std::uint8_t {
+  kThreeQuarters,  ///< (x>>1) + (x>>2), the paper's multiplier-free 0.75
+  kNumDen,         ///< truncating x * num / den (ablation sweeps)
+  kOffset,         ///< max(x - offset, 0), offset min-sum
+};
+
+struct ScalingSpec {
+  ScaleKind kind = ScaleKind::kThreeQuarters;
+  std::int32_t num = 3;          ///< kNumDen only
+  std::int32_t den = 4;          ///< kNumDen only
+  std::int32_t offset_code = 0;  ///< kOffset only
+
+  std::string name() const;
+
+  /// The spec a LayerRowKernel actually executes (reads the kernel's
+  /// correction parameters so verifier and implementation cannot drift).
+  static ScalingSpec from_kernel(const LayerRowKernel& kernel);
+};
+
+/// Per-code facts the abstract interpretation consumes.
+struct CodeFacts {
+  std::string name;
+  std::size_t n = 0;
+  std::size_t z = 0;
+  std::size_t layers = 0;
+  std::size_t min_row_degree = 0;  ///< nonzero blocks in the sparsest layer
+  std::size_t max_row_degree = 0;
+  bool has_degenerate_rows = false;  ///< any layer of degree < 2
+
+  static CodeFacts from_code(const std::string& name, const QCLdpcCode& code);
+};
+
+/// The datapath sites the verifier proves bounds for.
+enum class RangeSite : std::uint8_t {
+  kQuantizer,     ///< channel LLR -> code (unbounded input)
+  kQ,             ///< stage 1: Q = P - R
+  kMinMagnitude,  ///< |Q| into the min1/min2 state registers
+  kScale,         ///< corrected magnitude (pure function, no clamp)
+  kRNew,          ///< stage 2: R' after sign re-application
+  kPNew,          ///< stage 2: P' = Q + R'
+};
+
+inline constexpr std::size_t kNumRangeSites = 6;
+
+const char* to_string(RangeSite site);
+
+struct SiteBound {
+  RangeSite site = RangeSite::kQuantizer;
+  Interval wide;      ///< pre-clamp fixpoint bound
+  Interval value;     ///< post-clamp bound (what downstream sites consume)
+  Sign sign = Sign::kBottom;
+  bool has_clamp = false;           ///< implementation clamps here
+  bool proven_unsaturable = false;  ///< wide fits the rails already
+  bool clamp_required = false;      ///< wide exceeds the rails
+  int min_safe_bits = -1;           ///< width making the site clamp-free
+  int implemented_bits = 0;         ///< format.total_bits
+
+  /// Unsafe = can exceed the rails with nothing there to catch it.
+  bool safe() const { return proven_unsaturable || has_clamp; }
+};
+
+/// Verdict for one (code, format, scaling) combination.
+struct RangeReport {
+  CodeFacts code;
+  FixedFormat format;
+  ScalingSpec scaling;
+  std::vector<SiteBound> sites;  ///< kNumRangeSites entries, enum order
+  int iterations_to_fixpoint = 0;
+  bool widening_applied = false;
+
+  const SiteBound& site(RangeSite s) const {
+    return sites[static_cast<std::size_t>(s)];
+  }
+  bool all_safe() const;
+};
+
+/// Run the abstract interpretation. `kernel` supplies the format and the
+/// correction parameters (build one exactly like the decoder under audit).
+RangeReport verify_ranges(const CodeFacts& facts, const LayerRowKernel& kernel);
+
+/// Convenience: spec-driven entry (constructs the matching kernel).
+RangeReport verify_ranges(const CodeFacts& facts, FixedFormat format,
+                          const ScalingSpec& scaling);
+
+/// One finding of the op-graph width audit: a labelled node of the HLS
+/// core1/core2 graphs checked against the verifier's proven bounds.
+struct OpWidthFinding {
+  std::string node;        ///< op-graph label, e.g. "Q=P-R"
+  int declared_bits = 0;   ///< width the HLS graph instantiates
+  int required_bits = 0;   ///< width the proven post-clamp bound needs
+  int clamp_free_bits = 0; ///< width the pre-clamp bound would need
+  bool ok = false;         ///< declared width holds the post-clamp bound
+  std::string detail;
+};
+
+/// Map the report's bounds onto the PICO core1/core2 op-graph widths: every
+/// datapath register must hold its site's post-clamp interval. (Magnitude
+/// registers are unsigned in hardware; the audit accounts for the sign bit
+/// the two's-complement bound includes.)
+std::vector<OpWidthFinding> audit_opgraph_widths(const RangeReport& report,
+                                                 const OpGraph& core1,
+                                                 const OpGraph& core2);
+
+/// Serialize reports (plus their op-graph audits) as a JSON document — the
+/// artifact scripts/check.sh archives.
+std::string range_reports_json(const std::vector<RangeReport>& reports);
+
+}  // namespace ldpc

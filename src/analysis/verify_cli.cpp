@@ -1,0 +1,217 @@
+#include "analysis/verify_cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/range_verify.hpp"
+#include "codes/registry.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "hls/pico.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace ldpc {
+
+namespace {
+
+struct NamedCode {
+  std::string name;
+  const QCLdpcCode* code;
+};
+
+/// Every registered code: WiMAX rates at the requested z, both WiFi codes,
+/// and the external-code registry. Storage for constructed codes lives in
+/// `owned` so the pointers stay valid.
+std::vector<NamedCode> select_codes(const std::string& which, int z,
+                                    std::vector<QCLdpcCode>& owned) {
+  std::vector<NamedCode> out;
+  owned.reserve(all_wimax_rates().size() + 2);
+  auto keep = [&](const std::string& name, QCLdpcCode code) {
+    owned.push_back(std::move(code));
+    out.push_back(NamedCode{name, &owned.back()});
+  };
+  for (WimaxRate rate : all_wimax_rates()) {
+    const std::string name = wimax_rate_name(rate);
+    if (which == "all" || which == name)
+      keep(name + " z" + std::to_string(z), make_wimax_code(rate, z));
+  }
+  if (which == "all" || which == "wifi-648")
+    keep("wifi-648", make_wifi_648_half_rate());
+  if (which == "all" || which == "wifi-1944")
+    keep("wifi-1944", make_wifi_1944_half_rate());
+  for (const std::string& name : external_code_names()) {
+    if (which == "all" || which == name)
+      out.push_back(NamedCode{name, &external_code(name)});
+  }
+  if (out.empty())
+    throw Error("unknown --code '" + which +
+                "' (use all, wimax-1/2 ... wimax-5/6, wifi-648, wifi-1944, or "
+                "a registry name)");
+  return out;
+}
+
+/// The message formats the paper sweeps: q8.2 (Fig. 5) and q6.1 (Table II).
+std::vector<FixedFormat> select_formats(const std::string& which) {
+  if (which == "all") return {FixedFormat{8, 2}, FixedFormat{6, 1}};
+  if (which == "q8") return {FixedFormat{8, 2}};
+  if (which == "q6") return {FixedFormat{6, 1}};
+  // Generic qT.F spelling, e.g. q10.3.
+  if (which.size() > 1 && which[0] == 'q') {
+    const auto dot = which.find('.');
+    if (dot != std::string::npos) {
+      FixedFormat fmt;
+      fmt.total_bits = std::stoi(which.substr(1, dot - 1));
+      fmt.frac_bits = std::stoi(which.substr(dot + 1));
+      validate(fmt);
+      return {fmt};
+    }
+  }
+  throw Error("unknown --format '" + which + "' (use all, q8, q6, or qT.F)");
+}
+
+/// The correction modes the decoder factory exposes: the paper's 0.75
+/// shift-add, the num/16 ablation ladder endpoints, and offset min-sum with
+/// and without a correction (offset-0 is plain min-sum).
+std::vector<ScalingSpec> select_scalings(const std::string& which) {
+  if (which == "all") {
+    ScalingSpec sa;  // 3/4 shift-add
+    ScalingSpec s1516{ScaleKind::kNumDen, 15, 16, 0};
+    ScalingSpec s1616{ScaleKind::kNumDen, 16, 16, 0};
+    ScalingSpec off2{ScaleKind::kOffset, 3, 4, 2};
+    ScalingSpec off0{ScaleKind::kOffset, 3, 4, 0};
+    return {sa, s1516, s1616, off2, off0};
+  }
+  if (which == "0.75" || which == "3/4") return {ScalingSpec{}};
+  if (which.rfind("offset-", 0) == 0) {
+    ScalingSpec s{ScaleKind::kOffset, 3, 4,
+                  std::stoi(which.substr(sizeof("offset-") - 1))};
+    if (s.offset_code < 0) throw Error("offset must be >= 0");
+    return {s};
+  }
+  const auto slash = which.find('/');
+  if (slash != std::string::npos) {
+    ScalingSpec s{ScaleKind::kNumDen, std::stoi(which.substr(0, slash)),
+                  std::stoi(which.substr(slash + 1)), 0};
+    if (s.num <= 0 || s.den <= 0 || s.num > s.den)
+      throw Error("--scaling num/den needs 0 < num <= den");
+    return {s};
+  }
+  throw Error("unknown --scaling '" + which +
+              "' (use all, 0.75, num/den, offset-N)");
+}
+
+}  // namespace
+
+int run_verify_cli(int argc, const char* const* argv) try {
+  const CliArgs args(argc, argv,
+                     {"code", "z", "format", "scaling", "json", "verbose",
+                      "all-codes"},
+                     /*boolean_flags=*/{"all-codes", "verbose"});
+  const int z = static_cast<int>(args.get_int("z", 96));
+  const std::string which_code =
+      args.has("all-codes") ? "all" : args.get("code", "all");
+  const bool verbose = args.has("verbose");
+
+  std::vector<QCLdpcCode> owned;
+  const auto codes = select_codes(which_code, z, owned);
+  const auto formats = select_formats(args.get("format", "all"));
+  const auto scalings = select_scalings(args.get("scaling", "all"));
+
+  std::vector<RangeReport> reports;
+  reports.reserve(codes.size() * formats.size() * scalings.size());
+  int unsafe_sites = 0;
+  int width_violations = 0;
+
+  TextTable summary("Static range verification (fixpoint per code x format x "
+                    "scaling; exit 1 on any unsafe site)");
+  summary.set_header({"code", "format", "scaling", "iters", "R' pre-clamp",
+                      "P' pre-clamp", "clamp-free bits", "unsafe"});
+
+  for (const NamedCode& nc : codes) {
+    const CodeFacts facts = CodeFacts::from_code(nc.name, *nc.code);
+    for (const FixedFormat& fmt : formats) {
+      for (const ScalingSpec& spec : scalings) {
+        RangeReport report = verify_ranges(facts, fmt, spec);
+
+        int report_unsafe = 0;
+        int clamp_free_bits = 0;
+        for (const SiteBound& site : report.sites) {
+          if (!site.safe()) ++report_unsafe;
+          if (site.site != RangeSite::kQuantizer && site.min_safe_bits > 0)
+            clamp_free_bits = std::max(clamp_free_bits, site.min_safe_bits);
+        }
+        unsafe_sites += report_unsafe;
+
+        const PicoCompiler pico(fmt);
+        const auto audit = audit_opgraph_widths(
+            report, pico.build_core1_graph(), pico.build_core2_graph());
+        for (const OpWidthFinding& f : audit) {
+          if (f.ok) continue;
+          ++width_violations;
+          std::printf("%s %s %s: error: [width] node '%s' declares %d bits "
+                      "but the proven bound needs %d (%s)\n",
+                      nc.name.c_str(), fmt.name().c_str(),
+                      spec.name().c_str(), f.node.c_str(), f.declared_bits,
+                      f.required_bits, f.detail.c_str());
+        }
+
+        summary.add_row(
+            {nc.name, fmt.name(), spec.name(),
+             TextTable::integer(report.iterations_to_fixpoint),
+             report.site(RangeSite::kRNew).wide.str(),
+             report.site(RangeSite::kPNew).wide.str(),
+             TextTable::integer(clamp_free_bits),
+             report_unsafe == 0 ? "-" : TextTable::integer(report_unsafe)});
+
+        if (verbose) {
+          TextTable detail(nc.name + " " + fmt.name() + " " + spec.name());
+          detail.set_header({"site", "pre-clamp", "post-clamp", "sign",
+                             "clamped", "proven", "min bits", "safe"});
+          for (const SiteBound& s : report.sites) {
+            detail.add_row({to_string(s.site), s.wide.str(), s.value.str(),
+                            to_string(s.sign), s.has_clamp ? "yes" : "no",
+                            s.proven_unsaturable ? "unsaturable"
+                                                 : "clamp required",
+                            TextTable::integer(s.min_safe_bits),
+                            s.safe() ? "yes" : "NO"});
+          }
+          std::printf("%s", detail.str().c_str());
+        }
+
+        reports.push_back(std::move(report));
+      }
+    }
+  }
+
+  std::printf("%s", summary.str().c_str());
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "-");
+    const std::string doc = range_reports_json(reports);
+    if (path == "-") {
+      std::printf("%s", doc.c_str());
+    } else {
+      std::ofstream out(path);
+      if (!out) throw Error("cannot write --json file '" + path + "'");
+      out << doc;
+    }
+  }
+
+  if (unsafe_sites > 0 || width_violations > 0) {
+    std::printf("ldpc-verify: %d unsafe site(s), %d width violation(s)\n",
+                unsafe_sites, width_violations);
+    return 1;
+  }
+  std::printf("ldpc-verify: %zu report(s), all sites safe\n", reports.size());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "ldpc-verify: %s\n", e.what());
+  return 2;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,20 @@
+// ldpc-verify — CLI driver for the static value-range / bit-width verifier
+// (range_verify.hpp). Also reachable as `ldpc-lint verify ...`.
+//
+//   ldpc-verify --all-codes 1 --json verify.json
+//   ldpc-verify --code wifi-648 --format q6 --scaling offset-2 --verbose 1
+//
+// Sweeps (code x fixed-point format x scaling mode), prints per-site proven
+// bounds, audits the HLS op-graph widths against them, and writes the JSON
+// artifact scripts/check.sh archives.
+//
+// Exit status: 0 when every site of every report is safe (proven
+// unsaturable, or clamped by the implementation) and the width audit is
+// clean; 1 when any unsafe site or width violation exists; 2 on bad usage.
+#pragma once
+
+namespace ldpc {
+
+int run_verify_cli(int argc, const char* const* argv);
+
+}  // namespace ldpc

@@ -1,0 +1,7 @@
+// Entry point of the standalone ldpc-verify binary; the same driver is
+// reachable as `ldpc-lint verify ...`.
+#include "analysis/verify_cli.hpp"
+
+int main(int argc, char** argv) {
+  return ldpc::run_verify_cli(argc, argv);
+}

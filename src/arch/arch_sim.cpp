@@ -275,9 +275,8 @@ ArchDecodeResult ArchSimDecoder::decode_quantized(
   Timing timing;
   ActivityCounters& act = out.activity;
 
-  datapath_clips_ = 0;
-  kernel_.track_saturation(options_.count_saturation ? &datapath_clips_
-                                                     : nullptr);
+  sat_ = SaturationStats{};
+  kernel_.track_saturation(options_.count_saturation ? &sat_ : nullptr);
   const long long injections_before = injector_ ? injector_->injections() : 0;
   WatchdogState watchdog(options_.watchdog);
   bool watchdog_fired = false;
@@ -329,7 +328,8 @@ ArchDecodeResult ArchSimDecoder::decode_quantized(
 
   act.cycles = timing.last_write_land + 1;
   act.iterations = static_cast<long long>(out.decode.iterations);
-  act.sat_clips = datapath_clips_;
+  sat_.datapath_clips = sat_.q_clips + sat_.r_clips + sat_.p_clips;
+  act.sat_clips = sat_.datapath_clips;
   act.faults_injected = static_cast<long long>(out.decode.faults_injected);
   return out;
 }

@@ -92,6 +92,15 @@ class ArchSimDecoder final : public Decoder {
   /// DecoderOptions::count_saturation; decode_quantized() bypasses this).
   long long quantizer_clips() const { return quant_clips_; }
 
+  /// Per-site saturation accounting of the last decode — same layout as the
+  /// algorithmic decoders, so the static range verifier's cross-check can
+  /// run against the cycle-accurate model too.
+  SaturationStats saturation() const override {
+    SaturationStats s = sat_;
+    s.quantizer_clips = quant_clips_;
+    return s;
+  }
+
  private:
   /// Timing state for one decode.
   struct Timing {
@@ -150,7 +159,7 @@ class ArchSimDecoder final : public Decoder {
   std::vector<std::vector<std::int32_t>> stale_p_;
 
   long long quant_clips_ = 0;
-  long long datapath_clips_ = 0;
+  SaturationStats sat_;  ///< datapath sites; quantizer tracked separately
 };
 
 }  // namespace ldpc

@@ -2,13 +2,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 
 #include "codes/alist.hpp"
 #include "codes/random_qc.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ldpc {
 namespace {
@@ -111,15 +111,15 @@ class Registry {
 
   const std::vector<std::string>& names() const { return names_; }
 
-  Entry& entry(const std::string& name) {
+  Entry& entry(const std::string& name) LDPC_REQUIRES(mutex_) {
     const auto it = entries_.find(name);
     LDPC_CHECK_MSG(it != entries_.end(),
                    "unknown external code '" << name << "'");
     return it->second;
   }
 
-  const QCLdpcCode& code(const std::string& name) {
-    const std::scoped_lock lock(mutex_);
+  const QCLdpcCode& code(const std::string& name) LDPC_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     Entry& e = entry(name);
     if (!e.code) {
       // The import path is the point: parse the canonical alist text just
@@ -129,7 +129,7 @@ class Registry {
     return *e.code;
   }
 
-  std::mutex mutex_;
+  Mutex mutex_;
 
  private:
   Registry() {
@@ -146,8 +146,8 @@ class Registry {
     }
   }
 
-  std::vector<std::string> names_;
-  std::map<std::string, Entry> entries_;
+  std::vector<std::string> names_;  ///< immutable after construction
+  std::map<std::string, Entry> entries_ LDPC_GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -158,7 +158,7 @@ const std::vector<std::string>& external_code_names() {
 
 const ExternalCodeInfo& external_code_info(const std::string& name) {
   Registry& r = Registry::instance();
-  const std::scoped_lock lock(r.mutex_);
+  const MutexLock lock(r.mutex_);
   return r.entry(name).info;
 }
 
@@ -168,7 +168,7 @@ const QCLdpcCode& external_code(const std::string& name) {
 
 const std::string& external_code_alist(const std::string& name) {
   Registry& r = Registry::instance();
-  const std::scoped_lock lock(r.mutex_);
+  const MutexLock lock(r.mutex_);
   return r.entry(name).alist;
 }
 

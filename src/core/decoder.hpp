@@ -61,9 +61,18 @@ struct DecodeResult {
 /// Dynamic-range accounting for one decode. Fixed-point decoders fill this
 /// in (when DecoderOptions::count_saturation is set); floating-point
 /// decoders report zeros. Aggregated per worker by the runtime batch engine.
+/// Clip events are attributed to the clamp site that produced them so the
+/// static range verifier (src/analysis/range_verify.hpp) can be
+/// cross-checked per site: a site it proves unsaturable must show a zero
+/// counter on every decode. `datapath_clips` stays the aggregate
+/// (q + r + p) for callers that only care about "did anything clip".
 struct SaturationStats {
   long long quantizer_clips = 0;  ///< channel LLRs clipped at the rails
-  long long datapath_clips = 0;   ///< Q/R'/P' adder saturations
+  long long datapath_clips = 0;   ///< q_clips + r_clips + p_clips
+  long long q_clips = 0;          ///< stage-1 Q = P - R clamp
+  long long r_clips = 0;          ///< stage-2 R' clamp after scaling
+  long long p_clips = 0;          ///< stage-2 P' = Q + R' clamp (and the
+                                  ///< flooding VNU's posterior-total clamp)
   /// Check rows with degree < 2 encountered by the layered kernel (R' has no
   /// extrinsic input and is forced to 0); counted once per row per layer
   /// pass regardless of count_saturation.

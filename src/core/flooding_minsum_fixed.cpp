@@ -22,9 +22,17 @@ FloodingMinSumFixedDecoder::FloodingMinSumFixedDecoder(const QCLdpcCode& code,
 DecodeResult FloodingMinSumFixedDecoder::decode(std::span<const float> llr) {
   LDPC_CHECK(llr.size() == code_.n());
   std::vector<std::int32_t> codes(llr.size());
-  for (std::size_t v = 0; v < llr.size(); ++v)
-    codes[v] = kernel_.format().quantize(llr[v]);
-  return decode_quantized(codes);
+  long long quant_clips = 0;
+  if (options_.count_saturation) {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      codes[v] = kernel_.format().quantize(llr[v], quant_clips);
+  } else {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      codes[v] = kernel_.format().quantize(llr[v]);
+  }
+  DecodeResult result = decode_quantized(codes);
+  saturation_.quantizer_clips = quant_clips;
+  return result;
 }
 
 DecodeResult FloodingMinSumFixedDecoder::decode_quantized(
@@ -40,8 +48,9 @@ DecodeResult FloodingMinSumFixedDecoder::decode_quantized(
 
   DecodeResult result;
   result.hard_bits.resize(code_.n());
-  long long clips = 0;
-  kernel_.track_saturation(options_.count_saturation ? &clips : nullptr);
+  saturation_ = SaturationStats{};
+  kernel_.track_saturation(options_.count_saturation ? &saturation_ : nullptr);
+  kernel_.track_degenerate(&saturation_.degenerate_checks);
   WatchdogState watchdog(options_.watchdog);
   bool watchdog_fired = false;
 
@@ -67,7 +76,8 @@ DecodeResult FloodingMinSumFixedDecoder::decode_quantized(
         std::int64_t total = channel_codes[v];
         for (std::uint32_t e : var_edges[v]) total += check_to_var_[e];
         for (std::uint32_t e : var_edges[v])
-          var_to_check_[e] = sat_clamp_counted(total - check_to_var_[e], w, clips);
+          var_to_check_[e] = sat_clamp_counted(total - check_to_var_[e], w,
+                                               saturation_.p_clips);
         result.hard_bits.set(v, total < 0);
       }
     } else {
@@ -92,7 +102,8 @@ DecodeResult FloodingMinSumFixedDecoder::decode_quantized(
   }
 
   if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
-  saturation_clips_ = clips;
+  saturation_.datapath_clips =
+      saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
   result.status = classify_exit(result.converged, watchdog_fired, 0);
   return result;
 }

@@ -36,7 +36,11 @@ class FloodingMinSumFixedDecoder final : public Decoder {
 
   /// CNU/VNU saturation events in the last decode (0 unless
   /// DecoderOptions::count_saturation was set).
-  long long saturation_clips() const { return saturation_clips_; }
+  long long saturation_clips() const { return saturation_.datapath_clips; }
+
+  /// Per-site accounting: r_clips from the CNU's R' clamp, p_clips from the
+  /// VNU's posterior-total clamp (this schedule has no separate Q site).
+  SaturationStats saturation() const override { return saturation_; }
 
  private:
   const QCLdpcCode& code_;
@@ -44,7 +48,7 @@ class FloodingMinSumFixedDecoder final : public Decoder {
   LayerRowKernel kernel_;  ///< reused for saturating ops + 0.75 scaling
   std::vector<std::int32_t> var_to_check_;  ///< Q messages, per edge
   std::vector<std::int32_t> check_to_var_;  ///< R messages, per edge
-  long long saturation_clips_ = 0;
+  SaturationStats saturation_;
 };
 
 }  // namespace ldpc

@@ -44,7 +44,7 @@ void LayerRowKernel::CheckState::absorb(std::int32_t q, std::uint32_t pos) {
 }
 
 std::int32_t LayerRowKernel::compute_q(std::int32_t p, std::int32_t r) const {
-  if (clips_) return sat_sub_counted(p, r, format_.total_bits, *clips_);
+  if (stats_) return sat_sub_counted(p, r, format_.total_bits, stats_->q_clips);
   return sat_sub(p, r, format_.total_bits);
 }
 
@@ -79,13 +79,15 @@ std::int32_t LayerRowKernel::compute_r_new(const CheckState& st, std::int32_t q,
   const bool negative = st.sign_product ^ (q < 0);
   // Magnitudes fit the format by construction (|Q| <= max|code|, scaled down),
   // except |min code| itself, which saturates to the positive rail.
-  if (clips_)
-    return sat_clamp_counted(negative ? -mag : mag, format_.total_bits, *clips_);
+  if (stats_)
+    return sat_clamp_counted(negative ? -mag : mag, format_.total_bits,
+                             stats_->r_clips);
   return sat_clamp(negative ? -mag : mag, format_.total_bits);
 }
 
 std::int32_t LayerRowKernel::compute_p_new(std::int32_t q, std::int32_t r_new) const {
-  if (clips_) return sat_add_counted(q, r_new, format_.total_bits, *clips_);
+  if (stats_)
+    return sat_add_counted(q, r_new, format_.total_bits, stats_->p_clips);
   return sat_add(q, r_new, format_.total_bits);
 }
 
@@ -151,10 +153,11 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
   std::fill(check_msg_.begin(), check_msg_.end(), 0);
 
   saturation_.datapath_clips = 0;
+  saturation_.q_clips = 0;
+  saturation_.r_clips = 0;
+  saturation_.p_clips = 0;
   saturation_.degenerate_checks = 0;
-  kernel_.track_saturation(options_.count_saturation
-                               ? &saturation_.datapath_clips
-                               : nullptr);
+  kernel_.track_saturation(options_.count_saturation ? &saturation_ : nullptr);
   kernel_.track_degenerate(&saturation_.degenerate_checks);
   FaultInjector* const injector =
       (options_.fault_injector && options_.fault_injector->enabled())
@@ -239,7 +242,8 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
         sum += std::abs(static_cast<double>(kernel_.format().dequantize(p)));
       snap.mean_abs_llr = sum / static_cast<double>(code_.n());
       snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
-      snap.saturation_clips = saturation_.datapath_clips;
+      snap.saturation_clips =
+          saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
       previous_hard = result.hard_bits;
       options_.observer(snap);
     }
@@ -257,6 +261,8 @@ DecodeResult LayeredMinSumFixedDecoder::decode_quantized(
 
   // Parity recheck on output: never report garbage as a codeword.
   if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
+  saturation_.datapath_clips =
+      saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
   if (injector)
     result.faults_injected =
         static_cast<std::size_t>(injector->injections() - injections_before);

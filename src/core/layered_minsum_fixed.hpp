@@ -43,10 +43,19 @@ class LayerRowKernel {
 
   FixedFormat format() const { return format_; }
 
-  /// Route saturation events into `clips` (nullptr disables counting; the
-  /// arithmetic is identical either way). Non-owning — the counter must
-  /// outlive every kernel call.
-  void track_saturation(long long* clips) { clips_ = clips; }
+  /// Correction-scheme parameters, exposed so the static range verifier can
+  /// model exactly the arithmetic this kernel executes.
+  std::int32_t scale_numerator() const { return scale_num_; }
+  std::int32_t scale_denominator() const { return scale_den_; }
+  /// Offset-min-sum correction in quantized units; < 0 when scaling is used.
+  std::int32_t offset_code() const { return offset_code_; }
+
+  /// Route saturation events into per-site counters of `stats` (nullptr
+  /// disables counting; the arithmetic is identical either way): compute_q
+  /// fills q_clips, compute_r_new r_clips, compute_p_new p_clips. The
+  /// caller owns the aggregate datapath_clips rollup. Non-owning — the
+  /// stats block must outlive every kernel call.
+  void track_saturation(SaturationStats* stats) { stats_ = stats; }
 
   /// Route degenerate-row events (compute_r_new on a check row of degree
   /// < 2, where R' is forced to 0) into `counter`. Non-owning, may be null.
@@ -83,7 +92,7 @@ class LayerRowKernel {
   std::int32_t scale_num_;
   std::int32_t scale_den_;
   std::int32_t offset_code_ = -1;   ///< >= 0 selects offset correction
-  long long* clips_ = nullptr;      ///< optional saturation-event counter
+  SaturationStats* stats_ = nullptr;  ///< optional per-site clip counters
   long long* degenerate_ = nullptr; ///< optional degree<2 row counter
 };
 

@@ -24,10 +24,10 @@ struct FixedFormat {
   constexpr std::int32_t max_code() const { return fixed_max(total_bits); }
   constexpr std::int32_t min_code() const { return fixed_min(total_bits); }
 
-  /// Quantize an LLR: round to nearest, saturate.
+  /// Quantize an LLR: round to nearest, saturate. NaN maps to 0 (a NaN LLR
+  /// carries no information, so the neutral code is the only sound answer).
   std::int32_t quantize(float llr) const {
-    const float scaled = llr * static_cast<float>(1 << frac_bits);
-    const auto rounded = static_cast<std::int64_t>(std::lround(scaled));
+    const auto rounded = static_cast<std::int64_t>(std::lround(scale(llr)));
     return sat_clamp(rounded, total_bits);
   }
 
@@ -35,14 +35,28 @@ struct FixedFormat {
   /// saturated at the format's rails (overflow accounting for degraded-
   /// operation monitoring).
   std::int32_t quantize(float llr, long long& clips) const {
-    const float scaled = llr * static_cast<float>(1 << frac_bits);
-    const auto rounded = static_cast<std::int64_t>(std::lround(scaled));
+    const auto rounded = static_cast<std::int64_t>(std::lround(scale(llr)));
     return sat_clamp_counted(rounded, total_bits, clips);
   }
 
   /// Reconstruct the real value of a code.
   float dequantize(std::int32_t code) const {
     return static_cast<float>(code) / static_cast<float>(1 << frac_bits);
+  }
+
+  /// LLR -> unclamped code-domain value, pre-limited to one step past the
+  /// rails. std::lround on a float outside long's range (huge LLRs, +-inf)
+  /// is undefined behaviour — the static range verifier models the
+  /// quantizer input as unbounded, which flagged this path. Limiting to
+  /// rails +-1 keeps lround defined while leaving the saturation itself to
+  /// the integer clamp, so clip accounting is unchanged for every input
+  /// that was previously well-defined.
+  float scale(float llr) const {
+    const float scaled = llr * static_cast<float>(1 << frac_bits);
+    if (std::isnan(scaled)) return 0.0F;
+    const float hi = static_cast<float>(max_code()) + 1.0F;
+    const float lo = static_cast<float>(min_code()) - 1.0F;
+    return scaled > hi ? hi : (scaled < lo ? lo : scaled);
   }
 
   std::string name() const {

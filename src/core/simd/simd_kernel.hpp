@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "core/decoder.hpp"
+
 namespace ldpc::simd {
 
 /// How check-message magnitudes are corrected, mirroring LayerRowKernel:
@@ -55,8 +57,12 @@ struct SimdLayerPass {
   std::int16_t scale_num;      ///< numerator for kNumOver16
   std::int16_t offset_code;    ///< subtrahend for kOffset
   bool degenerate;             ///< deg < 2: force R' = 0 (no extrinsic input)
-  bool count_clips;            ///< accumulate saturation events into *clips
-  long long* clips;            ///< saturation counter (used iff count_clips)
+  bool count_clips;            ///< accumulate saturation events into *stats
+  /// Per-site clip counters (used iff count_clips): the Q clamp fills
+  /// q_clips, the R' clamp r_clips, the P' clamp p_clips — same attribution
+  /// as the scalar LayerRowKernel, so the equivalence suite can compare
+  /// site-for-site and the static range verifier's proofs apply unchanged.
+  SaturationStats* stats;
 };
 
 using LayerPassFn = void (*)(const SimdLayerPass&);

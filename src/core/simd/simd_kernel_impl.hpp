@@ -67,7 +67,9 @@ void layer_pass(const SimdLayerPass& a) {
   const V sentinel = Ops::broadcast(INT16_MAX);
   const V num = Ops::broadcast(a.scale_num);
   const V offset = Ops::broadcast(a.offset_code);
-  long long clips = 0;
+  long long clips_q = 0;
+  long long clips_r = 0;
+  long long clips_p = 0;
 
   for (std::uint32_t c = 0; c < a.z_pad; c += Ops::kLanes) {
     // Stage 1 (core 1): Q = P - R per block, min1/min2/pos1/sign across
@@ -81,7 +83,7 @@ void layer_pass(const SimdLayerPass& a) {
       const V r = Ops::load(a.r + a.r_base[j] + c);
       const V diff = Ops::sub(p, r);
       const V q = Ops::max(lo, Ops::min(hi, diff));
-      if constexpr (kCount) clips += Ops::count_diff(q, diff);
+      if constexpr (kCount) clips_q += Ops::count_diff(q, diff);
       Ops::store(a.q + j * a.z_pad + c, q);
       const V mag = Ops::abs16(q);
       const V lt1 = Ops::cmpgt(min1, mag);  // mag < min1, strict
@@ -113,16 +115,20 @@ void layer_pass(const SimdLayerPass& a) {
         const V neg = Ops::xor_(signs, Ops::cmpgt(zero, q));
         const V val = Ops::blend(neg, Ops::sub(zero, mag), mag);
         r_new = Ops::max(lo, Ops::min(hi, val));
-        if constexpr (kCount) clips += Ops::count_diff(r_new, val);
+        if constexpr (kCount) clips_r += Ops::count_diff(r_new, val);
       }
       Ops::store(a.r + a.r_base[j] + c, r_new);
       const V sum = Ops::add(q, r_new);
       const V p_new = Ops::max(lo, Ops::min(hi, sum));
-      if constexpr (kCount) clips += Ops::count_diff(p_new, sum);
+      if constexpr (kCount) clips_p += Ops::count_diff(p_new, sum);
       Ops::store(a.p + j * a.z_pad + c, p_new);
     }
   }
-  if constexpr (kCount) *a.clips += clips;
+  if constexpr (kCount) {
+    a.stats->q_clips += clips_q;
+    a.stats->r_clips += clips_r;
+    a.stats->p_clips += clips_p;
+  }
 }
 
 }  // namespace ldpc::simd::detail

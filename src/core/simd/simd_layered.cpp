@@ -158,6 +158,9 @@ DecodeResult SimdLayeredDecoder::decode_quantized(
 DecodeResult SimdLayeredDecoder::run() {
   std::fill(r16_.begin(), r16_.end(), std::int16_t{0});
   saturation_.datapath_clips = 0;
+  saturation_.q_clips = 0;
+  saturation_.r_clips = 0;
+  saturation_.p_clips = 0;
   saturation_.degenerate_checks = 0;
   WatchdogState watchdog(options_.watchdog);
   bool watchdog_fired = false;
@@ -179,7 +182,7 @@ DecodeResult SimdLayeredDecoder::run() {
   pass.scale_num = scale_num_;
   pass.offset_code = offset_code_;
   pass.count_clips = options_.count_saturation;
-  pass.clips = &saturation_.datapath_clips;
+  pass.stats = &saturation_;
 
   for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
     result.iterations = iter;
@@ -240,7 +243,8 @@ DecodeResult SimdLayeredDecoder::run() {
         sum += std::abs(static_cast<double>(format_.dequantize(p)));
       snap.mean_abs_llr = sum / static_cast<double>(code_.n());
       snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
-      snap.saturation_clips = saturation_.datapath_clips;
+      snap.saturation_clips =
+          saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
       previous_hard = result.hard_bits;
       options_.observer(snap);
     }
@@ -258,6 +262,8 @@ DecodeResult SimdLayeredDecoder::run() {
 
   // Parity recheck on output: never report garbage as a codeword.
   if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
+  saturation_.datapath_clips =
+      saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
   result.status =
       classify_exit(result.converged, watchdog_fired, 0, cancelled);
   return result;

@@ -34,6 +34,10 @@ BatchEngine::BatchEngine(DecoderFactory factory, BatchEngineConfig config)
   LDPC_CHECK_MSG(config_.num_workers >= 1, "engine needs >= 1 worker");
   for (const auto& f : config_.escalation_factories)
     LDPC_CHECK_MSG(f != nullptr, "escalation factory must not be null");
+  // Held across the spawn loop: the first workers can start decoding (and a
+  // quarantined one can append its replacement) while later ones are still
+  // being emplaced — workers_ must not be mutated from two threads at once.
+  const MutexLock lock(state_mutex_);
   worker_stats_.resize(config_.num_workers);
   workers_.reserve(config_.num_workers + config_.max_replacement_workers);
   for (unsigned w = 0; w < config_.num_workers; ++w)
@@ -48,7 +52,7 @@ BatchEngine::~BatchEngine() {
   for (std::size_t i = 0;;) {
     std::thread victim;
     {
-      const std::scoped_lock lock(state_mutex_);
+      const MutexLock lock(state_mutex_);
       if (i >= workers_.size()) break;
       victim = std::move(workers_[i]);
       ++i;
@@ -73,7 +77,7 @@ BatchEngine::Job BatchEngine::make_job(std::size_t frame_index,
 }
 
 void BatchEngine::record_submit(std::size_t frame_index) {
-  const std::scoped_lock lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   if (!started_) {
     started_ = true;
     first_enqueue_ = std::chrono::steady_clock::now();
@@ -83,7 +87,7 @@ void BatchEngine::record_submit(std::size_t frame_index) {
 }
 
 void BatchEngine::unrecord_submit(std::size_t frame_index, bool rejected) {
-  const std::scoped_lock lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   --submitted_;
   if (rejected) ++jobs_rejected_;
   const auto it = outstanding_.find(frame_index);
@@ -109,7 +113,7 @@ void BatchEngine::complete_undecoded(Job&& job, DecodeStatus status) {
     *job.slot = result;
   }
   const auto now = std::chrono::steady_clock::now();
-  const std::scoped_lock lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   if (status == DecodeStatus::kShedOverload) ++jobs_shed_;
   if (status == DecodeStatus::kDeadlineExpired) ++jobs_expired_;
   finish_job_locked(job.frame_index, now);
@@ -186,16 +190,21 @@ bool BatchEngine::submit_retry(std::size_t frame_index, Task task,
 }
 
 void BatchEngine::drain() {
-  std::unique_lock lock(state_mutex_);
-  all_done_.wait(lock, [&] { return completed_ == submitted_; });
+  MutexLock lock(state_mutex_);
+  while (completed_ != submitted_) lock.wait(all_done_);
 }
 
 DrainReport BatchEngine::drain_until(
     std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   DrainReport report;
-  report.completed = all_done_.wait_until(
-      lock, deadline, [&] { return completed_ == submitted_; });
+  report.completed = true;
+  while (completed_ != submitted_) {
+    if (lock.wait_until(all_done_, deadline) == std::cv_status::timeout) {
+      report.completed = completed_ == submitted_;
+      break;
+    }
+  }
   if (!report.completed) {
     report.outstanding = submitted_ - completed_;
     report.straggler_frames.reserve(outstanding_.size());
@@ -277,7 +286,7 @@ void BatchEngine::worker_main(unsigned worker_id) {
     const SaturationStats sat = decoder.saturation();
     bool retire = false;
     {
-      const std::scoped_lock lock(state_mutex_);
+      const MutexLock lock(state_mutex_);
       EngineWorkerStats& stats = worker_stats_[worker_id];
       ++stats.jobs;
       if (failed) {
@@ -288,6 +297,9 @@ void BatchEngine::worker_main(unsigned worker_id) {
         if (converged) ++stats.early_terminations;
         stats.saturation.quantizer_clips += sat.quantizer_clips;
         stats.saturation.datapath_clips += sat.datapath_clips;
+        stats.saturation.q_clips += sat.q_clips;
+        stats.saturation.r_clips += sat.r_clips;
+        stats.saturation.p_clips += sat.p_clips;
         stats.saturation.degenerate_checks += sat.degenerate_checks;
         decoded_bits_ += decoder.n();
       }
@@ -338,7 +350,7 @@ EngineMetrics BatchEngine::snapshot() const {
   RunningStats occupancy;
   std::vector<double> latencies;
   {
-    const std::scoped_lock lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     // The queue's internal mutex nests inside state_mutex_ here (no engine
     // path acquires them in the opposite order), making the occupancy
     // statistics part of the same consistent cut as the job counters.

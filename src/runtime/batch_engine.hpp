@@ -47,6 +47,7 @@
 #include "core/decoder.hpp"
 #include "core/decoder_factory.hpp"
 #include "runtime/job_queue.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ldpc {
 
@@ -242,13 +243,14 @@ class BatchEngine {
                                   DecodeResult* slot = nullptr);
 
   /// Block until every job submitted so far has completed.
-  void drain();
+  void drain() LDPC_EXCLUDES(state_mutex_);
 
   /// Bounded drain: wait until every submitted job completes or `deadline`
   /// passes, whichever is first. On timeout the report lists the straggler
   /// frames still in flight — the caller decides whether to keep waiting,
   /// shed, or tear down; the engine never hangs a serving thread forever.
-  DrainReport drain_until(std::chrono::steady_clock::time_point deadline);
+  DrainReport drain_until(std::chrono::steady_clock::time_point deadline)
+      LDPC_EXCLUDES(state_mutex_);
 
   /// Convenience overload: drain with a relative timeout.
   DrainReport drain_for(std::chrono::nanoseconds timeout) {
@@ -268,7 +270,7 @@ class BatchEngine {
   /// observe, say, jobs_completed from after a completion but a latency
   /// distribution from before it (workers take the same mutex to record
   /// both together).
-  EngineMetrics snapshot() const;
+  EngineMetrics snapshot() const LDPC_EXCLUDES(state_mutex_);
 
   /// Back-compat alias for snapshot().
   EngineMetrics metrics() const { return snapshot(); }
@@ -289,41 +291,48 @@ class BatchEngine {
   void worker_main(unsigned worker_id);
   Job make_job(std::size_t frame_index, std::vector<float>&& llr,
                DecodeResult* slot, Task&& task, const JobOptions& options);
-  void record_submit(std::size_t frame_index);
-  void unrecord_submit(std::size_t frame_index, bool rejected);
+  void record_submit(std::size_t frame_index) LDPC_EXCLUDES(state_mutex_);
+  void unrecord_submit(std::size_t frame_index, bool rejected)
+      LDPC_EXCLUDES(state_mutex_);
   /// Complete a job that never reached a decoder (expired / shed).
-  void complete_undecoded(Job&& job, DecodeStatus status);
-  /// Must hold state_mutex_: bookkeeping for one finished job.
+  void complete_undecoded(Job&& job, DecodeStatus status)
+      LDPC_EXCLUDES(state_mutex_);
+  /// Bookkeeping for one finished job.
   void finish_job_locked(std::size_t frame_index,
-                         std::chrono::steady_clock::time_point now);
-  /// Must hold state_mutex_: admit one latency sample into the (possibly
-  /// capped) reservoir.
-  void record_latency_locked(double us);
+                         std::chrono::steady_clock::time_point now)
+      LDPC_REQUIRES(state_mutex_);
+  /// Admit one latency sample into the (possibly capped) reservoir.
+  void record_latency_locked(double us) LDPC_REQUIRES(state_mutex_);
 
   DecoderFactory factory_;
   BatchEngineConfig config_;
   BoundedJobQueue<Job> queue_;
-  std::vector<std::thread> workers_;
 
-  mutable std::mutex state_mutex_;
+  mutable Mutex state_mutex_;
   std::condition_variable all_done_;
-  std::size_t submitted_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t decoded_bits_ = 0;
-  std::size_t jobs_expired_ = 0;
-  std::size_t jobs_shed_ = 0;
-  std::size_t jobs_rejected_ = 0;
-  std::size_t workers_quarantined_ = 0;
-  std::size_t workers_spawned_ = 0;
+  /// The pool itself is guarded: a quarantined worker appends its
+  /// replacement thread concurrently with the destructor's join loop.
+  std::vector<std::thread> workers_ LDPC_GUARDED_BY(state_mutex_);
+  std::size_t submitted_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t completed_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t decoded_bits_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t jobs_expired_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t jobs_shed_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t jobs_rejected_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t workers_quarantined_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t workers_spawned_ LDPC_GUARDED_BY(state_mutex_) = 0;
   /// Frames submitted but not yet completed (frame -> in-flight attempts);
   /// the straggler report of drain_until reads this.
-  std::map<std::size_t, unsigned> outstanding_;
-  bool started_ = false;
-  std::chrono::steady_clock::time_point first_enqueue_;
-  std::chrono::steady_clock::time_point last_complete_;
-  std::vector<double> latency_us_;
-  std::size_t latency_samples_seen_ = 0;  ///< admitted + reservoir-skipped
-  std::vector<EngineWorkerStats> worker_stats_;
+  std::map<std::size_t, unsigned> outstanding_ LDPC_GUARDED_BY(state_mutex_);
+  bool started_ LDPC_GUARDED_BY(state_mutex_) = false;
+  std::chrono::steady_clock::time_point first_enqueue_
+      LDPC_GUARDED_BY(state_mutex_);
+  std::chrono::steady_clock::time_point last_complete_
+      LDPC_GUARDED_BY(state_mutex_);
+  std::vector<double> latency_us_ LDPC_GUARDED_BY(state_mutex_);
+  /// Admitted + reservoir-skipped samples.
+  std::size_t latency_samples_seen_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::vector<EngineWorkerStats> worker_stats_ LDPC_GUARDED_BY(state_mutex_);
 };
 
 }  // namespace ldpc

@@ -24,10 +24,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ldpc {
 
@@ -65,33 +65,33 @@ class BoundedJobQueue {
   /// On kAcceptedShed the evicted job is moved into `*shed` when `shed` is
   /// non-null (callers that must complete every accepted job pass it);
   /// otherwise the evicted job is destroyed.
-  PushResult push(T&& item, T* shed = nullptr) {
-    std::unique_lock lock(mutex_);
-    if (policy_ == OverloadPolicy::kBlock) {
-      not_full_.wait(lock,
-                     [&] { return closed_ || items_.size() < capacity_; });
-      if (closed_) return PushResult::kClosed;
-    } else if (!closed_ && items_.size() >= capacity_) {
-      if (policy_ == OverloadPolicy::kRejectNewest) {
-        ++rejected_;
-        return PushResult::kRejected;
+  PushResult push(T&& item, T* shed = nullptr) LDPC_EXCLUDES(mutex_) {
+    PushResult result = PushResult::kClosed;
+    {
+      MutexLock lock(mutex_);
+      if (policy_ == OverloadPolicy::kBlock) {
+        while (!closed_ && items_.size() >= capacity_) lock.wait(not_full_);
+        if (closed_) return PushResult::kClosed;
+      } else if (!closed_ && items_.size() >= capacity_) {
+        if (policy_ == OverloadPolicy::kRejectNewest) {
+          ++rejected_;
+          return PushResult::kRejected;
+        }
+        // kShedOldest: evict the head to make room for the tail.
+        if (shed) *shed = std::move(items_.front());
+        items_.pop_front();
+        ++shed_;
+        enqueue(std::move(item));
+        result = PushResult::kAcceptedShed;
       }
-      // kShedOldest: evict the head to make room for the tail.
-      if (shed) *shed = std::move(items_.front());
-      items_.pop_front();
-      ++shed_;
-      items_.push_back(std::move(item));
-      occupancy_.add(static_cast<double>(items_.size()));
-      lock.unlock();
-      not_empty_.notify_one();
-      return PushResult::kAcceptedShed;
+      if (result == PushResult::kClosed) {
+        if (closed_) return PushResult::kClosed;
+        enqueue(std::move(item));
+        result = PushResult::kAccepted;
+      }
     }
-    if (closed_) return PushResult::kClosed;
-    items_.push_back(std::move(item));
-    occupancy_.add(static_cast<double>(items_.size()));
-    lock.unlock();
     not_empty_.notify_one();
-    return PushResult::kAccepted;
+    return result;
   }
 
   /// Capacity-exempt push: enqueues even on a full queue (false only when
@@ -99,46 +99,47 @@ class BoundedJobQueue {
   /// retries a failed job must never block on queue space, or a full queue
   /// of retryable jobs deadlocks the pool. Bounded in practice because
   /// retries never exceed the number of in-flight jobs.
-  bool push_forced(T&& item) {
-    std::unique_lock lock(mutex_);
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    occupancy_.add(static_cast<double>(items_.size()));
-    lock.unlock();
+  bool push_forced(T&& item) LDPC_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      if (closed_) return false;
+      enqueue(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push: false when full or closed; `item` is moved from
   /// only on success. Policy-independent (never sheds).
-  bool try_push(T& item) {
-    std::unique_lock lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(item));
-    occupancy_.add(static_cast<double>(items_.size()));
-    lock.unlock();
+  bool try_push(T& item) LDPC_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      enqueue(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Blocking pop: waits while empty. Returns false once the queue is
   /// closed *and* drained — the consumer-thread exit signal.
-  bool pop(T& out) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // closed and drained
-    out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+  bool pop(T& out) LDPC_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) lock.wait(not_empty_);
+      if (items_.empty()) return false;  // closed and drained
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return true;
   }
 
   /// Close the queue: pending pushes fail, consumers drain what is left and
   /// then see pop() == false. Idempotent.
-  void close() {
+  void close() LDPC_EXCLUDES(mutex_) {
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -148,45 +149,51 @@ class BoundedJobQueue {
   std::size_t capacity() const { return capacity_; }
   OverloadPolicy policy() const { return policy_; }
 
-  std::size_t size() const {
-    const std::scoped_lock lock(mutex_);
+  std::size_t size() const LDPC_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return items_.size();
   }
 
-  bool closed() const {
-    const std::scoped_lock lock(mutex_);
+  bool closed() const LDPC_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return closed_;
   }
 
   /// Jobs evicted under kShedOldest since construction.
-  std::size_t shed_count() const {
-    const std::scoped_lock lock(mutex_);
+  std::size_t shed_count() const LDPC_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return shed_;
   }
 
   /// Pushes refused under kRejectNewest since construction.
-  std::size_t rejected_count() const {
-    const std::scoped_lock lock(mutex_);
+  std::size_t rejected_count() const LDPC_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return rejected_;
   }
 
   /// Snapshot of the post-push depth statistics (mean/max occupancy).
-  RunningStats occupancy() const {
-    const std::scoped_lock lock(mutex_);
+  RunningStats occupancy() const LDPC_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return occupancy_;
   }
 
  private:
-  mutable std::mutex mutex_;
+  /// Append + depth accounting; callers notify not_empty_ after unlocking.
+  void enqueue(T&& item) LDPC_REQUIRES(mutex_) {
+    items_.push_back(std::move(item));
+    occupancy_.add(static_cast<double>(items_.size()));
+  }
+
+  mutable Mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> items_;
+  std::deque<T> items_ LDPC_GUARDED_BY(mutex_);
   std::size_t capacity_;
   OverloadPolicy policy_;
-  bool closed_ = false;
-  std::size_t shed_ = 0;
-  std::size_t rejected_ = 0;
-  RunningStats occupancy_;
+  bool closed_ LDPC_GUARDED_BY(mutex_) = false;
+  std::size_t shed_ LDPC_GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_ LDPC_GUARDED_BY(mutex_) = 0;
+  RunningStats occupancy_ LDPC_GUARDED_BY(mutex_);
 };
 
 }  // namespace ldpc

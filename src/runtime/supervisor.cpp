@@ -52,7 +52,7 @@ void DecodeSupervisor::on_attempt_done(
     // block on queue space it is itself responsible for freeing.
     if (engine_.submit_retry(control->frame_index, make_attempt(control),
                              options, control->slot)) {
-      const std::scoped_lock lock(stats_mutex_);
+      const MutexLock lock(stats_mutex_);
       ++stats_.retries_submitted;
       return;  // the next attempt owns the slot now
     }
@@ -62,7 +62,7 @@ void DecodeSupervisor::on_attempt_done(
   // frame are strictly sequential, and drain() observes this write because
   // it happens before the worker's completion bookkeeping.
   if (control->slot) *control->slot = result;
-  const std::scoped_lock lock(stats_mutex_);
+  const MutexLock lock(stats_mutex_);
   const std::size_t index =
       std::min(control->attempt, config_.retry.max_attempts) - 1;
   ++stats_.finished_by_attempt[index];
@@ -108,7 +108,7 @@ SupervisorMetrics DecodeSupervisor::metrics() const {
   SupervisorMetrics m;
   m.engine = engine_.metrics();
   {
-    const std::scoped_lock lock(stats_mutex_);
+    const MutexLock lock(stats_mutex_);
     m.retry = stats_;
   }
   return m;

@@ -22,12 +22,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "runtime/batch_engine.hpp"
 #include "runtime/retry_policy.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ldpc {
 
@@ -113,13 +113,14 @@ class DecodeSupervisor {
 
   BatchEngine::Task make_attempt(std::shared_ptr<JobControl> control);
   void on_attempt_done(const std::shared_ptr<JobControl>& control,
-                       const DecodeResult& result);
+                       const DecodeResult& result)
+      LDPC_EXCLUDES(stats_mutex_);
 
   SupervisorConfig config_;
   BatchEngine engine_;
 
-  mutable std::mutex stats_mutex_;
-  RetryStats stats_;
+  mutable Mutex stats_mutex_;
+  RetryStats stats_ LDPC_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace ldpc

@@ -17,7 +17,7 @@ void DecoderLease::release() {
 
 DecoderLease CodecEntry::lease() {
   {
-    const std::scoped_lock lock(pool_mutex_);
+    const MutexLock lock(pool_mutex_);
     if (!pool_.empty()) {
       std::unique_ptr<Decoder> decoder = std::move(pool_.back());
       pool_.pop_back();
@@ -32,12 +32,12 @@ DecoderLease CodecEntry::lease() {
 
 void CodecEntry::give_back(std::unique_ptr<Decoder> decoder) {
   decoder->set_cancel_token(nullptr);
-  const std::scoped_lock lock(pool_mutex_);
+  const MutexLock lock(pool_mutex_);
   pool_.push_back(std::move(decoder));
 }
 
 std::size_t CodecEntry::decoders_built() const {
-  const std::scoped_lock lock(pool_mutex_);
+  const MutexLock lock(pool_mutex_);
   return decoders_built_;
 }
 
@@ -81,7 +81,7 @@ std::shared_ptr<CodecEntry> CodecCache::resolve(const CodecRef& ref,
   std::shared_ptr<Slot> slot;
   bool builder = false;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     auto& mapped = slots_[ref];
     if (!mapped) {
       mapped = std::make_shared<Slot>();
@@ -95,27 +95,27 @@ std::shared_ptr<CodecEntry> CodecCache::resolve(const CodecRef& ref,
   }
 
   if (!builder) {
-    std::unique_lock lock(slot->mutex);
+    MutexLock lock(slot->mutex);
     if (slot->done) {
       // Fast path; also the retry path after a failed build (entry null).
       if (slot->entry) {
-        const std::scoped_lock stats_lock(mutex_);
+        const MutexLock stats_lock(mutex_);
         ++stats_.hits;
         return slot->entry;
       }
     } else if (slot->building) {
       {
-        const std::scoped_lock stats_lock(mutex_);
+        const MutexLock stats_lock(mutex_);
         ++stats_.coalesced_waits;
       }
-      slot->ready.wait(lock, [&] { return slot->done; });
+      while (!slot->done) lock.wait(slot->ready);
       if (slot->entry) return slot->entry;
     }
     // Build failed (or a previous failure is cached as done-without-entry):
     // this thread retries the build under the slot's building flag.
     if (slot->building) {
       // Another retrier got there first; wait for its verdict.
-      slot->ready.wait(lock, [&] { return slot->done && !slot->building; });
+      while (!slot->done || slot->building) lock.wait(slot->ready);
       if (slot->entry) return slot->entry;
       *error = WireErrorCode::kUnknownCodec;
       return nullptr;
@@ -132,14 +132,14 @@ std::shared_ptr<CodecEntry> CodecCache::resolve(const CodecRef& ref,
     entry = std::make_shared<CodecEntry>(ref, std::move(code), decoder_name_,
                                          options_);
   {
-    const std::scoped_lock lock(slot->mutex);
+    const MutexLock lock(slot->mutex);
     slot->entry = entry;
     slot->building = false;
     slot->done = true;
   }
   slot->ready.notify_all();
   if (!entry) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.unknown_codecs;
     *error = WireErrorCode::kUnknownCodec;
   }
@@ -147,7 +147,7 @@ std::shared_ptr<CodecEntry> CodecCache::resolve(const CodecRef& ref,
 }
 
 CodecCacheStats CodecCache::stats() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   CodecCacheStats s = stats_;
   s.entries = slots_.size();
   return s;

@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "core/decoder.hpp"
 #include "core/decoder_factory.hpp"
 #include "service/wire.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ldpc::service {
 
@@ -76,23 +76,23 @@ class CodecEntry : public std::enable_shared_from_this<CodecEntry> {
   const QCLdpcCode& code() const { return *code_; }
 
   /// Lease a decoder, building a fresh one when the pool is empty.
-  DecoderLease lease();
+  DecoderLease lease() LDPC_EXCLUDES(pool_mutex_);
 
   /// Decoders built over this entry's lifetime (pool growth metric).
-  std::size_t decoders_built() const;
+  std::size_t decoders_built() const LDPC_EXCLUDES(pool_mutex_);
 
  private:
   friend class DecoderLease;
-  void give_back(std::unique_ptr<Decoder> decoder);
+  void give_back(std::unique_ptr<Decoder> decoder) LDPC_EXCLUDES(pool_mutex_);
 
   CodecRef ref_;
   std::unique_ptr<QCLdpcCode> code_;  ///< stable address: decoders borrow it
   std::string decoder_name_;
   DecoderOptions options_;
 
-  mutable std::mutex pool_mutex_;
-  std::vector<std::unique_ptr<Decoder>> pool_;
-  std::size_t decoders_built_ = 0;
+  mutable Mutex pool_mutex_;
+  std::vector<std::unique_ptr<Decoder>> pool_ LDPC_GUARDED_BY(pool_mutex_);
+  std::size_t decoders_built_ LDPC_GUARDED_BY(pool_mutex_) = 0;
 };
 
 struct CodecCacheStats {
@@ -116,9 +116,10 @@ class CodecCache {
   /// kUnknownCodec when (standard, rate, z) names no bundled code; never
   /// throws on wire-derived values.
   std::shared_ptr<CodecEntry> resolve(const CodecRef& ref,
-                                      WireErrorCode* error);
+                                      WireErrorCode* error)
+      LDPC_EXCLUDES(mutex_);
 
-  CodecCacheStats stats() const;
+  CodecCacheStats stats() const LDPC_EXCLUDES(mutex_);
 
   /// Every CodecRef the cache can build (the service's advertised code
   /// table set; tests and the load generator enumerate it).
@@ -126,12 +127,16 @@ class CodecCache {
 
  private:
   /// Single-flight slot: holds the build state one herd coalesces on.
+  /// Lock order: a slot's mutex is acquired first, the cache-wide mutex_
+  /// (stats) nests inside it; no path holds a slot mutex while taking
+  /// another slot's.
   struct Slot {
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable ready;
-    bool building = false;
-    bool done = false;
-    std::shared_ptr<CodecEntry> entry;  ///< null after a failed build
+    bool building LDPC_GUARDED_BY(mutex) = false;
+    bool done LDPC_GUARDED_BY(mutex) = false;
+    /// Null after a failed build.
+    std::shared_ptr<CodecEntry> entry LDPC_GUARDED_BY(mutex);
   };
 
   /// Build the code named by `ref`, or nullptr for unknown refs.
@@ -140,9 +145,9 @@ class CodecCache {
   std::string decoder_name_;
   DecoderOptions options_;
 
-  mutable std::mutex mutex_;
-  std::map<CodecRef, std::shared_ptr<Slot>> slots_;
-  CodecCacheStats stats_;
+  mutable Mutex mutex_;
+  std::map<CodecRef, std::shared_ptr<Slot>> slots_ LDPC_GUARDED_BY(mutex_);
+  CodecCacheStats stats_ LDPC_GUARDED_BY(mutex_);
 };
 
 }  // namespace ldpc::service

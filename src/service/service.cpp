@@ -37,6 +37,22 @@ constexpr int kEpollTimeoutMs = 50;
 /// other connection had its turn.
 constexpr std::size_t kReadBudgetBytes = 64U << 10;
 
+/// Thread-safe errno formatting: std::strerror hands back a pointer into
+/// shared static storage. strerror_r's return type differs between glibc
+/// (char*) and POSIX (int); the overload pair below accepts either.
+[[maybe_unused]] const char* strerror_pick(const char* glibc_result,
+                                           const char*) {
+  return glibc_result;
+}
+[[maybe_unused]] const char* strerror_pick(int, const char* buf) {
+  return buf;
+}
+
+std::string errno_string(int err) {
+  char buf[128] = "unknown error";
+  return strerror_pick(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   LDPC_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed");
@@ -157,7 +173,7 @@ void DecodeService::start() {
   LDPC_CHECK_MSG(!loop_thread_.joinable(), "service already started");
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  LDPC_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  LDPC_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << errno_string(errno));
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -170,9 +186,9 @@ void DecodeService::start() {
   LDPC_CHECK_MSG(
       ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
       "bind(" << config_.bind_address << ":" << config_.port
-              << ") failed: " << std::strerror(errno));
+              << ") failed: " << errno_string(errno));
   LDPC_CHECK_MSG(::listen(listen_fd_, 128) == 0,
-                 "listen() failed: " << std::strerror(errno));
+                 "listen() failed: " << errno_string(errno));
   socklen_t addr_len = sizeof(addr);
   LDPC_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                            &addr_len) == 0);
@@ -214,7 +230,7 @@ void DecodeService::post_completion(std::uint64_t serial,
                                     const DecodeResult& result,
                                     const SaturationStats& saturation) {
   {
-    const std::scoped_lock lock(completions_mutex_);
+    const MutexLock lock(completions_mutex_);
     completions_.push_back(Completion{serial, result, saturation});
   }
   wake_loop();
@@ -228,7 +244,7 @@ void DecodeService::loop_main() {
                                    kEpollTimeoutMs);
     if (ready < 0 && errno != EINTR) break;
 
-    std::unique_lock lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     graveyard_.clear();  // last tick's closed connections; see close_connection
     for (int i = 0; i < std::max(ready, 0); ++i) {
       const epoll_event& ev = events[static_cast<std::size_t>(i)];
@@ -671,7 +687,7 @@ void DecodeService::submit_to_engine(const std::shared_ptr<PendingJob>& job) {
 void DecodeService::process_completions() {
   std::vector<Completion> batch;
   {
-    const std::scoped_lock lock(completions_mutex_);
+    const MutexLock lock(completions_mutex_);
     batch.swap(completions_);
   }
   for (const Completion& completion : batch) {
@@ -918,7 +934,7 @@ std::string DecodeService::build_stats_json() {
 ServiceStats DecodeService::stats() const {
   ServiceStats out;
   {
-    const std::scoped_lock lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     out = counters_;
     out.tenants = admission_.stats();
   }
@@ -928,7 +944,7 @@ ServiceStats DecodeService::stats() const {
 }
 
 ShutdownReport DecodeService::shutdown(Clock::time_point deadline) {
-  const std::scoped_lock shutdown_lock(shutdown_mutex_);
+  const MutexLock shutdown_lock(shutdown_mutex_);
   if (shutdown_done_) return shutdown_report_;
   ShutdownReport report;
   if (!loop_thread_.joinable()) {
@@ -938,21 +954,28 @@ ShutdownReport DecodeService::shutdown(Clock::time_point deadline) {
   }
 
   {
-    const std::scoped_lock lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     draining_ = true;
   }
   wake_loop();
   {
-    std::unique_lock lock(state_mutex_);
-    report.drained_clean = drained_cv_.wait_until(
-        lock, deadline, [&] { return pending_.empty(); });
+    MutexLock lock(state_mutex_);
+    while (!pending_.empty()) {
+      if (lock.wait_until(drained_cv_, deadline) == std::cv_status::timeout)
+        break;
+    }
+    report.drained_clean = pending_.empty();
     if (!report.drained_clean) flush_requested_ = true;
   }
   if (!report.drained_clean) {
     wake_loop();
-    std::unique_lock lock(state_mutex_);
-    drained_cv_.wait_until(lock, Clock::now() + kCancelGrace,
-                           [&] { return pending_.empty(); });
+    MutexLock lock(state_mutex_);
+    const auto grace_deadline = Clock::now() + kCancelGrace;
+    while (!pending_.empty()) {
+      if (lock.wait_until(drained_cv_, grace_deadline) ==
+          std::cv_status::timeout)
+        break;
+    }
     report.parked_flushed = counters_.jobs_flushed_at_drain;
     report.cancelled_in_flight = drain_cancelled_;
   }
@@ -964,7 +987,7 @@ ShutdownReport DecodeService::shutdown(Clock::time_point deadline) {
   report.straggler_frames = engine_drain.straggler_frames;
 
   {
-    const std::scoped_lock lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     stop_requested_ = true;
   }
   wake_loop();

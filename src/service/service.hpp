@@ -40,7 +40,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -51,6 +50,7 @@
 #include "service/admission.hpp"
 #include "service/codec_cache.hpp"
 #include "service/wire.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ldpc::service {
 
@@ -156,12 +156,13 @@ class DecodeService {
   std::uint16_t port() const { return bound_port_; }
 
   /// Tear-free stats snapshot, callable from any thread.
-  ServiceStats stats() const;
+  ServiceStats stats() const LDPC_EXCLUDES(state_mutex_);
 
   /// Graceful drain (the SIGTERM path): stop accepting work, answer every
   /// already-accepted job, expire what cannot finish by `deadline`, then
   /// stop. Idempotent; concurrent callers get the first call's report.
-  ShutdownReport shutdown(Clock::time_point deadline);
+  ShutdownReport shutdown(Clock::time_point deadline)
+      LDPC_EXCLUDES(shutdown_mutex_, state_mutex_);
 
   /// Convenience: drain with a relative timeout.
   ShutdownReport shutdown_after(std::chrono::nanoseconds timeout) {
@@ -177,33 +178,44 @@ class DecodeService {
     SaturationStats saturation;
   };
 
-  void loop_main();
-  void handle_accept();
-  void handle_readable(Connection& conn);
-  void handle_writable(Connection& conn);
-  void process_frames(Connection& conn);
-  void handle_decode_request(Connection& conn, DecodeRequest&& request);
-  void submit_to_engine(const std::shared_ptr<PendingJob>& job);
-  void process_completions();
-  void unpark_tenant(std::uint32_t tenant_id);
+  // Every handler below runs on the event-loop thread with state_mutex_
+  // held for the whole tick; the REQUIRES annotations make that discipline
+  // compiler-checked under clang.
+  void loop_main() LDPC_EXCLUDES(state_mutex_);
+  void handle_accept() LDPC_REQUIRES(state_mutex_);
+  void handle_readable(Connection& conn) LDPC_REQUIRES(state_mutex_);
+  void handle_writable(Connection& conn) LDPC_REQUIRES(state_mutex_);
+  void process_frames(Connection& conn) LDPC_REQUIRES(state_mutex_);
+  void handle_decode_request(Connection& conn, DecodeRequest&& request)
+      LDPC_REQUIRES(state_mutex_);
+  void submit_to_engine(const std::shared_ptr<PendingJob>& job)
+      LDPC_REQUIRES(state_mutex_);
+  void process_completions() LDPC_REQUIRES(state_mutex_)
+      LDPC_EXCLUDES(completions_mutex_);
+  void unpark_tenant(std::uint32_t tenant_id) LDPC_REQUIRES(state_mutex_);
   /// Wire-level backpressure: stop reading from `conn` because a request it
   /// sent parked in `tenant_id`'s wait line. Unread bytes accumulate in the
   /// kernel buffer and TCP flow control slows the sender — the event loop
   /// never spends a cycle parsing work the tenant cannot take.
-  void throttle_connection(Connection& conn, std::uint32_t tenant_id);
-  void unthrottle_tenant(std::uint32_t tenant_id);
+  void throttle_connection(Connection& conn, std::uint32_t tenant_id)
+      LDPC_REQUIRES(state_mutex_);
+  void unthrottle_tenant(std::uint32_t tenant_id) LDPC_REQUIRES(state_mutex_);
   /// Resume reads when the tenant can make progress again (free in-flight
   /// capacity, or an emptied wait line).
-  void maybe_unthrottle(std::uint32_t tenant_id);
-  void flush_for_drain();
-  void send_bytes(Connection& conn, std::vector<std::uint8_t> bytes);
+  void maybe_unthrottle(std::uint32_t tenant_id) LDPC_REQUIRES(state_mutex_);
+  void flush_for_drain() LDPC_REQUIRES(state_mutex_);
+  void send_bytes(Connection& conn, std::vector<std::uint8_t> bytes)
+      LDPC_REQUIRES(state_mutex_);
   void send_error(Connection& conn, std::uint64_t request_id,
-                  WireErrorCode code, const std::string& detail);
-  void close_connection(int fd, bool evicted, bool by_peer);
-  void update_epoll(Connection& conn);
-  std::string build_stats_json();
+                  WireErrorCode code, const std::string& detail)
+      LDPC_REQUIRES(state_mutex_);
+  void close_connection(int fd, bool evicted, bool by_peer)
+      LDPC_REQUIRES(state_mutex_);
+  void update_epoll(Connection& conn) LDPC_REQUIRES(state_mutex_);
+  std::string build_stats_json() LDPC_REQUIRES(state_mutex_);
   void post_completion(std::uint64_t serial, const DecodeResult& result,
-                       const SaturationStats& saturation);
+                       const SaturationStats& saturation)
+      LDPC_EXCLUDES(completions_mutex_);
   void wake_loop();
 
   ServiceConfig config_;
@@ -218,35 +230,45 @@ class DecodeService {
   std::thread loop_thread_;
 
   // All state below state_mutex_ is owned by the event loop; stats() and
-  // shutdown() take the same mutex from other threads.
-  mutable std::mutex state_mutex_;
+  // shutdown() take the same mutex from other threads. Lock order:
+  // shutdown_mutex_ -> state_mutex_ -> completions_mutex_; the engine's and
+  // codec cache's internal mutexes nest inside state_mutex_.
+  mutable Mutex state_mutex_;
   std::condition_variable drained_cv_;
-  AdmissionController admission_;
-  std::map<int, std::unique_ptr<Connection>> conns_;
+  /// Pure decision machine (no internal lock): tenant buckets, wait-line
+  /// accounting. Mutated only under state_mutex_.
+  AdmissionController admission_ LDPC_GUARDED_BY(state_mutex_);
+  std::map<int, std::unique_ptr<Connection>> conns_
+      LDPC_GUARDED_BY(state_mutex_);
   /// Connections closed during this event-loop tick. Destruction is
   /// deferred to the next tick so in-flight references (a handler that
   /// triggered the eviction mid-send) stay valid; the fd itself is closed
   /// and unmapped immediately.
-  std::vector<std::unique_ptr<Connection>> graveyard_;
-  std::map<std::uint64_t, std::shared_ptr<PendingJob>> pending_;
+  std::vector<std::unique_ptr<Connection>> graveyard_
+      LDPC_GUARDED_BY(state_mutex_);
+  std::map<std::uint64_t, std::shared_ptr<PendingJob>> pending_
+      LDPC_GUARDED_BY(state_mutex_);
   /// Tenant id -> parked serials, oldest first.
-  std::map<std::uint32_t, std::deque<std::uint64_t>> parked_;
+  std::map<std::uint32_t, std::deque<std::uint64_t>> parked_
+      LDPC_GUARDED_BY(state_mutex_);
   /// Tenant id -> connections whose reads are paused for backpressure.
-  std::map<std::uint32_t, std::set<int>> throttled_fds_;
-  ServiceStats counters_;
-  std::uint64_t next_serial_ = 1;
-  bool draining_ = false;
-  bool flush_requested_ = false;
-  bool stop_requested_ = false;
-  bool stopped_ = false;
-  std::size_t drain_cancelled_ = 0;  ///< in-flight tokens tripped at drain
+  std::map<std::uint32_t, std::set<int>> throttled_fds_
+      LDPC_GUARDED_BY(state_mutex_);
+  ServiceStats counters_ LDPC_GUARDED_BY(state_mutex_);
+  std::uint64_t next_serial_ LDPC_GUARDED_BY(state_mutex_) = 1;
+  bool draining_ LDPC_GUARDED_BY(state_mutex_) = false;
+  bool flush_requested_ LDPC_GUARDED_BY(state_mutex_) = false;
+  bool stop_requested_ LDPC_GUARDED_BY(state_mutex_) = false;
+  bool stopped_ LDPC_GUARDED_BY(state_mutex_) = false;
+  /// In-flight tokens tripped at drain.
+  std::size_t drain_cancelled_ LDPC_GUARDED_BY(state_mutex_) = 0;
 
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
+  Mutex completions_mutex_;
+  std::vector<Completion> completions_ LDPC_GUARDED_BY(completions_mutex_);
 
-  std::mutex shutdown_mutex_;  ///< serializes shutdown(); taken first
-  bool shutdown_done_ = false;
-  ShutdownReport shutdown_report_;
+  Mutex shutdown_mutex_;  ///< serializes shutdown(); taken first
+  bool shutdown_done_ LDPC_GUARDED_BY(shutdown_mutex_) = false;
+  ShutdownReport shutdown_report_ LDPC_GUARDED_BY(shutdown_mutex_);
 };
 
 }  // namespace ldpc::service

@@ -4,6 +4,14 @@
 #include <cstring>
 #include <sstream>
 
+// GCC 12's -Wstringop-overflow misfires on FrameBuilder's resize+memcpy
+// chain once callers are inlined (libstdc++'s internal memset appears to
+// write past a phantom 8-byte allocation). Every append here is sized by
+// construction; silence the false positive for this TU under GCC only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+
 namespace ldpc::service {
 namespace {
 

@@ -8,7 +8,12 @@
 namespace ldpc {
 
 CliArgs::CliArgs(int argc, const char* const* argv,
-                 const std::vector<std::string>& allowed) {
+                 const std::vector<std::string>& allowed,
+                 const std::vector<std::string>& boolean_flags) {
+  const auto is_boolean = [&](const std::string& name) {
+    return std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+           boolean_flags.end();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     LDPC_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got: " << arg);
@@ -19,8 +24,15 @@ CliArgs::CliArgs(int argc, const char* const* argv,
       value = arg.substr(eq + 1);
     } else {
       name = arg;
-      LDPC_CHECK_MSG(i + 1 < argc, "flag --" << name << " is missing a value");
-      value = argv[++i];
+      const bool next_is_value =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+      if (is_boolean(name) && !next_is_value) {
+        value = "1";  // bare boolean flag
+      } else {
+        LDPC_CHECK_MSG(i + 1 < argc,
+                       "flag --" << name << " is missing a value");
+        value = argv[++i];
+      }
     }
     LDPC_CHECK_MSG(std::find(allowed.begin(), allowed.end(), name) != allowed.end(),
                    "unknown flag --" << name);

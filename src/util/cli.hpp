@@ -1,7 +1,8 @@
 // Tiny command-line flag parser for the example binaries.
 //
 // Supports `--name value` and `--name=value`; unknown flags are an error so
-// typos do not silently fall back to defaults.
+// typos do not silently fall back to defaults. Flags listed as boolean may
+// also appear bare (`--all-codes`), in which case they take the value "1".
 #pragma once
 
 #include <map>
@@ -14,8 +15,11 @@ class CliArgs {
  public:
   /// Parses argv. `allowed` lists every recognised flag name (without the
   /// leading dashes); throws ldpc::Error for unknown or malformed flags.
+  /// Flags also listed in `boolean_flags` may omit their value when the
+  /// next token is another flag (or argv ends); they then read as "1".
   CliArgs(int argc, const char* const* argv,
-          const std::vector<std::string>& allowed);
+          const std::vector<std::string>& allowed,
+          const std::vector<std::string>& boolean_flags = {});
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;

@@ -1,0 +1,108 @@
+// Clang thread-safety capability annotations + an annotated mutex.
+//
+// The concurrent runtime (src/runtime) and the decode service (src/service)
+// document every lock invariant in these attributes so clang's
+// -Wthread-safety analysis can prove lock discipline at compile time:
+// which members a mutex guards (LDPC_GUARDED_BY), which private helpers may
+// only run under a lock (LDPC_REQUIRES), and which public entry points must
+// be called lock-free (LDPC_EXCLUDES). scripts/check.sh builds the runtime
+// and service libraries with -Werror=thread-safety when a clang toolchain
+// is available; under GCC the macros expand to nothing and the annotations
+// are plain documentation.
+//
+// libstdc++'s std::mutex carries no capability attribute, so the analysis
+// cannot see through it. ldpc::Mutex wraps std::mutex with the CAPABILITY
+// attribute and ldpc::MutexLock is the annotated scoped lock. MutexLock
+// deliberately exposes condition-variable waits as plain `wait(cv)` —
+// predicate-lambda overloads are analysed as separate functions with an
+// empty lock set and generate false positives on every guarded member the
+// predicate reads, so callers write explicit `while (!cond) lock.wait(cv);`
+// loops instead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LDPC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LDPC_THREAD_ANNOTATION
+#define LDPC_THREAD_ANNOTATION(x)  // not clang: annotations are comments
+#endif
+
+#define LDPC_CAPABILITY(x) LDPC_THREAD_ANNOTATION(capability(x))
+#define LDPC_SCOPED_CAPABILITY LDPC_THREAD_ANNOTATION(scoped_lockable)
+#define LDPC_GUARDED_BY(x) LDPC_THREAD_ANNOTATION(guarded_by(x))
+#define LDPC_PT_GUARDED_BY(x) LDPC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define LDPC_ACQUIRE(...) \
+  LDPC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LDPC_RELEASE(...) \
+  LDPC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LDPC_TRY_ACQUIRE(...) \
+  LDPC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define LDPC_REQUIRES(...) \
+  LDPC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define LDPC_EXCLUDES(...) LDPC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define LDPC_ACQUIRED_BEFORE(...) \
+  LDPC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LDPC_ACQUIRED_AFTER(...) \
+  LDPC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define LDPC_RETURN_CAPABILITY(x) LDPC_THREAD_ANNOTATION(lock_returned(x))
+#define LDPC_NO_THREAD_SAFETY_ANALYSIS \
+  LDPC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ldpc {
+
+/// std::mutex with the `capability` attribute the analysis needs. The
+/// untyped escape hatch `native()` exists only for std::scoped_lock over
+/// two mutexes (deadlock-avoidance ordering) — callers using it must carry
+/// their own LDPC_ACQUIRE/LDPC_RELEASE annotations.
+class LDPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LDPC_ACQUIRE() { mutex_.lock(); }
+  void unlock() LDPC_RELEASE() { mutex_.unlock(); }
+  bool try_lock() LDPC_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Annotated scoped lock over ldpc::Mutex with condition-variable support.
+/// Wait primitives only — no predicate overloads (see file comment); the
+/// lock is always held again when a wait returns, which is exactly what the
+/// scoped-capability model assumes.
+class LDPC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) LDPC_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() LDPC_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Block until notified. Atomically releases and re-acquires the mutex;
+  /// the capability is held across the call from the analysis's viewpoint.
+  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Timed wait; std::cv_status::timeout when the deadline passed first.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      std::condition_variable& cv,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv.wait_until(lock_, deadline);
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace ldpc

@@ -1,0 +1,433 @@
+// Tests for the static value-range verifier (src/analysis): the abstract
+// domain's transfer functions brute-forced against the concrete kernel
+// arithmetic they model, the fixpoint engine's proven bounds, and the
+// static-vs-runtime cross-check — a site the verifier proves unsaturable
+// must never show a nonzero runtime clip counter, on any input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/range_domain.hpp"
+#include "analysis/range_verify.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "core/layered_minsum_fixed.hpp"
+#include "core/quant.hpp"
+#include "util/saturate.hpp"
+
+namespace ldpc {
+namespace {
+
+// ---------------------------------------------------------------- domain --
+
+TEST(IntervalDomain, JoinMeetBasics) {
+  const Interval a = Interval::of(-3, 5);
+  const Interval b = Interval::of(2, 9);
+  EXPECT_EQ(interval_join(a, b), Interval::of(-3, 9));
+  EXPECT_EQ(interval_meet(a, b), Interval::of(2, 5));
+  EXPECT_TRUE(interval_meet(Interval::of(0, 1), Interval::of(3, 4)).empty());
+  EXPECT_EQ(interval_join(Interval::bottom(), a), a);
+  EXPECT_EQ(interval_join(a, Interval::bottom()), a);
+  EXPECT_TRUE(interval_meet(Interval::bottom(), a).empty());
+  // Join is the least upper bound: contains both operands.
+  EXPECT_TRUE(interval_join(a, b).contains(a));
+  EXPECT_TRUE(interval_join(a, b).contains(b));
+}
+
+TEST(IntervalDomain, WideningJumpsGrownBoundsToInfinity) {
+  const Interval prev = Interval::of(-4, 7);
+  // Stable: widening is the identity.
+  EXPECT_EQ(interval_widen(prev, prev), prev);
+  EXPECT_EQ(interval_widen(prev, Interval::of(-3, 6)), prev);
+  // Upper bound grew: jumps to +inf, lower stays.
+  const Interval wider_hi = interval_widen(prev, Interval::of(-4, 8));
+  EXPECT_EQ(wider_hi.lo, -4);
+  EXPECT_EQ(wider_hi.hi, Interval::kPosInf);
+  // Lower bound grew: jumps to -inf.
+  const Interval wider_lo = interval_widen(prev, Interval::of(-5, 7));
+  EXPECT_EQ(wider_lo.lo, Interval::kNegInf);
+  EXPECT_EQ(wider_lo.hi, 7);
+  // Widening terminates: applying it twice is a fixpoint.
+  const Interval once = interval_widen(prev, Interval::of(-5, 8));
+  EXPECT_EQ(interval_widen(once, once), once);
+}
+
+TEST(IntervalDomain, SaturatingSentinelArithmetic) {
+  EXPECT_EQ(sat64_add(Interval::kPosInf, -5), Interval::kPosInf);
+  EXPECT_EQ(sat64_add(Interval::kNegInf, 5), Interval::kNegInf);
+  EXPECT_EQ(sat64_add(3, 4), 7);
+  EXPECT_EQ(sat64_neg(Interval::kNegInf), Interval::kPosInf);
+  EXPECT_EQ(sat64_neg(Interval::kPosInf), Interval::kNegInf);
+  EXPECT_EQ(sat64_neg(-7), 7);
+}
+
+/// Brute-force harness: enumerate every subinterval pair of a small window
+/// and check the abstract result is exactly the concrete image (sound AND
+/// tight), which is what "exact extension of a monotone op" promises.
+template <typename AbstractFn, typename ConcreteFn>
+void check_exact_binary(AbstractFn abstract, ConcreteFn concrete,
+                        std::int64_t window_lo, std::int64_t window_hi) {
+  for (std::int64_t alo = window_lo; alo <= window_hi; ++alo)
+    for (std::int64_t ahi = alo; ahi <= window_hi; ++ahi)
+      for (std::int64_t blo = window_lo; blo <= window_hi; ++blo)
+        for (std::int64_t bhi = blo; bhi <= window_hi; ++bhi) {
+          const Interval result =
+              abstract(Interval::of(alo, ahi), Interval::of(blo, bhi));
+          std::int64_t min = Interval::kPosInf;
+          std::int64_t max = Interval::kNegInf;
+          for (std::int64_t x = alo; x <= ahi; ++x)
+            for (std::int64_t y = blo; y <= bhi; ++y) {
+              const std::int64_t v = concrete(x, y);
+              min = std::min(min, v);
+              max = std::max(max, v);
+            }
+          ASSERT_EQ(result, Interval::of(min, max))
+              << "[" << alo << "," << ahi << "] op [" << blo << "," << bhi
+              << "]";
+        }
+}
+
+template <typename AbstractFn, typename ConcreteFn>
+void check_exact_unary(AbstractFn abstract, ConcreteFn concrete,
+                       std::int64_t window_lo, std::int64_t window_hi) {
+  for (std::int64_t lo = window_lo; lo <= window_hi; ++lo)
+    for (std::int64_t hi = lo; hi <= window_hi; ++hi) {
+      const Interval result = abstract(Interval::of(lo, hi));
+      std::int64_t min = Interval::kPosInf;
+      std::int64_t max = Interval::kNegInf;
+      for (std::int64_t x = lo; x <= hi; ++x) {
+        const std::int64_t v = concrete(x);
+        min = std::min(min, v);
+        max = std::max(max, v);
+      }
+      ASSERT_EQ(result, Interval::of(min, max)) << "[" << lo << "," << hi
+                                                << "]";
+    }
+}
+
+TEST(IntervalDomain, AddSubMinExactByBruteForce) {
+  check_exact_binary(interval_add,
+                     [](std::int64_t x, std::int64_t y) { return x + y; }, -6,
+                     6);
+  check_exact_binary(interval_sub,
+                     [](std::int64_t x, std::int64_t y) { return x - y; }, -6,
+                     6);
+  // The min1/min2 running-minimum transfer.
+  check_exact_binary(
+      interval_min,
+      [](std::int64_t x, std::int64_t y) { return std::min(x, y); }, -6, 6);
+}
+
+TEST(IntervalDomain, NegAbsPlusMinusExactByBruteForce) {
+  check_exact_unary(interval_neg, [](std::int64_t x) { return -x; }, -9, 9);
+  check_exact_unary(interval_abs,
+                    [](std::int64_t x) { return x < 0 ? -x : x; }, -9, 9);
+  // ± union over a magnitude interval: image of {-1, +1} x [lo, hi].
+  for (std::int64_t lo = 0; lo <= 9; ++lo)
+    for (std::int64_t hi = lo; hi <= 9; ++hi) {
+      const Interval pm = interval_plus_minus(Interval::of(lo, hi));
+      EXPECT_EQ(pm, Interval::of(-hi, hi));
+    }
+}
+
+TEST(IntervalDomain, ShiftAddScalingMatchesDatapath) {
+  // (x>>1) + (x>>2) truncating — exactly what scale_three_quarters computes
+  // on the magnitude (concrete fn from util/saturate.hpp, positive branch).
+  check_exact_unary(
+      interval_scale_three_quarters,
+      [](std::int64_t x) {
+        return static_cast<std::int64_t>(
+            scale_three_quarters(static_cast<std::int32_t>(x)));
+      },
+      0, 200);
+}
+
+TEST(IntervalDomain, NumDenAndOffsetTransfersExact) {
+  for (const auto& [num, den] :
+       {std::pair<std::int64_t, std::int64_t>{15, 16}, {16, 16}, {7, 8}}) {
+    check_exact_unary(
+        [num, den](const Interval& a) {
+          return interval_scale_num_den(a, num, den);
+        },
+        [num, den](std::int64_t x) { return (x * num) / den; }, 0, 64);
+  }
+  for (const std::int64_t offset : {0, 1, 2, 5}) {
+    check_exact_unary(
+        [offset](const Interval& a) { return interval_offset(a, offset); },
+        [offset](std::int64_t x) { return std::max<std::int64_t>(0, x - offset); },
+        0, 64);
+  }
+}
+
+TEST(IntervalDomain, ClampMatchesSatClamp) {
+  const int bits = 6;
+  check_exact_unary(
+      [&](const Interval& a) {
+        return interval_clamp(a, fixed_min(bits), fixed_max(bits));
+      },
+      [&](std::int64_t x) {
+        return static_cast<std::int64_t>(sat_clamp(x, bits));
+      },
+      -80, 80);
+  // Unbounded input clamps onto the rails.
+  EXPECT_EQ(interval_clamp(Interval::top(), -32, 31), Interval::of(-32, 31));
+}
+
+TEST(IntervalDomain, RequiredBits) {
+  EXPECT_EQ(required_bits(Interval::of(0, 0)), 2);  // format floor
+  EXPECT_EQ(required_bits(Interval::of(-8, 7)), 4);
+  EXPECT_EQ(required_bits(Interval::of(-9, 7)), 5);
+  EXPECT_EQ(required_bits(Interval::of(-128, 127)), 8);
+  EXPECT_EQ(required_bits(Interval::of(-224, 223)), 9);
+  EXPECT_EQ(required_bits(Interval::top()), -1);
+}
+
+TEST(SignDomain, JoinLattice) {
+  EXPECT_EQ(sign_join(Sign::kBottom, Sign::kNeg), Sign::kNeg);
+  EXPECT_EQ(sign_join(Sign::kNeg, Sign::kZero), Sign::kNonPos);
+  EXPECT_EQ(sign_join(Sign::kPos, Sign::kZero), Sign::kNonNeg);
+  EXPECT_EQ(sign_join(Sign::kNeg, Sign::kPos), Sign::kNonZero);
+  EXPECT_EQ(sign_join(Sign::kNonPos, Sign::kPos), Sign::kTop);
+  EXPECT_EQ(interval_sign(Interval::of(-3, 3)), Sign::kTop);
+  EXPECT_EQ(interval_sign(Interval::of(0, 3)), Sign::kNonNeg);
+  EXPECT_EQ(interval_sign(Interval::of(1, 3)), Sign::kPos);
+  EXPECT_EQ(interval_sign(Interval::point(0)), Sign::kZero);
+}
+
+// -------------------------------------------------------------- verifier --
+
+CodeFacts wimax_facts() {
+  static const QCLdpcCode code = make_wimax_code(all_wimax_rates().front(), 96);
+  return CodeFacts::from_code("wimax-r0-z96", code);
+}
+
+TEST(RangeVerify, ShiftAddScalingIsProvenUnsaturableAtQ8) {
+  const RangeReport report =
+      verify_ranges(wimax_facts(), FixedFormat{8, 2}, ScalingSpec{});
+  // Q = P - R pre-clamp: [-128,127] - [-96,96] = [-224, 223] -> 9 bits.
+  const SiteBound& q = report.site(RangeSite::kQ);
+  EXPECT_EQ(q.wide, Interval::of(-224, 223));
+  EXPECT_TRUE(q.has_clamp);
+  EXPECT_TRUE(q.clamp_required);
+  EXPECT_EQ(q.min_safe_bits, 9);
+  // |Q| reaches 128 (the negative rail's magnitude); the min register is
+  // unsigned 8-bit hardware, capacity 255, so no clamp is needed.
+  EXPECT_EQ(report.site(RangeSite::kMinMagnitude).wide, Interval::of(0, 128));
+  // 0.75 * 128 by shift-add = 96: the R' clamp can never fire. This is the
+  // paper's headline property — 3/4 scaling makes the check-message write
+  // clamp-free at any width.
+  const SiteBound& r = report.site(RangeSite::kRNew);
+  EXPECT_EQ(r.wide, Interval::of(-96, 96));
+  EXPECT_TRUE(r.proven_unsaturable);
+  EXPECT_FALSE(r.clamp_required);
+  EXPECT_TRUE(report.all_safe());
+  EXPECT_FALSE(report.widening_applied);
+  EXPECT_LE(report.iterations_to_fixpoint, 4);
+}
+
+TEST(RangeVerify, IdentityScalingRequiresTheRPrimeClamp) {
+  const RangeReport report = verify_ranges(
+      wimax_facts(), FixedFormat{8, 2},
+      ScalingSpec{ScaleKind::kNumDen, 16, 16, 0});
+  const SiteBound& r = report.site(RangeSite::kRNew);
+  EXPECT_EQ(r.wide, Interval::of(-128, 128));
+  EXPECT_FALSE(r.proven_unsaturable);
+  EXPECT_TRUE(r.clamp_required);
+  EXPECT_TRUE(r.safe());  // the implementation does clamp there
+  EXPECT_TRUE(report.all_safe());
+}
+
+TEST(RangeVerify, Q6BoundsScaleWithTheFormat) {
+  const RangeReport report =
+      verify_ranges(wimax_facts(), FixedFormat{6, 1}, ScalingSpec{});
+  EXPECT_EQ(report.site(RangeSite::kRNew).wide, Interval::of(-24, 24));
+  EXPECT_TRUE(report.site(RangeSite::kRNew).proven_unsaturable);
+  EXPECT_EQ(report.site(RangeSite::kQ).wide, Interval::of(-56, 55));
+  EXPECT_EQ(report.site(RangeSite::kQ).min_safe_bits, 7);
+  EXPECT_TRUE(report.all_safe());
+}
+
+TEST(RangeVerify, OffsetCorrectionBounds) {
+  // offset-2 shrinks the magnitude to [0, 126]: proven unsaturable.
+  const RangeReport with_offset = verify_ranges(
+      wimax_facts(), FixedFormat{8, 2},
+      ScalingSpec{ScaleKind::kOffset, 3, 4, 2});
+  EXPECT_EQ(with_offset.site(RangeSite::kRNew).wide, Interval::of(-126, 126));
+  EXPECT_TRUE(with_offset.site(RangeSite::kRNew).proven_unsaturable);
+  // offset-0 is the identity: the R' clamp stays load-bearing.
+  const RangeReport no_offset = verify_ranges(
+      wimax_facts(), FixedFormat{8, 2},
+      ScalingSpec{ScaleKind::kOffset, 3, 4, 0});
+  EXPECT_TRUE(no_offset.site(RangeSite::kRNew).clamp_required);
+}
+
+TEST(RangeVerify, SpecReadsKernelParametersExactly) {
+  const FixedFormat format{8, 2};
+  const LayerRowKernel shift_add(format);
+  EXPECT_EQ(ScalingSpec::from_kernel(shift_add).kind,
+            ScaleKind::kThreeQuarters);
+  const LayerRowKernel ablation(format, 15, 16);
+  const ScalingSpec ab = ScalingSpec::from_kernel(ablation);
+  EXPECT_EQ(ab.kind, ScaleKind::kNumDen);
+  EXPECT_EQ(ab.num, 15);
+  EXPECT_EQ(ab.den, 16);
+  const LayerRowKernel offset = LayerRowKernel::offset_kernel(format, 2);
+  const ScalingSpec off = ScalingSpec::from_kernel(offset);
+  EXPECT_EQ(off.kind, ScaleKind::kOffset);
+  EXPECT_EQ(off.offset_code, 2);
+}
+
+// -------------------------------------------- static vs runtime cross-check --
+
+/// Adversarial LLR frames for one code: rail-hot (every channel value at or
+/// beyond the quantizer rails), alternating-sign rail-hot, and a mixed ramp.
+std::vector<std::vector<float>> stress_frames(std::size_t n) {
+  std::vector<std::vector<float>> frames;
+  frames.push_back(std::vector<float>(n, 1000.0F));
+  frames.push_back(std::vector<float>(n, -1000.0F));
+  std::vector<float> alternating(n);
+  for (std::size_t i = 0; i < n; ++i)
+    alternating[i] = (i % 2 == 0) ? 500.0F : -500.0F;
+  frames.push_back(std::move(alternating));
+  std::vector<float> ramp(n);
+  for (std::size_t i = 0; i < n; ++i)
+    ramp[i] = (static_cast<float>(i % 64) - 32.0F) * 1.5F;
+  frames.push_back(std::move(ramp));
+  return frames;
+}
+
+struct CrossCheckCase {
+  const char* label;
+  FixedFormat format;
+  ScalingSpec scaling;
+};
+
+TEST(RangeVerifyCrossCheck, RuntimeClipsNeverExceedStaticVerdicts) {
+  const QCLdpcCode code = make_wimax_code(all_wimax_rates().front(), 96);
+  const CodeFacts facts = CodeFacts::from_code("wimax-r0-z96", code);
+  const std::vector<CrossCheckCase> cases = {
+      {"q8-shift-add", FixedFormat{8, 2}, ScalingSpec{}},
+      {"q6-shift-add", FixedFormat{6, 1}, ScalingSpec{}},
+      {"q8-identity", FixedFormat{8, 2},
+       ScalingSpec{ScaleKind::kNumDen, 16, 16, 0}},
+      {"q8-offset2", FixedFormat{8, 2},
+       ScalingSpec{ScaleKind::kOffset, 3, 4, 2}},
+  };
+  for (const CrossCheckCase& c : cases) {
+    SCOPED_TRACE(c.label);
+    LayerRowKernel kernel =
+        c.scaling.kind == ScaleKind::kOffset
+            ? LayerRowKernel::offset_kernel(c.format, c.scaling.offset_code)
+            : (c.scaling.kind == ScaleKind::kThreeQuarters
+                   ? LayerRowKernel(c.format)
+                   : LayerRowKernel(c.format, c.scaling.num, c.scaling.den));
+    const RangeReport report = verify_ranges(facts, kernel);
+    ASSERT_TRUE(report.all_safe());
+
+    DecoderOptions options;
+    options.max_iterations = 5;
+    options.count_saturation = true;
+    LayeredMinSumFixedDecoder decoder(code, options, kernel, c.label);
+    SaturationStats total;
+    for (const auto& frame : stress_frames(code.n())) {
+      (void)decoder.decode(frame);
+      const SaturationStats s = decoder.saturation();
+      total.q_clips += s.q_clips;
+      total.r_clips += s.r_clips;
+      total.p_clips += s.p_clips;
+      total.quantizer_clips += s.quantizer_clips;
+    }
+    // THE cross-check: a site the verifier proves unsaturable must show a
+    // zero runtime clip counter on every input, including rail-hot ones.
+    if (report.site(RangeSite::kRNew).proven_unsaturable) {
+      EXPECT_EQ(total.r_clips, 0) << "static proof contradicted at R'";
+    }
+    if (report.site(RangeSite::kQ).proven_unsaturable) {
+      EXPECT_EQ(total.q_clips, 0) << "static proof contradicted at Q";
+    }
+    if (report.site(RangeSite::kPNew).proven_unsaturable) {
+      EXPECT_EQ(total.p_clips, 0) << "static proof contradicted at P'";
+    }
+    // Rail-hot frames saturate the quantizer by construction, so the sweep
+    // is not vacuously quiet.
+    EXPECT_GT(total.quantizer_clips, 0);
+  }
+}
+
+TEST(RangeVerifyCrossCheck, ClampRequiredSitesActuallyClipUnderStress) {
+  // Non-vacuity for the negative verdicts: with identity scaling the
+  // verifier says the R' clamp is load-bearing ([-128, 128] vs rails
+  // [-128, 127]) — drive the decoder rail-hot and watch it fire.
+  const QCLdpcCode code = make_wimax_code(all_wimax_rates().front(), 96);
+  const FixedFormat format{8, 2};
+  const LayerRowKernel kernel(format, 16, 16);
+  const RangeReport report =
+      verify_ranges(CodeFacts::from_code("wimax-r0-z96", code), kernel);
+  ASSERT_TRUE(report.site(RangeSite::kRNew).clamp_required);
+
+  DecoderOptions options;
+  options.max_iterations = 5;
+  options.count_saturation = true;
+  LayeredMinSumFixedDecoder decoder(code, options, kernel, "identity-stress");
+  SaturationStats total;
+  for (const auto& frame : stress_frames(code.n())) {
+    (void)decoder.decode(frame);
+    const SaturationStats s = decoder.saturation();
+    total.r_clips += s.r_clips;
+    total.p_clips += s.p_clips;
+  }
+  EXPECT_GT(total.r_clips, 0) << "clamp_required verdict never exercised";
+}
+
+// ------------------------------------------------- quantizer regression --
+
+TEST(QuantizeRegression, ExtremeLlrsAreDefinedAndSaturate) {
+  const FixedFormat q8{8, 2};
+  // Values far outside long's float range used to hit std::lround UB; the
+  // pre-limit pins them one step past the rails before rounding.
+  EXPECT_EQ(q8.quantize(1e30F), 127);
+  EXPECT_EQ(q8.quantize(-1e30F), -128);
+  EXPECT_EQ(q8.quantize(std::numeric_limits<float>::infinity()), 127);
+  EXPECT_EQ(q8.quantize(-std::numeric_limits<float>::infinity()), -128);
+  EXPECT_EQ(q8.quantize(std::numeric_limits<float>::quiet_NaN()), 0);
+
+  long long clips = 0;
+  EXPECT_EQ(q8.quantize(1e30F, clips), 127);
+  EXPECT_EQ(clips, 1);
+  EXPECT_EQ(q8.quantize(-std::numeric_limits<float>::infinity(), clips), -128);
+  EXPECT_EQ(clips, 2);
+  // NaN maps to the neutral code without counting as a clip.
+  EXPECT_EQ(q8.quantize(std::numeric_limits<float>::quiet_NaN(), clips), 0);
+  EXPECT_EQ(clips, 2);
+}
+
+TEST(QuantizeRegression, InRangeValuesBitIdenticalToPlainRounding) {
+  // The UB fix must not move a single code for LLRs whose scaled value was
+  // already well-defined: sweep the whole representable range plus the
+  // first saturating step on both sides.
+  const FixedFormat q8{8, 2};
+  const FixedFormat q6{6, 1};
+  for (const FixedFormat& fmt : {q8, q6}) {
+    for (float llr = -40.0F; llr <= 40.0F; llr += 0.03125F) {
+      const auto reference = static_cast<std::int64_t>(
+          std::lround(llr * static_cast<float>(1 << fmt.frac_bits)));
+      ASSERT_EQ(fmt.quantize(llr), sat_clamp(reference, fmt.total_bits))
+          << fmt.name() << " llr=" << llr;
+      long long clips = 0;
+      ASSERT_EQ(fmt.quantize(llr, clips), fmt.quantize(llr));
+      ASSERT_EQ(clips != 0,
+                reference > fmt.max_code() || reference < fmt.min_code());
+    }
+  }
+  // Exact boundary: 31.75 is the q8.2 positive rail, 32.0 the first clip.
+  long long clips = 0;
+  EXPECT_EQ(q8.quantize(31.75F, clips), 127);
+  EXPECT_EQ(clips, 0);
+  EXPECT_EQ(q8.quantize(32.0F, clips), 127);
+  EXPECT_EQ(clips, 1);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -48,6 +48,9 @@ void expect_identical(Decoder& scalar, Decoder& simd,
   const SaturationStats sv = simd.saturation();
   EXPECT_EQ(ss.quantizer_clips, sv.quantizer_clips) << ctx;
   EXPECT_EQ(ss.datapath_clips, sv.datapath_clips) << ctx;
+  EXPECT_EQ(ss.q_clips, sv.q_clips) << ctx;
+  EXPECT_EQ(ss.r_clips, sv.r_clips) << ctx;
+  EXPECT_EQ(ss.p_clips, sv.p_clips) << ctx;
   EXPECT_EQ(ss.degenerate_checks, sv.degenerate_checks) << ctx;
 }
 
@@ -224,6 +227,9 @@ TEST(SimdEquivalence, QuantizedEntryPoint) {
     EXPECT_EQ(rs.status, rv.status);
     EXPECT_EQ(scalar.saturation().datapath_clips,
               simd_dec.saturation().datapath_clips);
+    EXPECT_EQ(scalar.saturation().q_clips, simd_dec.saturation().q_clips);
+    EXPECT_EQ(scalar.saturation().r_clips, simd_dec.saturation().r_clips);
+    EXPECT_EQ(scalar.saturation().p_clips, simd_dec.saturation().p_clips);
   }
 }
 
