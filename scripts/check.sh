@@ -3,16 +3,18 @@
 #
 #   1. tier-1 verify   — warnings-as-errors build + complete ctest suite
 #   2. scalar-only     — LDPC_SIMD=OFF build (portable kernel only) running
-#                        the SIMD equivalence suite, proving the portable
-#                        tier alone still matches the scalar decoder
-#                        bit-for-bit
+#                        the SIMD equivalence suites (z-lane *and* the
+#                        inter-frame-batched fused path), proving the
+#                        portable tier alone still matches the scalar
+#                        decoder bit-for-bit
 #   3. sanitizer pass  — ASan+UBSan build (LDPC_SANITIZE=ON) + ctest; the
 #                        SIMD kernels are ON here so the intrinsic paths run
 #                        under instrumentation too
 #   4. TSan pass       — ThreadSanitizer build (LDPC_SANITIZE=thread) running
 #                        the concurrency-sensitive tests: the runtime batch
-#                        engine, the retry/escalation supervisor, the
-#                        fault-injection chaos test and the BER runner
+#                        engine (scalar and fused block paths), the
+#                        retry/escalation supervisor, the fault-injection
+#                        chaos test and the BER runner
 #   5. service stage   — the network decode service under TSan: wire-codec
 #                        corpus, registry, service robustness tests, then a
 #                        short chaos load-generator smoke (malformed frames,
@@ -21,18 +23,23 @@
 #
 # Every ctest invocation carries a per-test --timeout so a wedged worker
 # thread fails loudly instead of hanging the gate.
-#   6. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
+#   6. bench artifact  — runs the tracked decoder-throughput measurement and
+#                        fails unless BENCH_decoder_throughput.json carries
+#                        the aggregate "engine-simd-batched" entry with zero
+#                        SIMD fallbacks (the bench itself also exits nonzero
+#                        on any silent scalar fallback)
+#   7. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
 #                        with a notice when clang-tidy is not installed
-#   7. ldpc-lint       — static schedule/hazard analysis over every bundled
+#   8. ldpc-lint       — static schedule/hazard analysis over every bundled
 #                        code and both column orders (must exit 0)
-#   8. thread-safety   — clang -Werror=thread-safety build of the annotated
+#   9. thread-safety   — clang -Werror=thread-safety build of the annotated
 #                        concurrent layers (LDPC_THREAD_SAFETY=ON); skipped
 #                        with a notice when clang++ is not installed
-#   9. ldpc-verify     — static fixed-point range verification over every
+#  10. ldpc-verify     — static fixed-point range verification over every
 #                        registered code x {q6, q8} x scaling mode; exits
 #                        nonzero on any unproven-unsafe site; the JSON
 #                        artifact is archived next to the build
-#  10. fuzz replay     — deterministic corpus replay of the wire + alist
+#  11. fuzz replay     — deterministic corpus replay of the wire + alist
 #                        fuzz harnesses (generated seed corpus; runs on any
 #                        compiler, no libFuzzer needed)
 #
@@ -57,31 +64,32 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # fail the gate, not hang CI forever.
 TEST_TIMEOUT=120
 
-echo "== [1/10] tier-1 verify (LDPC_WERROR=ON) =="
+echo "== [1/11] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT"
 
-echo "== [2/10] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
+echo "== [2/11] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
 cmake -B build-nosimd -S . -DLDPC_SIMD=OFF -DLDPC_WERROR=ON
-cmake --build build-nosimd -j "$JOBS" --target simd_equivalence_test
+cmake --build build-nosimd -j "$JOBS" \
+  --target simd_equivalence_test simd_batch_test
 ctest --test-dir build-nosimd --output-on-failure --timeout "$TEST_TIMEOUT" \
-  -R 'SimdEquivalence'
+  -R 'SimdEquivalence|SimdBatch'
 
 if [ "$FAST" -eq 0 ]; then
-  echo "== [3/10] ASan + UBSan =="
+  echo "== [3/11] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure --timeout "$TEST_TIMEOUT"
 
-  echo "== [4/10] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
+  echo "== [4/11] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
   cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
   cmake --build build-tsan -j "$JOBS" \
-    --target runtime_test chaos_test channel_test
+    --target runtime_test chaos_test channel_test simd_batch_test
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
-    -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds'
+    -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds|SimdBatch'
 
-  echo "== [5/10] decode service under TSan (tests + chaos load smoke) =="
+  echo "== [5/11] decode service under TSan (tests + chaos load smoke) =="
   cmake --build build-tsan -j "$JOBS" \
     --target service_wire_test registry_test service_test bench_decode_service
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
@@ -94,19 +102,40 @@ if [ "$FAST" -eq 0 ]; then
   ./build-tsan/bench/bench_decode_service --seconds 0.4 --skip-perf-gate \
     --json build-tsan/BENCH_decode_service_smoke.json
 else
-  echo "== [3/10] ASan + UBSan — skipped (--fast) =="
-  echo "== [4/10] ThreadSanitizer — skipped (--fast) =="
-  echo "== [5/10] decode service under TSan — skipped (--fast) =="
+  echo "== [3/11] ASan + UBSan — skipped (--fast) =="
+  echo "== [4/11] ThreadSanitizer — skipped (--fast) =="
+  echo "== [5/11] decode service under TSan — skipped (--fast) =="
 fi
 
-echo "== [6/10] clang-tidy =="
+echo "== [6/11] fused-path throughput artifact (engine-simd-batched) =="
+cmake --build build -j "$JOBS" --target bench_decoder_throughput
+# The tracked wall-clock measurement runs before the google-benchmark
+# suite; an unmatchable filter skips the latter so this stage stays quick.
+# The bench itself exits nonzero if any engine decode silently fell back
+# to a scalar path, so a green run already proves the fused kernel ran.
+(cd build && ./bench/bench_decoder_throughput --benchmark_filter='^$')
+ENGINE_ROW=$(grep '"decoder": "engine-simd-batched"' \
+  build/BENCH_decoder_throughput.json || true)
+if [ -z "$ENGINE_ROW" ]; then
+  echo "BENCH_decoder_throughput.json lacks the aggregate engine entry" >&2
+  exit 1
+fi
+case "$ENGINE_ROW" in
+  *'"simd_fallbacks": 0'*) ;;
+  *)
+    echo "engine-simd-batched entry reports nonzero simd_fallbacks" >&2
+    exit 1
+    ;;
+esac
+
+echo "== [7/11] clang-tidy =="
 cmake --build build --target lint
 
-echo "== [7/10] ldpc-lint over all bundled codes =="
+echo "== [8/11] ldpc-lint over all bundled codes =="
 ./build/src/analysis/ldpc-lint
 ./build/src/analysis/ldpc-lint --order hazard
 
-echo "== [8/10] clang thread-safety analysis (LDPC_THREAD_SAFETY=ON) =="
+echo "== [9/11] clang thread-safety analysis (LDPC_THREAD_SAFETY=ON) =="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
     -DLDPC_THREAD_SAFETY=ON -DLDPC_WERROR=ON
@@ -119,13 +148,13 @@ else
   echo "no-ops under this compiler; install clang to enable the analysis)"
 fi
 
-echo "== [9/10] ldpc-verify static range verification =="
+echo "== [10/11] ldpc-verify static range verification =="
 # Nonzero exit = a datapath site can exceed its rails with no clamp there.
 ./build/src/analysis/ldpc-verify --all-codes \
   --json build/RANGE_VERIFY.json
 echo "range-verify artifact: build/RANGE_VERIFY.json"
 
-echo "== [10/10] fuzz corpus replay smoke =="
+echo "== [11/11] fuzz corpus replay smoke =="
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT" \
   -R 'fuzz_'
 

@@ -74,6 +74,7 @@ class ArchSimDecoder final : public Decoder {
   /// Decoder interface (quantizes internally).
   DecodeResult decode(std::span<const float> llr) override;
   std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
   std::string name() const override;
 
   /// Full result with activity counters.

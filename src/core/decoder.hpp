@@ -50,12 +50,38 @@ inline const char* to_string(DecodeStatus s) {
   return "?";
 }
 
+/// Why a SIMD decoder delegated a decode to its scalar twin instead of the
+/// lane kernel. kNone means the vector path ran. Recorded in DecodeResult
+/// so a benchmark or serving config silently riding the (correct but slow)
+/// scalar path is externally visible instead of a mystery perf cliff.
+enum class SimdFallback : std::uint8_t {
+  kNone,            ///< lane kernel executed
+  kWideFormat,      ///< format (or offset) outside the int16 lane envelope
+  kFaultInjector,   ///< active fault campaign: corruption order is scalar
+  kOutOfRailInput,  ///< quantized entry point saw out-of-rail codes
+  kObserver,        ///< per-iteration observer needs single-frame cadence
+};
+
+inline const char* to_string(SimdFallback f) {
+  switch (f) {
+    case SimdFallback::kNone:           return "none";
+    case SimdFallback::kWideFormat:     return "wide-format";
+    case SimdFallback::kFaultInjector:  return "fault-injector";
+    case SimdFallback::kOutOfRailInput: return "out-of-rail-input";
+    case SimdFallback::kObserver:       return "observer";
+  }
+  return "?";
+}
+
 struct DecodeResult {
   BitVec hard_bits;            ///< n hard decisions (1 = bit value 1)
   std::size_t iterations = 0;  ///< full iterations actually executed
   bool converged = false;      ///< true iff H * hard_bits == 0 at exit
   DecodeStatus status = DecodeStatus::kMaxIterations;
   std::size_t faults_injected = 0;  ///< upsets landed during this decode
+  /// Set by the SIMD decoders when the decode ran on the scalar twin
+  /// instead of the lane kernel; kNone everywhere else.
+  SimdFallback simd_fallback = SimdFallback::kNone;
 };
 
 /// Dynamic-range accounting for one decode. Fixed-point decoders fill this
@@ -129,6 +155,14 @@ class CancelToken {
   bool has_deadline_ = false;
 };
 
+/// One frame of a block decode: the channel LLRs plus an optional per-frame
+/// cancellation token (non-owning). Block decoding is how the batch engine
+/// keeps every SIMD lane full regardless of z — frames ride in lanes.
+struct BlockFrame {
+  std::span<const float> llr;
+  const CancelToken* cancel = nullptr;
+};
+
 class Decoder {
  public:
   virtual ~Decoder() = default;
@@ -139,8 +173,36 @@ class Decoder {
   /// Codeword length the decoder is configured for.
   virtual std::size_t n() const = 0;
 
+  /// Information bits per frame (n - m for the QC codes). 0 when the
+  /// decoder cannot say — consumers must treat 0 as "unknown", not as a
+  /// rate-0 code (the batch engine skips info-bit accounting then).
+  virtual std::size_t k() const { return 0; }
+
   /// Short identifier used in benchmark tables, e.g. "layered-msf-q8".
   virtual std::string name() const = 0;
+
+  /// Preferred number of frames per decode_block call — the SIMD lane
+  /// count for inter-frame-batched decoders, 1 for everyone else. Callers
+  /// may pass any frame count; this is the size at which lanes are full.
+  virtual std::size_t block_width() const { return 1; }
+
+  /// Decode a block of frames with per-frame cancellation, filling
+  /// `results[i]` / `saturation[i]` for frames[i]. The spans must all have
+  /// the same length. Default: sequential single-frame decodes (so every
+  /// decoder is block-callable); inter-frame-batched decoders override
+  /// this with a lanes-are-frames kernel. Any cancel token previously
+  /// attached via set_cancel_token is detached on return — the per-frame
+  /// tokens replace it for the duration of the block.
+  virtual void decode_block(std::span<const BlockFrame> frames,
+                            std::span<DecodeResult> results,
+                            std::span<SaturationStats> saturation) {
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      set_cancel_token(frames[i].cancel);
+      results[i] = decode(frames[i].llr);
+      saturation[i] = this->saturation();
+    }
+    set_cancel_token(nullptr);
+  }
 
   /// Saturation accounting for the most recent decode. Default: all zeros
   /// (decoders without a fixed-point datapath have nothing to clip).

@@ -5,6 +5,7 @@
 #include "core/gallager_b.hpp"
 #include "core/layered_minsum_fixed.hpp"
 #include "core/layered_minsum_float.hpp"
+#include "core/simd/simd_batch.hpp"
 #include "core/simd/simd_layered.hpp"
 
 namespace ldpc {
@@ -57,6 +58,15 @@ std::unique_ptr<Decoder> make_decoder(const std::string& name,
     return std::make_unique<SimdLayeredDecoder>(
         code, options, fmt, 2, "layered-minsum-simd-offset-" + fmt.name());
   }
+  // Inter-frame-batched SIMD decoders: frame per lane instead of check row
+  // per lane, so every lane is full for any z. The batch engine detects
+  // block_width() > 1 and hands these decoders whole frame-blocks.
+  if (name == "layered-minsum-simd-batched")
+    return std::make_unique<SimdBatchDecoder>(code, options,
+                                              FixedFormat{8, 2});
+  if (name == "layered-minsum-simd-batched-q6")
+    return std::make_unique<SimdBatchDecoder>(code, options,
+                                              FixedFormat{6, 1});
   throw Error("unknown decoder name: " + name);
 }
 
@@ -69,6 +79,8 @@ const std::vector<std::string>& decoder_names() {
       "layered-minsum-q6",     "layered-minsum-offset-fixed",
       "layered-minsum-simd",   "layered-minsum-simd-q6",
       "layered-minsum-simd-offset",
+      "layered-minsum-simd-batched",
+      "layered-minsum-simd-batched-q6",
   };
   return names;
 }

@@ -18,6 +18,7 @@ class FloodingBpDecoder final : public Decoder {
 
   DecodeResult decode(std::span<const float> llr) override;
   std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
   std::string name() const override { return "flooding-bp"; }
 
  private:

@@ -29,6 +29,7 @@ class FloodingMinSumDecoder final : public Decoder {
 
   DecodeResult decode(std::span<const float> llr) override;
   std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
   std::string name() const override;
 
  private:

@@ -25,6 +25,7 @@ class FloodingMinSumFixedDecoder final : public Decoder {
 
   DecodeResult decode(std::span<const float> llr) override;
   std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
   std::string name() const override {
     return "flooding-minsum-" + kernel_.format().name();
   }

@@ -24,6 +24,7 @@ class GallagerBDecoder final : public Decoder {
 
   DecodeResult decode(std::span<const float> llr) override;
   std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
   std::string name() const override { return "gallager-b"; }
 
   /// Hard-input entry point (the natural interface for this decoder).

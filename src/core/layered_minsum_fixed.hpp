@@ -108,6 +108,7 @@ class LayeredMinSumFixedDecoder final : public Decoder {
 
   DecodeResult decode(std::span<const float> llr) override;
   std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
   std::string name() const override {
     return label_.empty() ? "layered-minsum-" + format().name() : label_;
   }

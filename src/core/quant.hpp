@@ -27,16 +27,26 @@ struct FixedFormat {
   /// Quantize an LLR: round to nearest, saturate. NaN maps to 0 (a NaN LLR
   /// carries no information, so the neutral code is the only sound answer).
   std::int32_t quantize(float llr) const {
-    const auto rounded = static_cast<std::int64_t>(std::lround(scale(llr)));
-    return sat_clamp(rounded, total_bits);
+    return sat_clamp(round_half_away(scale(llr)), total_bits);
   }
 
   /// Counted quantize: same value, but `clips` is incremented when the LLR
   /// saturated at the format's rails (overflow accounting for degraded-
   /// operation monitoring).
   std::int32_t quantize(float llr, long long& clips) const {
-    const auto rounded = static_cast<std::int64_t>(std::lround(scale(llr)));
-    return sat_clamp_counted(rounded, total_bits, clips);
+    return sat_clamp_counted(round_half_away(scale(llr)), total_bits, clips);
+  }
+
+  /// Round to nearest, ties away from zero — the std::lround rule, without
+  /// the libm call (the quantizer dominates frame setup at batch-decode
+  /// rates). Bit-identical to lround for every value scale() can produce:
+  /// scale() pre-limits to the rails ±1 (|x| <= 2^15 + 1, a float with
+  /// <= 24 significand bits), so x ± 0.5 computed in double is exact and
+  /// truncation of the exact sum is precisely half-away-from-zero rounding.
+  static std::int64_t round_half_away(float scaled) {
+    const double d = static_cast<double>(scaled);
+    return d >= 0.0 ? static_cast<std::int64_t>(d + 0.5)
+                    : -static_cast<std::int64_t>(0.5 - d);
   }
 
   /// Reconstruct the real value of a code.

@@ -19,9 +19,15 @@ bool tier_available(SimdTier tier) {
       return true;
     case SimdTier::kAvx2:
       return __builtin_cpu_supports("avx2") != 0;
+    case SimdTier::kAvx512:
+      // The int16 kernels need the BW (byte/word) extension on top of the
+      // F foundation; both ship together on every AVX-512 server core.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
 #else
     case SimdTier::kSse2:
     case SimdTier::kAvx2:
+    case SimdTier::kAvx512:
       return false;
 #endif
   }
@@ -32,6 +38,7 @@ std::vector<SimdTier> available_tiers() {
   std::vector<SimdTier> tiers = {SimdTier::kPortable};
   if (tier_available(SimdTier::kSse2)) tiers.push_back(SimdTier::kSse2);
   if (tier_available(SimdTier::kAvx2)) tiers.push_back(SimdTier::kAvx2);
+  if (tier_available(SimdTier::kAvx512)) tiers.push_back(SimdTier::kAvx512);
   return tiers;
 }
 
@@ -47,6 +54,8 @@ LayerPassFn layer_pass_for(SimdTier tier) {
       return &layer_pass_sse2;
     case SimdTier::kAvx2:
       return &layer_pass_avx2;
+    case SimdTier::kAvx512:
+      return &layer_pass_avx512;
 #else
     default:
       break;
@@ -55,24 +64,71 @@ LayerPassFn layer_pass_for(SimdTier tier) {
   return &layer_pass_portable;  // unreachable after the check above
 }
 
+BatchLayerPassFn batch_layer_pass_for(SimdTier tier) {
+  LDPC_CHECK_MSG(tier_available(tier),
+                 "SIMD tier " << to_string(tier)
+                              << " is not available in this build/CPU");
+  switch (tier) {
+    case SimdTier::kPortable:
+      return &batch_layer_pass_portable;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      return &batch_layer_pass_sse2;
+    case SimdTier::kAvx2:
+      return &batch_layer_pass_avx2;
+    case SimdTier::kAvx512:
+      return &batch_layer_pass_avx512;
+#else
+    default:
+      break;
+#endif
+  }
+  return &batch_layer_pass_portable;  // unreachable after the check above
+}
+
+BatchSyndromePassFn batch_syndrome_pass_for(SimdTier tier) {
+  LDPC_CHECK_MSG(tier_available(tier),
+                 "SIMD tier " << to_string(tier)
+                              << " is not available in this build/CPU");
+  switch (tier) {
+    case SimdTier::kPortable:
+      return &batch_syndrome_pass_portable;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      return &batch_syndrome_pass_sse2;
+    case SimdTier::kAvx2:
+      return &batch_syndrome_pass_avx2;
+    case SimdTier::kAvx512:
+      return &batch_syndrome_pass_avx512;
+#else
+    default:
+      break;
+#endif
+  }
+  return &batch_syndrome_pass_portable;  // unreachable after the check above
+}
+
 SimdTier tier_from_string(const std::string& name) {
   if (name == "portable") return SimdTier::kPortable;
   if (name == "sse2") return SimdTier::kSse2;
   if (name == "avx2") return SimdTier::kAvx2;
-  throw Error("unknown SIMD tier name: " + name);
+  if (name == "avx512") return SimdTier::kAvx512;
+  throw Error("unknown SIMD tier name: " + name +
+              " (expected portable|sse2|avx2|avx512)");
 }
 
 SimdTier best_tier() {
   if (const char* env = std::getenv("LDPC_SIMD_TIER")) {
-    // Experimentation hook (benches, tier-pinned CI runs): honour the
-    // override when it names a usable tier, otherwise fall through to
-    // auto-detection rather than failing construction.
-    const std::string name(env);
-    if (name == "portable" || name == "sse2" || name == "avx2") {
-      const SimdTier t = tier_from_string(name);
-      if (tier_available(t)) return t;
-    }
+    // Experimentation hook (benches, tier-pinned CI runs). A *known* tier
+    // name that is unavailable on this build/CPU falls through to
+    // auto-detection, so a pinned script stays portable across hosts; an
+    // *unknown* name throws — an override that silently decoded on a
+    // different tier than the one named would poison every number measured
+    // under it.
+    const SimdTier t = tier_from_string(env);
+    if (tier_available(t)) return t;
   }
+  if (tier_available(SimdTier::kAvx512)) return SimdTier::kAvx512;
   if (tier_available(SimdTier::kAvx2)) return SimdTier::kAvx2;
   if (tier_available(SimdTier::kSse2)) return SimdTier::kSse2;
   return SimdTier::kPortable;

@@ -1,0 +1,343 @@
+#include "core/simd/simd_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault_injector.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+
+SimdBatchDecoder::SimdBatchDecoder(const QCLdpcCode& code,
+                                   DecoderOptions options, FixedFormat format,
+                                   std::optional<simd::SimdTier> tier)
+    : code_(code),
+      options_(options),
+      format_(format),
+      tier_(tier.value_or(simd::best_tier())),
+      pass_(simd::batch_layer_pass_for(tier_)),
+      syndrome_(simd::batch_syndrome_pass_for(tier_)),
+      lanes_(simd::tier_lanes(tier_)) {
+  // The z-lane twin carries the whole validation chain (it embeds the
+  // scalar decoder, which checks scale bounds, format sanity and the
+  // iteration budget) and serves as the exact per-frame fallback.
+  single_ = std::make_unique<SimdLayeredDecoder>(code, options, format, tier_);
+  if (options_.scale == 0.75F) {
+    mode_ = simd::ScaleMode::kThreeQuarters;
+  } else {
+    mode_ = simd::ScaleMode::kNumOver16;
+    scale_num_ = static_cast<std::int16_t>(
+        static_cast<std::int32_t>(options_.scale * 16.0F + 0.5F));
+  }
+  init_geometry();
+  // Lane envelope: int16 arithmetic needs <= 15-bit formats (same as the
+  // z-lane kernel), and the masked in-register clip counters accumulate up
+  // to z * deg events per site per layer pass in an int16 lane, so the
+  // geometry must keep that product below 2^15. Every shipped code is two
+  // orders of magnitude under the bound (WiMAX 1/2 z=96: 96 * 7 = 672).
+  std::size_t max_deg = 0;
+  for (const auto& layer : layers_) max_deg = std::max(max_deg, layer.size());
+  force_fallback_ = format_.total_bits > 15 ||
+                    static_cast<std::size_t>(z_) * max_deg >= 32768;
+}
+
+void SimdBatchDecoder::init_geometry() {
+  z_ = static_cast<std::uint32_t>(code_.z());
+  layers_.reserve(code_.layers().size());
+  for (const auto& layer : code_.layers()) {
+    std::vector<simd::BatchBlock> blocks;
+    blocks.reserve(layer.size());
+    for (const auto& blk : layer)
+      blocks.push_back({blk.block_col * z_, blk.shift % z_, blk.r_slot * z_});
+    layers_.push_back(std::move(blocks));
+  }
+  std::size_t max_deg = 0;
+  for (const auto& layer : layers_) max_deg = std::max(max_deg, layer.size());
+  r_rows_ = code_.base().nonzero_blocks() * static_cast<std::size_t>(z_);
+  // kBatchPrefetchPad rows of slack so the kernels' look-ahead prefetches
+  // stay inside the allocations.
+  p16_.resize((code_.n() + simd::kBatchPrefetchPad) * lanes_);
+  r16_.resize((r_rows_ + simd::kBatchPrefetchPad) * lanes_);
+  q16_.resize(std::max<std::size_t>(max_deg, 1) * lanes_);
+  active_.resize(lanes_);
+  std::fill(active_.begin(), active_.end(), std::int16_t{0});
+  r_keep_.resize(lanes_);
+  std::fill(r_keep_.begin(), r_keep_.end(), std::int16_t{-1});
+  stage_.resize(code_.n());
+  lane_.assign(lanes_, Lane{});
+  q_clips_.assign(lanes_, 0);
+  r_clips_.assign(lanes_, 0);
+  p_clips_.assign(lanes_, 0);
+  degenerate_.assign(lanes_, 0);
+  weight_.assign(lanes_, 0);
+}
+
+std::string SimdBatchDecoder::name() const {
+  return "layered-minsum-simd-batched-" + format_.name();
+}
+
+void SimdBatchDecoder::set_cancel_token(const CancelToken* token) {
+  cancel_ = token;
+  single_->set_cancel_token(token);
+}
+
+DecodeResult SimdBatchDecoder::decode(std::span<const float> llr) {
+  DecodeResult result = single_->decode(llr);
+  last_saturation_ = single_->saturation();
+  return result;
+}
+
+void SimdBatchDecoder::decode_block(std::span<const BlockFrame> frames,
+                                    std::span<DecodeResult> results,
+                                    std::span<SaturationStats> saturation) {
+  LDPC_CHECK(results.size() == frames.size());
+  LDPC_CHECK(saturation.size() == frames.size());
+  for (const BlockFrame& f : frames) LDPC_CHECK(f.llr.size() == code_.n());
+
+  SimdFallback reason = SimdFallback::kNone;
+  if (force_fallback_) {
+    reason = SimdFallback::kWideFormat;
+  } else if (options_.fault_injector && options_.fault_injector->enabled()) {
+    // Fault-campaign corruption order is defined by scalar access order.
+    reason = SimdFallback::kFaultInjector;
+  } else if (options_.observer) {
+    // The observer contract is one snapshot per iteration of one frame;
+    // interleaved lanes have no meaningful single-frame cadence.
+    reason = SimdFallback::kObserver;
+  }
+  if (reason != SimdFallback::kNone) {
+    decode_block_fallback(frames, results, saturation, reason);
+    return;
+  }
+  run_block(frames, results, saturation);
+}
+
+void SimdBatchDecoder::decode_block_fallback(
+    std::span<const BlockFrame> frames, std::span<DecodeResult> results,
+    std::span<SaturationStats> saturation, SimdFallback reason) {
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    single_->set_cancel_token(frames[i].cancel);
+    results[i] = single_->decode(frames[i].llr);
+    saturation[i] = single_->saturation();
+    // The twin stamps its own, more specific reason when *it* also had to
+    // bypass its lane kernel; otherwise record why batching was off.
+    if (results[i].simd_fallback == SimdFallback::kNone)
+      results[i].simd_fallback = reason;
+  }
+  single_->set_cancel_token(cancel_);
+  if (!frames.empty()) last_saturation_ = saturation.back();
+}
+
+void SimdBatchDecoder::run_block(std::span<const BlockFrame> frames,
+                                 std::span<DecodeResult> results,
+                                 std::span<SaturationStats> saturation) {
+  const std::size_t count = frames.size();
+  const std::size_t n = code_.n();
+  std::size_t next = 0;  // next pending frame to claim a lane
+  std::size_t done = 0;
+  std::uint32_t live = 0;  // lanes currently carrying a frame
+
+  simd::SimdBatchLayerPass pass;
+  pass.p = p16_.data();
+  pass.q = q16_.data();
+  pass.r = r16_.data();
+  pass.z = z_;
+  pass.active = active_.data();
+  pass.lo = static_cast<std::int16_t>(format_.min_code());
+  pass.hi = static_cast<std::int16_t>(format_.max_code());
+  pass.mode = mode_;
+  pass.scale_num = scale_num_;
+  pass.offset_code = 0;
+  pass.count_clips = options_.count_saturation;
+  pass.r_keep = r_keep_.data();
+  pass.q_clips = q_clips_.data();
+  pass.r_clips = r_clips_.data();
+  pass.p_clips = p_clips_.data();
+
+  simd::SimdBatchSyndromePass syn;
+  syn.p = p16_.data();
+  syn.z = z_;
+
+  const bool et = options_.early_termination;
+  const bool wd = options_.watchdog.enabled();
+
+  const auto load_lane = [&](std::size_t f, std::size_t g) {
+    Lane& lane = lane_[f];
+    lane.frame = g;
+    lane.iter = 0;
+    lane.watchdog = WatchdogState(options_.watchdog);
+    lane.cancel = frames[g].cancel;
+    SaturationStats& sat = saturation[g];
+    sat = SaturationStats{};
+    const std::span<const float> llr = frames[g].llr;
+    // Quantize straight into lane f's strided column. Every store owns a
+    // fresh cache line (stride = one line at AVX-512 width), so the walk is
+    // RFO-latency-bound without the look-ahead prefetch — the pad rows
+    // behind kBatchPrefetchPad keep the +16 in bounds. The lane's R column
+    // is NOT zero-filled — r_keep_ masks its reads for the frame's first
+    // iteration instead (see SimdBatchLayerPass::r_keep).
+    if (options_.count_saturation) {
+      for (std::size_t v = 0; v < n; ++v) {
+        __builtin_prefetch(&p16_[(v + 16) * lanes_ + f], 1);
+        p16_[v * lanes_ + f] = static_cast<std::int16_t>(
+            format_.quantize(llr[v], sat.quantizer_clips));
+      }
+    } else {
+      // Uncounted path (the batch-throughput configuration): a branchless
+      // restatement of FixedFormat::quantize the autovectorizer can chew on
+      // — same NaN -> 0, same rails-plus-one float pre-limit, same
+      // round-half-away in double (exact per the quantize() width
+      // argument), same integer rail clamp, so codes are bit-identical.
+      const float fscale = static_cast<float>(1 << format_.frac_bits);
+      const float fhi = static_cast<float>(format_.max_code()) + 1.0F;
+      const float flo = static_cast<float>(format_.min_code()) - 1.0F;
+      const std::int32_t rail_hi = format_.max_code();
+      const std::int32_t rail_lo = format_.min_code();
+      for (std::size_t v = 0; v < n; ++v) {
+        float s = llr[v] * fscale;
+        s = s != s ? 0.0F : s;
+        s = s > fhi ? fhi : s;
+        s = s < flo ? flo : s;
+        // trunc(d + copysign(0.5, d)) == round_half_away(d): the cast
+        // truncates toward zero, so the negative arm ceil(d - 0.5) equals
+        // -floor(0.5 - d) — one conversion, no branch.
+        const double d = static_cast<double>(s);
+        const std::int32_t t =
+            static_cast<std::int32_t>(d + std::copysign(0.5, d));
+        const std::int32_t c =
+            t > rail_hi ? rail_hi : (t < rail_lo ? rail_lo : t);
+        stage_[v] = static_cast<std::int16_t>(c);
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        __builtin_prefetch(&p16_[(v + 16) * lanes_ + f], 1);
+        p16_[v * lanes_ + f] = stage_[v];
+      }
+    }
+    q_clips_[f] = 0;
+    r_clips_[f] = 0;
+    p_clips_[f] = 0;
+    degenerate_[f] = 0;
+    active_[f] = -1;
+    ++live;
+  };
+
+  // Retire lane f, writing its frame's DecodeResult exactly as the scalar
+  // decoder's iteration tail + output parity recheck would have. When the
+  // caller just ran the vectorized syndrome pass, lane f's parity is
+  // already known (`parity_known` + `parity` = weight_[f] == 0) and the
+  // scalar whole-code parity_ok walk is skipped; only cancellation mid-
+  // iteration (stale weight_) and the no-probe configuration pay it.
+  const auto finalize = [&](std::size_t f, bool watchdog_fired,
+                            bool cancelled, bool parity_known, bool parity) {
+    Lane& lane = lane_[f];
+    const std::size_t g = lane.frame;
+    DecodeResult& res = results[g];
+    res.hard_bits.resize(n);
+    // Drain the lane's posterior signs 64 at a time: assembling a word
+    // locally keeps the strided loads independent (no per-bit RMW chain)
+    // and set_word skips BitVec's per-bit bounds checks; the prefetch hides
+    // the per-line L2 latency of the stride-one-line column walk.
+    for (std::size_t w = 0; w < (n + 63) / 64; ++w) {
+      const std::size_t base = w * 64;
+      const std::size_t limit = std::min<std::size_t>(64, n - base);
+      std::uint64_t bits = 0;
+      for (std::size_t b = 0; b < limit; ++b) {
+        __builtin_prefetch(&p16_[(base + b + 16) * lanes_ + f], 0);
+        bits |= static_cast<std::uint64_t>(p16_[(base + b) * lanes_ + f] < 0)
+                << b;
+      }
+      res.hard_bits.set_word(w, bits);
+    }
+    res.iterations = lane.iter;
+    res.converged = parity_known ? parity : code_.parity_ok(res.hard_bits);
+    res.status = classify_exit(res.converged, watchdog_fired, 0, cancelled);
+    res.faults_injected = 0;
+    res.simd_fallback = SimdFallback::kNone;
+    SaturationStats& sat = saturation[g];
+    sat.q_clips = q_clips_[f];
+    sat.r_clips = r_clips_[f];
+    sat.p_clips = p_clips_[f];
+    sat.datapath_clips = sat.q_clips + sat.r_clips + sat.p_clips;
+    sat.degenerate_checks = degenerate_[f];
+    last_saturation_ = sat;
+    lane.frame = kIdleLane;
+    lane.cancel = nullptr;
+    active_[f] = 0;
+    --live;
+    ++done;
+  };
+
+  while (done < count) {
+    // Refill: idle lanes pick up pending frames mid-block, so lanes stay
+    // full while their neighbours are still iterating.
+    for (std::uint32_t f = 0; f < lanes_ && next < count; ++f)
+      if (lane_[f].frame == kIdleLane) load_lane(f, next++);
+
+    for (std::uint32_t f = 0; f < lanes_; ++f)
+      if (lane_[f].frame != kIdleLane) {
+        ++lane_[f].iter;
+        // First iteration of a refilled lane: its R column is stale memory
+        // and must read as 0 (the kernel masks it via r_keep).
+        r_keep_[f] = lane_[f].iter == 1 ? std::int16_t{0} : std::int16_t{-1};
+      }
+
+    for (std::size_t l = 0; l < layers_.size() && live > 0; ++l) {
+      // Same cooperative-cancellation cadence as the scalar decoder:
+      // polled at every layer boundary, where lane posteriors are
+      // consistent. An expired lane finalizes from its current state —
+      // parity recheck decides converged vs deadline-expired.
+      for (std::uint32_t f = 0; f < lanes_; ++f) {
+        const Lane& lane = lane_[f];
+        if (lane.frame != kIdleLane && lane.cancel && lane.cancel->expired())
+          finalize(f, false, true, false, false);
+      }
+      if (live == 0) break;
+      const auto& blocks = layers_[l];
+      if (blocks.empty()) continue;
+      pass.blocks = blocks.data();
+      pass.deg = static_cast<std::uint32_t>(blocks.size());
+      pass.degenerate = blocks.size() < 2;
+      pass_(pass);
+      // A degree-1 layer forces R' = 0 on every one of its z rows, once
+      // per layer pass — same accounting as LayerRowKernel, per frame.
+      if (blocks.size() == 1)
+        for (std::uint32_t f = 0; f < lanes_; ++f)
+          if (active_[f] != 0) degenerate_[f] += z_;
+    }
+
+    if (live == 0) continue;  // everything cancelled mid-iteration
+
+    // Iteration tail, per lane in the scalar order: early termination,
+    // then the watchdog (which may abort even on the final iteration),
+    // then the iteration budget.
+    if (et || wd) {
+      std::fill(weight_.begin(), weight_.end(), 0);
+      syn.weight = weight_.data();
+      for (const auto& blocks : layers_) {
+        if (blocks.empty()) continue;
+        syn.blocks = blocks.data();
+        syn.deg = static_cast<std::uint32_t>(blocks.size());
+        syndrome_(syn);
+      }
+    }
+    const bool probed = et || wd;  // weight_ holds this iteration's syndrome
+    for (std::uint32_t f = 0; f < lanes_; ++f) {
+      Lane& lane = lane_[f];
+      if (lane.frame == kIdleLane) continue;
+      const bool parity = probed && weight_[f] == 0;
+      if (et && parity) {
+        finalize(f, false, false, true, true);
+        continue;
+      }
+      if (wd && lane.watchdog.should_abort(
+                    static_cast<std::size_t>(weight_[f]))) {
+        finalize(f, true, false, probed, parity);
+        continue;
+      }
+      if (lane.iter >= options_.max_iterations)
+        finalize(f, false, false, probed, parity);
+    }
+  }
+}
+
+}  // namespace ldpc

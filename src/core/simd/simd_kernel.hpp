@@ -12,7 +12,9 @@
 // R'/P' write-back — and are asserted bit-identical to the scalar decoder
 // in tests/simd_equivalence_test.cpp.
 //
-// Three tiers share one templated implementation (simd_kernel_impl.hpp):
+// Four tiers share one templated implementation (simd_kernel_impl.hpp):
+//   kAvx512    32 lanes / step, compiled only on x86-64 with LDPC_SIMD=ON,
+//              dispatched after a runtime avx512f+avx512bw check
 //   kAvx2      16 lanes / step, compiled only on x86-64 with LDPC_SIMD=ON
 //   kSse2      8 lanes / step, ditto (baseline on every x86-64 CPU)
 //   kPortable  fixed-width 8-lane arrays, plain C++ the autovectorizer
@@ -21,6 +23,11 @@
 // Tier selection happens once per decoder at construction (best available,
 // overridable with the LDPC_SIMD_TIER environment variable or an explicit
 // constructor argument).
+//
+// Besides the z-lane layer pass, each tier also instantiates the
+// inter-frame-batched kernels (batch_layer_pass / batch_syndrome_pass):
+// one *frame* per lane instead of one check row per lane, so every lane is
+// full regardless of z. See SimdBatchLayerPass below and simd_batch.hpp.
 #pragma once
 
 #include <cstdint>
@@ -67,24 +74,118 @@ struct SimdLayerPass {
 
 using LayerPassFn = void (*)(const SimdLayerPass&);
 
-enum class SimdTier : std::uint8_t { kPortable, kSse2, kAvx2 };
+enum class SimdTier : std::uint8_t { kPortable, kSse2, kAvx2, kAvx512 };
 
 inline const char* to_string(SimdTier t) {
   switch (t) {
     case SimdTier::kPortable: return "portable";
     case SimdTier::kSse2:     return "sse2";
     case SimdTier::kAvx2:     return "avx2";
+    case SimdTier::kAvx512:   return "avx512";
   }
   return "?";
 }
+
+/// Lanes per vector step of a tier — the stride padding granularity of the
+/// z-lane kernel and the natural frames-per-block of the batched kernel.
+constexpr std::uint32_t tier_lanes(SimdTier t) {
+  switch (t) {
+    case SimdTier::kPortable: return 8;
+    case SimdTier::kSse2:     return 8;
+    case SimdTier::kAvx2:     return 16;
+    case SimdTier::kAvx512:   return 32;
+  }
+  return 8;
+}
+
+// ---------------------------------------------------------------------------
+// Inter-frame-batched kernels: frame f rides in lane f. The posterior /
+// check-message / scratch arrays are lane-major with stride F = tier lane
+// count (p[v * F + f]), so one vector load reads variable v of all F frames
+// at once and the circulant rotation degenerates to a scalar index — no
+// gather, no barrel-shift memcpys, and every lane is full for any z.
+// ---------------------------------------------------------------------------
+
+/// Rows of slack the batched kernels' software prefetch may touch past the
+/// logical end of the posterior / check-message arrays (and past a
+/// circulant wrap). Callers allocate this many extra kF-lane rows.
+constexpr std::uint32_t kBatchPrefetchPad = 16;
+
+/// One non-zero block of a layer, batch-kernel view. Offsets are in rows
+/// (the kernel multiplies by the lane stride F itself).
+struct BatchBlock {
+  std::uint32_t p_base;  ///< block_col * z into the posterior rows
+  std::uint32_t shift;   ///< circulant rotation, already reduced mod z
+  std::uint32_t r_base;  ///< r_slot * z into the check-message rows
+};
+
+/// One layer of work for the batched kernel: z serial check rows, F frames
+/// in lanes. Inactive lanes (retired or not-yet-filled frames) still flow
+/// through the arithmetic — their stores are garbage nobody reads — but
+/// clip accounting is masked by `active` so per-frame SaturationStats stay
+/// exact.
+struct SimdBatchLayerPass {
+  std::int16_t* p;             ///< n rows * F lanes posteriors (in/out)
+  std::int16_t* q;             ///< deg * F Q scratch (one row at a time)
+  std::int16_t* r;             ///< R memory, nonzero_blocks * z rows * F
+  const BatchBlock* blocks;    ///< deg block descriptors
+  std::uint32_t deg;           ///< non-zero blocks in this layer
+  std::uint32_t z;             ///< circulant size (serial row count)
+  const std::int16_t* active;  ///< F lane mask, -1 = live frame, 0 = idle
+  /// F lane mask: -1 = the lane's R memory is valid, 0 = the lane is in its
+  /// first iteration and R reads as 0. Each R slot is read exactly once per
+  /// iteration (by its own layer) and rewritten in the same row step, so
+  /// masking reads for one full iteration replaces zero-filling the lane's
+  /// whole R column at refill — a strided walk over every R cache line that
+  /// cost more than a decode iteration.
+  const std::int16_t* r_keep;
+  std::int16_t lo;             ///< format rail: fixed_min(total_bits)
+  std::int16_t hi;             ///< format rail: fixed_max(total_bits)
+  ScaleMode mode;
+  std::int16_t scale_num;      ///< numerator for kNumOver16
+  std::int16_t offset_code;    ///< subtrahend for kOffset
+  bool degenerate;             ///< deg < 2: force R' = 0
+  bool count_clips;            ///< accumulate per-lane clip counters
+  /// Per-lane (= per-frame) clip accumulators, F entries each (used iff
+  /// count_clips). Same per-site attribution as the scalar LayerRowKernel.
+  long long* q_clips;
+  long long* r_clips;
+  long long* p_clips;
+};
+
+/// Per-lane syndrome accumulation for one layer: adds the number of this
+/// layer's z check rows that are unsatisfied in lane f to weight[f].
+/// Summed over all layers this equals QCLdpcCode::syndrome_weight of the
+/// lane's hard decisions (weight == 0 <=> parity_ok), vectorized so the
+/// per-iteration early-termination / watchdog probe does not serialize the
+/// batch.
+struct SimdBatchSyndromePass {
+  const std::int16_t* p;       ///< n rows * F lanes posteriors
+  const BatchBlock* blocks;    ///< deg block descriptors
+  std::uint32_t deg;
+  std::uint32_t z;
+  std::int32_t* weight;        ///< F accumulators (+= per-lane unsat rows)
+};
+
+using BatchLayerPassFn = void (*)(const SimdBatchLayerPass&);
+using BatchSyndromePassFn = void (*)(const SimdBatchSyndromePass&);
 
 /// Kernel entry points. The portable tier is always compiled; the x86
 /// tiers exist only when CMake enabled LDPC_SIMD on an x86-64 target
 /// (dispatch gates every reference behind the same macro).
 void layer_pass_portable(const SimdLayerPass& pass);
+void batch_layer_pass_portable(const SimdBatchLayerPass& pass);
+void batch_syndrome_pass_portable(const SimdBatchSyndromePass& pass);
 #ifdef LDPC_SIMD_X86
 void layer_pass_sse2(const SimdLayerPass& pass);
 void layer_pass_avx2(const SimdLayerPass& pass);
+void layer_pass_avx512(const SimdLayerPass& pass);
+void batch_layer_pass_sse2(const SimdBatchLayerPass& pass);
+void batch_layer_pass_avx2(const SimdBatchLayerPass& pass);
+void batch_layer_pass_avx512(const SimdBatchLayerPass& pass);
+void batch_syndrome_pass_sse2(const SimdBatchSyndromePass& pass);
+void batch_syndrome_pass_avx2(const SimdBatchSyndromePass& pass);
+void batch_syndrome_pass_avx512(const SimdBatchSyndromePass& pass);
 #endif
 
 /// True when `tier` is both compiled in and supported by this CPU.
@@ -96,8 +197,15 @@ std::vector<SimdTier> available_tiers();
 /// Kernel for a specific tier; throws ldpc::Error if unavailable.
 LayerPassFn layer_pass_for(SimdTier tier);
 
-/// Best available tier, honouring an LDPC_SIMD_TIER=portable|sse2|avx2
-/// environment override (ignored when it names an unavailable tier).
+/// Batched kernels for a specific tier; throw ldpc::Error if unavailable.
+BatchLayerPassFn batch_layer_pass_for(SimdTier tier);
+BatchSyndromePassFn batch_syndrome_pass_for(SimdTier tier);
+
+/// Best available tier, honouring an LDPC_SIMD_TIER environment override.
+/// An override naming a *known but unavailable* tier (e.g. avx512 on a CPU
+/// without it) falls through to auto-detection — pinned-tier scripts stay
+/// portable across hosts; an *unknown* name throws ldpc::Error so a typo
+/// can never silently change what a benchmark measured.
 SimdTier best_tier();
 
 /// Parse a tier name; throws ldpc::Error on unknown names.

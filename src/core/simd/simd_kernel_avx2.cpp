@@ -37,6 +37,7 @@ struct Avx2Ops {
   static Vec abs16(Vec a) { return _mm256_abs_epi16(a); }
   static Vec xor_(Vec a, Vec b) { return _mm256_xor_si256(a, b); }
   static Vec or_(Vec a, Vec b) { return _mm256_or_si256(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm256_and_si256(a, b); }
   template <int kShift>
   static Vec srl(Vec a) {
     return _mm256_srli_epi16(a, kShift);
@@ -60,6 +61,17 @@ void layer_pass_avx2(const SimdLayerPass& pass) {
     detail::layer_pass<Avx2Ops, true>(pass);
   else
     detail::layer_pass<Avx2Ops, false>(pass);
+}
+
+void batch_layer_pass_avx2(const SimdBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::batch_layer_pass<Avx2Ops, true>(pass);
+  else
+    detail::batch_layer_pass<Avx2Ops, false>(pass);
+}
+
+void batch_syndrome_pass_avx2(const SimdBatchSyndromePass& pass) {
+  detail::batch_syndrome_pass<Avx2Ops>(pass);
 }
 
 }  // namespace ldpc::simd

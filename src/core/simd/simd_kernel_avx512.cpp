@@ -1,0 +1,91 @@
+// AVX-512 lane kernel: 32 int16 lanes per step — one vector covers a whole
+// 32-frame batch row, and a z = 96 z-lane layer is three vector iterations.
+// Compiled with -mavx512f -mavx512bw (see src/core/CMakeLists.txt) and only
+// dispatched to after a runtime __builtin_cpu_supports check for both
+// features, so the library binary stays safe on pre-AVX-512 hosts.
+//
+// AVX-512 comparisons natively produce mask registers, not vectors; the
+// LaneOps contract wants all-ones-per-lane vector masks (shared with the
+// SSE2/AVX2/portable tiers), so cmpgt/cmpeq expand their __mmask32 through
+// vpmovm2w. blend() exploits the contract in the other direction: because
+// masks are all-ones per lane, a bitwise ternary-logic select (0xCA =
+// m ? a : b) replaces the mask-register blend with no conversion at all.
+#include "core/simd/simd_kernel_impl.hpp"
+
+#ifdef LDPC_SIMD_X86
+
+#include <immintrin.h>
+
+namespace ldpc::simd {
+namespace {
+
+struct Avx512Ops {
+  static constexpr int kLanes = 32;
+  using Vec = __m512i;
+
+  static Vec load(const std::int16_t* p) {
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+  }
+  static void store(std::int16_t* p, Vec a) {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), a);
+  }
+  static Vec broadcast(std::int16_t x) { return _mm512_set1_epi16(x); }
+  static Vec zero() { return _mm512_setzero_si512(); }
+  static Vec add(Vec a, Vec b) { return _mm512_add_epi16(a, b); }
+  static Vec sub(Vec a, Vec b) { return _mm512_sub_epi16(a, b); }
+  static Vec min(Vec a, Vec b) { return _mm512_min_epi16(a, b); }
+  static Vec max(Vec a, Vec b) { return _mm512_max_epi16(a, b); }
+  static Vec cmpgt(Vec a, Vec b) {
+    return _mm512_movm_epi16(_mm512_cmpgt_epi16_mask(a, b));
+  }
+  static Vec cmpeq(Vec a, Vec b) {
+    return _mm512_movm_epi16(_mm512_cmpeq_epi16_mask(a, b));
+  }
+  static Vec blend(Vec m, Vec a, Vec b) {
+    // Bitwise select (m & a) | (~m & b): exact because lane masks are
+    // all-ones per int16 lane. Truth table 0xCA = m ? a : b.
+    return _mm512_ternarylogic_epi32(m, a, b, 0xCA);
+  }
+  static Vec abs16(Vec a) { return _mm512_abs_epi16(a); }
+  static Vec xor_(Vec a, Vec b) { return _mm512_xor_si512(a, b); }
+  static Vec or_(Vec a, Vec b) { return _mm512_or_si512(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm512_and_si512(a, b); }
+  template <int kShift>
+  static Vec srl(Vec a) {
+    return _mm512_srli_epi16(a, kShift);
+  }
+  template <int kShift>
+  static Vec sll(Vec a) {
+    return _mm512_slli_epi16(a, kShift);
+  }
+  static Vec mullo(Vec a, Vec b) { return _mm512_mullo_epi16(a, b); }
+  static Vec mulhi(Vec a, Vec b) { return _mm512_mulhi_epi16(a, b); }
+  static int count_diff(Vec a, Vec b) {
+    return __builtin_popcount(
+        static_cast<unsigned>(_mm512_cmpneq_epi16_mask(a, b)));
+  }
+};
+
+}  // namespace
+
+void layer_pass_avx512(const SimdLayerPass& pass) {
+  if (pass.count_clips)
+    detail::layer_pass<Avx512Ops, true>(pass);
+  else
+    detail::layer_pass<Avx512Ops, false>(pass);
+}
+
+void batch_layer_pass_avx512(const SimdBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::batch_layer_pass<Avx512Ops, true>(pass);
+  else
+    detail::batch_layer_pass<Avx512Ops, false>(pass);
+}
+
+void batch_syndrome_pass_avx512(const SimdBatchSyndromePass& pass) {
+  detail::batch_syndrome_pass<Avx512Ops>(pass);
+}
+
+}  // namespace ldpc::simd
+
+#endif  // LDPC_SIMD_X86

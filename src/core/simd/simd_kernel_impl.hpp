@@ -12,7 +12,7 @@
 //   cmpgt/cmpeq       lane masks, all-ones where true
 //   blend(m, a, b)    m ? a : b, m a lane mask
 //   abs16             |v| for v > INT16_MIN
-//   xor_/or_          bitwise
+//   xor_/or_/and_     bitwise
 //   srl<k>/sll<k>     logical shifts by compile-time k
 //   mullo/mulhi       low/high 16 bits of the 32-bit signed product
 //   count_diff(a, b)  number of lanes where a != b
@@ -129,6 +129,161 @@ void layer_pass(const SimdLayerPass& a) {
     a.stats->r_clips += clips_r;
     a.stats->p_clips += clips_p;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Inter-frame-batched layer pass: frame f rides in lane f, the z check rows
+// of the layer run serially. Every array is lane-major with stride
+// F = Ops::kLanes (p[v * F + f]), so the circulant rotation is a scalar
+// index computation per load and each row update is exactly one vector op
+// wide — lanes are full for any z. The per-lane arithmetic is the same
+// operation sequence as layer_pass above (and therefore bit-identical to
+// the scalar LayerRowKernel per frame); only the axis the lanes span
+// changed from check rows to frames.
+//
+// Inactive lanes (`active[f] == 0`: retired or not-yet-refilled frames)
+// still execute the arithmetic — their P/R columns are garbage nobody
+// reads until a refill overwrites them — but clip events are masked with
+// `active`, keeping per-frame SaturationStats exact. Event counts
+// accumulate in int16 lanes (one event = subtracting an all-ones mask);
+// the caller guarantees z * deg < 2^15 so a single layer pass cannot
+// wrap, and the counts widen into the per-lane long long accumulators
+// once per pass.
+// ---------------------------------------------------------------------------
+
+template <class Ops, bool kCount>
+void batch_layer_pass(const SimdBatchLayerPass& a) {
+  using V = typename Ops::Vec;
+  constexpr std::uint32_t kF = Ops::kLanes;
+  const V lo = Ops::broadcast(a.lo);
+  const V hi = Ops::broadcast(a.hi);
+  const V zero = Ops::zero();
+  const V ones = Ops::broadcast(static_cast<std::int16_t>(-1));
+  const V sentinel = Ops::broadcast(INT16_MAX);
+  const V num = Ops::broadcast(a.scale_num);
+  const V offset = Ops::broadcast(a.offset_code);
+  const V active = Ops::load(a.active);
+  const V r_keep = Ops::load(a.r_keep);
+  V cq = zero;
+  V cr = zero;
+  V cp = zero;
+
+  const V s1_deg = zero;  // degenerate layers force R' = 0
+  for (std::uint32_t row = 0; row < a.z; ++row) {
+    // Stage 1 (core 1): Q = P - R, min1/min2/pos1/sign — each lane runs
+    // the CheckState recurrence for its own frame's copy of this row.
+    V min1 = sentinel;
+    V min2 = sentinel;
+    V pos1 = zero;
+    V signs = zero;
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const BatchBlock& b = a.blocks[j];
+      std::uint32_t rot = row + b.shift;
+      if (rot >= a.z) rot -= a.z;
+      // Both streams advance one kF-lane row (= one cache line at AVX-512
+      // width) per z-step; with ~2 * deg concurrent streams the hardware
+      // prefetcher gives up, so fetch a few rows ahead by hand. The +8 can
+      // run past `rot`'s wrap or the layer's last row — the arrays carry
+      // kBatchPrefetchPad padding rows so the touch stays in bounds, and a
+      // handful of wasted lines per layer is noise.
+      __builtin_prefetch(
+          a.p + (static_cast<std::size_t>(b.p_base + rot) + 8) * kF, 1);
+      __builtin_prefetch(
+          a.r + (static_cast<std::size_t>(b.r_base + row) + 8) * kF, 1);
+      const V p = Ops::load(a.p + static_cast<std::size_t>(b.p_base + rot) * kF);
+      // First-iteration lanes read R as 0 (r_keep masks the stale column);
+      // stage 2 then stores the real value, so iteration 2 reads it back.
+      const V r = Ops::and_(
+          Ops::load(a.r + static_cast<std::size_t>(b.r_base + row) * kF),
+          r_keep);
+      const V diff = Ops::sub(p, r);
+      const V q = Ops::max(lo, Ops::min(hi, diff));
+      if constexpr (kCount)
+        cq = Ops::sub(
+            cq, Ops::and_(active, Ops::xor_(Ops::cmpeq(q, diff), ones)));
+      Ops::store(a.q + j * kF, q);
+      const V mag = Ops::abs16(q);
+      const V lt1 = Ops::cmpgt(min1, mag);  // mag < min1, strict
+      min2 = Ops::blend(lt1, min1, Ops::min(min2, mag));
+      min1 = Ops::blend(lt1, mag, min1);
+      pos1 =
+          Ops::blend(lt1, Ops::broadcast(static_cast<std::int16_t>(j)), pos1);
+      signs = Ops::xor_(signs, Ops::cmpgt(zero, q));
+    }
+
+    const V s1 =
+        a.degenerate ? s1_deg : scale_mag<Ops>(min1, a.mode, num, offset, zero);
+    const V s2 =
+        a.degenerate ? s1_deg : scale_mag<Ops>(min2, a.mode, num, offset, zero);
+
+    // Stage 2 (core 2): R' selection + sign, P' = Q + R', both saturating.
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const BatchBlock& b = a.blocks[j];
+      std::uint32_t rot = row + b.shift;
+      if (rot >= a.z) rot -= a.z;
+      const V q = Ops::load(a.q + j * kF);
+      V r_new;
+      if (a.degenerate) {
+        r_new = zero;
+      } else {
+        const V eq =
+            Ops::cmpeq(pos1, Ops::broadcast(static_cast<std::int16_t>(j)));
+        const V mag = Ops::blend(eq, s2, s1);
+        const V neg = Ops::xor_(signs, Ops::cmpgt(zero, q));
+        const V val = Ops::blend(neg, Ops::sub(zero, mag), mag);
+        r_new = Ops::max(lo, Ops::min(hi, val));
+        if constexpr (kCount)
+          cr = Ops::sub(
+              cr, Ops::and_(active, Ops::xor_(Ops::cmpeq(r_new, val), ones)));
+      }
+      Ops::store(a.r + static_cast<std::size_t>(b.r_base + row) * kF, r_new);
+      const V sum = Ops::add(q, r_new);
+      const V p_new = Ops::max(lo, Ops::min(hi, sum));
+      if constexpr (kCount)
+        cp = Ops::sub(
+            cp, Ops::and_(active, Ops::xor_(Ops::cmpeq(p_new, sum), ones)));
+      Ops::store(a.p + static_cast<std::size_t>(b.p_base + rot) * kF, p_new);
+    }
+  }
+
+  if constexpr (kCount) {
+    std::int16_t tmp[kF];
+    Ops::store(tmp, cq);
+    for (std::uint32_t f = 0; f < kF; ++f) a.q_clips[f] += tmp[f];
+    Ops::store(tmp, cr);
+    for (std::uint32_t f = 0; f < kF; ++f) a.r_clips[f] += tmp[f];
+    Ops::store(tmp, cp);
+    for (std::uint32_t f = 0; f < kF; ++f) a.p_clips[f] += tmp[f];
+  }
+}
+
+/// Per-lane syndrome contribution of one layer: for each of the layer's z
+/// check rows, XOR the hard-decision masks (posterior < 0) of its
+/// variables; an all-ones lane means that lane's row is unsatisfied. Row
+/// counts accumulate in int16 (z < 2^15 by the same caller guarantee) and
+/// widen into the int32 per-lane weights once per pass.
+template <class Ops>
+void batch_syndrome_pass(const SimdBatchSyndromePass& a) {
+  using V = typename Ops::Vec;
+  constexpr std::uint32_t kF = Ops::kLanes;
+  const V zero = Ops::zero();
+  V w = zero;
+  for (std::uint32_t row = 0; row < a.z; ++row) {
+    V acc = zero;
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const BatchBlock& b = a.blocks[j];
+      std::uint32_t rot = row + b.shift;
+      if (rot >= a.z) rot -= a.z;
+      __builtin_prefetch(
+          a.p + (static_cast<std::size_t>(b.p_base + rot) + 8) * kF, 0);
+      const V p = Ops::load(a.p + static_cast<std::size_t>(b.p_base + rot) * kF);
+      acc = Ops::xor_(acc, Ops::cmpgt(zero, p));
+    }
+    w = Ops::sub(w, acc);  // acc is all-ones exactly in unsatisfied lanes
+  }
+  std::int16_t tmp[kF];
+  Ops::store(tmp, w);
+  for (std::uint32_t f = 0; f < kF; ++f) a.weight[f] += tmp[f];
 }
 
 }  // namespace ldpc::simd::detail

@@ -87,6 +87,12 @@ struct PortableOps {
       r.v[i] = static_cast<std::int16_t>(a.v[i] | b.v[i]);
     return r;
   }
+  static Vec and_(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int16_t>(a.v[i] & b.v[i]);
+    return r;
+  }
   template <int kShift>
   static Vec srl(Vec a) {
     Vec r;
@@ -134,6 +140,17 @@ void layer_pass_portable(const SimdLayerPass& pass) {
     detail::layer_pass<PortableOps, true>(pass);
   else
     detail::layer_pass<PortableOps, false>(pass);
+}
+
+void batch_layer_pass_portable(const SimdBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::batch_layer_pass<PortableOps, true>(pass);
+  else
+    detail::batch_layer_pass<PortableOps, false>(pass);
+}
+
+void batch_syndrome_pass_portable(const SimdBatchSyndromePass& pass) {
+  detail::batch_syndrome_pass<PortableOps>(pass);
 }
 
 }  // namespace ldpc::simd

@@ -36,6 +36,7 @@ struct Sse2Ops {
   static Vec abs16(Vec a) { return _mm_max_epi16(a, _mm_sub_epi16(zero(), a)); }
   static Vec xor_(Vec a, Vec b) { return _mm_xor_si128(a, b); }
   static Vec or_(Vec a, Vec b) { return _mm_or_si128(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm_and_si128(a, b); }
   template <int kShift>
   static Vec srl(Vec a) {
     return _mm_srli_epi16(a, kShift);
@@ -61,6 +62,17 @@ void layer_pass_sse2(const SimdLayerPass& pass) {
     detail::layer_pass<Sse2Ops, true>(pass);
   else
     detail::layer_pass<Sse2Ops, false>(pass);
+}
+
+void batch_layer_pass_sse2(const SimdBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::batch_layer_pass<Sse2Ops, true>(pass);
+  else
+    detail::batch_layer_pass<Sse2Ops, false>(pass);
+}
+
+void batch_syndrome_pass_sse2(const SimdBatchSyndromePass& pass) {
+  detail::batch_syndrome_pass<Sse2Ops>(pass);
 }
 
 }  // namespace ldpc::simd

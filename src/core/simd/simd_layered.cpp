@@ -11,12 +11,14 @@ namespace ldpc {
 
 namespace {
 
-/// Lane-count granularity every scratch stride is padded to; keeps one
-/// layout valid for all kernel tiers (16, 8, and 8 lanes per step).
-constexpr std::uint32_t kLanePad = 16;
-
-constexpr std::uint32_t pad16(std::uint32_t z) {
-  return (z + kLanePad - 1) & ~(kLanePad - 1);
+/// Lane-count granularity the scratch strides are padded to: at least 16
+/// (one layout covers the 8- and 16-lane tiers), or the tier's own lane
+/// count when it is wider — the 32-lane AVX-512 tier steps a full vector
+/// at a time, so z_pad must be a multiple of 32 for it (z = 10 pads to 32,
+/// z = 33 to 64; z = 96 stays 96 either way).
+constexpr std::uint32_t pad_for(std::uint32_t z, simd::SimdTier tier) {
+  const std::uint32_t lanes = std::max(16U, simd::tier_lanes(tier));
+  return (z + lanes - 1) & ~(lanes - 1);
 }
 
 }  // namespace
@@ -68,7 +70,7 @@ SimdLayeredDecoder::SimdLayeredDecoder(const QCLdpcCode& code,
 
 void SimdLayeredDecoder::init_geometry() {
   z_ = static_cast<std::uint32_t>(code_.z());
-  z_pad_ = pad16(z_);
+  z_pad_ = pad_for(z_, tier_);
   std::size_t max_deg = 0;
   gather_.reserve(code_.layers().size());
   r_base_.reserve(code_.layers().size());
@@ -113,9 +115,17 @@ DecodeResult SimdLayeredDecoder::decode(std::span<const float> llr) {
   LDPC_CHECK(llr.size() == code_.n());
   if (must_use_scalar()) {
     last_used_scalar_ = true;
-    return scalar_->decode(llr);
+    DecodeResult result = scalar_->decode(llr);
+    // Record *why* the lane kernel was bypassed: a benchmark or serving
+    // config silently riding the scalar twin is a perf bug, not a
+    // correctness one, and used to be invisible from the outside.
+    result.simd_fallback = force_scalar_ ? SimdFallback::kWideFormat
+                                         : SimdFallback::kFaultInjector;
+    last_fallback_ = result.simd_fallback;
+    return result;
   }
   last_used_scalar_ = false;
+  last_fallback_ = SimdFallback::kNone;
   saturation_.quantizer_clips = 0;
   if (options_.count_saturation) {
     for (std::size_t v = 0; v < llr.size(); ++v)
@@ -147,9 +157,16 @@ DecodeResult SimdLayeredDecoder::decode_quantized(
   }
   if (!lanes_ok) {
     last_used_scalar_ = true;
-    return scalar_->decode_quantized(channel_codes);
+    DecodeResult result = scalar_->decode_quantized(channel_codes);
+    result.simd_fallback = must_use_scalar()
+                               ? (force_scalar_ ? SimdFallback::kWideFormat
+                                                : SimdFallback::kFaultInjector)
+                               : SimdFallback::kOutOfRailInput;
+    last_fallback_ = result.simd_fallback;
+    return result;
   }
   last_used_scalar_ = false;
+  last_fallback_ = SimdFallback::kNone;
   for (std::size_t v = 0; v < channel_codes.size(); ++v)
     posterior16_[v] = static_cast<std::int16_t>(channel_codes[v]);
   return run();

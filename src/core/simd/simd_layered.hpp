@@ -59,6 +59,7 @@ class SimdLayeredDecoder final : public Decoder {
 
   DecodeResult decode(std::span<const float> llr) override;
   std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
   std::string name() const override;
   SaturationStats saturation() const override;
   void set_cancel_token(const CancelToken* token) override;
@@ -76,6 +77,10 @@ class SimdLayeredDecoder final : public Decoder {
   /// True when the configuration is outside the int16 lane envelope and
   /// every decode delegates to the scalar twin.
   bool scalar_only() const { return force_scalar_; }
+
+  /// Why the most recent decode bypassed the lane kernel (kNone when the
+  /// vector path ran) — the same value stamped into its DecodeResult.
+  SimdFallback last_fallback() const { return last_fallback_; }
 
  private:
   struct GatherBlock {
@@ -99,7 +104,7 @@ class SimdLayeredDecoder final : public Decoder {
   const CancelToken* cancel_ = nullptr;  ///< non-owning, may be null
 
   std::uint32_t z_ = 0;
-  std::uint32_t z_pad_ = 0;                          ///< z rounded up to 16
+  std::uint32_t z_pad_ = 0;  ///< z rounded up to max(16, tier lane count)
   std::vector<std::vector<GatherBlock>> gather_;     ///< per layer
   std::vector<std::vector<std::uint32_t>> r_base_;   ///< per layer, kernel view
   AlignedVec<std::int16_t> posterior16_;  ///< P memory, natural order
@@ -112,6 +117,7 @@ class SimdLayeredDecoder final : public Decoder {
   std::unique_ptr<LayeredMinSumFixedDecoder> scalar_;
   bool force_scalar_ = false;
   bool last_used_scalar_ = false;
+  SimdFallback last_fallback_ = SimdFallback::kNone;
   SaturationStats saturation_;
 };
 

@@ -107,16 +107,31 @@ void BatchEngine::finish_job_locked(
 }
 
 void BatchEngine::complete_undecoded(Job&& job, DecodeStatus status) {
-  if (job.slot) {
+  const auto write_slot = [status](DecodeResult* slot) {
+    if (!slot) return;
     DecodeResult result;
     result.status = status;
-    *job.slot = result;
+    *slot = result;
+  };
+  if (job.block.empty()) {
+    write_slot(job.slot);
+    const auto now = std::chrono::steady_clock::now();
+    const MutexLock lock(state_mutex_);
+    if (status == DecodeStatus::kShedOverload) ++jobs_shed_;
+    if (status == DecodeStatus::kDeadlineExpired) ++jobs_expired_;
+    finish_job_locked(job.frame_index, now);
+    return;
   }
+  // A shed block job resolves every one of its frames — a frame that
+  // silently vanished would wedge drain() forever.
+  for (const BlockFrameJob& frame : job.block) write_slot(frame.slot);
   const auto now = std::chrono::steady_clock::now();
   const MutexLock lock(state_mutex_);
-  if (status == DecodeStatus::kShedOverload) ++jobs_shed_;
-  if (status == DecodeStatus::kDeadlineExpired) ++jobs_expired_;
-  finish_job_locked(job.frame_index, now);
+  for (const BlockFrameJob& frame : job.block) {
+    if (status == DecodeStatus::kShedOverload) ++jobs_shed_;
+    if (status == DecodeStatus::kDeadlineExpired) ++jobs_expired_;
+    finish_job_locked(frame.frame_index, now);
+  }
 }
 
 SubmitStatus BatchEngine::submit(std::size_t frame_index,
@@ -177,6 +192,39 @@ SubmitStatus BatchEngine::submit_task(std::size_t frame_index, Task task,
   return SubmitStatus::kAccepted;
 }
 
+SubmitStatus BatchEngine::submit_block(std::vector<BlockFrameJob> frames,
+                                       unsigned rung) {
+  LDPC_CHECK_MSG(!frames.empty(), "submit_block needs >= 1 frame");
+  for (const BlockFrameJob& f : frames) LDPC_CHECK(f.slot != nullptr);
+  // Kept aside before the move: a rejected push must unrecord every frame.
+  std::vector<std::size_t> indices;
+  indices.reserve(frames.size());
+  for (const BlockFrameJob& f : frames) {
+    indices.push_back(f.frame_index);
+    record_submit(f.frame_index);
+  }
+  Job job;
+  job.rung = rung;
+  job.enqueued = std::chrono::steady_clock::now();
+  job.block = std::move(frames);
+  Job shed;
+  switch (queue_.push(std::move(job), &shed)) {
+    case BoundedJobQueue<Job>::PushResult::kClosed:
+      for (const std::size_t i : indices) unrecord_submit(i, /*rejected=*/true);
+      return SubmitStatus::kRejectedClosed;
+    case BoundedJobQueue<Job>::PushResult::kRejected:
+      for (const std::size_t i : indices) unrecord_submit(i, /*rejected=*/true);
+      return SubmitStatus::kRejectedQueueFull;
+    case BoundedJobQueue<Job>::PushResult::kAcceptedShed:
+      // The evicted queue entry may itself be a block.
+      complete_undecoded(std::move(shed), DecodeStatus::kShedOverload);
+      return SubmitStatus::kAcceptedShedOldest;
+    case BoundedJobQueue<Job>::PushResult::kAccepted:
+      break;
+  }
+  return SubmitStatus::kAccepted;
+}
+
 bool BatchEngine::submit_retry(std::size_t frame_index, Task task,
                                JobOptions options, DecodeResult* slot) {
   LDPC_CHECK(task != nullptr);
@@ -218,10 +266,26 @@ std::vector<DecodeResult> BatchEngine::decode_batch(
     const std::vector<std::vector<float>>& frames) {
   // Sized up front: slots must not move while jobs are in flight.
   std::vector<DecodeResult> results(frames.size());
-  for (std::size_t i = 0; i < frames.size(); ++i) {
-    const SubmitStatus s = submit(i, frames[i], &results[i]);
-    LDPC_CHECK_MSG(submit_accepted(s),
-                   "decode_batch submit failed: " << to_string(s));
+  const std::size_t bw = std::max<std::size_t>(config_.block_frames, 1);
+  if (bw > 1) {
+    for (std::size_t base = 0; base < frames.size(); base += bw) {
+      const std::size_t count = std::min(bw, frames.size() - base);
+      std::vector<BlockFrameJob> block(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        block[i].frame_index = base + i;
+        block[i].llr = frames[base + i];
+        block[i].slot = &results[base + i];
+      }
+      const SubmitStatus s = submit_block(std::move(block));
+      LDPC_CHECK_MSG(submit_accepted(s),
+                     "decode_batch submit failed: " << to_string(s));
+    }
+  } else {
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const SubmitStatus s = submit(i, frames[i], &results[i]);
+      LDPC_CHECK_MSG(submit_accepted(s),
+                     "decode_batch submit failed: " << to_string(s));
+    }
   }
   drain();
   return results;
@@ -249,6 +313,13 @@ void BatchEngine::worker_main(unsigned worker_id) {
 
   Job job;
   while (queue_.pop(job)) {
+    bool retire = false;
+    if (!job.block.empty()) {
+      run_block_job(worker_id, job, decoder_for(job.rung), cancel, &retire);
+      job = Job{};
+      if (retire) return;
+      continue;
+    }
     // A queued job whose deadline already passed is completed without
     // touching a decoder — but only when the engine owns a result slot to
     // report through; a slotless task must still run (with the token
@@ -277,6 +348,7 @@ void BatchEngine::worker_main(unsigned worker_id) {
     const std::size_t iterations = result.iterations;
     const DecodeStatus status = result.status;
     const bool converged = status == DecodeStatus::kConverged;
+    const SimdFallback fallback = result.simd_fallback;
     // Task jobs own their result delivery (a retry layer may already have
     // the *next* attempt in flight by the time the task returns — writing
     // the slot here would race with it); the engine writes task-job slots
@@ -284,7 +356,6 @@ void BatchEngine::worker_main(unsigned worker_id) {
     if (!failed && job.slot && !job.task) *job.slot = std::move(result);
 
     const SaturationStats sat = decoder.saturation();
-    bool retire = false;
     {
       const MutexLock lock(state_mutex_);
       EngineWorkerStats& stats = worker_stats_[worker_id];
@@ -295,6 +366,7 @@ void BatchEngine::worker_main(unsigned worker_id) {
         stats.sum_iterations += iterations;
         stats.status_counts[static_cast<std::size_t>(status)] += 1;
         if (converged) ++stats.early_terminations;
+        if (fallback != SimdFallback::kNone) ++stats.simd_fallbacks;
         stats.saturation.quantizer_clips += sat.quantizer_clips;
         stats.saturation.datapath_clips += sat.datapath_clips;
         stats.saturation.q_clips += sat.q_clips;
@@ -302,24 +374,12 @@ void BatchEngine::worker_main(unsigned worker_id) {
         stats.saturation.p_clips += sat.p_clips;
         stats.saturation.degenerate_checks += sat.degenerate_checks;
         decoded_bits_ += decoder.n();
+        decoded_info_bits_ += decoder.k();
       }
       if (failed || status == DecodeStatus::kFaultDetected ||
           status == DecodeStatus::kWatchdogAbort)
         ++stats.strikes;
-      if (config_.quarantine_strike_threshold > 0 && !stats.quarantined &&
-          stats.strikes >= config_.quarantine_strike_threshold &&
-          workers_spawned_ < config_.max_replacement_workers) {
-        // Quarantine: retire this worker and hand its slot in the pool to a
-        // fresh thread (and a fresh decoder) from the factory. `stats` is
-        // dead after the push_back below — the vector may reallocate.
-        stats.quarantined = true;
-        ++workers_quarantined_;
-        ++workers_spawned_;
-        const auto new_id = static_cast<unsigned>(worker_stats_.size());
-        worker_stats_.emplace_back();
-        workers_.emplace_back([this, new_id] { worker_main(new_id); });
-        retire = true;
-      }
+      retire = maybe_quarantine_locked(worker_id);
       record_latency_locked(
           std::chrono::duration<double, std::micro>(now - job.enqueued)
               .count());
@@ -328,6 +388,110 @@ void BatchEngine::worker_main(unsigned worker_id) {
     job = Job{};  // release the frame buffer before blocking on the queue
     if (retire) return;
   }
+}
+
+bool BatchEngine::maybe_quarantine_locked(unsigned worker_id) {
+  EngineWorkerStats& stats = worker_stats_[worker_id];
+  if (config_.quarantine_strike_threshold == 0 || stats.quarantined ||
+      stats.strikes < config_.quarantine_strike_threshold ||
+      workers_spawned_ >= config_.max_replacement_workers)
+    return false;
+  // Quarantine: retire this worker and hand its slot in the pool to a
+  // fresh thread (and a fresh decoder) from the factory. `stats` is
+  // dead after the push_back below — the vector may reallocate.
+  stats.quarantined = true;
+  ++workers_quarantined_;
+  ++workers_spawned_;
+  const auto new_id = static_cast<unsigned>(worker_stats_.size());
+  worker_stats_.emplace_back();
+  workers_.emplace_back([this, new_id] { worker_main(new_id); });
+  return true;
+}
+
+void BatchEngine::run_block_job(unsigned worker_id, Job& job, Decoder& decoder,
+                                CancelToken& worker_token, bool* retire) {
+  const auto pop_time = std::chrono::steady_clock::now();
+  // Frames already past their deadline complete without decoding, exactly
+  // like an expired scalar job at pop; the rest share one decode_block.
+  std::vector<BlockFrameJob*> runnable;
+  runnable.reserve(job.block.size());
+  std::vector<std::size_t> expired;
+  for (BlockFrameJob& frame : job.block) {
+    if (frame.deadline && pop_time >= *frame.deadline) {
+      DecodeResult result;
+      result.status = DecodeStatus::kDeadlineExpired;
+      *frame.slot = result;
+      expired.push_back(frame.frame_index);
+    } else {
+      runnable.push_back(&frame);
+    }
+  }
+
+  // Per-frame cancel tokens let one late frame bail at a layer boundary
+  // while its lane-mates decode to completion.
+  std::vector<CancelToken> tokens(runnable.size());
+  std::vector<BlockFrame> frames(runnable.size());
+  std::vector<DecodeResult> results(runnable.size());
+  std::vector<SaturationStats> sats(runnable.size());
+  for (std::size_t i = 0; i < runnable.size(); ++i) {
+    if (runnable[i]->deadline) tokens[i].arm_deadline(*runnable[i]->deadline);
+    frames[i].llr = runnable[i]->llr;
+    frames[i].cancel = &tokens[i];
+  }
+
+  bool failed = false;
+  if (!runnable.empty()) {
+    try {
+      decoder.decode_block(frames, results, sats);
+    } catch (...) {
+      // One throwing block must not take the worker down. Every runnable
+      // frame still resolves — with its default (non-converged) result —
+      // and the failure counts once against this worker.
+      failed = true;
+    }
+    // decode_block detaches whatever token the per-frame ones replaced;
+    // re-attach this worker's own so later scalar jobs keep deadlines.
+    decoder.set_cancel_token(&worker_token);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!failed)
+    for (std::size_t i = 0; i < runnable.size(); ++i)
+      *runnable[i]->slot = std::move(results[i]);
+
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(now - job.enqueued).count();
+  const MutexLock lock(state_mutex_);
+  EngineWorkerStats& stats = worker_stats_[worker_id];
+  for (const std::size_t index : expired) {
+    ++jobs_expired_;
+    finish_job_locked(index, now);
+  }
+  if (failed) ++stats.exceptions;
+  for (std::size_t i = 0; i < runnable.size(); ++i) {
+    ++stats.jobs;
+    if (!failed) {
+      const DecodeResult& res = *runnable[i]->slot;
+      stats.sum_iterations += res.iterations;
+      stats.status_counts[static_cast<std::size_t>(res.status)] += 1;
+      if (res.status == DecodeStatus::kConverged) ++stats.early_terminations;
+      if (res.simd_fallback != SimdFallback::kNone) ++stats.simd_fallbacks;
+      stats.saturation.quantizer_clips += sats[i].quantizer_clips;
+      stats.saturation.datapath_clips += sats[i].datapath_clips;
+      stats.saturation.q_clips += sats[i].q_clips;
+      stats.saturation.r_clips += sats[i].r_clips;
+      stats.saturation.p_clips += sats[i].p_clips;
+      stats.saturation.degenerate_checks += sats[i].degenerate_checks;
+      decoded_bits_ += decoder.n();
+      decoded_info_bits_ += decoder.k();
+      if (res.status == DecodeStatus::kFaultDetected ||
+          res.status == DecodeStatus::kWatchdogAbort)
+        ++stats.strikes;
+    }
+    record_latency_locked(latency_us);
+    finish_job_locked(runnable[i]->frame_index, now);
+  }
+  if (failed) ++stats.strikes;
+  *retire = maybe_quarantine_locked(worker_id);
 }
 
 void BatchEngine::record_latency_locked(double us) {
@@ -358,6 +522,7 @@ EngineMetrics BatchEngine::snapshot() const {
     m.jobs_submitted = submitted_;
     m.jobs_completed = completed_;
     m.decoded_bits = decoded_bits_;
+    m.decoded_info_bits = decoded_info_bits_;
     m.jobs_expired = jobs_expired_;
     m.jobs_shed = jobs_shed_;
     m.jobs_rejected = jobs_rejected_;
@@ -373,9 +538,12 @@ EngineMetrics BatchEngine::snapshot() const {
     m.workers = worker_stats_;
     latencies = latency_us_;
   }
-  if (m.wall_seconds > 0.0)
-    m.throughput_mbps =
+  if (m.wall_seconds > 0.0) {
+    m.code_throughput_mbps =
         static_cast<double>(m.decoded_bits) / m.wall_seconds / 1e6;
+    m.info_throughput_mbps =
+        static_cast<double>(m.decoded_info_bits) / m.wall_seconds / 1e6;
+  }
   m.queue_capacity = queue_.capacity();
   m.queue_mean_occupancy = occupancy.mean();
   m.queue_max_occupancy =

@@ -80,6 +80,14 @@ struct BatchEngineConfig {
   /// wall time), so the latency summary stays an unbiased estimate while
   /// memory stays O(cap) over days of traffic.
   std::size_t latency_sample_cap = 0;
+  /// Frames per block for decode_batch(): values > 1 group consecutive
+  /// frames into block jobs so an inter-frame-batched decoder
+  /// (Decoder::block_width() > 1) keeps every SIMD lane full. 0 and 1 both
+  /// mean per-frame jobs. Deadlines, cancellation, and the determinism
+  /// contract are unchanged — each frame still resolves exactly once into
+  /// its own slot; only queue granularity (and therefore shed/occupancy
+  /// granularity) becomes the block.
+  std::size_t block_frames = 1;
 };
 
 /// Per-worker aggregation of the DecodeResult / saturation statistics the
@@ -96,6 +104,11 @@ struct EngineWorkerStats {
   std::array<std::size_t, kNumDecodeStatuses> status_counts{};
   SaturationStats saturation;  ///< accumulated over this worker's decodes
   std::size_t exceptions = 0;  ///< jobs whose decode/task threw
+  /// Decodes a SIMD decoder delegated to its scalar twin instead of the
+  /// lane kernel (DecodeResult::simd_fallback != kNone). A benchmark or
+  /// serving config silently riding the slow-but-correct scalar path shows
+  /// up here instead of as a mystery throughput cliff.
+  std::size_t simd_fallbacks = 0;
   /// Supervision strikes: exceptions plus fault-detected / watchdog-abort
   /// decode outcomes — the "this worker keeps producing damaged results"
   /// signal the quarantine threshold is compared against.
@@ -119,7 +132,12 @@ struct LatencySummary {
 struct EngineMetrics {
   std::size_t jobs_submitted = 0;
   std::size_t jobs_completed = 0;  ///< includes expired and shed jobs
-  std::size_t decoded_bits = 0;  ///< sum of codeword lengths decoded
+  std::size_t decoded_bits = 0;  ///< sum of codeword lengths n decoded
+  /// Sum of information-bit counts k over decoded frames (0 when the
+  /// decoders cannot report k). Kept separate from decoded_bits because
+  /// "info throughput" and "code throughput" differ by the code rate and
+  /// conflating them misquotes results by 2x at rate 1/2.
+  std::size_t decoded_info_bits = 0;
   /// Deadline expired while queued: completed without touching a decoder.
   std::size_t jobs_expired = 0;
   /// Evicted from a full queue under kShedOldest (completed kShedOverload).
@@ -130,7 +148,12 @@ struct EngineMetrics {
   std::size_t workers_spawned = 0;  ///< replacement threads started
   /// First submit -> last completion (now, while jobs are in flight).
   double wall_seconds = 0.0;
-  double throughput_mbps = 0.0;  ///< decoded_bits / wall_seconds / 1e6
+  /// Coded-bit rate: decoded_bits / wall_seconds / 1e6. The number to
+  /// compare against the paper's "decoding throughput" figures.
+  double code_throughput_mbps = 0.0;
+  /// Information-bit rate: decoded_info_bits / wall_seconds / 1e6 —
+  /// code_throughput_mbps * rate. The number a link budget cares about.
+  double info_throughput_mbps = 0.0;
   std::size_t queue_capacity = 0;
   double queue_mean_occupancy = 0.0;
   std::size_t queue_max_occupancy = 0;
@@ -175,6 +198,19 @@ struct JobOptions {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Escalation rung selecting the decoder (0 = primary factory).
   unsigned rung = 0;
+};
+
+/// One frame of a block submission (submit_block): the engine-owned LLRs,
+/// the caller's result slot, and an optional per-frame deadline. Frames in
+/// one block share a worker and a decoder call but resolve individually —
+/// every frame's slot is written exactly once, expired frames are reported
+/// kDeadlineExpired without decoding, and the rest of the block decodes
+/// normally.
+struct BlockFrameJob {
+  std::size_t frame_index = 0;
+  std::vector<float> llr;
+  DecodeResult* slot = nullptr;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Result of a bounded drain (drain_until / drain_for).
@@ -234,6 +270,18 @@ class BatchEngine {
                                          JobOptions options = {},
                                          DecodeResult* slot = nullptr);
 
+  /// Submit a block of frames as one queue entry, decoded by one worker in
+  /// a single Decoder::decode_block call — the path that keeps an
+  /// inter-frame-batched SIMD decoder's lanes full. Each frame counts as
+  /// one job in the engine's counters and resolves exactly once: expired
+  /// frames complete kDeadlineExpired (at pop, or cooperatively mid-decode
+  /// via their per-frame CancelToken), shed blocks complete every frame
+  /// kShedOverload, and decoded frames land in their own slots. `rung`
+  /// selects the decoder for the whole block. Blocks may be any size >= 1
+  /// (a ragged final block simply leaves lanes idle).
+  [[nodiscard]] SubmitStatus submit_block(std::vector<BlockFrameJob> frames,
+                                          unsigned rung = 0);
+
   /// Capacity-exempt resubmission for retry layers: enqueues even on a full
   /// queue so a worker-thread callback can never deadlock the pool against
   /// its own backlog (bounded in practice by the number of in-flight jobs).
@@ -258,7 +306,9 @@ class BatchEngine {
   }
 
   /// Synchronous convenience wrapper: decode `frames`, return results in
-  /// input order. Equivalent to submit-all + drain.
+  /// input order. Equivalent to submit-all + drain. When
+  /// config.block_frames > 1, consecutive frames are grouped into
+  /// submit_block calls of that size (final block ragged).
   std::vector<DecodeResult> decode_batch(
       const std::vector<std::vector<float>>& frames);
 
@@ -286,9 +336,18 @@ class BatchEngine {
     std::optional<std::chrono::steady_clock::time_point> deadline;
     unsigned rung = 0;
     std::chrono::steady_clock::time_point enqueued;
+    /// Non-empty: this is a block job (one decode_block call); the scalar
+    /// fields above except rung/enqueued are unused.
+    std::vector<BlockFrameJob> block;
   };
 
   void worker_main(unsigned worker_id);
+  /// Run a block job on this worker's decoder: expired frames complete at
+  /// pop, the rest decode in one decode_block call with per-frame cancel
+  /// tokens, and every frame's stats/latency/slot resolve exactly once.
+  void run_block_job(unsigned worker_id, Job& job, Decoder& decoder,
+                     CancelToken& worker_token, bool* retire)
+      LDPC_EXCLUDES(state_mutex_);
   Job make_job(std::size_t frame_index, std::vector<float>&& llr,
                DecodeResult* slot, Task&& task, const JobOptions& options);
   void record_submit(std::size_t frame_index) LDPC_EXCLUDES(state_mutex_);
@@ -303,6 +362,10 @@ class BatchEngine {
       LDPC_REQUIRES(state_mutex_);
   /// Admit one latency sample into the (possibly capped) reservoir.
   void record_latency_locked(double us) LDPC_REQUIRES(state_mutex_);
+  /// Quarantine worker_id if its strikes crossed the threshold, spawning a
+  /// replacement. Returns true when the calling worker must retire.
+  bool maybe_quarantine_locked(unsigned worker_id)
+      LDPC_REQUIRES(state_mutex_);
 
   DecoderFactory factory_;
   BatchEngineConfig config_;
@@ -316,6 +379,7 @@ class BatchEngine {
   std::size_t submitted_ LDPC_GUARDED_BY(state_mutex_) = 0;
   std::size_t completed_ LDPC_GUARDED_BY(state_mutex_) = 0;
   std::size_t decoded_bits_ LDPC_GUARDED_BY(state_mutex_) = 0;
+  std::size_t decoded_info_bits_ LDPC_GUARDED_BY(state_mutex_) = 0;
   std::size_t jobs_expired_ LDPC_GUARDED_BY(state_mutex_) = 0;
   std::size_t jobs_shed_ LDPC_GUARDED_BY(state_mutex_) = 0;
   std::size_t jobs_rejected_ LDPC_GUARDED_BY(state_mutex_) = 0;

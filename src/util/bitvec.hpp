@@ -84,6 +84,17 @@ class BitVec {
 
   std::span<const std::uint64_t> words() const { return words_; }
 
+  /// Overwrite word `w` (bits [64w, 64w+63]) wholesale — the fast path for
+  /// producers that assemble hard decisions 64 at a time instead of calling
+  /// set() per bit. Bits beyond size() are masked off so the "padding bits
+  /// are zero" invariant popcount/all_zero/== rely on still holds.
+  void set_word(std::size_t w, std::uint64_t value) {
+    LDPC_CHECK(w < words_.size());
+    const std::size_t tail = n_bits_ - (w << 6);
+    if (tail < 64) value &= (1ULL << tail) - 1ULL;
+    words_[w] = value;
+  }
+
  private:
   std::size_t n_bits_ = 0;
   std::vector<std::uint64_t> words_;

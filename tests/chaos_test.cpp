@@ -210,5 +210,95 @@ TEST(ChaosEngine, BatchBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(ChaosEngine, BlockWithExpiredJobResolvesLaneMatesUnderChaos) {
+  // Block-granular exactly-once under the same chaos: frames ride the
+  // batched SIMD decoder via submit_block, the per-worker injector stays
+  // armed for the whole run (which legitimately forces the decoder's
+  // per-frame fault-injector fallback — corruption order is scalar), and
+  // one frame's deadline is already expired at submit. Every lane-mate of
+  // the expired frame must still be finalized exactly once — including
+  // while fault-detected strikes quarantine workers mid-batch and
+  // replacement threads take over the remaining blocks.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 4.0F);
+
+  // submit_block has no per-frame task hook to arm an injector, so each
+  // worker's injector is enabled from construction (FaultInjector defaults
+  // to enabled when rate > 0): every decoded frame runs under upsets. The
+  // fault stream depends on per-worker decode order, so no bit-identity is
+  // asserted here — only the exactly-once and supervision properties.
+  const DecoderFactory factory = [&code] {
+    thread_local FaultInjector injector{[] {
+      FaultConfig fault_config;
+      fault_config.rate = 0.02;
+      fault_config.kind = FaultKind::kTransientFlip;
+      fault_config.sites = kAllFaultSites;
+      fault_config.seed = kChaosSeed;
+      return fault_config;
+    }()};
+    DecoderOptions options;
+    options.fault_injector = &injector;
+    return make_decoder("layered-minsum-simd-batched", code, options);
+  };
+  BatchEngineConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 16;
+  config.quarantine_strike_threshold = 1;
+  config.max_replacement_workers = 4;
+  BatchEngine engine(factory, config);
+  constexpr std::size_t kExpired = 2;
+  const std::size_t sentinel = 777777;
+
+  std::vector<DecodeResult> slots(frames.size());
+  for (auto& s : slots) s.iterations = sentinel;
+  std::size_t submitted = 0;
+  for (std::size_t base = 0; base < frames.size(); base += 10) {
+    std::vector<BlockFrameJob> block;
+    for (std::size_t f = base; f < std::min(base + 10, frames.size()); ++f) {
+      BlockFrameJob job;
+      job.frame_index = f;
+      job.llr.assign(frames[f].begin(), frames[f].end());
+      job.slot = &slots[f];
+      if (f == kExpired)
+        job.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(5);
+      block.push_back(std::move(job));
+    }
+    submitted += block.size();
+    EXPECT_TRUE(submit_accepted(engine.submit_block(std::move(block))));
+  }
+  engine.drain();
+  const EngineMetrics metrics = engine.metrics();
+
+  // Exactly-once at block granularity: every slot was finalized (the
+  // sentinel is gone everywhere), the expired frame consumed no decode
+  // budget, and the books balance.
+  ASSERT_EQ(submitted, frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    EXPECT_NE(slots[f].iterations, sentinel) << "frame " << f;
+  EXPECT_EQ(slots[kExpired].status, DecodeStatus::kDeadlineExpired);
+  EXPECT_EQ(slots[kExpired].iterations, 0u);
+  EXPECT_EQ(metrics.jobs_submitted, frames.size());
+  EXPECT_EQ(metrics.jobs_completed, frames.size());  // includes the expiry
+  EXPECT_EQ(metrics.jobs_expired, 1u);
+  EXPECT_EQ(metrics.jobs_shed, 0u);
+
+  // The chaos actually happened and was visible, not silent: upsets landed,
+  // every decoded frame reported the fault-injector fallback, fault
+  // detections struck and benched at least one worker, and replacements
+  // kept the pool serving to completion.
+  std::size_t corrupted = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (f == kExpired) continue;
+    corrupted += slots[f].faults_injected > 0 ? 1u : 0u;
+    EXPECT_EQ(slots[f].simd_fallback, SimdFallback::kFaultInjector)
+        << "frame " << f;
+  }
+  EXPECT_GE(corrupted * 10, frames.size());
+  EXPECT_GE(metrics.status_total(DecodeStatus::kFaultDetected), 1u);
+  EXPECT_GE(metrics.workers_quarantined, 1u);
+  EXPECT_EQ(metrics.workers_spawned, metrics.workers_quarantined);
+}
+
 }  // namespace
 }  // namespace ldpc

@@ -485,8 +485,13 @@ TEST(BatchEngine, MetricsAggregateDecodeStatistics) {
   EXPECT_EQ(m.jobs_submitted, frames.size());
   EXPECT_EQ(m.jobs_completed, frames.size());
   EXPECT_EQ(m.decoded_bits, frames.size() * code.n());
+  EXPECT_EQ(m.decoded_info_bits, frames.size() * code.k());
   EXPECT_GT(m.wall_seconds, 0.0);
-  EXPECT_GT(m.throughput_mbps, 0.0);
+  EXPECT_GT(m.code_throughput_mbps, 0.0);
+  EXPECT_GT(m.info_throughput_mbps, 0.0);
+  // Rate-1/2 code: the info rate is exactly half the code rate, and both
+  // divide the same wall clock, so the ratio is exact.
+  EXPECT_DOUBLE_EQ(m.info_throughput_mbps * 2.0, m.code_throughput_mbps);
   EXPECT_EQ(m.queue_capacity, 16u);
   EXPECT_EQ(m.latency.samples, frames.size());
   EXPECT_GT(m.latency.p50_us, 0.0);
@@ -833,6 +838,132 @@ TEST(Supervisor, DeadlinePassedAbandonsRetry) {
   const SupervisorMetrics m = supervisor.metrics();
   EXPECT_EQ(m.retry.retries_abandoned_deadline, 1u);
   EXPECT_EQ(m.retry.retries_submitted, 0u);
+}
+
+// ------------------------------------------------------------ block jobs ----
+
+DecoderFactory batched_factory(const QCLdpcCode& code,
+                               std::size_t max_iterations = 10) {
+  return [&code, max_iterations] {
+    DecoderOptions opt;
+    opt.max_iterations = max_iterations;
+    return make_decoder("layered-minsum-simd-batched", code, opt);
+  };
+}
+
+TEST(BatchEngineBlocks, SubmitBlockResolvesEveryFrameOnce) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 6, 4.0F);
+  BatchEngine engine(batched_factory(code), engine_config(1, 8));
+  std::vector<DecodeResult> slots(frames.size());
+  std::vector<BlockFrameJob> block;
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    block.push_back(BlockFrameJob{f, frames[f], &slots[f], std::nullopt});
+  ASSERT_TRUE(submit_accepted(engine.submit_block(std::move(block))));
+  engine.drain();
+  for (const auto& r : slots) {
+    EXPECT_GE(r.iterations, 1u);
+    EXPECT_TRUE(r.converged);
+  }
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.jobs_submitted, frames.size());
+  EXPECT_EQ(m.jobs_completed, frames.size());
+  EXPECT_EQ(m.decoded_bits, frames.size() * code.n());
+  EXPECT_EQ(m.decoded_info_bits, frames.size() * code.k());
+  EXPECT_EQ(m.latency.samples, frames.size());
+}
+
+TEST(BatchEngineBlocks, DecodeBatchBlockShapeMatchesPerFrame) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  // 2.0 dB for a mix of outcomes; 21 frames so the final block is ragged
+  // for every lane width (8, 16, 32).
+  const auto frames = make_frames(code, 21, 2.0F);
+  std::vector<DecodeResult> reference;
+  {
+    BatchEngine engine(batched_factory(code), engine_config(1, 32));
+    reference = engine.decode_batch(frames);
+  }
+  for (const std::size_t width : {3u, 8u, 16u}) {
+    BatchEngineConfig config = engine_config(2, 32);
+    config.block_frames = width;
+    BatchEngine engine(batched_factory(code), config);
+    const auto results = engine.decode_batch(frames);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t f = 0; f < results.size(); ++f) {
+      EXPECT_EQ(results[f].iterations, reference[f].iterations) << f;
+      EXPECT_EQ(results[f].converged, reference[f].converged) << f;
+      EXPECT_EQ(results[f].hard_bits, reference[f].hard_bits) << f;
+    }
+    const auto m = engine.metrics();
+    EXPECT_EQ(m.jobs_completed, frames.size());
+    EXPECT_EQ(m.decoded_info_bits, frames.size() * code.k());
+  }
+}
+
+TEST(BatchEngineBlocks, ExpiredFrameInBlockResolvesLaneMates) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 5, 4.0F);
+  BatchEngine engine(batched_factory(code), engine_config(1, 8));
+  std::vector<DecodeResult> slots(frames.size());
+  std::vector<BlockFrameJob> block;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    // Frame 2 is already past its deadline when the worker pops the block;
+    // it must resolve kDeadlineExpired without poisoning its lane-mates.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (f == 2) deadline = std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(10);
+    block.push_back(BlockFrameJob{f, frames[f], &slots[f], deadline});
+  }
+  ASSERT_TRUE(submit_accepted(engine.submit_block(std::move(block))));
+  engine.drain();
+  EXPECT_EQ(slots[2].status, DecodeStatus::kDeadlineExpired);
+  EXPECT_EQ(slots[2].iterations, 0u);
+  for (std::size_t f = 0; f < slots.size(); ++f) {
+    if (f == 2) continue;
+    EXPECT_TRUE(slots[f].converged) << f;
+    EXPECT_GE(slots[f].iterations, 1u) << f;
+  }
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.jobs_completed, frames.size());
+  EXPECT_EQ(m.jobs_expired, 1u);
+}
+
+TEST(BatchEngineBlocks, FallbackFramesCountedPerWorker) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 4, 4.0F);
+  // An iteration observer forces the batched decoder onto its per-frame
+  // scalar twin; the engine must surface that silent fallback in metrics.
+  DecoderFactory factory = [&code] {
+    DecoderOptions opt;
+    opt.max_iterations = 10;
+    opt.observer = [](const IterationSnapshot&) {};
+    return make_decoder("layered-minsum-simd-batched", code, opt);
+  };
+  BatchEngineConfig config = engine_config(1, 8);
+  config.block_frames = 4;
+  BatchEngine engine(factory, config);
+  const auto results = engine.decode_batch(frames);
+  for (const auto& r : results)
+    EXPECT_EQ(r.simd_fallback, SimdFallback::kObserver);
+  const auto m = engine.metrics();
+  std::size_t fallbacks = 0;
+  for (const auto& w : m.workers) fallbacks += w.simd_fallbacks;
+  EXPECT_EQ(fallbacks, frames.size());
+}
+
+TEST(BatchEngineBlocks, DestructorCompletesBlockInFlight) {
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const auto frames = make_frames(code, 4, 4.0F);
+  std::vector<DecodeResult> slots(frames.size());
+  {
+    BatchEngine engine(batched_factory(code), engine_config(1, 8));
+    std::vector<BlockFrameJob> block;
+    for (std::size_t f = 0; f < frames.size(); ++f)
+      block.push_back(BlockFrameJob{f, frames[f], &slots[f], std::nullopt});
+    ASSERT_TRUE(submit_accepted(engine.submit_block(std::move(block))));
+    // No drain: the destructor must still resolve every frame of the block.
+  }
+  for (const auto& r : slots) EXPECT_GE(r.iterations, 1u);
 }
 
 TEST(Supervisor, RetryWithoutLadderRejectedAtConstruction) {
