@@ -1,0 +1,126 @@
+// HARQ link-layer comparison — what combining buys over blind retries.
+//
+// Closed-loop link simulation (src/harq/harq_link.hpp) over the WiMAX
+// (2304, 1/2) z = 96 case-study code: per MCS (modulation x rate-matched
+// code rate, all derived from the ONE mother code via the RateMatcher),
+// the three retransmission strategies are run at a fixed waterfall-region
+// Eb/N0 with a budget of 4 transmissions per frame:
+//   plain-retry — type-I HARQ, the retransmission replaces the buffer;
+//   chase       — the retransmission ADDS into the buffer (~3 dB per
+//                 doubling on combined positions);
+//   incremental — previously punctured parity is revealed chunk by chunk
+//                 (new information at a fraction of the symbol cost).
+// Reported per (MCS, mode): delivered-throughput in info bits per channel
+// symbol, mean transmissions per frame, and residual BLER after HARQ.
+// Expected ordering at every MCS: IR >= chase > plain in throughput —
+// the artifact gate in scripts/check.sh enforces it on the JSON output.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/decoder_factory.hpp"
+#include "harq/harq_link.hpp"
+#include "util/table.hpp"
+
+using namespace ldpc;
+
+namespace {
+
+struct Mcs {
+  const char* name;
+  Modulation modulation;
+  double target_rate;  ///< 0 = mother rate
+  float ebn0_db;       ///< fixed operating point (waterfall region)
+};
+
+const char* modulation_name(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk:  return "bpsk";
+    case Modulation::kQpsk:  return "qpsk";
+    case Modulation::kQam16: return "16qam";
+    case Modulation::kQam64: return "64qam";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const auto code = make_wimax_2304_half_rate();
+  constexpr std::size_t kFrames = 96;
+  constexpr std::size_t kMaxTransmissions = 4;
+
+  // Operating points sit where the initial transmission fails often enough
+  // for the retransmission strategy to matter but HARQ still recovers —
+  // the regime the comparison is about.
+  const std::vector<Mcs> mcs_table = {
+      {"qpsk-r1/2", Modulation::kQpsk, 0.0, 1.2F},
+      {"qpsk-r2/3", Modulation::kQpsk, 2.0 / 3.0, 2.4F},
+      {"16qam-r2/3", Modulation::kQam16, 2.0 / 3.0, 5.4F},
+      {"64qam-r3/4", Modulation::kQam64, 3.0 / 4.0, 10.6F},
+  };
+  const std::vector<HarqMode> modes = {
+      HarqMode::kPlainRetry, HarqMode::kChase, HarqMode::kIncremental};
+
+  TextTable table(
+      "HARQ link — WiMAX (2304, 1/2) z=96 mother code, 4 transmissions, "
+      "layered-minsum q8.2");
+  table.set_header({"mcs", "mode", "Eb/N0", "delivered", "BLER", "mean tx",
+                    "bits/symbol"});
+  bench::JsonReporter json;
+
+  for (const Mcs& mcs : mcs_table) {
+    for (const HarqMode mode : modes) {
+      HarqLinkConfig config;
+      config.ebn0_db = {mcs.ebn0_db};
+      config.frames_per_point = kFrames;
+      config.max_transmissions = kMaxTransmissions;
+      config.mode = mode;
+      config.target_rate = mcs.target_rate;
+      config.modulation = mcs.modulation;
+      config.num_workers = 4;
+      config.seed = 2009;
+      DecoderOptions base;
+      HarqLinkRunner runner(
+          code,
+          [&code, base] {
+            return make_decoder("layered-minsum-fixed", code, base);
+          },
+          config);
+      const HarqPoint p = runner.run()[0];
+      const double throughput = p.throughput(runner.info_bits());
+      table.add_row({mcs.name, to_string(mode),
+                     TextTable::num(mcs.ebn0_db, 1),
+                     TextTable::integer(p.delivered_correct),
+                     TextTable::num(p.residual_bler(), 3),
+                     TextTable::num(p.mean_transmissions(), 2),
+                     TextTable::num(throughput, 3)});
+      json.add_row()
+          .set("mcs", mcs.name)
+          .set("modulation", modulation_name(mcs.modulation))
+          .set("target_rate", mcs.target_rate == 0.0 ? code.rate()
+                                                     : mcs.target_rate)
+          .set("punctured", mcs.target_rate != 0.0)
+          .set("mode", to_string(mode))
+          .set("ebn0_db", static_cast<double>(mcs.ebn0_db))
+          .set("frames", p.frames)
+          .set("delivered_correct", p.delivered_correct)
+          .set("harq_exhausted", p.harq_exhausted)
+          .set("residual_bler", p.residual_bler())
+          .set("mean_transmissions", p.mean_transmissions())
+          .set("total_symbols", p.total_symbols)
+          .set("throughput_bits_per_symbol", throughput)
+          .set("combiner_clips", p.combiner_clips);
+    }
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nExpected: chase beats plain retry everywhere (combining never\n"
+      "discards evidence), and incremental redundancy beats chase in\n"
+      "bits/symbol on the punctured MCSs (a NACK costs one circulant of\n"
+      "parity instead of a whole frame). The mother-rate MCS has nothing\n"
+      "punctured to reveal, so IR degenerates to chase there by design.\n");
+  json.write("BENCH_harq_link.json");
+  return 0;
+}

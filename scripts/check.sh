@@ -14,7 +14,9 @@
 #                        the concurrency-sensitive tests: the runtime batch
 #                        engine (scalar and fused block paths), the
 #                        retry/escalation supervisor, the fault-injection
-#                        chaos test and the BER runner
+#                        chaos test, the BER runner, the Rayleigh fading
+#                        paths and the HARQ link loop (multi-worker chase /
+#                        incremental-redundancy combining)
 #   5. service stage   — the network decode service under TSan: wire-codec
 #                        corpus, registry, service robustness tests, then a
 #                        short chaos load-generator smoke (malformed frames,
@@ -28,18 +30,23 @@
 #                        the aggregate "engine-simd-batched" entry with zero
 #                        SIMD fallbacks (the bench itself also exits nonzero
 #                        on any silent scalar fallback)
-#   7. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
+#   7. HARQ artifact   — runs the HARQ link comparison bench and gates on
+#                        BENCH_harq_link.json: on every punctured MCS the
+#                        delivered throughput must order incremental >
+#                        chase > plain-retry, and the incremental rows must
+#                        keep residual BLER <= 0.05
+#   8. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
 #                        with a notice when clang-tidy is not installed
-#   8. ldpc-lint       — static schedule/hazard analysis over every bundled
+#   9. ldpc-lint       — static schedule/hazard analysis over every bundled
 #                        code and both column orders (must exit 0)
-#   9. thread-safety   — clang -Werror=thread-safety build of the annotated
+#  10. thread-safety   — clang -Werror=thread-safety build of the annotated
 #                        concurrent layers (LDPC_THREAD_SAFETY=ON); skipped
 #                        with a notice when clang++ is not installed
-#  10. ldpc-verify     — static fixed-point range verification over every
+#  11. ldpc-verify     — static fixed-point range verification over every
 #                        registered code x {q6, q8} x scaling mode; exits
 #                        nonzero on any unproven-unsafe site; the JSON
 #                        artifact is archived next to the build
-#  11. fuzz replay     — deterministic corpus replay of the wire + alist
+#  12. fuzz replay     — deterministic corpus replay of the wire + alist
 #                        fuzz harnesses (generated seed corpus; runs on any
 #                        compiler, no libFuzzer needed)
 #
@@ -64,12 +71,12 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # fail the gate, not hang CI forever.
 TEST_TIMEOUT=120
 
-echo "== [1/11] tier-1 verify (LDPC_WERROR=ON) =="
+echo "== [1/12] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT"
 
-echo "== [2/11] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
+echo "== [2/12] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
 cmake -B build-nosimd -S . -DLDPC_SIMD=OFF -DLDPC_WERROR=ON
 cmake --build build-nosimd -j "$JOBS" \
   --target simd_equivalence_test simd_batch_test
@@ -77,19 +84,20 @@ ctest --test-dir build-nosimd --output-on-failure --timeout "$TEST_TIMEOUT" \
   -R 'SimdEquivalence|SimdBatch'
 
 if [ "$FAST" -eq 0 ]; then
-  echo "== [3/11] ASan + UBSan =="
+  echo "== [3/12] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure --timeout "$TEST_TIMEOUT"
 
-  echo "== [4/11] ThreadSanitizer (runtime engine, supervisor, chaos, BER) =="
+  echo "== [4/12] ThreadSanitizer (runtime engine, supervisor, chaos, BER, HARQ) =="
   cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
   cmake --build build-tsan -j "$JOBS" \
-    --target runtime_test chaos_test channel_test simd_batch_test
+    --target runtime_test chaos_test channel_test simd_batch_test \
+             fading_test harq_test
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
-    -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds|SimdBatch'
+    -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds|SimdBatch|Rayleigh|BerExtensions|RateMatcher|LlrBuffer|RedundancyRung|HarqLink'
 
-  echo "== [5/11] decode service under TSan (tests + chaos load smoke) =="
+  echo "== [5/12] decode service under TSan (tests + chaos load smoke) =="
   cmake --build build-tsan -j "$JOBS" \
     --target service_wire_test registry_test service_test bench_decode_service
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
@@ -102,12 +110,12 @@ if [ "$FAST" -eq 0 ]; then
   ./build-tsan/bench/bench_decode_service --seconds 0.4 --skip-perf-gate \
     --json build-tsan/BENCH_decode_service_smoke.json
 else
-  echo "== [3/11] ASan + UBSan — skipped (--fast) =="
-  echo "== [4/11] ThreadSanitizer — skipped (--fast) =="
-  echo "== [5/11] decode service under TSan — skipped (--fast) =="
+  echo "== [3/12] ASan + UBSan — skipped (--fast) =="
+  echo "== [4/12] ThreadSanitizer — skipped (--fast) =="
+  echo "== [5/12] decode service under TSan — skipped (--fast) =="
 fi
 
-echo "== [6/11] fused-path throughput artifact (engine-simd-batched) =="
+echo "== [6/12] fused-path throughput artifact (engine-simd-batched) =="
 cmake --build build -j "$JOBS" --target bench_decoder_throughput
 # The tracked wall-clock measurement runs before the google-benchmark
 # suite; an unmatchable filter skips the latter so this stage stays quick.
@@ -128,14 +136,61 @@ case "$ENGINE_ROW" in
     ;;
 esac
 
-echo "== [7/11] clang-tidy =="
+echo "== [7/12] HARQ link artifact (combining-gain ordering + residual BLER) =="
+cmake --build build -j "$JOBS" --target bench_harq_link
+(cd build && ./bench/bench_harq_link > /dev/null)
+# Gate: on every punctured MCS the delivered throughput must order
+# incremental > chase > plain-retry (combining must pay for itself, and
+# revealing punctured parity must beat blindly repeating the frame), and
+# every incremental row must close the loop with residual BLER <= 0.05.
+python3 - build/BENCH_harq_link.json <<'EOF'
+import json, sys
+
+rows = json.load(open(sys.argv[1]))
+by_mcs = {}
+for row in rows:
+    by_mcs.setdefault(row["mcs"], {})[row["mode"]] = row
+
+failures = []
+for mcs, modes in sorted(by_mcs.items()):
+    missing = {"plain-retry", "chase", "incremental"} - modes.keys()
+    if missing:
+        failures.append(f"{mcs}: missing modes {sorted(missing)}")
+        continue
+    plain = modes["plain-retry"]["throughput_bits_per_symbol"]
+    chase = modes["chase"]["throughput_bits_per_symbol"]
+    ir = modes["incremental"]["throughput_bits_per_symbol"]
+    punctured = modes["incremental"]["punctured"]
+    if not chase > plain:
+        failures.append(f"{mcs}: chase ({chase:.3f}) !> plain ({plain:.3f})")
+    if punctured:
+        if not ir > chase:
+            failures.append(f"{mcs}: incremental ({ir:.3f}) !> chase ({chase:.3f})")
+    elif ir != chase:
+        failures.append(
+            f"{mcs}: mother-rate IR ({ir:.3f}) should degenerate to chase "
+            f"({chase:.3f})")
+    bler = modes["incremental"]["residual_bler"]
+    if bler > 0.05:
+        failures.append(f"{mcs}: incremental residual BLER {bler:.3f} > 0.05")
+
+if failures:
+    print("BENCH_harq_link.json gate failed:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"harq gate: {len(by_mcs)} MCS rows ordered incremental >= chase > plain, "
+      "incremental residual BLER <= 0.05")
+EOF
+
+echo "== [8/12] clang-tidy =="
 cmake --build build --target lint
 
-echo "== [8/11] ldpc-lint over all bundled codes =="
+echo "== [9/12] ldpc-lint over all bundled codes =="
 ./build/src/analysis/ldpc-lint
 ./build/src/analysis/ldpc-lint --order hazard
 
-echo "== [9/11] clang thread-safety analysis (LDPC_THREAD_SAFETY=ON) =="
+echo "== [10/12] clang thread-safety analysis (LDPC_THREAD_SAFETY=ON) =="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
     -DLDPC_THREAD_SAFETY=ON -DLDPC_WERROR=ON
@@ -148,13 +203,13 @@ else
   echo "no-ops under this compiler; install clang to enable the analysis)"
 fi
 
-echo "== [10/11] ldpc-verify static range verification =="
+echo "== [11/12] ldpc-verify static range verification =="
 # Nonzero exit = a datapath site can exceed its rails with no clamp there.
 ./build/src/analysis/ldpc-verify --all-codes \
   --json build/RANGE_VERIFY.json
 echo "range-verify artifact: build/RANGE_VERIFY.json"
 
-echo "== [11/11] fuzz corpus replay smoke =="
+echo "== [12/12] fuzz corpus replay smoke =="
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT" \
   -R 'fuzz_'
 

@@ -38,6 +38,7 @@ std::vector<float> transmit_frame(const BerConfig& config, std::size_t n,
     case Modulation::kBpsk:  symbols = BpskModem::modulate(codeword); break;
     case Modulation::kQpsk:  symbols = QpskModem::modulate(codeword); break;
     case Modulation::kQam16: symbols = Qam16Modem::modulate(codeword); break;
+    case Modulation::kQam64: symbols = Qam64Modem::modulate(codeword); break;
   }
   if (config.channel == ChannelModel::kAwgn) {
     const auto received = awgn.transmit(symbols);
@@ -48,33 +49,27 @@ std::vector<float> transmit_frame(const BerConfig& config, std::size_t n,
         return QpskModem::demodulate(received, variance, n);
       case Modulation::kQam16:
         return Qam16Modem::demodulate(received, variance, n);
+      case Modulation::kQam64:
+        return Qam64Modem::demodulate(received, variance, n);
     }
   }
-  // Rayleigh fading with per-dimension independent gains (fully
-  // interleaved assumption), coherent reception.
+  // Rayleigh fading, coherent reception with perfect CSI. BPSK rides the
+  // real-symbol path; the I/Q modems fade per complex symbol (both rails
+  // share the gain) and demap through the gain-aware equalizers.
   std::vector<float> gains;
-  const auto received = rayleigh.transmit(symbols, gains);
-  if (config.modulation == Modulation::kBpsk)
+  if (config.modulation == Modulation::kBpsk) {
+    const auto received = rayleigh.transmit(symbols, gains);
     return RayleighChannel::demodulate_bpsk(received, gains, variance);
-  if (config.modulation == Modulation::kQpsk) {
-    std::vector<float> llr(n);
-    constexpr float kInvSqrt2 = 0.70710678118654752F;
-    const float base = 2.0F * kInvSqrt2 / variance;
-    for (std::size_t b = 0; b < llr.size(); ++b)
-      llr[b] = base * gains[b] * received[b];
-    return llr;
   }
-  // 16-QAM over fading: equalize each rail by its known gain, scale the
-  // effective noise accordingly, and reuse the AWGN demapper.
-  std::vector<float> llr(n);
-  for (std::size_t b = 0; b < llr.size(); ++b) {
-    const std::size_t rail = b / 2;  // two bits per rail
-    const float h = std::max(gains[rail], 1e-6F);
-    const auto rail_llr = Qam16Modem::demodulate(
-        {received[rail] / h, 0.0F}, variance / (h * h), 2);
-    llr[b] = rail_llr[b % 2];
+  const auto received = rayleigh.transmit_iq(symbols, gains);
+  switch (config.modulation) {
+    case Modulation::kQpsk:
+      return RayleighChannel::demodulate_qpsk(received, gains, variance, n);
+    case Modulation::kQam16:
+      return RayleighChannel::demodulate_qam16(received, gains, variance, n);
+    default:
+      return RayleighChannel::demodulate_qam64(received, gains, variance, n);
   }
-  return llr;
 }
 
 void accumulate(BerPoint& point, const FrameOutcome& outcome) {
@@ -123,13 +118,12 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
   BerPoint point;
   point.ebn0_db = ebn0_db;
 
-  // Unit-energy complex symbols carry 2 (QPSK) or 4 (16-QAM) coded bits, so
-  // the per-dimension energy drops accordingly; this factor keeps the Eb/N0
-  // accounting correct across modulations (sigma^2 = 1/(2 R k Eb/N0) for k
-  // coded bits per unit-energy 2D symbol ... expressed per dimension).
-  const double bits_factor = config_.modulation == Modulation::kQam16 ? 4.0
-                             : config_.modulation == Modulation::kQpsk ? 2.0
-                                                                       : 1.0;
+  // Unit-energy complex symbols carry 2 (QPSK), 4 (16-QAM) or 6 (64-QAM)
+  // coded bits, so the per-dimension energy drops accordingly; this factor
+  // keeps the Eb/N0 accounting correct across modulations (sigma^2 =
+  // 1/(2 R k Eb/N0) for k coded bits per unit-energy 2D symbol ...
+  // expressed per dimension).
+  const double bits_factor = modulation_bits_per_symbol(config_.modulation);
   const float variance = awgn_noise_variance(ebn0_db, code_.rate(), bits_factor);
   // Shared across workers: encode() is const and carries no mutable state.
   const RuEncoder encoder(code_);
@@ -157,7 +151,8 @@ BerPoint BerRunner::run_point(float ebn0_db, std::size_t point_index) {
             ber_frame_seeds(config_.seed, point_index, frame);
         Xoshiro256 info_rng(seeds.info);
         AwgnChannel awgn(variance, seeds.awgn);
-        RayleighChannel rayleigh(variance, seeds.rayleigh);
+        RayleighChannel rayleigh(variance, seeds.rayleigh,
+                                 config_.coherence_symbols);
 
         BitVec info(code_.k());
         if (config_.random_info) {

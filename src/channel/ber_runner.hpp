@@ -48,8 +48,21 @@ inline FrameSeeds ber_frame_seeds(std::uint64_t seed, std::size_t point_index,
   return seeds;
 }
 
-enum class Modulation { kBpsk, kQpsk, kQam16 };
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
 enum class ChannelModel { kAwgn, kRayleigh };
+
+/// Coded bits per unit-energy complex symbol (1 for BPSK's real symbol) —
+/// the `bits_per_dim` factor of awgn_noise_variance and the symbol-count
+/// divisor of link-throughput accounting.
+inline double modulation_bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk:  return 1.0;
+    case Modulation::kQpsk:  return 2.0;
+    case Modulation::kQam16: return 4.0;
+    case Modulation::kQam64: return 6.0;
+  }
+  return 1.0;
+}
 
 struct BerConfig {
   std::vector<float> ebn0_db;            ///< sweep points
@@ -61,6 +74,9 @@ struct BerConfig {
   bool random_info = true;  ///< false = all-zero information words
   Modulation modulation = Modulation::kBpsk;
   ChannelModel channel = ChannelModel::kAwgn;
+  /// Rayleigh block-fading coherence: symbols per fading block (1 = fully
+  /// interleaved i.i.d. fading). Ignored for AWGN.
+  std::size_t coherence_symbols = 1;
   /// Total decode attempts per frame (1 = no retry). Values > 1 re-decode
   /// the same received LLRs on the escalation ladder below and require it
   /// to be non-empty. Retries are keyed (frame, attempt), so sweep counts

@@ -96,6 +96,128 @@ std::vector<float> Qam16Modem::demodulate(const std::vector<float>& iq,
   return llr;
 }
 
+namespace {
+
+// Reflected-Gray 2^B-PAM shared by the QAM demappers. Level index j counts
+// down from the most positive level (+2^B-1), and the rail's bit pattern is
+// the natural Gray code of j with the MSB as the outer (sign) bit — for
+// B = 2 this reproduces pam4_level exactly.
+template <int B>
+struct GrayPam {
+  static constexpr unsigned kLevels = 1U << B;
+
+  static constexpr unsigned gray_inverse(unsigned c) {
+    unsigned j = c;
+    for (int shift = 1; shift < B; shift <<= 1) j ^= j >> shift;
+    return j;
+  }
+
+  /// Unscaled odd level of rail code `c` (bit B-1 = outer/sign bit).
+  static constexpr int level_of_code(unsigned c) {
+    return static_cast<int>(kLevels - 1) - 2 * static_cast<int>(gray_inverse(c));
+  }
+
+  /// Exact per-bit LLRs of one received rail value (log-sum over levels).
+  static void exact_llrs(double y, double inv2v, float scale, double* out) {
+    double sum0[B] = {}, sum1[B] = {};
+    for (unsigned c = 0; c < kLevels; ++c) {
+      const double d = y - static_cast<double>(level_of_code(c)) * scale;
+      const double lk = std::exp(-d * d * inv2v);
+      for (int t = 0; t < B; ++t)
+        (((c >> (B - 1 - t)) & 1U) ? sum1[t] : sum0[t]) += lk;
+    }
+    constexpr double kFloor = 1e-300;  // avoid log(0) deep in the tails
+    for (int t = 0; t < B; ++t)
+      out[t] = std::log(std::max(sum0[t], kFloor)) -
+               std::log(std::max(sum1[t], kFloor));
+  }
+
+  /// Max-log per-bit LLRs: (min distance^2 over bit=1) - (over bit=0), each
+  /// divided by 2 sigma^2.
+  static void maxlog_llrs(double y, double inv2v, float scale, double* out) {
+    double min0[B], min1[B];
+    for (int t = 0; t < B; ++t) min0[t] = min1[t] = 1e300;
+    for (unsigned c = 0; c < kLevels; ++c) {
+      const double d = y - static_cast<double>(level_of_code(c)) * scale;
+      const double d2 = d * d;
+      for (int t = 0; t < B; ++t) {
+        double& slot = ((c >> (B - 1 - t)) & 1U) ? min1[t] : min0[t];
+        if (d2 < slot) slot = d2;
+      }
+    }
+    for (int t = 0; t < B; ++t) out[t] = (min1[t] - min0[t]) * inv2v;
+  }
+};
+
+/// Demap an interleaved-IQ stream through GrayPam<B> rails (2B bits per
+/// complex symbol; first B bits of a symbol ride I, the next B ride Q).
+template <int B, typename RailFn>
+std::vector<float> demap_qam(const std::vector<float>& iq,
+                             float noise_variance, std::size_t n_bits,
+                             float scale, RailFn rail_fn) {
+  LDPC_CHECK(noise_variance > 0.0F);
+  LDPC_CHECK(iq.size() * B >= n_bits);
+  std::vector<float> llr(n_bits);
+  const double inv2v = 1.0 / (2.0 * static_cast<double>(noise_variance));
+  double rail[B];
+  for (std::size_t b = 0; b < n_bits; ++b) {
+    const std::size_t sym = b / (2 * B);
+    const std::size_t within = b % (2 * B);
+    const bool q_rail = within >= B;
+    const int t = static_cast<int>(within % B);
+    if (t == 0)  // first bit of a rail: demap the whole rail once
+      rail_fn(static_cast<double>(iq[2 * sym + (q_rail ? 1 : 0)]), inv2v,
+              scale, rail);
+    llr[b] = static_cast<float>(rail[t]);
+  }
+  return llr;
+}
+
+// 8-PAM levels for 64-QAM, unit average symbol energy over two rails:
+// E[mag^2] per rail = (1 + 9 + 25 + 49) / 4 = 21, so scale = 1/sqrt(42).
+constexpr float kQam64Scale = 0.15430334996209191F;
+
+}  // namespace
+
+std::vector<float> Qam16Modem::demodulate_maxlog(const std::vector<float>& iq,
+                                                 float noise_variance,
+                                                 std::size_t n_bits) {
+  return demap_qam<2>(iq, noise_variance, n_bits, kQamScale,
+                      GrayPam<2>::maxlog_llrs);
+}
+
+std::vector<float> Qam64Modem::modulate(const BitVec& bits) {
+  const std::size_t n_sym = (bits.size() + 5) / 6;
+  std::vector<float> iq(2 * n_sym);
+  auto bit_at = [&bits](std::size_t i) {
+    return i < bits.size() && bits.get(i);
+  };
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    for (std::size_t rail = 0; rail < 2; ++rail) {
+      unsigned code = 0;
+      for (std::size_t t = 0; t < 3; ++t)
+        code = (code << 1) | (bit_at(6 * s + 3 * rail + t) ? 1U : 0U);
+      iq[2 * s + rail] =
+          static_cast<float>(GrayPam<3>::level_of_code(code)) * kQam64Scale;
+    }
+  }
+  return iq;
+}
+
+std::vector<float> Qam64Modem::demodulate(const std::vector<float>& iq,
+                                          float noise_variance,
+                                          std::size_t n_bits) {
+  return demap_qam<3>(iq, noise_variance, n_bits, kQam64Scale,
+                      GrayPam<3>::exact_llrs);
+}
+
+std::vector<float> Qam64Modem::demodulate_maxlog(const std::vector<float>& iq,
+                                                 float noise_variance,
+                                                 std::size_t n_bits) {
+  return demap_qam<3>(iq, noise_variance, n_bits, kQam64Scale,
+                      GrayPam<3>::maxlog_llrs);
+}
+
 std::vector<float> QpskModem::demodulate(const std::vector<float>& iq,
                                          float noise_variance,
                                          std::size_t n_bits) {

@@ -47,6 +47,34 @@ struct Qam16Modem {
   /// Exact LLRs per original bit.
   static std::vector<float> demodulate(const std::vector<float>& iq,
                                        float noise_variance, std::size_t n_bits);
+
+  /// Max-log approximation: per bit, the difference of the two closest
+  /// squared distances over 2 sigma^2 — the form a fixed-point receiver
+  /// implements (no exp/log). Within a constant bound of the exact LLRs.
+  static std::vector<float> demodulate_maxlog(const std::vector<float>& iq,
+                                              float noise_variance,
+                                              std::size_t n_bits);
+};
+
+/// Gray-mapped 64-QAM: six bits per complex symbol (three per rail with the
+/// 8-PAM reflected-Gray levels {-7,-5,-3,-1,+1,+3,+5,+7}/sqrt(42), unit
+/// average symbol energy). Bit order per symbol: (I outer, I mid, I inner,
+/// Q outer, Q mid, Q inner) — the outer bit is the rail's sign, matching
+/// the 16-QAM convention. Both demappers are provided: the exact
+/// log-sum-exp per-bit LLRs and the max-log approximation.
+struct Qam64Modem {
+  /// Returns 2*ceil(n/6) floats; inputs padded with zero bits to a multiple
+  /// of 6.
+  static std::vector<float> modulate(const BitVec& bits);
+
+  /// Exact (log-sum over the eight rail levels) LLRs per original bit.
+  static std::vector<float> demodulate(const std::vector<float>& iq,
+                                       float noise_variance, std::size_t n_bits);
+
+  /// Max-log approximation (nearest-level squared-distance difference).
+  static std::vector<float> demodulate_maxlog(const std::vector<float>& iq,
+                                              float noise_variance,
+                                              std::size_t n_bits);
 };
 
 }  // namespace ldpc

@@ -1,16 +1,35 @@
 #include "channel/rayleigh.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "channel/modem.hpp"
 #include "util/check.hpp"
 
 namespace ldpc {
 
-RayleighChannel::RayleighChannel(float noise_variance, std::uint64_t seed)
+namespace {
+/// Below this gain a symbol carried essentially no energy; the equalized
+/// observation is meaningless, so the demappers clamp h to keep the
+/// division defined (the resulting LLRs are ~0, i.e. an erasure).
+constexpr float kMinGain = 1e-6F;
+}  // namespace
+
+RayleighChannel::RayleighChannel(float noise_variance, std::uint64_t seed,
+                                 std::size_t coherence_symbols)
     : noise_variance_(noise_variance),
       sigma_(std::sqrt(noise_variance)),
+      coherence_(coherence_symbols),
       rng_(seed) {
   LDPC_CHECK(noise_variance > 0.0F);
+  LDPC_CHECK(coherence_symbols >= 1);
+}
+
+float RayleighChannel::rayleigh_gain() {
+  // |CN(0,1)| is Rayleigh with E[h^2] = 1: h = sqrt((g1^2 + g2^2) / 2).
+  const auto g1 = static_cast<float>(rng_.gaussian());
+  const auto g2 = static_cast<float>(rng_.gaussian());
+  return std::sqrt((g1 * g1 + g2 * g2) * 0.5F);
 }
 
 std::vector<float> RayleighChannel::transmit(const std::vector<float>& symbols,
@@ -18,14 +37,35 @@ std::vector<float> RayleighChannel::transmit(const std::vector<float>& symbols,
   gains.clear();
   gains.reserve(symbols.size());
   std::vector<float> received(symbols.size());
-  for (std::size_t i = 0; i < symbols.size(); ++i) {
-    // |CN(0,1)| is Rayleigh with E[h^2] = 1: h = sqrt((g1^2 + g2^2) / 2).
-    const auto g1 = static_cast<float>(rng_.gaussian());
-    const auto g2 = static_cast<float>(rng_.gaussian());
-    const float h = std::sqrt((g1 * g1 + g2 * g2) * 0.5F);
-    gains.push_back(h);
-    received[i] =
-        h * symbols[i] + sigma_ * static_cast<float>(rng_.gaussian());
+  for (std::size_t block = 0; block < symbols.size(); block += coherence_) {
+    const float h = rayleigh_gain();
+    const std::size_t end = std::min(symbols.size(), block + coherence_);
+    for (std::size_t i = block; i < end; ++i) {
+      gains.push_back(h);
+      received[i] =
+          h * symbols[i] + sigma_ * static_cast<float>(rng_.gaussian());
+    }
+  }
+  return received;
+}
+
+std::vector<float> RayleighChannel::transmit_iq(const std::vector<float>& iq,
+                                                std::vector<float>& gains) {
+  LDPC_CHECK(iq.size() % 2 == 0);
+  const std::size_t n_sym = iq.size() / 2;
+  gains.clear();
+  gains.reserve(n_sym);
+  std::vector<float> received(iq.size());
+  for (std::size_t block = 0; block < n_sym; block += coherence_) {
+    const float h = rayleigh_gain();
+    const std::size_t end = std::min(n_sym, block + coherence_);
+    for (std::size_t s = block; s < end; ++s) {
+      gains.push_back(h);
+      received[2 * s] =
+          h * iq[2 * s] + sigma_ * static_cast<float>(rng_.gaussian());
+      received[2 * s + 1] =
+          h * iq[2 * s + 1] + sigma_ * static_cast<float>(rng_.gaussian());
+    }
   }
   return received;
 }
@@ -40,6 +80,63 @@ std::vector<float> RayleighChannel::demodulate_bpsk(
   for (std::size_t i = 0; i < received.size(); ++i)
     llr[i] = base_gain * gains[i] * received[i];
   return llr;
+}
+
+std::vector<float> RayleighChannel::demodulate_qpsk(
+    const std::vector<float>& iq, const std::vector<float>& gains,
+    float noise_variance, std::size_t n_bits) {
+  LDPC_CHECK(iq.size() == 2 * gains.size());
+  LDPC_CHECK(iq.size() >= n_bits);
+  LDPC_CHECK(noise_variance > 0.0F);
+  // Matched filter per rail: llr = 2 a h y / sigma^2, a = 1/sqrt(2). Both
+  // rails of symbol s share the coherent gain h_s.
+  constexpr float kInvSqrt2 = 0.70710678118654752F;
+  const float base = 2.0F * kInvSqrt2 / noise_variance;
+  std::vector<float> llr(n_bits);
+  for (std::size_t b = 0; b < n_bits; ++b)
+    llr[b] = base * gains[b / 2] * iq[b];
+  return llr;
+}
+
+namespace {
+
+/// Shared fading demap: equalize symbol s by gains[s] and demap the slice
+/// with the modem's AWGN demapper at variance sigma^2 / h^2.
+template <typename DemapFn>
+std::vector<float> equalized_demap(const std::vector<float>& iq,
+                                   const std::vector<float>& gains,
+                                   float noise_variance, std::size_t n_bits,
+                                   std::size_t bits_per_symbol,
+                                   DemapFn demap) {
+  LDPC_CHECK(iq.size() == 2 * gains.size());
+  LDPC_CHECK(gains.size() * bits_per_symbol >= n_bits);
+  LDPC_CHECK(noise_variance > 0.0F);
+  std::vector<float> llr;
+  llr.reserve(n_bits);
+  for (std::size_t s = 0; llr.size() < n_bits; ++s) {
+    const float h = std::max(gains[s], kMinGain);
+    const std::size_t take = std::min(bits_per_symbol, n_bits - llr.size());
+    const auto sym_llr = demap({iq[2 * s] / h, iq[2 * s + 1] / h},
+                               noise_variance / (h * h), take);
+    llr.insert(llr.end(), sym_llr.begin(), sym_llr.end());
+  }
+  return llr;
+}
+
+}  // namespace
+
+std::vector<float> RayleighChannel::demodulate_qam16(
+    const std::vector<float>& iq, const std::vector<float>& gains,
+    float noise_variance, std::size_t n_bits) {
+  return equalized_demap(iq, gains, noise_variance, n_bits, 4,
+                         Qam16Modem::demodulate);
+}
+
+std::vector<float> RayleighChannel::demodulate_qam64(
+    const std::vector<float>& iq, const std::vector<float>& gains,
+    float noise_variance, std::size_t n_bits) {
+  return equalized_demap(iq, gains, noise_variance, n_bits, 6,
+                         Qam64Modem::demodulate);
 }
 
 }  // namespace ldpc

@@ -1,12 +1,20 @@
 // Flat Rayleigh fading channel with perfect channel state information.
 //
 // Models the paper's target environment (mobile wireless handsets) more
-// faithfully than pure AWGN: each symbol is scaled by an independent
-// Rayleigh-distributed gain h with E[h^2] = 1, then hit by AWGN. The
-// receiver knows h (coherent detection), so the matched-filter LLR gains a
-// per-symbol weight: llr = 2 h y / sigma^2.
+// faithfully than pure AWGN: symbols are scaled by Rayleigh-distributed
+// gains h with E[h^2] = 1, then hit by AWGN. The receiver knows h (coherent
+// detection), so the matched-filter LLR gains a per-symbol weight.
+//
+// Two physical refinements over the original per-real-sample model:
+//   * complex symbols fade coherently — transmit_iq() draws ONE gain per
+//     complex symbol, shared by the I and Q rails (the old per-real-sample
+//     draw gave the two rails of one QPSK/QAM symbol independent fades,
+//     which no physical channel does);
+//   * block fading — `coherence_symbols` consecutive symbols share a gain
+//     (a coherence-time model; 1 = fully interleaved i.i.d. fading).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -15,23 +23,56 @@ namespace ldpc {
 
 class RayleighChannel {
  public:
-  RayleighChannel(float noise_variance, std::uint64_t seed = 42);
+  /// `coherence_symbols` = symbols per fading block: gains are constant
+  /// within a block and independent across blocks. Applies to both the real
+  /// (BPSK) and complex (transmit_iq) paths.
+  RayleighChannel(float noise_variance, std::uint64_t seed = 42,
+                  std::size_t coherence_symbols = 1);
 
   float noise_variance() const { return noise_variance_; }
+  std::size_t coherence_symbols() const { return coherence_; }
 
-  /// y = h .* x + n. The per-symbol gains are appended to `gains` (cleared
-  /// first) for the coherent demodulator.
+  /// Real-symbol (BPSK) path: y = h .* x + n, one gain per real symbol
+  /// (constant over coherence blocks). The gains are appended to `gains`
+  /// (cleared first) for the coherent demodulator.
   std::vector<float> transmit(const std::vector<float>& symbols,
                               std::vector<float>& gains);
+
+  /// Complex-symbol path for the I/Q modems: `iq` is interleaved (I, Q);
+  /// one gain per complex symbol, coherent across both rails, constant over
+  /// coherence blocks. `gains` receives iq.size() / 2 entries.
+  std::vector<float> transmit_iq(const std::vector<float>& iq,
+                                 std::vector<float>& gains);
 
   /// Coherent BPSK LLRs: llr_i = 2 h_i y_i / sigma^2.
   static std::vector<float> demodulate_bpsk(const std::vector<float>& received,
                                             const std::vector<float>& gains,
                                             float noise_variance);
 
+  /// Fading-aware Gray demappers for the complex modems: each symbol is
+  /// equalized by its known gain (y / h) and demapped at the gain-scaled
+  /// noise variance sigma^2 / h^2 — exact for coherent reception with
+  /// perfect CSI. `gains` must hold one entry per complex symbol
+  /// (i.e. per transmit_iq, NOT per real sample).
+  static std::vector<float> demodulate_qpsk(const std::vector<float>& iq,
+                                            const std::vector<float>& gains,
+                                            float noise_variance,
+                                            std::size_t n_bits);
+  static std::vector<float> demodulate_qam16(const std::vector<float>& iq,
+                                             const std::vector<float>& gains,
+                                             float noise_variance,
+                                             std::size_t n_bits);
+  static std::vector<float> demodulate_qam64(const std::vector<float>& iq,
+                                             const std::vector<float>& gains,
+                                             float noise_variance,
+                                             std::size_t n_bits);
+
  private:
+  float rayleigh_gain();
+
   float noise_variance_;
   float sigma_;
+  std::size_t coherence_;
   Xoshiro256 rng_;
 };
 

@@ -33,10 +33,14 @@ enum class DecodeStatus {
                      ///< cancellation cut the decode short mid-flight
   kShedOverload,   ///< evicted from a full queue under OverloadPolicy::
                    ///< kShedOldest before any decoder touched it
+  kHarqExhausted,  ///< HARQ retransmission budget exhausted: the retry
+                   ///< supervisor wanted more redundancy for this frame but
+                   ///< the link had none left (src/harq/). Assigned by the
+                   ///< supervisor, never by a decoder.
 };
 
 /// Number of DecodeStatus values — sizes the status histograms.
-inline constexpr std::size_t kNumDecodeStatuses = 6;
+inline constexpr std::size_t kNumDecodeStatuses = 7;
 
 inline const char* to_string(DecodeStatus s) {
   switch (s) {
@@ -46,6 +50,7 @@ inline const char* to_string(DecodeStatus s) {
     case DecodeStatus::kFaultDetected:   return "fault-detected";
     case DecodeStatus::kDeadlineExpired: return "deadline-expired";
     case DecodeStatus::kShedOverload:    return "shed-overload";
+    case DecodeStatus::kHarqExhausted:   return "harq-exhausted";
   }
   return "?";
 }

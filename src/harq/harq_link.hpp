@@ -1,0 +1,148 @@
+// Closed-loop HARQ link simulation: modulate -> channel -> demap -> decode
+// -> NACK -> retransmit, driven by the retry-escalation supervisor.
+//
+// The loop is the receiving end of a stop-and-wait HARQ process. Every
+// frame gets an LlrBuffer (harq/llr_buffer.hpp); the initial transmission
+// fills it, and each failed decode climbs the supervisor's
+// kRequestRedundancy rung (runtime/retry_policy.hpp), whose hook folds one
+// more transmission into the buffer:
+//   * kPlainRetry — type-I: the retransmission REPLACES the buffer (no
+//     combining), the baseline every HARQ scheme must beat;
+//   * kChase      — the full initial transmission is re-sent and ADDED
+//     (repetition coding: ~3 dB per doubling on the combined positions);
+//   * kIncremental — the RateMatcher's IR schedule reveals previously
+//     punctured parity (new information, at a fraction of the symbols of a
+//     full re-send), cycling into chase once nothing is left to reveal.
+// When the transmission budget is exhausted the frame resolves exactly
+// once with DecodeStatus::kHarqExhausted — the typed outcome the link
+// layer acts on (drop or hand to a higher-layer ARQ).
+//
+// Determinism contract (same as channel/ber_runner.hpp): every random draw
+// is keyed by (seed, point, frame, tx) — never by worker or wall clock —
+// frames are issued in fixed waves and accumulated in frame order, so a
+// sweep is bit-identical for any worker count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "channel/ber_runner.hpp"
+#include "codes/qc_code.hpp"
+#include "core/decoder_factory.hpp"
+#include "core/quant.hpp"
+#include "harq/rate_matching.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+
+enum class HarqMode : std::uint8_t {
+  kPlainRetry,   ///< type-I: retransmit and replace, no combining
+  kChase,        ///< retransmit initial set, add LLRs
+  kIncremental,  ///< reveal punctured parity chunk by chunk, add LLRs
+};
+
+inline const char* to_string(HarqMode m) {
+  switch (m) {
+    case HarqMode::kPlainRetry:  return "plain-retry";
+    case HarqMode::kChase:       return "chase";
+    case HarqMode::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
+/// Channel seed for transmission `tx` (1-based) of one frame of one sweep
+/// point: a splitmix64 stream keyed by all four coordinates. Seeding by tx
+/// — not by attempt bookkeeping or worker — is what makes a retransmission
+/// an independent channel use while keeping the sweep worker-invariant.
+inline std::uint64_t harq_tx_seed(std::uint64_t seed, std::size_t point_index,
+                                  std::size_t frame_index, std::size_t tx) {
+  std::uint64_t sm = seed + 0x9e3779b97f4a7c15ULL * (point_index + 1);
+  sm ^= 0xd1b54a32d192ed03ULL * (frame_index + 1);
+  sm += 0xbf58476d1ce4e5b9ULL * tx;
+  return splitmix64(sm);
+}
+
+struct HarqLinkConfig {
+  std::vector<float> ebn0_db;          ///< sweep points
+  std::size_t frames_per_point = 256;  ///< frames simulated per point
+  /// Transmission budget per frame, including the initial one (1 = no
+  /// HARQ). Exhaustion resolves the frame as kHarqExhausted.
+  std::size_t max_transmissions = 4;
+  HarqMode mode = HarqMode::kChase;
+  /// 0 keeps the mother code rate; otherwise the RateMatcher
+  /// punctures/shortens to this rate (kIncremental needs a punctured code
+  /// to have redundancy to reveal).
+  double target_rate = 0.0;
+  std::size_t ir_chunk_bits = 0;  ///< 0 = one circulant (z bits) per IR tx
+  Modulation modulation = Modulation::kQpsk;
+  ChannelModel channel = ChannelModel::kAwgn;
+  std::size_t coherence_symbols = 1;  ///< Rayleigh block-fading coherence
+  unsigned num_workers = 1;
+  std::uint64_t seed = 2009;
+  std::size_t max_iterations = 10;  ///< per decode attempt
+  FixedFormat format;               ///< decoder input quantization
+};
+
+/// One Eb/N0 point of a HARQ link sweep.
+struct HarqPoint {
+  float ebn0_db = 0.0F;
+  std::size_t frames = 0;
+  std::size_t delivered = 0;  ///< frames ACKed (decoder converged)
+  std::size_t delivered_correct = 0;  ///< ACKed with all info bits right
+  std::size_t harq_exhausted = 0;     ///< typed budget-exhaustion outcomes
+  std::size_t frame_errors = 0;  ///< residual: not delivered, or delivered wrong
+  std::size_t bit_errors = 0;    ///< residual info-bit errors
+  std::size_t total_transmissions = 0;  ///< channel uses across all frames
+  std::size_t total_symbols = 0;  ///< symbols on the air (complex, or real
+                                  ///< for BPSK) across all transmissions
+  std::size_t redundancy_requests = 0;  ///< retransmissions the hook granted
+  long long combiner_clips = 0;  ///< LlrBuffer rail saturations
+
+  double mean_transmissions() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(total_transmissions) /
+                             static_cast<double>(frames);
+  }
+  double residual_bler() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(frame_errors) /
+                             static_cast<double>(frames);
+  }
+  /// Delivered-correct information bits per transmitted symbol — the
+  /// link-level goodput every HARQ comparison is about. IR wins here by
+  /// sending fewer symbols per retransmission, chase by failing less.
+  double throughput(std::size_t info_bits) const {
+    return total_symbols == 0
+               ? 0.0
+               : static_cast<double>(delivered_correct * info_bits) /
+                     static_cast<double>(total_symbols);
+  }
+};
+
+class HarqLinkRunner {
+ public:
+  /// `code` must outlive the runner. `factory` builds the attempt-1 decoder
+  /// per worker; retries run on the harq_escalation_ladder (same budget and
+  /// format — recovery comes from redundancy, not a wider datapath).
+  HarqLinkRunner(const QCLdpcCode& code, DecoderFactory factory,
+                 HarqLinkConfig config);
+
+  /// Run the full sweep; one HarqPoint per configured Eb/N0 value.
+  std::vector<HarqPoint> run();
+
+  const RateMatcher& rate_matcher() const { return matcher_; }
+  /// Info bits per frame after shortening (the throughput() argument).
+  std::size_t info_bits() const { return matcher_.info_bits(); }
+
+ private:
+  HarqPoint run_point(float ebn0_db, std::size_t point_index);
+
+  const QCLdpcCode& code_;
+  DecoderFactory factory_;
+  HarqLinkConfig config_;
+  RateMatcher matcher_;
+  float rail_;  ///< LlrBuffer saturation rail (the format's max LLR)
+};
+
+}  // namespace ldpc

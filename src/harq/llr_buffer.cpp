@@ -1,0 +1,67 @@
+#include "harq/llr_buffer.hpp"
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+LlrBuffer::LlrBuffer(std::size_t n, float rail)
+    : rail_(rail), acc_(n, 0.0), pinned_(n, false) {
+  LDPC_CHECK(n >= 1);
+  LDPC_CHECK(rail > 0.0F);
+}
+
+void LlrBuffer::reset() {
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  std::fill(pinned_.begin(), pinned_.end(), false);
+  transmissions_ = 0;
+  stats_ = SaturationStats{};
+}
+
+void LlrBuffer::combine(const std::vector<std::size_t>& positions,
+                        const std::vector<float>& llrs) {
+  LDPC_CHECK(positions.size() == llrs.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::size_t p = positions[i];
+    LDPC_CHECK(p < acc_.size());
+    if (!pinned_[p]) acc_[p] += static_cast<double>(llrs[i]);
+  }
+  ++transmissions_;
+}
+
+void LlrBuffer::replace(const std::vector<std::size_t>& positions,
+                        const std::vector<float>& llrs) {
+  LDPC_CHECK(positions.size() == llrs.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::size_t p = positions[i];
+    LDPC_CHECK(p < acc_.size());
+    if (!pinned_[p]) acc_[p] = static_cast<double>(llrs[i]);
+  }
+  ++transmissions_;
+}
+
+void LlrBuffer::pin(const std::vector<std::size_t>& positions, float value) {
+  for (const std::size_t p : positions) {
+    LDPC_CHECK(p < acc_.size());
+    acc_[p] = static_cast<double>(value);
+    pinned_[p] = true;
+  }
+}
+
+std::vector<float> LlrBuffer::emit() {
+  std::vector<float> llr(acc_.size());
+  const auto hi = static_cast<double>(rail_);
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    double v = acc_[i];
+    if (v > hi) {
+      v = hi;
+      ++stats_.quantizer_clips;
+    } else if (v < -hi) {
+      v = -hi;
+      ++stats_.quantizer_clips;
+    }
+    llr[i] = static_cast<float>(v);
+  }
+  return llr;
+}
+
+}  // namespace ldpc

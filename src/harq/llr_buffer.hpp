@@ -1,0 +1,67 @@
+// Per-frame soft-combining buffer for HARQ.
+//
+// The receiver keeps one LlrBuffer per in-flight frame and folds every
+// (re)transmission into it:
+//   * combine() — chase / incremental redundancy: LLRs of independent
+//     observations of the same bit ADD (log of a product of likelihood
+//     ratios), so retransmitted positions accumulate and newly revealed
+//     punctured positions turn from zero-LLR erasures into real evidence;
+//   * replace() — type-I plain retry: discard the old observation;
+//   * pin() — shortened bits, known a priori (strong fixed LLR).
+// Accumulation happens in double so repeated combining cannot overflow or
+// lose low-order evidence; saturation to the decoder's input rail happens
+// once, at emit(), where clip events are counted into SaturationStats
+// (quantizer_clips — the same overload-accounting channel the fixed-point
+// decoders use), keeping degraded-operation monitoring end to end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/decoder.hpp"
+
+namespace ldpc {
+
+class LlrBuffer {
+ public:
+  /// `n` codeword positions, emitted LLRs clamped to [-rail, +rail].
+  LlrBuffer(std::size_t n, float rail);
+
+  std::size_t size() const { return acc_.size(); }
+  float rail() const { return rail_; }
+
+  /// Transmissions folded in so far (combine + replace calls).
+  std::size_t transmissions() const { return transmissions_; }
+
+  /// Clear all evidence (new frame in this buffer slot).
+  void reset();
+
+  /// Chase / IR: acc[positions[i]] += llrs[i]. Spans must match.
+  void combine(const std::vector<std::size_t>& positions,
+               const std::vector<float>& llrs);
+
+  /// Type-I retry: acc[positions[i]] = llrs[i] (old evidence discarded).
+  void replace(const std::vector<std::size_t>& positions,
+               const std::vector<float>& llrs);
+
+  /// Fix positions to `value` (shortened bits: +rail votes a hard 0).
+  /// Pinned positions ignore later combine/replace — a priori knowledge
+  /// outranks any channel observation of a bit that was never sent.
+  void pin(const std::vector<std::size_t>& positions, float value);
+
+  /// The decoder's view: accumulated LLRs saturated at the rail. Clips are
+  /// added to the buffer's SaturationStats.
+  std::vector<float> emit();
+
+  /// Rail-saturation accounting accumulated over every emit() since reset.
+  const SaturationStats& saturation() const { return stats_; }
+
+ private:
+  float rail_;
+  std::size_t transmissions_ = 0;
+  std::vector<double> acc_;
+  std::vector<bool> pinned_;
+  SaturationStats stats_;
+};
+
+}  // namespace ldpc

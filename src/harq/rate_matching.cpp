@@ -1,0 +1,101 @@
+#include "harq/rate_matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+namespace {
+
+/// Golden-stride permutation step over `m` positions: the stride closest to
+/// m / phi that is coprime with m, so i -> (i * stride) mod m is a
+/// permutation whose prefixes are near-uniformly spread — the property that
+/// makes any puncture count hit every parity block about equally.
+std::size_t golden_stride(std::size_t m) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  auto stride = static_cast<std::size_t>(
+      std::llround(static_cast<double>(m) * kInvPhi));
+  stride = std::max<std::size_t>(stride, 1);
+  while (std::gcd(stride, m) != 1) ++stride;
+  return stride;
+}
+
+}  // namespace
+
+RateMatcher::RateMatcher(const QCLdpcCode& code, double target_rate,
+                         std::size_t ir_chunk_bits) {
+  const std::size_t n = code.n();
+  const std::size_t k = code.k();
+  const std::size_t m = n - k;
+  const auto z = static_cast<std::size_t>(code.z());
+  const double mother_rate = code.rate();
+  LDPC_CHECK_MSG(target_rate == 0.0 ||
+                     (target_rate > 0.0 && target_rate < 1.0),
+                 "target rate must be in (0, 1), got " << target_rate);
+  ir_chunk_ = ir_chunk_bits == 0 ? z : ir_chunk_bits;
+
+  // Parity positions in reveal order: the golden-stride permutation of
+  // [k, n). Punctured = the first p entries; the initial transmission
+  // carries the rest.
+  const std::size_t stride = golden_stride(m);
+  std::vector<std::size_t> parity_order(m);
+  for (std::size_t i = 0; i < m; ++i)
+    parity_order[i] = k + (i * stride) % m;
+
+  std::size_t punctured = 0;
+  std::size_t shortened = 0;
+  if (target_rate > mother_rate) {
+    // k / (n - p) = Rt  ->  p = n - k / Rt.
+    const auto n_tx = static_cast<std::size_t>(
+        std::llround(static_cast<double>(k) / target_rate));
+    LDPC_CHECK_MSG(n_tx >= k + z,
+                   "target rate " << target_rate << " leaves fewer than z="
+                                  << z << " parity bits of the mother code");
+    punctured = n - n_tx;
+  } else if (target_rate > 0.0 && target_rate < mother_rate) {
+    // (k - s) / (n - s) = Rt  ->  s = (k - Rt n) / (1 - Rt).
+    const auto s = static_cast<std::size_t>(std::llround(
+        (static_cast<double>(k) - target_rate * static_cast<double>(n)) /
+        (1.0 - target_rate)));
+    LDPC_CHECK_MSG(s < k, "target rate " << target_rate
+                                         << " shortens away every info bit");
+    shortened = s;
+  }
+
+  punctured_.assign(parity_order.begin(),
+                    parity_order.begin() +
+                        static_cast<std::ptrdiff_t>(punctured));
+  shortened_.resize(shortened);
+  for (std::size_t i = 0; i < shortened; ++i)
+    shortened_[i] = k - shortened + i;
+  info_bits_ = k - shortened;
+
+  std::vector<bool> skip(n, false);
+  for (const std::size_t p : punctured_) skip[p] = true;
+  for (const std::size_t s : shortened_) skip[s] = true;
+  initial_.reserve(n - punctured - shortened);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!skip[i]) initial_.push_back(i);
+}
+
+std::vector<std::size_t> RateMatcher::ir_positions(std::size_t tx) const {
+  LDPC_CHECK(tx >= 1);
+  if (tx == 1) return initial_;
+  // Retransmissions walk the punctured list chunk by chunk, then cycle over
+  // the initial transmission once nothing is left to reveal.
+  const std::size_t ir_rounds =
+      punctured_.empty() ? 0 : (punctured_.size() + ir_chunk_ - 1) / ir_chunk_;
+  const std::size_t round = tx - 2;
+  if (round < ir_rounds) {
+    const std::size_t begin = round * ir_chunk_;
+    const std::size_t end = std::min(begin + ir_chunk_, punctured_.size());
+    return {punctured_.begin() + static_cast<std::ptrdiff_t>(begin),
+            punctured_.begin() + static_cast<std::ptrdiff_t>(end)};
+  }
+  return initial_;
+}
+
+}  // namespace ldpc

@@ -1,0 +1,88 @@
+// Rate adaptation for the QC mother codes: deterministic puncturing and
+// shortening, plus the incremental-redundancy transmission schedule.
+//
+// A deployment carries ONE mother code per block size (the paper's table of
+// WiMAX/WiFi base matrices) and derives every other rate from it at the
+// link layer:
+//   * target rate > mother rate — puncture parity bits: the transmitter
+//     skips them, the receiver decodes them as zero-LLR erasures. The
+//     punctured set is the prefix of a fixed golden-stride permutation of
+//     the parity positions, so it is spread evenly over the parity blocks
+//     and is identical on both ends without signalling.
+//   * target rate < mother rate — shorten information bits: the last s
+//     info positions are fixed to zero, never transmitted, and pinned to a
+//     strong positive LLR at the receiver.
+// The same puncture order doubles as the incremental-redundancy (IR)
+// schedule: retransmission t >= 2 reveals the next chunk of punctured
+// positions, converting erasures into real channel observations; once the
+// punctured set is exhausted the schedule cycles over the initial
+// transmission (degenerating into chase combining, which is the correct
+// limit for IR with nothing left to reveal).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+class RateMatcher {
+ public:
+  /// `target_rate` in (0, 1); 0 keeps the mother rate (no puncturing or
+  /// shortening). `ir_chunk_bits` is the number of punctured positions each
+  /// IR retransmission reveals (0 = one circulant worth, z bits). The code
+  /// must be systematic with info bits in positions [0, k) — true for every
+  /// code the RU encoder produces. Throws ldpc::Error when the target rate
+  /// would puncture into the last parity block (fewer than z parity bits
+  /// left makes the layered schedule degenerate).
+  explicit RateMatcher(const QCLdpcCode& code, double target_rate = 0.0,
+                       std::size_t ir_chunk_bits = 0);
+
+  /// Codeword positions sent in the initial transmission, ascending:
+  /// info [0, k - s) plus the surviving (unpunctured) parity positions.
+  const std::vector<std::size_t>& initial_positions() const {
+    return initial_;
+  }
+
+  /// Punctured parity positions in reveal order (golden-stride permutation
+  /// prefix): ir_positions(2) reveals the first chunk of this list.
+  const std::vector<std::size_t>& punctured_positions() const {
+    return punctured_;
+  }
+
+  /// Shortened info positions (the last s info bits), ascending. Fixed to
+  /// zero at the transmitter; the receiver pins them to a strong positive
+  /// LLR (LlrBuffer::pin) instead of receiving them.
+  const std::vector<std::size_t>& shortened_positions() const {
+    return shortened_;
+  }
+
+  /// Positions transmission `tx` (1-based) puts on the channel. tx 1 is the
+  /// initial transmission; tx >= 2 is the IR schedule described above.
+  /// Chase combining ignores this and re-sends initial_positions().
+  std::vector<std::size_t> ir_positions(std::size_t tx) const;
+
+  /// Information bits actually carried per frame (k minus shortening).
+  std::size_t info_bits() const { return info_bits_; }
+  /// Bits on the channel in the initial transmission.
+  std::size_t transmitted_bits() const { return initial_.size(); }
+  /// info_bits / transmitted_bits — the rate the link actually runs at.
+  double effective_rate() const {
+    return static_cast<double>(info_bits_) /
+           static_cast<double>(initial_.size());
+  }
+
+  std::size_t num_punctured() const { return punctured_.size(); }
+  std::size_t num_shortened() const { return shortened_.size(); }
+  std::size_t ir_chunk_bits() const { return ir_chunk_; }
+
+ private:
+  std::size_t info_bits_ = 0;
+  std::size_t ir_chunk_ = 0;
+  std::vector<std::size_t> initial_;
+  std::vector<std::size_t> punctured_;
+  std::vector<std::size_t> shortened_;
+};
+
+}  // namespace ldpc

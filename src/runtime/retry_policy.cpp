@@ -27,6 +27,10 @@ void validate(const RetryPolicy& policy) {
   LDPC_CHECK_MSG(
       (policy.retry_statuses & retry_status_bit(DecodeStatus::kConverged)) == 0,
       "a converged decode must never be retried");
+  LDPC_CHECK_MSG((policy.retry_statuses &
+                  retry_status_bit(DecodeStatus::kHarqExhausted)) == 0,
+                 "kHarqExhausted is the supervisor's terminal verdict; "
+                 "marking it retryable would loop forever");
 }
 
 std::vector<EscalationRung> default_escalation_ladder(
@@ -41,6 +45,24 @@ std::vector<EscalationRung> default_escalation_ladder(
   wider_format.format = base_format;
   wider_format.format.total_bits = std::min(base_format.total_bits + 2, 16);
   return {more_iterations, wider_format};
+}
+
+std::vector<EscalationRung> harq_escalation_ladder(std::size_t base_iterations,
+                                                   FixedFormat base_format) {
+  LDPC_CHECK(base_iterations >= 1);
+  validate(base_format);
+  EscalationRung redundancy;
+  redundancy.max_iterations = base_iterations;
+  redundancy.format = base_format;
+  redundancy.kind = RungKind::kRequestRedundancy;
+  return {redundancy};
+}
+
+std::vector<RungKind> rung_kinds_of(const std::vector<EscalationRung>& ladder) {
+  std::vector<RungKind> kinds;
+  kinds.reserve(ladder.size());
+  for (const EscalationRung& rung : ladder) kinds.push_back(rung.kind);
+  return kinds;
 }
 
 std::vector<DecoderFactory> make_escalation_factories(

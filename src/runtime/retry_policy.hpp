@@ -74,11 +74,33 @@ inline std::uint64_t retry_seed(std::uint64_t base_seed,
   return splitmix64(sm);
 }
 
+/// What reaching a rung *means* for the failed frame. kRedecode rungs
+/// re-run the same received LLRs on an escalated decoder (more iterations,
+/// wider format) — graceful degradation in compute. kRequestRedundancy
+/// rungs are graceful degradation in *information*: before the re-decode
+/// the supervisor asks the link layer (DecodeSupervisor's redundancy hook)
+/// to combine one HARQ retransmission into the frame's LLR buffer; if the
+/// link has no transmissions left the frame resolves with the typed
+/// DecodeStatus::kHarqExhausted instead of silently re-decoding stale LLRs.
+enum class RungKind : std::uint8_t {
+  kRedecode,           ///< re-decode the same LLRs on this rung's decoder
+  kRequestRedundancy,  ///< combine a retransmission first (HARQ)
+};
+
+inline const char* to_string(RungKind k) {
+  switch (k) {
+    case RungKind::kRedecode:          return "redecode";
+    case RungKind::kRequestRedundancy: return "request-redundancy";
+  }
+  return "?";
+}
+
 /// One rung of the escalation ladder: the decoder configuration a retry
 /// attempt escalates to.
 struct EscalationRung {
   std::size_t max_iterations = 0;  ///< iteration budget at this rung
   FixedFormat format;              ///< message quantization at this rung
+  RungKind kind = RungKind::kRedecode;
 };
 
 /// The canonical ladder for the paper's fixed-point layered decoder:
@@ -88,6 +110,19 @@ struct EscalationRung {
 /// 16 bits saturates at 16 (the decoder's format ceiling).
 std::vector<EscalationRung> default_escalation_ladder(
     std::size_t base_iterations, FixedFormat base_format);
+
+/// The HARQ ladder: every retry attempt first combines one retransmission
+/// (RungKind::kRequestRedundancy) and re-decodes at the base budget/format —
+/// recovery comes from new channel information, not from a wider datapath.
+/// One rung suffices for any attempt count (the engine clamps rungs beyond
+/// the ladder to its last entry), but the kind must still be declared per
+/// rung so mixed ladders (redecode first, then redundancy) stay expressible.
+std::vector<EscalationRung> harq_escalation_ladder(std::size_t base_iterations,
+                                                   FixedFormat base_format);
+
+/// Project the per-rung kinds out of a ladder, in rung order — the shape
+/// SupervisorConfig::rung_kinds consumes.
+std::vector<RungKind> rung_kinds_of(const std::vector<EscalationRung>& ladder);
 
 /// Build the per-rung DecoderFactory list for BatchEngineConfig::
 /// escalation_factories: each rung is the paper's layered fixed-point

@@ -14,8 +14,19 @@ DecodeSupervisor::DecodeSupervisor(DecoderFactory primary,
         !config_.engine.escalation_factories.empty(),
         "retry without an escalation ladder re-runs the identical decode; "
         "configure BatchEngineConfig::escalation_factories");
+  const bool has_harq_rung =
+      std::any_of(config_.rung_kinds.begin(), config_.rung_kinds.end(),
+                  [](RungKind k) { return k == RungKind::kRequestRedundancy; });
+  LDPC_CHECK_MSG(!has_harq_rung || config_.on_redundancy_request != nullptr,
+                 "a kRequestRedundancy rung needs the redundancy hook; "
+                 "configure SupervisorConfig::on_redundancy_request");
   stats_.finished_by_attempt.resize(config_.retry.max_attempts, 0);
   stats_.recovered_by_attempt.resize(config_.retry.max_attempts, 0);
+}
+
+RungKind DecodeSupervisor::rung_kind_for(std::size_t rung) const {
+  if (config_.rung_kinds.empty() || rung == 0) return RungKind::kRedecode;
+  return config_.rung_kinds[std::min(rung, config_.rung_kinds.size()) - 1];
 }
 
 BatchEngine::Task DecodeSupervisor::make_attempt(
@@ -34,12 +45,28 @@ void DecodeSupervisor::on_attempt_done(
   bool retry =
       config_.retry.should_retry(result.status, control->attempt);
   bool abandoned = false;
+  bool harq_exhausted = false;
+  bool redundancy_granted = false;
   if (retry && control->deadline &&
       std::chrono::steady_clock::now() >= *control->deadline) {
     // The re-decode would expire in the queue anyway; give up now and let
     // this attempt's result stand.
     retry = false;
     abandoned = true;
+  }
+  if (retry &&
+      rung_kind_for(control->attempt) == RungKind::kRequestRedundancy) {
+    // The next rung needs new channel information before it may decode. The
+    // hook combines one retransmission into the frame's buffer — or reports
+    // the link out of redundancy, which is a *typed* terminal outcome, not
+    // a silent re-decode of LLRs the ladder already failed on.
+    if (config_.on_redundancy_request(control->frame_index,
+                                      control->attempt + 1)) {
+      redundancy_granted = true;
+    } else {
+      retry = false;
+      harq_exhausted = true;
+    }
   }
   if (retry) {
     const std::size_t attempt = ++control->attempt;
@@ -54,6 +81,7 @@ void DecodeSupervisor::on_attempt_done(
                              options, control->slot)) {
       const MutexLock lock(stats_mutex_);
       ++stats_.retries_submitted;
+      if (redundancy_granted) ++stats_.redundancy_requests;
       return;  // the next attempt owns the slot now
     }
     // Engine stopped under us: record this attempt as final.
@@ -61,13 +89,20 @@ void DecodeSupervisor::on_attempt_done(
   // Final attempt: publish the result. Safe without a lock — attempts for a
   // frame are strictly sequential, and drain() observes this write because
   // it happens before the worker's completion bookkeeping.
-  if (control->slot) *control->slot = result;
+  DecodeResult final_result = result;
+  if (harq_exhausted) final_result.status = DecodeStatus::kHarqExhausted;
+  if (control->slot) *control->slot = final_result;
   const MutexLock lock(stats_mutex_);
+  // A granted retransmission whose resubmit lost to engine shutdown still
+  // consumed link redundancy; account for it.
+  if (redundancy_granted) ++stats_.redundancy_requests;
   const std::size_t index =
       std::min(control->attempt, config_.retry.max_attempts) - 1;
   ++stats_.finished_by_attempt[index];
-  if (result.status == DecodeStatus::kConverged)
+  if (final_result.status == DecodeStatus::kConverged)
     ++stats_.recovered_by_attempt[index];
+  else if (harq_exhausted)
+    ++stats_.harq_exhausted_frames;
   else if (control->attempt >= config_.retry.max_attempts)
     ++stats_.exhausted_frames;
   if (abandoned) ++stats_.retries_abandoned_deadline;

@@ -31,9 +31,29 @@
 
 namespace ldpc {
 
+/// Called (on a worker thread) before re-submitting a frame whose next rung
+/// is RungKind::kRequestRedundancy: the link layer combines one HARQ
+/// retransmission into the frame's LLR buffer (src/harq/llr_buffer.hpp) so
+/// the re-decode sees new channel information. `next_attempt` is the
+/// 1-based attempt the redundancy feeds. Return false when the frame's
+/// transmission budget is exhausted — the frame then resolves exactly once
+/// with DecodeStatus::kHarqExhausted. Attempts for a frame are strictly
+/// sequential, so the hook may mutate that frame's state without locks; it
+/// must derive any randomness from (frame_index, next_attempt), never from
+/// the worker, to preserve the engine's determinism contract.
+using RedundancyHook =
+    std::function<bool(std::size_t frame_index, std::size_t next_attempt)>;
+
 struct SupervisorConfig {
   BatchEngineConfig engine;  ///< pool size, queue, quarantine, escalation
   RetryPolicy retry;         ///< when and how often to re-attempt
+  /// Kind of each escalation rung, parallel to engine.escalation_factories
+  /// (attempt a uses rung a - 1; rungs beyond the list clamp to its last
+  /// entry, mirroring the engine's factory clamp). Empty = every rung
+  /// kRedecode, the pre-HARQ behaviour.
+  std::vector<RungKind> rung_kinds;
+  /// Required when any rung is kRequestRedundancy; never called otherwise.
+  RedundancyHook on_redundancy_request;
 };
 
 /// Retry/recovery accounting, aggregated over the supervisor's lifetime.
@@ -50,6 +70,12 @@ struct RetryStats {
   std::vector<std::size_t> recovered_by_attempt;
   /// Frames that burned every attempt and still failed.
   std::size_t exhausted_frames = 0;
+  /// Retransmissions the redundancy hook granted (kRequestRedundancy rungs).
+  std::size_t redundancy_requests = 0;
+  /// Frames finalized kHarqExhausted: the ladder asked for a retransmission
+  /// and the link had none left. Disjoint from exhausted_frames (those
+  /// burned max_attempts; these stopped earlier, out of redundancy).
+  std::size_t harq_exhausted_frames = 0;
 };
 
 struct SupervisorMetrics {
@@ -112,6 +138,9 @@ class DecodeSupervisor {
   };
 
   BatchEngine::Task make_attempt(std::shared_ptr<JobControl> control);
+  /// Kind of escalation rung `rung` (1-based attempt - 1), clamped to the
+  /// configured list; kRedecode when no kinds were configured.
+  RungKind rung_kind_for(std::size_t rung) const;
   void on_attempt_done(const std::shared_ptr<JobControl>& control,
                        const DecodeResult& result)
       LDPC_EXCLUDES(stats_mutex_);

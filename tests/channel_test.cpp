@@ -2,7 +2,9 @@
 // statistics, and the Monte-Carlo BER runner.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "channel/awgn.hpp"
 #include "channel/ber_runner.hpp"
@@ -75,6 +77,147 @@ TEST(Qpsk, OddLengthPadsCleanly) {
   EXPECT_EQ(iq.size(), 4u);  // 2 symbols
   const auto llr = QpskModem::demodulate(iq, 1.0F, 3);
   EXPECT_EQ(llr.size(), 3u);
+}
+
+TEST(Qam16, NoiselessRoundTrip) {
+  BitVec bits(50);  // not a multiple of 4: exercises tail padding
+  for (std::size_t i = 0; i < 50; i += 3) bits.set(i, true);
+  const auto iq = Qam16Modem::modulate(bits);
+  for (const auto demap :
+       {&Qam16Modem::demodulate, &Qam16Modem::demodulate_maxlog}) {
+    const auto llr = demap(iq, 0.01F, 50);
+    ASSERT_EQ(llr.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i)
+      EXPECT_EQ(llr[i] < 0.0F, bits.get(i)) << i;
+  }
+}
+
+TEST(Qam16, MaxLogWithinLogSumBoundOfExact) {
+  // Each log-sum in the exact LLR collects two terms per hypothesis, so
+  // dropping all but the max under-counts each side by at most log(2):
+  // |exact - maxlog| <= 2 log(2), independent of SNR.
+  BitVec bits(64);
+  for (std::size_t i = 0; i < 64; i += 5) bits.set(i, true);
+  auto iq = Qam16Modem::modulate(bits);
+  AwgnChannel ch(0.2F, 7);
+  iq = ch.transmit(iq);
+  const auto exact = Qam16Modem::demodulate(iq, 0.2F, 64);
+  const auto maxlog = Qam16Modem::demodulate_maxlog(iq, 0.2F, 64);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(exact[i], maxlog[i], 2.0 * std::log(2.0) + 1e-5) << i;
+}
+
+TEST(Qam64, LevelSetAndUnitAverageEnergy) {
+  // All 64 bit patterns must land on the 8-PAM grid {+-1..+-7}/sqrt(42) per
+  // rail, and the uniform average symbol energy must be exactly 1.
+  const float a = 1.0F / std::sqrt(42.0F);
+  double energy = 0.0;
+  for (unsigned pattern = 0; pattern < 64; ++pattern) {
+    BitVec bits(6);
+    for (std::size_t t = 0; t < 6; ++t)
+      bits.set(t, ((pattern >> (5 - t)) & 1U) != 0);
+    const auto iq = Qam64Modem::modulate(bits);
+    ASSERT_EQ(iq.size(), 2u);
+    for (const float rail : iq) {
+      const float level = rail / a;
+      const float mag = std::abs(level);
+      EXPECT_NEAR(std::round(mag), mag, 1e-4);
+      EXPECT_GE(mag, 0.9F);
+      EXPECT_LE(mag, 7.1F);
+      EXPECT_NEAR(std::fmod(std::round(mag), 2.0F), 1.0F, 1e-6);  // odd grid
+    }
+    energy += static_cast<double>(iq[0]) * iq[0] +
+              static_cast<double>(iq[1]) * iq[1];
+  }
+  EXPECT_NEAR(energy / 64.0, 1.0, 1e-6);
+}
+
+TEST(Qam64, MappingIsGray) {
+  // Adjacent 8-PAM levels must differ in exactly one of the rail's three
+  // bits — the property that makes nearest-neighbour symbol errors cost one
+  // bit error.
+  std::vector<std::pair<float, unsigned>> level_of_code;
+  for (unsigned code = 0; code < 8; ++code) {
+    BitVec bits(6);  // I rail carries `code`, Q rail all-zero
+    for (std::size_t t = 0; t < 3; ++t)
+      bits.set(t, ((code >> (2 - t)) & 1U) != 0);
+    const auto iq = Qam64Modem::modulate(bits);
+    level_of_code.emplace_back(iq[0], code);
+  }
+  std::sort(level_of_code.begin(), level_of_code.end());
+  for (std::size_t i = 1; i < level_of_code.size(); ++i) {
+    const unsigned diff = level_of_code[i].second ^ level_of_code[i - 1].second;
+    EXPECT_EQ(diff & (diff - 1), 0u) << "levels " << i - 1 << "," << i;
+    EXPECT_NE(diff, 0u);
+  }
+}
+
+TEST(Qam64, NoiselessRoundTrip) {
+  BitVec bits(64);  // 64 = 10 symbols + 4-bit tail: exercises padding
+  for (std::size_t i = 0; i < 64; i += 7) bits.set(i, true);
+  const auto iq = Qam64Modem::modulate(bits);
+  ASSERT_EQ(iq.size(), 2u * 11u);
+  for (const auto demap :
+       {&Qam64Modem::demodulate, &Qam64Modem::demodulate_maxlog}) {
+    const auto llr = demap(iq, 0.005F, 64);
+    ASSERT_EQ(llr.size(), 64u);
+    for (std::size_t i = 0; i < 64; ++i)
+      EXPECT_EQ(llr[i] < 0.0F, bits.get(i)) << i;
+  }
+}
+
+TEST(Qam64, HighSnrSignsSurviveNoise) {
+  // At 25 dB the noise is far inside the decision regions: every noisy LLR
+  // must still vote for the transmitted bit, for both demappers.
+  BitVec bits(120);
+  Xoshiro256 rng(3);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.coin());
+  const float variance = 1e-4F;
+  auto iq = Qam64Modem::modulate(bits);
+  AwgnChannel ch(variance, 9);
+  iq = ch.transmit(iq);
+  const auto exact = Qam64Modem::demodulate(iq, variance, 120);
+  const auto maxlog = Qam64Modem::demodulate_maxlog(iq, variance, 120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    EXPECT_EQ(exact[i] < 0.0F, bits.get(i)) << i;
+    EXPECT_EQ(maxlog[i] < 0.0F, bits.get(i)) << i;
+  }
+}
+
+TEST(Qam64, MaxLogWithinLogSumBoundOfExact) {
+  // Four terms per hypothesis side: |exact - maxlog| <= 2 log(4).
+  BitVec bits(96);
+  Xoshiro256 rng(4);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.coin());
+  auto iq = Qam64Modem::modulate(bits);
+  AwgnChannel ch(0.3F, 13);
+  iq = ch.transmit(iq);
+  const auto exact = Qam64Modem::demodulate(iq, 0.3F, 96);
+  const auto maxlog = Qam64Modem::demodulate_maxlog(iq, 0.3F, 96);
+  for (std::size_t i = 0; i < 96; ++i)
+    EXPECT_NEAR(exact[i], maxlog[i], 2.0 * std::log(4.0) + 1e-5) << i;
+}
+
+TEST(Qam64, InvalidParametersRejected) {
+  const std::vector<float> iq = {0.1F, 0.2F};
+  EXPECT_THROW(Qam64Modem::demodulate(iq, 0.0F, 6), Error);
+  EXPECT_THROW(Qam64Modem::demodulate(iq, 1.0F, 7), Error);  // > 3 * iq size
+}
+
+TEST(Qam64, EndToEndBerSweep) {
+  // 64-QAM through the full Monte-Carlo chain: error-free at high Eb/N0,
+  // failing at low — the wiring test for Modulation::kQam64.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  BerConfig cfg;
+  cfg.ebn0_db = {14.0F};
+  cfg.max_frames = 20;
+  cfg.min_frames = 20;
+  cfg.modulation = Modulation::kQam64;
+  BerRunner runner(
+      code, [&] { return make_decoder("layered-minsum-fixed", code, opt); },
+      cfg);
+  EXPECT_EQ(runner.run()[0].frame_errors, 0u);
 }
 
 // ----------------------------------------------------------------- awgn ----

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "channel/ber_runner.hpp"
+#include "channel/modem.hpp"
 #include "channel/rayleigh.hpp"
 #include "codes/wimax.hpp"
 #include "core/decoder_factory.hpp"
@@ -68,6 +69,100 @@ TEST(Rayleigh, DeterministicForSeed) {
   EXPECT_EQ(ga, gb);
 }
 
+TEST(Rayleigh, IqPathSharesGainAcrossRails) {
+  // One gain per *complex* symbol: with zero noise variance impossible, so
+  // use tiny noise and check y_I / x_I == y_Q / x_Q == h for each symbol.
+  RayleighChannel ch(1e-12F, 6);
+  std::vector<float> iq(2000);
+  for (std::size_t i = 0; i < iq.size(); ++i)
+    iq[i] = (i % 5 == 0) ? -1.0F : 1.0F;
+  std::vector<float> gains;
+  const auto received = ch.transmit_iq(iq, gains);
+  ASSERT_EQ(gains.size(), iq.size() / 2);
+  for (std::size_t s = 0; s < gains.size(); ++s) {
+    EXPECT_NEAR(received[2 * s] / iq[2 * s], gains[s], 1e-3) << s;
+    EXPECT_NEAR(received[2 * s + 1] / iq[2 * s + 1], gains[s], 1e-3) << s;
+  }
+}
+
+TEST(Rayleigh, BlockFadingHoldsGainOverCoherenceLength) {
+  RayleighChannel ch(1.0F, 7, /*coherence_symbols=*/8);
+  const std::vector<float> iq(2 * 100, 1.0F);
+  std::vector<float> gains;
+  ch.transmit_iq(iq, gains);
+  ASSERT_EQ(gains.size(), 100u);
+  for (std::size_t s = 0; s < gains.size(); ++s)
+    EXPECT_FLOAT_EQ(gains[s], gains[s - s % 8]) << s;
+  // Across blocks the gains must actually vary.
+  std::size_t distinct = 1;
+  for (std::size_t b = 8; b < 100; b += 8)
+    distinct += (gains[b] != gains[0]);
+  EXPECT_GT(distinct, 8u);
+}
+
+TEST(Rayleigh, CoherenceOnePreservesLegacyRealPathDraws) {
+  // Regression: the block-fading refactor must leave the default
+  // coherence=1 real-symbol path bit-identical (gain, noise draw order).
+  RayleighChannel legacy(0.5F, 11);
+  RayleighChannel blocked(0.5F, 11, 1);
+  const std::vector<float> x(64, 1.0F);
+  std::vector<float> ga, gb;
+  EXPECT_EQ(legacy.transmit(x, ga), blocked.transmit(x, gb));
+  EXPECT_EQ(ga, gb);
+}
+
+TEST(Rayleigh, FadingAwareQpskDemapSignsAtHighSnr) {
+  RayleighChannel ch(0.005F, 8);
+  BitVec bits(800);
+  Xoshiro256 rng(21);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.coin());
+  const auto iq = QpskModem::modulate(bits);
+  std::vector<float> gains;
+  const auto received = ch.transmit_iq(iq, gains);
+  const auto llr =
+      RayleighChannel::demodulate_qpsk(received, gains, 0.005F, 800);
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < 800; ++i)
+    wrong += ((llr[i] < 0.0F) != bits.get(i));
+  EXPECT_LT(wrong, 8u);
+}
+
+TEST(Rayleigh, FadingAwareQamDemapsSignsAtHighSnr) {
+  // 16-QAM and 64-QAM through fade + equalize + demap: at very high SNR
+  // the equalized LLR signs must recover the bits even in deep-ish fades.
+  BitVec bits(960);
+  Xoshiro256 rng(22);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits.set(i, rng.coin());
+  {
+    RayleighChannel ch(1e-5F, 9);
+    std::vector<float> gains;
+    const auto received = ch.transmit_iq(Qam16Modem::modulate(bits), gains);
+    const auto llr =
+        RayleighChannel::demodulate_qam16(received, gains, 1e-5F, 960);
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < 960; ++i)
+      wrong += ((llr[i] < 0.0F) != bits.get(i));
+    EXPECT_LT(wrong, 10u);
+  }
+  {
+    RayleighChannel ch(1e-6F, 10);
+    std::vector<float> gains;
+    const auto received = ch.transmit_iq(Qam64Modem::modulate(bits), gains);
+    const auto llr =
+        RayleighChannel::demodulate_qam64(received, gains, 1e-6F, 960);
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < 960; ++i)
+      wrong += ((llr[i] < 0.0F) != bits.get(i));
+    EXPECT_LT(wrong, 10u);
+  }
+}
+
+TEST(Rayleigh, OddIqLengthRejected) {
+  RayleighChannel ch(1.0F, 12);
+  std::vector<float> gains;
+  EXPECT_THROW(ch.transmit_iq({1.0F, -1.0F, 1.0F}, gains), Error);
+}
+
 // ------------------------------------------------- BER runner extensions ----
 
 BerPoint run_point(const QCLdpcCode& code, Modulation mod, ChannelModel chan,
@@ -102,6 +197,29 @@ TEST(BerExtensions, RayleighNeedsMoreSnrThanAwgn) {
   const auto fading =
       run_point(code, Modulation::kBpsk, ChannelModel::kRayleigh, 2.5F, 120);
   EXPECT_GT(fading.fer(), awgn.fer());
+}
+
+TEST(BerExtensions, BlockFadingHurtsAtModerateSnr) {
+  // With coherence 16 a whole stretch of a codeword can sit in one deep
+  // fade, which interleaved fading (coherence 1) averages away — block
+  // fading must not do *better*.
+  const auto code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  auto run_with = [&](std::size_t coherence) {
+    BerConfig cfg;
+    cfg.ebn0_db = {6.0F};
+    cfg.max_frames = 150;
+    cfg.min_frames = 150;
+    cfg.modulation = Modulation::kQpsk;
+    cfg.channel = ChannelModel::kRayleigh;
+    cfg.coherence_symbols = coherence;
+    cfg.num_workers = 2;
+    BerRunner runner(
+        code, [&] { return make_decoder("layered-minsum-float", code, opt); },
+        cfg);
+    return runner.run()[0].fer();
+  };
+  EXPECT_GE(run_with(16) + 0.05, run_with(1));
 }
 
 TEST(BerExtensions, IterationHistogramSumsToFrames) {
