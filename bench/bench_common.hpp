@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -21,6 +23,33 @@
 #include "util/rng.hpp"
 
 namespace ldpc::bench {
+
+/// Short git revision for artifact provenance — every BENCH_*.json row
+/// carries it so tooling can join perf trajectories across PRs. Honors
+/// the LDPC_GIT_REV override (CI exports it when .git is unavailable),
+/// falls back to asking git, and degrades to "unknown" rather than
+/// failing — provenance must never block an artifact write.
+inline std::string git_rev() {
+  if (const char* env = std::getenv("LDPC_GIT_REV")) return env;
+  if (std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    std::string rev;
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) rev = buf;
+    const int status = ::pclose(pipe);
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+      rev.pop_back();
+    if (status == 0 && !rev.empty()) return rev;
+  }
+  return "unknown";
+}
+
+/// Canonical code identifier shared by every bench artifact — the same
+/// "family z=Z n=N" string in each row's "code" field lets tooling join
+/// rows across BENCH_*.json files without per-bench parsing.
+inline std::string code_id(const std::string& family, const QCLdpcCode& code) {
+  return family + " z=" + std::to_string(code.z()) +
+         " n=" + std::to_string(code.n());
+}
 
 /// A quantized noisy frame of the (2304, 1/2) case-study code at a fixed
 /// waterfall-region SNR, deterministic in `seed`.

@@ -147,8 +147,8 @@ Throughput measure_block(SimdBatchDecoder& dec, const QCLdpcCode& code,
 
 void write_throughput_json() {
   const auto& code = code2304();
-  const std::string code_id =
-      "wimax-1/2 z=96 n=" + std::to_string(code.n());
+  const std::string code_id = bench::code_id("wimax-1/2", code);
+  const std::string rev = bench::git_rev();
   // 2.0 dB waterfall frame, early termination on: the BER-harness
   // operating point (converges in a handful of iterations).
   const auto llr = noisy_llr(code, 2.0F, 5);
@@ -174,11 +174,13 @@ void write_throughput_json() {
         .set("decoder", name)
         .set("label", dec->name())
         .set("code", code_id)
+        .set("ebn0_db", 2.0)
         .set("frames_per_s", t.frames_per_s)
         .set("info_mbps", t.info_mbps)
         .set("iters_per_frame", t.iters_per_frame)
         .set("speedup_vs_scalar_fixed", speedup)
-        .set("simd_tier", simd::to_string(simd::best_tier()));
+        .set("simd_tier", simd::to_string(simd::best_tier()))
+        .set("git_rev", rev);
     std::printf("  %-28s %10.0f frames/s  %8.2f Mbps  %5.2f iters/frame  %5.2fx\n",
                 dec->name().c_str(), t.frames_per_s, t.info_mbps,
                 t.iters_per_frame, speedup);
@@ -194,13 +196,15 @@ void write_throughput_json() {
         .set("decoder", "layered-minsum-simd-batched")
         .set("label", dec.name())
         .set("code", code_id)
+        .set("ebn0_db", 2.0)
         .set("frames_per_s", t.frames_per_s)
         .set("info_mbps", t.info_mbps)
         .set("iters_per_frame", t.iters_per_frame)
         .set("speedup_vs_scalar_fixed",
              scalar_fps > 0.0 ? t.frames_per_s / scalar_fps : 0.0)
         .set("block_width", static_cast<double>(dec.block_width()))
-        .set("simd_tier", simd::to_string(dec.tier()));
+        .set("simd_tier", simd::to_string(dec.tier()))
+        .set("git_rev", rev);
     std::printf("  %-28s %10.0f frames/s  %8.2f Mbps  %5.2f iters/frame  %5.2fx\n",
                 dec.name().c_str(), t.frames_per_s, t.info_mbps,
                 t.iters_per_frame,
@@ -245,6 +249,7 @@ void write_throughput_json() {
         .set("decoder", "engine-simd-batched")
         .set("label", "engine(layered-minsum-simd-batched)")
         .set("code", code_id)
+        .set("ebn0_db", 2.0)
         .set("frames_per_s", fps)
         .set("info_mbps", m.info_throughput_mbps)
         .set("code_mbps", m.code_throughput_mbps)
@@ -257,7 +262,8 @@ void write_throughput_json() {
         .set("p95_us", m.latency.p95_us)
         .set("p99_us", m.latency.p99_us)
         .set("simd_fallbacks", static_cast<double>(fallbacks))
-        .set("simd_tier", simd::to_string(simd::best_tier()));
+        .set("simd_tier", simd::to_string(simd::best_tier()))
+        .set("git_rev", rev);
     std::printf(
         "  %-28s %10.0f frames/s  %8.2f Mbps info  %8.2f Mbps code\n"
         "  %-28s p50 %.0f us  p95 %.0f us  p99 %.0f us  0 fallbacks\n",

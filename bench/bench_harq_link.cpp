@@ -61,6 +61,8 @@ int main() {
   };
   const std::vector<HarqMode> modes = {
       HarqMode::kPlainRetry, HarqMode::kChase, HarqMode::kIncremental};
+  const std::string code_name = bench::code_id("wimax-1/2", code);
+  const std::string rev = bench::git_rev();
 
   TextTable table(
       "HARQ link — WiMAX (2304, 1/2) z=96 mother code, 4 transmissions, "
@@ -97,6 +99,7 @@ int main() {
                      TextTable::num(throughput, 3)});
       json.add_row()
           .set("mcs", mcs.name)
+          .set("code", code_name)
           .set("modulation", modulation_name(mcs.modulation))
           .set("target_rate", mcs.target_rate == 0.0 ? code.rate()
                                                      : mcs.target_rate)
@@ -110,7 +113,8 @@ int main() {
           .set("mean_transmissions", p.mean_transmissions())
           .set("total_symbols", p.total_symbols)
           .set("throughput_bits_per_symbol", throughput)
-          .set("combiner_clips", p.combiner_clips);
+          .set("combiner_clips", p.combiner_clips)
+          .set("git_rev", rev);
     }
   }
 

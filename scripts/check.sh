@@ -35,18 +35,24 @@
 #                        delivered throughput must order incremental >
 #                        chase > plain-retry, and the incremental rows must
 #                        keep residual BLER <= 0.05
-#   8. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
+#   8. finite-alphabet — runs the finite-alphabet bench and gates on
+#                        BENCH_finite_alphabet.json: the int8 fa4 batched
+#                        kernel >= 1.6x the int16 q8.2 batched kernel's
+#                        info throughput, fa4 within 0.2 dB of q6 at
+#                        info-bit BER 1e-5 (outright better when q6 never
+#                        reaches the target), and zero SIMD fallbacks
+#   9. clang-tidy      — the `lint` target (.clang-tidy profile); skipped
 #                        with a notice when clang-tidy is not installed
-#   9. ldpc-lint       — static schedule/hazard analysis over every bundled
+#  10. ldpc-lint       — static schedule/hazard analysis over every bundled
 #                        code and both column orders (must exit 0)
-#  10. thread-safety   — clang -Werror=thread-safety build of the annotated
+#  11. thread-safety   — clang -Werror=thread-safety build of the annotated
 #                        concurrent layers (LDPC_THREAD_SAFETY=ON); skipped
 #                        with a notice when clang++ is not installed
-#  11. ldpc-verify     — static fixed-point range verification over every
+#  12. ldpc-verify     — static fixed-point range verification over every
 #                        registered code x {q6, q8} x scaling mode; exits
 #                        nonzero on any unproven-unsafe site; the JSON
 #                        artifact is archived next to the build
-#  12. fuzz replay     — deterministic corpus replay of the wire + alist
+#  13. fuzz replay     — deterministic corpus replay of the wire + alist
 #                        fuzz harnesses (generated seed corpus; runs on any
 #                        compiler, no libFuzzer needed)
 #
@@ -71,25 +77,26 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 # fail the gate, not hang CI forever.
 TEST_TIMEOUT=120
 
-echo "== [1/12] tier-1 verify (LDPC_WERROR=ON) =="
+echo "== [1/13] tier-1 verify (LDPC_WERROR=ON) =="
 cmake -B build -S . -DLDPC_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT"
 
-echo "== [2/12] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
+echo "== [2/13] scalar-only build (LDPC_SIMD=OFF) — SIMD equivalence =="
 cmake -B build-nosimd -S . -DLDPC_SIMD=OFF -DLDPC_WERROR=ON
 cmake --build build-nosimd -j "$JOBS" \
-  --target simd_equivalence_test simd_batch_test
+  --target simd_equivalence_test simd_batch_test simd_fa_equivalence_test \
+           fa_test
 ctest --test-dir build-nosimd --output-on-failure --timeout "$TEST_TIMEOUT" \
-  -R 'SimdEquivalence|SimdBatch'
+  -R 'SimdEquivalence|SimdBatch|SimdFaEquivalence|FaTables|FaDecoder'
 
 if [ "$FAST" -eq 0 ]; then
-  echo "== [3/12] ASan + UBSan =="
+  echo "== [3/13] ASan + UBSan =="
   cmake -B build-asan -S . -DLDPC_SANITIZE=ON -DLDPC_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure --timeout "$TEST_TIMEOUT"
 
-  echo "== [4/12] ThreadSanitizer (runtime engine, supervisor, chaos, BER, HARQ) =="
+  echo "== [4/13] ThreadSanitizer (runtime engine, supervisor, chaos, BER, HARQ) =="
   cmake -B build-tsan -S . -DLDPC_SANITIZE=thread -DLDPC_WERROR=ON
   cmake --build build-tsan -j "$JOBS" \
     --target runtime_test chaos_test channel_test simd_batch_test \
@@ -97,7 +104,7 @@ if [ "$FAST" -eq 0 ]; then
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
     -R 'JobQueue|BatchEngine|RetryPolicy|Supervisor|ChaosEngine|BerRunner|BerFrameSeeds|SimdBatch|Rayleigh|BerExtensions|RateMatcher|LlrBuffer|RedundancyRung|HarqLink'
 
-  echo "== [5/12] decode service under TSan (tests + chaos load smoke) =="
+  echo "== [5/13] decode service under TSan (tests + chaos load smoke) =="
   cmake --build build-tsan -j "$JOBS" \
     --target service_wire_test registry_test service_test bench_decode_service
   ctest --test-dir build-tsan --output-on-failure --timeout "$TEST_TIMEOUT" \
@@ -110,12 +117,12 @@ if [ "$FAST" -eq 0 ]; then
   ./build-tsan/bench/bench_decode_service --seconds 0.4 --skip-perf-gate \
     --json build-tsan/BENCH_decode_service_smoke.json
 else
-  echo "== [3/12] ASan + UBSan — skipped (--fast) =="
-  echo "== [4/12] ThreadSanitizer — skipped (--fast) =="
-  echo "== [5/12] decode service under TSan — skipped (--fast) =="
+  echo "== [3/13] ASan + UBSan — skipped (--fast) =="
+  echo "== [4/13] ThreadSanitizer — skipped (--fast) =="
+  echo "== [5/13] decode service under TSan — skipped (--fast) =="
 fi
 
-echo "== [6/12] fused-path throughput artifact (engine-simd-batched) =="
+echo "== [6/13] fused-path throughput artifact (engine-simd-batched) =="
 cmake --build build -j "$JOBS" --target bench_decoder_throughput
 # The tracked wall-clock measurement runs before the google-benchmark
 # suite; an unmatchable filter skips the latter so this stage stays quick.
@@ -136,7 +143,7 @@ case "$ENGINE_ROW" in
     ;;
 esac
 
-echo "== [7/12] HARQ link artifact (combining-gain ordering + residual BLER) =="
+echo "== [7/13] HARQ link artifact (combining-gain ordering + residual BLER) =="
 cmake --build build -j "$JOBS" --target bench_harq_link
 (cd build && ./bench/bench_harq_link > /dev/null)
 # Gate: on every punctured MCS the delivered throughput must order
@@ -183,14 +190,63 @@ print(f"harq gate: {len(by_mcs)} MCS rows ordered incremental >= chase > plain, 
       "incremental residual BLER <= 0.05")
 EOF
 
-echo "== [8/12] clang-tidy =="
+echo "== [8/13] finite-alphabet artifact (int8 speedup + BER gap + fallbacks) =="
+cmake --build build -j "$JOBS" --target bench_finite_alphabet
+# The bench exits nonzero on its own acceptance check; the python gate
+# below re-derives the same three criteria from the JSON artifact so the
+# tracked numbers and the gate can never drift apart.
+(cd build && ./bench/bench_finite_alphabet > /dev/null)
+python3 - build/BENCH_finite_alphabet.json <<'EOF'
+import json, sys
+
+rows = json.load(open(sys.argv[1]))
+tput = {r["message_format"]: r for r in rows if r["kind"] == "throughput"}
+cross = {r["message_format"]: r for r in rows if r["kind"] == "ber-crossing"}
+
+failures = []
+missing = {"q8.2", "fa4"} - tput.keys()
+if missing:
+    failures.append(f"missing throughput rows: {sorted(missing)}")
+else:
+    speedup = tput["fa4"]["info_mbps"] / tput["q8.2"]["info_mbps"]
+    if speedup < 1.6:
+        failures.append(
+            f"int8 fa4 batched only {speedup:.2f}x the int16 q8.2 batched "
+            f"kernel (need >= 1.6x)")
+    for fmt, row in tput.items():
+        if row["simd_fallbacks"] != 0:
+            failures.append(f"{fmt}: {row['simd_fallbacks']} SIMD fallbacks")
+
+if "fa4" not in cross or not cross["fa4"]["crossed"]:
+    failures.append("fa4 never reaches info-bit BER 1e-5 inside the grid")
+elif cross.get("q6.1", {}).get("crossed"):
+    gap = cross["fa4"]["ebn0_db"] - cross["q6.1"]["ebn0_db"]
+    if gap > 0.2:
+        failures.append(f"fa4 needs {gap:.3f} dB more than q6 at BER 1e-5 "
+                        f"(allowed 0.2)")
+
+if failures:
+    print("BENCH_finite_alphabet.json gate failed:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+speedup = tput["fa4"]["info_mbps"] / tput["q8.2"]["info_mbps"]
+q6_note = (f"q6 at {cross['q6.1']['ebn0_db']:.2f} dB"
+           if cross.get("q6.1", {}).get("crossed")
+           else "q6 never reaches 1e-5 (fa4 strictly better)")
+print(f"finite-alphabet gate: fa4 {speedup:.2f}x int16 throughput, "
+      f"BER 1e-5 at {cross['fa4']['ebn0_db']:.2f} dB, {q6_note}, "
+      "0 SIMD fallbacks")
+EOF
+
+echo "== [9/13] clang-tidy =="
 cmake --build build --target lint
 
-echo "== [9/12] ldpc-lint over all bundled codes =="
+echo "== [10/13] ldpc-lint over all bundled codes =="
 ./build/src/analysis/ldpc-lint
 ./build/src/analysis/ldpc-lint --order hazard
 
-echo "== [10/12] clang thread-safety analysis (LDPC_THREAD_SAFETY=ON) =="
+echo "== [11/13] clang thread-safety analysis (LDPC_THREAD_SAFETY=ON) =="
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
     -DLDPC_THREAD_SAFETY=ON -DLDPC_WERROR=ON
@@ -203,13 +259,13 @@ else
   echo "no-ops under this compiler; install clang to enable the analysis)"
 fi
 
-echo "== [11/12] ldpc-verify static range verification =="
+echo "== [12/13] ldpc-verify static range verification =="
 # Nonzero exit = a datapath site can exceed its rails with no clamp there.
 ./build/src/analysis/ldpc-verify --all-codes \
   --json build/RANGE_VERIFY.json
 echo "range-verify artifact: build/RANGE_VERIFY.json"
 
-echo "== [12/12] fuzz corpus replay smoke =="
+echo "== [13/13] fuzz corpus replay smoke =="
 ctest --test-dir build --output-on-failure --timeout "$TEST_TIMEOUT" \
   -R 'fuzz_'
 

@@ -186,6 +186,12 @@ class Decoder {
   /// Short identifier used in benchmark tables, e.g. "layered-msf-q8".
   virtual std::string name() const = 0;
 
+  /// Message-format identifier of the datapath: "float" (default), a
+  /// fixed-point format name like "q8.2"/"q6.1", a finite-alphabet family
+  /// name like "fa4", or "bit" for hard-decision decoders. Used by the
+  /// factory tests and benchmark artifacts to key resolution studies.
+  virtual std::string message_format() const { return "float"; }
+
   /// Preferred number of frames per decode_block call — the SIMD lane
   /// count for inter-frame-batched decoders, 1 for everyone else. Callers
   /// may pass any frame count; this is the size at which lanes are full.

@@ -1,11 +1,16 @@
 #include "core/decoder_factory.hpp"
 
+#include <sstream>
+
 #include "core/flooding_bp.hpp"
 #include "core/flooding_minsum.hpp"
 #include "core/gallager_b.hpp"
+#include "core/layered_minsum_fa.hpp"
 #include "core/layered_minsum_fixed.hpp"
 #include "core/layered_minsum_float.hpp"
 #include "core/simd/simd_batch.hpp"
+#include "core/simd/simd_fa_batch.hpp"
+#include "core/simd/simd_fa_layered.hpp"
 #include "core/simd/simd_layered.hpp"
 
 namespace ldpc {
@@ -67,7 +72,34 @@ std::unique_ptr<Decoder> make_decoder(const std::string& name,
   if (name == "layered-minsum-simd-batched-q6")
     return std::make_unique<SimdBatchDecoder>(code, options,
                                               FixedFormat{6, 1});
-  throw Error("unknown decoder name: " + name);
+  // Finite-alphabet family (fa2/fa3/fa4): 2-4-bit check messages via MIM
+  // staircase tables on an int8 posterior, scalar reference plus the int8
+  // SIMD z-lane and inter-frame-batched twins. See core/fa_tables.hpp.
+  if (name == "layered-minsum-fa2")
+    return std::make_unique<LayeredMinSumFaDecoder>(code, options, 2);
+  if (name == "layered-minsum-fa3")
+    return std::make_unique<LayeredMinSumFaDecoder>(code, options, 3);
+  if (name == "layered-minsum-fa4")
+    return std::make_unique<LayeredMinSumFaDecoder>(code, options, 4);
+  if (name == "layered-minsum-simd-fa2")
+    return std::make_unique<SimdFaLayeredDecoder>(code, options, 2);
+  if (name == "layered-minsum-simd-fa3")
+    return std::make_unique<SimdFaLayeredDecoder>(code, options, 3);
+  if (name == "layered-minsum-simd-fa4")
+    return std::make_unique<SimdFaLayeredDecoder>(code, options, 4);
+  if (name == "layered-minsum-simd-batched-fa2")
+    return std::make_unique<SimdFaBatchDecoder>(code, options, 2);
+  if (name == "layered-minsum-simd-batched-fa3")
+    return std::make_unique<SimdFaBatchDecoder>(code, options, 3);
+  if (name == "layered-minsum-simd-batched-fa4")
+    return std::make_unique<SimdFaBatchDecoder>(code, options, 4);
+  // List the candidates in the error: factory names travel through CLI
+  // flags and JSON configs, where a typo is otherwise a dead end.
+  std::ostringstream msg;
+  msg << "unknown decoder name: " << name << " (known:";
+  for (const std::string& known : decoder_names()) msg << ' ' << known;
+  msg << ')';
+  throw Error(msg.str());
 }
 
 const std::vector<std::string>& decoder_names() {
@@ -81,6 +113,13 @@ const std::vector<std::string>& decoder_names() {
       "layered-minsum-simd-offset",
       "layered-minsum-simd-batched",
       "layered-minsum-simd-batched-q6",
+      "layered-minsum-fa2",    "layered-minsum-fa3",
+      "layered-minsum-fa4",    "layered-minsum-simd-fa2",
+      "layered-minsum-simd-fa3",
+      "layered-minsum-simd-fa4",
+      "layered-minsum-simd-batched-fa2",
+      "layered-minsum-simd-batched-fa3",
+      "layered-minsum-simd-batched-fa4",
   };
   return names;
 }

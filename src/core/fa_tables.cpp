@@ -1,0 +1,293 @@
+#include "core/fa_tables.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace ldpc {
+namespace {
+
+// All pmfs live on the signed posterior grid: index s in [0, 2*kFaRail]
+// maps to code s - kFaRail. The magnitude/sign split treats code 0 as
+// positive, matching the decoder's sign predicate (q < 0).
+constexpr int kGrid = 2 * kFaRail + 1;  // 255 signed codes
+constexpr int kMags = kFaRail + 1;      // 128 magnitudes
+
+using Pmf = std::vector<double>;        // kGrid entries, sums to 1
+struct MagPmf {                         // sign-split magnitude pmf
+  std::array<double, kMags> pos{};      // P(sign +, mag m | bit 0)
+  std::array<double, kMags> neg{};      // P(sign -, mag m | bit 0)
+};
+
+double normal_cdf(double x, double mean, double stddev) {
+  return 0.5 * std::erfc(-(x - mean) / (stddev * std::sqrt(2.0)));
+}
+
+/// Channel LLR pmf on the grid, conditioned on the transmitted bit being 0
+/// (BPSK 0 -> +1): LLR ~ N(2/sigma^2, 4/sigma^2), quantized by the same
+/// round-to-nearest / clamp-at-rails rule as fa_quantize.
+Pmf channel_pmf(double sigma2, const FixedFormat& posterior) {
+  const double mean = 2.0 / sigma2;
+  const double stddev = std::sqrt(4.0 / sigma2);
+  const double scale = static_cast<double>(1 << posterior.frac_bits);
+  Pmf pmf(kGrid, 0.0);
+  for (int c = -kFaRail; c <= kFaRail; ++c) {
+    const double lo = c == -kFaRail ? -1e30 : (c - 0.5) / scale;
+    const double hi = c == kFaRail ? 1e30 : (c + 0.5) / scale;
+    pmf[static_cast<std::size_t>(c + kFaRail)] =
+        normal_cdf(hi, mean, stddev) - normal_cdf(lo, mean, stddev);
+  }
+  return pmf;
+}
+
+/// Saturating convolution on the signed grid (the VN adder clamps at the
+/// rails, so out-of-range sums pile up on the rail bins).
+Pmf conv_sat(const Pmf& a, const Pmf& b) {
+  Pmf out(kGrid, 0.0);
+  for (int i = 0; i < kGrid; ++i) {
+    const double pa = a[static_cast<std::size_t>(i)];
+    if (pa == 0.0) continue;
+    for (int j = 0; j < kGrid; ++j) {
+      const double pb = b[static_cast<std::size_t>(j)];
+      if (pb == 0.0) continue;
+      int s = i + j - kFaRail;  // signed-code sum, re-biased
+      s = s < 0 ? 0 : (s >= kGrid ? kGrid - 1 : s);
+      out[static_cast<std::size_t>(s)] += pa * pb;
+    }
+  }
+  return out;
+}
+
+MagPmf split(const Pmf& pmf) {
+  MagPmf w;
+  w.pos[0] = pmf[kFaRail];  // code 0 counts as positive (q < 0 is false)
+  for (int m = 1; m < kMags; ++m) {
+    w.pos[static_cast<std::size_t>(m)] =
+        pmf[static_cast<std::size_t>(kFaRail + m)];
+    w.neg[static_cast<std::size_t>(m)] =
+        pmf[static_cast<std::size_t>(kFaRail - m)];
+  }
+  return w;
+}
+
+/// Check-node pairwise combine: the min of two magnitudes with the XOR of
+/// the two signs — applied (degree - 2) times this yields the pmf of the
+/// row min over (degree - 1) extrinsic inputs.
+MagPmf cn_combine(const MagPmf& u, const MagPmf& v) {
+  // Suffix sums turn "other magnitude strictly larger / at least" into O(1).
+  std::array<double, kMags + 1> up{}, un{}, vp{}, vn{};
+  for (int m = kMags - 1; m >= 0; --m) {
+    const auto i = static_cast<std::size_t>(m);
+    up[i] = up[i + 1] + u.pos[i];
+    un[i] = un[i + 1] + u.neg[i];
+    vp[i] = vp[i + 1] + v.pos[i];
+    vn[i] = vn[i + 1] + v.neg[i];
+  }
+  MagPmf out;
+  for (int m = 0; m < kMags; ++m) {
+    const auto i = static_cast<std::size_t>(m);
+    // min == m: (u == m and v >= m) or (v == m and u > m).
+    const double pp = u.pos[i] * vp[i] + v.pos[i] * up[i + 1];
+    const double nn = u.neg[i] * vn[i] + v.neg[i] * un[i + 1];
+    const double pn = u.pos[i] * vn[i] + v.neg[i] * up[i + 1];
+    const double np = u.neg[i] * vp[i] + v.pos[i] * un[i + 1];
+    out.pos[i] = pp + nn;
+    out.neg[i] = pn + np;
+  }
+  return out;
+}
+
+/// Mutual-information contribution of one magnitude region with conditional
+/// masses (a, b) = (P(+, region | 0), P(-, region | 0)); the mirrored
+/// symbol pair contributes symmetrically, so the region total is
+/// a log2(2a/(a+b)) + b log2(2b/(a+b)), with 0 log 0 = 0.
+double region_mi(double a, double b) {
+  const double s = a + b;
+  if (s <= 0.0) return 0.0;
+  double mi = 0.0;
+  if (a > 0.0) mi += a * std::log2(2.0 * a / s);
+  if (b > 0.0) mi += b * std::log2(2.0 * b / s);
+  return mi;
+}
+
+/// Partition magnitudes 0..127 into `levels` contiguous regions maximizing
+/// the mutual information between the quantized (sign, region) symbol and
+/// the transmitted bit. Returns the region start boundaries b[1..L-1]
+/// (region k spans [b[k], b[k+1]-1], b[0] = 0 implicit).
+std::vector<int> mim_partition(const MagPmf& w, int levels) {
+  std::array<double, kMags + 1> ap{}, an{};  // prefix masses
+  for (int m = 0; m < kMags; ++m) {
+    const auto i = static_cast<std::size_t>(m);
+    ap[i + 1] = ap[i] + w.pos[i];
+    an[i + 1] = an[i] + w.neg[i];
+  }
+  const auto cost = [&](int lo, int hi) {  // region [lo, hi]
+    return region_mi(ap[static_cast<std::size_t>(hi + 1)] -
+                         ap[static_cast<std::size_t>(lo)],
+                     an[static_cast<std::size_t>(hi + 1)] -
+                         an[static_cast<std::size_t>(lo)]);
+  };
+  // best[k][j]: max MI partitioning 0..j into k+1 regions; from[k][j] the
+  // chosen start of the last region.
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(levels), std::vector<double>(kMags, -1.0));
+  std::vector<std::vector<int>> from(
+      static_cast<std::size_t>(levels), std::vector<int>(kMags, 0));
+  for (int j = 0; j < kMags; ++j) best[0][static_cast<std::size_t>(j)] = cost(0, j);
+  for (int k = 1; k < levels; ++k) {
+    for (int j = k; j < kMags; ++j) {
+      double b = -1.0;
+      int arg = k;
+      for (int i = k; i <= j; ++i) {
+        const double v =
+            best[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(i - 1)] +
+            cost(i, j);
+        if (v > b) {
+          b = v;
+          arg = i;
+        }
+      }
+      best[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = b;
+      from[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = arg;
+    }
+  }
+  std::vector<int> bounds(static_cast<std::size_t>(levels - 1), 0);
+  int j = kMags - 1;
+  for (int k = levels - 1; k >= 1; --k) {
+    const int i = from[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+    bounds[static_cast<std::size_t>(k - 1)] = i;
+    j = i - 1;
+  }
+  return bounds;
+}
+
+/// Edge-perspective degree mixture: degree -> fraction of edges incident to
+/// nodes of that degree (entries with degree < `min_degree` dropped and the
+/// rest renormalized — degree-1 check rows emit the constant R' = 0 and
+/// carry no information for the quantizer design).
+std::map<std::size_t, double> edge_mixture(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    std::size_t min_degree) {
+  std::map<std::size_t, double> mix;
+  double total = 0.0;
+  for (const auto& nbrs : adjacency) {
+    if (nbrs.size() < min_degree) continue;
+    mix[nbrs.size()] += static_cast<double>(nbrs.size());
+    total += static_cast<double>(nbrs.size());
+  }
+  LDPC_CHECK_MSG(total > 0.0, "code has no usable node degrees");
+  for (auto& [deg, w] : mix) w /= total;
+  return mix;
+}
+
+}  // namespace
+
+FaTableSet build_fa_tables(const QCLdpcCode& code, int msg_bits,
+                           float design_ebn0_db, std::size_t num_tables) {
+  LDPC_CHECK_MSG(msg_bits >= 2 && msg_bits <= kFaMaxBits,
+                 "finite-alphabet message width must be 2..4 bits, got "
+                     << msg_bits);
+  LDPC_CHECK(num_tables >= 1);
+  FaTableSet set;
+  set.msg_bits = msg_bits;
+  set.levels = 1 << (msg_bits - 1);
+  set.design_ebn0_db = design_ebn0_db;
+  const int levels = set.levels;
+
+  // sigma^2 of the unit-energy BPSK AWGN channel at the design point.
+  const double rate = code.rate();
+  const double sigma2 =
+      1.0 / (2.0 * rate * std::pow(10.0, design_ebn0_db / 10.0));
+
+  const Pmf channel = channel_pmf(sigma2, set.posterior);
+  const auto check_mix = edge_mixture(code.check_adjacency(), 2);
+  const auto var_mix = edge_mixture(code.var_adjacency(), 1);
+
+  Pmf q = channel;  // check-node input pmf entering the current iteration
+  set.tables.reserve(num_tables);
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    // --- check node: pmf of the signed min over (degree - 1) inputs -----
+    const MagPmf in = split(q);
+    MagPmf w{};
+    for (const auto& [deg, frac] : check_mix) {
+      MagPmf acc = in;  // (deg - 1) extrinsic inputs -> (deg - 2) combines
+      for (std::size_t k = 2; k + 1 <= deg; ++k) acc = cn_combine(acc, in);
+      for (int m = 0; m < kMags; ++m) {
+        const auto i = static_cast<std::size_t>(m);
+        w.pos[i] += frac * acc.pos[i];
+        w.neg[i] += frac * acc.neg[i];
+      }
+    }
+
+    // --- MIM quantizer: thresholds + reconstruction levels --------------
+    const std::vector<int> bounds = mim_partition(w, levels);
+    FaCnTable table;
+    table.thr.fill(static_cast<std::int8_t>(kFaRail));  // "> 127" never fires
+    for (int k = 0; k < levels - 1; ++k)
+      table.thr[static_cast<std::size_t>(k)] =
+          static_cast<std::int8_t>(bounds[static_cast<std::size_t>(k)] - 1);
+    const double fscale = static_cast<double>(1 << set.posterior.frac_bits);
+    std::int32_t prev = 0;
+    for (int k = 0; k < levels; ++k) {
+      const int lo = k == 0 ? 0 : bounds[static_cast<std::size_t>(k - 1)];
+      const int hi =
+          k == levels - 1 ? kMags - 1 : bounds[static_cast<std::size_t>(k)] - 1;
+      double a = 0.0;
+      double b = 0.0;
+      for (int m = lo; m <= hi; ++m) {
+        a += w.pos[static_cast<std::size_t>(m)];
+        b += w.neg[static_cast<std::size_t>(m)];
+      }
+      std::int32_t r = prev;  // empty region: keep the staircase monotone
+      if (a > 0.0 || b > 0.0) {
+        const double llr = std::log((a + 1e-300) / (b + 1e-300));
+        const double scaled = llr * fscale;
+        r = scaled >= static_cast<double>(kFaRail)
+                ? kFaRail
+                : (scaled <= 0.0
+                       ? 0
+                       : static_cast<std::int32_t>(std::lround(scaled)));
+      }
+      r = std::max(r, prev);  // reconstruction must be nondecreasing
+      prev = r;
+      table.recon[static_cast<std::size_t>(k)] = static_cast<std::int8_t>(r);
+    }
+    for (int k = levels; k < kFaMaxLevels; ++k)
+      table.recon[static_cast<std::size_t>(k)] =
+          table.recon[static_cast<std::size_t>(levels - 1)];
+    set.tables.push_back(table);
+
+    // --- message pmf after quantization ---------------------------------
+    Pmf r_pmf(kGrid, 0.0);
+    for (int m = 0; m < kMags; ++m) {
+      const auto i = static_cast<std::size_t>(m);
+      const std::int32_t rec = set.reconstruct(table, m);
+      r_pmf[static_cast<std::size_t>(kFaRail + rec)] += w.pos[i];
+      r_pmf[static_cast<std::size_t>(kFaRail - rec)] += w.neg[i];
+    }
+
+    // --- variable node: next iteration's check-node input ---------------
+    if (t + 1 < num_tables) {
+      Pmf next(kGrid, 0.0);
+      // Incremental message powers: r_pow = r_pmf convolved (d - 1) times.
+      Pmf r_pow(kGrid, 0.0);
+      r_pow[kFaRail] = 1.0;  // delta at 0 == zero extrinsic messages
+      std::size_t built = 0;
+      for (const auto& [deg, frac] : var_mix) {
+        while (built + 1 < deg) {
+          r_pow = conv_sat(r_pow, r_pmf);
+          ++built;
+        }
+        const Pmf qd = conv_sat(channel, r_pow);
+        for (int s = 0; s < kGrid; ++s)
+          next[static_cast<std::size_t>(s)] +=
+              frac * qd[static_cast<std::size_t>(s)];
+      }
+      q = std::move(next);
+    }
+  }
+  return set;
+}
+
+}  // namespace ldpc

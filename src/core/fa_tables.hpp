@@ -1,0 +1,122 @@
+// Finite-alphabet message tables for the low-resolution layered decoders.
+//
+// The fa2/fa3/fa4 decoder family constrains check-to-variable messages to a
+// sign-magnitude alphabet of 2^(msg_bits-1) magnitude levels while keeping
+// the posterior at 8 bits. The check-node update becomes a staircase lookup:
+// the raw min magnitude is compared against `levels - 1` thresholds and the
+// selected reconstruction level is emitted with the row's sign product —
+// no multiplier, no shifter, and the classic 0.75 min-sum correction is
+// subsumed by the threshold/reconstruction choice (a monotone transform of
+// the magnitude axis), so the int8 SIMD kernels need no 8-bit shifts at
+// all (x86 has none).
+//
+// Tables are built offline per (code, msg_bits, design Eb/N0) by discrete
+// density evolution over the int8 grid with mutual-information-maximizing
+// (MIM) threshold selection, following the finite-alphabet decoding line of
+// Ghanaatian et al. ("A 588 Gbps LDPC Decoder Based on Finite-Alphabet
+// Message Passing") and Mohr/Bauch (layered MIM decoding):
+//
+//   1. the channel LLR pmf is quantized onto the signed int8 grid;
+//   2. per decode iteration, the pmf of the row's min-excluding-own-edge
+//      magnitude (with sign parity) is computed by pairwise sign-min
+//      combination over the code's edge-perspective check-degree mixture;
+//   3. the magnitude axis is partitioned into `levels` contiguous regions
+//      by a dynamic program maximizing the mutual information between the
+//      quantized message and the transmitted bit;
+//   4. each region's reconstruction level is its conditional LLR mapped
+//      back onto the posterior grid;
+//   5. the variable-node update convolves channel and message pmfs (edge-
+//      perspective variable-degree mixture, saturating at the rails) to
+//      produce the next iteration's check-node input pmf.
+//
+// The construction is deterministic (pure double arithmetic, no RNG) and
+// costs a few milliseconds, so decoders build their tables at construction.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/quant.hpp"
+
+namespace ldpc {
+
+/// Posterior rail of the finite-alphabet datapath. Symmetric +-127 (not the
+/// two's-complement -128): abs/negate of every representable value stays
+/// representable in int8 — the shape a sign-magnitude hardware datapath
+/// has anyway, and the invariant the int8 SIMD lane math is proven against.
+inline constexpr std::int32_t kFaRail = 127;
+
+/// Maximum message resolution of the family (4 bits = sign + 8 levels).
+inline constexpr int kFaMaxBits = 4;
+inline constexpr int kFaMaxLevels = 1 << (kFaMaxBits - 1);
+
+/// Check-node lookup for one decode iteration: `levels - 1` thresholds on
+/// the raw min magnitude (region index = number of thresholds the magnitude
+/// strictly exceeds) and `levels` nondecreasing reconstruction magnitudes
+/// on the posterior grid. Fixed-capacity arrays so the SIMD pass structs
+/// can reference rows without indirection; entries past the level count
+/// repeat the last value (harmless for the staircase).
+struct FaCnTable {
+  std::array<std::int8_t, kFaMaxLevels - 1> thr{};
+  std::array<std::int8_t, kFaMaxLevels> recon{};
+};
+
+/// A full per-iteration table set for one (code, msg_bits, design Eb/N0)
+/// point. Decode iterations beyond the table count reuse the last table
+/// (density evolution has converged by then).
+struct FaTableSet {
+  int msg_bits = 4;
+  int levels = 8;              ///< 2^(msg_bits - 1) magnitude levels
+  FixedFormat posterior{8, 2}; ///< grid the thresholds/recons live on
+  float design_ebn0_db = 2.0F;
+  std::vector<FaCnTable> tables;
+
+  const FaCnTable& for_iteration(std::size_t iter) const {
+    const std::size_t idx = iter - 1;
+    return tables[idx < tables.size() ? idx : tables.size() - 1];
+  }
+
+  /// Family name used in decoder labels and message_format(): "fa4" etc.
+  std::string name() const { return "fa" + std::to_string(msg_bits); }
+
+  /// Scalar staircase: raw min magnitude (0..127) -> reconstruction
+  /// magnitude. The int8 SIMD kernels compute exactly this via
+  /// recon[0] + sum of masked deltas; asserted identical in tests.
+  std::int32_t reconstruct(const FaCnTable& t, std::int32_t mag) const {
+    int idx = 0;
+    for (int k = 0; k < levels - 1; ++k) idx += mag > t.thr[k] ? 1 : 0;
+    return t.recon[idx];
+  }
+};
+
+/// Quantize a channel LLR onto the symmetric finite-alphabet posterior
+/// grid: same rounding as FixedFormat::quantize, clamped at +-kFaRail.
+inline std::int32_t fa_quantize(const FixedFormat& posterior, float llr) {
+  const std::int64_t v = FixedFormat::round_half_away(posterior.scale(llr));
+  return v > kFaRail ? kFaRail
+                     : (v < -kFaRail ? -kFaRail : static_cast<std::int32_t>(v));
+}
+
+/// Counted variant: `clips` increments when the LLR saturated at the rails.
+inline std::int32_t fa_quantize(const FixedFormat& posterior, float llr,
+                                long long& clips) {
+  const std::int64_t v = FixedFormat::round_half_away(posterior.scale(llr));
+  if (v > kFaRail || v < -kFaRail) ++clips;
+  return v > kFaRail ? kFaRail
+                     : (v < -kFaRail ? -kFaRail : static_cast<std::int32_t>(v));
+}
+
+/// Build the per-iteration table set for `code` at `msg_bits` message
+/// resolution (2, 3 or 4). `design_ebn0_db` sets the channel pmf the
+/// density evolution is run at (waterfall region of the target code);
+/// `num_tables` bounds the per-iteration table count. Throws ldpc::Error
+/// on unsupported msg_bits.
+FaTableSet build_fa_tables(const QCLdpcCode& code, int msg_bits,
+                           float design_ebn0_db = 2.0F,
+                           std::size_t num_tables = 8);
+
+}  // namespace ldpc

@@ -30,6 +30,8 @@ class FloodingMinSumFixedDecoder final : public Decoder {
     return "flooding-minsum-" + kernel_.format().name();
   }
 
+  std::string message_format() const override { return format().name(); }
+
   FixedFormat format() const { return kernel_.format(); }
 
   /// Quantized entry point (used by the architecture simulator and tests).

@@ -26,6 +26,8 @@ class GallagerBDecoder final : public Decoder {
   std::size_t n() const override { return code_.n(); }
   std::size_t k() const override { return code_.k(); }
   std::string name() const override { return "gallager-b"; }
+  /// Hard-decision message passing: messages are single bits.
+  std::string message_format() const override { return "bit"; }
 
   /// Hard-input entry point (the natural interface for this decoder).
   DecodeResult decode_hard(const BitVec& received);

@@ -1,0 +1,173 @@
+#include "core/layered_minsum_fa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault_injector.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+
+LayeredMinSumFaDecoder::LayeredMinSumFaDecoder(const QCLdpcCode& code,
+                                               DecoderOptions options,
+                                               int msg_bits,
+                                               float design_ebn0_db)
+    : code_(code),
+      options_(options),
+      tables_(build_fa_tables(
+          code, msg_bits, design_ebn0_db,
+          std::min<std::size_t>(
+              8, std::max<std::size_t>(1, options.max_iterations)))),
+      kernel_(&tables_) {
+  LDPC_CHECK(options_.max_iterations > 0);
+  // The MIM tables subsume the min-sum correction: options_.scale is
+  // ignored by design (documented in docs/finite_alphabet.md).
+  init_scratch();
+}
+
+void LayeredMinSumFaDecoder::init_scratch() {
+  posterior_.resize(code_.n());
+  check_msg_.resize(code_.base().nonzero_blocks() *
+                    static_cast<std::size_t>(code_.z()));
+  quant_scratch_.resize(code_.n());
+  std::size_t max_deg = 0;
+  for (const auto& layer : code_.layers())
+    max_deg = std::max(max_deg, layer.size());
+  q_row_.reserve(max_deg);
+}
+
+DecodeResult LayeredMinSumFaDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  saturation_.quantizer_clips = 0;
+  if (options_.count_saturation) {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      quant_scratch_[v] =
+          fa_quantize(tables_.posterior, llr[v], saturation_.quantizer_clips);
+  } else {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      quant_scratch_[v] = fa_quantize(tables_.posterior, llr[v]);
+  }
+  return decode_quantized(quant_scratch_);
+}
+
+DecodeResult LayeredMinSumFaDecoder::decode_quantized(
+    std::span<const std::int32_t> channel_codes) {
+  LDPC_CHECK(channel_codes.size() == code_.n());
+  const auto z = static_cast<std::size_t>(code_.z());
+  const int w = tables_.posterior.total_bits;
+
+  std::copy(channel_codes.begin(), channel_codes.end(), posterior_.begin());
+  std::fill(check_msg_.begin(), check_msg_.end(), 0);
+
+  saturation_.datapath_clips = 0;
+  saturation_.q_clips = 0;
+  saturation_.r_clips = 0;  // structurally zero for this family
+  saturation_.p_clips = 0;
+  saturation_.degenerate_checks = 0;
+  kernel_.track_saturation(options_.count_saturation ? &saturation_ : nullptr);
+  kernel_.track_degenerate(&saturation_.degenerate_checks);
+  FaultInjector* const injector =
+      (options_.fault_injector && options_.fault_injector->enabled())
+          ? options_.fault_injector
+          : nullptr;
+  const long long injections_before = injector ? injector->injections() : 0;
+  WatchdogState watchdog(options_.watchdog);
+  bool watchdog_fired = false;
+  bool cancelled = false;
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+  BitVec previous_hard;
+  if (options_.observer) previous_hard.resize(code_.n());
+
+  std::vector<std::int32_t>& q = q_row_;
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    const FaCnTable& table = tables_.for_iteration(iter);
+
+    for (const auto& layer : code_.layers()) {
+      if (cancel_ && cancel_->expired()) {
+        cancelled = true;
+        break;
+      }
+      const std::size_t deg = layer.size();
+      q.resize(deg);
+      for (std::size_t row = 0; row < z; ++row) {
+        FaRowKernel::CheckState st;
+        st.reset();
+        // Stage 1: Q = P - R, min1/min2/pos/sign accumulation.
+        for (std::size_t j = 0; j < deg; ++j) {
+          const auto& blk = layer[j];
+          const std::size_t var = blk.block_col * z + (row + blk.shift) % z;
+          std::int32_t p = posterior_[var];
+          std::int32_t r = check_msg_[blk.r_slot * z + row];
+          if (injector) {
+            p = injector->corrupt_value(FaultSite::kSramP, p, w);
+            r = injector->corrupt_value(FaultSite::kSramR, r, w);
+          }
+          q[j] = kernel_.compute_q(p, r);
+          st.absorb(q[j], static_cast<std::uint32_t>(j));
+        }
+        if (injector) {
+          st.min1 = injector->corrupt_magnitude(FaultSite::kCoreMin1, st.min1, w);
+          st.min2 = injector->corrupt_magnitude(FaultSite::kCoreMin2, st.min2, w);
+          st.sign_product =
+              injector->corrupt_flag(FaultSite::kCoreSign, st.sign_product);
+        }
+        // Stage 2: staircase R' and saturating P' write-back.
+        for (std::size_t j = 0; j < deg; ++j) {
+          const auto& blk = layer[j];
+          const std::size_t var = blk.block_col * z + (row + blk.shift) % z;
+          const std::int32_t r_new = kernel_.compute_r_new(
+              table, st, q[j], static_cast<std::uint32_t>(j));
+          check_msg_[blk.r_slot * z + row] = r_new;
+          posterior_[var] = kernel_.compute_p_new(q[j], r_new);
+        }
+      }
+    }
+
+    for (std::size_t v = 0; v < code_.n(); ++v)
+      result.hard_bits.set(v, posterior_[v] < 0);
+    const bool want_weight =
+        static_cast<bool>(options_.observer) || options_.watchdog.enabled();
+    std::size_t weight = 0;
+    if (want_weight) weight = code_.syndrome_weight(result.hard_bits);
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = weight;
+      double sum = 0.0;
+      for (const auto p : posterior_)
+        sum += std::abs(static_cast<double>(tables_.posterior.dequantize(p)));
+      snap.mean_abs_llr = sum / static_cast<double>(code_.n());
+      snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      snap.saturation_clips =
+          saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
+      previous_hard = result.hard_bits;
+      options_.observer(snap);
+    }
+    if (options_.early_termination &&
+        (want_weight ? weight == 0 : code_.parity_ok(result.hard_bits))) {
+      result.converged = true;
+      break;
+    }
+    if (cancelled) break;
+    if (options_.watchdog.enabled() && watchdog.should_abort(weight)) {
+      watchdog_fired = true;
+      break;
+    }
+  }
+
+  if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
+  saturation_.datapath_clips =
+      saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
+  if (injector)
+    result.faults_injected =
+        static_cast<std::size_t>(injector->injections() - injections_before);
+  result.status = classify_exit(result.converged, watchdog_fired,
+                                result.faults_injected, cancelled);
+  return result;
+}
+
+}  // namespace ldpc

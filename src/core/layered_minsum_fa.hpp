@@ -1,0 +1,128 @@
+// Finite-alphabet layered min-sum decoder — the scalar reference for the
+// fa2/fa3/fa4 low-resolution family (see core/fa_tables.hpp for the table
+// construction and the paper trail).
+//
+// Identical layered schedule and stage-1/stage-2 split as the fixed-point
+// decoder (layered_minsum_fixed.hpp), with two datapath changes:
+//
+//   * the check-node output magnitude is a staircase lookup into the
+//     per-iteration MIM table instead of the 0.75 shift-add — the scale
+//     correction is subsumed by the table, so DecoderOptions::scale is
+//     ignored;
+//   * all values live on the symmetric int8 grid [-127, +127] (kFaRail),
+//     so the int8 SIMD kernels can abs/negate any representable value.
+//
+// R memory stores the *reconstructed* int8 message. Hardware would store
+// only the (msg_bits - 1)-bit magnitude index plus sign; the power model
+// (src/power/message_memory.hpp) accounts SRAM bits at that width.
+//
+// The staircase output is always a table entry, hence always in-alphabet:
+// the R' clamp of the fixed-point kernel is structurally dead here and
+// SaturationStats::r_clips is identically zero for this family (asserted
+// by tests, mirrored by the SIMD kernels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/qc_code.hpp"
+#include "core/decoder.hpp"
+#include "core/fa_tables.hpp"
+#include "core/layered_minsum_fixed.hpp"
+
+namespace ldpc {
+
+/// Per-row arithmetic of the finite-alphabet layered update. Reuses the
+/// fixed-point kernel's CheckState (min1/min2/pos1/sign accumulation is
+/// unchanged); only the message reconstruction and the rail differ.
+class FaRowKernel {
+ public:
+  explicit FaRowKernel(const FaTableSet* tables) : tables_(tables) {}
+
+  using CheckState = LayerRowKernel::CheckState;
+
+  /// See LayerRowKernel::track_saturation — same contract. Only q_clips and
+  /// p_clips can fire; r_clips is structurally zero for this family.
+  void track_saturation(SaturationStats* stats) { stats_ = stats; }
+  void track_degenerate(long long* counter) { degenerate_ = counter; }
+
+  /// Q = P - R saturating at the symmetric +-kFaRail rails.
+  std::int32_t compute_q(std::int32_t p, std::int32_t r) const {
+    const std::int32_t diff = p - r;
+    const std::int32_t v =
+        diff > kFaRail ? kFaRail : (diff < -kFaRail ? -kFaRail : diff);
+    if (stats_ && v != diff) ++stats_->q_clips;
+    return v;
+  }
+
+  /// R' for block `pos`: staircase reconstruction of the extrinsic min with
+  /// the row's sign product. Always in-alphabet — no clamp, no r_clips.
+  std::int32_t compute_r_new(const FaCnTable& table, const CheckState& st,
+                             std::int32_t q, std::uint32_t pos) const {
+    if (st.count < 2) {
+      if (degenerate_) ++(*degenerate_);
+      return 0;
+    }
+    const std::int32_t mag =
+        tables_->reconstruct(table, (pos == st.pos1) ? st.min2 : st.min1);
+    return (st.sign_product ^ (q < 0)) ? -mag : mag;
+  }
+
+  /// P' = Q + R' saturating at the symmetric rails.
+  std::int32_t compute_p_new(std::int32_t q, std::int32_t r_new) const {
+    const std::int32_t sum = q + r_new;
+    const std::int32_t v =
+        sum > kFaRail ? kFaRail : (sum < -kFaRail ? -kFaRail : sum);
+    if (stats_ && v != sum) ++stats_->p_clips;
+    return v;
+  }
+
+ private:
+  const FaTableSet* tables_;          ///< non-owning, outlives the kernel
+  SaturationStats* stats_ = nullptr;
+  long long* degenerate_ = nullptr;
+};
+
+class LayeredMinSumFaDecoder final : public Decoder {
+ public:
+  /// Builds the per-iteration MIM tables for `code` at construction
+  /// (deterministic, a few ms). `msg_bits` in {2, 3, 4}.
+  LayeredMinSumFaDecoder(const QCLdpcCode& code, DecoderOptions options,
+                         int msg_bits, float design_ebn0_db = 2.0F);
+
+  DecodeResult decode(std::span<const float> llr) override;
+  std::size_t n() const override { return code_.n(); }
+  std::size_t k() const override { return code_.k(); }
+  std::string name() const override {
+    return "layered-minsum-" + tables_.name();
+  }
+  std::string message_format() const override { return tables_.name(); }
+
+  /// Posterior grid (q8.2); messages are `tables().msg_bits` wide.
+  FixedFormat format() const { return tables_.posterior; }
+  const FaTableSet& tables() const { return tables_; }
+
+  /// Decode from already-quantized channel codes (symmetric rails, i.e.
+  /// every code in [-kFaRail, kFaRail]); drives the SIMD equivalence tests.
+  DecodeResult decode_quantized(std::span<const std::int32_t> channel_codes);
+
+  const std::vector<std::int32_t>& posteriors() const { return posterior_; }
+  SaturationStats saturation() const override { return saturation_; }
+  void set_cancel_token(const CancelToken* token) override { cancel_ = token; }
+
+ private:
+  void init_scratch();
+
+  const QCLdpcCode& code_;
+  DecoderOptions options_;
+  FaTableSet tables_;
+  FaRowKernel kernel_;
+  const CancelToken* cancel_ = nullptr;  ///< non-owning, may be null
+  std::vector<std::int32_t> posterior_;  ///< P memory (8-bit codes)
+  std::vector<std::int32_t> check_msg_;  ///< R memory, r_slot * z + row
+  std::vector<std::int32_t> quant_scratch_;
+  std::vector<std::int32_t> q_row_;
+  SaturationStats saturation_;
+};
+
+}  // namespace ldpc

@@ -113,6 +113,8 @@ class LayeredMinSumFixedDecoder final : public Decoder {
     return label_.empty() ? "layered-minsum-" + format().name() : label_;
   }
 
+  std::string message_format() const override { return format().name(); }
+
   FixedFormat format() const { return kernel_.format(); }
 
   /// Decode from already-quantized channel codes; exposed so the hardware

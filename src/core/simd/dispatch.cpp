@@ -108,6 +108,94 @@ BatchSyndromePassFn batch_syndrome_pass_for(SimdTier tier) {
   return &batch_syndrome_pass_portable;  // unreachable after the check above
 }
 
+FaLayerPassFn fa_layer_pass_for(SimdTier tier) {
+  LDPC_CHECK_MSG(tier_available(tier),
+                 "SIMD tier " << to_string(tier)
+                              << " is not available in this build/CPU");
+  switch (tier) {
+    case SimdTier::kPortable:
+      return &fa_layer_pass_portable;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      return &fa_layer_pass_sse2;
+    case SimdTier::kAvx2:
+      return &fa_layer_pass_avx2;
+    case SimdTier::kAvx512:
+      return &fa_layer_pass_avx512;
+#else
+    default:
+      break;
+#endif
+  }
+  return &fa_layer_pass_portable;  // unreachable after the check above
+}
+
+FaBatchLayerPassFn fa_batch_layer_pass_for(SimdTier tier) {
+  LDPC_CHECK_MSG(tier_available(tier),
+                 "SIMD tier " << to_string(tier)
+                              << " is not available in this build/CPU");
+  switch (tier) {
+    case SimdTier::kPortable:
+      return &fa_batch_layer_pass_portable;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      return &fa_batch_layer_pass_sse2;
+    case SimdTier::kAvx2:
+      return &fa_batch_layer_pass_avx2;
+    case SimdTier::kAvx512:
+      return &fa_batch_layer_pass_avx512;
+#else
+    default:
+      break;
+#endif
+  }
+  return &fa_batch_layer_pass_portable;  // unreachable after the check above
+}
+
+FaBatchSyndromePassFn fa_batch_syndrome_pass_for(SimdTier tier) {
+  LDPC_CHECK_MSG(tier_available(tier),
+                 "SIMD tier " << to_string(tier)
+                              << " is not available in this build/CPU");
+  switch (tier) {
+    case SimdTier::kPortable:
+      return &fa_batch_syndrome_pass_portable;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      return &fa_batch_syndrome_pass_sse2;
+    case SimdTier::kAvx2:
+      return &fa_batch_syndrome_pass_avx2;
+    case SimdTier::kAvx512:
+      return &fa_batch_syndrome_pass_avx512;
+#else
+    default:
+      break;
+#endif
+  }
+  return &fa_batch_syndrome_pass_portable;  // unreachable after the check
+}
+
+FaQuantizePassFn fa_quantize_pass_for(SimdTier tier) {
+  LDPC_CHECK_MSG(tier_available(tier),
+                 "SIMD tier " << to_string(tier)
+                              << " is not available in this build/CPU");
+  switch (tier) {
+    case SimdTier::kPortable:
+      return &fa_quantize_pass_portable;
+#ifdef LDPC_SIMD_X86
+    case SimdTier::kSse2:
+      return &fa_quantize_pass_sse2;
+    case SimdTier::kAvx2:
+      return &fa_quantize_pass_avx2;
+    case SimdTier::kAvx512:
+      return &fa_quantize_pass_avx512;
+#else
+    default:
+      break;
+#endif
+  }
+  return &fa_quantize_pass_portable;  // unreachable after the check above
+}
+
 SimdTier tier_from_string(const std::string& name) {
   if (name == "portable") return SimdTier::kPortable;
   if (name == "sse2") return SimdTier::kSse2;

@@ -73,6 +73,7 @@ class SimdBatchDecoder final : public Decoder {
 
   simd::SimdTier tier() const { return tier_; }
   FixedFormat format() const { return format_; }
+  std::string message_format() const override { return format_.name(); }
 
   /// True when the configuration can never use the batched kernel and
   /// every block decodes per-frame on the z-lane twin.

@@ -1,46 +1,50 @@
-#include "core/simd/simd_batch.hpp"
+#include "core/simd/simd_fa_batch.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "fault/fault_injector.hpp"
 #include "util/check.hpp"
 
 namespace ldpc {
-SimdBatchDecoder::SimdBatchDecoder(const QCLdpcCode& code,
-                                   DecoderOptions options, FixedFormat format,
-                                   std::optional<simd::SimdTier> tier)
+SimdFaBatchDecoder::SimdFaBatchDecoder(const QCLdpcCode& code,
+                                       DecoderOptions options, int msg_bits,
+                                       float design_ebn0_db,
+                                       std::optional<simd::SimdTier> tier)
     : code_(code),
       options_(options),
-      format_(format),
       tier_(tier.value_or(simd::best_tier())),
-      pass_(simd::batch_layer_pass_for(tier_)),
-      syndrome_(simd::batch_syndrome_pass_for(tier_)),
-      lanes_(simd::tier_lanes(tier_)) {
-  // The z-lane twin carries the whole validation chain (it embeds the
-  // scalar decoder, which checks scale bounds, format sanity and the
-  // iteration budget) and serves as the exact per-frame fallback.
-  single_ = std::make_unique<SimdLayeredDecoder>(code, options, format, tier_);
-  if (options_.scale == 0.75F) {
-    mode_ = simd::ScaleMode::kThreeQuarters;
-  } else {
-    mode_ = simd::ScaleMode::kNumOver16;
-    scale_num_ = static_cast<std::int16_t>(
-        static_cast<std::int32_t>(options_.scale * 16.0F + 0.5F));
+      pass_(simd::fa_batch_layer_pass_for(tier_)),
+      syndrome_(simd::fa_batch_syndrome_pass_for(tier_)),
+      quantize_(simd::fa_quantize_pass_for(tier_)),
+      lanes_(simd::tier_lanes8(tier_)) {
+  // The z-lane FA twin carries table construction and the whole validation
+  // chain (its embedded scalar decoder checks msg_bits and the iteration
+  // budget) and serves as the exact per-frame fallback.
+  single_ = std::make_unique<SimdFaLayeredDecoder>(code, options, msg_bits,
+                                                   design_ebn0_db, tier_);
+  const FaTableSet& ts = single_->tables();
+  num_thr_ = static_cast<std::uint32_t>(ts.levels - 1);
+  iter_tables_.reserve(ts.tables.size());
+  for (const FaCnTable& t : ts.tables) {
+    IterTable it{};
+    it.recon0 = t.recon[0];
+    for (std::uint32_t k = 0; k < num_thr_; ++k) {
+      it.thr[k] = t.thr[k];
+      it.delta[k] = static_cast<std::int8_t>(t.recon[k + 1] - t.recon[k]);
+    }
+    iter_tables_.push_back(it);
   }
   init_geometry();
-  // Lane envelope: int16 arithmetic needs <= 15-bit formats (same as the
-  // z-lane kernel), and the masked in-register clip counters accumulate up
-  // to z * deg events per site per layer pass in an int16 lane, so the
-  // geometry must keep that product below 2^15. Every shipped code is two
-  // orders of magnitude under the bound (WiMAX 1/2 z=96: 96 * 7 = 672).
+  // Lane envelope: pos1 lanes and the per-row int8 clip accumulators both
+  // encode the block index / event count of one check row in an int8, so
+  // the layer degree must stay below 128. No z * deg product constraint —
+  // the FA kernel drains its clip accumulators every row.
   std::size_t max_deg = 0;
   for (const auto& layer : layers_) max_deg = std::max(max_deg, layer.size());
-  force_fallback_ = format_.total_bits > 15 ||
-                    static_cast<std::size_t>(z_) * max_deg >= 32768;
+  force_fallback_ = max_deg >= 128;
 }
 
-void SimdBatchDecoder::init_geometry() {
+void SimdFaBatchDecoder::init_geometry() {
   z_ = static_cast<std::uint32_t>(code_.z());
   layers_.reserve(code_.layers().size());
   for (const auto& layer : code_.layers()) {
@@ -55,40 +59,41 @@ void SimdBatchDecoder::init_geometry() {
   r_rows_ = code_.base().nonzero_blocks() * static_cast<std::size_t>(z_);
   // kBatchPrefetchPad rows of slack so the kernels' look-ahead prefetches
   // stay inside the allocations.
-  p16_.resize((code_.n() + simd::kBatchPrefetchPad) * lanes_);
-  r16_.resize((r_rows_ + simd::kBatchPrefetchPad) * lanes_);
-  q16_.resize(std::max<std::size_t>(max_deg, 1) * lanes_);
+  p8_.resize((code_.n() + simd::kBatchPrefetchPad) * lanes_);
+  r8_.resize((r_rows_ + simd::kBatchPrefetchPad) * lanes_);
+  q8_.resize(std::max<std::size_t>(max_deg, 1) * lanes_);
   active_.resize(lanes_);
-  std::fill(active_.begin(), active_.end(), std::int16_t{0});
+  std::fill(active_.begin(), active_.end(), std::int8_t{0});
   r_keep_.resize(lanes_);
-  std::fill(r_keep_.begin(), r_keep_.end(), std::int16_t{-1});
+  std::fill(r_keep_.begin(), r_keep_.end(), std::int8_t{-1});
+  thr_lanes_.resize(static_cast<std::size_t>(num_thr_) * lanes_);
+  delta_lanes_.resize(static_cast<std::size_t>(num_thr_) * lanes_);
+  recon0_lanes_.resize(lanes_);
+  std::fill(thr_lanes_.begin(), thr_lanes_.end(), std::int8_t{0});
+  std::fill(delta_lanes_.begin(), delta_lanes_.end(), std::int8_t{0});
+  std::fill(recon0_lanes_.begin(), recon0_lanes_.end(), std::int8_t{0});
   stage_.resize(code_.n());
   lane_.assign(lanes_, Lane{});
   q_clips_.assign(lanes_, 0);
-  r_clips_.assign(lanes_, 0);
   p_clips_.assign(lanes_, 0);
   degenerate_.assign(lanes_, 0);
   weight_.assign(lanes_, 0);
 }
 
-std::string SimdBatchDecoder::name() const {
-  return "layered-minsum-simd-batched-" + format_.name();
-}
-
-void SimdBatchDecoder::set_cancel_token(const CancelToken* token) {
+void SimdFaBatchDecoder::set_cancel_token(const CancelToken* token) {
   cancel_ = token;
   single_->set_cancel_token(token);
 }
 
-DecodeResult SimdBatchDecoder::decode(std::span<const float> llr) {
+DecodeResult SimdFaBatchDecoder::decode(std::span<const float> llr) {
   DecodeResult result = single_->decode(llr);
   last_saturation_ = single_->saturation();
   return result;
 }
 
-void SimdBatchDecoder::decode_block(std::span<const BlockFrame> frames,
-                                    std::span<DecodeResult> results,
-                                    std::span<SaturationStats> saturation) {
+void SimdFaBatchDecoder::decode_block(std::span<const BlockFrame> frames,
+                                      std::span<DecodeResult> results,
+                                      std::span<SaturationStats> saturation) {
   LDPC_CHECK(results.size() == frames.size());
   LDPC_CHECK(saturation.size() == frames.size());
   for (const BlockFrame& f : frames) LDPC_CHECK(f.llr.size() == code_.n());
@@ -111,7 +116,7 @@ void SimdBatchDecoder::decode_block(std::span<const BlockFrame> frames,
   run_block(frames, results, saturation);
 }
 
-void SimdBatchDecoder::decode_block_fallback(
+void SimdFaBatchDecoder::decode_block_fallback(
     std::span<const BlockFrame> frames, std::span<DecodeResult> results,
     std::span<SaturationStats> saturation, SimdFallback reason) {
   for (std::size_t i = 0; i < frames.size(); ++i) {
@@ -127,34 +132,34 @@ void SimdBatchDecoder::decode_block_fallback(
   if (!frames.empty()) last_saturation_ = saturation.back();
 }
 
-void SimdBatchDecoder::run_block(std::span<const BlockFrame> frames,
-                                 std::span<DecodeResult> results,
-                                 std::span<SaturationStats> saturation) {
+void SimdFaBatchDecoder::run_block(std::span<const BlockFrame> frames,
+                                   std::span<DecodeResult> results,
+                                   std::span<SaturationStats> saturation) {
   const std::size_t count = frames.size();
   const std::size_t n = code_.n();
   std::size_t next = 0;  // next pending frame to claim a lane
   std::size_t done = 0;
   std::uint32_t live = 0;  // lanes currently carrying a frame
 
-  simd::SimdBatchLayerPass pass;
-  pass.p = p16_.data();
-  pass.q = q16_.data();
-  pass.r = r16_.data();
+  const FixedFormat posterior = single_->tables().posterior;
+
+  simd::SimdFaBatchLayerPass pass;
+  pass.p = p8_.data();
+  pass.q = q8_.data();
+  pass.r = r8_.data();
   pass.z = z_;
   pass.active = active_.data();
-  pass.lo = static_cast<std::int16_t>(format_.min_code());
-  pass.hi = static_cast<std::int16_t>(format_.max_code());
-  pass.mode = mode_;
-  pass.scale_num = scale_num_;
-  pass.offset_code = 0;
-  pass.count_clips = options_.count_saturation;
   pass.r_keep = r_keep_.data();
+  pass.thr_lanes = thr_lanes_.data();
+  pass.delta_lanes = delta_lanes_.data();
+  pass.recon0_lanes = recon0_lanes_.data();
+  pass.num_thr = num_thr_;
+  pass.count_clips = options_.count_saturation;
   pass.q_clips = q_clips_.data();
-  pass.r_clips = r_clips_.data();
   pass.p_clips = p_clips_.data();
 
-  simd::SimdBatchSyndromePass syn;
-  syn.p = p16_.data();
+  simd::SimdFaBatchSyndromePass syn;
+  syn.p = p8_.data();
   syn.z = z_;
 
   const bool et = options_.early_termination;
@@ -164,56 +169,42 @@ void SimdBatchDecoder::run_block(std::span<const BlockFrame> frames,
     Lane& lane = lane_[f];
     lane.frame = g;
     lane.iter = 0;
+    lane.table = kNoTable;  // force a staircase-column refresh at iter 1
     lane.watchdog = WatchdogState(options_.watchdog);
     lane.cancel = frames[g].cancel;
     SaturationStats& sat = saturation[g];
     sat = SaturationStats{};
     const std::span<const float> llr = frames[g].llr;
-    // Quantize straight into lane f's strided column. Every store owns a
-    // fresh cache line (stride = one line at AVX-512 width), so the walk is
-    // RFO-latency-bound without the look-ahead prefetch — the pad rows
-    // behind kBatchPrefetchPad keep the +16 in bounds. The lane's R column
+    // Quantize straight into lane f's strided column; the lane's R column
     // is NOT zero-filled — r_keep_ masks its reads for the frame's first
-    // iteration instead (see SimdBatchLayerPass::r_keep).
+    // iteration instead.
     if (options_.count_saturation) {
       for (std::size_t v = 0; v < n; ++v) {
-        __builtin_prefetch(&p16_[(v + 16) * lanes_ + f], 1);
-        p16_[v * lanes_ + f] = static_cast<std::int16_t>(
-            format_.quantize(llr[v], sat.quantizer_clips));
+        __builtin_prefetch(&p8_[(v + 16) * lanes_ + f], 1);
+        p8_[v * lanes_ + f] = static_cast<std::int8_t>(
+            fa_quantize(posterior, llr[v], sat.quantizer_clips));
       }
     } else {
-      // Uncounted path (the batch-throughput configuration): a branchless
-      // restatement of FixedFormat::quantize the autovectorizer can chew on
-      // — same NaN -> 0, same rails-plus-one float pre-limit, same
-      // round-half-away in double (exact per the quantize() width
-      // argument), same integer rail clamp, so codes are bit-identical.
-      const float fscale = static_cast<float>(1 << format_.frac_bits);
-      const float fhi = static_cast<float>(format_.max_code()) + 1.0F;
-      const float flo = static_cast<float>(format_.min_code()) - 1.0F;
-      const std::int32_t rail_hi = format_.max_code();
-      const std::int32_t rail_lo = format_.min_code();
+      // Uncounted path (the batch-throughput configuration): the tier's
+      // vector quantize kernel fills a contiguous staging row, then a
+      // prefetched scatter spreads it across the lane-major stride. The
+      // kernel is bit-identical to fa_quantize (see SimdFaQuantizePass in
+      // simd_kernel.hpp for the float-exactness argument), so counted and
+      // uncounted frames land on the same codes.
+      simd::SimdFaQuantizePass qp;
+      qp.llr = llr.data();
+      qp.out = stage_.data();
+      qp.n = n;
+      qp.fscale = static_cast<float>(1 << posterior.frac_bits);
+      qp.fhi = static_cast<float>(posterior.max_code()) + 1.0F;
+      qp.flo = static_cast<float>(posterior.min_code()) - 1.0F;
+      quantize_(qp);
       for (std::size_t v = 0; v < n; ++v) {
-        float s = llr[v] * fscale;
-        s = s != s ? 0.0F : s;
-        s = s > fhi ? fhi : s;
-        s = s < flo ? flo : s;
-        // trunc(d + copysign(0.5, d)) == round_half_away(d): the cast
-        // truncates toward zero, so the negative arm ceil(d - 0.5) equals
-        // -floor(0.5 - d) — one conversion, no branch.
-        const double d = static_cast<double>(s);
-        const std::int32_t t =
-            static_cast<std::int32_t>(d + std::copysign(0.5, d));
-        const std::int32_t c =
-            t > rail_hi ? rail_hi : (t < rail_lo ? rail_lo : t);
-        stage_[v] = static_cast<std::int16_t>(c);
-      }
-      for (std::size_t v = 0; v < n; ++v) {
-        __builtin_prefetch(&p16_[(v + 16) * lanes_ + f], 1);
-        p16_[v * lanes_ + f] = stage_[v];
+        __builtin_prefetch(&p8_[(v + 16) * lanes_ + f], 1);
+        p8_[v * lanes_ + f] = stage_[v];
       }
     }
     q_clips_[f] = 0;
-    r_clips_[f] = 0;
     p_clips_[f] = 0;
     degenerate_[f] = 0;
     active_[f] = -1;
@@ -234,15 +225,14 @@ void SimdBatchDecoder::run_block(std::span<const BlockFrame> frames,
     res.hard_bits.resize(n);
     // Drain the lane's posterior signs 64 at a time: assembling a word
     // locally keeps the strided loads independent (no per-bit RMW chain)
-    // and set_word skips BitVec's per-bit bounds checks; the prefetch hides
-    // the per-line L2 latency of the stride-one-line column walk.
+    // and set_word skips BitVec's per-bit bounds checks.
     for (std::size_t w = 0; w < (n + 63) / 64; ++w) {
       const std::size_t base = w * 64;
       const std::size_t limit = std::min<std::size_t>(64, n - base);
       std::uint64_t bits = 0;
       for (std::size_t b = 0; b < limit; ++b) {
-        __builtin_prefetch(&p16_[(base + b + 16) * lanes_ + f], 0);
-        bits |= static_cast<std::uint64_t>(p16_[(base + b) * lanes_ + f] < 0)
+        __builtin_prefetch(&p8_[(base + b + 16) * lanes_ + f], 0);
+        bits |= static_cast<std::uint64_t>(p8_[(base + b) * lanes_ + f] < 0)
                 << b;
       }
       res.hard_bits.set_word(w, bits);
@@ -254,7 +244,7 @@ void SimdBatchDecoder::run_block(std::span<const BlockFrame> frames,
     res.simd_fallback = SimdFallback::kNone;
     SaturationStats& sat = saturation[g];
     sat.q_clips = q_clips_[f];
-    sat.r_clips = r_clips_[f];
+    sat.r_clips = 0;  // structurally zero for this family
     sat.p_clips = p_clips_[f];
     sat.datapath_clips = sat.q_clips + sat.r_clips + sat.p_clips;
     sat.degenerate_checks = degenerate_[f];
@@ -274,10 +264,25 @@ void SimdBatchDecoder::run_block(std::span<const BlockFrame> frames,
 
     for (std::uint32_t f = 0; f < lanes_; ++f)
       if (lane_[f].frame != kIdleLane) {
-        ++lane_[f].iter;
+        Lane& lane = lane_[f];
+        ++lane.iter;
         // First iteration of a refilled lane: its R column is stale memory
         // and must read as 0 (the kernel masks it via r_keep).
-        r_keep_[f] = lane_[f].iter == 1 ? std::int16_t{0} : std::int16_t{-1};
+        r_keep_[f] = lane.iter == 1 ? std::int8_t{0} : std::int8_t{-1};
+        // Refresh the lane's staircase column when its per-iteration table
+        // changes (iterations beyond the table count reuse the last one).
+        const std::size_t t = lane.iter - 1 < iter_tables_.size()
+                                  ? lane.iter - 1
+                                  : iter_tables_.size() - 1;
+        if (t != lane.table) {
+          lane.table = t;
+          const IterTable& it = iter_tables_[t];
+          recon0_lanes_[f] = it.recon0;
+          for (std::uint32_t k = 0; k < num_thr_; ++k) {
+            thr_lanes_[k * lanes_ + f] = it.thr[k];
+            delta_lanes_[k * lanes_ + f] = it.delta[k];
+          }
+        }
       }
 
     for (std::size_t l = 0; l < layers_.size() && live > 0; ++l) {
@@ -298,7 +303,7 @@ void SimdBatchDecoder::run_block(std::span<const BlockFrame> frames,
       pass.degenerate = blocks.size() < 2;
       pass_(pass);
       // A degree-1 layer forces R' = 0 on every one of its z rows, once
-      // per layer pass — same accounting as LayerRowKernel, per frame.
+      // per layer pass — same accounting as the scalar FaRowKernel.
       if (blocks.size() == 1)
         for (std::uint32_t f = 0; f < lanes_; ++f)
           if (active_[f] != 0) degenerate_[f] += z_;

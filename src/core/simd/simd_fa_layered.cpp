@@ -1,0 +1,284 @@
+#include "core/simd/simd_fa_layered.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "fault/fault_injector.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+
+namespace {
+
+/// Int8 stride granularity: at least 16 (one layout covers the 16-lane
+/// tiers), or the tier's own int8 lane count when wider (AVX2 32,
+/// AVX-512 64 — z = 96 pads to 128 for the 64-lane tier).
+constexpr std::uint32_t pad_for8(std::uint32_t z, simd::SimdTier tier) {
+  const std::uint32_t lanes = std::max(16U, simd::tier_lanes8(tier));
+  return (z + lanes - 1) & ~(lanes - 1);
+}
+
+}  // namespace
+
+SimdFaLayeredDecoder::SimdFaLayeredDecoder(const QCLdpcCode& code,
+                                           DecoderOptions options,
+                                           int msg_bits,
+                                           float design_ebn0_db,
+                                           std::optional<simd::SimdTier> tier)
+    : code_(code),
+      options_(options),
+      tier_(tier.value_or(simd::best_tier())),
+      pass_(simd::fa_layer_pass_for(tier_)),
+      quantize_(simd::fa_quantize_pass_for(tier_)) {
+  // The scalar twin builds (and owns) the MIM tables and runs the same
+  // option validation.
+  scalar_ = std::make_unique<LayeredMinSumFaDecoder>(code, options, msg_bits,
+                                                     design_ebn0_db);
+  const FaTableSet& ts = scalar_->tables();
+  num_thr_ = static_cast<std::uint32_t>(ts.levels - 1);
+  iter_tables_.reserve(ts.tables.size());
+  for (const FaCnTable& t : ts.tables) {
+    IterTable it{};
+    it.recon0 = t.recon[0];
+    for (std::uint32_t k = 0; k < num_thr_; ++k) {
+      it.thr[k] = t.thr[k];
+      // Deltas are nonnegative (recon is nondecreasing) and every prefix
+      // sum recon0 + delta[0..k] = recon[k+1] <= 127: the kernel's
+      // wrapping add8 staircase cannot overflow.
+      it.delta[k] = static_cast<std::int8_t>(t.recon[k + 1] - t.recon[k]);
+    }
+    iter_tables_.push_back(it);
+  }
+  std::size_t max_deg = 0;
+  for (const auto& layer : code_.layers())
+    max_deg = std::max(max_deg, layer.size());
+  // pos1 lanes hold the block index as an int8: delegate the (absurd)
+  // degree >= 128 case to the scalar twin instead of mis-decoding.
+  force_scalar_ = max_deg >= 128;
+  init_geometry();
+}
+
+void SimdFaLayeredDecoder::init_geometry() {
+  z_ = static_cast<std::uint32_t>(code_.z());
+  z_pad_ = pad_for8(z_, tier_);
+  std::size_t max_deg = 0;
+  gather_.reserve(code_.layers().size());
+  r_base_.reserve(code_.layers().size());
+  for (const auto& layer : code_.layers()) {
+    std::vector<GatherBlock> gs;
+    std::vector<std::uint32_t> rb;
+    gs.reserve(layer.size());
+    rb.reserve(layer.size());
+    for (const auto& blk : layer) {
+      gs.push_back({blk.block_col * z_, blk.shift % z_});
+      rb.push_back(blk.r_slot * z_pad_);
+    }
+    max_deg = std::max(max_deg, layer.size());
+    gather_.push_back(std::move(gs));
+    r_base_.push_back(std::move(rb));
+  }
+  posterior8_.resize(code_.n());
+  r8_.resize(code_.base().nonzero_blocks() * static_cast<std::size_t>(z_pad_));
+  p_scratch_.resize(max_deg * z_pad_);
+  q_scratch_.resize(max_deg * z_pad_);
+}
+
+bool SimdFaLayeredDecoder::must_use_scalar() const {
+  return force_scalar_ ||
+         (options_.fault_injector && options_.fault_injector->enabled());
+}
+
+SaturationStats SimdFaLayeredDecoder::saturation() const {
+  return last_used_scalar_ ? scalar_->saturation() : saturation_;
+}
+
+void SimdFaLayeredDecoder::set_cancel_token(const CancelToken* token) {
+  cancel_ = token;
+  scalar_->set_cancel_token(token);
+}
+
+DecodeResult SimdFaLayeredDecoder::decode(std::span<const float> llr) {
+  LDPC_CHECK(llr.size() == code_.n());
+  if (must_use_scalar()) {
+    last_used_scalar_ = true;
+    DecodeResult result = scalar_->decode(llr);
+    result.simd_fallback = force_scalar_ ? SimdFallback::kWideFormat
+                                         : SimdFallback::kFaultInjector;
+    last_fallback_ = result.simd_fallback;
+    return result;
+  }
+  last_used_scalar_ = false;
+  last_fallback_ = SimdFallback::kNone;
+  saturation_.quantizer_clips = 0;
+  const FixedFormat posterior = scalar_->tables().posterior;
+  if (options_.count_saturation) {
+    for (std::size_t v = 0; v < llr.size(); ++v)
+      posterior8_[v] = static_cast<std::int8_t>(
+          fa_quantize(posterior, llr[v], saturation_.quantizer_clips));
+  } else {
+    // The tier's vector quantize kernel writes the contiguous posterior
+    // directly; bit-identical to fa_quantize (see SimdFaQuantizePass).
+    simd::SimdFaQuantizePass qp;
+    qp.llr = llr.data();
+    qp.out = posterior8_.data();
+    qp.n = llr.size();
+    qp.fscale = static_cast<float>(1 << posterior.frac_bits);
+    qp.fhi = static_cast<float>(posterior.max_code()) + 1.0F;
+    qp.flo = static_cast<float>(posterior.min_code()) - 1.0F;
+    quantize_(qp);
+  }
+  return run();
+}
+
+DecodeResult SimdFaLayeredDecoder::decode_quantized(
+    std::span<const std::int32_t> channel_codes) {
+  LDPC_CHECK(channel_codes.size() == code_.n());
+  bool lanes_ok = !must_use_scalar();
+  if (lanes_ok) {
+    // The lane kernel's invariants hold only on the symmetric rail; the
+    // scalar twin accepts arbitrary int32 codes.
+    for (const std::int32_t c : channel_codes) {
+      if (c < -kFaRail || c > kFaRail) {
+        lanes_ok = false;
+        break;
+      }
+    }
+  }
+  if (!lanes_ok) {
+    last_used_scalar_ = true;
+    DecodeResult result = scalar_->decode_quantized(channel_codes);
+    result.simd_fallback = must_use_scalar()
+                               ? (force_scalar_ ? SimdFallback::kWideFormat
+                                                : SimdFallback::kFaultInjector)
+                               : SimdFallback::kOutOfRailInput;
+    last_fallback_ = result.simd_fallback;
+    return result;
+  }
+  last_used_scalar_ = false;
+  last_fallback_ = SimdFallback::kNone;
+  for (std::size_t v = 0; v < channel_codes.size(); ++v)
+    posterior8_[v] = static_cast<std::int8_t>(channel_codes[v]);
+  return run();
+}
+
+DecodeResult SimdFaLayeredDecoder::run() {
+  std::fill(r8_.begin(), r8_.end(), std::int8_t{0});
+  saturation_.datapath_clips = 0;
+  saturation_.q_clips = 0;
+  saturation_.r_clips = 0;  // structurally zero for this family
+  saturation_.p_clips = 0;
+  saturation_.degenerate_checks = 0;
+  WatchdogState watchdog(options_.watchdog);
+  bool watchdog_fired = false;
+  bool cancelled = false;
+
+  DecodeResult result;
+  result.hard_bits.resize(code_.n());
+  BitVec previous_hard;
+  if (options_.observer) previous_hard.resize(code_.n());
+
+  simd::SimdFaLayerPass pass;
+  pass.p = p_scratch_.data();
+  pass.q = q_scratch_.data();
+  pass.r = r8_.data();
+  pass.z_pad = z_pad_;
+  pass.num_thr = num_thr_;
+  pass.count_clips = options_.count_saturation;
+  pass.stats = &saturation_;
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    const std::size_t t_idx =
+        iter - 1 < iter_tables_.size() ? iter - 1 : iter_tables_.size() - 1;
+    const IterTable& it = iter_tables_[t_idx];
+    pass.thr = it.thr;
+    pass.delta = it.delta;
+    pass.recon0 = it.recon0;
+
+    for (std::size_t l = 0; l < gather_.size(); ++l) {
+      if (cancel_ && cancel_->expired()) {
+        cancelled = true;
+        break;
+      }
+      const auto& gs = gather_[l];
+      const auto deg = static_cast<std::uint32_t>(gs.size());
+      if (deg == 0) continue;
+
+      // Barrel-shift gather with zeroed padding lanes.
+      for (std::uint32_t j = 0; j < deg; ++j) {
+        const std::int8_t* src = posterior8_.data() + gs[j].p_base;
+        std::int8_t* dst = p_scratch_.data() + j * z_pad_;
+        const std::uint32_t shift = gs[j].shift;
+        std::memcpy(dst, src + shift, z_ - shift);
+        std::memcpy(dst + (z_ - shift), src, shift);
+        std::memset(dst + z_, 0, z_pad_ - z_);
+      }
+
+      pass.r_base = r_base_[l].data();
+      pass.deg = deg;
+      pass.degenerate = deg < 2;
+      pass_(pass);
+      if (deg < 2) saturation_.degenerate_checks += z_;
+
+      // Restore the all-zero-pad R invariant: the pass wrote +recon0 into
+      // the pad lanes of every touched slot (zero rows have positive sign
+      // product); zero them so the next layer that reads these slots sees
+      // clip-free padding again.
+      if (z_pad_ != z_) {
+        for (std::uint32_t j = 0; j < deg; ++j)
+          std::memset(r8_.data() + r_base_[l][j] + z_, 0, z_pad_ - z_);
+      }
+
+      // Scatter: inverse rotation back into natural variable order.
+      for (std::uint32_t j = 0; j < deg; ++j) {
+        const std::int8_t* src = p_scratch_.data() + j * z_pad_;
+        std::int8_t* dst = posterior8_.data() + gs[j].p_base;
+        const std::uint32_t shift = gs[j].shift;
+        std::memcpy(dst + shift, src, z_ - shift);
+        std::memcpy(dst, src + (z_ - shift), shift);
+      }
+    }
+
+    for (std::size_t v = 0; v < code_.n(); ++v)
+      result.hard_bits.set(v, posterior8_[v] < 0);
+    const bool want_weight =
+        static_cast<bool>(options_.observer) || options_.watchdog.enabled();
+    std::size_t weight = 0;
+    if (want_weight) weight = code_.syndrome_weight(result.hard_bits);
+    if (options_.observer) {
+      IterationSnapshot snap;
+      snap.iteration = iter;
+      snap.syndrome_weight = weight;
+      double sum = 0.0;
+      const FixedFormat posterior = scalar_->tables().posterior;
+      for (const std::int8_t p : posterior8_)
+        sum += std::abs(static_cast<double>(posterior.dequantize(p)));
+      snap.mean_abs_llr = sum / static_cast<double>(code_.n());
+      snap.flipped_bits = result.hard_bits.hamming_distance(previous_hard);
+      snap.saturation_clips =
+          saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
+      previous_hard = result.hard_bits;
+      options_.observer(snap);
+    }
+    if (options_.early_termination &&
+        (want_weight ? weight == 0 : code_.parity_ok(result.hard_bits))) {
+      result.converged = true;
+      break;
+    }
+    if (cancelled) break;
+    if (options_.watchdog.enabled() && watchdog.should_abort(weight)) {
+      watchdog_fired = true;
+      break;
+    }
+  }
+
+  if (!result.converged) result.converged = code_.parity_ok(result.hard_bits);
+  saturation_.datapath_clips =
+      saturation_.q_clips + saturation_.r_clips + saturation_.p_clips;
+  result.status =
+      classify_exit(result.converged, watchdog_fired, 0, cancelled);
+  return result;
+}
+
+}  // namespace ldpc

@@ -170,12 +170,133 @@ struct SimdBatchSyndromePass {
 using BatchLayerPassFn = void (*)(const SimdBatchLayerPass&);
 using BatchSyndromePassFn = void (*)(const SimdBatchSyndromePass&);
 
+// ---------------------------------------------------------------------------
+// Finite-alphabet int8 kernels (fa2/fa3/fa4, see core/fa_tables.hpp): same
+// two shapes as the int16 kernels — z-lane layer pass and inter-frame-
+// batched pass — at twice the lane density (int8 lanes: portable/SSE2 16,
+// AVX2 32, AVX-512 64). The datapath lives on the symmetric [-127, +127]
+// rail, so abs/negate of any value is representable; the check-message
+// magnitude is a staircase lookup, vectorized as
+//   recon = recon0 + sum_t (mag > thr[t] ? delta[t] : 0)
+// with delta[t] = recon[t+1] - recon[t] >= 0 and every partial sum <= 127
+// (the reconstruction levels are nondecreasing), so the adds cannot wrap.
+// The staircase output is always in-alphabet: R' needs no clamp and
+// r_clips is structurally zero for this family (matching the scalar
+// FaRowKernel). Saturation lives at the Q = P - R and P' = Q + R' sites,
+// computed with saturating int8 ops re-railed to -127; in counted mode the
+// exact clip predicate is recovered from the saturating/wrapping pair:
+//   clip  <=>  subs8(a,b) != sub8(a,b)  or  sub8(a,b) == -128
+// (true exactly when the exact result falls outside [-127, +127]).
+// ---------------------------------------------------------------------------
+
+/// Lanes per vector step of a tier in the int8 FA kernels — twice
+/// tier_lanes() on the x86 tiers, and the padding granularity of the FA
+/// z-lane layout.
+constexpr std::uint32_t tier_lanes8(SimdTier t) {
+  switch (t) {
+    case SimdTier::kPortable: return 16;
+    case SimdTier::kSse2:     return 16;
+    case SimdTier::kAvx2:     return 32;
+    case SimdTier::kAvx512:   return 64;
+  }
+  return 16;
+}
+
+/// Maximum staircase thresholds any FA pass carries (fa4: 8 levels - 1).
+inline constexpr std::uint32_t kFaMaxThresholds = 7;
+
+/// One layer's worth of the z-lane finite-alphabet kernel. Same geometry
+/// as SimdLayerPass with int8 storage; `z_pad` is z rounded up to a
+/// multiple of the tier's int8 lane count. Padding lanes hold zeros on
+/// entry; the pass writes +recon0 into pad R lanes (sign product of zero
+/// is positive) — the caller re-zeroes the touched slots' pad lanes after
+/// the pass, preserving the all-zero-pad invariant and keeping pad lanes
+/// provably clip-free (P'_pad = recon0 <= 127).
+struct SimdFaLayerPass {
+  std::int8_t* p;              ///< deg * z_pad gathered posteriors (in/out)
+  std::int8_t* q;              ///< deg * z_pad Q scratch
+  std::int8_t* r;              ///< R memory base, stride z_pad per slot
+  const std::uint32_t* r_base; ///< deg offsets into `r` (multiples of z_pad)
+  std::uint32_t deg;           ///< non-zero blocks in this layer (< 128)
+  std::uint32_t z_pad;         ///< z rounded up to the int8 lane count
+  const std::int8_t* thr;      ///< num_thr staircase thresholds (this iter)
+  const std::int8_t* delta;    ///< num_thr recon deltas, all >= 0
+  std::int8_t recon0;          ///< recon[0] (lowest reconstruction level)
+  std::uint32_t num_thr;       ///< levels - 1, <= kFaMaxThresholds
+  bool degenerate;             ///< deg < 2: force R' = 0
+  bool count_clips;            ///< accumulate q/p saturation into *stats
+  SaturationStats* stats;      ///< q_clips/p_clips only; r_clips untouched
+};
+
+/// One layer of the inter-frame-batched finite-alphabet kernel: z serial
+/// check rows, F = tier_lanes8 frames in lanes, lane-major arrays exactly
+/// like SimdBatchLayerPass. Lanes may sit at different decode iterations,
+/// so the staircase tables are per-lane rows: thr_lanes/delta_lanes hold
+/// num_thr rows of F lanes each and recon0_lanes one row (the decoder
+/// refreshes a lane's column when its iteration changes).
+struct SimdFaBatchLayerPass {
+  std::int8_t* p;              ///< n rows * F lanes posteriors (in/out)
+  std::int8_t* q;              ///< deg * F Q scratch (one row at a time)
+  std::int8_t* r;              ///< R memory, nonzero_blocks * z rows * F
+  const BatchBlock* blocks;    ///< deg block descriptors
+  std::uint32_t deg;           ///< non-zero blocks in this layer (< 128)
+  std::uint32_t z;             ///< circulant size (serial row count)
+  const std::int8_t* active;   ///< F lane mask, -1 = live frame, 0 = idle
+  const std::int8_t* r_keep;   ///< F lane mask, 0 = first-iteration lane
+  const std::int8_t* thr_lanes;    ///< num_thr rows * F per-lane thresholds
+  const std::int8_t* delta_lanes;  ///< num_thr rows * F per-lane deltas
+  const std::int8_t* recon0_lanes; ///< F per-lane recon[0]
+  std::uint32_t num_thr;       ///< levels - 1 (max over live lanes' formats)
+  bool degenerate;             ///< deg < 2: force R' = 0
+  bool count_clips;            ///< accumulate per-lane clip counters
+  /// Per-lane clip accumulators, F entries each (used iff count_clips).
+  /// No r_clips: the staircase output is in-alphabet by construction.
+  long long* q_clips;
+  long long* p_clips;
+};
+
+/// Per-lane syndrome accumulation for one layer, int8 posteriors. Same
+/// contract as SimdBatchSyndromePass.
+struct SimdFaBatchSyndromePass {
+  const std::int8_t* p;        ///< n rows * F lanes posteriors
+  const BatchBlock* blocks;    ///< deg block descriptors
+  std::uint32_t deg;
+  std::uint32_t z;
+  std::int32_t* weight;        ///< F accumulators (+= per-lane unsat rows)
+};
+
+/// Vectorized channel quantizer for the finite-alphabet decoders: contiguous
+/// float LLRs -> contiguous int8 codes on the symmetric +-127 rail,
+/// bit-identical to scalar fa_quantize (uncounted). The pre-limit keeps
+/// |scaled| <= rail + 2 < 2^8, where every float ulp is 2^-16 or finer, so
+/// adding copysign(0.5, s) is exact in float and truncating the sum is
+/// exactly round-half-away — the double round of the scalar path is not
+/// needed. Frame setup is a measurable slice of batched decode time, hence
+/// a dispatched kernel rather than a loop the autovectorizer may miss.
+struct SimdFaQuantizePass {
+  const float* llr;   ///< n channel LLRs
+  std::int8_t* out;   ///< n codes, contiguous
+  std::size_t n;
+  float fscale;       ///< 1 << posterior.frac_bits
+  float fhi;          ///< posterior.max_code() + 1 (pre-limit, not the rail)
+  float flo;          ///< posterior.min_code() - 1
+};
+
+using FaLayerPassFn = void (*)(const SimdFaLayerPass&);
+using FaBatchLayerPassFn = void (*)(const SimdFaBatchLayerPass&);
+using FaBatchSyndromePassFn = void (*)(const SimdFaBatchSyndromePass&);
+using FaQuantizePassFn = void (*)(const SimdFaQuantizePass&);
+
 /// Kernel entry points. The portable tier is always compiled; the x86
 /// tiers exist only when CMake enabled LDPC_SIMD on an x86-64 target
 /// (dispatch gates every reference behind the same macro).
 void layer_pass_portable(const SimdLayerPass& pass);
 void batch_layer_pass_portable(const SimdBatchLayerPass& pass);
 void batch_syndrome_pass_portable(const SimdBatchSyndromePass& pass);
+void fa_layer_pass_portable(const SimdFaLayerPass& pass);
+void fa_batch_layer_pass_portable(const SimdFaBatchLayerPass& pass);
+void fa_batch_syndrome_pass_portable(const SimdFaBatchSyndromePass& pass);
+void fa_quantize_pass_portable(const SimdFaQuantizePass& pass);
 #ifdef LDPC_SIMD_X86
 void layer_pass_sse2(const SimdLayerPass& pass);
 void layer_pass_avx2(const SimdLayerPass& pass);
@@ -186,6 +307,18 @@ void batch_layer_pass_avx512(const SimdBatchLayerPass& pass);
 void batch_syndrome_pass_sse2(const SimdBatchSyndromePass& pass);
 void batch_syndrome_pass_avx2(const SimdBatchSyndromePass& pass);
 void batch_syndrome_pass_avx512(const SimdBatchSyndromePass& pass);
+void fa_layer_pass_sse2(const SimdFaLayerPass& pass);
+void fa_layer_pass_avx2(const SimdFaLayerPass& pass);
+void fa_layer_pass_avx512(const SimdFaLayerPass& pass);
+void fa_batch_layer_pass_sse2(const SimdFaBatchLayerPass& pass);
+void fa_batch_layer_pass_avx2(const SimdFaBatchLayerPass& pass);
+void fa_batch_layer_pass_avx512(const SimdFaBatchLayerPass& pass);
+void fa_batch_syndrome_pass_sse2(const SimdFaBatchSyndromePass& pass);
+void fa_batch_syndrome_pass_avx2(const SimdFaBatchSyndromePass& pass);
+void fa_batch_syndrome_pass_avx512(const SimdFaBatchSyndromePass& pass);
+void fa_quantize_pass_sse2(const SimdFaQuantizePass& pass);
+void fa_quantize_pass_avx2(const SimdFaQuantizePass& pass);
+void fa_quantize_pass_avx512(const SimdFaQuantizePass& pass);
 #endif
 
 /// True when `tier` is both compiled in and supported by this CPU.
@@ -200,6 +333,12 @@ LayerPassFn layer_pass_for(SimdTier tier);
 /// Batched kernels for a specific tier; throw ldpc::Error if unavailable.
 BatchLayerPassFn batch_layer_pass_for(SimdTier tier);
 BatchSyndromePassFn batch_syndrome_pass_for(SimdTier tier);
+
+/// Finite-alphabet int8 kernels for a specific tier; throw if unavailable.
+FaLayerPassFn fa_layer_pass_for(SimdTier tier);
+FaBatchLayerPassFn fa_batch_layer_pass_for(SimdTier tier);
+FaBatchSyndromePassFn fa_batch_syndrome_pass_for(SimdTier tier);
+FaQuantizePassFn fa_quantize_pass_for(SimdTier tier);
 
 /// Best available tier, honouring an LDPC_SIMD_TIER environment override.
 /// An override naming a *known but unavailable* tier (e.g. avx512 on a CPU

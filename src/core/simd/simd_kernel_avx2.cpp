@@ -3,6 +3,7 @@
 // and only ever dispatched to after a runtime __builtin_cpu_supports
 // check, so the library binary stays safe on pre-AVX2 hosts.
 #include "core/simd/simd_kernel_impl.hpp"
+#include "core/simd/simd_kernel_impl8.hpp"
 
 #ifdef LDPC_SIMD_X86
 
@@ -54,6 +55,37 @@ struct Avx2Ops {
   }
 };
 
+/// Int8 lane policy for the finite-alphabet kernels: 32 int8 lanes per
+/// __m256i — double the int16 lane density of Avx2Ops.
+struct Avx2Ops8 {
+  static constexpr int kLanes = 32;
+  using Vec = __m256i;
+
+  static Vec load(const std::int8_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::int8_t* p, Vec a) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a);
+  }
+  static Vec broadcast(std::int8_t x) {
+    return _mm256_set1_epi8(static_cast<char>(x));
+  }
+  static Vec zero() { return _mm256_setzero_si256(); }
+  static Vec add8(Vec a, Vec b) { return _mm256_add_epi8(a, b); }
+  static Vec sub8(Vec a, Vec b) { return _mm256_sub_epi8(a, b); }
+  static Vec adds8(Vec a, Vec b) { return _mm256_adds_epi8(a, b); }
+  static Vec subs8(Vec a, Vec b) { return _mm256_subs_epi8(a, b); }
+  static Vec min8(Vec a, Vec b) { return _mm256_min_epi8(a, b); }
+  static Vec max8(Vec a, Vec b) { return _mm256_max_epi8(a, b); }
+  static Vec cmpgt8(Vec a, Vec b) { return _mm256_cmpgt_epi8(a, b); }
+  static Vec cmpeq8(Vec a, Vec b) { return _mm256_cmpeq_epi8(a, b); }
+  static Vec blend(Vec m, Vec a, Vec b) { return _mm256_blendv_epi8(b, a, m); }
+  static Vec abs8(Vec a) { return _mm256_abs_epi8(a); }
+  static Vec xor_(Vec a, Vec b) { return _mm256_xor_si256(a, b); }
+  static Vec or_(Vec a, Vec b) { return _mm256_or_si256(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm256_and_si256(a, b); }
+};
+
 }  // namespace
 
 void layer_pass_avx2(const SimdLayerPass& pass) {
@@ -72,6 +104,55 @@ void batch_layer_pass_avx2(const SimdBatchLayerPass& pass) {
 
 void batch_syndrome_pass_avx2(const SimdBatchSyndromePass& pass) {
   detail::batch_syndrome_pass<Avx2Ops>(pass);
+}
+
+void fa_layer_pass_avx2(const SimdFaLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_layer_pass<Avx2Ops8, true>(pass);
+  else
+    detail::fa_layer_pass<Avx2Ops8, false>(pass);
+}
+
+void fa_batch_layer_pass_avx2(const SimdFaBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_batch_layer_pass<Avx2Ops8, true>(pass);
+  else
+    detail::fa_batch_layer_pass<Avx2Ops8, false>(pass);
+}
+
+void fa_batch_syndrome_pass_avx2(const SimdFaBatchSyndromePass& pass) {
+  detail::fa_batch_syndrome_pass<Avx2Ops8>(pass);
+}
+
+void fa_quantize_pass_avx2(const SimdFaQuantizePass& pass) {
+  // 16 LLRs per step: two 8-wide float pipelines; packs_epi32 interleaves
+  // the 128-bit halves, fixed by one permute4x64 before the final int8
+  // pack. The +-127 clamp runs on int16, before the saturating pack.
+  const __m256 vscale = _mm256_set1_ps(pass.fscale);
+  const __m256 vhi = _mm256_set1_ps(pass.fhi);
+  const __m256 vlo = _mm256_set1_ps(pass.flo);
+  const __m256 vhalf = _mm256_set1_ps(0.5F);
+  const __m256 vsign = _mm256_set1_ps(-0.0F);
+  const __m256i vrail = _mm256_set1_epi16(127);
+  const __m256i vnrail = _mm256_set1_epi16(-127);
+  const auto quant8 = [&](std::size_t v) {
+    __m256 s = _mm256_mul_ps(_mm256_loadu_ps(pass.llr + v), vscale);
+    s = _mm256_and_ps(s, _mm256_cmp_ps(s, s, _CMP_ORD_Q));  // NaN -> 0
+    s = _mm256_min_ps(_mm256_max_ps(s, vlo), vhi);
+    const __m256 half = _mm256_or_ps(vhalf, _mm256_and_ps(s, vsign));
+    return _mm256_cvttps_epi32(_mm256_add_ps(s, half));
+  };
+  std::size_t v = 0;
+  for (; v + 16 <= pass.n; v += 16) {
+    __m256i w = _mm256_packs_epi32(quant8(v), quant8(v + 8));
+    w = _mm256_permute4x64_epi64(w, 0xD8);  // undo the 128-lane interleave
+    w = _mm256_max_epi16(_mm256_min_epi16(w, vrail), vnrail);
+    const __m128i lo = _mm256_castsi256_si128(w);
+    const __m128i hi = _mm256_extracti128_si256(w, 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(pass.out + v),
+                     _mm_packs_epi16(lo, hi));
+  }
+  detail::fa_quantize_scalar(pass, v);
 }
 
 }  // namespace ldpc::simd

@@ -11,6 +11,7 @@
 // masks are all-ones per lane, a bitwise ternary-logic select (0xCA =
 // m ? a : b) replaces the mask-register blend with no conversion at all.
 #include "core/simd/simd_kernel_impl.hpp"
+#include "core/simd/simd_kernel_impl8.hpp"
 
 #ifdef LDPC_SIMD_X86
 
@@ -66,6 +67,52 @@ struct Avx512Ops {
   }
 };
 
+/// Int8 lane policy for the finite-alphabet kernels: 64 int8 lanes per
+/// __m512i — one vector per 64-frame batch row is exactly one cache line.
+/// Comparisons expand their __mmask64 through vpmovm2b; blend stays the
+/// all-ones-mask ternary-logic select, byte-exact.
+struct Avx512Ops8 {
+  static constexpr int kLanes = 64;
+  using Vec = __m512i;
+
+  static Vec load(const std::int8_t* p) {
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+  }
+  static void store(std::int8_t* p, Vec a) {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), a);
+  }
+  static Vec broadcast(std::int8_t x) {
+    return _mm512_set1_epi8(static_cast<char>(x));
+  }
+  static Vec zero() { return _mm512_setzero_si512(); }
+  static Vec add8(Vec a, Vec b) { return _mm512_add_epi8(a, b); }
+  static Vec sub8(Vec a, Vec b) { return _mm512_sub_epi8(a, b); }
+  static Vec adds8(Vec a, Vec b) { return _mm512_adds_epi8(a, b); }
+  static Vec subs8(Vec a, Vec b) { return _mm512_subs_epi8(a, b); }
+  static Vec min8(Vec a, Vec b) { return _mm512_min_epi8(a, b); }
+  static Vec max8(Vec a, Vec b) { return _mm512_max_epi8(a, b); }
+  static Vec cmpgt8(Vec a, Vec b) {
+    return _mm512_movm_epi8(_mm512_cmpgt_epi8_mask(a, b));
+  }
+  static Vec cmpeq8(Vec a, Vec b) {
+    return _mm512_movm_epi8(_mm512_cmpeq_epi8_mask(a, b));
+  }
+  static Vec blend(Vec m, Vec a, Vec b) {
+    return _mm512_ternarylogic_epi32(m, a, b, 0xCA);
+  }
+  static Vec abs8(Vec a) { return _mm512_abs_epi8(a); }
+  static Vec xor_(Vec a, Vec b) { return _mm512_xor_si512(a, b); }
+  static Vec or_(Vec a, Vec b) { return _mm512_or_si512(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm512_and_si512(a, b); }
+  static Vec staircase_add(Vec s, Vec mag, Vec thr, Vec delta) {
+    // One masked add replaces the generic cmpgt8 (vpcmpb + vpmovm2b),
+    // vpand, vpaddb chain: s + ((mag > thr) ? delta : 0) in two
+    // instructions, same value byte for byte.
+    return _mm512_mask_add_epi8(s, _mm512_cmpgt_epi8_mask(mag, thr), s,
+                                delta);
+  }
+};
+
 }  // namespace
 
 void layer_pass_avx512(const SimdLayerPass& pass) {
@@ -85,6 +132,58 @@ void batch_layer_pass_avx512(const SimdBatchLayerPass& pass) {
 void batch_syndrome_pass_avx512(const SimdBatchSyndromePass& pass) {
   detail::batch_syndrome_pass<Avx512Ops>(pass);
 }
+
+void fa_layer_pass_avx512(const SimdFaLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_layer_pass<Avx512Ops8, true>(pass);
+  else
+    detail::fa_layer_pass<Avx512Ops8, false>(pass);
+}
+
+void fa_batch_layer_pass_avx512(const SimdFaBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_batch_layer_pass<Avx512Ops8, true>(pass);
+  else
+    detail::fa_batch_layer_pass<Avx512Ops8, false>(pass);
+}
+
+void fa_batch_syndrome_pass_avx512(const SimdFaBatchSyndromePass& pass) {
+  detail::fa_batch_syndrome_pass<Avx512Ops8>(pass);
+}
+
+// GCC 12's unmasked AVX-512 float intrinsics expand through
+// _mm512_undefined_ps() merge operands, tripping -Wmaybe-uninitialized
+// (GCC PR 105593). The operands are dead — full-mask forms ignore them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+void fa_quantize_pass_avx512(const SimdFaQuantizePass& pass) {
+  // 16 LLRs per step: one 16-wide float pipeline, clamp on int32, narrow
+  // with vpmovdb. Float bit-ops go through integer casts — _mm512_and_ps
+  // is AVX-512DQ, which this build does not assume (only F + BW).
+  const __m512 vscale = _mm512_set1_ps(pass.fscale);
+  const __m512 vhi = _mm512_set1_ps(pass.fhi);
+  const __m512 vlo = _mm512_set1_ps(pass.flo);
+  const __m512i vhalf = _mm512_castps_si512(_mm512_set1_ps(0.5F));
+  const __m512i vsign = _mm512_castps_si512(_mm512_set1_ps(-0.0F));
+  const __m512i vrail = _mm512_set1_epi32(127);
+  const __m512i vnrail = _mm512_set1_epi32(-127);
+  std::size_t v = 0;
+  for (; v + 16 <= pass.n; v += 16) {
+    __m512 s = _mm512_mul_ps(_mm512_loadu_ps(pass.llr + v), vscale);
+    const __mmask16 ord = _mm512_cmp_ps_mask(s, s, _CMP_ORD_Q);
+    s = _mm512_maskz_mov_ps(ord, s);  // NaN -> 0
+    s = _mm512_min_ps(_mm512_max_ps(s, vlo), vhi);
+    const __m512i si = _mm512_castps_si512(s);
+    const __m512 half = _mm512_castsi512_ps(
+        _mm512_or_si512(vhalf, _mm512_and_si512(si, vsign)));
+    __m512i t = _mm512_cvttps_epi32(_mm512_add_ps(s, half));
+    t = _mm512_max_epi32(_mm512_min_epi32(t, vrail), vnrail);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(pass.out + v),
+                     _mm512_cvtepi32_epi8(t));
+  }
+  detail::fa_quantize_scalar(pass, v);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace ldpc::simd
 

@@ -1,0 +1,323 @@
+// Shared templated body of the int8 finite-alphabet SIMD passes — the
+// single source of truth for the vectorized FaRowKernel arithmetic. Each
+// kernel TU defines a LaneOps8 policy and instantiates the templates, so
+// all tiers execute the same operation sequence on different widths.
+//
+// LaneOps8 contract (Vec is a pack of kLanes int8 values):
+//   load/store (unaligned), broadcast, zero
+//   add8/sub8         wrapping int8
+//   adds8/subs8       saturating int8 (x86 semantics: clamp to [-128, 127])
+//   min8/max8         signed int8 (emulated via cmpgt+blend on SSE2)
+//   cmpgt8/cmpeq8     lane masks, all-ones where true
+//   blend(m, a, b)    m ? a : b, m a byte-lane mask
+//   abs8              |v| for v >= -127 (max8(v, 0 - v); inputs are railed)
+//   xor_/or_/and_     bitwise
+//
+// Width envelope: every value on the datapath lives on the symmetric
+// [-127, +127] rail (kFaRail), maintained by re-railing each saturating
+// op with max8(x, -127). abs/negate of any railed value is representable.
+// The exact clip predicate in counted mode is reconstructed from the
+// saturating/wrapping op pair:
+//   clip(a op b)  <=>  sat != wrap  or  wrap == -128
+// — `sat != wrap` catches every exact result outside [-128, 127], and
+// `wrap == -128` the two remaining cases (exact -128, which saturating
+// arithmetic preserves but the rail rejects, and exact +128, which wraps
+// to -128); together: exact result outside [-127, +127], the same
+// predicate the scalar FaRowKernel counts.
+//
+// The staircase reconstruction recon0 + sum_t (mag > thr[t]) * delta[t]
+// uses wrapping add8: the deltas are nonnegative and every partial sum is
+// a prefix of the nondecreasing reconstruction sequence, hence <= 127.
+// INT8_MAX (127) is the min1/min2 sentinel — with >= 2 in-rail absorbs the
+// (min1, min2, pos1) triple is identical to the scalar kernel's huge
+// sentinel: a first magnitude of 127 still leaves pos1 = 0 in both.
+#pragma once
+
+#include <cmath>
+
+#include "core/simd/simd_kernel.hpp"
+
+namespace ldpc::simd::detail {
+
+/// Scalar body of the FA channel quantizer, used by the portable tier and
+/// as the vector tiers' tail loop. Bit-identical to fa_quantize: the
+/// pre-limit keeps |s| <= rail + 2 < 2^8, where float ulp <= 2^-16, so
+/// s + copysign(0.5, s) is exact in float and its truncation is exactly
+/// round-half-away (the 127 below is kFaRail).
+inline void fa_quantize_scalar(const SimdFaQuantizePass& a, std::size_t v0) {
+  for (std::size_t v = v0; v < a.n; ++v) {
+    float s = a.llr[v] * a.fscale;
+    s = s != s ? 0.0F : s;
+    s = s > a.fhi ? a.fhi : s;
+    s = s < a.flo ? a.flo : s;
+    const std::int32_t t =
+        static_cast<std::int32_t>(s + std::copysign(0.5F, s));
+    const std::int32_t c = t > 127 ? 127 : (t < -127 ? -127 : t);
+    a.out[v] = static_cast<std::int8_t>(c);
+  }
+}
+
+/// Staircase lookup on a magnitude vector: thr/delta are pre-broadcast
+/// vectors (z-lane kernel) or per-lane rows loaded by the caller (batched).
+/// A policy may provide staircase_add(s, mag, thr, delta) to fuse the
+/// cmpgt8/and_/add8 step (AVX-512 does it in two masked instructions);
+/// the fallback composes the generic ops. Either way the step computes
+/// s + ((mag > thr) ? delta : 0) exactly.
+template <class Ops>
+inline typename Ops::Vec fa_staircase(typename Ops::Vec mag,
+                                      typename Ops::Vec recon0,
+                                      const typename Ops::Vec* thr,
+                                      const typename Ops::Vec* delta,
+                                      std::uint32_t num_thr) {
+  typename Ops::Vec s = recon0;
+  for (std::uint32_t t = 0; t < num_thr; ++t) {
+    if constexpr (requires { Ops::staircase_add(s, mag, thr[t], delta[t]); })
+      s = Ops::staircase_add(s, mag, thr[t], delta[t]);
+    else
+      s = Ops::add8(s, Ops::and_(Ops::cmpgt8(mag, thr[t]), delta[t]));
+  }
+  return s;
+}
+
+template <class Ops, bool kCount>
+void fa_layer_pass(const SimdFaLayerPass& a) {
+  using V = typename Ops::Vec;
+  const V zero = Ops::zero();
+  const V ones = Ops::broadcast(static_cast<std::int8_t>(-1));
+  const V rail_lo = Ops::broadcast(static_cast<std::int8_t>(-127));
+  const V wrap_min = Ops::broadcast(static_cast<std::int8_t>(-128));
+  const V sentinel = Ops::broadcast(static_cast<std::int8_t>(INT8_MAX));
+  const V recon0 = Ops::broadcast(a.recon0);
+  V thr[kFaMaxThresholds];
+  V delta[kFaMaxThresholds];
+  for (std::uint32_t t = 0; t < a.num_thr; ++t) {
+    thr[t] = Ops::broadcast(a.thr[t]);
+    delta[t] = Ops::broadcast(a.delta[t]);
+  }
+  long long clips_q = 0;
+  long long clips_p = 0;
+
+  for (std::uint32_t c = 0; c < a.z_pad; c += Ops::kLanes) {
+    // Per-chunk int8 clip-event accumulators: each stage contributes at
+    // most `deg` (< 128) events per lane, drained after each stage.
+    V cq = zero;
+    V cp = zero;
+    // Stage 1: Q = P - R (saturating, re-railed), min1/min2/pos1/sign.
+    V min1 = sentinel;
+    V min2 = sentinel;
+    V pos1 = zero;
+    V signs = zero;
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const V p = Ops::load(a.p + j * a.z_pad + c);
+      const V r = Ops::load(a.r + a.r_base[j] + c);
+      const V sat = Ops::subs8(p, r);
+      const V q = Ops::max8(sat, rail_lo);
+      if constexpr (kCount) {
+        const V wrap = Ops::sub8(p, r);
+        const V clip = Ops::or_(Ops::xor_(Ops::cmpeq8(sat, wrap), ones),
+                                Ops::cmpeq8(wrap, wrap_min));
+        cq = Ops::sub8(cq, clip);
+      }
+      Ops::store(a.q + j * a.z_pad + c, q);
+      const V mag = Ops::abs8(q);
+      const V lt1 = Ops::cmpgt8(min1, mag);  // mag < min1, strict
+      min2 = Ops::blend(lt1, min1, Ops::min8(min2, mag));
+      min1 = Ops::blend(lt1, mag, min1);
+      pos1 = Ops::blend(lt1, Ops::broadcast(static_cast<std::int8_t>(j)), pos1);
+      signs = Ops::xor_(signs, Ops::cmpgt8(zero, q));
+    }
+
+    // The staircase is a pure function of min1/min2 — hoisted per chunk,
+    // like the hardware's once-per-row magnitude correction.
+    const V s1 = a.degenerate
+                     ? zero
+                     : fa_staircase<Ops>(min1, recon0, thr, delta, a.num_thr);
+    const V s2 = a.degenerate
+                     ? zero
+                     : fa_staircase<Ops>(min2, recon0, thr, delta, a.num_thr);
+
+    // Stage 2: R' selection + sign (no clamp — in-alphabet by
+    // construction), P' = Q + R' saturating, re-railed.
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const V q = Ops::load(a.q + j * a.z_pad + c);
+      V r_new;
+      if (a.degenerate) {
+        r_new = zero;
+      } else {
+        const V eq =
+            Ops::cmpeq8(pos1, Ops::broadcast(static_cast<std::int8_t>(j)));
+        const V mag = Ops::blend(eq, s2, s1);
+        const V neg = Ops::xor_(signs, Ops::cmpgt8(zero, q));
+        r_new = Ops::blend(neg, Ops::sub8(zero, mag), mag);
+      }
+      Ops::store(a.r + a.r_base[j] + c, r_new);
+      const V sat = Ops::adds8(q, r_new);
+      const V p_new = Ops::max8(sat, rail_lo);
+      if constexpr (kCount) {
+        const V wrap = Ops::add8(q, r_new);
+        const V clip = Ops::or_(Ops::xor_(Ops::cmpeq8(sat, wrap), ones),
+                                Ops::cmpeq8(wrap, wrap_min));
+        cp = Ops::sub8(cp, clip);
+      }
+      Ops::store(a.p + j * a.z_pad + c, p_new);
+    }
+    if constexpr (kCount) {
+      std::int8_t tmp[Ops::kLanes];
+      Ops::store(tmp, cq);
+      for (int f = 0; f < Ops::kLanes; ++f) clips_q += tmp[f];
+      Ops::store(tmp, cp);
+      for (int f = 0; f < Ops::kLanes; ++f) clips_p += tmp[f];
+    }
+  }
+  if constexpr (kCount) {
+    a.stats->q_clips += clips_q;
+    a.stats->p_clips += clips_p;
+    // r_clips: structurally zero — the staircase output is in-alphabet.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inter-frame-batched finite-alphabet pass: frame f rides in lane f, the z
+// check rows run serially, arrays are lane-major with stride F (one vector
+// per row — at AVX-512 int8 width a row is one 64-byte cache line). Same
+// schedule as batch_layer_pass; the per-lane staircase tables are loaded
+// per pass from lane-major rows because lanes may sit at different decode
+// iterations. Clip events accumulate in int8 within one check row (each
+// stage <= deg < 128 events) and drain into the per-lane long long
+// accumulators once per row — counted mode is a test-path concern.
+// ---------------------------------------------------------------------------
+
+template <class Ops, bool kCount>
+void fa_batch_layer_pass(const SimdFaBatchLayerPass& a) {
+  using V = typename Ops::Vec;
+  constexpr std::uint32_t kF = Ops::kLanes;
+  const V zero = Ops::zero();
+  const V ones = Ops::broadcast(static_cast<std::int8_t>(-1));
+  const V rail_lo = Ops::broadcast(static_cast<std::int8_t>(-127));
+  const V wrap_min = Ops::broadcast(static_cast<std::int8_t>(-128));
+  const V sentinel = Ops::broadcast(static_cast<std::int8_t>(INT8_MAX));
+  const V active = Ops::load(a.active);
+  const V r_keep = Ops::load(a.r_keep);
+  const V recon0 = Ops::load(a.recon0_lanes);
+  V thr[kFaMaxThresholds];
+  V delta[kFaMaxThresholds];
+  for (std::uint32_t t = 0; t < a.num_thr; ++t) {
+    thr[t] = Ops::load(a.thr_lanes + t * kF);
+    delta[t] = Ops::load(a.delta_lanes + t * kF);
+  }
+
+  for (std::uint32_t row = 0; row < a.z; ++row) {
+    V cq = zero;
+    V cp = zero;
+    V min1 = sentinel;
+    V min2 = sentinel;
+    V pos1 = zero;
+    V signs = zero;
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const BatchBlock& b = a.blocks[j];
+      std::uint32_t rot = row + b.shift;
+      if (rot >= a.z) rot -= a.z;
+      // Same manual prefetch rationale as the int16 batched kernel; int8
+      // rows are half the bytes, so fetch a little further ahead.
+      __builtin_prefetch(
+          a.p + (static_cast<std::size_t>(b.p_base + rot) + 12) * kF, 1);
+      __builtin_prefetch(
+          a.r + (static_cast<std::size_t>(b.r_base + row) + 12) * kF, 1);
+      const V p = Ops::load(a.p + static_cast<std::size_t>(b.p_base + rot) * kF);
+      const V r = Ops::and_(
+          Ops::load(a.r + static_cast<std::size_t>(b.r_base + row) * kF),
+          r_keep);
+      const V sat = Ops::subs8(p, r);
+      const V q = Ops::max8(sat, rail_lo);
+      if constexpr (kCount) {
+        const V wrap = Ops::sub8(p, r);
+        const V clip = Ops::or_(Ops::xor_(Ops::cmpeq8(sat, wrap), ones),
+                                Ops::cmpeq8(wrap, wrap_min));
+        cq = Ops::sub8(cq, Ops::and_(active, clip));
+      }
+      Ops::store(a.q + j * kF, q);
+      const V mag = Ops::abs8(q);
+      const V lt1 = Ops::cmpgt8(min1, mag);
+      min2 = Ops::blend(lt1, min1, Ops::min8(min2, mag));
+      min1 = Ops::blend(lt1, mag, min1);
+      pos1 = Ops::blend(lt1, Ops::broadcast(static_cast<std::int8_t>(j)), pos1);
+      signs = Ops::xor_(signs, Ops::cmpgt8(zero, q));
+    }
+
+    const V s1 = a.degenerate
+                     ? zero
+                     : fa_staircase<Ops>(min1, recon0, thr, delta, a.num_thr);
+    const V s2 = a.degenerate
+                     ? zero
+                     : fa_staircase<Ops>(min2, recon0, thr, delta, a.num_thr);
+
+    for (std::uint32_t j = 0; j < a.deg; ++j) {
+      const BatchBlock& b = a.blocks[j];
+      std::uint32_t rot = row + b.shift;
+      if (rot >= a.z) rot -= a.z;
+      const V q = Ops::load(a.q + j * kF);
+      V r_new;
+      if (a.degenerate) {
+        r_new = zero;
+      } else {
+        const V eq =
+            Ops::cmpeq8(pos1, Ops::broadcast(static_cast<std::int8_t>(j)));
+        const V mag = Ops::blend(eq, s2, s1);
+        const V neg = Ops::xor_(signs, Ops::cmpgt8(zero, q));
+        r_new = Ops::blend(neg, Ops::sub8(zero, mag), mag);
+      }
+      Ops::store(a.r + static_cast<std::size_t>(b.r_base + row) * kF, r_new);
+      const V sat = Ops::adds8(q, r_new);
+      const V p_new = Ops::max8(sat, rail_lo);
+      if constexpr (kCount) {
+        const V wrap = Ops::add8(q, r_new);
+        const V clip = Ops::or_(Ops::xor_(Ops::cmpeq8(sat, wrap), ones),
+                                Ops::cmpeq8(wrap, wrap_min));
+        cp = Ops::sub8(cp, Ops::and_(active, clip));
+      }
+      Ops::store(a.p + static_cast<std::size_t>(b.p_base + rot) * kF, p_new);
+    }
+    if constexpr (kCount) {
+      std::int8_t tmp[kF];
+      Ops::store(tmp, cq);
+      for (std::uint32_t f = 0; f < kF; ++f) a.q_clips[f] += tmp[f];
+      Ops::store(tmp, cp);
+      for (std::uint32_t f = 0; f < kF; ++f) a.p_clips[f] += tmp[f];
+    }
+  }
+}
+
+/// Per-lane syndrome contribution of one layer, int8 posteriors. Row
+/// counts accumulate in int8 (capped at 64 rows per drain so the count
+/// cannot reach the int8 rail) and widen into the int32 per-lane weights.
+template <class Ops>
+void fa_batch_syndrome_pass(const SimdFaBatchSyndromePass& a) {
+  using V = typename Ops::Vec;
+  constexpr std::uint32_t kF = Ops::kLanes;
+  const V zero = Ops::zero();
+  std::uint32_t row = 0;
+  while (row < a.z) {
+    const std::uint32_t chunk_end =
+        row + 64 < a.z ? row + 64 : a.z;  // <= 64 rows per int8 drain
+    V w = zero;
+    for (; row < chunk_end; ++row) {
+      V acc = zero;
+      for (std::uint32_t j = 0; j < a.deg; ++j) {
+        const BatchBlock& b = a.blocks[j];
+        std::uint32_t rot = row + b.shift;
+        if (rot >= a.z) rot -= a.z;
+        __builtin_prefetch(
+            a.p + (static_cast<std::size_t>(b.p_base + rot) + 12) * kF, 0);
+        const V p =
+            Ops::load(a.p + static_cast<std::size_t>(b.p_base + rot) * kF);
+        acc = Ops::xor_(acc, Ops::cmpgt8(zero, p));
+      }
+      w = Ops::sub8(w, acc);  // acc all-ones exactly in unsatisfied lanes
+    }
+    std::int8_t tmp[kF];
+    Ops::store(tmp, w);
+    for (std::uint32_t f = 0; f < kF; ++f) a.weight[f] += tmp[f];
+  }
+}
+
+}  // namespace ldpc::simd::detail

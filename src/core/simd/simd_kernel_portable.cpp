@@ -4,6 +4,7 @@
 // shot at emitting vector code anyway. Arithmetic is bit-identical to the
 // x86 tiers by construction: all three instantiate the same template.
 #include "core/simd/simd_kernel_impl.hpp"
+#include "core/simd/simd_kernel_impl8.hpp"
 
 #include <cstdint>
 
@@ -133,6 +134,109 @@ struct PortableOps {
   }
 };
 
+/// Int8 lane policy for the finite-alphabet kernels: 16 fixed-width lanes
+/// and plain loops, same autovectorizer-friendly shape as PortableOps.
+struct PortableOps8 {
+  static constexpr int kLanes = 16;
+  struct Vec {
+    std::int8_t v[kLanes];
+  };
+
+  static Vec load(const std::int8_t* p) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = p[i];
+    return r;
+  }
+  static void store(std::int8_t* p, Vec a) {
+    for (int i = 0; i < kLanes; ++i) p[i] = a.v[i];
+  }
+  static Vec broadcast(std::int8_t x) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = x;
+    return r;
+  }
+  static Vec zero() { return broadcast(0); }
+  static Vec add8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int8_t>(a.v[i] + b.v[i]);
+    return r;
+  }
+  static Vec sub8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int8_t>(a.v[i] - b.v[i]);
+    return r;
+  }
+  static Vec adds8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) {
+      const int s = a.v[i] + b.v[i];
+      r.v[i] = static_cast<std::int8_t>(s > 127 ? 127 : (s < -128 ? -128 : s));
+    }
+    return r;
+  }
+  static Vec subs8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) {
+      const int s = a.v[i] - b.v[i];
+      r.v[i] = static_cast<std::int8_t>(s > 127 ? 127 : (s < -128 ? -128 : s));
+    }
+    return r;
+  }
+  static Vec min8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+    return r;
+  }
+  static Vec max8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+    return r;
+  }
+  static Vec cmpgt8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = a.v[i] > b.v[i] ? static_cast<std::int8_t>(-1) : 0;
+    return r;
+  }
+  static Vec cmpeq8(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = a.v[i] == b.v[i] ? static_cast<std::int8_t>(-1) : 0;
+    return r;
+  }
+  static Vec blend(Vec m, Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = m.v[i] != 0 ? a.v[i] : b.v[i];
+    return r;
+  }
+  static Vec abs8(Vec a) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int8_t>(a.v[i] < 0 ? -a.v[i] : a.v[i]);
+    return r;
+  }
+  static Vec xor_(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int8_t>(a.v[i] ^ b.v[i]);
+    return r;
+  }
+  static Vec or_(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int8_t>(a.v[i] | b.v[i]);
+    return r;
+  }
+  static Vec and_(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i)
+      r.v[i] = static_cast<std::int8_t>(a.v[i] & b.v[i]);
+    return r;
+  }
+};
+
 }  // namespace
 
 void layer_pass_portable(const SimdLayerPass& pass) {
@@ -151,6 +255,28 @@ void batch_layer_pass_portable(const SimdBatchLayerPass& pass) {
 
 void batch_syndrome_pass_portable(const SimdBatchSyndromePass& pass) {
   detail::batch_syndrome_pass<PortableOps>(pass);
+}
+
+void fa_layer_pass_portable(const SimdFaLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_layer_pass<PortableOps8, true>(pass);
+  else
+    detail::fa_layer_pass<PortableOps8, false>(pass);
+}
+
+void fa_batch_layer_pass_portable(const SimdFaBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_batch_layer_pass<PortableOps8, true>(pass);
+  else
+    detail::fa_batch_layer_pass<PortableOps8, false>(pass);
+}
+
+void fa_batch_syndrome_pass_portable(const SimdFaBatchSyndromePass& pass) {
+  detail::fa_batch_syndrome_pass<PortableOps8>(pass);
+}
+
+void fa_quantize_pass_portable(const SimdFaQuantizePass& pass) {
+  detail::fa_quantize_scalar(pass, 0);
 }
 
 }  // namespace ldpc::simd

@@ -4,6 +4,7 @@
 // the classic and/andnot/or select and abs is max(v, 0 - v) (exact for
 // |v| < 2^15, which the dispatcher's width envelope guarantees).
 #include "core/simd/simd_kernel_impl.hpp"
+#include "core/simd/simd_kernel_impl8.hpp"
 
 #ifdef LDPC_SIMD_X86
 
@@ -55,6 +56,39 @@ struct Sse2Ops {
   }
 };
 
+/// Int8 lane policy for the finite-alphabet kernels: 16 int8 lanes per
+/// __m128i. SSE2 has no pminsb/pmaxsb/pabsb (those are SSE4.1/SSSE3), so
+/// min/max are cmpgt+select and abs is max(v, 0 - v) — exact for v >= -127,
+/// which the symmetric rail guarantees.
+struct Sse2Ops8 {
+  static constexpr int kLanes = 16;
+  using Vec = __m128i;
+
+  static Vec load(const std::int8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(std::int8_t* p, Vec a) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a);
+  }
+  static Vec broadcast(std::int8_t x) { return _mm_set1_epi8(static_cast<char>(x)); }
+  static Vec zero() { return _mm_setzero_si128(); }
+  static Vec add8(Vec a, Vec b) { return _mm_add_epi8(a, b); }
+  static Vec sub8(Vec a, Vec b) { return _mm_sub_epi8(a, b); }
+  static Vec adds8(Vec a, Vec b) { return _mm_adds_epi8(a, b); }
+  static Vec subs8(Vec a, Vec b) { return _mm_subs_epi8(a, b); }
+  static Vec cmpgt8(Vec a, Vec b) { return _mm_cmpgt_epi8(a, b); }
+  static Vec cmpeq8(Vec a, Vec b) { return _mm_cmpeq_epi8(a, b); }
+  static Vec blend(Vec m, Vec a, Vec b) {
+    return _mm_or_si128(_mm_and_si128(m, a), _mm_andnot_si128(m, b));
+  }
+  static Vec min8(Vec a, Vec b) { return blend(cmpgt8(a, b), b, a); }
+  static Vec max8(Vec a, Vec b) { return blend(cmpgt8(a, b), a, b); }
+  static Vec abs8(Vec a) { return max8(a, _mm_sub_epi8(zero(), a)); }
+  static Vec xor_(Vec a, Vec b) { return _mm_xor_si128(a, b); }
+  static Vec or_(Vec a, Vec b) { return _mm_or_si128(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm_and_si128(a, b); }
+};
+
 }  // namespace
 
 void layer_pass_sse2(const SimdLayerPass& pass) {
@@ -73,6 +107,54 @@ void batch_layer_pass_sse2(const SimdBatchLayerPass& pass) {
 
 void batch_syndrome_pass_sse2(const SimdBatchSyndromePass& pass) {
   detail::batch_syndrome_pass<Sse2Ops>(pass);
+}
+
+void fa_layer_pass_sse2(const SimdFaLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_layer_pass<Sse2Ops8, true>(pass);
+  else
+    detail::fa_layer_pass<Sse2Ops8, false>(pass);
+}
+
+void fa_batch_layer_pass_sse2(const SimdFaBatchLayerPass& pass) {
+  if (pass.count_clips)
+    detail::fa_batch_layer_pass<Sse2Ops8, true>(pass);
+  else
+    detail::fa_batch_layer_pass<Sse2Ops8, false>(pass);
+}
+
+void fa_batch_syndrome_pass_sse2(const SimdFaBatchSyndromePass& pass) {
+  detail::fa_batch_syndrome_pass<Sse2Ops8>(pass);
+}
+
+void fa_quantize_pass_sse2(const SimdFaQuantizePass& pass) {
+  // 16 LLRs per step: four 4-wide float pipelines narrowed through the
+  // saturating packs (harmless — the +-127 clamp runs first, on int16
+  // because SSE2 has no epi32 min/max). copysign(0.5, s) = 0.5 | signbit.
+  const __m128 vscale = _mm_set1_ps(pass.fscale);
+  const __m128 vhi = _mm_set1_ps(pass.fhi);
+  const __m128 vlo = _mm_set1_ps(pass.flo);
+  const __m128 vhalf = _mm_set1_ps(0.5F);
+  const __m128 vsign = _mm_set1_ps(-0.0F);
+  const __m128i vrail = _mm_set1_epi16(127);
+  const __m128i vnrail = _mm_set1_epi16(-127);
+  const auto quant4 = [&](std::size_t v) {
+    __m128 s = _mm_mul_ps(_mm_loadu_ps(pass.llr + v), vscale);
+    s = _mm_and_ps(s, _mm_cmpord_ps(s, s));  // NaN -> 0
+    s = _mm_min_ps(_mm_max_ps(s, vlo), vhi);
+    const __m128 half = _mm_or_ps(vhalf, _mm_and_ps(s, vsign));
+    return _mm_cvttps_epi32(_mm_add_ps(s, half));
+  };
+  std::size_t v = 0;
+  for (; v + 16 <= pass.n; v += 16) {
+    const __m128i w0 = _mm_packs_epi32(quant4(v), quant4(v + 4));
+    const __m128i w1 = _mm_packs_epi32(quant4(v + 8), quant4(v + 12));
+    const __m128i c0 = _mm_max_epi16(_mm_min_epi16(w0, vrail), vnrail);
+    const __m128i c1 = _mm_max_epi16(_mm_min_epi16(w1, vrail), vnrail);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(pass.out + v),
+                     _mm_packs_epi16(c0, c1));
+  }
+  detail::fa_quantize_scalar(pass, v);
 }
 
 }  // namespace ldpc::simd

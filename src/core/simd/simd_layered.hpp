@@ -69,6 +69,8 @@ class SimdLayeredDecoder final : public Decoder {
   /// scalar twin, which accepts arbitrary int32 messages.
   DecodeResult decode_quantized(std::span<const std::int32_t> channel_codes);
 
+  std::string message_format() const override { return format_.name(); }
+
   FixedFormat format() const { return format_; }
 
   /// Kernel tier this decoder dispatches to.

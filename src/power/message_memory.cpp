@@ -1,0 +1,50 @@
+#include "power/message_memory.hpp"
+
+#include "util/check.hpp"
+
+namespace ldpc {
+
+namespace {
+
+struct Widths {
+  int p_bits;
+  int r_bits;
+};
+
+Widths widths_for(const std::string& format) {
+  if (format == "float") return {32, 32};
+  if (format == "q8.2") return {8, 8};
+  if (format == "q6.1") return {6, 6};
+  // Finite-alphabet family: 8-bit posterior, sign-magnitude messages at
+  // the family's resolution (fa4 = sign + 3 magnitude bits, etc.).
+  if (format == "fa4") return {8, 4};
+  if (format == "fa3") return {8, 3};
+  if (format == "fa2") return {8, 2};
+  if (format == "bit") return {1, 1};
+  throw Error("message_memory_profile: unknown message format: " + format);
+}
+
+}  // namespace
+
+MessageMemoryProfile message_memory_profile(const QCLdpcCode& code,
+                                            const std::string& format) {
+  const Widths w = widths_for(format);
+  MessageMemoryProfile prof;
+  prof.format = format;
+  prof.p_bits = w.p_bits;
+  prof.r_bits = w.r_bits;
+  const long long edges = static_cast<long long>(
+      code.base().nonzero_blocks() * static_cast<std::size_t>(code.z()));
+  prof.p_memory_bits = static_cast<long long>(code.n()) * w.p_bits;
+  prof.r_memory_bits = edges * w.r_bits;
+  prof.total_bits = prof.p_memory_bits + prof.r_memory_bits;
+  return prof;
+}
+
+double MessageMemoryProfile::reduction_vs_q8(const QCLdpcCode& code) const {
+  const MessageMemoryProfile base = message_memory_profile(code, "q8.2");
+  return static_cast<double>(total_bits) /
+         static_cast<double>(base.total_bits);
+}
+
+}  // namespace ldpc

@@ -1,0 +1,41 @@
+// Message-memory sizing across decoder message formats.
+//
+// The paper's scalability lever is P/R memory: posterior (P) words are one
+// per variable node, check-message (R) words one per edge (nonzero base
+// block x z rows), and both scale linearly with word width. The
+// finite-alphabet family narrows R to the message resolution (sign +
+// log2(levels) bits) while keeping the 8-bit posterior, so the dominant
+// R macro shrinks by up to 4x against the q8.2 baseline — this module
+// turns a (code, format) pair into exact bit capacities so the area/power
+// models and the energy benches can price that reduction.
+#pragma once
+
+#include <string>
+
+#include "codes/qc_code.hpp"
+
+namespace ldpc {
+
+/// Per-site message word widths of one decoder family, plus the derived
+/// P/R capacities for a concrete code.
+struct MessageMemoryProfile {
+  std::string format;  ///< message_format() naming: "float", "q8.2", "fa4"...
+  int p_bits = 0;      ///< posterior word width
+  int r_bits = 0;      ///< check-message word width
+  long long p_memory_bits = 0;  ///< n * p_bits
+  long long r_memory_bits = 0;  ///< nonzero_blocks * z * r_bits
+  long long total_bits = 0;
+
+  /// Fraction of the q8.2 baseline's total message bits this profile
+  /// needs (1.0 = no saving; fa4 on WiMAX rate-1/2 is ~0.56).
+  double reduction_vs_q8(const QCLdpcCode& code) const;
+};
+
+/// Profile for a message_format() string as reported by the decoder
+/// registry: "float" (32/32), "q8.2" (8/8), "q6.1" (6/6), "fa4" (8/4),
+/// "fa3" (8/3), "fa2" (8/2), "bit" (1/1). Throws ldpc::Error on formats
+/// it cannot price.
+MessageMemoryProfile message_memory_profile(const QCLdpcCode& code,
+                                            const std::string& format);
+
+}  // namespace ldpc

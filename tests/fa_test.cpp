@@ -1,0 +1,200 @@
+// Scalar finite-alphabet decoder family (fa2/fa3/fa4) and its offline MIM
+// table builder: structural table invariants the int8 SIMD kernels are
+// proven against (nondecreasing staircases, in-alphabet reconstructions,
+// delta prefix sums under the rail), builder determinism, the channel
+// quantizer's rail clamp, and decode behavior — convergence in the
+// waterfall, graceful degradation at 2 bits, and the structurally-zero
+// r_clips invariant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/awgn.hpp"
+#include "channel/modem.hpp"
+#include "codes/encoder.hpp"
+#include "codes/wifi.hpp"
+#include "codes/wimax.hpp"
+#include "core/fa_tables.hpp"
+#include "core/layered_minsum_fa.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ldpc {
+namespace {
+
+std::vector<float> noisy_llr(const QCLdpcCode& code, float ebn0_db,
+                             std::uint64_t seed) {
+  const RuEncoder enc(code);
+  Xoshiro256 rng(seed);
+  BitVec info(code.k());
+  for (std::size_t i = 0; i < info.size(); ++i) info.set(i, rng.coin());
+  const float variance = awgn_noise_variance(ebn0_db, code.rate());
+  AwgnChannel ch(variance, seed + 1);
+  return BpskModem::demodulate(
+      ch.transmit(BpskModem::modulate(enc.encode(info))), variance);
+}
+
+// --------------------------------------------------------------- tables ----
+
+TEST(FaTables, StructuralInvariants) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  for (const int bits : {2, 3, 4}) {
+    const FaTableSet ts = build_fa_tables(code, bits, 2.0F);
+    EXPECT_EQ(ts.msg_bits, bits);
+    EXPECT_EQ(ts.levels, 1 << (bits - 1));
+    EXPECT_FALSE(ts.tables.empty());
+    for (const FaCnTable& t : ts.tables) {
+      for (int k = 0; k + 1 < ts.levels - 1; ++k)
+        EXPECT_LE(t.thr[k], t.thr[k + 1]) << "fa" << bits;
+      // Reconstruction magnitudes: nondecreasing and on the +-127 rail,
+      // so every staircase partial sum recon[0] + deltas stays <= 127 —
+      // the precondition for the SIMD kernels' wrapping add8 staircase.
+      for (int k = 0; k < ts.levels; ++k) {
+        EXPECT_GE(t.recon[k], 0) << "fa" << bits;
+        EXPECT_LE(t.recon[k], kFaRail) << "fa" << bits;
+        if (k > 0) {
+          EXPECT_GE(t.recon[k], t.recon[k - 1]) << "fa" << bits;
+        }
+      }
+    }
+  }
+}
+
+TEST(FaTables, BuilderIsDeterministic) {
+  const QCLdpcCode code = make_wifi_648_half_rate();
+  const FaTableSet a = build_fa_tables(code, 4, 2.0F);
+  const FaTableSet b = build_fa_tables(code, 4, 2.0F);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (std::size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_EQ(a.tables[i].thr, b.tables[i].thr);
+    EXPECT_EQ(a.tables[i].recon, b.tables[i].recon);
+  }
+}
+
+TEST(FaTables, RejectsUnsupportedResolutions) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  EXPECT_THROW(build_fa_tables(code, 1, 2.0F), Error);
+  EXPECT_THROW(build_fa_tables(code, 5, 2.0F), Error);
+}
+
+TEST(FaTables, StaircaseDeltaFormMatchesReconstruct) {
+  // The SIMD kernels compute recon[0] + sum of masked deltas; over the
+  // whole magnitude axis this must equal the table's region lookup.
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const FaTableSet ts = build_fa_tables(code, 4, 2.0F);
+  for (const FaCnTable& t : ts.tables) {
+    for (std::int32_t mag = 0; mag <= kFaRail; ++mag) {
+      std::int32_t s = t.recon[0];
+      for (int k = 0; k < ts.levels - 1; ++k)
+        if (mag > t.thr[k]) s += t.recon[k + 1] - t.recon[k];
+      EXPECT_EQ(s, ts.reconstruct(t, mag)) << "mag=" << mag;
+    }
+  }
+}
+
+TEST(FaTables, IterationsBeyondTableCountReuseLastTable) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  const FaTableSet ts = build_fa_tables(code, 4, 2.0F);
+  const FaCnTable& last = ts.tables.back();
+  const FaCnTable& beyond = ts.for_iteration(ts.tables.size() + 50);
+  EXPECT_EQ(last.thr, beyond.thr);
+  EXPECT_EQ(last.recon, beyond.recon);
+}
+
+TEST(FaTables, QuantizerClampsAtSymmetricRail) {
+  const FixedFormat posterior{8, 2};
+  EXPECT_EQ(fa_quantize(posterior, 1e9F), kFaRail);
+  EXPECT_EQ(fa_quantize(posterior, -1e9F), -kFaRail);
+  EXPECT_EQ(fa_quantize(posterior, 0.0F), 0);
+  // q8.2 grid: 1.0 -> 4 codes; round-half-away at the midpoint.
+  EXPECT_EQ(fa_quantize(posterior, 1.0F), 4);
+  EXPECT_EQ(fa_quantize(posterior, 0.125F), 1);
+  EXPECT_EQ(fa_quantize(posterior, -0.125F), -1);
+  long long clips = 0;
+  (void)fa_quantize(posterior, 1e9F, clips);
+  (void)fa_quantize(posterior, 0.5F, clips);
+  EXPECT_EQ(clips, 1);
+}
+
+// -------------------------------------------------------------- decoder ----
+
+TEST(FaDecoder, ConvergesOnCleanChannel) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  for (const int bits : {2, 3, 4}) {
+    LayeredMinSumFaDecoder dec(code, opt, bits);
+    std::vector<float> llr(code.n(), 8.0F);  // strong all-zeros evidence
+    const DecodeResult res = dec.decode(llr);
+    EXPECT_TRUE(res.converged) << "fa" << bits;
+    EXPECT_LE(res.iterations, 2U) << "fa" << bits;
+    for (std::size_t v = 0; v < code.n(); ++v)
+      EXPECT_FALSE(res.hard_bits.get(v));
+  }
+}
+
+TEST(FaDecoder, Fa4ConvergesInWaterfall) {
+  const QCLdpcCode code = make_wimax_2304_half_rate();
+  DecoderOptions opt;
+  opt.count_saturation = true;
+  LayeredMinSumFaDecoder dec(code, opt, 4);
+  int converged = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const DecodeResult res = dec.decode(noisy_llr(code, 2.6F, s * 977 + 3));
+    converged += res.converged ? 1 : 0;
+    // Family invariant: check messages are in-alphabet by construction.
+    EXPECT_EQ(dec.saturation().r_clips, 0);
+  }
+  EXPECT_GE(converged, 18);
+}
+
+TEST(FaDecoder, LowerResolutionDegradesGracefully) {
+  // At the same operating point fa2 may fail more frames than fa4, but it
+  // must still decode the easy ones — the family degrades, not collapses.
+  const QCLdpcCode code = make_wifi_648_half_rate();
+  DecoderOptions opt;
+  LayeredMinSumFaDecoder fa2(code, opt, 2);
+  int converged = 0;
+  for (std::uint64_t s = 0; s < 20; ++s)
+    converged += fa2.decode(noisy_llr(code, 4.0F, s * 331 + 11)).converged;
+  EXPECT_GE(converged, 14);
+}
+
+TEST(FaDecoder, ReportsFamilyMessageFormat) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  for (const int bits : {2, 3, 4}) {
+    LayeredMinSumFaDecoder dec(code, opt, bits);
+    EXPECT_EQ(dec.message_format(), "fa" + std::to_string(bits));
+    EXPECT_EQ(dec.name(), "layered-minsum-fa" + std::to_string(bits));
+    EXPECT_EQ(dec.tables().posterior.total_bits, 8);
+  }
+}
+
+TEST(FaDecoder, DecodeQuantizedMatchesDecode) {
+  // Pre-quantized channel codes must land on the same fixed-point state
+  // as float LLRs that quantize to those codes.
+  const QCLdpcCode code = make_wifi_648_half_rate();
+  DecoderOptions opt;
+  LayeredMinSumFaDecoder dec(code, opt, 4);
+  const std::vector<float> llr = noisy_llr(code, 2.6F, 99);
+  const FixedFormat posterior = dec.tables().posterior;
+  std::vector<std::int32_t> codes(llr.size());
+  for (std::size_t v = 0; v < llr.size(); ++v)
+    codes[v] = fa_quantize(posterior, llr[v]);
+  const DecodeResult a = dec.decode(llr);
+  const DecodeResult b = dec.decode_quantized(codes);
+  EXPECT_TRUE(a.hard_bits == b.hard_bits);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+TEST(FaDecoder, RejectsUnsupportedResolutions) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  EXPECT_THROW(LayeredMinSumFaDecoder(code, opt, 1), Error);
+  EXPECT_THROW(LayeredMinSumFaDecoder(code, opt, 8), Error);
+}
+
+}  // namespace
+}  // namespace ldpc

@@ -1,0 +1,99 @@
+// DecoderFactory name enumeration contract: every name decoder_names()
+// advertises constructs a working decoder, each constructed decoder
+// round-trips its reported message format through the registry's naming
+// scheme, and unknown names fail with an error that lists every candidate
+// — the property the CLI tools and sweep harnesses rely on to print
+// actionable --decoder help.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+namespace {
+
+TEST(DecoderFactory, EveryRegisteredNameConstructs) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  for (const std::string& name : decoder_names()) {
+    std::unique_ptr<Decoder> dec;
+    ASSERT_NO_THROW(dec = make_decoder(name, code, opt)) << name;
+    ASSERT_NE(dec, nullptr) << name;
+    EXPECT_EQ(dec->n(), code.n()) << name;
+    EXPECT_EQ(dec->k(), code.k()) << name;
+    // A freshly constructed decoder must actually decode: strong all-zeros
+    // evidence converges for every family in at most a few iterations.
+    std::vector<float> llr(code.n(), 8.0F);
+    const DecodeResult res = dec->decode(llr);
+    EXPECT_TRUE(res.converged) << name;
+  }
+}
+
+TEST(DecoderFactory, NamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names = decoder_names();
+  EXPECT_FALSE(names.empty());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(DecoderFactory, MessageFormatRoundTripsThroughName) {
+  // Naming scheme contract: a name carrying a format suffix must produce a
+  // decoder reporting that format, and vice versa — "fa4" in the name
+  // means message_format() == "fa4", "q6" means q6.1's "q6.1", and
+  // float-family names report "float".
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  for (const std::string& name : decoder_names()) {
+    const auto dec = make_decoder(name, code, opt);
+    const std::string fmt = dec->message_format();
+    if (name.find("-fa") != std::string::npos) {
+      // layered-minsum[-simd[-batched]]-fa{2,3,4}
+      const std::string tail = name.substr(name.rfind("-fa") + 1);
+      EXPECT_EQ(fmt, tail) << name;
+    } else if (name.find("q6") != std::string::npos) {
+      EXPECT_EQ(fmt, "q6.1") << name;
+    } else if (name.find("fixed") != std::string::npos ||
+               name.find("simd") != std::string::npos) {
+      EXPECT_EQ(fmt, "q8.2") << name;
+    } else if (name == "gallager-b") {
+      EXPECT_EQ(fmt, "bit") << name;
+    } else {
+      EXPECT_EQ(fmt, "float") << name;
+    }
+  }
+}
+
+TEST(DecoderFactory, FiniteAlphabetFamilyIsRegistered) {
+  const std::vector<std::string>& names = decoder_names();
+  for (const std::string expected :
+       {"layered-minsum-fa2", "layered-minsum-fa3", "layered-minsum-fa4",
+        "layered-minsum-simd-fa4", "layered-minsum-simd-batched-fa4"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(DecoderFactory, UnknownNameThrowsWithCandidateList) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  try {
+    make_decoder("layered-minsum-fa9", code, opt);
+    FAIL() << "expected ldpc::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("layered-minsum-fa9"), std::string::npos) << msg;
+    // The error must enumerate every known name, so a typo in a CLI flag
+    // or a sweep config is self-diagnosing.
+    for (const std::string& name : decoder_names())
+      EXPECT_NE(msg.find(name), std::string::npos) << name << " in: " << msg;
+  }
+}
+
+}  // namespace
+}  // namespace ldpc

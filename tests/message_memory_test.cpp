@@ -1,0 +1,76 @@
+// Message-memory sizing across formats: exact P/R bit capacities per
+// format, the monotone fa4 > fa3 > fa2 R-memory shrink against the q8.2
+// baseline, and consistency with what registered decoders actually report
+// through message_format().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codes/wimax.hpp"
+#include "core/decoder_factory.hpp"
+#include "power/message_memory.hpp"
+#include "util/check.hpp"
+
+namespace ldpc {
+namespace {
+
+TEST(MessageMemory, ExactCapacities) {
+  const QCLdpcCode code = make_wimax_2304_half_rate();
+  const long long n = static_cast<long long>(code.n());
+  const long long edges = static_cast<long long>(
+      code.base().nonzero_blocks() * static_cast<std::size_t>(code.z()));
+
+  const MessageMemoryProfile q8 = message_memory_profile(code, "q8.2");
+  EXPECT_EQ(q8.p_memory_bits, n * 8);
+  EXPECT_EQ(q8.r_memory_bits, edges * 8);
+  EXPECT_EQ(q8.total_bits, q8.p_memory_bits + q8.r_memory_bits);
+
+  const MessageMemoryProfile fa4 = message_memory_profile(code, "fa4");
+  EXPECT_EQ(fa4.p_bits, 8);
+  EXPECT_EQ(fa4.r_bits, 4);
+  EXPECT_EQ(fa4.p_memory_bits, n * 8);
+  EXPECT_EQ(fa4.r_memory_bits, edges * 4);
+
+  const MessageMemoryProfile fl = message_memory_profile(code, "float");
+  EXPECT_EQ(fl.total_bits, n * 32 + edges * 32);
+}
+
+TEST(MessageMemory, FiniteAlphabetShrinksRMemoryMonotonically) {
+  const QCLdpcCode code = make_wimax_2304_half_rate();
+  const MessageMemoryProfile q8 = message_memory_profile(code, "q8.2");
+  const MessageMemoryProfile fa4 = message_memory_profile(code, "fa4");
+  const MessageMemoryProfile fa3 = message_memory_profile(code, "fa3");
+  const MessageMemoryProfile fa2 = message_memory_profile(code, "fa2");
+  EXPECT_LT(fa4.total_bits, q8.total_bits);
+  EXPECT_LT(fa3.total_bits, fa4.total_bits);
+  EXPECT_LT(fa2.total_bits, fa3.total_bits);
+  // The reduction ratio must reflect the R-width ratio exactly: P stays
+  // 8-bit, R shrinks 8 -> 4/3/2 bits.
+  EXPECT_DOUBLE_EQ(fa4.reduction_vs_q8(code),
+                   static_cast<double>(fa4.total_bits) /
+                       static_cast<double>(q8.total_bits));
+  EXPECT_LT(fa2.reduction_vs_q8(code), fa3.reduction_vs_q8(code));
+  EXPECT_LT(fa4.reduction_vs_q8(code), 1.0);
+  EXPECT_GT(fa2.reduction_vs_q8(code), 0.0);
+}
+
+TEST(MessageMemory, PricesEveryRegisteredDecoderFormat) {
+  // Every format a registry decoder can report must be priceable — the
+  // energy benches look profiles up by message_format() verbatim.
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  DecoderOptions opt;
+  for (const std::string& name : decoder_names()) {
+    const auto dec = make_decoder(name, code, opt);
+    const MessageMemoryProfile prof =
+        message_memory_profile(code, dec->message_format());
+    EXPECT_GT(prof.total_bits, 0) << name;
+  }
+}
+
+TEST(MessageMemory, UnknownFormatThrows) {
+  const QCLdpcCode code = make_wimax_code(WimaxRate::kRate1_2, 24);
+  EXPECT_THROW(message_memory_profile(code, "q12.4"), Error);
+}
+
+}  // namespace
+}  // namespace ldpc
